@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks both *time* the pipeline stages and *print* the regenerated
+tables/figures (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them; the same artifacts are produced by ``python -m repro.eval all``).
+Heavy artifacts (traces, MATE searches) come from the shared disk cache in
+``.repro_cache/`` — the first run populates it.
+"""
+
+import pytest
+
+from repro.eval import context
+
+
+@pytest.fixture(scope="session")
+def avr_netlist():
+    return context.get_netlist("avr")
+
+
+@pytest.fixture(scope="session")
+def msp430_netlist():
+    return context.get_netlist("msp430")
+
+
+@pytest.fixture(scope="session", params=context.CORES)
+def core(request):
+    return request.param
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "bench_table: regenerates a paper table")

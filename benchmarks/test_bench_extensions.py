@@ -1,0 +1,77 @@
+"""Benchmarks for the extension experiments (paper Secs. 6.2/6.3 directions).
+
+- cross-layer combination: MATEs + def-use pruning (Sec. 6.3's vision);
+- multi-cycle masking headroom (Sec. 6.2: multi-clock MATEs);
+- online HAFI pruning throughput.
+"""
+
+import pytest
+
+from repro.core.multicycle import multicycle_headroom
+from repro.core.replay import replay_mates
+from repro.core.selection import select_top_n
+from repro.eval import context
+from repro.eval.combined import build_combined
+from repro.hafi import simulate_online_pruning
+
+
+@pytest.mark.bench_table
+def test_bench_combined_cross_layer(benchmark):
+    report = benchmark.pedantic(build_combined, rounds=1, iterations=1)
+    print("\n" + report.format())
+    for row in report.rows:
+        # The union dominates each technique and never exceeds their sum.
+        assert row.combined_benign >= max(row.mate_benign, row.defuse_benign)
+        assert row.combined_benign <= row.mate_benign + row.defuse_benign
+    # Def-use must contribute where MATEs are weak (register files).
+    assert any(row.defuse_fraction > row.mate_fraction for row in report.rows)
+
+
+@pytest.mark.bench_table
+def test_bench_multicycle_headroom(benchmark):
+    """Upper bound for k-cycle masking on sampled AVR non-RF points."""
+    compiled = context.get_simulator("avr").compiled
+    trace = context.get_trace("avr", "fib").slice_cycles(0, 1200)
+    netlist = context.get_netlist("avr")
+    dffs = sorted(netlist.non_register_file_dffs())[:24]
+
+    headroom = benchmark.pedantic(
+        multicycle_headroom,
+        args=(compiled, trace, dffs),
+        kwargs={"windows": (1, 2, 4, 8), "cycle_stride": 149},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + headroom.format())
+    fractions = [headroom.fraction(k) for k in (1, 2, 4, 8)]
+    assert fractions == sorted(fractions)  # monotone in the window
+    assert fractions[-1] >= fractions[0]
+
+
+@pytest.mark.bench_table
+def test_bench_online_pruning(benchmark):
+    """Per-cycle online MATE evaluation inside the emulation (Fig. 1b flow)."""
+    core = "msp430"
+    netlist = context.get_netlist(core)
+    simulator = context.get_simulator(core)
+    mates = context.get_mates(core, exclude_register_file=True)
+    trace = context.get_trace(core, "fib")
+    fault_wires = context.get_fault_wires(core, exclude_register_file=True)
+    replay = replay_mates(mates, trace, fault_wires)
+    selected = [mates[i] for i in select_top_n(replay, 50)]
+    cycles = 1500
+
+    run = benchmark.pedantic(
+        simulate_online_pruning,
+        args=(netlist, selected, context.make_system(core, "fib"), cycles),
+        kwargs={"simulator": simulator},
+        rounds=1,
+        iterations=1,
+    )
+    assert run.cycles == cycles
+    assert run.fault_space.num_benign > 0
+    print(
+        f"\nonline pruning: {run.fault_space.num_benign} of "
+        f"{run.fault_space.size} points pruned in {cycles} cycles "
+        f"({100 * run.pruned_fraction:.1f}%)"
+    )

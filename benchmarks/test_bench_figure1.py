@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of Figure 1 (example fault cone + pruning grid)."""
+
+import pytest
+
+from repro.eval.figures import build_figure1
+
+
+@pytest.mark.bench_table
+def test_bench_figure1(benchmark):
+    figure = benchmark.pedantic(build_figure1, rounds=3, iterations=1)
+    text = figure.format()
+    print("\n" + text)
+    # Every fact stated in the paper's Sec. 3 walkthrough:
+    assert "'c', 'f', 'h'" in figure.cone_report  # border wires of d
+    assert "e: unmaskable" in figure.mates_report
+    assert "!f & h" in figure.mates_report  # M_d = (¬f ∧ h)
+    assert 0 < figure.grid.num_benign < figure.grid.size
+    # The unmaskable input e keeps a fully-effective row.
+    assert not any(figure.grid.is_benign("e", t) for t in range(figure.grid.num_cycles))

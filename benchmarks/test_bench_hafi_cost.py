@@ -1,0 +1,39 @@
+"""Benchmark + regeneration of the Sec. 6.1 hardware-cost discussion.
+
+Paper claims to verify: the average MATE has < 6 inputs and fits in 1–2
+6-input LUTs, so 50–100 MATEs are negligible against the 1500–6000-LUT FI
+controllers and a 150k-LUT mid-range Virtex-6.
+"""
+
+import pytest
+
+from repro.core.replay import replay_mates
+from repro.core.selection import select_top_n
+from repro.eval import context
+from repro.eval.hafi_cost import build_hafi_cost
+from repro.hafi import estimate_mate_cost
+
+
+@pytest.mark.bench_table
+def test_bench_hafi_cost_report(benchmark):
+    report = benchmark.pedantic(build_hafi_cost, rounds=1, iterations=1)
+    text = report.format()
+    print("\n" + text)
+    assert "XC6VLX240T" in text
+
+
+@pytest.mark.bench_table
+def test_mate_hardware_cost_claims(core):
+    mates = context.get_mates(core, exclude_register_file=True)
+    trace = context.get_trace(core, "fib")
+    fault_wires = context.get_fault_wires(core, exclude_register_file=True)
+    replay = replay_mates(mates, trace, fault_wires)
+    top = select_top_n(replay, 100)
+    cost = estimate_mate_cost([mates[i] for i in top])
+
+    # Sec. 6.1: a MATE needs only one or two LUTs.
+    assert cost.max_luts_single_mate <= 2
+    # 100 MATEs are negligible next to a 1500-LUT controller and invisible
+    # on the device.
+    assert cost.total_luts <= 200
+    assert cost.device_utilization < 0.002

@@ -1,0 +1,79 @@
+"""Substrate micro-benchmarks: simulation, synthesis, cones, paths, VCD.
+
+Not a paper table, but the performance envelope everything else rests on —
+regressions here silently blow up the headline experiments.
+"""
+
+import pytest
+
+from repro.cells import gate_masking_terms, nangate15_library
+from repro.core.cone import compute_fault_cone
+from repro.core.paths import enumerate_paths
+from repro.cpu.avr import build_avr_core
+from repro.eval import context
+from repro.synth import synthesize
+from repro.trace import parse_vcd, write_vcd
+
+
+def test_bench_simulator_throughput(benchmark, core):
+    """Cycles/second of the compiled netlist simulator (trace recording on)."""
+    simulator = context.get_simulator(core)
+    cycles = 500
+
+    def run():
+        return simulator.run(
+            context.make_system(core, "fib"), max_cycles=cycles
+        )
+
+    result = benchmark(run)
+    assert result.trace.num_cycles == cycles
+    benchmark.extra_info["cycles_per_second"] = cycles / benchmark.stats.stats.mean
+
+
+def test_bench_synthesis(benchmark):
+    """RTL → gate-level synthesis of the AVR core."""
+    netlist = benchmark(lambda: synthesize(build_avr_core()))
+    assert len(netlist.gates) > 1000
+
+
+def test_bench_fault_cone(benchmark, avr_netlist):
+    """Single fault-cone computation on a register-file bit."""
+    cone = benchmark(compute_fault_cone, avr_netlist, "rf_r7_b4")
+    assert cone.num_gates > 10
+
+
+def test_bench_path_enumeration(benchmark, avr_netlist):
+    """Depth-8 path enumeration for one faulty wire."""
+    enum = benchmark.pedantic(
+        enumerate_paths, args=(avr_netlist, "sreg_b1"), rounds=3, iterations=1
+    )
+    assert enum.terms
+
+
+def test_bench_gate_masking_library(benchmark):
+    """Full gate-masking analysis of the standard-cell library."""
+    lib = nangate15_library()
+
+    def analyze():
+        import itertools
+
+        count = 0
+        for cell in lib.combinational():
+            for k in range(1, len(cell.inputs) + 1):
+                for faulty in itertools.combinations(cell.inputs, k):
+                    count += len(gate_masking_terms(cell, set(faulty)))
+        return count
+
+    total = benchmark(analyze)
+    assert total > 50
+
+
+def test_bench_vcd_roundtrip(benchmark):
+    """VCD write+parse of a 500-cycle AVR trace slice."""
+    trace = context.get_trace("avr", "fib").slice_cycles(0, 500)
+
+    def roundtrip():
+        return parse_vcd(write_vcd(trace))
+
+    parsed = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+    assert parsed == trace

@@ -1,0 +1,49 @@
+"""Benchmark + regeneration of Table 1 (MATE search statistics).
+
+Timing target: the MATE search itself, measured on a representative sample
+of faulty wires per core (full runs are cached and printed).
+"""
+
+import pytest
+
+from repro.core.search import SearchParameters, faulty_wires_for_dffs, find_mates
+from repro.eval import context
+from repro.eval.table1 import build_table1
+
+
+@pytest.mark.bench_table
+def test_bench_mate_search_sample(benchmark, core):
+    """Search time for a 12-wire sample (mixed RF / non-RF)."""
+    netlist = context.get_netlist(core)
+    all_wires = list(faulty_wires_for_dffs(netlist).items())
+    rf = netlist.register_file_dffs()
+    sample = (
+        [(w, d) for w, d in all_wires if d not in rf][:6]
+        + [(w, d) for w, d in all_wires if d in rf][:6]
+    )
+    params = SearchParameters(max_candidates=20_000, max_exact_checks=500)
+
+    result = benchmark.pedantic(
+        find_mates,
+        args=(netlist,),
+        kwargs={"faulty_wires": dict(sample), "params": params},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_faulty_wires == len(sample)
+
+
+@pytest.mark.bench_table
+def test_bench_table1_full(benchmark):
+    """Assemble (cached) and print the full Table 1."""
+    table = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    text = table.format()
+    print("\n" + text)
+    assert "Faulty Wires" in text
+    assert len(table.columns) == 4
+    # Shape checks against the paper: every input set finds MATEs, has some
+    # unmaskable wires, and tries a nontrivial number of candidates.
+    for column in table.columns:
+        assert column.faulty_wires > 0
+        assert column.num_candidates > 1e5
+        assert column.num_mates > 0

@@ -1,0 +1,95 @@
+"""Benchmarks + regeneration of Table 2 (AVR) and Table 3 (MSP430).
+
+Timing target: the replay + top-N selection pipeline on the full 8500-cycle
+traces. The assembled tables are printed and checked for the paper's
+qualitative shape:
+
+- excluding the register file raises the masked percentage;
+- the MSP430 (multi-cycle) masks more than the AVR (pipelined RISC);
+- top-50 subsets come close to the complete MATE set;
+- cross-trace selection transfers (within a couple of percentage points).
+"""
+
+import pytest
+
+from repro.core.replay import replay_mates
+from repro.core.selection import select_top_n
+from repro.eval import context
+from repro.eval.mate_performance import build_mate_performance
+
+
+@pytest.mark.bench_table
+def test_bench_replay(benchmark, core):
+    """Replay of the complete MATE set over one 8500-cycle trace."""
+    mates = context.get_mates(core, exclude_register_file=False)
+    trace = context.get_trace(core, "fib")
+    fault_wires = context.get_fault_wires(core, exclude_register_file=False)
+
+    replay = benchmark.pedantic(
+        replay_mates, args=(mates, trace, fault_wires), rounds=1, iterations=1
+    )
+    assert replay.num_cycles == context.TRACE_CYCLES
+    assert replay.masked_fraction() > 0
+
+
+@pytest.mark.bench_table
+def test_bench_selection(benchmark, core):
+    """Hit-counter rating + top-200 subsetting."""
+    mates = context.get_mates(core, exclude_register_file=True)
+    trace = context.get_trace(core, "fib")
+    fault_wires = context.get_fault_wires(core, exclude_register_file=True)
+    replay = replay_mates(mates, trace, fault_wires)
+
+    top = benchmark.pedantic(select_top_n, args=(replay, 200), rounds=1, iterations=1)
+    assert len(top) <= 200
+    assert all(0 <= i < len(mates) for i in top)
+    assert all(replay.trigger_counts[i] > 0 for i in top)
+
+
+@pytest.mark.bench_table
+@pytest.mark.parametrize("table_core", ["avr", "msp430"])
+def test_bench_mate_performance_table(benchmark, table_core):
+    """Assemble and print Table 2 / Table 3; verify the paper's shape."""
+    table = benchmark.pedantic(
+        build_mate_performance, args=(table_core,), rounds=1, iterations=1
+    )
+    print("\n" + table.format())
+
+    by_set = {ff.ff_set: ff for ff in table.ff_sets}
+    ff_all, ff_norf = by_set["FF"], by_set["FF w/o RF"]
+    for program in context.PROGRAMS:
+        # Excluding the register file raises the masked percentage.
+        assert ff_norf.masked_complete[program] > ff_all.masked_complete[program]
+        # Top-N is monotone and bounded by the complete set.
+        previous = 0.0
+        for top_n in (10, 50, 100, 200):
+            value = ff_norf.masked_topn[(program, top_n, program)]
+            assert value >= previous
+            previous = value
+        assert previous <= ff_norf.masked_complete[program] + 1e-9
+        # Top-50 achieves most of the complete-set reduction (paper: "very
+        # close"); require at least 60% of it.
+        if ff_norf.masked_complete[program] > 0:
+            ratio = (
+                ff_norf.masked_topn[(program, 50, program)]
+                / ff_norf.masked_complete[program]
+            )
+            assert ratio > 0.6, f"top-50 too weak on {program}: {ratio:.2f}"
+        # Cross-trace transfer: selecting on the *other* trace still works.
+        other = "conv" if program == "fib" else "fib"
+        same = ff_norf.masked_topn[(program, 200, program)]
+        crossed = ff_norf.masked_topn[(other, 200, program)]
+        if same > 0:
+            assert crossed >= 0.5 * same
+
+
+@pytest.mark.bench_table
+def test_msp430_masks_more_than_avr():
+    """Paper Sec. 6.3: the multi-cycle MSP430 is more maskable intra-cycle."""
+    avr = build_mate_performance("avr")
+    msp = build_mate_performance("msp430")
+    avr_norf = [f for f in avr.ff_sets if f.ff_set == "FF w/o RF"][0]
+    msp_norf = [f for f in msp.ff_sets if f.ff_set == "FF w/o RF"][0]
+    assert (
+        msp_norf.masked_complete["fib"] > avr_norf.masked_complete["fib"]
+    ), "expected MSP430 to mask more than AVR"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Bring your own circuit: RTL DSL → synthesis → MATE analysis → validation.
+
+Shows the full library surface on a small user-defined design (a gated
+streaming accumulator): describe it in the RTL DSL, synthesize to the
+standard-cell netlist, export/import structural Verilog, search MATEs, and
+*prove* each one sound against exact fault simulation.
+
+Run with::
+
+    python examples/custom_circuit.py
+"""
+
+from repro.cells import nangate15_library
+from repro.core import find_mates, verify_mate_on_trace
+from repro.netlist import netlist_stats, netlist_to_verilog, parse_verilog
+from repro.rtl import RtlCircuit, mux
+from repro.sim import Simulator, TableTestbench
+from repro.synth import synthesize
+
+
+def build_design():
+    """A streaming accumulator with a validity-gated output bus."""
+    c = RtlCircuit("stream_acc")
+    enable = c.input("enable")
+    clear = c.input("clear")
+    sample = c.input("sample", 8)
+
+    acc = c.reg("acc", 12)
+    count = c.reg("count", 4)
+
+    added = (acc + sample.zext(12)).trunc(12)
+    acc.next = mux(clear, mux(enable, acc, added), 0)
+    count.next = mux(clear, mux(enable, count, (count + 1).trunc(4)), 0)
+
+    ready = count.eq(15)
+    c.output("total", acc & ready.replicate(12))
+    c.output("ready", ready)
+    return c
+
+
+def main() -> None:
+    circuit = build_design()
+    netlist = synthesize(circuit)
+    print(netlist_stats(netlist).format())
+
+    # Round-trip through structural Verilog (what you would hand to a HAFI
+    # platform's instrumentation flow).
+    verilog = netlist_to_verilog(netlist)
+    reparsed = parse_verilog(verilog, nangate15_library())
+    print(f"\nVerilog round-trip: {len(verilog.splitlines())} lines, "
+          f"{len(reparsed.gates)} gates parsed back")
+
+    print("\nsearching MATEs for every flip-flop ...")
+    search = find_mates(netlist)
+    for result in search.wire_results:
+        label = {"found": f"{len(result.mates)} MATE(s)"}.get(
+            result.status, result.status
+        )
+        print(f"  {result.dff_name:10s} cone={result.cone_gates:3d} gates  {label}")
+
+    # Validate every MATE against exact simulation on a random-ish workload.
+    rows = []
+    for cycle in range(64):
+        rows.append({
+            "enable": int(cycle % 7 != 0),
+            "clear": int(cycle % 19 == 0),
+            "sample": (cycle * 37) % 256,
+        })
+    simulator = Simulator(netlist)
+    trace = simulator.run(TableTestbench(rows), max_cycles=len(rows)).trace
+
+    mates = search.mate_set().mates()
+    print(f"\nvalidating {len(mates)} unique MATEs against exact simulation ...")
+    for mate in mates:
+        violations = verify_mate_on_trace(simulator.compiled, trace, mate)
+        assert not violations, f"unsound MATE {mate}: {violations}"
+    print("all MATEs sound ✓")
+
+    triggered = sum(
+        1 for mate in mates
+        if any(mate.holds(trace.cycle_values(c)) for c in range(len(rows)))
+    )
+    print(f"{triggered} of {len(mates)} MATEs triggered on this workload")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Online HAFI-style fault-space pruning on the MSP430 core.
+
+Demonstrates the paper's FPGA-platform flow: the selected top-N MATE set is
+"wired into" the emulated design and evaluated live, every cycle, while the
+``conv()`` workload runs — no trace recording needed. Reports the shrinking
+fault list and the FPGA hardware cost of the MATE set.
+
+Run with::
+
+    python examples/msp430_online_pruning.py [--top-n N] [--cycles N]
+"""
+
+import argparse
+
+from repro.core.replay import replay_mates
+from repro.core.search import SearchParameters, faulty_wires_for_dffs, find_mates
+from repro.core.selection import select_top_n
+from repro.cpu.msp430 import Msp430System, synthesize_msp430
+from repro.hafi import estimate_mate_cost, simulate_online_pruning
+from repro.hafi.controller import plan_campaign
+from repro.programs import msp430_conv
+from repro.sim import Simulator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--top-n", type=int, default=50)
+    parser.add_argument("--cycles", type=int, default=3000)
+    args = parser.parse_args()
+
+    print("synthesizing MSP430 core ...")
+    netlist = synthesize_msp430()
+    simulator = Simulator(netlist)
+
+    print("searching MATEs (non-register-file flip-flops) ...")
+    wires = faulty_wires_for_dffs(netlist, exclude_register_file=True)
+    search = find_mates(netlist, faulty_wires=wires,
+                        params=SearchParameters(max_candidates=20_000))
+    mates = search.mate_set().mates()
+    print(f"  {len(mates)} unique MATEs found")
+
+    print("rating MATEs on a short exemplary trace ...")
+    rating_tb = Msp430System(msp430_conv(halt=False), halt_on_cpuoff=False)
+    rating = simulator.run(rating_tb, max_cycles=1500)
+    assert rating.trace is not None
+    replay = replay_mates(mates, rating.trace, list(wires))
+    top = select_top_n(replay, args.top_n)
+    selected = [mates[i] for i in top]
+    print(f"  selected top-{len(selected)} MATEs")
+
+    cost = estimate_mate_cost(selected)
+    print(f"  hardware cost: {cost.format()}")
+
+    print(f"\nrunning {args.cycles} cycles with online pruning ...")
+    run = simulate_online_pruning(
+        netlist,
+        selected,
+        Msp430System(msp430_conv(halt=False), halt_on_cpuoff=False),
+        cycles=args.cycles,
+        simulator=simulator,
+    )
+    space = run.fault_space
+    print(f"  fault space  : {space.size} (ff, cycle) points")
+    print(f"  pruned online: {space.num_benign} "
+          f"({100 * space.benign_fraction:.1f}%)")
+    print(f"  fault list   : {len(run.fault_list())} injections remain")
+
+    plan = plan_campaign(
+        fault_space_size=space.size,
+        pruned_points=space.num_benign,
+        workload_cycles=args.cycles,
+        mate_cost=cost,
+    )
+    print("\ncampaign plan:")
+    print(plan.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — Cross-layer fault-space pruning for hardware-assisted fault injection.
+
+A from-scratch reproduction of Dietrich et al., DAC 2018: fault-masking
+terms (MATEs) that prune the flip-flop × cycle fault space of synchronous
+circuits by proving, from the current (software-induced) hardware state,
+that an SEU would be masked within one clock cycle.
+
+Public API highlights
+---------------------
+- :mod:`repro.cells` — standard-cell library + gate-masking terms
+- :mod:`repro.netlist` — gate-level netlist model and Verilog/JSON i/o
+- :mod:`repro.rtl` / :mod:`repro.synth` — RTL DSL and tech-mapping synthesis
+- :mod:`repro.sim` / :mod:`repro.trace` — cycle-accurate simulation + VCD
+- :mod:`repro.core` — fault cones, MATE search, replay, top-N selection
+- :mod:`repro.fi` — ground-truth SEU injection campaigns
+- :mod:`repro.hafi` — FPGA HAFI platform cost/online-pruning model
+- :mod:`repro.cpu` — AVR and MSP430 compatible cores + assemblers
+- :mod:`repro.eval` — regenerates the paper's Tables 1-3 and Figure 1
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,26 @@
+"""Standard-cell library substrate.
+
+This package models what the paper takes from the 15nm Open Cell Library:
+the *logical function* of every gate type, plus the paper's first analysis
+step — extracting *gate-masking terms* per (cell, faulty-input-set).
+"""
+
+from repro.cells.functions import BoolFunc
+from repro.cells.library import Cell, Library
+from repro.cells.masking import (
+    MaskingTerm,
+    gate_masking_terms,
+    has_masking_capability,
+)
+from repro.cells.nangate15 import NANGATE15, nangate15_library
+
+__all__ = [
+    "NANGATE15",
+    "BoolFunc",
+    "Cell",
+    "Library",
+    "MaskingTerm",
+    "gate_masking_terms",
+    "has_masking_capability",
+    "nangate15_library",
+]

@@ -1,0 +1,155 @@
+"""Truth-table based boolean functions for standard cells.
+
+A :class:`BoolFunc` stores the complete truth table of a (small) boolean
+function as an integer bit mask: row ``i`` of the table corresponds to the
+input assignment where pin ``j`` carries bit ``(i >> j) & 1``, and the
+function value for that row is bit ``i`` of :attr:`BoolFunc.table`.
+
+Truth tables make the gate-masking analysis (``repro.cells.masking``) exact
+and trivially exhaustive — standard cells have at most a handful of inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+
+class BoolFunc:
+    """A boolean function of named pins, stored as a truth table."""
+
+    __slots__ = ("pins", "table", "_hash")
+
+    def __init__(self, pins: Sequence[str], table: int) -> None:
+        if len(set(pins)) != len(pins):
+            raise ValueError(f"duplicate pin names in {pins!r}")
+        if len(pins) > 16:
+            raise ValueError("BoolFunc supports at most 16 pins")
+        rows = 1 << len(pins)
+        if not 0 <= table < (1 << rows):
+            raise ValueError(f"table {table:#x} out of range for {len(pins)} pins")
+        self.pins: tuple[str, ...] = tuple(pins)
+        self.table: int = table
+        self._hash = hash((self.pins, self.table))
+
+    @classmethod
+    def from_callable(
+        cls, pins: Sequence[str], func: Callable[..., int]
+    ) -> "BoolFunc":
+        """Tabulate ``func`` (called with one positional int per pin).
+
+        >>> f = BoolFunc.from_callable(["A", "B"], lambda a, b: a & b)
+        >>> f.table
+        8
+        """
+        pins = tuple(pins)
+        table = 0
+        for row in range(1 << len(pins)):
+            args = [(row >> j) & 1 for j in range(len(pins))]
+            if func(*args) & 1:
+                table |= 1 << row
+        return cls(pins, table)
+
+    @classmethod
+    def from_expression(cls, pins: Sequence[str], expression: str) -> "BoolFunc":
+        """Tabulate a Python boolean expression over the pin names.
+
+        >>> BoolFunc.from_expression(["A", "B"], "A ^ B").table
+        6
+        """
+        pins = tuple(pins)
+        code = compile(expression, f"<expr {expression!r}>", "eval")
+        table = 0
+        for row in range(1 << len(pins)):
+            env = {pin: (row >> j) & 1 for j, pin in enumerate(pins)}
+            if eval(code, {"__builtins__": {}}, env) & 1:  # noqa: S307
+                table |= 1 << row
+        return cls(pins, table)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate under a complete pin assignment.
+
+        >>> f = BoolFunc.from_expression(["A", "B"], "A and not B")
+        >>> f.evaluate({"A": 1, "B": 0})
+        1
+        """
+        row = 0
+        for j, pin in enumerate(self.pins):
+            value = assignment[pin]
+            if value not in (0, 1):
+                raise ValueError(f"pin {pin} has non-boolean value {value!r}")
+            row |= value << j
+        return (self.table >> row) & 1
+
+    def evaluate_row(self, row: int) -> int:
+        """Evaluate for a packed input row (pin ``j`` = bit ``j`` of ``row``)."""
+        return (self.table >> (row & ((1 << len(self.pins)) - 1))) & 1
+
+    def cofactor(self, pin: str, value: int) -> "BoolFunc":
+        """Restrict ``pin`` to ``value``; the pin stays in the signature.
+
+        >>> f = BoolFunc.from_expression(["A", "B"], "A & B")
+        >>> f.cofactor("B", 0).table
+        0
+        """
+        j = self.pins.index(pin)
+        table = 0
+        for row in range(1 << len(self.pins)):
+            fixed = (row & ~(1 << j)) | (value << j)
+            if (self.table >> fixed) & 1:
+                table |= 1 << row
+        return BoolFunc(self.pins, table)
+
+    def depends_on(self, pin: str) -> bool:
+        """True if the output can change when only ``pin`` changes.
+
+        >>> BoolFunc.from_expression(["A", "B"], "A | 1").depends_on("A")
+        False
+        """
+        return self.cofactor(pin, 0).table != self.cofactor(pin, 1).table
+
+    def support(self) -> tuple[str, ...]:
+        """The pins the function actually depends on."""
+        return tuple(pin for pin in self.pins if self.depends_on(pin))
+
+    def is_independent_of(self, pins: Sequence[str]) -> bool:
+        """True if no pin in ``pins`` can influence the output."""
+        return not any(self.depends_on(pin) for pin in pins)
+
+    def python_expression(self) -> str:
+        """Render as a sum-of-products Python expression (for codegen).
+
+        Constants render as ``0``/``1``; otherwise a minimal-ish SOP built
+        from the ON-set rows.
+        """
+        rows = 1 << len(self.pins)
+        if self.table == 0:
+            return "0"
+        if self.table == (1 << rows) - 1:
+            return "1"
+        terms = []
+        for row in range(rows):
+            if not (self.table >> row) & 1:
+                continue
+            literals = []
+            for j, pin in enumerate(self.pins):
+                if not self.depends_on(pin):
+                    continue
+                if (row >> j) & 1:
+                    literals.append(pin)
+                else:
+                    literals.append(f"(1 ^ {pin})")
+            terms.append(" & ".join(literals) if literals else "1")
+        # Deduplicate rows that collapsed after dropping unused pins.
+        unique_terms = sorted(set(terms))
+        return " | ".join(f"({t})" for t in unique_terms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoolFunc):
+            return NotImplemented
+        return self.pins == other.pins and self.table == other.table
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"BoolFunc(pins={self.pins!r}, table={self.table:#x})"

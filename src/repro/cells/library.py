@@ -1,0 +1,108 @@
+"""Cell and Library containers.
+
+A :class:`Cell` is a named gate type with an ordered set of input pins and a
+single output pin. Combinational cells carry a :class:`~repro.cells.functions.BoolFunc`;
+the one sequential cell kind (D flip-flop) is flagged with ``sequential=True``
+and has the conventional pins ``D`` (input) and ``Q`` (output) with an
+implicit common clock, which matches the paper's synchronous-circuit model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.cells.functions import BoolFunc
+
+
+class Cell:
+    """One gate type of a standard-cell library."""
+
+    __slots__ = ("name", "inputs", "output", "function", "area", "sequential")
+
+    def __init__(
+        self,
+        name: str,
+        inputs: tuple[str, ...],
+        output: str,
+        function: BoolFunc | None,
+        area: float = 1.0,
+        sequential: bool = False,
+    ) -> None:
+        if sequential:
+            if function is not None:
+                raise ValueError(f"sequential cell {name} must not carry a function")
+        else:
+            if function is None:
+                raise ValueError(f"combinational cell {name} needs a function")
+            if function.pins != inputs:
+                raise ValueError(
+                    f"cell {name}: function pins {function.pins} != inputs {inputs}"
+                )
+        if output in inputs:
+            raise ValueError(f"cell {name}: output pin {output} also an input")
+        self.name = name
+        self.inputs = inputs
+        self.output = output
+        self.function = function
+        self.area = area
+        self.sequential = sequential
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input pins."""
+        return len(self.inputs)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate the (combinational) cell output for a pin assignment."""
+        if self.function is None:
+            raise ValueError(f"cell {self.name} is sequential")
+        return self.function.evaluate(assignment)
+
+    def __repr__(self) -> str:
+        kind = "seq" if self.sequential else "comb"
+        return f"Cell({self.name}, in={self.inputs}, out={self.output}, {kind})"
+
+
+class Library:
+    """An ordered, name-indexed collection of cells."""
+
+    def __init__(self, name: str, cells: Iterable[Cell] = ()) -> None:
+        self.name = name
+        self._cells: dict[str, Cell] = {}
+        for cell in cells:
+            self.add(cell)
+
+    def add(self, cell: Cell) -> None:
+        """Register a cell (duplicate names rejected)."""
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell {cell.name} in library {self.name}")
+        self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"cell {name!r} not in library {self.name!r} "
+                f"(known: {sorted(self._cells)})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def combinational(self) -> list[Cell]:
+        """All combinational cells, in insertion order."""
+        return [cell for cell in self if not cell.sequential]
+
+    def sequential(self) -> list[Cell]:
+        """All sequential cells (the DFF family)."""
+        return [cell for cell in self if cell.sequential]
+
+    def __repr__(self) -> str:
+        return f"Library({self.name!r}, {len(self)} cells)"

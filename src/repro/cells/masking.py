@@ -1,0 +1,139 @@
+"""Gate-masking term extraction (paper Sec. 4, step 1).
+
+For a cell and a set of *faulty* input pins, a gate-masking term is a partial
+assignment of the remaining (*unfaulty*) pins that forces the cell output to
+be independent of every faulty pin — i.e. the fault is stopped at this gate
+no matter what values the faulty wires take.
+
+Example from the paper: for a 1-bit multiplexer ``MUX(S, A, B)`` with faulty
+select input ``{S}``::
+
+    GM(MUX2, {S}) = {(A=0, B=0), (A=1, B=1)}
+
+and an XOR gate has no masking capability at all.
+
+The analysis is exact: cells are small, so we exhaustively check every
+partial assignment against the truth table and keep only the *minimal*
+(prime) terms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.cells.functions import BoolFunc
+from repro.cells.library import Cell
+
+
+class MaskingTerm:
+    """A minimal partial assignment of unfaulty pins that masks a fault.
+
+    The assignment is stored as a sorted tuple of ``(pin, value)`` pairs.
+    An *empty* assignment means the cell output never depends on the faulty
+    pins (the fault is always masked at this gate).
+    """
+
+    __slots__ = ("assignment",)
+
+    def __init__(self, assignment: dict[str, int] | tuple[tuple[str, int], ...]) -> None:
+        if isinstance(assignment, dict):
+            items = tuple(sorted(assignment.items()))
+        else:
+            items = tuple(sorted(assignment))
+        for pin, value in items:
+            if value not in (0, 1):
+                raise ValueError(f"pin {pin} assigned non-boolean {value!r}")
+        self.assignment: tuple[tuple[str, int], ...] = items
+
+    @property
+    def pins(self) -> tuple[str, ...]:
+        """Pins this term assigns."""
+        return tuple(pin for pin, _ in self.assignment)
+
+    def as_dict(self) -> dict[str, int]:
+        """The assignment as a pin -> value dict."""
+        return dict(self.assignment)
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def is_subset_of(self, other: "MaskingTerm") -> bool:
+        """True if every literal of this term also appears in ``other``."""
+        return set(self.assignment) <= set(other.assignment)
+
+    def conflicts_with(self, other: "MaskingTerm") -> bool:
+        """True if the two terms assign opposite values to some pin."""
+        mine = dict(self.assignment)
+        return any(pin in mine and mine[pin] != value for pin, value in other.assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MaskingTerm):
+            return NotImplemented
+        return self.assignment == other.assignment
+
+    def __hash__(self) -> int:
+        return hash(self.assignment)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{pin}={value}" for pin, value in self.assignment)
+        return f"MaskingTerm({body})"
+
+
+@lru_cache(maxsize=None)
+def _masking_terms_for_function(
+    function: BoolFunc, faulty_pins: frozenset[str]
+) -> tuple[MaskingTerm, ...]:
+    unfaulty = [pin for pin in function.pins if pin not in faulty_pins]
+    faulty = [pin for pin in function.pins if pin in faulty_pins]
+
+    # Fast path: the output never depends on the faulty pins.
+    if function.is_independent_of(faulty):
+        return (MaskingTerm(()),)
+
+    terms: list[MaskingTerm] = []
+    # Enumerate partial assignments by increasing size so that minimal
+    # (prime) terms are found first and all supersets can be skipped.
+    for size in range(1, len(unfaulty) + 1):
+        for pins in itertools.combinations(unfaulty, size):
+            for values in itertools.product((0, 1), repeat=size):
+                candidate = MaskingTerm(tuple(zip(pins, values)))
+                if any(kept.is_subset_of(candidate) for kept in terms):
+                    continue
+                restricted = function
+                for pin, value in candidate.assignment:
+                    restricted = restricted.cofactor(pin, value)
+                if restricted.is_independent_of(faulty):
+                    terms.append(candidate)
+    return tuple(terms)
+
+
+def gate_masking_terms(
+    cell: Cell, faulty_pins: frozenset[str] | set[str]
+) -> tuple[MaskingTerm, ...]:
+    """All minimal gate-masking terms of ``cell`` for a faulty-input set.
+
+    >>> from repro.cells.nangate15 import nangate15_library
+    >>> lib = nangate15_library()
+    >>> gate_masking_terms(lib["AND2"], {"A"})
+    (MaskingTerm(B=0),)
+    >>> gate_masking_terms(lib["XOR2"], {"A"})
+    ()
+    """
+    faulty = frozenset(faulty_pins)
+    if cell.sequential:
+        raise ValueError(f"cell {cell.name} is sequential; faults pass through DFFs")
+    if not faulty:
+        raise ValueError("faulty pin set must be non-empty")
+    unknown = faulty - set(cell.inputs)
+    if unknown:
+        raise ValueError(f"cell {cell.name} has no pins {sorted(unknown)}")
+    assert cell.function is not None
+    return _masking_terms_for_function(cell.function, faulty)
+
+
+def has_masking_capability(
+    cell: Cell, faulty_pins: frozenset[str] | set[str]
+) -> bool:
+    """True if at least one gate-masking term exists for this faulty set."""
+    return bool(gate_masking_terms(cell, faulty_pins))

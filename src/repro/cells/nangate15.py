@@ -1,0 +1,73 @@
+"""A 15nm-Open-Cell-Library-flavoured standard-cell library.
+
+The paper synthesized both cores with the freely available 15nm FinFET Open
+Cell Library [Martins et al., ISPD'15]. The MATE analysis only consumes the
+*logical function* of each cell, so this module provides the OCL's
+combinational cell families (inverter/buffer, N-input NAND/NOR/AND/OR,
+XOR/XNOR, 2:1 mux, AOI/OAI complex gates) plus a D flip-flop, with relative
+area figures in the same ballpark as the OCL datasheet (units of one
+inverter).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cells.functions import BoolFunc
+from repro.cells.library import Cell, Library
+
+#: Name of the default library instance.
+NANGATE15 = "nangate15"
+
+
+def _comb(name: str, pins: tuple[str, ...], expression: str, area: float) -> Cell:
+    return Cell(
+        name=name,
+        inputs=pins,
+        output="Y",
+        function=BoolFunc.from_expression(pins, expression),
+        area=area,
+    )
+
+
+@lru_cache(maxsize=1)
+def nangate15_library() -> Library:
+    """Build (once) the default cell library used by synthesis and search."""
+    cells = [
+        _comb("INV", ("A",), "1 ^ A", 1.0),
+        _comb("BUF", ("A",), "A", 1.3),
+        _comb("AND2", ("A", "B"), "A & B", 1.6),
+        _comb("AND3", ("A", "B", "C"), "A & B & C", 2.0),
+        _comb("AND4", ("A", "B", "C", "D"), "A & B & C & D", 2.3),
+        _comb("NAND2", ("A", "B"), "1 ^ (A & B)", 1.3),
+        _comb("NAND3", ("A", "B", "C"), "1 ^ (A & B & C)", 1.6),
+        _comb("NAND4", ("A", "B", "C", "D"), "1 ^ (A & B & C & D)", 2.0),
+        _comb("OR2", ("A", "B"), "A | B", 1.6),
+        _comb("OR3", ("A", "B", "C"), "A | B | C", 2.0),
+        _comb("OR4", ("A", "B", "C", "D"), "A | B | C | D", 2.3),
+        _comb("NOR2", ("A", "B"), "1 ^ (A | B)", 1.3),
+        _comb("NOR3", ("A", "B", "C"), "1 ^ (A | B | C)", 1.6),
+        _comb("NOR4", ("A", "B", "C", "D"), "1 ^ (A | B | C | D)", 2.0),
+        _comb("XOR2", ("A", "B"), "A ^ B", 2.0),
+        _comb("XNOR2", ("A", "B"), "1 ^ (A ^ B)", 2.0),
+        # 2:1 multiplexer; S selects B when high, A when low.
+        _comb("MUX2", ("A", "B", "S"), "(B if S else A)", 2.3),
+        # And-Or-Invert / Or-And-Invert complex gates.
+        _comb("AOI21", ("A1", "A2", "B"), "1 ^ ((A1 & A2) | B)", 1.6),
+        _comb("AOI22", ("A1", "A2", "B1", "B2"), "1 ^ ((A1 & A2) | (B1 & B2))", 2.0),
+        _comb("OAI21", ("A1", "A2", "B"), "1 ^ ((A1 | A2) & B)", 1.6),
+        _comb("OAI22", ("A1", "A2", "B1", "B2"), "1 ^ ((A1 | A2) & (B1 | B2))", 2.0),
+        # Majority / carry cell (full-adder carry = MAJ3).
+        _comb("MAJ3", ("A", "B", "C"), "(A & B) | (A & C) | (B & C)", 2.6),
+        # 3-input XOR (full-adder sum).
+        _comb("XOR3", ("A", "B", "C"), "A ^ B ^ C", 3.0),
+        Cell(
+            name="DFF",
+            inputs=("D",),
+            output="Q",
+            function=None,
+            area=4.0,
+            sequential=True,
+        ),
+    ]
+    return Library(NANGATE15, cells)

@@ -1,0 +1,61 @@
+"""The paper's contribution: fault-masking terms (MATEs).
+
+Pipeline:
+
+1. :mod:`repro.core.cone` — fault cone of each possibly-faulty wire;
+2. :mod:`repro.core.paths` — propagation-path enumeration with gate-masking
+   killer terms (depth-bounded, killer-set deduplicated);
+3. :mod:`repro.core.search` — MATE candidate generation and checking;
+4. :mod:`repro.core.replay` — vectorized per-cycle MATE evaluation on traces;
+5. :mod:`repro.core.selection` — hit-counter rating and top-N subsetting;
+6. :mod:`repro.core.verify` — exact (cone-duplication) ground truth;
+7. :mod:`repro.core.faultspace` — flip-flop × cycle fault-space accounting.
+"""
+
+from repro.core.cone import FaultCone, compute_fault_cone
+from repro.core.faultspace import FaultSpace
+from repro.core.implication import ImplicationEngine, forcing_ancestors
+from repro.core.intercycle import RegisterAccessModel, intercycle_benign
+from repro.core.mate import Mate, MateSet
+from repro.core.multibit import adjacent_register_pairs, find_pair_mates
+from repro.core.multicycle import masked_within_k_cycles, multicycle_headroom
+from repro.core.paths import PathEnumeration, enumerate_paths
+from repro.core.replay import ReplayResult, replay_mates
+from repro.core.search import (
+    SearchParameters,
+    SearchResult,
+    WireSearchResult,
+    faulty_wires_for_dffs,
+    find_mates,
+)
+from repro.core.selection import rate_mates, select_top_n
+from repro.core.verify import masked_within_one_cycle, verify_mate_on_trace
+
+__all__ = [
+    "FaultCone",
+    "FaultSpace",
+    "ImplicationEngine",
+    "Mate",
+    "MateSet",
+    "PathEnumeration",
+    "RegisterAccessModel",
+    "ReplayResult",
+    "SearchParameters",
+    "SearchResult",
+    "WireSearchResult",
+    "adjacent_register_pairs",
+    "compute_fault_cone",
+    "enumerate_paths",
+    "faulty_wires_for_dffs",
+    "find_mates",
+    "find_pair_mates",
+    "forcing_ancestors",
+    "intercycle_benign",
+    "masked_within_k_cycles",
+    "masked_within_one_cycle",
+    "multicycle_headroom",
+    "rate_mates",
+    "replay_mates",
+    "select_top_n",
+    "verify_mate_on_trace",
+]

@@ -1,0 +1,103 @@
+"""Fault-cone analysis (paper Sec. 3).
+
+The *fault cone* of a wire is the set of wires and gates a fault on it can
+propagate to within the current clock cycle. Wires crossing into the cone
+from outside — the *border wires* — are the only signals that can mask the
+fault, so MATEs are formulated over them.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Gate, Netlist
+
+
+class FaultCone:
+    """The single-cycle fault cone of one (or several simultaneously)
+    possibly-faulty wire(s) — multi-wire cones model multi-bit upsets
+    (paper Sec. 6.2)."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        fault_wire: str,
+        cone_wires: set[str],
+        cone_gates: list[Gate],
+        border_wires: set[str],
+        endpoint_wires: set[str],
+        fault_wires: frozenset[str] | None = None,
+    ) -> None:
+        self.netlist = netlist
+        #: Primary fault site (first wire, for single-bit compatibility).
+        self.fault_wire = fault_wire
+        #: All simultaneously-faulty wires (== {fault_wire} for SEUs).
+        self.fault_wires = fault_wires or frozenset({fault_wire})
+        #: Wires that must be mistrusted (includes the fault wires).
+        self.cone_wires = cone_wires
+        #: Gates with at least one cone input, in topological order.
+        self.cone_gates = cone_gates
+        #: Unfaulty wires feeding cone gates from outside the cone.
+        self.border_wires = border_wires
+        #: Cone wires that are cycle endpoints (DFF D-pins / primary outputs).
+        self.endpoint_wires = endpoint_wires
+
+    @property
+    def num_gates(self) -> int:
+        """Fault-cone size in gates (Table 1's cone metric)."""
+        return len(self.cone_gates)
+
+    @property
+    def fault_wire_is_endpoint(self) -> bool:
+        """True if a fault reaches the cycle boundary with no gate between."""
+        return bool(self.fault_wires & self.endpoint_wires)
+
+    def faulty_pins(self, gate: Gate) -> frozenset[str]:
+        """The pins of ``gate`` connected to (mistrusted) cone wires."""
+        return frozenset(
+            pin for pin, wire in gate.inputs.items() if wire in self.cone_wires
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultCone({self.fault_wire!r}: {self.num_gates} gates, "
+            f"{len(self.border_wires)} border wires, "
+            f"{len(self.endpoint_wires)} endpoints)"
+        )
+
+
+def compute_fault_cone(
+    netlist: Netlist, fault_wire: str, extra_wires: tuple[str, ...] = ()
+) -> FaultCone:
+    """Compute the single-cycle fault cone of ``fault_wire`` (plus any
+    ``extra_wires`` faulted simultaneously — the multi-bit upset model).
+
+    One pass over the topologically-ordered gates suffices: a gate joins the
+    cone as soon as any of its input wires is already mistrusted.
+    """
+    all_wires = netlist.wires()
+    for wire in (fault_wire, *extra_wires):
+        if wire not in all_wires:
+            raise ValueError(f"wire {wire!r} not in netlist {netlist.name}")
+    cone_wires: set[str] = {fault_wire, *extra_wires}
+    cone_gates: list[Gate] = []
+    for gate in netlist.topological_gates():
+        if any(wire in cone_wires for wire in gate.inputs.values()):
+            cone_gates.append(gate)
+            cone_wires.add(gate.output)
+
+    border_wires: set[str] = set()
+    for gate in cone_gates:
+        for wire in gate.inputs.values():
+            if wire not in cone_wires:
+                border_wires.add(wire)
+
+    endpoints = netlist.endpoints()
+    endpoint_wires = cone_wires & endpoints
+    return FaultCone(
+        netlist=netlist,
+        fault_wire=fault_wire,
+        cone_wires=cone_wires,
+        cone_gates=cone_gates,
+        border_wires=border_wires,
+        endpoint_wires=endpoint_wires,
+        fault_wires=frozenset({fault_wire, *extra_wires}),
+    )

@@ -1,0 +1,260 @@
+"""Implication reasoning over netlist wires.
+
+Two services used by the MATE search:
+
+- :func:`forcing_ancestors` — *sufficient* conditions: which single wire
+  literals force a given wire to a given value (controlling-value chains
+  through AND/OR/INV/decoder gates). These let a killer term like
+  ``write_enable_r5 = 0`` be re-expressed as the single upstream literal
+  ``in_exec = 0`` that forces *many* such enables at once.
+- :class:`ImplicationEngine` — a bounded forward/backward constant
+  propagation fixpoint: given a set of candidate literals, derive every
+  wire value they imply (and detect contradictions). The exact masking
+  check uses the closure so that one literal kills every gate it forces
+  shut, and so that cone wires whose values are *forced* by the candidate
+  (hence independent of the fault) count as clean.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cells.functions import BoolFunc
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+
+
+@lru_cache(maxsize=None)
+def _forcing_pins(function: BoolFunc, value: int) -> tuple[tuple[str, int], ...]:
+    """Pins whose single assignment forces the function to ``value``."""
+    result = []
+    for pin in function.pins:
+        for pin_value in (0, 1):
+            cofactor = function.cofactor(pin, pin_value)
+            rows = 1 << len(function.pins)
+            constant = (1 << rows) - 1 if value else 0
+            if cofactor.table == constant:
+                result.append((pin, pin_value))
+    return tuple(result)
+
+
+def forcing_ancestors(
+    netlist: Netlist, wire: str, value: int, depth: int = 4
+) -> list[tuple[str, int]]:
+    """Single literals that are each *sufficient* for ``wire == value``.
+
+    The result always contains ``(wire, value)`` itself; further entries
+    are found by walking controlling values backwards through drivers up
+    to ``depth`` gates.
+    """
+    drivers = netlist.driver_map()
+    found: list[tuple[str, int]] = []
+    seen: set[tuple[str, int]] = set()
+    # Breadth-first, so shallow ancestors come first but deep dominating
+    # literals (state/flush bits) are still reached within the budget.
+    queue: list[tuple[str, int, int]] = [(wire, value, depth)]
+    while queue:
+        current_wire, current_value, budget = queue.pop(0)
+        if (current_wire, current_value) in seen:
+            continue
+        seen.add((current_wire, current_value))
+        found.append((current_wire, current_value))
+        if budget == 0:
+            continue
+        driver = drivers.get(current_wire)
+        if not isinstance(driver, Gate):
+            continue
+        cell = netlist.library[driver.cell]
+        assert cell.function is not None
+        for pin, pin_value in _forcing_pins(cell.function, current_value):
+            pin_wire = driver.inputs[pin]
+            if pin_wire in (CONST0, CONST1):
+                continue
+            queue.append((pin_wire, pin_value, budget - 1))
+    return found
+
+
+class Contradiction(Exception):
+    """The literal set is unsatisfiable."""
+
+
+@lru_cache(maxsize=None)
+def _consistent_rows(function: BoolFunc, constraints: tuple[tuple[int, int], ...],
+                     output: int | None) -> tuple[int, ...]:
+    """Truth-table rows consistent with (pin index, value) constraints and
+    optionally a fixed output value."""
+    rows = []
+    for row in range(1 << len(function.pins)):
+        if any(((row >> idx) & 1) != val for idx, val in constraints):
+            continue
+        if output is not None and function.evaluate_row(row) != output:
+            continue
+        rows.append(row)
+    return tuple(rows)
+
+
+@lru_cache(maxsize=None)
+def _infer_facts(
+    function: BoolFunc,
+    constraints: tuple[tuple[int, int], ...],
+    output: int | None,
+) -> tuple[tuple[int, int], ...] | None:
+    """Locally-implied facts at one gate, fully memoized per cell function.
+
+    ``constraints`` are the known (pin index, value) pairs; ``output`` is
+    the known output value or ``None``. Returns implied facts as
+    ``(slot, value)`` pairs where slot ``-1`` is the output and other slots
+    are pin indices, or ``None`` for a contradiction.
+
+    When the output is unknown, only the *forward* direction is computed
+    (output forced irrespective of every unknown pin); the taint policy for
+    backward pin inference is applied by the caller.
+    """
+    if output is None:
+        rows = _consistent_rows(function, constraints, None)
+        if not rows:
+            return None
+        outputs = {function.evaluate_row(row) for row in rows}
+        if len(outputs) == 1:
+            return ((-1, outputs.pop()),)
+        return ()
+    rows = _consistent_rows(function, constraints, output)
+    if not rows:
+        return None
+    constrained = {idx for idx, _ in constraints}
+    facts = []
+    for index in range(len(function.pins)):
+        if index in constrained:
+            continue
+        values = {(row >> index) & 1 for row in rows}
+        if len(values) == 1:
+            facts.append((index, values.pop()))
+    return tuple(facts)
+
+
+class ImplicationEngine:
+    """Bounded constant-propagation closure over one netlist."""
+
+    def __init__(self, netlist: Netlist, max_gates: int = 20_000) -> None:
+        self.netlist = netlist
+        self.readers = netlist.reader_map()
+        self.drivers = netlist.driver_map()
+        self.max_gates = max_gates
+        self._closure_cache: dict[
+            tuple[tuple[str, int], ...], frozenset[tuple[str, int]] | None
+        ] = {}
+        # Per-gate precomputation: (function, [(pin index, wire)] for
+        # non-constant pins, constant constraints) — avoids rebuilding this
+        # on every propagation visit.
+        self._gate_info: dict[
+            str,
+            tuple[object, tuple[tuple[int, str], ...], tuple[tuple[int, int], ...]],
+        ] = {}
+        for gate in netlist.gates.values():
+            function = netlist.library[gate.cell].function
+            variable = []
+            constants = []
+            for index, pin in enumerate(function.pins):  # type: ignore[union-attr]
+                wire = gate.inputs[pin]
+                if wire == CONST0:
+                    constants.append((index, 0))
+                elif wire == CONST1:
+                    constants.append((index, 1))
+                else:
+                    variable.append((index, wire))
+            self._gate_info[gate.name] = (
+                function,
+                tuple(variable),
+                tuple(constants),
+            )
+
+    def closure_of_term(
+        self, term: tuple[tuple[str, int], ...]
+    ) -> frozenset[tuple[str, int]] | None:
+        """Cached untainted implication closure of a literal tuple.
+
+        Used by the candidate filter: a term *covers* every other term its
+        closure implies. ``None`` marks an unsatisfiable term.
+        """
+        cached = self._closure_cache.get(term)
+        if cached is None and term not in self._closure_cache:
+            known = self.propagate(dict(term))
+            cached = None if known is None else frozenset(known.items())
+            self._closure_cache[term] = cached
+        return cached
+
+    def _gate_infer(
+        self, gate: Gate, known: dict[str, int], tainted: frozenset[str]
+    ) -> list[tuple[str, int]]:
+        """New facts derivable locally at one gate (pins and output).
+
+        *Tainted* wires (the fault cone) may only be learned **forward**
+        (output forced irrespective of every unknown input): a forced value
+        holds in the faulty circuit too. Backward inferences about tainted
+        wires would only be valid for the golden circuit and are skipped.
+        """
+        function, variable, constants = self._gate_info[gate.name]
+        constraints = list(constants)
+        wire_of_slot = {}
+        for index, wire in variable:
+            value = known.get(wire)
+            if value is not None:
+                constraints.append((index, value))
+            else:
+                wire_of_slot[index] = wire
+        constraints.sort()
+        raw = _infer_facts(function, tuple(constraints), known.get(gate.output))
+        if raw is None:
+            raise Contradiction(f"no consistent assignment at gate {gate.name}")
+        facts: list[tuple[str, int]] = []
+        for slot, value in raw:
+            if slot == -1:
+                facts.append((gate.output, value))
+                continue
+            wire = wire_of_slot[slot]
+            if wire in tainted:
+                continue  # backward, golden-only knowledge: unsafe under fault
+            facts.append((wire, value))
+        return facts
+
+    def propagate(
+        self, literals: dict[str, int], tainted: frozenset[str] = frozenset()
+    ) -> dict[str, int] | None:
+        """Implication closure of ``literals``; ``None`` on contradiction."""
+        known: dict[str, int] = {CONST0: 0, CONST1: 1}
+        pending: list[tuple[str, int]] = list(literals.items())
+        gates_processed = 0
+        queue: list[Gate] = []
+        queued: set[str] = set()
+
+        def learn(wire: str, value: int) -> None:
+            existing = known.get(wire)
+            if existing is not None:
+                if existing != value:
+                    raise Contradiction(f"wire {wire} both 0 and 1")
+                return
+            known[wire] = value
+            for gate, _pin in self.readers.get(wire, ()):
+                if gate.name not in queued:
+                    queued.add(gate.name)
+                    queue.append(gate)
+            driver = self.drivers.get(wire)
+            if isinstance(driver, Gate) and driver.name not in queued:
+                queued.add(driver.name)
+                queue.append(driver)
+
+        try:
+            for wire, value in pending:
+                learn(wire, value)
+            while queue:
+                gates_processed += 1
+                if gates_processed > self.max_gates:
+                    break
+                gate = queue.pop()
+                queued.discard(gate.name)
+                for wire, value in self._gate_infer(gate, known, tainted):
+                    learn(wire, value)
+        except Contradiction:
+            return None
+        del known[CONST0]
+        del known[CONST1]
+        return known

@@ -1,0 +1,171 @@
+"""Inter-cycle (def-use) fault-space pruning — the ISA-level complement.
+
+MATEs prune faults masked *within one clock cycle*; faults in the register
+file usually survive longer and the paper (Sec. 6.3, Sec. 7) points to
+ISA-level def-use pruning as the complementary technique: an SEU in
+register ``r`` at cycle ``t`` is benign if ``r`` is *written before it is
+read* after ``t`` — the faulty value is overwritten unobserved.
+
+This module implements that technique over recorded traces:
+
+- writes are detected conservatively from the trace itself (a register bit
+  whose stored value changes was certainly written; unchanged writes are
+  missed, which only *under*-prunes — never unsound);
+- reads are over-approximated from the instruction stream via an
+  architecture-provided ``reads_of(instruction_word)`` function (any cycle
+  whose in-flight instruction *could* read ``r`` counts as a read).
+
+Combining the resulting benign set with the MATE replay reproduces the
+paper's envisioned cross-layer combination (HAFI flip-flop level + software
+ISA level).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.faultspace import FaultSpace
+from repro.trace.trace import Trace
+
+
+@dataclass
+class RegisterAccessModel:
+    """Architecture hooks for def-use analysis on one core.
+
+    - ``registers``: register index -> list of DFF/trace wire names (bits);
+    - ``instruction_wires``: trace wires of the in-flight instruction word
+      (LSB first);
+    - ``reads_of``: instruction word -> register indices it may read;
+    - ``valid_wire``: optional trace wire that gates instruction validity
+      (e.g. the pipeline flush flag, active low = ``valid``).
+    """
+
+    registers: dict[int, list[str]]
+    instruction_wires: list[str]
+    reads_of: Callable[[int], set[int]]
+    valid_wire: str | None = None
+    valid_active_low: bool = False
+    #: Optional second instruction-word source whose reads also count in the
+    #: same cycle — e.g. a multi-cycle core's fetch bus, which may read a
+    #: source register before the word ever reaches the IR. Decoding
+    #: non-instruction bus contents here only over-approximates reads,
+    #: which is safe.
+    extra_instruction_wires: list[str] | None = None
+
+
+def _instruction_words(trace: Trace, model: RegisterAccessModel) -> np.ndarray:
+    columns = trace.columns(model.instruction_wires).astype(np.int64)
+    weights = 1 << np.arange(len(model.instruction_wires), dtype=np.int64)
+    return columns @ weights
+
+
+def read_cycles(trace: Trace, model: RegisterAccessModel) -> dict[int, np.ndarray]:
+    """Per register: boolean vector of cycles that may read it."""
+    words = _instruction_words(trace, model)
+    if model.valid_wire is not None:
+        valid = trace.wire(model.valid_wire).astype(bool)
+        if model.valid_active_low:
+            valid = ~valid
+    else:
+        valid = np.ones(trace.num_cycles, dtype=bool)
+
+    word_streams = [words]
+    if model.extra_instruction_wires is not None:
+        extra_columns = trace.columns(model.extra_instruction_wires).astype(np.int64)
+        weights = 1 << np.arange(
+            len(model.extra_instruction_wires), dtype=np.int64
+        )
+        word_streams.append(extra_columns @ weights)
+
+    reads = {reg: np.zeros(trace.num_cycles, dtype=bool) for reg in model.registers}
+    decoded: dict[int, set[int]] = {}
+    for stream in word_streams:
+        for cycle, word in enumerate(stream):
+            if not valid[cycle]:
+                continue
+            word = int(word)
+            regs = decoded.get(word)
+            if regs is None:
+                regs = model.reads_of(word)
+                decoded[word] = regs
+            for reg in regs:
+                if reg in reads:
+                    reads[reg][cycle] = True
+    return reads
+
+
+def write_cycles(trace: Trace, model: RegisterAccessModel) -> dict[int, np.ndarray]:
+    """Per register: cycles at whose *end* the register was (observably)
+    rewritten — detected by any stored bit changing into the next cycle."""
+    writes: dict[int, np.ndarray] = {}
+    for reg, wires in model.registers.items():
+        bits = trace.columns(wires)
+        changed = np.zeros(trace.num_cycles, dtype=bool)
+        if trace.num_cycles > 1:
+            changed[:-1] = (bits[1:] != bits[:-1]).any(axis=1)
+        writes[reg] = changed
+    return writes
+
+
+def intercycle_benign(
+    trace: Trace, model: RegisterAccessModel
+) -> dict[int, np.ndarray]:
+    """Per register: cycles where an SEU is benign by def-use reasoning.
+
+    An SEU at cycle ``t`` is benign iff scanning forward from ``t`` the
+    first relevant event is a write (the fault dies unread). A read at
+    ``t`` itself counts as a read (the faulty value is consumed in the very
+    cycle it appears).
+    """
+    reads = read_cycles(trace, model)
+    writes = write_cycles(trace, model)
+    benign: dict[int, np.ndarray] = {}
+    for reg in model.registers:
+        cycles = trace.num_cycles
+        result = np.zeros(cycles, dtype=bool)
+        # Backward scan: state = True if the next event (write at end of
+        # cycle vs read during cycle) is a write.
+        overwritten_unread = False
+        for cycle in range(cycles - 1, -1, -1):
+            if writes[reg][cycle]:
+                # Written at the end of this cycle; a read *during* this
+                # cycle still observes the fault.
+                overwritten_unread = not reads[reg][cycle]
+            elif reads[reg][cycle]:
+                overwritten_unread = False
+            result[cycle] = overwritten_unread
+        benign[reg] = result
+    return benign
+
+
+def prune_fault_space(
+    trace: Trace,
+    model: RegisterAccessModel,
+    dff_of_wire: dict[str, str] | None = None,
+) -> FaultSpace:
+    """Build a FaultSpace over the model's register bits, pruned def-use."""
+    wires: list[str] = []
+    for reg_wires in model.registers.values():
+        wires.extend(reg_wires)
+    space = FaultSpace(wires, trace.num_cycles)
+    benign = intercycle_benign(trace, model)
+    for reg, reg_wires in model.registers.items():
+        for wire in reg_wires:
+            space.mark_benign_cycles(wire, benign[reg])
+    return space
+
+
+def combine_benign(
+    spaces: Sequence[FaultSpace], wires: Sequence[str], num_cycles: int
+) -> FaultSpace:
+    """Union of several pruning techniques over a common wire set."""
+    combined = FaultSpace(list(wires), num_cycles)
+    for space in spaces:
+        for wire in wires:
+            if wire in space._row:  # noqa: SLF001 - simple aggregation
+                row = space.benign[space._row[wire]]
+                combined.mark_benign_cycles(wire, row)
+    return combined

@@ -1,0 +1,133 @@
+"""MATE (fault-masking term) data structures.
+
+A MATE is a conjunction of ``wire == value`` literals over wires *outside*
+the fault cone of the fault it masks. When the conjunction holds in a cycle,
+an SEU on the covered fault wire(s) is provably masked within that cycle
+(paper Sec. 3, Definition).
+
+The same conjunction is frequently discovered for several fault wires (e.g.
+a ``mov``-style operand select masks every bit of the unselected operand);
+:class:`MateSet` therefore groups literal-identical MATEs and tracks the set
+of fault wires each one covers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+class Mate:
+    """A fault-masking term: a conjunction of wire literals."""
+
+    __slots__ = ("literals", "fault_wires")
+
+    def __init__(
+        self,
+        literals: Iterable[tuple[str, int]],
+        fault_wires: Iterable[str],
+    ) -> None:
+        items = tuple(sorted(set(literals)))
+        wires = [wire for wire, _ in items]
+        if len(set(wires)) != len(wires):
+            raise ValueError(f"conflicting literals in MATE: {items}")
+        for wire, value in items:
+            if value not in (0, 1):
+                raise ValueError(f"literal {wire}={value!r} is not boolean")
+        self.literals: tuple[tuple[str, int], ...] = items
+        self.fault_wires: frozenset[str] = frozenset(fault_wires)
+        if not self.fault_wires:
+            raise ValueError("a MATE must cover at least one fault wire")
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of distinct wires the MATE reads (hardware-cost metric)."""
+        return len(self.literals)
+
+    @property
+    def key(self) -> tuple[tuple[str, int], ...]:
+        """Identity of the term itself (independent of covered faults)."""
+        return self.literals
+
+    def input_wires(self) -> tuple[str, ...]:
+        """The distinct wires the conjunction reads."""
+        return tuple(wire for wire, _ in self.literals)
+
+    def holds(self, values: Mapping[str, int]) -> bool:
+        """Evaluate the conjunction against a wire-value mapping."""
+        return all(values[wire] == value for wire, value in self.literals)
+
+    def merged_with(self, other: "Mate") -> "Mate":
+        """Same term discovered for more fault wires."""
+        if self.literals != other.literals:
+            raise ValueError("cannot merge MATEs with different terms")
+        return Mate(self.literals, self.fault_wires | other.fault_wires)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mate):
+            return NotImplemented
+        return self.literals == other.literals and self.fault_wires == other.fault_wires
+
+    def __hash__(self) -> int:
+        return hash((self.literals, self.fault_wires))
+
+    def __repr__(self) -> str:
+        term = " & ".join(
+            wire if value else f"!{wire}" for wire, value in self.literals
+        )
+        targets = ",".join(sorted(self.fault_wires)[:3])
+        more = "…" if len(self.fault_wires) > 3 else ""
+        return f"Mate({term} masks [{targets}{more}])"
+
+
+class MateSet:
+    """A deduplicated collection of MATEs, grouped by literal conjunction."""
+
+    def __init__(self, mates: Iterable[Mate] = ()) -> None:
+        self._by_key: dict[tuple[tuple[str, int], ...], Mate] = {}
+        for mate in mates:
+            self.add(mate)
+
+    def add(self, mate: Mate) -> None:
+        """Insert a MATE, merging fault targets of identical terms."""
+        existing = self._by_key.get(mate.key)
+        if existing is None:
+            self._by_key[mate.key] = mate
+        else:
+            self._by_key[mate.key] = existing.merged_with(mate)
+
+    def __iter__(self):
+        return iter(self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: tuple[tuple[str, int], ...]) -> bool:
+        return key in self._by_key
+
+    def mates(self) -> list[Mate]:
+        """The deduplicated MATEs, in insertion order."""
+        return list(self._by_key.values())
+
+    def covered_fault_wires(self) -> set[str]:
+        """Union of fault wires any MATE covers."""
+        covered: set[str] = set()
+        for mate in self:
+            covered |= mate.fault_wires
+        return covered
+
+    def mates_for_fault(self, fault_wire: str) -> list[Mate]:
+        """All MATEs covering one fault wire."""
+        return [mate for mate in self if fault_wire in mate.fault_wires]
+
+    def average_num_inputs(self) -> tuple[float, float]:
+        """(mean, population std-dev) of MATE input counts — the paper's
+        "Avg. #inputs" row."""
+        if not self._by_key:
+            return (0.0, 0.0)
+        counts = [mate.num_inputs for mate in self]
+        mean = sum(counts) / len(counts)
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return (mean, variance**0.5)
+
+    def __repr__(self) -> str:
+        return f"MateSet({len(self)} unique terms, {len(self.covered_fault_wires())} fault wires)"

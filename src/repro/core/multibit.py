@@ -1,0 +1,157 @@
+"""Multi-bit-upset MATEs (paper Sec. 6.2).
+
+"Conceptually, also 2-bit faults (or more) could be considered in the
+construction of MATEs" — this module does exactly that: the fault cone is
+seeded with *all* simultaneously-upset wires, path enumeration starts from
+each of them, and a candidate is a MATE only if the exact contamination
+check holds with every fault site contaminated at once.
+
+The usual physical model for MBUs is *spatially adjacent* bits
+[Nowosielski et al., DATE'15]; :func:`adjacent_register_pairs` builds that
+pair list from register bit order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cone import compute_fault_cone
+from repro.core.implication import ImplicationEngine
+from repro.core.mate import Mate
+from repro.core.paths import enumerate_paths
+from repro.core.search import (
+    SearchParameters,
+    _ContaminationChecker,
+    _generate_candidates,
+)
+from repro.netlist.netlist import Netlist
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class PairSearchResult:
+    """Outcome for one simultaneous fault pair."""
+
+    wires: tuple[str, str]
+    status: str  # "found" | "no_mate" | "unmaskable" | "aborted"
+    cone_gates: int
+    candidates_tried: int
+    exact_checks: int = 0
+    mates: list[Mate] = field(default_factory=list)
+
+    @property
+    def pair_id(self) -> str:
+        """Canonical 'wireA+wireB' identifier of the fault pair."""
+        return "+".join(self.wires)
+
+
+@dataclass
+class PairSearchSummary:
+    """Aggregate over all searched fault pairs."""
+
+    results: list[PairSearchResult]
+    runtime_seconds: float
+
+    @property
+    def num_unmaskable(self) -> int:
+        """Pairs with an unkillable propagation path."""
+        return sum(1 for r in self.results if r.status == "unmaskable")
+
+    @property
+    def num_found(self) -> int:
+        """Pairs with at least one 2-bit MATE."""
+        return sum(1 for r in self.results if r.status == "found")
+
+    def all_mates(self) -> list[Mate]:
+        """Every pair MATE found, across all pairs."""
+        return [m for r in self.results for m in r.mates]
+
+
+def find_pair_mates(
+    netlist: Netlist,
+    pairs: list[tuple[str, str]],
+    params: SearchParameters | None = None,
+) -> PairSearchSummary:
+    """MATE search for simultaneous 2-bit faults.
+
+    Returned MATEs carry the pair id (``"wireA+wireB"``) as their fault
+    target: when the conjunction holds, flipping *both* bits in that cycle
+    is provably masked. (Such a MATE does not by itself claim anything
+    about the two single-bit faults.)
+    """
+    params = params or SearchParameters()
+    engine = ImplicationEngine(netlist)
+    results: list[PairSearchResult] = []
+    stopwatch = Stopwatch()
+    with stopwatch:
+        for wire_a, wire_b in pairs:
+            cone = compute_fault_cone(netlist, wire_a, extra_wires=(wire_b,))
+            enumeration = enumerate_paths(
+                netlist,
+                wire_a,
+                depth=params.depth,
+                max_steps=params.max_path_steps,
+                cone=cone,
+            )
+            pair_id = f"{wire_a}+{wire_b}"
+            base = dict(
+                wires=(wire_a, wire_b),
+                cone_gates=cone.num_gates,
+            )
+            if enumeration.unmaskable:
+                results.append(
+                    PairSearchResult(status="unmaskable", candidates_tried=0, **base)
+                )
+                continue
+            if enumeration.aborted:
+                results.append(
+                    PairSearchResult(status="aborted", candidates_tried=0, **base)
+                )
+                continue
+            if not enumeration.signatures:
+                results.append(
+                    PairSearchResult(
+                        status="found",
+                        candidates_tried=0,
+                        mates=[Mate((), [pair_id])],
+                        **base,
+                    )
+                )
+                continue
+            checker = _ContaminationChecker(netlist, cone, engine)
+            mates, tried, exact = _generate_candidates(
+                enumeration, checker, pair_id, params
+            )
+            results.append(
+                PairSearchResult(
+                    status="found" if mates else "no_mate",
+                    candidates_tried=tried,
+                    exact_checks=exact,
+                    mates=mates,
+                    **base,
+                )
+            )
+    return PairSearchSummary(results=results, runtime_seconds=stopwatch.elapsed)
+
+
+def adjacent_register_pairs(
+    netlist: Netlist, limit: int | None = None
+) -> list[tuple[str, str]]:
+    """Spatially adjacent DFF pairs: neighbouring bits of the same register.
+
+    Uses the ``<reg>_b<i>`` naming convention of the synthesis flow.
+    """
+    import re
+
+    groups: dict[str, dict[int, str]] = {}
+    for name, dff in netlist.dffs.items():
+        match = re.fullmatch(r"(.+)_b(\d+)", name)
+        if match:
+            groups.setdefault(match.group(1), {})[int(match.group(2))] = dff.q
+    pairs: list[tuple[str, str]] = []
+    for bits in groups.values():
+        for index in sorted(bits):
+            if index + 1 in bits:
+                pairs.append((bits[index], bits[index + 1]))
+    pairs.sort()
+    return pairs[:limit] if limit is not None else pairs

@@ -1,0 +1,294 @@
+"""Depth-bounded propagation-path enumeration with killer-term collection.
+
+For each possibly-faulty wire the search enumerates fault-propagation paths
+through the cone up to a configurable gate depth (paper Sec. 4, heuristic
+parameter 1). Checking a MATE candidate against a path only needs to know
+*which gate-masking terms appear along the path* — so paths are reduced to
+their **killer sets** (the ids of masking terms collectable on them), and
+only the *minimal* killer sets are kept: if a path's killer set is a
+superset of another's, masking the latter masks the former too.
+
+Faulty-pin sets are *arrival-based*: when a path enters a gate through wire
+``w``, the faulty set is the set of pins carrying ``w``. This is the
+optimistic (necessary-condition) view — other cone inputs of the gate may
+or may not be contaminated depending on which masking terms hold, which the
+exact contamination check in :mod:`repro.core.search` settles per
+candidate. A path whose arrival-based killer set is *empty* is genuinely
+unmaskable (masking terms only shrink as faulty sets grow), which preserves
+the paper's early-abort for unmaskable wires.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cells.masking import gate_masking_terms
+from repro.core.cone import FaultCone, compute_fault_cone
+from repro.core.implication import forcing_ancestors
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+
+#: A wire-level killer term: sorted (wire, value) literals.
+WireTerm = tuple[tuple[str, int], ...]
+
+#: Limits for forcing-ancestor killer expansion.
+_ANCESTOR_DEPTH = 5
+_ANCESTORS_PER_LITERAL = 8
+_VARIANTS_PER_TERM = 12
+
+
+def expand_term_variants(
+    netlist: Netlist, term: WireTerm, cone_wires: set[str]
+) -> list[WireTerm]:
+    """Alternative killer terms using forcing ancestors of each literal.
+
+    A literal like ``(write_enable_r5, 0)`` can equivalently be enforced by
+    any upstream literal that forces it (``(in_exec, 0)``, a state bit, …).
+    Expanding killers this way lets a *single* MATE input shut many gates.
+    Ancestors inside the fault cone are skipped — their value is not
+    trustworthy under the fault.
+    """
+    per_literal: list[list[tuple[str, int]]] = []
+    for wire, value in term:
+        ancestors = [
+            (w, v)
+            for w, v in forcing_ancestors(netlist, wire, value, _ANCESTOR_DEPTH)
+            if w not in cone_wires
+        ]
+        if not ancestors:
+            return []  # literal only enforceable from inside the cone
+        if len(ancestors) > _ANCESTORS_PER_LITERAL:
+            # Keep the shallowest (cheapest to trigger) and the deepest
+            # (hub literals like state/flush bits that force many gates).
+            half = _ANCESTORS_PER_LITERAL // 2
+            options = ancestors[:half] + ancestors[-half:]
+        else:
+            options = ancestors
+        per_literal.append(options)
+    variants: list[WireTerm] = []
+    for combo in itertools.product(*per_literal):
+        literals: dict[str, int] = {}
+        consistent = True
+        for wire, value in combo:
+            if literals.get(wire, value) != value:
+                consistent = False
+                break
+            literals[wire] = value
+        if consistent:
+            variants.append(tuple(sorted(literals.items())))
+        if len(variants) >= _VARIANTS_PER_TERM:
+            break
+    return variants
+
+
+def wire_level_terms(
+    netlist: Netlist, gate: Gate, faulty_pins: frozenset[str]
+) -> list[WireTerm] | None:
+    """Translate a gate's pin-level masking terms to wire literals.
+
+    Returns ``None`` when the gate output never depends on the faulty pins
+    (the fault cannot pass this gate at all). Terms that demand an
+    impossible constant value, or opposite values on a shared wire, are
+    dropped.
+    """
+    cell = netlist.library[gate.cell]
+    results: list[WireTerm] = []
+    for term in gate_masking_terms(cell, faulty_pins):
+        literals: dict[str, int] = {}
+        satisfiable = True
+        for pin, value in term.assignment:
+            wire = gate.inputs[pin]
+            if wire == CONST0:
+                if value != 0:
+                    satisfiable = False
+                    break
+                continue  # literal already satisfied
+            if wire == CONST1:
+                if value != 1:
+                    satisfiable = False
+                    break
+                continue
+            if literals.get(wire, value) != value:
+                satisfiable = False
+                break
+            literals[wire] = value
+        if not satisfiable:
+            continue
+        if not literals:
+            # Unconditionally masking: the fault never passes this gate.
+            return None
+        results.append(tuple(sorted(literals.items())))
+    return results
+
+
+class PathEnumeration:
+    """Result of enumerating one wire's propagation paths."""
+
+    def __init__(
+        self,
+        fault_wire: str,
+        cone: FaultCone,
+        terms: list[WireTerm],
+        signatures: list[frozenset[int]],
+        unmaskable: bool,
+        aborted: bool,
+        num_paths: int,
+    ) -> None:
+        self.fault_wire = fault_wire
+        self.cone = cone
+        #: Unique wire-level masking terms; index = term id.
+        self.terms = terms
+        #: Minimal killer sets (term-id sets), one per path equivalence class.
+        self.signatures = signatures
+        #: True if some propagation path cannot be masked at all.
+        self.unmaskable = unmaskable
+        #: True if the step budget was exhausted before full enumeration.
+        self.aborted = aborted
+        #: Raw number of (possibly truncated) paths visited.
+        self.num_paths = num_paths
+
+    def __repr__(self) -> str:
+        status = "unmaskable" if self.unmaskable else f"{len(self.signatures)} sigs"
+        return (
+            f"PathEnumeration({self.fault_wire!r}: {len(self.terms)} terms, "
+            f"{status}, {self.num_paths} paths)"
+        )
+
+
+class _MinimalSets:
+    """Maintains an antichain of minimal killer sets."""
+
+    def __init__(self) -> None:
+        self.sets: list[frozenset[int]] = []
+
+    def is_dominated(self, candidate: frozenset[int]) -> bool:
+        return any(existing <= candidate for existing in self.sets)
+
+    def add(self, candidate: frozenset[int]) -> None:
+        if self.is_dominated(candidate):
+            return
+        self.sets = [s for s in self.sets if not candidate <= s]
+        self.sets.append(candidate)
+
+
+def enumerate_paths(
+    netlist: Netlist,
+    fault_wire: str,
+    depth: int = 8,
+    max_steps: int = 500_000,
+    cone: FaultCone | None = None,
+) -> PathEnumeration:
+    """Enumerate propagation paths of ``fault_wire`` up to ``depth`` gates."""
+    if cone is None:
+        cone = compute_fault_cone(netlist, fault_wire)
+    readers = netlist.reader_map()
+
+    # Killer terms per (gate, arriving wire); global term-id interning.
+    term_ids: dict[WireTerm, int] = {}
+    terms: list[WireTerm] = []
+    killer_cache: dict[tuple[str, str], frozenset[int] | None] = {}
+
+    def intern(term: WireTerm) -> int:
+        term_id = term_ids.get(term)
+        if term_id is None:
+            term_id = len(terms)
+            term_ids[term] = term_id
+            terms.append(term)
+        return term_id
+
+    output_killer_cache: dict[str, frozenset[int]] = {}
+
+    def output_forcing_killers(gate: Gate) -> frozenset[int]:
+        """Killers that force the gate *output* to a constant outright —
+        a forced output is fault-independent regardless of which inputs
+        are contaminated."""
+        cached = output_killer_cache.get(gate.name)
+        if cached is not None:
+            return cached
+        ids = set()
+        for value in (0, 1):
+            for w, v in forcing_ancestors(netlist, gate.output, value):
+                if w == gate.output or w in cone.cone_wires:
+                    continue
+                ids.add(intern(((w, v),)))
+        result = frozenset(ids)
+        output_killer_cache[gate.name] = result
+        return result
+
+    def killers_for(gate: Gate, arriving_wire: str) -> frozenset[int] | None:
+        key = (gate.name, arriving_wire)
+        if key in killer_cache:
+            return killer_cache[key]
+        faulty = frozenset(gate.pins_of_wire(arriving_wire))
+        wire_terms = wire_level_terms(netlist, gate, faulty)
+        if wire_terms is None:
+            killer_cache[key] = None  # dead branch: fault never passes
+            return None
+        ids = set()
+        for term in wire_terms:
+            for variant in expand_term_variants(netlist, term, cone.cone_wires):
+                ids.add(intern(variant))
+        ids |= output_forcing_killers(gate)
+        result = frozenset(ids)
+        killer_cache[key] = result
+        return result
+
+    minimal = _MinimalSets()
+    unmaskable = False
+    aborted = False
+    num_paths = 0
+
+    if cone.fault_wire_is_endpoint:
+        # The fault wire itself crosses the cycle boundary: a zero-gate path
+        # that nothing can mask.
+        unmaskable = True
+
+    steps = 0
+    if not unmaskable:
+        stack: list[tuple[str, int, frozenset[int]]] = [
+            (wire, 0, frozenset()) for wire in sorted(cone.fault_wires)
+        ]
+        endpoints = netlist.endpoints()
+        while stack:
+            steps += 1
+            if steps > max_steps:
+                aborted = True
+                break
+            wire, used_depth, killers = stack.pop()
+            for gate, _pin in readers.get(wire, ()):
+                killer_ids = killers_for(gate, wire)
+                if killer_ids is None:
+                    continue  # fault cannot pass this gate at all
+                new_killers = killers | killer_ids
+                if minimal.is_dominated(new_killers):
+                    continue
+                output = gate.output
+                if output in endpoints:
+                    num_paths += 1
+                    if not new_killers:
+                        unmaskable = True
+                        stack.clear()
+                        break
+                    minimal.add(new_killers)
+                    # Continuations past an endpoint are dominated: skip.
+                    continue
+                if used_depth + 1 >= depth:
+                    if readers.get(output):
+                        # Truncated path: must be masked within the prefix.
+                        num_paths += 1
+                        if not new_killers:
+                            unmaskable = True
+                            stack.clear()
+                            break
+                        minimal.add(new_killers)
+                    continue
+                stack.append((output, used_depth + 1, new_killers))
+
+    return PathEnumeration(
+        fault_wire=fault_wire,
+        cone=cone,
+        terms=terms,
+        signatures=[] if unmaskable else minimal.sets,
+        unmaskable=unmaskable,
+        aborted=aborted,
+        num_paths=num_paths,
+    )

@@ -1,0 +1,2 @@
+"""The two evaluation CPUs: an AVR-compatible 2-stage RISC core and an
+MSP430-compatible multi-cycle core (paper Sec. 5)."""

@@ -1,0 +1,16 @@
+"""AVR-compatible 8-bit microcontroller: ISA subset, assembler, 2-stage
+pipelined core (RTL), instruction-set simulator, and system testbench."""
+
+from repro.cpu.avr.asm import AvrAssemblyError, assemble_avr
+from repro.cpu.avr.core import build_avr_core, synthesize_avr
+from repro.cpu.avr.iss import AvrIss
+from repro.cpu.avr.system import AvrSystem
+
+__all__ = [
+    "AvrAssemblyError",
+    "AvrIss",
+    "AvrSystem",
+    "assemble_avr",
+    "build_avr_core",
+    "synthesize_avr",
+]

@@ -1,0 +1,213 @@
+"""A small two-pass AVR assembler for the implemented subset.
+
+Syntax (one instruction per line)::
+
+    ; comment
+    loop:               ; label
+        ldi r24, 0x10   ; immediates: decimal, 0x.., 0b.., 'c', lo8()/hi8()
+        add r24, r25
+        brne loop
+        .word 0x1234    ; raw data word
+        sleep
+
+Labels are case-sensitive; mnemonics and registers are case-insensitive.
+Branch/jump targets are labels (or absolute word addresses).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cpu.avr import isa
+
+
+class AvrAssemblyError(ValueError):
+    """Raised on any assembly problem, with the offending line."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*):\s*(.*)$")
+
+
+def _parse_register(token: str, line_no: int, line: str) -> int:
+    match = re.fullmatch(r"[rR](\d{1,2})", token.strip())
+    if not match or not 0 <= int(match.group(1)) < 32:
+        raise AvrAssemblyError(line_no, line, f"bad register {token!r}")
+    return int(match.group(1))
+
+
+def _parse_value(token: str, labels: dict[str, int], line_no: int, line: str) -> int:
+    token = token.strip()
+    lo8 = re.fullmatch(r"lo8\((.+)\)", token)
+    hi8 = re.fullmatch(r"hi8\((.+)\)", token)
+    if lo8:
+        return _parse_value(lo8.group(1), labels, line_no, line) & 0xFF
+    if hi8:
+        return (_parse_value(hi8.group(1), labels, line_no, line) >> 8) & 0xFF
+    if token in labels:
+        return labels[token]
+    if re.fullmatch(r"'.'", token):
+        return ord(token[1])
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AvrAssemblyError(line_no, line, f"bad value {token!r}") from None
+
+
+def _split_statement(line: str) -> str:
+    return line.split(";", 1)[0].strip()
+
+
+def _tokenize(statement: str) -> tuple[str, list[str]]:
+    parts = statement.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+    return mnemonic, operands
+
+
+def _instruction_size(mnemonic: str) -> int:
+    return 1  # every implemented instruction is one 16-bit word
+
+
+def assemble_avr(source: str) -> list[int]:
+    """Assemble AVR source into a list of 16-bit program words."""
+    lines = source.splitlines()
+
+    # Pass 1: label addresses.
+    labels: dict[str, int] = {}
+    address = 0
+    statements: list[tuple[int, str, int]] = []  # (line_no, statement, address)
+    for line_no, raw in enumerate(lines, start=1):
+        statement = _split_statement(raw)
+        match = _LABEL_RE.match(statement)
+        if match:
+            label, statement = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AvrAssemblyError(line_no, raw, f"duplicate label {label!r}")
+            labels[label] = address
+        if not statement:
+            continue
+        mnemonic, _ = _tokenize(statement)
+        statements.append((line_no, statement, address))
+        address += _instruction_size(mnemonic)
+
+    # Pass 2: encode.
+    words: list[int] = []
+    for line_no, statement, addr in statements:
+        mnemonic, ops = _tokenize(statement)
+        words.append(_encode(mnemonic, ops, addr, labels, line_no, statement))
+    return words
+
+
+def _encode(
+    mnemonic: str,
+    ops: list[str],
+    address: int,
+    labels: dict[str, int],
+    line_no: int,
+    line: str,
+) -> int:
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AvrAssemblyError(
+                line_no, line, f"{mnemonic} expects {count} operand(s), got {len(ops)}"
+            )
+
+    if mnemonic == ".word":
+        need(1)
+        return _parse_value(ops[0], labels, line_no, line) & 0xFFFF
+
+    if mnemonic == "nop":
+        need(0)
+        return isa.OPCODE_NOP
+    if mnemonic == "sleep":
+        need(0)
+        return isa.OPCODE_SLEEP
+
+    if mnemonic in ("lsl", "rol", "tst", "clr"):
+        # Standard aliases onto two-operand ops with Rd == Rr.
+        need(1)
+        rd = _parse_register(ops[0], line_no, line)
+        alias = {"lsl": "add", "rol": "adc", "tst": "and", "clr": "eor"}[mnemonic]
+        return isa.encode_two_op(alias, rd, rd)
+
+    if mnemonic in isa.TWO_OP:
+        need(2)
+        rd = _parse_register(ops[0], line_no, line)
+        rr = _parse_register(ops[1], line_no, line)
+        return isa.encode_two_op(mnemonic, rd, rr)
+
+    if mnemonic in isa.IMM_OP:
+        need(2)
+        rd = _parse_register(ops[0], line_no, line)
+        value = _parse_value(ops[1], labels, line_no, line)
+        try:
+            return isa.encode_imm_op(mnemonic, rd, value)
+        except ValueError as exc:
+            raise AvrAssemblyError(line_no, line, str(exc)) from None
+
+    if mnemonic in isa.ONE_OP:
+        need(1)
+        rd = _parse_register(ops[0], line_no, line)
+        return isa.encode_one_op(mnemonic, rd)
+
+    if mnemonic in isa.BRANCHES:
+        need(1)
+        target = _parse_value(ops[0], labels, line_no, line)
+        offset = target - address - 1
+        try:
+            return isa.encode_branch(mnemonic, offset)
+        except ValueError as exc:
+            raise AvrAssemblyError(line_no, line, str(exc)) from None
+
+    if mnemonic in ("rjmp", "rcall"):
+        need(1)
+        target = _parse_value(ops[0], labels, line_no, line)
+        encode = isa.encode_rjmp if mnemonic == "rjmp" else isa.encode_rcall
+        try:
+            return encode(target - address - 1)
+        except ValueError as exc:
+            raise AvrAssemblyError(line_no, line, str(exc)) from None
+
+    if mnemonic == "ret":
+        need(0)
+        return isa.OPCODE_RET
+
+    if mnemonic == "in":
+        need(2)
+        rd = _parse_register(ops[0], line_no, line)
+        port = _parse_value(ops[1], labels, line_no, line)
+        try:
+            return isa.encode_in(rd, port)
+        except ValueError as exc:
+            raise AvrAssemblyError(line_no, line, str(exc)) from None
+
+    if mnemonic == "ld":
+        need(2)
+        rd = _parse_register(ops[0], line_no, line)
+        mode = ops[1].lower()
+        if mode not in ("x", "x+"):
+            raise AvrAssemblyError(line_no, line, f"unsupported addressing {ops[1]!r}")
+        return isa.encode_ld_st("ld", rd, post_increment=mode == "x+")
+
+    if mnemonic == "st":
+        need(2)
+        mode = ops[0].lower()
+        if mode not in ("x", "x+"):
+            raise AvrAssemblyError(line_no, line, f"unsupported addressing {ops[0]!r}")
+        rr = _parse_register(ops[1], line_no, line)
+        return isa.encode_ld_st("st", rr, post_increment=mode == "x+")
+
+    if mnemonic == "out":
+        need(2)
+        port = _parse_value(ops[0], labels, line_no, line)
+        rr = _parse_register(ops[1], line_no, line)
+        try:
+            return isa.encode_out(port, rr)
+        except ValueError as exc:
+            raise AvrAssemblyError(line_no, line, str(exc)) from None
+
+    raise AvrAssemblyError(line_no, line, f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,378 @@
+"""AVR-compatible 2-stage pipelined core, described in the RTL DSL.
+
+Microarchitecture (mirroring the classic AVR "fetch / execute" overlap):
+
+- stage 1 (fetch): ``pc`` addresses program memory (external, supplied by
+  the testbench through ``instr_in``); the fetched word lands in ``ir``.
+- stage 2 (execute): decode ``ir``, read the 32×8 register file, run the
+  ALU, write back, update SREG. Taken branches redirect ``pc`` and set a
+  one-cycle ``flush`` bubble (2-cycle taken branches, as on real AVRs).
+
+Call support uses a small hardware return-address stack (RCALL pushes,
+RET pops; depth ``isa.CALL_STACK_DEPTH``, silently wrapping) — the common
+choice for deeply-embedded FPGA subsets without an SRAM stack. A free
+running timer peripheral (3-bit prescaler, 8-bit TCNT0, sticky overflow
+flag) is readable through the IN instruction, alongside an external
+``pin_in`` port.
+
+External memory interfaces (the paper's system model keeps memories outside
+the fault-injection target): ``instr_in``/``pc`` for program ROM,
+``dmem_*`` for data RAM addressed by the X pointer (r27:r26), ``port_*``
+for OUT, and a sticky ``halted`` flag raised by SLEEP.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlCircuit, cat, const, mux, parallel_case
+from repro.rtl.expr import Const, Expr
+from repro.synth import synthesize
+
+PC_BITS = 11  # 2K-word program space
+
+
+def _match(ir: Expr, pattern: str) -> Expr:
+    """Decode helper: AND of IR bits against an MSB-first pattern string.
+
+    ``pattern`` has 16 significant characters ('0', '1', 'x'); underscores
+    are cosmetic. ``pattern[0]`` is bit 15.
+    """
+    pattern = pattern.replace("_", "")
+    if len(pattern) != 16:
+        raise ValueError(f"pattern {pattern!r} must have 16 bits")
+    literals = []
+    for position, char in enumerate(pattern):
+        bit = ir[15 - position]
+        if char == "1":
+            literals.append(bit)
+        elif char == "0":
+            literals.append(~bit)
+        elif char != "x":
+            raise ValueError(f"bad pattern char {char!r}")
+    return reduce(lambda a, b: a & b, literals)
+
+
+def _mux_tree(select: Expr, values: list[Expr]) -> Expr:
+    """Balanced 2^k:1 mux tree (the area-optimized RF read port)."""
+    if len(values) != (1 << select.width):
+        raise ValueError(f"need {1 << select.width} values, got {len(values)}")
+    level = list(values)
+    for bit_index in range(select.width):
+        bit = select[bit_index]
+        level = [
+            mux(bit, level[2 * i], level[2 * i + 1]) for i in range(len(level) // 2)
+        ]
+    return level[0]
+
+
+def build_avr_core() -> RtlCircuit:
+    """Build the AVR core as an RTL circuit (synthesize with
+    :func:`synthesize_avr`)."""
+    c = RtlCircuit("avr")
+
+    from repro.cpu.avr import isa
+
+    instr_in = c.input("instr_in", 16)
+    dmem_rdata = c.input("dmem_rdata", 8)
+    pin_in = c.input("pin_in", 8)
+
+    pc = c.reg("pc", PC_BITS, init=0)
+    ir = c.reg("ir", 16, init=0)  # resets to NOP
+    flush = c.reg("flush", 1, init=0)
+    halted_reg = c.reg("halted_reg", 1, init=0)
+    sreg = c.reg("sreg", 8, init=0)
+    rf = [c.reg(f"rf_r{i}", 8, init=0, register_file=True) for i in range(32)]
+
+    # Hardware return-address stack (depth must be a power of two so the
+    # stack pointer wraps naturally).
+    call_stack = [
+        c.reg(f"rstack{i}", PC_BITS, init=0) for i in range(isa.CALL_STACK_DEPTH)
+    ]
+    csp_bits = max(1, (isa.CALL_STACK_DEPTH - 1).bit_length())
+    csp = c.reg("csp", csp_bits, init=0)
+
+    # Timer0 peripheral: prescaler, counter, sticky overflow flag.
+    prescaler = c.reg("t0_presc", isa.TIMER_PRESCALER_BITS, init=0)
+    tcnt = c.reg("t0_cnt", 8, init=0)
+    tov = c.reg("t0_ov", 1, init=0)
+
+    valid = ~flush & ~halted_reg
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    is_add = _match(ir, "000011xxxxxxxxxx")
+    is_adc = _match(ir, "000111xxxxxxxxxx")
+    is_sub = _match(ir, "000110xxxxxxxxxx")
+    is_sbc = _match(ir, "000010xxxxxxxxxx")
+    is_cp = _match(ir, "000101xxxxxxxxxx")
+    is_cpc = _match(ir, "000001xxxxxxxxxx")
+    is_and = _match(ir, "001000xxxxxxxxxx")
+    is_eor = _match(ir, "001001xxxxxxxxxx")
+    is_or = _match(ir, "001010xxxxxxxxxx")
+    is_mov = _match(ir, "001011xxxxxxxxxx")
+
+    is_cpi = _match(ir, "0011xxxxxxxxxxxx")
+    is_sbci = _match(ir, "0100xxxxxxxxxxxx")
+    is_subi = _match(ir, "0101xxxxxxxxxxxx")
+    is_ori = _match(ir, "0110xxxxxxxxxxxx")
+    is_andi = _match(ir, "0111xxxxxxxxxxxx")
+    is_ldi = _match(ir, "1110xxxxxxxxxxxx")
+
+    one_op_prefix = _match(ir, "1001010xxxxxxxxx")
+    func = ir[0:4]
+    is_com = one_op_prefix & func.eq(0b0000)
+    is_neg = one_op_prefix & func.eq(0b0001)
+    is_swap = one_op_prefix & func.eq(0b0010)
+    is_inc = one_op_prefix & func.eq(0b0011)
+    is_asr = one_op_prefix & func.eq(0b0101)
+    is_lsr = one_op_prefix & func.eq(0b0110)
+    is_ror = one_op_prefix & func.eq(0b0111)
+    is_dec = one_op_prefix & func.eq(0b1010)
+    is_sleep = ir.eq(0x9588)
+
+    is_branch = _match(ir, "11110xxxxxxxxxxx")
+    is_rjmp = _match(ir, "1100xxxxxxxxxxxx")
+    is_rcall = _match(ir, "1101xxxxxxxxxxxx")
+    is_ret = ir.eq(0x9508)
+    is_ldst = _match(ir, "100100xxxxxx110x")
+    is_st = is_ldst & ir[9]
+    is_ld = is_ldst & ~ir[9]
+    is_out = _match(ir, "10111xxxxxxxxxxx")
+    is_in = _match(ir, "10110xxxxxxxxxxx")
+
+    is_imm_class = is_cpi | is_sbci | is_subi | is_ori | is_andi | is_ldi
+
+    # ------------------------------------------------------------------
+    # register-file read
+    # ------------------------------------------------------------------
+    d5 = cat(ir[4:8], ir[8])
+    r5 = cat(ir[0:4], ir[9])
+    d_imm = cat(ir[4:8], const(1, 1))  # immediate ops address r16..r31
+    rd_addr = mux(is_imm_class, d5, d_imm)
+
+    rd_val = _mux_tree(rd_addr, list(rf))
+    rr_val = _mux_tree(r5, list(rf))
+
+    k8 = cat(ir[0:4], ir[8:12])
+    b_main = mux(is_imm_class, rr_val, k8)
+
+    # ------------------------------------------------------------------
+    # ALU
+    # ------------------------------------------------------------------
+    flag_c = sreg[0]
+    flag_z = sreg[1]
+
+    one8 = Const(1, 8)
+    zero8 = Const(0, 8)
+
+    add_b = mux(is_inc, b_main, one8)
+    add_cin = is_adc & flag_c
+    add_full = rd_val.add_with_carry(add_b, add_cin)
+    add_res = add_full.trunc(8)
+    add_carry = add_full[8]
+
+    sub_a = mux(is_neg, rd_val, zero8)
+    sub_b = parallel_case([(is_neg, rd_val), (is_dec, one8)], default=b_main)
+    sub_bin = (is_sbc | is_cpc | is_sbci) & flag_c
+    sub_full = sub_a.sub_with_borrow(sub_b, sub_bin)
+    sub_res = sub_full.trunc(8)
+    sub_borrow = ~sub_full[8]
+
+    logic_res = parallel_case(
+        [
+            (is_and | is_andi, rd_val & b_main),
+            (is_or | is_ori, rd_val | b_main),
+        ],
+        default=rd_val ^ b_main,
+    )
+
+    shift_hi = parallel_case([(is_ror, flag_c), (is_asr, rd_val[7])], default=const(0, 1))
+    shift_res = cat(rd_val[1:8], shift_hi)
+
+    is_add_class = is_add | is_adc | is_inc
+    is_sub_res_class = is_sub | is_sbc | is_subi | is_sbci | is_neg | is_dec
+    is_cmp_class = is_cp | is_cpc | is_cpi
+    is_logic_class = is_and | is_andi | is_or | is_ori | is_eor
+    is_shift_class = is_lsr | is_ror | is_asr
+
+    # I/O read data (IN instruction): core-internal peripherals + pins.
+    io_address = cat(ir[0:4], ir[9:11])
+    io_read = parallel_case(
+        [
+            (io_address.eq(isa.IO_TCNT0), tcnt),
+            (io_address.eq(isa.IO_TIFR), tov.zext(8)),
+            (io_address.eq(isa.IO_PIN), pin_in),
+        ],
+        default=Const(0, 8),
+    )
+
+    result = parallel_case(
+        [
+            (is_add_class, add_res),
+            (is_sub_res_class, sub_res),
+            (is_logic_class, logic_res),
+            (is_mov | is_ldi, b_main),
+            (is_shift_class, shift_res),
+            (is_com, ~rd_val),
+            (is_swap, cat(rd_val[4:8], rd_val[0:4])),
+            (is_ld, dmem_rdata),
+            (is_in, io_read),
+        ],
+        default=rd_val,
+    )
+
+    # Value feeding flag computation (compares use the unwritten sub result).
+    flag_value = mux(is_cmp_class, result, sub_res)
+
+    # ------------------------------------------------------------------
+    # SREG
+    # ------------------------------------------------------------------
+    a7, r7 = rd_val[7], flag_value[7]
+    add_b7 = add_b[7]
+    sub_a7, sub_b7 = sub_a[7], sub_b[7]
+    a3, r3 = rd_val[3], flag_value[3]
+    add_b3 = add_b[3]
+    sub_a3, sub_b3 = sub_a[3], sub_b[3]
+
+    v_add = (a7 & add_b7 & ~r7) | (~a7 & ~add_b7 & r7)
+    v_sub = (sub_a7 & ~sub_b7 & ~r7) | (~sub_a7 & sub_b7 & r7)
+    h_add = (a3 & add_b3) | (add_b3 & ~r3) | (a3 & ~r3)
+    h_sub = (~sub_a3 & sub_b3) | (sub_b3 & r3) | (r3 & ~sub_a3)
+
+    z0 = flag_value.is_zero()
+    n0 = r7
+
+    sub_flags = is_sub_res_class | is_cmp_class
+    c_en = is_add | is_adc | is_sub | is_subi | is_sbc | is_sbci | is_cp | \
+        is_cpc | is_cpi | is_neg | is_shift_class | is_com
+    nzvs_en = is_add_class | sub_flags | is_logic_class | is_shift_class | is_com
+    h_en = is_add | is_adc | (sub_flags & ~is_dec)
+    z_keep = is_cpc | is_sbc | is_sbci
+
+    shift_c = rd_val[0]
+    c_val = parallel_case(
+        [
+            (is_add | is_adc, add_carry),
+            (is_shift_class, shift_c),
+            (is_com, const(1, 1)),
+        ],
+        default=sub_borrow,
+    )
+    v_val = parallel_case(
+        [
+            (is_add_class, v_add),
+            (sub_flags, v_sub),
+            (is_shift_class, n0 ^ c_val),
+        ],
+        default=const(0, 1),
+    )
+    h_val = mux(is_add | is_adc, h_sub, h_add)
+    z_val = mux(z_keep, z0, z0 & flag_z)
+
+    update = valid
+    c_next = mux(update & c_en, sreg[0], c_val)
+    z_next = mux(update & nzvs_en, sreg[1], z_val)
+    n_next = mux(update & nzvs_en, sreg[2], n0)
+    v_next = mux(update & nzvs_en, sreg[3], v_val)
+    s_next = mux(update & nzvs_en, sreg[4], n0 ^ v_val)
+    h_next = mux(update & h_en, sreg[5], h_val)
+    sreg.next = cat(c_next, z_next, n_next, v_next, s_next, h_next, sreg[6], sreg[7])
+
+    # ------------------------------------------------------------------
+    # register-file write (result port + X post-increment port)
+    # ------------------------------------------------------------------
+    writes_result = (
+        is_add_class
+        | is_sub_res_class
+        | is_logic_class
+        | is_mov
+        | is_ldi
+        | is_shift_class
+        | is_com
+        | is_swap
+        | is_ld
+        | is_in
+    )
+    rf_we = valid & writes_result
+
+    x_pointer = cat(rf[26], rf[27])
+    x_inc = (x_pointer + 1).trunc(16)
+    x_we = valid & is_ldst & ir[0]
+
+    for index, reg in enumerate(rf):
+        write_here = rf_we & rd_addr.eq(index)
+        value = mux(write_here, reg, result)
+        if index == 26:
+            value = mux(x_we, value, x_inc[0:8])
+        elif index == 27:
+            value = mux(x_we, value, x_inc[8:16])
+        reg.next = value
+
+    # ------------------------------------------------------------------
+    # branches and program counter
+    # ------------------------------------------------------------------
+    flag_selected = _mux_tree(ir[0:3], [sreg[i] for i in range(8)])
+    branch_taken = is_branch & (flag_selected ^ ir[10])
+    branch_offset = ir[3:10].sext(PC_BITS)
+    rjmp_offset = ir[0:12].sext(12).trunc(PC_BITS)
+
+    # Hardware return-address stack: RCALL pushes the fall-through address
+    # (current pc), RET pops. A 2-bit stack pointer wraps silently.
+    csp_minus_1 = (csp - 1).trunc(csp.width)
+    stack_top = _mux_tree(csp_minus_1, list(call_stack))
+    push = valid & is_rcall
+    pop = valid & is_ret
+    for index, entry in enumerate(call_stack):
+        write_entry = push & csp.eq(index)
+        entry.next = mux(
+            halted_reg, mux(write_entry, entry, pc), entry
+        )
+    csp.next = parallel_case(
+        [(push, (csp + 1).trunc(csp.width)), (pop, csp_minus_1)], default=csp
+    )
+
+    taken = valid & (branch_taken | is_rjmp | is_rcall | is_ret)
+    target_offset = mux(is_rjmp | is_rcall, branch_offset, rjmp_offset)
+    pc_plus_1 = (pc + 1).trunc(PC_BITS)
+    pc_relative = (pc + target_offset).trunc(PC_BITS)
+    pc_target = mux(is_ret, pc_relative, stack_top)
+    pc_next = mux(taken, pc_plus_1, pc_target)
+    pc.next = mux(halted_reg, pc_next, pc)
+
+    ir.next = mux(halted_reg, instr_in, ir)
+    flush.next = taken
+    halted_reg.next = halted_reg | (valid & is_sleep)
+
+    # Timer0: free-running prescaler; TCNT0 advances on prescaler wrap; the
+    # overflow flag is sticky until reset.
+    tick = prescaler.reduce_and()
+    prescaler.next = mux(halted_reg, (prescaler + 1).trunc(prescaler.width), prescaler)
+    tcnt_next = (tcnt + 1).trunc(8)
+    tcnt.next = mux(halted_reg, mux(tick, tcnt, tcnt_next), tcnt)
+    tov.next = tov | (~halted_reg & tick & tcnt.reduce_and())
+
+    # ------------------------------------------------------------------
+    # external interfaces
+    # ------------------------------------------------------------------
+    # Output buses are gated with their strobes (an idle bus drives zero),
+    # as on the real part — an ungated bus would make every register fault
+    # externally visible in every cycle and defeat intra-cycle masking.
+    mem_access = valid & is_ldst
+    port_access = valid & is_out
+    c.output("pc_out", pc)  # program-memory address bus: always driving
+    c.output("dmem_addr", mux(mem_access, Const(0, 16), x_pointer))
+    c.output("dmem_wdata", mux(valid & is_st, Const(0, 8), rd_val))
+    c.output("dmem_we", valid & is_st)
+    c.output("port_addr", mux(port_access, Const(0, 6), cat(ir[0:4], ir[9:11])))
+    c.output("port_wdata", mux(port_access, Const(0, 8), rd_val))
+    c.output("port_we", port_access)
+    c.output("halted", halted_reg | (valid & is_sleep))
+    return c
+
+
+def synthesize_avr() -> Netlist:
+    """Synthesize the AVR core onto the standard-cell library."""
+    return synthesize(build_avr_core())

@@ -1,0 +1,176 @@
+"""AVR instruction subset: encodings and field helpers.
+
+The implemented subset covers what the two test programs (``fib()`` and
+``conv()``) need — register-register and register-immediate ALU ops, the
+SREG-conditional branches, relative jump, X-pointer loads/stores with
+post-increment, one-operand ops (shifts etc.), OUT to a port, NOP and SLEEP
+(used as the halt instruction).
+
+All encodings follow the real AVR instruction-set manual, so binaries are
+bit-compatible for the covered subset.
+"""
+
+from __future__ import annotations
+
+#: SREG bit positions.
+SREG_C, SREG_Z, SREG_N, SREG_V, SREG_S, SREG_H, SREG_T, SREG_I = range(8)
+
+#: Two-operand register ops: mnemonic -> top-6-bit opcode (bits 15..10).
+TWO_OP = {
+    "cpc": 0b000001,
+    "sbc": 0b000010,
+    "add": 0b000011,
+    "cp": 0b000101,
+    "sub": 0b000110,
+    "adc": 0b000111,
+    "and": 0b001000,
+    "eor": 0b001001,
+    "or": 0b001010,
+    "mov": 0b001011,
+}
+
+#: Immediate ops (Rd in r16..r31): mnemonic -> top-4-bit opcode.
+IMM_OP = {
+    "cpi": 0b0011,
+    "sbci": 0b0100,
+    "subi": 0b0101,
+    "ori": 0b0110,
+    "andi": 0b0111,
+    "ldi": 0b1110,
+}
+
+#: One-operand ops (1001 010d dddd ffff): mnemonic -> 4-bit function code.
+ONE_OP = {
+    "com": 0b0000,
+    "neg": 0b0001,
+    "swap": 0b0010,
+    "inc": 0b0011,
+    "asr": 0b0101,
+    "lsr": 0b0110,
+    "ror": 0b0111,
+    "dec": 0b1010,
+}
+
+#: Branch aliases: mnemonic -> (SREG bit, branch-if-set).
+BRANCHES = {
+    "brcs": (SREG_C, True),
+    "brlo": (SREG_C, True),
+    "brcc": (SREG_C, False),
+    "brsh": (SREG_C, False),
+    "breq": (SREG_Z, True),
+    "brne": (SREG_Z, False),
+    "brmi": (SREG_N, True),
+    "brpl": (SREG_N, False),
+    "brvs": (SREG_V, True),
+    "brvc": (SREG_V, False),
+    "brlt": (SREG_S, True),
+    "brge": (SREG_S, False),
+}
+
+OPCODE_NOP = 0x0000
+OPCODE_SLEEP = 0x9588
+OPCODE_RET = 0x9508
+
+#: Depth of the hardware return-address stack (RCALL/RET).
+CALL_STACK_DEPTH = 2
+
+#: I/O addresses served by the core itself (timer peripheral + pins).
+IO_TCNT0 = 0x32
+IO_PIN = 0x36
+IO_TIFR = 0x38
+
+#: Timer0 prescaler: TCNT0 increments every 2**TIMER_PRESCALER_BITS cycles.
+TIMER_PRESCALER_BITS = 3
+
+
+def encode_two_op(mnemonic: str, rd: int, rr: int) -> int:
+    """``0000 11rd dddd rrrr`` style register-register encoding."""
+    op = TWO_OP[mnemonic]
+    if not 0 <= rd < 32 or not 0 <= rr < 32:
+        raise ValueError(f"{mnemonic}: registers must be r0..r31")
+    return (
+        (op << 10)
+        | ((rr >> 4) << 9)
+        | ((rd >> 4) << 8)
+        | ((rd & 0xF) << 4)
+        | (rr & 0xF)
+    )
+
+
+def encode_imm_op(mnemonic: str, rd: int, value: int) -> int:
+    """``xxxx KKKK dddd KKKK`` register-immediate encoding (rd in 16..31)."""
+    op = IMM_OP[mnemonic]
+    if not 16 <= rd < 32:
+        raise ValueError(f"{mnemonic}: Rd must be r16..r31, got r{rd}")
+    value &= 0xFF
+    return (op << 12) | ((value >> 4) << 8) | ((rd - 16) << 4) | (value & 0xF)
+
+
+def encode_one_op(mnemonic: str, rd: int) -> int:
+    """``1001 010d dddd ffff`` one-operand encoding."""
+    func = ONE_OP[mnemonic]
+    if not 0 <= rd < 32:
+        raise ValueError(f"{mnemonic}: Rd must be r0..r31")
+    return 0x9400 | ((rd >> 4) << 8) | ((rd & 0xF) << 4) | func
+
+
+def encode_branch(mnemonic: str, offset: int) -> int:
+    """``1111 0Bkk kkkk ksss`` conditional relative branch (-64..63 words)."""
+    bit, if_set = BRANCHES[mnemonic]
+    if not -64 <= offset < 64:
+        raise ValueError(f"{mnemonic}: branch offset {offset} out of range")
+    clear = 0 if if_set else 1
+    return 0xF000 | (clear << 10) | ((offset & 0x7F) << 3) | bit
+
+
+def encode_rjmp(offset: int) -> int:
+    """``1100 kkkk kkkk kkkk`` relative jump (-2048..2047 words)."""
+    if not -2048 <= offset < 2048:
+        raise ValueError(f"rjmp: offset {offset} out of range")
+    return 0xC000 | (offset & 0xFFF)
+
+
+def encode_rcall(offset: int) -> int:
+    """``1101 kkkk kkkk kkkk`` relative call (-2048..2047 words)."""
+    if not -2048 <= offset < 2048:
+        raise ValueError(f"rcall: offset {offset} out of range")
+    return 0xD000 | (offset & 0xFFF)
+
+
+def encode_in(rd: int, address: int) -> int:
+    """``1011 0AAd dddd AAAA`` i/o port read."""
+    if not 0 <= address < 64:
+        raise ValueError(f"in: i/o address {address} out of range")
+    if not 0 <= rd < 32:
+        raise ValueError("in: register must be r0..r31")
+    return (
+        0xB000
+        | ((address >> 4) << 9)
+        | ((rd >> 4) << 8)
+        | ((rd & 0xF) << 4)
+        | (address & 0xF)
+    )
+
+
+def encode_ld_st(mnemonic: str, reg: int, post_increment: bool) -> int:
+    """``1001 00sd dddd 11ei`` X-pointer load/store."""
+    if not 0 <= reg < 32:
+        raise ValueError(f"{mnemonic}: register must be r0..r31")
+    store = 1 if mnemonic == "st" else 0
+    low = 0b1101 if post_increment else 0b1100
+    return 0x9000 | (store << 9) | ((reg >> 4) << 8) | ((reg & 0xF) << 4) | low
+
+
+def encode_out(address: int, rr: int) -> int:
+    """``1011 1AAr rrrr AAAA`` i/o port write."""
+    if not 0 <= address < 64:
+        raise ValueError(f"out: i/o address {address} out of range")
+    if not 0 <= rr < 32:
+        raise ValueError("out: register must be r0..r31")
+    return (
+        0xB800
+        | ((address >> 4) << 9)
+        | ((rr >> 4) << 8)
+        | ((rr & 0xF) << 4)
+        | (address & 0xF)
+    )

@@ -1,0 +1,288 @@
+"""AVR instruction-set simulator (architectural golden model).
+
+Executes the same subset as the RTL core, one instruction per :meth:`step`.
+The pipelined netlist core must produce exactly this architectural behaviour
+(register file, SREG, PC trajectory, memory and port writes) — the
+cross-check tests in ``tests/cpu`` rely on it.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.avr import isa
+from repro.sim.memory import RAM, ROM
+
+
+class AvrIss:
+    """Architectural interpreter for the implemented AVR subset."""
+
+    def __init__(self, rom: ROM, ram: RAM, pin_in: int = 0) -> None:
+        self.rom = rom
+        self.ram = ram
+        self.regs = [0] * 32
+        self.pc = 0
+        self.sreg = 0
+        self.halted = False
+        #: Chronological (address, value) port writes (OUT instructions).
+        self.port_log: list[tuple[int, int]] = []
+        self.instructions_retired = 0
+        #: Hardware return-address stack (RCALL/RET), wrapping.
+        self.call_stack = [0] * isa.CALL_STACK_DEPTH
+        self.csp = 0
+        #: Value presented on the external input port (IN isa.IO_PIN).
+        self.pin_in = pin_in & 0xFF
+        #: Elapsed clock cycles; instruction 1 executes in cycle 1 (cycle 0
+        #: is the initial fetch), taken control transfers cost one bubble.
+        self.cycle = 1
+
+    # ------------------------------------------------------------------
+    def _flag(self, bit: int) -> int:
+        return (self.sreg >> bit) & 1
+
+    def _set_flags(self, **flags: int) -> None:
+        for name, value in flags.items():
+            bit = {
+                "c": isa.SREG_C, "z": isa.SREG_Z, "n": isa.SREG_N,
+                "v": isa.SREG_V, "s": isa.SREG_S, "h": isa.SREG_H,
+            }[name]
+            if value:
+                self.sreg |= 1 << bit
+            else:
+                self.sreg &= ~(1 << bit)
+
+    @property
+    def x_pointer(self) -> int:
+        """The 16-bit X pointer (r27:r26)."""
+        return self.regs[26] | (self.regs[27] << 8)
+
+    @x_pointer.setter
+    def x_pointer(self, value: int) -> None:
+        self.regs[26] = value & 0xFF
+        self.regs[27] = (value >> 8) & 0xFF
+
+    # ------------------------------------------------------------------
+    def _alu_add(self, a: int, b: int, carry: int) -> int:
+        total = a + b + carry
+        result = total & 0xFF
+        a7, b7, r7 = a >> 7, b >> 7, result >> 7
+        a3, b3, r3 = (a >> 3) & 1, (b >> 3) & 1, (result >> 3) & 1
+        v = (a7 & b7 & (1 - r7)) | ((1 - a7) & (1 - b7) & r7)
+        n = r7
+        self._set_flags(
+            c=total >> 8,
+            z=int(result == 0),
+            n=n,
+            v=v,
+            s=n ^ v,
+            h=(a3 & b3) | (b3 & (1 - r3)) | (a3 & (1 - r3)),
+        )
+        return result
+
+    def _alu_sub(self, a: int, b: int, borrow: int, keep_z: bool = False) -> int:
+        total = a - b - borrow
+        result = total & 0xFF
+        a7, b7, r7 = a >> 7, b >> 7, result >> 7
+        a3, b3, r3 = (a >> 3) & 1, (b >> 3) & 1, (result >> 3) & 1
+        v = (a7 & (1 - b7) & (1 - r7)) | ((1 - a7) & b7 & r7)
+        n = r7
+        z = int(result == 0)
+        if keep_z:
+            z &= self._flag(isa.SREG_Z)
+        self._set_flags(
+            c=int(total < 0),
+            z=z,
+            n=n,
+            v=v,
+            s=n ^ v,
+            h=((1 - a3) & b3) | (b3 & r3) | (r3 & (1 - a3)),
+        )
+        return result
+
+    def _alu_logic(self, result: int) -> int:
+        n = result >> 7
+        self._set_flags(z=int(result == 0), n=n, v=0, s=n)
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def tcnt0(self) -> int:
+        """Timer0 counter value visible in the current cycle."""
+        return (self.cycle >> isa.TIMER_PRESCALER_BITS) & 0xFF
+
+    @property
+    def tov0(self) -> int:
+        """Sticky timer-overflow flag visible in the current cycle."""
+        return int((self.cycle >> isa.TIMER_PRESCALER_BITS) >= 256)
+
+    def step(self) -> None:
+        """Fetch, decode, and execute one instruction (cycle-accounted)."""
+        if self.halted:
+            return
+        self._taken = False
+        self._execute()
+        # Taken control transfers flush the fetch stage: one bubble cycle.
+        self.cycle += 2 if self._taken else 1
+
+    def _execute(self) -> None:
+        word = self.rom.read(self.pc)
+        self.pc = (self.pc + 1) % (1 << 11)
+        self.instructions_retired += 1
+
+        if word == isa.OPCODE_NOP:
+            return
+        if word == isa.OPCODE_SLEEP:
+            self.halted = True
+            return
+        if word == isa.OPCODE_RET:
+            self.csp = (self.csp - 1) % isa.CALL_STACK_DEPTH
+            self.pc = self.call_stack[self.csp]
+            self._taken = True
+            return
+
+        top6 = word >> 10
+        top4 = word >> 12
+        d5 = ((word >> 4) & 0xF) | (((word >> 8) & 1) << 4)
+        r5 = (word & 0xF) | (((word >> 9) & 1) << 4)
+
+        two_op = {v: k for k, v in isa.TWO_OP.items()}.get(top6)
+        if two_op is not None:
+            a, b = self.regs[d5], self.regs[r5]
+            if two_op == "add":
+                self.regs[d5] = self._alu_add(a, b, 0)
+            elif two_op == "adc":
+                self.regs[d5] = self._alu_add(a, b, self._flag(isa.SREG_C))
+            elif two_op == "sub":
+                self.regs[d5] = self._alu_sub(a, b, 0)
+            elif two_op == "sbc":
+                self.regs[d5] = self._alu_sub(a, b, self._flag(isa.SREG_C), keep_z=True)
+            elif two_op == "cp":
+                self._alu_sub(a, b, 0)
+            elif two_op == "cpc":
+                self._alu_sub(a, b, self._flag(isa.SREG_C), keep_z=True)
+            elif two_op == "and":
+                self.regs[d5] = self._alu_logic(a & b)
+            elif two_op == "or":
+                self.regs[d5] = self._alu_logic(a | b)
+            elif two_op == "eor":
+                self.regs[d5] = self._alu_logic(a ^ b)
+            elif two_op == "mov":
+                self.regs[d5] = b
+            return
+
+        imm_op = {v: k for k, v in isa.IMM_OP.items()}.get(top4)
+        if imm_op is not None:
+            rd = 16 + ((word >> 4) & 0xF)
+            value = ((word >> 4) & 0xF0) | (word & 0xF)
+            a = self.regs[rd]
+            if imm_op == "ldi":
+                self.regs[rd] = value
+            elif imm_op == "subi":
+                self.regs[rd] = self._alu_sub(a, value, 0)
+            elif imm_op == "sbci":
+                self.regs[rd] = self._alu_sub(a, value, self._flag(isa.SREG_C), keep_z=True)
+            elif imm_op == "cpi":
+                self._alu_sub(a, value, 0)
+            elif imm_op == "andi":
+                self.regs[rd] = self._alu_logic(a & value)
+            elif imm_op == "ori":
+                self.regs[rd] = self._alu_logic(a | value)
+            return
+
+        if (word & 0xFE00) == 0x9400:
+            func = word & 0xF
+            one_op = {v: k for k, v in isa.ONE_OP.items()}.get(func)
+            if one_op is None:
+                raise ValueError(f"unimplemented one-op function {func:#x}")
+            a = self.regs[d5]
+            if one_op == "inc":
+                result = (a + 1) & 0xFF
+                n = result >> 7
+                v = int(result == 0x80)
+                self._set_flags(z=int(result == 0), n=n, v=v, s=n ^ v)
+            elif one_op == "dec":
+                result = (a - 1) & 0xFF
+                n = result >> 7
+                v = int(result == 0x7F)
+                self._set_flags(z=int(result == 0), n=n, v=v, s=n ^ v)
+            elif one_op == "com":
+                result = (~a) & 0xFF
+                n = result >> 7
+                self._set_flags(c=1, z=int(result == 0), n=n, v=0, s=n)
+            elif one_op == "neg":
+                result = self._alu_sub(0, a, 0)
+            elif one_op == "swap":
+                result = ((a << 4) | (a >> 4)) & 0xFF
+            elif one_op in ("lsr", "ror", "asr"):
+                carry_in = self._flag(isa.SREG_C)
+                c = a & 1
+                if one_op == "lsr":
+                    result = a >> 1
+                elif one_op == "ror":
+                    result = (a >> 1) | (carry_in << 7)
+                else:
+                    result = (a >> 1) | (a & 0x80)
+                n = result >> 7
+                v = n ^ c
+                self._set_flags(c=c, z=int(result == 0), n=n, v=v, s=n ^ v)
+            self.regs[d5] = result
+            return
+
+        if (word & 0xF800) == 0xF000:
+            bit = word & 0x7
+            branch_if_clear = (word >> 10) & 1
+            offset = (word >> 3) & 0x7F
+            if offset >= 64:
+                offset -= 128
+            if self._flag(bit) != branch_if_clear:
+                self.pc = (self.pc + offset) % (1 << 11)
+                self._taken = True
+            return
+
+        if (word & 0xE000) == 0xC000:  # RJMP / RCALL
+            offset = word & 0xFFF
+            if offset >= 2048:
+                offset -= 4096
+            if word & 0x1000:  # RCALL: push the fall-through address
+                self.call_stack[self.csp] = self.pc
+                self.csp = (self.csp + 1) % isa.CALL_STACK_DEPTH
+            self.pc = (self.pc + offset) % (1 << 11)
+            self._taken = True
+            return
+
+        if (word & 0xFC00) == 0x9000 and (word & 0xE) == 0xC:
+            store = (word >> 9) & 1
+            post_increment = word & 1
+            address = self.x_pointer
+            if store:
+                self.ram.write(address % len(self.ram), self.regs[d5], cycle=-1)
+            else:
+                self.regs[d5] = self.ram.read(address % len(self.ram))
+            if post_increment:
+                self.x_pointer = (address + 1) & 0xFFFF
+            return
+
+        if (word & 0xF800) == 0xB800:
+            port = (word & 0xF) | (((word >> 9) & 0x3) << 4)
+            self.port_log.append((port, self.regs[d5]))
+            return
+
+        if (word & 0xF800) == 0xB000:  # IN
+            port = (word & 0xF) | (((word >> 9) & 0x3) << 4)
+            if port == isa.IO_TCNT0:
+                self.regs[d5] = self.tcnt0
+            elif port == isa.IO_TIFR:
+                self.regs[d5] = self.tov0
+            elif port == isa.IO_PIN:
+                self.regs[d5] = self.pin_in
+            else:
+                self.regs[d5] = 0
+            return
+
+        raise ValueError(f"unimplemented instruction {word:#06x} at pc={self.pc - 1:#x}")
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until SLEEP or the instruction budget; returns retired count."""
+        for _ in range(max_instructions):
+            if self.halted:
+                break
+            self.step()
+        return self.instructions_retired

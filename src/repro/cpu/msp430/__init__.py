@@ -1,0 +1,16 @@
+"""MSP430-compatible 16-bit microcontroller: ISA subset, assembler,
+multi-cycle core (RTL), instruction-set simulator, and system testbench."""
+
+from repro.cpu.msp430.asm import Msp430AssemblyError, assemble_msp430
+from repro.cpu.msp430.core import build_msp430_core, synthesize_msp430
+from repro.cpu.msp430.iss import Msp430Iss
+from repro.cpu.msp430.system import Msp430System
+
+__all__ = [
+    "Msp430AssemblyError",
+    "Msp430Iss",
+    "Msp430System",
+    "assemble_msp430",
+    "build_msp430_core",
+    "synthesize_msp430",
+]

@@ -1,0 +1,246 @@
+"""Two-pass assembler for the MSP430 subset.
+
+Syntax::
+
+    ; comment
+    start:
+        mov  #0x200, r4     ; immediate (constant generator when possible)
+        mov  @r4+, r5       ; indirect auto-increment
+        add  r5, 2(r6)      ; indexed destination
+        mov  r5, &0x220     ; absolute destination
+        jne  start
+        bis  #0x10, r2      ; set CPUOFF: halt
+        .word 0xBEEF
+
+Addresses are in bytes (words are 2 bytes), matching real MSP430 tooling.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cpu.msp430 import isa
+
+
+class Msp430AssemblyError(ValueError):
+    """Raised on any assembly problem, with the offending line."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_REG_ALIASES = {"pc": 0, "sp": 1, "sr": 2, "cg": 3}
+
+
+class _Operand:
+    """A parsed operand: mode, register, optional extension word."""
+
+    def __init__(self, mode: int, reg: int, ext: int | None = None) -> None:
+        self.mode = mode
+        self.reg = reg
+        self.ext = ext
+
+    @property
+    def needs_ext(self) -> bool:
+        """True when the operand carries an extension word."""
+        return self.ext is not None
+
+
+def _parse_register(token: str) -> int | None:
+    token = token.lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    match = re.fullmatch(r"r(\d{1,2})", token)
+    if match and 0 <= int(match.group(1)) < 16:
+        return int(match.group(1))
+    return None
+
+
+def _parse_value(token: str, labels: dict[str, int], line_no: int, line: str) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    negative = token.startswith("-")
+    body = token[1:] if negative else token
+    if body in labels:
+        value = labels[body]
+    else:
+        try:
+            value = int(body, 0)
+        except ValueError:
+            raise Msp430AssemblyError(line_no, line, f"bad value {token!r}") from None
+    return -value if negative else value
+
+
+def _parse_src(token: str, labels: dict[str, int], line_no: int, line: str) -> _Operand:
+    token = token.strip()
+    reg = _parse_register(token)
+    if reg is not None:
+        return _Operand(isa.MODE_REGISTER, reg)
+    if token.startswith("#"):
+        value = _parse_value(token[1:], labels, line_no, line) & 0xFFFF
+        # Only literal immediates may use the constant generator: label
+        # immediates must keep their extension word so that pass-1 sizes
+        # (computed before label values are known) stay exact.
+        is_literal = True
+        try:
+            int(token[1:], 0)
+        except ValueError:
+            is_literal = False
+        if is_literal:
+            cg = isa.immediate_via_cg(value)
+            if cg is not None:
+                return _Operand(cg[1], cg[0])
+        return _Operand(isa.MODE_INDIRECT_INC, isa.REG_PC, ext=value)
+    if token.startswith("@"):
+        body = token[1:]
+        increment = body.endswith("+")
+        reg = _parse_register(body[:-1] if increment else body)
+        if reg is None:
+            raise Msp430AssemblyError(line_no, line, f"bad indirect operand {token!r}")
+        return _Operand(isa.MODE_INDIRECT_INC if increment else isa.MODE_INDIRECT, reg)
+    if token.startswith("&"):
+        address = _parse_value(token[1:], labels, line_no, line) & 0xFFFF
+        return _Operand(isa.MODE_INDEXED, isa.REG_SR, ext=address)
+    match = re.fullmatch(r"(.+)\((\w+)\)", token)
+    if match:
+        reg = _parse_register(match.group(2))
+        if reg is None:
+            raise Msp430AssemblyError(line_no, line, f"bad index register in {token!r}")
+        offset = _parse_value(match.group(1), labels, line_no, line) & 0xFFFF
+        return _Operand(isa.MODE_INDEXED, reg, ext=offset)
+    raise Msp430AssemblyError(line_no, line, f"cannot parse operand {token!r}")
+
+
+def _parse_dst(token: str, labels: dict[str, int], line_no: int, line: str) -> _Operand:
+    operand = _parse_src(token, labels, line_no, line)
+    if operand.mode == isa.MODE_REGISTER:
+        return operand
+    if operand.mode == isa.MODE_INDEXED and operand.ext is not None:
+        return operand
+    raise Msp430AssemblyError(
+        line_no, line, f"destination must be a register, x(Rn) or &addr: {token!r}"
+    )
+
+
+def _statement_words(mnemonic: str, ops: list[str]) -> int:
+    """Upper bound is fine in pass 1 only if exact — so compute exactly."""
+    if mnemonic == ".word":
+        return 1
+    if mnemonic == "halt":
+        return 2  # BIS #0x10, SR with extension word
+    words = 1
+    if mnemonic in isa.FORMAT1 and len(ops) == 2:
+        src = ops[0].strip()
+        if src.startswith("#"):
+            try:
+                value = int(src[1:], 0) & 0xFFFF
+                if isa.immediate_via_cg(value) is None:
+                    words += 1
+            except ValueError:
+                words += 1  # label immediate: always extension word
+        elif src.startswith("&") or re.fullmatch(r".+\(\w+\)", src):
+            words += 1
+        dst = ops[1].strip()
+        if dst.startswith("&") or re.fullmatch(r".+\(\w+\)", dst):
+            words += 1
+    return words
+
+
+def assemble_msp430(source: str) -> list[int]:
+    """Assemble MSP430 source into 16-bit words (loaded at byte address 0)."""
+    lines = source.splitlines()
+
+    labels: dict[str, int] = {}
+    statements: list[tuple[int, str, int]] = []
+    byte_address = 0
+    for line_no, raw in enumerate(lines, start=1):
+        statement = raw.split(";", 1)[0].strip()
+        match = _LABEL_RE.match(statement)
+        if match:
+            label, statement = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise Msp430AssemblyError(line_no, raw, f"duplicate label {label!r}")
+            labels[label] = byte_address
+        if not statement:
+            continue
+        parts = statement.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = [o.strip() for o in parts[1].split(",")] if len(parts) > 1 else []
+        statements.append((line_no, statement, byte_address))
+        byte_address += 2 * _statement_words(mnemonic, ops)
+
+    words: list[int] = []
+    for line_no, statement, address in statements:
+        parts = statement.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = [o.strip() for o in parts[1].split(",")] if len(parts) > 1 else []
+        words.extend(_encode(mnemonic, ops, address, labels, line_no, statement))
+    return words
+
+
+def _encode(
+    mnemonic: str,
+    ops: list[str],
+    address: int,
+    labels: dict[str, int],
+    line_no: int,
+    line: str,
+) -> list[int]:
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise Msp430AssemblyError(
+                line_no, line, f"{mnemonic} expects {count} operand(s)"
+            )
+
+    if mnemonic == ".word":
+        need(1)
+        return [_parse_value(ops[0], labels, line_no, line) & 0xFFFF]
+
+    if mnemonic == "nop":  # canonical NOP: MOV r3, r3
+        need(0)
+        return [isa.encode_format1("mov", isa.REG_CG, isa.MODE_REGISTER, isa.REG_CG, 0)]
+
+    if mnemonic == "halt":  # idiom: BIS #CPUOFF, SR
+        need(0)
+        reg, mode = isa.REG_SR, isa.MODE_INDIRECT_INC  # CG constant 8
+        del reg, mode
+        return _encode("bis", ["#0x10", "r2"], address, labels, line_no, line)
+
+    if mnemonic in isa.FORMAT1:
+        need(2)
+        src = _parse_src(ops[0], labels, line_no, line)
+        dst = _parse_dst(ops[1], labels, line_no, line)
+        word = isa.encode_format1(
+            mnemonic, src.reg, src.mode, dst.reg, 1 if dst.mode == isa.MODE_INDEXED else 0
+        )
+        words = [word]
+        if src.needs_ext:
+            words.append(src.ext & 0xFFFF)
+        if dst.needs_ext:
+            words.append(dst.ext & 0xFFFF)
+        return words
+
+    if mnemonic in isa.FORMAT2:
+        need(1)
+        reg = _parse_register(ops[0])
+        if reg is None:
+            raise Msp430AssemblyError(
+                line_no, line, f"{mnemonic} supports register mode only"
+            )
+        return [isa.encode_format2(mnemonic, reg)]
+
+    if mnemonic in isa.JUMPS:
+        need(1)
+        target = _parse_value(ops[0], labels, line_no, line)
+        offset_bytes = target - address - 2
+        if offset_bytes % 2:
+            raise Msp430AssemblyError(line_no, line, "odd jump target")
+        try:
+            return [isa.encode_jump(mnemonic, offset_bytes // 2)]
+        except ValueError as exc:
+            raise Msp430AssemblyError(line_no, line, str(exc)) from None
+
+    raise Msp430AssemblyError(line_no, line, f"unknown mnemonic {mnemonic!r}")

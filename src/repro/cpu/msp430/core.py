@@ -1,0 +1,400 @@
+"""MSP430-compatible multi-cycle core, described in the RTL DSL.
+
+A classic size-optimized FSM implementation (the paper's second evaluation
+target is exactly this style): one shared memory port, one shared ALU, and
+a six-state control FSM::
+
+    FETCH -> [SRCEXT] -> [SRCREAD] -> [DSTEXT] -> [DSTREAD] -> EXEC -> FETCH
+
+Memory is external and word-oriented; the memory address register ``mar``
+always holds the address being read this cycle (the testbench serves
+``mem_rdata = mem[mar]``), and writes are committed from EXEC through the
+``mem_we``/``mem_wr_addr``/``mem_wdata`` outputs.
+
+Register file: r0 = PC and r2 = SR are real (non-RF-tagged) registers; r3
+is the constant generator and has no storage; r1 (SP) and r4..r15 are
+tagged as register-file flip-flops — giving the paper's split of an
+RF-dominant fault population versus abundant multi-cycle pipeline state.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.msp430 import isa
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlCircuit, cat, const, mux, onehot_case, parallel_case
+from repro.rtl.expr import Const, Expr
+from repro.synth import synthesize
+
+# FSM state encoding.
+S_FETCH, S_SRCEXT, S_SRCREAD, S_DSTEXT, S_DSTREAD, S_EXEC = range(6)
+
+
+def _mux16(select: Expr, values: list[Expr]) -> Expr:
+    """Balanced 16:1 mux tree."""
+    level = list(values)
+    for bit_index in range(4):
+        bit = select[bit_index]
+        level = [mux(bit, level[2 * i], level[2 * i + 1]) for i in range(len(level) // 2)]
+    return level[0]
+
+
+def build_msp430_core() -> RtlCircuit:
+    """Build the MSP430 core as an RTL circuit."""
+    c = RtlCircuit("msp430")
+    mem_rdata = c.input("mem_rdata", 16)
+
+    state = c.reg("state", 3, init=S_FETCH)
+    ir = c.reg("ir", 16, init=0)
+    mar = c.reg("mar", 16, init=0)
+    srcval = c.reg("srcval", 16, init=0)
+    dstaddr = c.reg("dstaddr", 16, init=0)
+    dstval = c.reg("dstval", 16, init=0)
+
+    pc = c.reg("pc", 16, init=0)
+    sr = c.reg("sr", 16, init=0)
+    # r1 (SP) and r4..r15 are the register file; r3 has no storage.
+    rf_indices = [1] + list(range(4, 16))
+    rf = {i: c.reg(f"rf_r{i}", 16, init=0, register_file=True) for i in rf_indices}
+
+    in_fetch = state.eq(S_FETCH)
+    in_srcext = state.eq(S_SRCEXT)
+    in_srcread = state.eq(S_SRCREAD)
+    in_dstext = state.eq(S_DSTEXT)
+    in_dstread = state.eq(S_DSTREAD)
+    in_exec = state.eq(S_EXEC)
+
+    flag_c, flag_z, flag_n = sr[isa.SR_C], sr[isa.SR_Z], sr[isa.SR_N]
+    flag_v = sr[isa.SR_V]
+    halted = sr[isa.SR_CPUOFF]
+
+    # ------------------------------------------------------------------
+    # ir-based decode fields (stable from SRCEXT onwards)
+    # ------------------------------------------------------------------
+    opcode = ir[12:16]
+    src = ir[8:12]
+    ad = ir[7]
+    as_mode = ir[4:6]
+    dst = ir[0:4]
+    is_fmt1 = ir[14] | ir[15]
+    is_fmt2 = opcode.eq(1)
+
+    # ==================================================================
+    # FETCH: mem_rdata is the new instruction word.
+    # ==================================================================
+    fw = mem_rdata  # fetched word
+    f_opcode = fw[12:16]
+    f_src = fw[8:12]
+    f_ad = fw[7]
+    f_as = fw[4:6]
+    f_is_jump = fw[13] & ~fw[14] & ~fw[15]
+    f_is_fmt1 = fw[14] | fw[15]
+    f_is_fmt2 = f_opcode.eq(1)
+
+    pc_plus_2 = (pc + 2).trunc(16)
+
+    # Jump resolution.
+    jump_cond = fw[10:13]
+    nv = flag_n ^ flag_v
+    jump_taken = parallel_case(
+        [
+            (jump_cond.eq(0b000), ~flag_z),
+            (jump_cond.eq(0b001), flag_z),
+            (jump_cond.eq(0b010), ~flag_c),
+            (jump_cond.eq(0b011), flag_c),
+            (jump_cond.eq(0b100), flag_n),
+            (jump_cond.eq(0b101), ~nv),
+            (jump_cond.eq(0b110), nv),
+        ],
+        default=const(1, 1),
+    )
+    jump_offset_bytes = cat(const(0, 1), fw[0:10]).sext(16)  # 2 * offset
+    jump_target = (pc_plus_2 + jump_offset_bytes).trunc(16)
+    f_pc_next = mux(f_is_jump & jump_taken, pc_plus_2, jump_target)
+
+    # Source routing.
+    f_src_is_cg3 = f_src.eq(isa.REG_CG)
+    f_src_is_cg2 = f_src.eq(isa.REG_SR) & f_as[1]  # As=10/11 on r2: consts 4/8
+    f_src_is_cg = f_src_is_cg3 | f_src_is_cg2
+    f_src_needs_ext = f_as.eq(isa.MODE_INDEXED) & ~f_src_is_cg3
+    f_src_needs_mem = f_as[1] & ~f_src_is_cg  # As=10/11, not a CG constant
+
+    # ------------------------------------------------------------------
+    # shared register read port (one 16:1 tree, size-optimized style):
+    # FETCH reads the freshly-fetched word's source field, SRCEXT the IR
+    # source field, every later state the IR destination field.
+    # ------------------------------------------------------------------
+    read_addr = parallel_case([(in_fetch, f_src), (in_srcext, src)], default=dst)
+    read_pc_value = parallel_case(
+        [(in_fetch, f_pc_next), (in_srcext, pc_plus_2), (in_dstext, pc_plus_2)],
+        default=pc,
+    )
+    slots: list[Expr] = []
+    for i in range(16):
+        if i == isa.REG_PC:
+            slots.append(read_pc_value)
+        elif i == isa.REG_SR:
+            slots.append(sr)
+        elif i == isa.REG_CG:
+            slots.append(Const(0, 16))
+        else:
+            slots.append(rf[i])
+    reg_read = _mux16(read_addr, slots)
+
+    f_reg_read = reg_read
+    f_cg_value = parallel_case(
+        [
+            (f_src_is_cg3 & f_as.eq(0b01), Const(1, 16)),
+            (f_src_is_cg3 & f_as.eq(0b10), Const(2, 16)),
+            (f_src_is_cg3 & f_as.eq(0b11), Const(0xFFFF, 16)),
+            (f_src_is_cg2 & f_as.eq(0b10), Const(4, 16)),
+            (f_src_is_cg2 & f_as.eq(0b11), Const(8, 16)),
+        ],
+        default=f_reg_read,  # register mode (r3 reads 0 via the mux slot)
+    )
+
+    f_dst_indexed = f_is_fmt1 & f_ad
+
+    f_next_state = onehot_case(
+        [
+            (f_is_jump, Const(S_FETCH, 3)),
+            (f_src_needs_ext & f_is_fmt1, Const(S_SRCEXT, 3)),
+            (f_src_needs_mem & f_is_fmt1, Const(S_SRCREAD, 3)),
+            (f_dst_indexed, Const(S_DSTEXT, 3)),
+        ],
+        default=Const(S_EXEC, 3),
+    )
+    # Address for a direct indirect-source read (@Rn / @Rn+ / @PC+).
+    f_indirect_addr = mux(f_src.eq(isa.REG_PC), f_reg_read, f_pc_next)
+    f_mar_next = parallel_case(
+        [
+            (f_is_jump, f_pc_next),
+            (f_src_needs_ext & f_is_fmt1, f_pc_next),
+            (f_src_needs_mem & f_is_fmt1, f_indirect_addr),
+        ],
+        default=f_pc_next,
+    )
+
+    # ==================================================================
+    # ir-based execute decode
+    # ==================================================================
+    is_mov = opcode.eq(isa.FORMAT1["mov"])
+    is_add = opcode.eq(isa.FORMAT1["add"])
+    is_addc = opcode.eq(isa.FORMAT1["addc"])
+    is_subc = opcode.eq(isa.FORMAT1["subc"])
+    is_sub = opcode.eq(isa.FORMAT1["sub"])
+    is_cmp = opcode.eq(isa.FORMAT1["cmp"])
+    is_bit = opcode.eq(isa.FORMAT1["bit"])
+    is_bic = opcode.eq(isa.FORMAT1["bic"])
+    is_bis = opcode.eq(isa.FORMAT1["bis"])
+    is_xor = opcode.eq(isa.FORMAT1["xor"])
+    is_and = opcode.eq(isa.FORMAT1["and"])
+
+    func = ir[7:10]
+    is_rrc = is_fmt2 & func.eq(isa.FORMAT2["rrc"])
+    is_swpb = is_fmt2 & func.eq(isa.FORMAT2["swpb"])
+    is_rra = is_fmt2 & func.eq(isa.FORMAT2["rra"])
+    is_sxt = is_fmt2 & func.eq(isa.FORMAT2["sxt"])
+
+    # ==================================================================
+    # SRCEXT / SRCREAD / DSTEXT / DSTREAD datapath
+    # ==================================================================
+    src_reg_now = reg_read
+    srcext_base = parallel_case(
+        [
+            (src.eq(isa.REG_SR), Const(0, 16)),  # absolute &addr
+            (src.eq(isa.REG_PC), pc_plus_2),  # symbolic ADDR(PC)
+        ],
+        default=src_reg_now,
+    )
+    srcext_addr = (srcext_base + mem_rdata).trunc(16)
+
+    src_autoinc = in_srcread & is_fmt1 & as_mode.eq(isa.MODE_INDIRECT_INC)
+    srcread_pc_next = mux(src.eq(isa.REG_PC) & as_mode.eq(isa.MODE_INDIRECT_INC),
+                          pc, pc_plus_2)
+
+    dst_reg_now = reg_read
+    dstext_base = parallel_case(
+        [
+            (dst.eq(isa.REG_SR), Const(0, 16)),
+            (dst.eq(isa.REG_PC), pc_plus_2),
+        ],
+        default=dst_reg_now,
+    )
+    dstext_addr = (dstext_base + mem_rdata).trunc(16)
+    dst_needs_read = is_fmt1 & ~is_mov
+
+    # ==================================================================
+    # EXEC: ALU, flags, write-back
+    # ==================================================================
+    src_op = srcval
+    dst_op_f1 = mux(ad, dst_reg_now, dstval)
+    fmt2_op = dst_reg_now
+    dst_op = mux(is_fmt2, dst_op_f1, fmt2_op)
+
+    is_sub_like = is_sub | is_subc | is_cmp
+    adder_b = mux(is_sub_like, src_op, ~src_op)
+    adder_cin = parallel_case(
+        [
+            (is_sub | is_cmp, const(1, 1)),
+            (is_subc | is_addc, flag_c),
+        ],
+        default=const(0, 1),
+    )
+    adder_full = dst_op.add_with_carry(adder_b, adder_cin)
+    adder_res = adder_full.trunc(16)
+    adder_carry = adder_full[16]
+
+    and_res = dst_op & src_op
+    xor_res = dst_op ^ src_op
+
+    shift_hi = mux(is_rrc, fmt2_op[15], flag_c)
+    shift_res = cat(fmt2_op[1:16], shift_hi)
+    swpb_res = cat(fmt2_op[8:16], fmt2_op[0:8])
+    sxt_res = cat(fmt2_op[0:8], fmt2_op[7].replicate(8))
+
+    is_arith = is_add | is_addc | is_sub | is_subc | is_cmp
+    result = parallel_case(
+        [
+            (is_mov, src_op),
+            (is_arith, adder_res),
+            (is_and | is_bit, and_res),
+            (is_xor, xor_res),
+            (is_bic, dst_op & ~src_op),
+            (is_bis, dst_op | src_op),
+            (is_rrc | is_rra, shift_res),
+            (is_swpb, swpb_res),
+            (is_sxt, sxt_res),
+        ],
+        default=dst_op,
+    )
+
+    # Flags.
+    d15, b15, r15 = dst_op[15], adder_b[15], adder_res[15]
+    v_arith = (d15 & b15 & ~r15) | (~d15 & ~b15 & r15)
+    z0 = result.is_zero()
+    n0 = result[15]
+    nz_c = ~z0  # AND/BIT/XOR/SXT set C = NOT Z
+
+    flags_arith = is_arith
+    flags_logic = is_and | is_bit | is_xor | is_sxt
+    flags_shift = is_rrc | is_rra
+    flags_en = in_exec & (flags_arith | flags_logic | flags_shift)
+
+    c_val = parallel_case(
+        [(flags_arith, adder_carry), (flags_shift, fmt2_op[0])], default=nz_c
+    )
+    v_val = parallel_case(
+        [(flags_arith, v_arith), (is_xor, src_op[15] & dst_op[15])],
+        default=const(0, 1),
+    )
+
+    sr_flagged = cat(
+        mux(flags_en, sr[0], c_val),
+        mux(flags_en, sr[1], z0),
+        mux(flags_en, sr[2], n0),
+        sr[3:8],
+        mux(flags_en, sr[8], v_val),
+        sr[9:16],
+    )
+
+    writes_result = is_fmt2 | (is_fmt1 & ~is_cmp & ~is_bit)
+    reg_write = in_exec & writes_result & (~ad | is_fmt2)
+    mem_write = in_exec & writes_result & is_fmt1 & ad
+
+    # ==================================================================
+    # register next-state muxes
+    # ==================================================================
+    def gate(register, value):
+        """Freeze everything once CPUOFF is set."""
+        register.next = mux(halted, value, register)
+
+    exec_pc_write = reg_write & dst.eq(isa.REG_PC)
+    pc_value = parallel_case(
+        [
+            (in_fetch, f_pc_next),
+            (in_srcext, pc_plus_2),
+            (in_srcread, srcread_pc_next),
+            (in_dstext, pc_plus_2),
+            (in_exec & exec_pc_write, result),
+        ],
+        default=pc,
+    )
+    gate(pc, pc_value)
+
+    exec_sr_write = reg_write & dst.eq(isa.REG_SR)
+    sr_value = parallel_case(
+        [(in_exec, mux(exec_sr_write, sr_flagged, result))],
+        default=sr,
+    )
+    gate(sr, sr_value)
+
+    for index, register in rf.items():
+        write_here = reg_write & dst.eq(index)
+        inc_here = src_autoinc & src.eq(index)
+        value = parallel_case(
+            [
+                (in_exec & write_here, result),
+                (inc_here, (register + 2).trunc(16)),
+            ],
+            default=register,
+        )
+        gate(register, value)
+
+    mar_value = parallel_case(
+        [
+            (in_fetch, f_mar_next),
+            (in_srcext, srcext_addr),
+            (in_srcread, srcread_pc_next),
+            (in_dstext, mux(dst_needs_read, pc_plus_2, dstext_addr)),
+            (in_dstread, pc),
+            (in_exec & exec_pc_write, result),
+        ],
+        default=mar,
+    )
+    gate(mar, mar_value)
+
+    gate(ir, mux(in_fetch, ir, mem_rdata))
+    gate(srcval, parallel_case(
+        [
+            (in_fetch & ~f_src_needs_ext & ~f_src_needs_mem, f_cg_value),
+            (in_srcread, mem_rdata),
+        ],
+        default=srcval,
+    ))
+    gate(dstaddr, parallel_case(
+        [(in_dstext, dstext_addr)],
+        default=dstaddr,
+    ))
+    gate(dstval, mux(in_dstread, dstval, mem_rdata))
+
+    state_value = parallel_case(
+        [
+            (in_fetch, f_next_state),
+            (in_srcext, Const(S_SRCREAD, 3)),
+            (in_srcread, mux(is_fmt1 & ad, Const(S_EXEC, 3), Const(S_DSTEXT, 3))),
+            (in_dstext, mux(dst_needs_read, Const(S_EXEC, 3), Const(S_DSTREAD, 3))),
+            (in_dstread, Const(S_EXEC, 3)),
+        ],
+        default=Const(S_FETCH, 3),
+    )
+    gate(state, state_value)
+
+    # ==================================================================
+    # external interfaces
+    # ==================================================================
+    # The write bus is gated with its strobe (an idle bus drives zero), as
+    # on the real part — an ungated ``result`` bus would make every
+    # register/operand fault externally visible in every cycle and defeat
+    # intra-cycle masking. The PC and FSM state are internal (the memory
+    # interface is MAR), so they are deliberately NOT chip outputs.
+    write_strobe = mem_write & ~halted
+    c.output("mem_we", write_strobe)
+    c.output("mem_wr_addr", mux(write_strobe, Const(0, 16), dstaddr))
+    c.output("mem_wdata", mux(write_strobe, Const(0, 16), result))
+    c.output("halted", halted)
+    return c
+
+
+def synthesize_msp430() -> Netlist:
+    """Synthesize the MSP430 core onto the standard-cell library."""
+    return synthesize(build_msp430_core())

@@ -1,0 +1,118 @@
+"""MSP430 instruction subset: encodings and constants.
+
+Word-mode (``.W``) instructions only; the encodings are bit-compatible with
+the TI MSP430x1xx family ISA for the covered subset:
+
+- Format I (two-operand): MOV ADD ADDC SUBC SUB CMP BIT BIC BIS XOR AND
+- Format II (one-operand, register mode): RRC SWPB RRA SXT
+- Jumps: JNE JEQ JNC JC JN JGE JL JMP
+
+Addressing modes: register, indexed ``x(Rn)``, absolute ``&addr`` (r2-based
+indexed), indirect ``@Rn``, indirect auto-increment ``@Rn+``, and immediate
+``#imm`` (``@PC+`` or the r2/r3 constant generator where possible).
+
+Status-register (r2) bits: C, Z, N, GIE, CPUOFF, ..., V. ``BIS #0x10, SR``
+(set CPUOFF) is the idiomatic halt and is treated as such by the testbench.
+"""
+
+from __future__ import annotations
+
+#: Format I opcodes (bits 15..12).
+FORMAT1 = {
+    "mov": 0x4,
+    "add": 0x5,
+    "addc": 0x6,
+    "subc": 0x7,
+    "sub": 0x8,
+    "cmp": 0x9,
+    "bit": 0xB,
+    "bic": 0xC,
+    "bis": 0xD,
+    "xor": 0xE,
+    "and": 0xF,
+}
+
+#: Format II opcodes (bits 9..7 under the 000100 prefix).
+FORMAT2 = {
+    "rrc": 0b000,
+    "swpb": 0b001,
+    "rra": 0b010,
+    "sxt": 0b011,
+}
+
+#: Jump conditions (bits 12..10).
+JUMPS = {
+    "jne": 0b000,
+    "jnz": 0b000,
+    "jeq": 0b001,
+    "jz": 0b001,
+    "jnc": 0b010,
+    "jlo": 0b010,
+    "jc": 0b011,
+    "jhs": 0b011,
+    "jn": 0b100,
+    "jge": 0b101,
+    "jl": 0b110,
+    "jmp": 0b111,
+}
+
+#: Addressing-mode codes (As / Ad).
+MODE_REGISTER = 0b00
+MODE_INDEXED = 0b01
+MODE_INDIRECT = 0b10
+MODE_INDIRECT_INC = 0b11
+
+#: Register aliases.
+REG_PC, REG_SP, REG_SR, REG_CG = 0, 1, 2, 3
+
+#: Status-register bits.
+SR_C, SR_Z, SR_N, SR_GIE, SR_CPUOFF = 0, 1, 2, 3, 4
+SR_V = 8
+
+#: Constant-generator values: (register, As) -> constant.
+CONST_GENERATOR = {
+    (REG_SR, MODE_INDIRECT): 4,
+    (REG_SR, MODE_INDIRECT_INC): 8,
+    (REG_CG, MODE_REGISTER): 0,
+    (REG_CG, MODE_INDEXED): 1,
+    (REG_CG, MODE_INDIRECT): 2,
+    (REG_CG, MODE_INDIRECT_INC): 0xFFFF,
+}
+
+
+def encode_format1(mnemonic: str, src: int, as_mode: int, dst: int, ad_mode: int) -> int:
+    """Two-operand encoding: ``oooo ssss a b aa dddd``."""
+    if not 0 <= src < 16 or not 0 <= dst < 16:
+        raise ValueError("registers must be r0..r15")
+    if ad_mode not in (0, 1):
+        raise ValueError("destination mode must be register or indexed")
+    return (
+        (FORMAT1[mnemonic] << 12)
+        | (src << 8)
+        | (ad_mode << 7)
+        | (as_mode << 4)
+        | dst
+    )
+
+
+def encode_format2(mnemonic: str, reg: int, mode: int = MODE_REGISTER) -> int:
+    """Single-operand encoding under the ``000100`` prefix."""
+    if not 0 <= reg < 16:
+        raise ValueError("register must be r0..r15")
+    return 0x1000 | (FORMAT2[mnemonic] << 7) | (mode << 4) | reg
+
+
+def encode_jump(mnemonic: str, offset_words: int) -> int:
+    """``001c ccoo oooo oooo``; target = PC + 2 + 2*offset."""
+    if not -512 <= offset_words < 512:
+        raise ValueError(f"jump offset {offset_words} out of range")
+    return 0x2000 | (JUMPS[mnemonic] << 10) | (offset_words & 0x3FF)
+
+
+def immediate_via_cg(value: int) -> tuple[int, int] | None:
+    """(register, As) encoding a constant without an extension word."""
+    value &= 0xFFFF
+    for (reg, mode), constant in CONST_GENERATOR.items():
+        if constant == value:
+            return (reg, mode)
+    return None

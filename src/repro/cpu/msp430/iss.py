@@ -1,0 +1,230 @@
+"""MSP430 instruction-set simulator (architectural golden model)."""
+
+from __future__ import annotations
+
+from repro.cpu.msp430 import isa
+from repro.sim.memory import RAM, ROM
+
+
+class Msp430Iss:
+    """Architectural interpreter for the implemented MSP430 subset.
+
+    Program and data share one byte-addressed space: addresses below
+    ``rom_bytes`` read from the ROM, the rest from RAM (word granularity).
+    """
+
+    def __init__(self, rom: ROM, ram: RAM, ram_base: int = 0x0200) -> None:
+        self.rom = rom
+        self.ram = ram
+        self.ram_base = ram_base
+        self.regs = [0] * 16
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        """Program counter (r0)."""
+        return self.regs[isa.REG_PC]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.regs[isa.REG_PC] = value & 0xFFFF
+
+    @property
+    def sr(self) -> int:
+        """Status register (r2)."""
+        return self.regs[isa.REG_SR]
+
+    @sr.setter
+    def sr(self, value: int) -> None:
+        self.regs[isa.REG_SR] = value & 0xFFFF
+
+    @property
+    def halted(self) -> bool:
+        """True once CPUOFF is set."""
+        return bool(self.sr & (1 << isa.SR_CPUOFF))
+
+    def _flag(self, bit: int) -> int:
+        return (self.sr >> bit) & 1
+
+    def _set_flags(self, c=None, z=None, n=None, v=None) -> None:
+        for bit, value in ((isa.SR_C, c), (isa.SR_Z, z), (isa.SR_N, n), (isa.SR_V, v)):
+            if value is None:
+                continue
+            if value:
+                self.sr |= 1 << bit
+            else:
+                self.sr &= ~(1 << bit)
+
+    # ------------------------------------------------------------------
+    def read_word(self, byte_address: int) -> int:
+        """Read from the unified ROM/RAM byte-address space."""
+        byte_address &= 0xFFFF
+        if byte_address >= self.ram_base:
+            return self.ram.read(((byte_address - self.ram_base) >> 1) % len(self.ram))
+        return self.rom.read(byte_address >> 1)
+
+    def write_word(self, byte_address: int, value: int) -> None:
+        """Write a word (ROM-space writes are dropped)."""
+        byte_address &= 0xFFFF
+        if byte_address >= self.ram_base:
+            self.ram.write(
+                ((byte_address - self.ram_base) >> 1) % len(self.ram), value, cycle=-1
+            )
+        # Writes into ROM space are dropped (open bus).
+
+    def _fetch(self) -> int:
+        word = self.read_word(self.pc)
+        self.pc += 2
+        return word
+
+    # ------------------------------------------------------------------
+    def _resolve_src(self, reg: int, mode: int) -> int:
+        constant = isa.CONST_GENERATOR.get((reg, mode))
+        if constant is not None:
+            return constant
+        if mode == isa.MODE_REGISTER:
+            return self.regs[reg]
+        if mode == isa.MODE_INDEXED:
+            ext = self._fetch()
+            base = 0 if reg == isa.REG_SR else self.regs[reg]
+            return self.read_word(base + ext)
+        if mode == isa.MODE_INDIRECT:
+            return self.read_word(self.regs[reg])
+        # Indirect auto-increment (covers #imm via @PC+).
+        address = self.regs[reg]
+        value = self.read_word(address)
+        self.regs[reg] = (address + 2) & 0xFFFF
+        return value
+
+    def _resolve_dst_address(self, reg: int, ad_mode: int) -> int | None:
+        """None means register destination; otherwise the byte address."""
+        if ad_mode == 0:
+            return None
+        ext = self._fetch()
+        base = 0 if reg == isa.REG_SR else self.regs[reg]
+        return (base + ext) & 0xFFFF
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Fetch, decode, and execute one instruction."""
+        if self.halted:
+            return
+        word = self._fetch()
+        self.instructions_retired += 1
+
+        opcode = word >> 12
+        if opcode == 0x1:  # Format II
+            func = (word >> 7) & 0x7
+            mode = (word >> 4) & 0x3
+            reg = word & 0xF
+            if mode != isa.MODE_REGISTER:
+                raise ValueError(f"format-II non-register mode unimplemented: {word:#x}")
+            operand = self.regs[reg]
+            if func == isa.FORMAT2["rrc"]:
+                carry_in = self._flag(isa.SR_C)
+                result = (operand >> 1) | (carry_in << 15)
+                self._set_flags(c=operand & 1, z=int(result == 0), n=result >> 15, v=0)
+            elif func == isa.FORMAT2["rra"]:
+                result = (operand >> 1) | (operand & 0x8000)
+                self._set_flags(c=operand & 1, z=int(result == 0), n=result >> 15, v=0)
+            elif func == isa.FORMAT2["swpb"]:
+                result = ((operand << 8) | (operand >> 8)) & 0xFFFF
+            elif func == isa.FORMAT2["sxt"]:
+                result = operand & 0xFF
+                if result & 0x80:
+                    result |= 0xFF00
+                self._set_flags(
+                    c=int(result != 0), z=int(result == 0), n=result >> 15, v=0
+                )
+            else:
+                raise ValueError(f"unimplemented format-II function {func}")
+            self.regs[reg] = result & 0xFFFF
+            return
+
+        if opcode == 0x2 or opcode == 0x3:  # jumps
+            condition = (word >> 10) & 0x7
+            offset = word & 0x3FF
+            if offset >= 512:
+                offset -= 1024
+            c, z, n = self._flag(isa.SR_C), self._flag(isa.SR_Z), self._flag(isa.SR_N)
+            v = self._flag(isa.SR_V)
+            take = {
+                0b000: not z, 0b001: z, 0b010: not c, 0b011: c,
+                0b100: n, 0b101: not (n ^ v), 0b110: bool(n ^ v), 0b111: True,
+            }[condition]
+            if take:
+                self.pc += 2 * offset
+            return
+
+        mnemonic = {v: k for k, v in isa.FORMAT1.items()}.get(opcode)
+        if mnemonic is None:
+            raise ValueError(f"unimplemented instruction {word:#06x}")
+        src_reg = (word >> 8) & 0xF
+        ad_mode = (word >> 7) & 0x1
+        as_mode = (word >> 4) & 0x3
+        dst_reg = word & 0xF
+
+        src = self._resolve_src(src_reg, as_mode)
+        dst_address = self._resolve_dst_address(dst_reg, ad_mode)
+        if dst_address is None:
+            dst = self.regs[dst_reg]
+        elif mnemonic == "mov":
+            dst = 0  # MOV never reads the destination
+        else:
+            dst = self.read_word(dst_address)
+
+        result, write = self._execute_format1(mnemonic, src, dst)
+        if write:
+            if dst_address is None:
+                if dst_reg != isa.REG_CG:  # r3 writes are discarded
+                    self.regs[dst_reg] = result & 0xFFFF
+            else:
+                self.write_word(dst_address, result & 0xFFFF)
+
+    def _execute_format1(self, mnemonic: str, src: int, dst: int) -> tuple[int, bool]:
+        if mnemonic == "mov":
+            return src, True
+        if mnemonic in ("add", "addc", "sub", "subc", "cmp"):
+            if mnemonic in ("sub", "subc", "cmp"):
+                operand = (~src) & 0xFFFF
+                carry = 1 if mnemonic == "sub" or mnemonic == "cmp" else self._flag(isa.SR_C)
+            else:
+                operand = src
+                carry = 0 if mnemonic == "add" else self._flag(isa.SR_C)
+            total = dst + operand + carry
+            result = total & 0xFFFF
+            d15, o15, r15 = dst >> 15, operand >> 15, result >> 15
+            overflow = (d15 & o15 & (1 - r15)) | ((1 - d15) & (1 - o15) & r15)
+            self._set_flags(
+                c=total >> 16, z=int(result == 0), n=r15, v=overflow
+            )
+            return result, mnemonic not in ("cmp",)
+        if mnemonic in ("and", "bit"):
+            result = dst & src
+            self._set_flags(
+                c=int(result != 0), z=int(result == 0), n=result >> 15, v=0
+            )
+            return result, mnemonic == "and"
+        if mnemonic == "xor":
+            result = dst ^ src
+            self._set_flags(
+                c=int(result != 0),
+                z=int(result == 0),
+                n=result >> 15,
+                v=(src >> 15) & (dst >> 15),
+            )
+            return result, True
+        if mnemonic == "bic":
+            return dst & ~src, True
+        if mnemonic == "bis":
+            return dst | src, True
+        raise AssertionError(mnemonic)
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until CPUOFF or the instruction budget; returns retired count."""
+        for _ in range(max_instructions):
+            if self.halted:
+                break
+            self.step()
+        return self.instructions_retired

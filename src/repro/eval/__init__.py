@@ -1,0 +1,5 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.eval.example_circuit import figure1_netlist, figure1_testbench_rows
+
+__all__ = ["figure1_netlist", "figure1_testbench_rows"]

@@ -1,0 +1,75 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.eval table1          # MATE search statistics
+    python -m repro.eval table2          # AVR MATE performance
+    python -m repro.eval table3          # MSP430 MATE performance
+    python -m repro.eval figure1         # example circuit + pruning grid
+    python -m repro.eval hafi            # Sec. 6.1 hardware-cost figures
+    python -m repro.eval all             # everything above
+    python -m repro.eval clear-cache     # drop cached traces/searches
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "figure1", "hafi", "combined",
+                 "all", "clear-cache"],
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "clear-cache":
+        from repro.eval.context import clear_disk_cache
+
+        removed = clear_disk_cache()
+        print(f"removed {removed} cached artifact(s)")
+        return 0
+
+    wanted = (
+        ["figure1", "table1", "table2", "table3", "hafi", "combined"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in wanted:
+        if name == "table1":
+            from repro.eval.table1 import build_table1
+
+            print(build_table1().format())
+        elif name == "table2":
+            from repro.eval.mate_performance import build_mate_performance
+
+            print(build_mate_performance("avr").format())
+        elif name == "table3":
+            from repro.eval.mate_performance import build_mate_performance
+
+            print(build_mate_performance("msp430").format())
+        elif name == "figure1":
+            from repro.eval.figures import build_figure1
+
+            print(build_figure1().format())
+        elif name == "hafi":
+            from repro.eval.hafi_cost import build_hafi_cost
+
+            print(build_hafi_cost().format())
+        elif name == "combined":
+            from repro.eval.combined import build_combined
+
+            print(build_combined().format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

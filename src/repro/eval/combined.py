@@ -1,0 +1,124 @@
+"""Cross-layer combination experiment (paper Sec. 6.3's vision).
+
+The paper argues for combining HAFI flip-flop-level pruning (MATEs) with
+ISA-level software pruning taking over for architectural state. This
+experiment quantifies exactly that on our cores:
+
+- MATEs prune intra-cycle-masked faults (strong on pipeline/FSM state);
+- def-use pruning removes register-file faults that die overwritten-unread
+  (strong exactly where MATEs are weak, Sec. 6.3);
+- the union is the combined campaign fault-list reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.faultspace import FaultSpace
+from repro.core.intercycle import prune_fault_space
+from repro.core.replay import replay_mates
+from repro.cpu.avr.access import avr_access_model
+from repro.cpu.msp430.access import msp430_access_model
+from repro.eval import context
+
+
+@dataclass
+class CombinedRow:
+    """One (core, program) row of the cross-layer experiment."""
+
+    core: str
+    program: str
+    fault_space: int
+    mate_benign: int
+    defuse_benign: int
+    combined_benign: int
+
+    @property
+    def mate_fraction(self) -> float:
+        """Fault-space share pruned by MATEs alone."""
+        return self.mate_benign / self.fault_space
+
+    @property
+    def defuse_fraction(self) -> float:
+        """Fault-space share pruned by def-use alone."""
+        return self.defuse_benign / self.fault_space
+
+    @property
+    def combined_fraction(self) -> float:
+        """Fault-space share pruned by the union."""
+        return self.combined_benign / self.fault_space
+
+
+@dataclass
+class CombinedReport:
+    """The assembled cross-layer pruning comparison."""
+
+    rows: list[CombinedRow]
+
+    def format(self) -> str:
+        """Render as aligned text."""
+        lines = [
+            "Cross-layer pruning: MATEs (intra-cycle) + def-use (inter-cycle)",
+            "",
+            f"{'core/program':<16s}{'MATEs':>10s}{'def-use':>10s}{'combined':>10s}",
+            "-" * 46,
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.core}/{row.program:<10s}"
+                f"{100 * row.mate_fraction:9.2f}%"
+                f"{100 * row.defuse_fraction:9.2f}%"
+                f"{100 * row.combined_fraction:9.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def _access_model(core: str):
+    if core == "avr":
+        return avr_access_model(context.get_netlist(core))
+    return msp430_access_model(context.get_netlist(core))
+
+
+def build_combined(cores=context.CORES, programs=context.PROGRAMS) -> CombinedReport:
+    """MATE vs def-use vs combined benign fractions over the full FF space."""
+    rows = []
+    for core in cores:
+        netlist = context.get_netlist(core)
+        mates = context.get_mates(core, exclude_register_file=False)
+        fault_wires = context.get_fault_wires(core, exclude_register_file=False)
+        model = _access_model(core)
+        for program in programs:
+            trace = context.get_trace(core, program)
+            replay = replay_mates(mates, trace, fault_wires)
+
+            combined = FaultSpace(fault_wires, trace.num_cycles)
+            mate_count = 0
+            for wire in fault_wires:
+                benign = np.unpackbits(replay.masked_vector(wire))[
+                    : trace.num_cycles
+                ]
+                mate_count += int(benign.sum())
+                combined.mark_benign_cycles(wire, benign)
+
+            defuse_space = prune_fault_space(trace, model)
+            defuse_count = defuse_space.num_benign
+            for wire in defuse_space.fault_wires:
+                if wire in fault_wires:
+                    row_index = defuse_space._row[wire]  # noqa: SLF001
+                    combined.mark_benign_cycles(
+                        wire, defuse_space.benign[row_index]
+                    )
+
+            rows.append(
+                CombinedRow(
+                    core=core,
+                    program=program,
+                    fault_space=combined.size,
+                    mate_benign=mate_count,
+                    defuse_benign=defuse_count,
+                    combined_benign=combined.num_benign,
+                )
+            )
+    return CombinedReport(rows)

@@ -1,0 +1,225 @@
+"""Shared, cached experiment artifacts: cores, traces, MATE searches.
+
+Synthesis is cheap, but 8500-cycle full-wire traces and whole-netlist MATE
+searches are not — they are cached in memory (per process) and on disk
+(``.repro_cache/``) keyed by the netlist content hash and the heuristic
+parameters, so benchmarks and the CLI can re-run instantly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mate import Mate, MateSet
+from repro.core.search import (
+    SearchParameters,
+    SearchResult,
+    WireSearchResult,
+    faulty_wires_for_dffs,
+    find_mates,
+)
+from repro.cpu.avr import AvrSystem, synthesize_avr
+from repro.cpu.msp430 import Msp430System, synthesize_msp430
+from repro.netlist.json_io import netlist_to_json
+from repro.netlist.netlist import Netlist
+from repro.programs import avr_conv, avr_fib, msp430_conv, msp430_fib
+from repro.sim.simulator import Simulator
+from repro.trace.trace import Trace
+
+#: The paper's trace length for both test programs.
+TRACE_CYCLES = 8500
+
+CORES = ("avr", "msp430")
+PROGRAMS = ("fib", "conv")
+
+_CACHE_DIR = Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def cache_dir() -> Path:
+    """The on-disk artifact cache directory (created on demand)."""
+    _CACHE_DIR.mkdir(exist_ok=True)
+    return _CACHE_DIR
+
+
+@lru_cache(maxsize=None)
+def get_netlist(core: str) -> Netlist:
+    """Synthesized netlist of one evaluation core (memoized)."""
+    if core == "avr":
+        return synthesize_avr()
+    if core == "msp430":
+        return synthesize_msp430()
+    raise ValueError(f"unknown core {core!r} (expected one of {CORES})")
+
+
+@lru_cache(maxsize=None)
+def get_simulator(core: str) -> Simulator:
+    """Compiled simulator of one core (memoized)."""
+    return Simulator(get_netlist(core))
+
+
+@lru_cache(maxsize=None)
+def netlist_hash(core: str) -> str:
+    """Content hash keying all cached artifacts of a core."""
+    text = netlist_to_json(get_netlist(core))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def make_system(core: str, program: str, halt: bool = False):
+    """Fresh testbench running the given test program."""
+    if core == "avr":
+        words = {"fib": avr_fib, "conv": avr_conv}[program](halt=halt)
+        return AvrSystem(words, halt_on_sleep=halt)
+    words = {"fib": msp430_fib, "conv": msp430_conv}[program](halt=halt)
+    return Msp430System(words, halt_on_cpuoff=halt)
+
+
+@lru_cache(maxsize=None)
+def get_trace(core: str, program: str, cycles: int = TRACE_CYCLES) -> Trace:
+    """Full-wire execution trace (free-running program), disk-cached."""
+    path = cache_dir() / f"trace_{core}_{program}_{cycles}_{netlist_hash(core)}.npz"
+    if path.exists():
+        data = np.load(path, allow_pickle=False)
+        wires = [str(w) for w in data["wires"]]
+        return Trace(wires, data["matrix"])
+    simulator = get_simulator(core)
+    result = simulator.run(make_system(core, program), max_cycles=cycles)
+    assert result.trace is not None
+    np.savez_compressed(
+        path,
+        wires=np.array(result.trace.wire_names),
+        matrix=result.trace.matrix,
+    )
+    return result.trace
+
+
+# ----------------------------------------------------------------------
+# MATE search caching
+# ----------------------------------------------------------------------
+#: Bump when the search algorithm changes in ways SearchParameters doesn't
+#: capture (killer expansion limits, checker semantics, ...).
+SEARCH_ALGORITHM_VERSION = 3
+
+
+def _params_key(params: SearchParameters) -> str:
+    blob = json.dumps(
+        {**params.__dict__, "_algo": SEARCH_ALGORITHM_VERSION}, sort_keys=True
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:8]
+
+
+def _search_to_json(result: SearchResult) -> str:
+    doc = {
+        "netlist": result.netlist_name,
+        "runtime_seconds": result.runtime_seconds,
+        "wires": [
+            {
+                "wire": r.wire,
+                "dff": r.dff_name,
+                "status": r.status,
+                "cone_gates": r.cone_gates,
+                "num_terms": r.num_terms,
+                "num_signatures": r.num_signatures,
+                "candidates_tried": r.candidates_tried,
+                "exact_checks": r.exact_checks,
+                "mates": [list(m.literals) for m in r.mates],
+            }
+            for r in result.wire_results
+        ],
+    }
+    return json.dumps(doc)
+
+
+def _search_from_json(text: str, params: SearchParameters) -> SearchResult:
+    doc = json.loads(text)
+    wires = []
+    for r in doc["wires"]:
+        mates = [
+            Mate([(w, v) for w, v in literals], [r["wire"]])
+            for literals in r["mates"]
+        ]
+        wires.append(
+            WireSearchResult(
+                wire=r["wire"],
+                dff_name=r["dff"],
+                status=r["status"],
+                cone_gates=r["cone_gates"],
+                num_terms=r["num_terms"],
+                num_signatures=r["num_signatures"],
+                candidates_tried=r["candidates_tried"],
+                exact_checks=r["exact_checks"],
+                mates=mates,
+            )
+        )
+    return SearchResult(
+        netlist_name=doc["netlist"],
+        parameters=params,
+        wire_results=wires,
+        runtime_seconds=doc["runtime_seconds"],
+    )
+
+
+@lru_cache(maxsize=None)
+def get_search(
+    core: str,
+    exclude_register_file: bool,
+    params: SearchParameters | None = None,
+) -> SearchResult:
+    """MATE search result for one (core, FF-set) input, disk-cached."""
+    params = params or SearchParameters()
+    suffix = "noRF" if exclude_register_file else "FF"
+    path = cache_dir() / (
+        f"mates_{core}_{suffix}_{netlist_hash(core)}_{_params_key(params)}.json"
+    )
+    if path.exists():
+        return _search_from_json(path.read_text(), params)
+    netlist = get_netlist(core)
+    wires = faulty_wires_for_dffs(netlist, exclude_register_file=exclude_register_file)
+    result = find_mates(netlist, faulty_wires=wires, params=params)
+    path.write_text(_search_to_json(result))
+    return result
+
+
+def get_fault_wires(core: str, exclude_register_file: bool) -> list[str]:
+    """Fault-space wires for one (core, FF-set) input."""
+    return list(
+        faulty_wires_for_dffs(
+            get_netlist(core), exclude_register_file=exclude_register_file
+        )
+    )
+
+
+def get_mates(core: str, exclude_register_file: bool) -> list[Mate]:
+    """Deduplicated MATE list for one (core, FF-set) input."""
+    return get_search(core, exclude_register_file).mate_set().mates()
+
+
+def clear_disk_cache() -> int:
+    """Delete all cached artifacts; returns the number of files removed."""
+    removed = 0
+    if _CACHE_DIR.exists():
+        for path in _CACHE_DIR.iterdir():
+            path.unlink()
+            removed += 1
+    return removed
+
+
+__all__ = [
+    "CORES",
+    "PROGRAMS",
+    "TRACE_CYCLES",
+    "MateSet",
+    "cache_dir",
+    "clear_disk_cache",
+    "get_fault_wires",
+    "get_mates",
+    "get_netlist",
+    "get_search",
+    "get_simulator",
+    "get_trace",
+    "make_system",
+]

@@ -1,0 +1,62 @@
+"""The paper's running example circuit (Figure 1a).
+
+Five fault-site wires ``a..e`` feed five gates ``A..E``:
+
+- ``A = NAND(a, b) -> f``
+- ``B = XOR(c, d) -> g``
+- ``C = INV(e) -> h``
+- ``D = AND(g, f) -> k``
+- ``E = OR(g, h) -> l``
+
+with observable outputs ``k``, ``l`` and ``h``. This reproduces every fact
+stated in Sec. 3: the fault cone of ``d`` is ``{d, g, k, l}`` with gates
+``{B, D, E}`` and border wires ``{c, f, h}``; ``M_d = (¬f ∧ h)``;
+``M_a = ¬b``; and input ``e`` has no MATE because the path ``[C]`` contains
+no gate with masking capability.
+"""
+
+from __future__ import annotations
+
+from repro.cells.nangate15 import nangate15_library
+from repro.netlist.netlist import Netlist
+
+#: The five fault-site wires of the example (Figure 1b rows).
+FIGURE1_FAULT_WIRES = ("a", "b", "c", "d", "e")
+
+
+def figure1_netlist() -> Netlist:
+    """Build the Figure 1a example circuit."""
+    netlist = Netlist("figure1", nangate15_library())
+    for wire in FIGURE1_FAULT_WIRES:
+        netlist.add_input(wire)
+    netlist.add_gate("A", "NAND2", {"A": "a", "B": "b"}, "f")
+    netlist.add_gate("B", "XOR2", {"A": "c", "B": "d"}, "g")
+    netlist.add_gate("C", "INV", {"A": "e"}, "h")
+    netlist.add_gate("D", "AND2", {"A": "g", "B": "f"}, "k")
+    netlist.add_gate("E", "OR2", {"A": "g", "B": "h"}, "l")
+    for wire in ("k", "l", "h"):
+        netlist.add_output(wire)
+    return netlist
+
+
+def figure1_testbench_rows() -> list[dict[str, int]]:
+    """An 8-cycle stimulus for the Figure 1b fault-space grid.
+
+    The values are chosen so different MATEs trigger in different cycles
+    (e.g. ``¬b`` masks ``a`` early on), giving the checkered pruning
+    pattern of the figure.
+    """
+    rows = []
+    patterns = [
+        (1, 0, 0, 1, 0),
+        (0, 0, 1, 1, 1),
+        (1, 1, 0, 0, 0),
+        (0, 1, 1, 0, 1),
+        (1, 1, 1, 1, 0),
+        (0, 0, 0, 0, 0),
+        (1, 0, 1, 0, 1),
+        (1, 1, 0, 1, 1),
+    ]
+    for a, b, c, d, e in patterns:
+        rows.append({"a": a, "b": b, "c": c, "d": d, "e": e})
+    return rows

@@ -1,0 +1,48 @@
+"""Sec. 6.1 — hardware cost of integrating MATE sets into a HAFI platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.replay import replay_mates
+from repro.core.selection import select_top_n
+from repro.eval import context
+from repro.hafi.controller import plan_campaign
+from repro.hafi.fpga import estimate_mate_cost
+
+
+@dataclass
+class HafiCostReport:
+    """Sec. 6.1 cost figures for selected MATE sets."""
+
+    entries: list[str]
+
+    def format(self) -> str:
+        """Render as text."""
+        return "\n\n".join(self.entries)
+
+
+def build_hafi_cost(top_n_values: tuple[int, ...] = (50, 100)) -> HafiCostReport:
+    """LUT cost + campaign-plan figures for top-N MATE sets on both cores."""
+    entries = []
+    for core in context.CORES:
+        mates = context.get_mates(core, exclude_register_file=True)
+        fault_wires = context.get_fault_wires(core, exclude_register_file=True)
+        trace = context.get_trace(core, "fib")
+        replay = replay_mates(mates, trace, fault_wires)
+        for top_n in top_n_values:
+            subset_indices = select_top_n(replay, top_n)
+            subset = [mates[i] for i in subset_indices]
+            cost = estimate_mate_cost(subset)
+            pruned = replay.masked_pairs(subset_indices)
+            plan = plan_campaign(
+                fault_space_size=replay.fault_space_size,
+                pruned_points=pruned,
+                workload_cycles=trace.num_cycles,
+                mate_cost=cost,
+            )
+            entries.append(
+                f"{core.upper()} top-{top_n} MATE set (FF w/o RF, fib trace)\n"
+                f"  {cost.format()}\n{plan.format()}"
+            )
+    return HafiCostReport(entries)

@@ -1,0 +1,120 @@
+"""Tables 2 and 3 — MATE performance and top-N selection/cross-validation.
+
+For one core (Table 2 = AVR, Table 3 = MSP430), per FF set and per trace:
+
+- the *complete* MATE set: number of effective MATEs (triggered at least
+  once), average number of MATE inputs, and masked fault-space fraction;
+- top-N subsets (N ∈ {10, 50, 100, 200}) selected by hit-counter rating on
+  one trace (``fib`` or ``conv``) and evaluated on **both** traces — the
+  paper's transferability cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.replay import ReplayResult, replay_mates
+from repro.core.selection import select_top_n
+from repro.eval import context
+
+TOP_N_VALUES = (10, 50, 100, 200)
+
+
+@dataclass
+class FfSetPerformance:
+    """Results for one (core, FF set) across both traces."""
+
+    core: str
+    ff_set: str
+    num_fault_wires: int
+    #: Per evaluation trace: effective count, avg inputs (mean, std), masked %.
+    effective: dict[str, int] = field(default_factory=dict)
+    avg_inputs: dict[str, tuple[float, float]] = field(default_factory=dict)
+    masked_complete: dict[str, float] = field(default_factory=dict)
+    #: masked[(selected_on, top_n, evaluated_on)] -> fraction
+    masked_topn: dict[tuple[str, int, str], float] = field(default_factory=dict)
+
+
+@dataclass
+class MatePerformanceTable:
+    """Table 2 (AVR) or Table 3 (MSP430)."""
+
+    core: str
+    ff_sets: list[FfSetPerformance]
+
+    def format(self) -> str:
+        """Render as aligned text in the paper's layout."""
+        number = {"avr": "2", "msp430": "3"}.get(self.core, "?")
+        lines = [
+            f"Table {number}: {self.core.upper()} MATE performance "
+            f"(fault space = fault wires x {context.TRACE_CYCLES} cycles)",
+            "",
+        ]
+        headers = []
+        for program in context.PROGRAMS:
+            for ff in self.ff_sets:
+                headers.append(f"{program}() {ff.ff_set}")
+        width = max(len(h) for h in headers) + 2
+        label_width = 26
+
+        def row(label: str, cells: list[str]) -> str:
+            return label.ljust(label_width) + "".join(c.rjust(width) for c in cells)
+
+        lines.append(row("", headers))
+        lines.append("-" * (label_width + width * len(headers)))
+        cells = []
+        for program in context.PROGRAMS:
+            for ff in self.ff_sets:
+                cells.append(str(ff.effective[program]))
+        lines.append(row("#Effective MATEs", cells))
+        cells = []
+        for program in context.PROGRAMS:
+            for ff in self.ff_sets:
+                mean, std = ff.avg_inputs[program]
+                cells.append(f"{mean:.1f}±{std:.1f}")
+        lines.append(row("Avg. #inputs", cells))
+        cells = []
+        for program in context.PROGRAMS:
+            for ff in self.ff_sets:
+                cells.append(f"{100 * ff.masked_complete[program]:.2f}%")
+        lines.append(row("Masked Faults", cells))
+        for selected_on in context.PROGRAMS:
+            lines.append("")
+            lines.append(f"selected for {selected_on}():")
+            for top_n in TOP_N_VALUES:
+                cells = []
+                for program in context.PROGRAMS:
+                    for ff in self.ff_sets:
+                        fraction = ff.masked_topn[(selected_on, top_n, program)]
+                        cells.append(f"{100 * fraction:.2f}%")
+                lines.append(row(f"  Top {top_n}", cells))
+        return "\n".join(lines)
+
+
+def build_mate_performance(core: str) -> MatePerformanceTable:
+    """Assemble Table 2 (AVR) or Table 3 (MSP430)."""
+    ff_sets: list[FfSetPerformance] = []
+    for ff_label, exclude in (("FF", False), ("FF w/o RF", True)):
+        mates = context.get_mates(core, exclude)
+        fault_wires = context.get_fault_wires(core, exclude)
+        replays: dict[str, ReplayResult] = {}
+        for program in context.PROGRAMS:
+            trace = context.get_trace(core, program)
+            replays[program] = replay_mates(mates, trace, fault_wires)
+
+        perf = FfSetPerformance(
+            core=core, ff_set=ff_label, num_fault_wires=len(fault_wires)
+        )
+        for program, replay in replays.items():
+            perf.effective[program] = len(replay.effective_indices())
+            perf.avg_inputs[program] = replay.average_inputs()
+            perf.masked_complete[program] = replay.masked_fraction()
+        for selected_on in context.PROGRAMS:
+            for top_n in TOP_N_VALUES:
+                subset = select_top_n(replays[selected_on], top_n)
+                for program, replay in replays.items():
+                    perf.masked_topn[(selected_on, top_n, program)] = (
+                        replay.masked_fraction(subset)
+                    )
+        ff_sets.append(perf)
+    return MatePerformanceTable(core=core, ff_sets=ff_sets)

@@ -1,0 +1,94 @@
+"""Table 1 — statistics of the heuristic MATE search.
+
+Rows (per paper): faulty wires, average/median fault-cone size in gates,
+run time in seconds, number of unmaskable wires, number of MATE candidates
+tried, number of MATEs found. Columns: AVR/MSP430 × FF / FF-without-RF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval import context
+
+
+@dataclass
+class Table1Column:
+    """One (core, FF-set) column of Table 1."""
+
+    core: str
+    ff_set: str
+    faulty_wires: int
+    avg_cone_gates: float
+    median_cone_gates: float
+    runtime_seconds: float
+    num_unmaskable: int
+    num_candidates: int
+    num_mates: int
+    num_unique_mates: int
+
+
+@dataclass
+class Table1:
+    """The assembled table."""
+
+    columns: list[Table1Column]
+
+    def format(self) -> str:
+        """Render as aligned text."""
+        headers = [f"{c.core} {c.ff_set}" for c in self.columns]
+        rows = [
+            ("Faulty Wires", [str(c.faulty_wires) for c in self.columns]),
+            ("Avg. Cone [#gates]", [f"{c.avg_cone_gates:.0f}" for c in self.columns]),
+            ("Med. Cone [#gates]", [f"{c.median_cone_gates:.0f}" for c in self.columns]),
+            ("Run Time [s]", [f"{c.runtime_seconds:.0f}" for c in self.columns]),
+            ("#Unmaskable", [str(c.num_unmaskable) for c in self.columns]),
+            ("#MATE candid.", [f"{c.num_candidates:.1e}" for c in self.columns]),
+            ("#MATE", [str(c.num_mates) for c in self.columns]),
+            ("#MATE (unique)", [str(c.num_unique_mates) for c in self.columns]),
+        ]
+        return _render("Table 1: Statistics of the heuristic MATE search", headers, rows)
+
+
+def _render(title: str, headers: list[str], rows: list[tuple[str, list[str]]]) -> str:
+    label_width = max(len(r[0]) for r in rows)
+    col_widths = [
+        max(len(headers[i]), max(len(r[1][i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [title, ""]
+    header = " " * label_width + "  " + "  ".join(
+        h.rjust(w) for h, w in zip(headers, col_widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, cells in rows:
+        lines.append(
+            label.ljust(label_width)
+            + "  "
+            + "  ".join(c.rjust(w) for c, w in zip(cells, col_widths))
+        )
+    return "\n".join(lines)
+
+
+def build_table1(cores: tuple[str, ...] = context.CORES) -> Table1:
+    """Run (or load) the four MATE searches and assemble Table 1."""
+    columns = []
+    for core in cores:
+        for ff_label, exclude in (("FF", False), ("FF w/o RF", True)):
+            search = context.get_search(core, exclude)
+            columns.append(
+                Table1Column(
+                    core=core,
+                    ff_set=ff_label,
+                    faulty_wires=search.num_faulty_wires,
+                    avg_cone_gates=search.average_cone_gates,
+                    median_cone_gates=search.median_cone_gates,
+                    runtime_seconds=search.runtime_seconds,
+                    num_unmaskable=search.num_unmaskable,
+                    num_candidates=search.num_candidates,
+                    num_mates=search.num_mates,
+                    num_unique_mates=len(search.mate_set()),
+                )
+            )
+    return Table1(columns)

@@ -1,0 +1,21 @@
+"""Ground-truth SEU injection campaigns on the simulated netlist.
+
+This is the experiment MATEs exist to accelerate: inject a bit flip into a
+flip-flop at a cycle, run the workload to completion, and classify the
+outcome against the golden run. The campaign engine also consumes a pruned
+fault list (from MATE replay) and verifies the paper's safety claim — every
+pruned point is benign end-to-end.
+"""
+
+from repro.fi.campaign import Campaign, CampaignResult, CampaignTarget
+from repro.fi.classify import Outcome
+from repro.fi.targets import avr_target, msp430_target
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CampaignTarget",
+    "Outcome",
+    "avr_target",
+    "msp430_target",
+]

@@ -1,0 +1,167 @@
+"""The fault-injection campaign engine.
+
+A :class:`CampaignTarget` bundles a compiled netlist with a workload: a
+factory for fresh testbenches and an extractor for the externally-visible
+result (memory image, i/o log). :class:`Campaign` runs the golden
+execution once, then injects SEUs — exhaustively, sampled, or from a
+MATE-pruned fault list — and classifies each run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.faultspace import FaultSpace
+from repro.fi.classify import Outcome
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.testbench import Testbench
+
+
+@dataclass
+class CampaignTarget:
+    """A netlist + workload combination to inject into."""
+
+    name: str
+    simulator: Simulator
+    make_testbench: Callable[[], Testbench]
+    #: Extracts the externally visible result from (testbench, result).
+    observables: Callable[[Testbench, SimulationResult], object]
+    #: Safety margin on top of the golden run length.
+    timeout_factor: float = 2.0
+
+    def fault_wires(self, exclude_register_file: bool = False) -> list[str]:
+        """Flip-flop Q wires of the target (the injectable fault sites)."""
+        netlist = self.simulator.netlist
+        excluded = (
+            netlist.register_file_dffs() if exclude_register_file else set()
+        )
+        return [d.q for name, d in netlist.dffs.items() if name not in excluded]
+
+
+@dataclass
+class InjectionRecord:
+    """One injection and its outcome."""
+
+    dff_name: str
+    cycle: int
+    outcome: Outcome
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign outcome."""
+
+    target: str
+    golden_cycles: int
+    records: list[InjectionRecord] = field(default_factory=list)
+
+    def count(self, outcome: Outcome) -> int:
+        """Number of injections with the given outcome."""
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def num_injections(self) -> int:
+        """Total number of injections performed."""
+        return len(self.records)
+
+    @property
+    def benign_fraction(self) -> float:
+        """Fraction of injections that were benign."""
+        if not self.records:
+            return 0.0
+        return self.count(Outcome.BENIGN) / len(self.records)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome tally."""
+        parts = [f"campaign {self.target}: {self.num_injections} injections"]
+        for outcome in Outcome:
+            parts.append(f"{outcome.value}={self.count(outcome)}")
+        return ", ".join(parts)
+
+
+class Campaign:
+    """Runs SEU injections against one target."""
+
+    def __init__(self, target: CampaignTarget, max_cycles: int = 50_000) -> None:
+        self.target = target
+        tb = target.make_testbench()
+        self._golden = target.simulator.run(
+            tb, max_cycles=max_cycles, record_trace=False
+        )
+        if not self._golden.halted:
+            raise ValueError(
+                f"golden run of {target.name} did not halt within {max_cycles} cycles"
+            )
+        self._golden_observables = target.observables(tb, self._golden)
+        self.golden_cycles = self._golden.cycles
+
+    # ------------------------------------------------------------------
+    def inject(self, dff_name: str, cycle: int) -> Outcome:
+        """Inject one SEU and classify the outcome."""
+        if cycle >= self.golden_cycles:
+            raise ValueError(
+                f"cycle {cycle} beyond the golden run ({self.golden_cycles})"
+            )
+        budget = int(self.golden_cycles * self.target.timeout_factor) + 8
+        tb = self.target.make_testbench()
+        result = self.target.simulator.run(
+            tb,
+            max_cycles=budget,
+            record_trace=False,
+            flips={cycle: [dff_name]},
+        )
+        if not result.halted:
+            return Outcome.TIMEOUT
+        if self.target.observables(tb, result) == self._golden_observables:
+            return Outcome.BENIGN
+        return Outcome.SDC
+
+    # ------------------------------------------------------------------
+    def run_points(self, points: Iterable[tuple[str, int]]) -> CampaignResult:
+        """Inject a list of (dff name, cycle) points."""
+        dffs = self.target.simulator.netlist.dffs
+        result = CampaignResult(self.target.name, self.golden_cycles)
+        for dff_name, cycle in points:
+            if dff_name not in dffs:
+                raise KeyError(f"unknown flip-flop {dff_name!r}")
+            outcome = self.inject(dff_name, cycle)
+            result.records.append(InjectionRecord(dff_name, cycle, outcome))
+        return result
+
+    def run_sampled(
+        self,
+        num_samples: int,
+        seed: int = 0,
+        dff_names: Sequence[str] | None = None,
+    ) -> CampaignResult:
+        """Inject uniformly sampled points from the fault space."""
+        rng = random.Random(seed)
+        names = list(dff_names or self.target.simulator.netlist.dffs)
+        points = [
+            (rng.choice(names), rng.randrange(self.golden_cycles))
+            for _ in range(num_samples)
+        ]
+        return self.run_points(points)
+
+    def run_pruned(
+        self,
+        space: FaultSpace,
+        num_samples: int,
+        seed: int = 0,
+    ) -> tuple[CampaignResult, int]:
+        """Sample the *remaining* (unpruned) fault space of ``space``.
+
+        ``space`` rows must be DFF names. Returns (result, pruned_points):
+        the pruned count is the number of experiments the MATE set saved.
+        """
+        remaining = [
+            (name, cycle)
+            for name, cycle in space.remaining_points()
+            if cycle < self.golden_cycles
+        ]
+        rng = random.Random(seed)
+        if len(remaining) > num_samples:
+            remaining = rng.sample(remaining, num_samples)
+        return self.run_points(remaining), space.num_benign

@@ -1,0 +1,21 @@
+"""Fault-outcome classification (the usual FI taxonomy)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Outcome(enum.Enum):
+    """End-to-end effect of one injected SEU."""
+
+    #: Externally identical to the golden run (result and i/o match).
+    BENIGN = "benign"
+    #: Run completed but produced wrong data (silent data corruption).
+    SDC = "sdc"
+    #: Run did not reach the terminal state within the timeout.
+    TIMEOUT = "timeout"
+
+    @property
+    def is_effective(self) -> bool:
+        """True for outcomes that require attention (non-benign)."""
+        return self is not Outcome.BENIGN

@@ -1,0 +1,41 @@
+"""Ready-made campaign targets for the two cores and two test programs."""
+
+from __future__ import annotations
+
+from repro.cpu.avr import AvrSystem
+from repro.cpu.msp430 import Msp430System
+from repro.fi.campaign import CampaignTarget
+from repro.programs import avr_conv, avr_fib, msp430_conv, msp430_fib
+from repro.sim.simulator import SimulationResult, Simulator
+
+
+def _avr_observables(testbench: AvrSystem, result: SimulationResult) -> object:
+    return (tuple(testbench.ram.words), tuple((p, v) for _, p, v in testbench.port_log))
+
+
+def _msp430_observables(
+    testbench: Msp430System, result: SimulationResult
+) -> object:
+    return tuple(testbench.ram.words)
+
+
+def avr_target(program: str, simulator: Simulator) -> CampaignTarget:
+    """AVR campaign target running the halting ``fib`` or ``conv``."""
+    words = {"fib": avr_fib, "conv": avr_conv}[program](halt=True)
+    return CampaignTarget(
+        name=f"avr-{program}",
+        simulator=simulator,
+        make_testbench=lambda: AvrSystem(words, halt_on_sleep=True),
+        observables=_avr_observables,
+    )
+
+
+def msp430_target(program: str, simulator: Simulator) -> CampaignTarget:
+    """MSP430 campaign target running the halting ``fib`` or ``conv``."""
+    words = {"fib": msp430_fib, "conv": msp430_conv}[program](halt=True)
+    return CampaignTarget(
+        name=f"msp430-{program}",
+        simulator=simulator,
+        make_testbench=lambda: Msp430System(words, halt_on_cpuoff=True),
+        observables=_msp430_observables,
+    )

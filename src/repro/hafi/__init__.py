@@ -1,0 +1,21 @@
+"""HAFI (hardware-assisted fault injection) platform model.
+
+Models the FPGA side of the paper: LUT-cost estimation for synthesized MATE
+sets (Sec. 6.1), an FI-controller/campaign time model, and the online
+fault-space pruning flow of Figure 1b where MATEs are evaluated per cycle
+inside the emulation to shrink the injection fault list.
+"""
+
+from repro.hafi.fpga import FpgaDevice, MateHardwareCost, estimate_mate_cost
+from repro.hafi.controller import CampaignPlan, FiControllerModel
+from repro.hafi.online import OnlinePruningRun, simulate_online_pruning
+
+__all__ = [
+    "CampaignPlan",
+    "FiControllerModel",
+    "FpgaDevice",
+    "MateHardwareCost",
+    "OnlinePruningRun",
+    "estimate_mate_cost",
+    "simulate_online_pruning",
+]

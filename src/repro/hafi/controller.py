@@ -1,0 +1,130 @@
+"""FI-controller and campaign time model.
+
+Quantifies what MATE pruning buys a HAFI campaign: each injection point
+costs one emulated run (restore + run-to-detection); pruning removes
+runs. The speedup figures follow the paper's framing — FPGA emulation is
+~1000x faster than netlist simulation [Nowosielski et al., DATE'15], and
+the controller occupies a fixed LUT budget [1500..6000].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hafi.fpga import FpgaDevice, MateHardwareCost, XC6VLX240T
+
+
+@dataclass(frozen=True)
+class FiControllerModel:
+    """An FPGA fault-injection controller."""
+
+    name: str = "fsm-controller"
+    luts: int = 3000  # within the published 1500..6000 range
+    clock_hz: float = 50e6
+    #: Fixed per-experiment overhead (state restore + result readout).
+    overhead_cycles: int = 200
+
+
+@dataclass
+class CampaignPlan:
+    """Cost model of a fault-injection campaign on a HAFI platform."""
+
+    controller: FiControllerModel
+    device: FpgaDevice
+    fault_space_size: int
+    pruned_points: int
+    workload_cycles: int
+    mate_cost: MateHardwareCost | None = None
+
+    @property
+    def experiments(self) -> int:
+        """Injection runs remaining after pruning."""
+        return self.fault_space_size - self.pruned_points
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Pruned share of the fault space."""
+        if self.fault_space_size == 0:
+            return 0.0
+        return self.pruned_points / self.fault_space_size
+
+    def _seconds(self, num_experiments: int) -> float:
+        # On average an injected run executes half the workload before the
+        # terminal state, plus fixed per-experiment overhead.
+        cycles = num_experiments * (
+            self.workload_cycles / 2 + self.controller.overhead_cycles
+        )
+        return cycles / self.controller.clock_hz
+
+    @property
+    def campaign_seconds(self) -> float:
+        """Estimated wall-clock for the pruned campaign."""
+        return self._seconds(self.experiments)
+
+    @property
+    def unpruned_campaign_seconds(self) -> float:
+        """Estimated wall-clock without any pruning."""
+        return self._seconds(self.fault_space_size)
+
+    @property
+    def seconds_saved(self) -> float:
+        """Campaign time saved by pruning."""
+        return self.unpruned_campaign_seconds - self.campaign_seconds
+
+    @property
+    def total_luts(self) -> int:
+        """Controller plus MATE LUTs."""
+        extra = self.mate_cost.total_luts if self.mate_cost else 0
+        return self.controller.luts + extra
+
+    @property
+    def lut_overhead_fraction(self) -> float:
+        """MATE LUTs relative to the FI controller itself."""
+        if self.mate_cost is None:
+            return 0.0
+        return self.mate_cost.total_luts / self.controller.luts
+
+    def fits(self) -> bool:
+        """True if controller + MATEs fit the device."""
+        return self.total_luts <= self.device.total_luts
+
+    def format(self) -> str:
+        """Multi-line campaign-plan summary."""
+        lines = [
+            f"campaign over {self.fault_space_size} (ff, cycle) points, "
+            f"{self.workload_cycles} cycles/run",
+            f"  pruned by MATEs : {self.pruned_points} "
+            f"({100 * self.pruned_fraction:.2f}%)",
+            f"  experiments     : {self.experiments}",
+            f"  est. time       : {self.campaign_seconds:.1f}s "
+            f"(vs {self.unpruned_campaign_seconds:.1f}s unpruned, "
+            f"saves {self.seconds_saved:.1f}s)",
+            f"  controller LUTs : {self.controller.luts}",
+        ]
+        if self.mate_cost is not None:
+            lines.append(
+                f"  MATE LUTs       : {self.mate_cost.total_luts} "
+                f"(+{100 * self.lut_overhead_fraction:.1f}% of controller, "
+                f"{100 * self.mate_cost.device_utilization:.3f}% of "
+                f"{self.device.name})"
+            )
+        return "\n".join(lines)
+
+
+def plan_campaign(
+    fault_space_size: int,
+    pruned_points: int,
+    workload_cycles: int,
+    mate_cost: MateHardwareCost | None = None,
+    controller: FiControllerModel | None = None,
+    device: FpgaDevice = XC6VLX240T,
+) -> CampaignPlan:
+    """Convenience constructor for a campaign cost estimate."""
+    return CampaignPlan(
+        controller=controller or FiControllerModel(),
+        device=device,
+        fault_space_size=fault_space_size,
+        pruned_points=pruned_points,
+        workload_cycles=workload_cycles,
+        mate_cost=mate_cost,
+    )

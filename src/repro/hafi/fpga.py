@@ -1,0 +1,104 @@
+"""FPGA resource model: k-LUT packing cost of MATE sets (paper Sec. 6.1).
+
+A MATE is a conjunction of ``n`` wire literals — an ``n``-input AND with
+some inputs inverted, which synthesizes into a tree of ``k``-input LUTs.
+The paper observes that with < 6 inputs on average one MATE fits in one or
+two LUTs and is negligible next to the 1500–6000 LUTs of published FI
+controllers on a mid-range Virtex-6 (XC6VLX240T, ~150k LUTs).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.mate import Mate
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """An FPGA device, reduced to its LUT capacity."""
+
+    name: str
+    lut_inputs: int
+    total_luts: int
+
+
+#: The paper's reference device (mid-range Virtex-6).
+XC6VLX240T = FpgaDevice(name="XC6VLX240T", lut_inputs=6, total_luts=150_720)
+
+
+def luts_for_inputs(num_inputs: int, lut_inputs: int = 6) -> int:
+    """LUTs needed for one ``num_inputs``-input boolean function (tree pack).
+
+    >>> luts_for_inputs(4)
+    1
+    >>> luts_for_inputs(6)
+    1
+    >>> luts_for_inputs(7)
+    2
+    >>> luts_for_inputs(11)
+    2
+    >>> luts_for_inputs(26)
+    5
+    """
+    if lut_inputs < 2:
+        raise ValueError("LUTs need at least 2 inputs")
+    if num_inputs <= 1:
+        return 0 if num_inputs == 0 else 1
+    if num_inputs <= lut_inputs:
+        return 1
+    # Each extra LUT absorbs (lut_inputs - 1) further inputs.
+    return 1 + math.ceil((num_inputs - lut_inputs) / (lut_inputs - 1))
+
+
+@dataclass
+class MateHardwareCost:
+    """Aggregate LUT cost of a MATE set on a device."""
+
+    device: FpgaDevice
+    num_mates: int
+    total_inputs: int
+    total_luts: int
+    max_luts_single_mate: int
+
+    @property
+    def average_inputs(self) -> float:
+        """Mean MATE input count (the paper's FPGA-friendliness metric)."""
+        return self.total_inputs / self.num_mates if self.num_mates else 0.0
+
+    @property
+    def device_utilization(self) -> float:
+        """MATE LUTs as a fraction of the whole device."""
+        return self.total_luts / self.device.total_luts
+
+    def format(self) -> str:
+        """One-line cost summary."""
+        return (
+            f"{self.num_mates} MATEs: {self.total_luts} LUT(s) on "
+            f"{self.device.name} ({100 * self.device_utilization:.3f}% of device), "
+            f"avg {self.average_inputs:.1f} inputs, "
+            f"worst single MATE {self.max_luts_single_mate} LUT(s)"
+        )
+
+
+def estimate_mate_cost(
+    mates: Sequence[Mate], device: FpgaDevice = XC6VLX240T
+) -> MateHardwareCost:
+    """LUT cost of synthesizing a MATE set into a device."""
+    total_luts = 0
+    total_inputs = 0
+    worst = 0
+    for mate in mates:
+        luts = luts_for_inputs(mate.num_inputs, device.lut_inputs)
+        total_luts += luts
+        total_inputs += mate.num_inputs
+        worst = max(worst, luts)
+    return MateHardwareCost(
+        device=device,
+        num_mates=len(mates),
+        total_inputs=total_inputs,
+        total_luts=total_luts,
+        max_luts_single_mate=worst,
+    )

@@ -1,0 +1,65 @@
+"""JSON interchange for netlists (compact, lossless, attribute-preserving)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.cells.library import Library
+from repro.netlist.netlist import Netlist
+
+FORMAT_VERSION = 1
+
+
+def netlist_to_json(netlist: Netlist) -> str:
+    """Serialize a netlist (including attributes) to a JSON string."""
+    doc: dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "name": netlist.name,
+        "library": netlist.library.name,
+        "inputs": list(netlist.inputs),
+        "outputs": list(netlist.outputs),
+        "gates": [
+            {"name": g.name, "cell": g.cell, "inputs": g.inputs, "output": g.output}
+            for g in netlist.gates.values()
+        ],
+        "dffs": [
+            {"name": f.name, "d": f.d, "q": f.q, "init": f.init}
+            for f in netlist.dffs.values()
+        ],
+        "attributes": _jsonable_attributes(netlist.attributes),
+    }
+    return json.dumps(doc, indent=1)
+
+
+def _jsonable_attributes(attributes: dict[str, object]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for key, value in attributes.items():
+        if isinstance(value, (set, frozenset)):
+            out[key] = sorted(value)  # type: ignore[type-var]
+        else:
+            out[key] = value
+    return out
+
+
+def netlist_from_json(text: str, library: Library) -> Netlist:
+    """Deserialize a netlist produced by :func:`netlist_to_json`."""
+    doc = json.loads(text)
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported netlist JSON format {doc.get('format')!r}")
+    if doc.get("library") != library.name:
+        raise ValueError(
+            f"netlist was written against library {doc.get('library')!r}, "
+            f"got {library.name!r}"
+        )
+    netlist = Netlist(doc["name"], library)
+    for wire in doc["inputs"]:
+        netlist.add_input(wire)
+    for wire in doc["outputs"]:
+        netlist.add_output(wire)
+    for gate in doc["gates"]:
+        netlist.add_gate(gate["name"], gate["cell"], gate["inputs"], gate["output"])
+    for dff in doc["dffs"]:
+        netlist.add_dff(dff["name"], dff["d"], dff["q"], dff["init"])
+    netlist.attributes = dict(doc.get("attributes", {}))
+    return netlist

@@ -1,0 +1,59 @@
+"""Netlist statistics (feeds the characterization rows of Table 1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetlistStats:
+    """Summary statistics of a synthesized netlist."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_dffs: int
+    num_register_file_dffs: int
+    total_area: float
+    max_logic_depth: int
+    cell_histogram: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_non_rf_dffs(self) -> int:
+        """Flip-flops outside the register file."""
+        return self.num_dffs - self.num_register_file_dffs
+
+    def format(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"netlist {self.name}",
+            f"  primary inputs : {self.num_inputs}",
+            f"  primary outputs: {self.num_outputs}",
+            f"  gates          : {self.num_gates}",
+            f"  flip-flops     : {self.num_dffs} "
+            f"({self.num_register_file_dffs} in register file)",
+            f"  area           : {self.total_area:.1f}",
+            f"  logic depth    : {self.max_logic_depth}",
+        ]
+        for cell, count in sorted(self.cell_histogram.items()):
+            lines.append(f"    {cell:8s} x{count}")
+        return "\n".join(lines)
+
+
+def netlist_stats(netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist."""
+    levels = netlist.logic_levels()
+    histogram = Counter(gate.cell for gate in netlist.gates.values())
+    return NetlistStats(
+        name=netlist.name,
+        num_inputs=len(netlist.inputs),
+        num_outputs=len(netlist.outputs),
+        num_gates=len(netlist.gates),
+        num_dffs=len(netlist.dffs),
+        num_register_file_dffs=len(netlist.register_file_dffs()),
+        total_area=netlist.total_area(),
+        max_logic_depth=max(levels.values(), default=0) + 1 if levels else 0,
+        cell_histogram=dict(histogram),
+    )

@@ -1,0 +1,186 @@
+"""Structural Verilog writer and (subset) reader.
+
+The emitted format is plain flattened structural Verilog — one scalar wire
+per bit, one cell instance per line — the same shape a Design Compiler
+netlist has after ``write -format verilog``. The reader accepts exactly that
+subset (plus whitespace/comments), which is enough to round-trip our own
+netlists and to import comparable third-party gate-level netlists.
+
+Flip-flops are emitted as ``DFF #(.INIT(1'b0)) name (.D(d), .CK(clk), .Q(q));``;
+the clock pin is cosmetic (the netlist model has an implicit common clock).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cells.library import Library
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<const>1'b[01])
+  | (?P<ident>%s)
+  | (?P<punct>[()\[\];,.#=])
+  | (?P<ws>\s+)
+""" % _IDENT,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class VerilogSyntaxError(ValueError):
+    """Raised when the reader hits something outside the supported subset."""
+
+
+def netlist_to_verilog(netlist: Netlist) -> str:
+    """Render a netlist as flattened structural Verilog."""
+    ports = ["clk", *netlist.inputs, *netlist.outputs]
+    lines = [f"module {netlist.name} ({', '.join(ports)});"]
+    lines.append("  input clk;")
+    for wire in netlist.inputs:
+        lines.append(f"  input {wire};")
+    for wire in netlist.outputs:
+        lines.append(f"  output {wire};")
+
+    internal = netlist.wires() - set(netlist.inputs) - set(netlist.outputs)
+    internal -= {CONST0, CONST1}
+    for wire in sorted(internal):
+        lines.append(f"  wire {wire};")
+    lines.append("")
+
+    for gate in netlist.gates.values():
+        pins = ", ".join(f".{pin}({wire})" for pin, wire in sorted(gate.inputs.items()))
+        cell = netlist.library[gate.cell]
+        lines.append(f"  {gate.cell} {gate.name} ({pins}, .{cell.output}({gate.output}));")
+    for dff in netlist.dffs.values():
+        lines.append(
+            f"  DFF #(.INIT(1'b{dff.init})) {dff.name} "
+            f"(.D({dff.d}), .CK(clk), .Q({dff.q}));"
+        )
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise VerilogSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup in ("comment", "ws"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise VerilogSyntaxError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise VerilogSyntaxError(f"expected {token!r}, got {got!r}")
+
+
+def parse_verilog(text: str, library: Library) -> Netlist:
+    """Parse flattened structural Verilog into a :class:`Netlist`."""
+    stream = _TokenStream(_tokenize(text))
+    stream.expect("module")
+    name = stream.next()
+    stream.expect("(")
+    while stream.next() != ")":
+        pass
+    stream.expect(";")
+
+    netlist = Netlist(name, library)
+    declared_wires: set[str] = set()
+
+    while True:
+        token = stream.next()
+        if token == "endmodule":
+            break
+        if token in ("input", "output", "wire"):
+            names = []
+            while True:
+                names.append(stream.next())
+                sep = stream.next()
+                if sep == ";":
+                    break
+                if sep != ",":
+                    raise VerilogSyntaxError(f"bad declaration separator {sep!r}")
+            for wire in names:
+                if token == "input":
+                    if wire != "clk":
+                        netlist.add_input(wire)
+                elif token == "output":
+                    netlist.add_output(wire)
+                else:
+                    declared_wires.add(wire)
+            continue
+        # Cell instance: CELL [#(.INIT(1'bX))] name ( .PIN(wire), ... );
+        cell_name = token
+        init = 0
+        if stream.peek() == "#":
+            stream.expect("#")
+            stream.expect("(")
+            stream.expect(".")
+            param = stream.next()
+            stream.expect("(")
+            value = stream.next()
+            stream.expect(")")
+            stream.expect(")")
+            if param != "INIT" or value not in ("1'b0", "1'b1"):
+                raise VerilogSyntaxError(f"unsupported parameter .{param}({value})")
+            init = int(value[-1])
+        instance = stream.next()
+        stream.expect("(")
+        pins: dict[str, str] = {}
+        while True:
+            stream.expect(".")
+            pin = stream.next()
+            stream.expect("(")
+            wire = stream.next()
+            stream.expect(")")
+            pins[pin] = wire
+            sep = stream.next()
+            if sep == ")":
+                break
+            if sep != ",":
+                raise VerilogSyntaxError(f"bad pin separator {sep!r}")
+        stream.expect(";")
+
+        if cell_name == "DFF":
+            pins.pop("CK", None)
+            if set(pins) != {"D", "Q"}:
+                raise VerilogSyntaxError(f"DFF {instance}: bad pins {sorted(pins)}")
+            netlist.add_dff(instance, d=pins["D"], q=pins["Q"], init=init)
+        else:
+            if cell_name not in library:
+                raise VerilogSyntaxError(f"unknown cell {cell_name} (instance {instance})")
+            cell = library[cell_name]
+            output = pins.pop(cell.output, None)
+            if output is None:
+                raise VerilogSyntaxError(
+                    f"instance {instance}: output pin .{cell.output} not connected"
+                )
+            netlist.add_gate(instance, cell_name, pins, output)
+    return netlist

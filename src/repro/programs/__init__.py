@@ -1,0 +1,14 @@
+"""The paper's two test programs for both cores.
+
+``fib()`` computes a Fibonacci sequence; ``conv()`` convolves a sample
+buffer with a 4-tap kernel using shift-add multiplication (the cores have
+no hardware multiplier). Both are provided in a halting variant (ends in
+SLEEP / CPUOFF — used by the fault-injection campaigns) and a free-running
+variant that restarts forever (used to fill the paper's 8500-cycle traces
+with live computation).
+"""
+
+from repro.programs.avr_programs import avr_conv, avr_fib
+from repro.programs.msp430_programs import msp430_conv, msp430_fib
+
+__all__ = ["avr_conv", "avr_fib", "msp430_conv", "msp430_fib"]

@@ -1,0 +1,135 @@
+"""AVR assembly for the two test programs."""
+
+from __future__ import annotations
+
+from repro.cpu.avr.asm import assemble_avr
+
+#: RAM layout shared by the programs and the result-checking tests.
+FIB_BASE = 0x10
+FIB_COUNT = 11
+CONV_SAMPLES_BASE = 0x20
+CONV_KERNEL_BASE = 0x40
+CONV_OUT_BASE = 0x50
+CONV_SAMPLES = 12
+CONV_TAPS = 4
+
+
+def _epilogue(halt: bool, restart_label: str) -> str:
+    if halt:
+        return "    sleep\n"
+    return f"    rjmp {restart_label}\n"
+
+
+def avr_fib(halt: bool = True) -> list[int]:
+    """Fibonacci sequence: fib(1)..fib(11) stored as bytes at FIB_BASE."""
+    source = f"""
+; fib(): iterative Fibonacci, 8-bit results, one step per subroutine call
+start:
+    ldi r26, {FIB_BASE}   ; X = output pointer
+    ldi r27, 0
+    ldi r16, 1            ; a
+    ldi r17, 1            ; b
+    ldi r18, {FIB_COUNT}  ; iterations
+loop:
+    rcall fib_step
+    dec r18
+    brne loop
+    out 0x00, r17         ; publish fib({FIB_COUNT})
+{_epilogue(halt, "start")}
+
+fib_step:
+    st  x+, r16
+    mov r19, r16
+    add r16, r17
+    mov r17, r19
+    ret
+"""
+    return assemble_avr(source)
+
+
+def avr_conv(halt: bool = True) -> list[int]:
+    """Convolution: 12 samples (x) * 4-tap kernel (h), 16-bit accumulate.
+
+    Samples and kernel are written by the program itself (so the trace is
+    self-contained); outputs y[n] = sum_k h[k]*x[n+k] are stored as
+    (lo, hi) byte pairs at CONV_OUT_BASE. Multiplication is 8x8 shift-add.
+    """
+    source = f"""
+; conv(): 4-tap FIR over 12 samples, shift-add multiply
+start:
+    ; ---- write sample buffer: x[i] = 3*i + 5
+    ldi r26, {CONV_SAMPLES_BASE}
+    ldi r27, 0
+    ldi r16, 5
+    ldi r18, {CONV_SAMPLES + CONV_TAPS - 1}
+fill_x:
+    st  x+, r16
+    subi r16, 0xFD        ; += 3
+    dec r18
+    brne fill_x
+    ; ---- write kernel: h = [1, 2, 3, 2]
+    ldi r26, {CONV_KERNEL_BASE}
+    ldi r16, 1
+    st  x+, r16
+    ldi r16, 2
+    st  x+, r16
+    ldi r16, 3
+    st  x+, r16
+    ldi r16, 2
+    st  x+, r16
+    ; ---- outer loop over output samples: r20 = n
+    ldi r20, 0
+conv_outer:
+    ldi r24, 0            ; acc lo
+    ldi r25, 0            ; acc hi
+    ldi r21, 0            ; k
+conv_inner:
+    ; load x[n+k]
+    ldi r26, {CONV_SAMPLES_BASE}
+    ldi r27, 0
+    add r26, r20
+    add r26, r21
+    ld  r22, x
+    ; load h[k]
+    ldi r26, {CONV_KERNEL_BASE}
+    add r26, r21
+    ld  r23, x
+    rcall mul8            ; r31:r30 = r22 * r23
+    ; ---- accumulate
+    add r24, r30
+    adc r25, r31
+    inc r21
+    cpi r21, {CONV_TAPS}
+    brne conv_inner
+    ; ---- store y[n] (lo, hi)
+    ldi r26, {CONV_OUT_BASE}
+    ldi r27, 0
+    add r26, r20
+    add r26, r20
+    st  x+, r24
+    st  x,  r25
+    inc r20
+    cpi r20, {CONV_SAMPLES}
+    brne conv_outer
+    out 0x01, r20
+{_epilogue(halt, "start")}
+
+; ---- mul8: r31:r30 = r22 * r23 (shift-add; clobbers r17, r19, r22, r23)
+mul8:
+    ldi r30, 0
+    ldi r31, 0
+    ldi r17, 0            ; multiplicand high byte
+    ldi r19, 8            ; bit counter
+mul_loop:
+    lsr r23
+    brcc mul_skip
+    add r30, r22
+    adc r31, r17
+mul_skip:
+    lsl r22
+    rol r17
+    dec r19
+    brne mul_loop
+    ret
+"""
+    return assemble_avr(source)

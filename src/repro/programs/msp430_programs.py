@@ -1,0 +1,111 @@
+"""MSP430 assembly for the two test programs.
+
+RAM starts at byte address 0x0200 (word index 0 in the testbench RAM).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.msp430.asm import assemble_msp430
+
+FIB_BASE = 0x0200
+FIB_COUNT = 16
+FIB_RESULT = 0x0240
+CONV_SAMPLES_BASE = 0x0240
+CONV_KERNEL_BASE = 0x0280
+CONV_OUT_BASE = 0x02A0
+CONV_SAMPLES = 12
+CONV_TAPS = 4
+
+
+def _epilogue(halt: bool, restart_label: str) -> str:
+    if halt:
+        return "    halt\n"
+    return f"    jmp {restart_label}\n"
+
+
+def msp430_fib(halt: bool = True) -> list[int]:
+    """Fibonacci sequence: fib(1)..fib(16) stored as words at 0x0200."""
+    source = f"""
+; fib(): iterative Fibonacci, 16-bit results
+start:
+    mov #{FIB_BASE}, r4    ; output pointer
+    mov #1, r5             ; a
+    mov #1, r6             ; b
+    mov #{FIB_COUNT}, r7   ; iterations
+loop:
+    mov r5, 0(r4)
+    add #2, r4
+    mov r5, r8
+    add r6, r5
+    mov r8, r6
+    sub #1, r7
+    jne loop
+    mov r6, &{FIB_RESULT}  ; publish fib({FIB_COUNT})
+{_epilogue(halt, "start")}
+"""
+    return assemble_msp430(source)
+
+
+def msp430_conv(halt: bool = True) -> list[int]:
+    """Convolution: 12 samples * 4-tap kernel, 16-bit shift-add multiply."""
+    source = f"""
+; conv(): 4-tap FIR over 12 samples
+start:
+    ; ---- write sample buffer: x[i] = 3*i + 5
+    mov #{CONV_SAMPLES_BASE}, r4
+    mov #5, r5
+    mov #{CONV_SAMPLES + CONV_TAPS - 1}, r6
+fill_x:
+    mov r5, 0(r4)
+    add #2, r4
+    add #3, r5
+    sub #1, r6
+    jne fill_x
+    ; ---- write kernel: h = [1, 2, 3, 2]
+    mov #1, &{CONV_KERNEL_BASE}
+    mov #2, &{CONV_KERNEL_BASE + 2}
+    mov #3, &{CONV_KERNEL_BASE + 4}
+    mov #2, &{CONV_KERNEL_BASE + 6}
+    ; ---- outer loop: r7 = n (byte offset 2n kept in r7)
+    mov #0, r7
+conv_outer:
+    mov #0, r10            ; acc
+    mov #0, r8             ; k byte offset
+conv_inner:
+    ; r11 = x[n+k]
+    mov #{CONV_SAMPLES_BASE}, r4
+    add r7, r4
+    add r8, r4
+    mov @r4, r11
+    ; r12 = h[k]
+    mov #{CONV_KERNEL_BASE}, r4
+    add r8, r4
+    mov @r4, r12
+    ; ---- multiply r11 * r12 -> r13 (low 16 bits, shift-add)
+    mov #0, r13
+mul_loop:
+    bit #1, r12
+    jz  mul_skip
+    add r11, r13
+mul_skip:
+    rra r12
+    bic #0x8000, r12       ; logical shift right
+    add r11, r11           ; multiplicand <<= 1
+    tst_r12:
+    cmp #0, r12
+    jne mul_loop
+    ; ---- accumulate
+    add r13, r10
+    add #2, r8
+    cmp #{CONV_TAPS * 2}, r8
+    jne conv_inner
+    ; ---- store y[n]
+    mov #{CONV_OUT_BASE}, r4
+    add r7, r4
+    mov r10, 0(r4)
+    add #2, r7
+    cmp #{CONV_SAMPLES * 2}, r7
+    jne conv_outer
+{_epilogue(halt, "start")}
+"""
+    return assemble_msp430(source)

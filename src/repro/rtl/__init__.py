@@ -1,0 +1,40 @@
+"""A small word-level RTL DSL.
+
+The two CPU cores are described with this DSL and then *synthesized*
+(``repro.synth``) onto the standard-cell library, yielding the gate-level
+netlists that the MATE analysis consumes — our stand-in for the paper's
+Design Compiler ASIC synthesis flow.
+"""
+
+from repro.rtl.expr import (
+    Cat,
+    Const,
+    Expr,
+    InputExpr,
+    Mux,
+    cat,
+    const,
+    mux,
+    onehot_case,
+    parallel_case,
+)
+from repro.rtl.circuit import Reg, RtlCircuit
+from repro.rtl.evaluate import evaluate_expr, run_circuit, step_circuit
+
+__all__ = [
+    "evaluate_expr",
+    "run_circuit",
+    "step_circuit",
+    "Cat",
+    "Const",
+    "Expr",
+    "InputExpr",
+    "Mux",
+    "Reg",
+    "RtlCircuit",
+    "cat",
+    "const",
+    "mux",
+    "onehot_case",
+    "parallel_case",
+]

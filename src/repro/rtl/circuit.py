@@ -1,0 +1,107 @@
+"""RTL circuit container: inputs, registers, outputs."""
+
+from __future__ import annotations
+
+from repro.rtl.expr import Const, Expr, InputExpr
+
+
+class Reg(Expr):
+    """A register (bank of D flip-flops) usable as an expression.
+
+    The current-cycle value is the expression itself; the next-cycle value
+    is assigned through the ``next`` property exactly once per register
+    (use :func:`repro.rtl.expr.mux` chains for conditional updates).
+    """
+
+    __slots__ = ("name", "width", "init", "register_file", "_next")
+
+    def __init__(
+        self, name: str, width: int, init: int = 0, register_file: bool = False
+    ) -> None:
+        self.name = name
+        self.width = width
+        self.init = init & ((1 << width) - 1)
+        self.register_file = register_file
+        self._next: Expr | None = None
+
+    @property
+    def next(self) -> Expr:
+        if self._next is None:
+            raise ValueError(f"register {self.name} has no next-value assigned")
+        return self._next
+
+    @next.setter
+    def next(self, expr: Expr | int) -> None:
+        if self._next is not None:
+            raise ValueError(f"register {self.name} assigned twice")
+        if isinstance(expr, int):
+            expr = Const(expr, self.width)
+        if expr.width != self.width:
+            raise ValueError(
+                f"register {self.name}: next width {expr.width} != {self.width}"
+            )
+        self._next = expr
+
+    @property
+    def has_next(self) -> bool:
+        """True once the next-cycle value has been assigned."""
+        return self._next is not None
+
+    def __repr__(self) -> str:
+        return f"Reg({self.name}, w={self.width}, init={self.init:#x})"
+
+
+class RtlCircuit:
+    """A synchronous RTL design: named inputs, registers, and outputs."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: dict[str, InputExpr] = {}
+        self.regs: dict[str, Reg] = {}
+        self.outputs: dict[str, Expr] = {}
+
+    def _check_name(self, name: str) -> None:
+        if name in self.inputs or name in self.regs or name in self.outputs:
+            raise ValueError(f"name {name!r} already used in circuit {self.name}")
+        if not name.isidentifier():
+            raise ValueError(f"signal name {name!r} is not an identifier")
+
+    def input(self, name: str, width: int = 1) -> InputExpr:
+        """Declare a primary input of the given width."""
+        self._check_name(name)
+        signal = InputExpr(name, width)
+        self.inputs[name] = signal
+        return signal
+
+    def reg(
+        self, name: str, width: int = 1, init: int = 0, register_file: bool = False
+    ) -> Reg:
+        """Declare a register; ``register_file=True`` tags its DFFs as RF state."""
+        self._check_name(name)
+        reg = Reg(name, width, init, register_file)
+        self.regs[name] = reg
+        return reg
+
+    def output(self, name: str, expr: Expr | int, width: int | None = None) -> None:
+        """Declare a primary output driven by ``expr``."""
+        if name in self.inputs or name in self.regs or name in self.outputs:
+            raise ValueError(f"name {name!r} already used in circuit {self.name}")
+        if isinstance(expr, int):
+            if width is None:
+                raise ValueError("integer output needs an explicit width")
+            expr = Const(expr, width)
+        self.outputs[name] = expr
+
+    def finalize(self) -> None:
+        """Check that every register has a next-value."""
+        missing = [name for name, reg in self.regs.items() if not reg.has_next]
+        if missing:
+            raise ValueError(
+                f"circuit {self.name}: registers without next-value: {missing}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"RtlCircuit({self.name!r}: {len(self.inputs)} in, "
+            f"{len(self.regs)} regs, {len(self.outputs)} out)"
+        )

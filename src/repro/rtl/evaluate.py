@@ -1,0 +1,117 @@
+"""Reference (interpretive) evaluator for RTL expressions.
+
+Used as the golden model when testing synthesis: the synthesized netlist
+must agree with direct expression evaluation on every stimulus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.rtl.circuit import Reg, RtlCircuit
+from repro.rtl.expr import (
+    Add,
+    BinOp,
+    Cat,
+    Const,
+    Eq,
+    Expr,
+    InputExpr,
+    Mux,
+    Not,
+    Reduce,
+    Slice,
+    Sub,
+)
+
+
+def evaluate_expr(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate an expression; ``env`` maps input/register names to words."""
+    mask = (1 << expr.width) - 1
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, (InputExpr, Reg)):
+        return env[expr.name] & mask
+    if isinstance(expr, Not):
+        return ~evaluate_expr(expr.operand, env) & mask
+    if isinstance(expr, BinOp):
+        lhs = evaluate_expr(expr.lhs, env)
+        rhs = evaluate_expr(expr.rhs, env)
+        if expr.kind == "and":
+            return lhs & rhs
+        if expr.kind == "or":
+            return lhs | rhs
+        return lhs ^ rhs
+    if isinstance(expr, Mux):
+        sel = evaluate_expr(expr.sel, env)
+        return evaluate_expr(expr.if1 if sel else expr.if0, env)
+    if isinstance(expr, Cat):
+        value = 0
+        shift = 0
+        for part in expr.parts:
+            value |= evaluate_expr(part, env) << shift
+            shift += part.width
+        return value
+    if isinstance(expr, Slice):
+        inner = evaluate_expr(expr.operand, env)
+        return (inner >> expr.start) & mask
+    if isinstance(expr, Add):
+        carry = evaluate_expr(expr.carry_in, env) if expr.carry_in is not None else 0
+        return (
+            evaluate_expr(expr.lhs, env) + evaluate_expr(expr.rhs, env) + carry
+        ) & mask
+    if isinstance(expr, Sub):
+        borrow = evaluate_expr(expr.borrow_in, env) if expr.borrow_in is not None else 0
+        lhs = evaluate_expr(expr.lhs, env)
+        rhs = evaluate_expr(expr.rhs, env)
+        # Two's-complement: a - b - bin == a + ~b + 1 - bin, in width+1 bits.
+        width = expr.lhs.width
+        return (lhs + ((~rhs) & ((1 << width) - 1)) + 1 - borrow) & mask
+    if isinstance(expr, Eq):
+        return int(
+            evaluate_expr(expr.lhs, env) == evaluate_expr(expr.rhs, env)
+        )
+    if isinstance(expr, Reduce):
+        value = evaluate_expr(expr.operand, env)
+        bits = [(value >> i) & 1 for i in range(expr.operand.width)]
+        if expr.kind == "and":
+            result = 1
+            for bit in bits:
+                result &= bit
+        elif expr.kind == "or":
+            result = 0
+            for bit in bits:
+                result |= bit
+        else:
+            result = 0
+            for bit in bits:
+                result ^= bit
+        return result
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def step_circuit(
+    circuit: RtlCircuit, state: Mapping[str, int], inputs: Mapping[str, int]
+) -> tuple[dict[str, int], dict[str, int]]:
+    """One golden-model clock cycle: (next register state, output words)."""
+    env: dict[str, int] = {}
+    for name, signal in circuit.inputs.items():
+        env[name] = inputs.get(name, 0) & ((1 << signal.width) - 1)
+    for name, reg in circuit.regs.items():
+        env[name] = state.get(name, reg.init) & ((1 << reg.width) - 1)
+    outputs = {name: evaluate_expr(expr, env) for name, expr in circuit.outputs.items()}
+    next_state = {name: evaluate_expr(reg.next, env) for name, reg in circuit.regs.items()}
+    return next_state, outputs
+
+
+def run_circuit(
+    circuit: RtlCircuit,
+    input_rows: list[Mapping[str, int]],
+) -> list[dict[str, int]]:
+    """Golden-model multi-cycle run; returns the output words per cycle."""
+    state = {name: reg.init for name, reg in circuit.regs.items()}
+    trace: list[dict[str, int]] = []
+    for row in input_rows:
+        state, outputs = step_circuit(circuit, state, row)
+        trace.append(outputs)
+    return trace

@@ -1,0 +1,394 @@
+"""Word-level RTL expression trees.
+
+Expressions are immutable, width-annotated trees. Integers are coerced to
+:class:`Const` where a width can be inferred from the other operand.
+Comparison helpers are methods (``a.eq(b)``, ``a.lt(b)``) so that Python's
+``==`` keeps its normal identity semantics for use in dicts and sets.
+
+Arithmetic convention: ``a + b`` requires equal widths and yields
+``width + 1`` bits — the MSB is the carry-out. Use ``.trunc(n)`` / slicing
+to drop it. ``a - b`` likewise yields ``width + 1`` bits whose MSB is the
+*carry* (i.e. NOT borrow), matching the AVR/MSP430 flag conventions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _coerce(value: "Expr | int", width: int) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    return Const(value, width)
+
+
+class Expr:
+    """Base class of all RTL expressions."""
+
+    width: int
+
+    # -- bitwise ------------------------------------------------------
+    def __and__(self, other: "Expr | int") -> "Expr":
+        return BinOp("and", self, _coerce(other, self.width))
+
+    def __rand__(self, other: int) -> "Expr":
+        return BinOp("and", _coerce(other, self.width), self)
+
+    def __or__(self, other: "Expr | int") -> "Expr":
+        return BinOp("or", self, _coerce(other, self.width))
+
+    def __ror__(self, other: int) -> "Expr":
+        return BinOp("or", _coerce(other, self.width), self)
+
+    def __xor__(self, other: "Expr | int") -> "Expr":
+        return BinOp("xor", self, _coerce(other, self.width))
+
+    def __rxor__(self, other: int) -> "Expr":
+        return BinOp("xor", _coerce(other, self.width), self)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    # -- arithmetic ---------------------------------------------------
+    def __add__(self, other: "Expr | int") -> "Expr":
+        return Add(self, _coerce(other, self.width))
+
+    def __sub__(self, other: "Expr | int") -> "Expr":
+        return Sub(self, _coerce(other, self.width))
+
+    def add_with_carry(self, other: "Expr | int", carry_in: "Expr") -> "Expr":
+        """``self + other + carry_in``; result has ``width + 1`` bits."""
+        return Add(self, _coerce(other, self.width), carry_in)
+
+    def sub_with_borrow(self, other: "Expr | int", borrow_in: "Expr") -> "Expr":
+        """``self - other - borrow_in``; MSB of the result is NOT borrow."""
+        return Sub(self, _coerce(other, self.width), borrow_in)
+
+    # -- comparisons (methods, not dunders) ----------------------------
+    def eq(self, other: "Expr | int") -> "Expr":
+        """Equality comparison (1 bit)."""
+        return Eq(self, _coerce(other, self.width))
+
+    def ne(self, other: "Expr | int") -> "Expr":
+        """Inequality comparison (1 bit)."""
+        return Not(Eq(self, _coerce(other, self.width)))
+
+    def lt(self, other: "Expr | int") -> "Expr":
+        """Unsigned less-than (1 bit)."""
+        other = _coerce(other, self.width)
+        return Not(Sub(self, other)[self.width])
+
+    def ge(self, other: "Expr | int") -> "Expr":
+        """Unsigned greater-or-equal (1 bit)."""
+        other = _coerce(other, self.width)
+        return Sub(self, other)[self.width]
+
+    # -- structure ------------------------------------------------------
+    def __getitem__(self, index: int | slice) -> "Expr":
+        if isinstance(index, int):
+            if index < 0:
+                index += self.width
+            return Slice(self, index, index + 1)
+        start = index.start if index.start is not None else 0
+        stop = index.stop if index.stop is not None else self.width
+        if index.step is not None:
+            raise ValueError("slices with step are not supported")
+        return Slice(self, start, stop)
+
+    def trunc(self, width: int) -> "Expr":
+        """Keep the low ``width`` bits."""
+        return Slice(self, 0, width)
+
+    def zext(self, width: int) -> "Expr":
+        """Zero-extend to ``width`` bits."""
+        if width < self.width:
+            raise ValueError(f"zext to {width} narrower than {self.width}")
+        if width == self.width:
+            return self
+        return Cat(self, Const(0, width - self.width))
+
+    def sext(self, width: int) -> "Expr":
+        """Sign-extend to ``width`` bits."""
+        if width < self.width:
+            raise ValueError(f"sext to {width} narrower than {self.width}")
+        if width == self.width:
+            return self
+        sign = self[self.width - 1]
+        return Cat(self, *([sign] * (width - self.width)))
+
+    def replicate(self, count: int) -> "Expr":
+        """Repeat this expression ``count`` times (concatenated)."""
+        return Cat(*([self] * count))
+
+    def reduce_or(self) -> "Expr":
+        """OR of all bits."""
+        return Reduce("or", self)
+
+    def reduce_and(self) -> "Expr":
+        """AND of all bits."""
+        return Reduce("and", self)
+
+    def reduce_xor(self) -> "Expr":
+        """Parity of all bits."""
+        return Reduce("xor", self)
+
+    def is_zero(self) -> "Expr":
+        """1 when every bit is 0."""
+        return Not(Reduce("or", self))
+
+    def _require_bool(self) -> None:
+        if self.width != 1:
+            raise ValueError(f"expected a 1-bit expression, got width {self.width}")
+
+
+class Const(Expr):
+    """A constant of a given width."""
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"constant width must be positive, got {width}")
+        self.width = width
+        self.value = value & ((1 << width) - 1)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value:#x}, w={self.width})"
+
+
+class InputExpr(Expr):
+    """A primary input signal."""
+
+    __slots__ = ("name", "width")
+
+    def __init__(self, name: str, width: int) -> None:
+        self.name = name
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"Input({self.name}, w={self.width})"
+
+
+class Not(Expr):
+    """Bitwise complement."""
+
+    __slots__ = ("operand", "width")
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+        self.width = operand.width
+
+
+class BinOp(Expr):
+    """Bitwise and/or/xor over equal widths."""
+
+    __slots__ = ("kind", "lhs", "rhs", "width")
+
+    def __init__(self, kind: str, lhs: Expr, rhs: Expr) -> None:
+        if kind not in ("and", "or", "xor"):
+            raise ValueError(f"unknown binop {kind!r}")
+        if lhs.width != rhs.width:
+            raise ValueError(f"{kind}: width mismatch {lhs.width} vs {rhs.width}")
+        self.kind = kind
+        self.lhs = lhs
+        self.rhs = rhs
+        self.width = lhs.width
+
+
+class Mux(Expr):
+    """2:1 select: ``sel == 0`` yields ``if0``, ``sel == 1`` yields ``if1``."""
+
+    __slots__ = ("sel", "if0", "if1", "width")
+
+    def __init__(self, sel: Expr, if0: Expr, if1: Expr) -> None:
+        sel._require_bool()
+        if if0.width != if1.width:
+            raise ValueError(f"mux arms differ: {if0.width} vs {if1.width}")
+        self.sel = sel
+        self.if0 = if0
+        self.if1 = if1
+        self.width = if0.width
+
+
+class Cat(Expr):
+    """Concatenation, LSB-first: ``Cat(lo, hi)``."""
+
+    __slots__ = ("parts", "width")
+
+    def __init__(self, *parts: Expr) -> None:
+        if not parts:
+            raise ValueError("Cat needs at least one part")
+        self.parts = tuple(parts)
+        self.width = sum(p.width for p in parts)
+
+
+class Slice(Expr):
+    """Bit range ``[start, stop)`` of an expression."""
+
+    __slots__ = ("operand", "start", "stop", "width")
+
+    def __init__(self, operand: Expr, start: int, stop: int) -> None:
+        if not 0 <= start < stop <= operand.width:
+            raise ValueError(
+                f"slice [{start}:{stop}] out of range for width {operand.width}"
+            )
+        self.operand = operand
+        self.start = start
+        self.stop = stop
+        self.width = stop - start
+
+
+class Add(Expr):
+    """Ripple-carry addition; result width is ``width + 1`` (MSB = carry)."""
+
+    __slots__ = ("lhs", "rhs", "carry_in", "width")
+
+    def __init__(self, lhs: Expr, rhs: Expr, carry_in: Expr | None = None) -> None:
+        if lhs.width != rhs.width:
+            raise ValueError(f"add: width mismatch {lhs.width} vs {rhs.width}")
+        if carry_in is not None:
+            carry_in._require_bool()
+        self.lhs = lhs
+        self.rhs = rhs
+        self.carry_in = carry_in
+        self.width = lhs.width + 1
+
+
+class Sub(Expr):
+    """``lhs - rhs - borrow_in``; MSB of the result is the carry (NOT borrow)."""
+
+    __slots__ = ("lhs", "rhs", "borrow_in", "width")
+
+    def __init__(self, lhs: Expr, rhs: Expr, borrow_in: Expr | None = None) -> None:
+        if lhs.width != rhs.width:
+            raise ValueError(f"sub: width mismatch {lhs.width} vs {rhs.width}")
+        if borrow_in is not None:
+            borrow_in._require_bool()
+        self.lhs = lhs
+        self.rhs = rhs
+        self.borrow_in = borrow_in
+        self.width = lhs.width + 1
+
+
+class Eq(Expr):
+    """Word equality (1-bit result)."""
+
+    __slots__ = ("lhs", "rhs", "width")
+
+    def __init__(self, lhs: Expr, rhs: Expr) -> None:
+        if lhs.width != rhs.width:
+            raise ValueError(f"eq: width mismatch {lhs.width} vs {rhs.width}")
+        self.lhs = lhs
+        self.rhs = rhs
+        self.width = 1
+
+
+class Reduce(Expr):
+    """and/or/xor reduction of all bits (1-bit result)."""
+
+    __slots__ = ("kind", "operand", "width")
+
+    def __init__(self, kind: str, operand: Expr) -> None:
+        if kind not in ("and", "or", "xor"):
+            raise ValueError(f"unknown reduction {kind!r}")
+        self.kind = kind
+        self.operand = operand
+        self.width = 1
+
+
+# ----------------------------------------------------------------------
+# convenience constructors
+# ----------------------------------------------------------------------
+def const(value: int, width: int) -> Const:
+    """Shorthand constant constructor."""
+    return Const(value, width)
+
+
+def mux(sel: Expr, if0: Expr | int, if1: Expr | int) -> Expr:
+    """2:1 mux; integer arms are coerced using the other arm's width."""
+    if isinstance(if0, int) and isinstance(if1, int):
+        raise ValueError("at least one mux arm must be an Expr (width unknown)")
+    if isinstance(if0, int):
+        assert isinstance(if1, Expr)
+        if0 = Const(if0, if1.width)
+    if isinstance(if1, int):
+        if1 = Const(if1, if0.width)
+    return Mux(sel, if0, if1)
+
+
+def cat(*parts: Expr) -> Expr:
+    """LSB-first concatenation."""
+    return Cat(*parts)
+
+
+def onehot_case(
+    selectors_and_values: Sequence[tuple[Expr, Expr | int]],
+    default: Expr | int,
+    width: int | None = None,
+) -> Expr:
+    """Priority mux chain: first selector that is 1 wins, else ``default``.
+
+    Builds the datapath idiom used all over the CPU cores: a cascade of
+    2:1 muxes, lowest priority at the bottom. For *mutually exclusive*
+    selectors prefer :func:`parallel_case`, which synthesizes to a shallow
+    AND-OR structure (what a priority-free case statement maps to).
+    """
+    if width is None:
+        candidates = [v for _, v in selectors_and_values if isinstance(v, Expr)]
+        if isinstance(default, Expr):
+            candidates.append(default)
+        if not candidates:
+            raise ValueError("cannot infer width: all values are ints")
+        width = candidates[0].width
+    result: Expr = _coerce(default, width)
+    for selector, value in reversed(list(selectors_and_values)):
+        result = Mux(selector, result, _coerce(value, width))
+    return result
+
+
+def _balanced(op, items: list[Expr]) -> Expr:
+    """Balanced binary reduction tree (logarithmic logic depth)."""
+    level = list(items)
+    if not level:
+        raise ValueError("cannot reduce zero items")
+    while len(level) > 1:
+        nxt = [op(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def parallel_case(
+    selectors_and_values: Sequence[tuple[Expr, Expr | int]],
+    default: Expr | int,
+    width: int | None = None,
+) -> Expr:
+    """Priority-free case: ``OR of (sel_i AND value_i)`` plus the default
+    when no selector fires.
+
+    Selectors MUST be mutually exclusive (a full_case/parallel_case
+    pragma in synthesis terms); two active selectors OR their values
+    together. The resulting AND-OR structure is shallow — logic depth grows
+    logarithmically in the number of arms instead of linearly — matching
+    what an area/timing-optimizing synthesis run makes of decoded one-hot
+    selects.
+    """
+    if width is None:
+        candidates = [v for _, v in selectors_and_values if isinstance(v, Expr)]
+        if isinstance(default, Expr):
+            candidates.append(default)
+        if not candidates:
+            raise ValueError("cannot infer width: all values are ints")
+        width = candidates[0].width
+    terms: list[Expr] = []
+    selectors: list[Expr] = []
+    for selector, value in selectors_and_values:
+        selector._require_bool()
+        selectors.append(selector)
+        gate = selector if width == 1 else selector.replicate(width)
+        terms.append(gate & _coerce(value, width))
+    none_active = ~_balanced(lambda a, b: a | b, selectors)
+    gate = none_active if width == 1 else none_active.replicate(width)
+    terms.append(gate & _coerce(default, width))
+    return _balanced(lambda a, b: a | b, terms)

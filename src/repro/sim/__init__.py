@@ -1,0 +1,19 @@
+"""Cycle-accurate netlist simulation (compiled to straight-line Python)."""
+
+from repro.sim.compiler import CompiledNetlist, compile_netlist
+from repro.sim.memory import RAM, ROM
+from repro.sim.simulator import SimulationResult, Simulator, StateView
+from repro.sim.testbench import ConstantTestbench, TableTestbench, Testbench
+
+__all__ = [
+    "RAM",
+    "ROM",
+    "CompiledNetlist",
+    "ConstantTestbench",
+    "SimulationResult",
+    "Simulator",
+    "StateView",
+    "TableTestbench",
+    "Testbench",
+    "compile_netlist",
+]

@@ -1,0 +1,122 @@
+"""Netlist → straight-line Python compilation.
+
+Simulating a few thousand gates for ~10⁴ cycles in interpreted Python is
+only tractable if the per-gate dispatch disappears. We therefore compile the
+levelized combinational logic into one generated Python function of local
+integer operations (the same trick netlist simulators play with code
+generation), which evaluates a full cycle in a single call and returns the
+complete wire-value row for trace recording.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+from repro.netlist.validate import validate_netlist
+
+#: Per-cell Python expression templates (pin name → local variable).
+_TEMPLATES = {
+    "INV": "1 ^ {A}",
+    "BUF": "{A}",
+    "AND2": "{A} & {B}",
+    "AND3": "{A} & {B} & {C}",
+    "AND4": "{A} & {B} & {C} & {D}",
+    "NAND2": "1 ^ ({A} & {B})",
+    "NAND3": "1 ^ ({A} & {B} & {C})",
+    "NAND4": "1 ^ ({A} & {B} & {C} & {D})",
+    "OR2": "{A} | {B}",
+    "OR3": "{A} | {B} | {C}",
+    "OR4": "{A} | {B} | {C} | {D}",
+    "NOR2": "1 ^ ({A} | {B})",
+    "NOR3": "1 ^ ({A} | {B} | {C})",
+    "NOR4": "1 ^ ({A} | {B} | {C} | {D})",
+    "XOR2": "{A} ^ {B}",
+    "XNOR2": "1 ^ {A} ^ {B}",
+    "MUX2": "({B} if {S} else {A})",
+    "AOI21": "1 ^ (({A1} & {A2}) | {B})",
+    "AOI22": "1 ^ (({A1} & {A2}) | ({B1} & {B2}))",
+    "OAI21": "1 ^ (({A1} | {A2}) & {B})",
+    "OAI22": "1 ^ (({A1} | {A2}) & ({B1} | {B2}))",
+    "XOR3": "{A} ^ {B} ^ {C}",
+    "MAJ3": "({A} & {B}) | ({A} & {C}) | ({B} & {C})",
+}
+
+
+class CompiledNetlist:
+    """A netlist compiled to an executable single-cycle step function."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        validate_netlist(netlist)
+        self.netlist = netlist
+        self.input_wires: list[str] = list(netlist.inputs)
+        self.dffs = list(netlist.dffs.values())
+        self.dff_names: list[str] = [dff.name for dff in self.dffs]
+        self.output_wires: list[str] = list(netlist.outputs)
+
+        # Trace column order: constants, inputs, FF Q wires, gate outputs.
+        topo = netlist.topological_gates()
+        self.trace_wires: list[str] = [CONST0, CONST1]
+        self.trace_wires.extend(self.input_wires)
+        self.trace_wires.extend(dff.q for dff in self.dffs)
+        seen = set(self.trace_wires)
+        for gate in topo:
+            if gate.output not in seen:
+                self.trace_wires.append(gate.output)
+                seen.add(gate.output)
+
+        self._var_of: dict[str, str] = {CONST0: "0", CONST1: "1"}
+        self.step = self._compile(topo)
+
+    # ------------------------------------------------------------------
+    def _var(self, wire: str) -> str:
+        var = self._var_of.get(wire)
+        if var is None:
+            var = f"v{len(self._var_of)}"
+            self._var_of[wire] = var
+        return var
+
+    def _gate_expression(self, gate: Gate) -> str:
+        template = _TEMPLATES.get(gate.cell)
+        env = {pin: self._var(wire) for pin, wire in gate.inputs.items()}
+        if template is not None:
+            return template.format(**env)
+        # Fallback for cells without a hand-written template: tabulated SOP.
+        cell = self.netlist.library[gate.cell]
+        assert cell.function is not None
+        expression = cell.function.python_expression()
+        for pin in sorted(env, key=len, reverse=True):
+            expression = expression.replace(pin, env[pin])
+        return expression
+
+    def _compile(self, topo: list[Gate]):
+        lines = ["def step(state, inputs):"]
+        for index, wire in enumerate(self.input_wires):
+            lines.append(f"    {self._var(wire)} = inputs[{index}]")
+        for index, dff in enumerate(self.dffs):
+            lines.append(f"    {self._var(dff.q)} = state[{index}]")
+        for gate in topo:
+            expression = self._gate_expression(gate)
+            lines.append(f"    {self._var(gate.output)} = {expression}")
+        next_state = ", ".join(self._var(dff.d) for dff in self.dffs)
+        outputs = ", ".join(self._var(wire) for wire in self.output_wires)
+        outputs_tuple = f"({outputs},)" if outputs else "()"
+        row = ", ".join(self._var(wire) for wire in self.trace_wires)
+        lines.append(f"    return [{next_state}], {outputs_tuple}, ({row},)")
+        source = "\n".join(lines)
+        namespace: dict[str, object] = {}
+        exec(compile(source, f"<compiled {self.netlist.name}>", "exec"), namespace)
+        return namespace["step"]
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> list[int]:
+        """Reset values of all flip-flops, in step() order."""
+        return [dff.init for dff in self.dffs]
+
+    @property
+    def num_state_bits(self) -> int:
+        """Number of flip-flops."""
+        return len(self.dffs)
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Compile a netlist once; reuse the result for many runs."""
+    return CompiledNetlist(netlist)

@@ -1,0 +1,175 @@
+"""The cycle-accurate simulator driving a compiled netlist.
+
+The per-cycle contract (matching the paper's synchronous-circuit model):
+
+1. the testbench computes this cycle's primary-input words from the current
+   register state (external memories are addressed by registers);
+2. optional SEU injection flips flip-flop Q bits *before* evaluation — the
+   flipped value is what the combinational logic sees this cycle;
+3. the combinational logic is evaluated once; all wire values are recorded;
+4. the testbench observes the output words (memory writes commit, halt is
+   detected);
+5. the D values become the next state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.sim.compiler import CompiledNetlist
+from repro.sim.testbench import Testbench
+from repro.synth.lower import bit_name
+from repro.trace.trace import Trace
+
+
+class StateView:
+    """Read-only register/FF view handed to testbenches."""
+
+    def __init__(
+        self,
+        state: list[int],
+        dff_index: dict[str, int],
+        reg_widths: Mapping[str, int],
+    ) -> None:
+        self._state = state
+        self._dff_index = dff_index
+        self._reg_widths = reg_widths
+
+    def read_ff(self, name: str) -> int:
+        """Current value of one flip-flop by DFF name."""
+        return self._state[self._dff_index[name]]
+
+    def read_reg(self, name: str) -> int:
+        """Assemble a word-level register value from its DFF bits."""
+        width = self._reg_widths.get(name)
+        if width is None:
+            raise KeyError(f"unknown register {name!r}")
+        value = 0
+        for bit in range(width):
+            dff_name = bit_name(name, bit, width)
+            index = self._dff_index.get(dff_name)
+            if index is not None:  # bits optimized away read as 0
+                value |= self._state[index] << bit
+        return value
+
+
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    def __init__(
+        self,
+        trace: Trace | None,
+        cycles: int,
+        halted: bool,
+        final_state: list[int],
+        outputs_last: dict[str, int],
+    ) -> None:
+        self.trace = trace
+        self.cycles = cycles
+        self.halted = halted
+        self.final_state = final_state
+        self.outputs_last = outputs_last
+
+    def __repr__(self) -> str:
+        status = "halted" if self.halted else "ran"
+        return f"SimulationResult({status} after {self.cycles} cycles)"
+
+
+class Simulator:
+    """Runs testbench-driven (optionally fault-injected) simulations."""
+
+    def __init__(self, netlist: Netlist, compiled: CompiledNetlist | None = None) -> None:
+        self.netlist = netlist
+        self.compiled = compiled or CompiledNetlist(netlist)
+        self.dff_index = {name: i for i, name in enumerate(self.compiled.dff_names)}
+        self.input_widths: dict[str, int] = dict(
+            netlist.attributes.get("input_widths")  # type: ignore[arg-type]
+            or {wire: 1 for wire in netlist.inputs}
+        )
+        self.output_widths: dict[str, int] = dict(
+            netlist.attributes.get("output_widths")  # type: ignore[arg-type]
+            or {wire: 1 for wire in netlist.outputs}
+        )
+        self.reg_widths: dict[str, int] = dict(
+            netlist.attributes.get("reg_widths") or {}  # type: ignore[arg-type]
+        )
+        # Precompute word → input-bit-list expansion order.
+        self._input_plan: list[tuple[str, int]] = []  # (word name, bit) per wire
+        input_positions = {wire: i for i, wire in enumerate(self.compiled.input_wires)}
+        self._input_order: list[tuple[int, str, int]] = []
+        for word, width in self.input_widths.items():
+            for bit in range(width):
+                wire = bit_name(word, bit, width)
+                position = input_positions.get(wire)
+                if position is None:
+                    raise ValueError(f"input wire {wire} missing from netlist")
+                self._input_order.append((position, word, bit))
+        self._output_plan: list[tuple[str, int]] = []
+        for word, width in self.output_widths.items():
+            for bit in range(width):
+                self._output_plan.append((word, bit))
+
+    # ------------------------------------------------------------------
+    def pack_inputs(self, words: Mapping[str, int]) -> list[int]:
+        """Expand word-level input values to the netlist's input-bit list."""
+        inputs = [0] * len(self.compiled.input_wires)
+        for position, word, bit in self._input_order:
+            inputs[position] = (words.get(word, 0) >> bit) & 1
+        return inputs
+
+    def unpack_outputs(self, outputs: tuple[int, ...]) -> dict[str, int]:
+        """Assemble word-level output values from the output-bit tuple."""
+        words: dict[str, int] = {}
+        for (word, bit), value in zip(self._output_plan, outputs):
+            words[word] = words.get(word, 0) | (value << bit)
+        return words
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        testbench: Testbench | None = None,
+        max_cycles: int = 10000,
+        record_trace: bool = True,
+        flips: Mapping[int, list[str]] | None = None,
+    ) -> SimulationResult:
+        """Simulate up to ``max_cycles`` (or until the testbench halts).
+
+        ``flips`` maps cycle → list of DFF names whose Q value is inverted
+        at the start of that cycle (SEU injection).
+        """
+        testbench = testbench or Testbench()
+        step = self.compiled.step
+        state = self.compiled.initial_state()
+        rows: list[tuple[int, ...]] = []
+        halted = False
+        out_words: dict[str, int] = {}
+        cycle = 0
+        for cycle in range(max_cycles):
+            if flips and cycle in flips:
+                for dff_name in flips[cycle]:
+                    index = self.dff_index[dff_name]
+                    state[index] ^= 1
+            view = StateView(state, self.dff_index, self.reg_widths)
+            in_words = testbench.drive(cycle, view)
+            inputs = self.pack_inputs(in_words)
+            state, outputs, row = step(state, inputs)
+            if record_trace:
+                rows.append(row)
+            out_words = self.unpack_outputs(outputs)
+            if testbench.observe(cycle, out_words):
+                halted = True
+                cycle += 1
+                break
+        else:
+            cycle = max_cycles
+
+        trace = None
+        if record_trace:
+            matrix = np.array(rows, dtype=np.uint8) if rows else np.zeros(
+                (0, len(self.compiled.trace_wires)), dtype=np.uint8
+            )
+            trace = Trace(self.compiled.trace_wires, matrix)
+        return SimulationResult(trace, cycle, halted, state, out_words)

@@ -1,0 +1,6 @@
+"""Synthesis: lower RTL to bits, optimize, tech-map onto the cell library."""
+
+from repro.synth.bitgraph import BitGraph
+from repro.synth.synthesize import synthesize
+
+__all__ = ["BitGraph", "synthesize"]

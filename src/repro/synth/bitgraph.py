@@ -1,0 +1,232 @@
+"""Hash-consed bit-level logic graph with local simplification.
+
+The graph is the synthesis intermediate representation: every node is a
+1-bit signal. Structural hashing (one canonical node per operation/operand
+combination) plus constant folding and the usual local identities stand in
+for the logic optimization a commercial synthesis tool performs — this is
+what keeps the register-file mux trees and ALU logic lean enough to have
+realistic fault-cone sizes.
+
+Node ids 0 and 1 are the constants. Node kinds:
+``VAR`` (named leaf), ``NOT``, ``AND``, ``OR``, ``XOR``, ``MUX`` (sel, if0,
+if1), ``XOR3`` (full-adder sum), ``MAJ3`` (full-adder carry).
+"""
+
+from __future__ import annotations
+
+CONST0 = 0
+CONST1 = 1
+
+
+class BitGraph:
+    """A DAG of 1-bit operations with structural hashing."""
+
+    def __init__(self) -> None:
+        # nodes[i] is a tuple; constants get placeholder tuples.
+        self.nodes: list[tuple] = [("CONST", 0), ("CONST", 1)]
+        self._hash: dict[tuple, int] = {}
+        self._vars: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _intern(self, node: tuple) -> int:
+        existing = self._hash.get(node)
+        if existing is not None:
+            return existing
+        node_id = len(self.nodes)
+        self.nodes.append(node)
+        self._hash[node] = node_id
+        return node_id
+
+    def var(self, name: str) -> int:
+        """A named leaf (primary-input bit or flip-flop Q bit)."""
+        existing = self._vars.get(name)
+        if existing is not None:
+            return existing
+        node_id = self._intern(("VAR", name))
+        self._vars[name] = node_id
+        return node_id
+
+    def var_names(self) -> dict[str, int]:
+        """Mapping of leaf names to node ids."""
+        return dict(self._vars)
+
+    def is_const(self, node_id: int) -> bool:
+        """True for the two constant nodes."""
+        return node_id in (CONST0, CONST1)
+
+    def _is_not_of(self, a: int, b: int) -> bool:
+        """True if node ``a`` is NOT(b) or vice versa."""
+        return self.nodes[a] == ("NOT", b) or self.nodes[b] == ("NOT", a)
+
+    # ------------------------------------------------------------------
+    def mk_not(self, a: int) -> int:
+        """Complement (folds constants and double negation)."""
+        if a == CONST0:
+            return CONST1
+        if a == CONST1:
+            return CONST0
+        node = self.nodes[a]
+        if node[0] == "NOT":
+            return node[1]
+        return self._intern(("NOT", a))
+
+    def mk_and(self, a: int, b: int) -> int:
+        """Conjunction with the usual local identities."""
+        if a == CONST0 or b == CONST0:
+            return CONST0
+        if a == CONST1:
+            return b
+        if b == CONST1:
+            return a
+        if a == b:
+            return a
+        if self._is_not_of(a, b):
+            return CONST0
+        if a > b:
+            a, b = b, a
+        return self._intern(("AND", a, b))
+
+    def mk_or(self, a: int, b: int) -> int:
+        """Disjunction with the usual local identities."""
+        if a == CONST1 or b == CONST1:
+            return CONST1
+        if a == CONST0:
+            return b
+        if b == CONST0:
+            return a
+        if a == b:
+            return a
+        if self._is_not_of(a, b):
+            return CONST1
+        if a > b:
+            a, b = b, a
+        return self._intern(("OR", a, b))
+
+    def mk_xor(self, a: int, b: int) -> int:
+        """Exclusive-or with the usual local identities."""
+        if a == b:
+            return CONST0
+        if a == CONST0:
+            return b
+        if b == CONST0:
+            return a
+        if a == CONST1:
+            return self.mk_not(b)
+        if b == CONST1:
+            return self.mk_not(a)
+        if self._is_not_of(a, b):
+            return CONST1
+        if a > b:
+            a, b = b, a
+        return self._intern(("XOR", a, b))
+
+    def mk_mux(self, sel: int, if0: int, if1: int) -> int:
+        """``sel == 0`` selects ``if0``; ``sel == 1`` selects ``if1``."""
+        if sel == CONST0:
+            return if0
+        if sel == CONST1:
+            return if1
+        if if0 == if1:
+            return if0
+        if if0 == CONST0 and if1 == CONST1:
+            return sel
+        if if0 == CONST1 and if1 == CONST0:
+            return self.mk_not(sel)
+        if if0 == CONST0:
+            return self.mk_and(sel, if1)
+        if if1 == CONST0:
+            return self.mk_and(self.mk_not(sel), if0)
+        if if0 == CONST1:
+            return self.mk_or(self.mk_not(sel), if1)
+        if if1 == CONST1:
+            return self.mk_or(sel, if0)
+        if self._is_not_of(if0, if1):
+            # mux(s, x, ~x) == s XOR x
+            return self.mk_xor(sel, if0)
+        return self._intern(("MUX", sel, if0, if1))
+
+    def mk_xor3(self, a: int, b: int, c: int) -> int:
+        """Full-adder sum bit."""
+        operands = sorted((a, b, c))
+        if operands[0] in (CONST0, CONST1) or len(set(operands)) < 3:
+            return self.mk_xor(self.mk_xor(a, b), c)
+        return self._intern(("XOR3", *operands))
+
+    def mk_maj3(self, a: int, b: int, c: int) -> int:
+        """Full-adder carry bit (majority of three)."""
+        if a == b:
+            return a
+        if a == c:
+            return a
+        if b == c:
+            return b
+        for x, y, z in ((a, b, c), (b, a, c), (c, a, b)):
+            if x == CONST0:
+                return self.mk_and(y, z)
+            if x == CONST1:
+                return self.mk_or(y, z)
+            if self._is_not_of(y, z):
+                return x
+        operands = sorted((a, b, c))
+        return self._intern(("MAJ3", *operands))
+
+    # ------------------------------------------------------------------
+    def fanin(self, node_id: int) -> tuple[int, ...]:
+        """Operand node ids of a node (empty for leaves/constants)."""
+        node = self.nodes[node_id]
+        kind = node[0]
+        if kind in ("CONST", "VAR"):
+            return ()
+        return node[1:]
+
+    def live_nodes(self, roots: list[int]) -> list[int]:
+        """All nodes reachable from ``roots``, in topological order."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(root, False) for root in roots]
+        while stack:
+            node_id, expanded = stack.pop()
+            if expanded:
+                order.append(node_id)
+                continue
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            stack.append((node_id, True))
+            for operand in self.fanin(node_id):
+                if operand not in seen:
+                    stack.append((operand, False))
+        return order
+
+    def evaluate(self, roots: list[int], env: dict[str, int]) -> dict[int, int]:
+        """Reference interpreter (used by synthesis equivalence tests)."""
+        values: dict[int, int] = {CONST0: 0, CONST1: 1}
+        for node_id in self.live_nodes(roots):
+            if node_id in values:
+                continue
+            node = self.nodes[node_id]
+            kind = node[0]
+            if kind == "VAR":
+                values[node_id] = env[node[1]] & 1
+            elif kind == "NOT":
+                values[node_id] = 1 ^ values[node[1]]
+            elif kind == "AND":
+                values[node_id] = values[node[1]] & values[node[2]]
+            elif kind == "OR":
+                values[node_id] = values[node[1]] | values[node[2]]
+            elif kind == "XOR":
+                values[node_id] = values[node[1]] ^ values[node[2]]
+            elif kind == "MUX":
+                sel, if0, if1 = node[1:]
+                values[node_id] = values[if1] if values[sel] else values[if0]
+            elif kind == "XOR3":
+                values[node_id] = values[node[1]] ^ values[node[2]] ^ values[node[3]]
+            elif kind == "MAJ3":
+                a, b, c = (values[node[1]], values[node[2]], values[node[3]])
+                values[node_id] = (a & b) | (a & c) | (b & c)
+            else:
+                raise ValueError(f"unknown node kind {kind}")
+        return values
+
+    def __len__(self) -> int:
+        return len(self.nodes)

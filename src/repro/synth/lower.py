@@ -1,0 +1,123 @@
+"""Lowering: word-level RTL expressions → bit-level graph nodes."""
+
+from __future__ import annotations
+
+from repro.rtl.circuit import Reg
+from repro.rtl.expr import (
+    Add,
+    BinOp,
+    Cat,
+    Const,
+    Eq,
+    Expr,
+    InputExpr,
+    Mux,
+    Not,
+    Reduce,
+    Slice,
+    Sub,
+)
+from repro.synth.bitgraph import CONST0, CONST1, BitGraph
+
+
+def bit_name(signal: str, index: int, width: int) -> str:
+    """Canonical per-bit wire name: scalar signals keep their plain name."""
+    if width == 1:
+        return signal
+    return f"{signal}_b{index}"
+
+
+class Lowerer:
+    """Memoizing Expr → bit-id translator over a shared :class:`BitGraph`."""
+
+    def __init__(self, graph: BitGraph) -> None:
+        self.graph = graph
+        self._memo: dict[int, list[int]] = {}
+
+    def lower(self, expr: Expr) -> list[int]:
+        """Bit ids of ``expr``, LSB first."""
+        memoized = self._memo.get(id(expr))
+        if memoized is not None:
+            return memoized
+        bits = self._lower(expr)
+        if len(bits) != expr.width:
+            raise AssertionError(
+                f"lowering bug: {type(expr).__name__} produced {len(bits)} bits, "
+                f"expected {expr.width}"
+            )
+        self._memo[id(expr)] = bits
+        return bits
+
+    def _leaf_bits(self, name: str, width: int) -> list[int]:
+        return [self.graph.var(bit_name(name, i, width)) for i in range(width)]
+
+    def _lower(self, expr: Expr) -> list[int]:
+        graph = self.graph
+        if isinstance(expr, Const):
+            return [CONST1 if (expr.value >> i) & 1 else CONST0 for i in range(expr.width)]
+        if isinstance(expr, InputExpr):
+            return self._leaf_bits(expr.name, expr.width)
+        if isinstance(expr, Reg):
+            return self._leaf_bits(expr.name, expr.width)
+        if isinstance(expr, Not):
+            return [graph.mk_not(b) for b in self.lower(expr.operand)]
+        if isinstance(expr, BinOp):
+            lhs = self.lower(expr.lhs)
+            rhs = self.lower(expr.rhs)
+            op = {"and": graph.mk_and, "or": graph.mk_or, "xor": graph.mk_xor}[expr.kind]
+            return [op(a, b) for a, b in zip(lhs, rhs)]
+        if isinstance(expr, Mux):
+            sel = self.lower(expr.sel)[0]
+            if0 = self.lower(expr.if0)
+            if1 = self.lower(expr.if1)
+            return [graph.mk_mux(sel, a, b) for a, b in zip(if0, if1)]
+        if isinstance(expr, Cat):
+            bits: list[int] = []
+            for part in expr.parts:
+                bits.extend(self.lower(part))
+            return bits
+        if isinstance(expr, Slice):
+            return self.lower(expr.operand)[expr.start : expr.stop]
+        if isinstance(expr, Add):
+            carry = self.lower(expr.carry_in)[0] if expr.carry_in is not None else CONST0
+            return self._ripple(self.lower(expr.lhs), self.lower(expr.rhs), carry)
+        if isinstance(expr, Sub):
+            # a - b - bin  ==  a + ~b + ~bin (two's complement)
+            rhs = [graph.mk_not(b) for b in self.lower(expr.rhs)]
+            if expr.borrow_in is not None:
+                carry = graph.mk_not(self.lower(expr.borrow_in)[0])
+            else:
+                carry = CONST1
+            return self._ripple(self.lower(expr.lhs), rhs, carry)
+        if isinstance(expr, Eq):
+            lhs = self.lower(expr.lhs)
+            rhs = self.lower(expr.rhs)
+            equal_bits = [graph.mk_not(graph.mk_xor(a, b)) for a, b in zip(lhs, rhs)]
+            return [self._tree(graph.mk_and, equal_bits)]
+        if isinstance(expr, Reduce):
+            bits = self.lower(expr.operand)
+            op = {"and": graph.mk_and, "or": graph.mk_or, "xor": graph.mk_xor}[expr.kind]
+            return [self._tree(op, bits)]
+        raise TypeError(f"cannot lower expression of type {type(expr).__name__}")
+
+    def _ripple(self, lhs: list[int], rhs: list[int], carry: int) -> list[int]:
+        """Ripple-carry adder from full-adder cells; returns n+1 bits."""
+        graph = self.graph
+        sums: list[int] = []
+        for a, b in zip(lhs, rhs):
+            sums.append(graph.mk_xor3(a, b, carry))
+            carry = graph.mk_maj3(a, b, carry)
+        sums.append(carry)
+        return sums
+
+    def _tree(self, op, bits: list[int]) -> int:
+        """Balanced reduction tree (keeps logic depth logarithmic)."""
+        if not bits:
+            raise ValueError("reduction over zero bits")
+        level = list(bits)
+        while len(level) > 1:
+            nxt = [op(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]

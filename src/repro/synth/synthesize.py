@@ -1,0 +1,82 @@
+"""Synthesis driver: RTL circuit → gate-level netlist."""
+
+from __future__ import annotations
+
+from repro.cells.library import Library
+from repro.cells.nangate15 import nangate15_library
+from repro.netlist.netlist import Netlist
+from repro.rtl.circuit import RtlCircuit
+from repro.synth.bitgraph import BitGraph
+from repro.synth.lower import Lowerer, bit_name
+from repro.synth.techmap import TechMapper
+
+
+def synthesize(
+    circuit: RtlCircuit,
+    library: Library | None = None,
+    name: str | None = None,
+) -> Netlist:
+    """Synthesize an RTL circuit onto a standard-cell library.
+
+    The resulting netlist carries attributes used downstream:
+
+    - ``register_file_dffs``: DFF instance names tagged via ``reg(..., register_file=True)``
+    - ``input_widths`` / ``output_widths`` / ``reg_widths``: word-level port map
+    """
+    circuit.finalize()
+    if library is None:
+        library = nangate15_library()
+    netlist = Netlist(name or circuit.name, library)
+
+    graph = BitGraph()
+    lowerer = Lowerer(graph)
+
+    output_bits = {out: lowerer.lower(expr) for out, expr in circuit.outputs.items()}
+    next_bits = {reg_name: lowerer.lower(reg.next) for reg_name, reg in circuit.regs.items()}
+
+    roots: list[int] = []
+    for bits in output_bits.values():
+        roots.extend(bits)
+    for bits in next_bits.values():
+        roots.extend(bits)
+
+    # Primary inputs: every declared input bit, used or not.
+    for input_name, signal in circuit.inputs.items():
+        for i in range(signal.width):
+            netlist.add_input(bit_name(input_name, i, signal.width))
+
+    mapper = TechMapper(graph, netlist, roots)
+    mapper.run()
+
+    # Flip-flops: Q wire / instance name is the canonical register bit name.
+    register_file_dffs: list[str] = []
+    for reg_name, reg in circuit.regs.items():
+        bits = next_bits[reg_name]
+        for i, node_id in enumerate(bits):
+            q_wire = bit_name(reg_name, i, reg.width)
+            dff = netlist.add_dff(
+                q_wire, d=mapper.wire_of(node_id), q=q_wire,
+                init=(reg.init >> i) & 1,
+            )
+            if reg.register_file:
+                register_file_dffs.append(dff.name)
+
+    # Primary outputs get a buffer so the port owns a cleanly-named wire.
+    for out_name, bits in output_bits.items():
+        width = circuit.outputs[out_name].width
+        for i, node_id in enumerate(bits):
+            wire = bit_name(out_name, i, width)
+            netlist.add_gate(f"obuf_{wire}", "BUF", {"A": mapper.wire_of(node_id)}, wire)
+            netlist.add_output(wire)
+
+    netlist.attributes["register_file_dffs"] = sorted(register_file_dffs)
+    netlist.attributes["input_widths"] = {
+        sig_name: sig.width for sig_name, sig in circuit.inputs.items()
+    }
+    netlist.attributes["output_widths"] = {
+        out_name: expr.width for out_name, expr in circuit.outputs.items()
+    }
+    netlist.attributes["reg_widths"] = {
+        reg_name: reg.width for reg_name, reg in circuit.regs.items()
+    }
+    return netlist

@@ -1,0 +1,140 @@
+"""Technology mapping: bit-graph nodes → standard-cell instances.
+
+Local fusion patterns keep the mapped netlist close to what an
+area-optimizing synthesis run produces: NOT-over-AND/OR/XOR becomes
+NAND/NOR/XNOR, single-fanout AND/OR chains collapse into the 3- and 4-input
+cells, adders map to the XOR3/MAJ3 full-adder cells emitted by lowering.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.netlist.netlist import CONST0 as WIRE0
+from repro.netlist.netlist import CONST1 as WIRE1
+from repro.netlist.netlist import Netlist
+from repro.synth.bitgraph import CONST0, CONST1, BitGraph
+
+_CHAIN_LIMIT = 4  # widest AND/OR cell in the library
+_PIN_ORDERS = {
+    1: ("A",),
+    2: ("A", "B"),
+    3: ("A", "B", "C"),
+    4: ("A", "B", "C", "D"),
+}
+
+
+class TechMapper:
+    """Maps the live part of a :class:`BitGraph` into an existing netlist."""
+
+    def __init__(self, graph: BitGraph, netlist: Netlist, roots: list[int]) -> None:
+        self.graph = graph
+        self.netlist = netlist
+        self.roots = roots
+        self._live = graph.live_nodes(roots)
+        self._fanout: Counter[int] = Counter()
+        for node_id in self._live:
+            for operand in graph.fanin(node_id):
+                self._fanout[operand] += 1
+        for root in roots:
+            self._fanout[root] += 1
+        self._root_set = set(roots)
+        self._absorbed: set[int] = set()
+        self._plans: dict[int, tuple[str, list[int]]] = {}
+
+    # ------------------------------------------------------------------
+    def wire_of(self, node_id: int) -> str:
+        """The netlist wire carrying a node's value (valid after run())."""
+        if node_id == CONST0:
+            return WIRE0
+        if node_id == CONST1:
+            return WIRE1
+        node = self.graph.nodes[node_id]
+        if node[0] == "VAR":
+            return node[1]
+        return f"n{node_id}"
+
+    def run(self) -> None:
+        """Plan fusions and emit all live gates into the netlist."""
+        self._plan()
+        self._emit()
+
+    # ------------------------------------------------------------------
+    def _fusable(self, node_id: int, kind: str) -> bool:
+        return (
+            self.graph.nodes[node_id][0] == kind
+            and self._fanout[node_id] == 1
+            and node_id not in self._root_set
+            and node_id not in self._absorbed
+        )
+
+    def _fuse_chain(self, kind: str, node_id: int) -> list[int]:
+        """Greedily inline single-fanout same-kind operands (≤ 4 leaves)."""
+        leaves = list(self.graph.fanin(node_id))
+        changed = True
+        while changed and len(leaves) < _CHAIN_LIMIT:
+            changed = False
+            for index, leaf in enumerate(leaves):
+                if not self._fusable(leaf, kind):
+                    continue
+                operands = self.graph.fanin(leaf)
+                if len(leaves) - 1 + len(operands) > _CHAIN_LIMIT:
+                    continue
+                self._absorbed.add(leaf)
+                leaves[index : index + 1] = list(operands)
+                changed = True
+                break
+        return leaves
+
+    def _plan(self) -> None:
+        nodes = self.graph.nodes
+        # Consumers before operands, so absorption marks are seen in time.
+        for node_id in reversed(self._live):
+            if node_id in self._absorbed or node_id in (CONST0, CONST1):
+                continue
+            kind = nodes[node_id][0]
+            if kind == "VAR":
+                continue
+            if kind == "NOT":
+                inner = nodes[node_id][1]
+                inner_kind = nodes[inner][0]
+                if inner_kind in ("AND", "OR", "XOR") and self._fusable(inner, inner_kind):
+                    self._absorbed.add(inner)
+                    if inner_kind == "XOR":
+                        leaves = list(self.graph.fanin(inner))
+                        cell = "XNOR2"
+                    else:
+                        leaves = self._fuse_chain(inner_kind, inner)
+                        prefix = "NAND" if inner_kind == "AND" else "NOR"
+                        cell = f"{prefix}{len(leaves)}"
+                    self._plans[node_id] = (cell, leaves)
+                else:
+                    self._plans[node_id] = ("INV", [inner])
+            elif kind in ("AND", "OR"):
+                leaves = self._fuse_chain(kind, node_id)
+                self._plans[node_id] = (f"{kind}{len(leaves)}", leaves)
+            elif kind == "XOR":
+                self._plans[node_id] = ("XOR2", list(nodes[node_id][1:]))
+            elif kind == "MUX":
+                sel, if0, if1 = nodes[node_id][1:]
+                self._plans[node_id] = ("MUX2", [if0, if1, sel])
+            elif kind == "XOR3":
+                self._plans[node_id] = ("XOR3", list(nodes[node_id][1:]))
+            elif kind == "MAJ3":
+                self._plans[node_id] = ("MAJ3", list(nodes[node_id][1:]))
+            else:
+                raise ValueError(f"cannot map node kind {kind}")
+
+    def _emit(self) -> None:
+        for node_id in self._live:
+            plan = self._plans.get(node_id)
+            if plan is None:
+                continue
+            cell, operands = plan
+            if cell == "MUX2":
+                pins = {"A": self.wire_of(operands[0]), "B": self.wire_of(operands[1]),
+                        "S": self.wire_of(operands[2])}
+            else:
+                order = _PIN_ORDERS[len(operands)]
+                pins = {pin: self.wire_of(op) for pin, op in zip(order, operands)}
+            self.netlist.add_gate(f"U{node_id}", cell, pins, self.wire_of(node_id))

@@ -1,0 +1,6 @@
+"""Per-cycle wire-value traces and VCD interchange."""
+
+from repro.trace.trace import Trace
+from repro.trace.vcd import parse_vcd, write_vcd
+
+__all__ = ["Trace", "parse_vcd", "write_vcd"]

@@ -1,0 +1,93 @@
+"""The :class:`Trace` container: one bit per (cycle, wire).
+
+A trace is the reproduction of the paper's VCD dumps: for every simulated
+clock cycle, the value of every wire of the netlist. Values of flip-flop Q
+wires are the state *during* the cycle (i.e. what the combinational logic
+saw); D wires therefore hold the next state.
+
+The matrix is dense ``uint8`` (cycles × wires) — a full 8500-cycle CPU trace
+is tens of megabytes, which beats bit-packing for vectorized MATE replay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class Trace:
+    """Dense per-cycle values for a fixed, ordered set of wires."""
+
+    def __init__(self, wire_names: Sequence[str], matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError(f"trace matrix must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[1] != len(wire_names):
+            raise ValueError(
+                f"matrix has {matrix.shape[1]} columns but {len(wire_names)} wire names"
+            )
+        if matrix.size and matrix.max() > 1:
+            raise ValueError("trace matrix contains non-binary values")
+        self.wire_names: tuple[str, ...] = tuple(wire_names)
+        self.matrix = matrix
+        self._index: dict[str, int] = {w: i for i, w in enumerate(self.wire_names)}
+
+    @property
+    def num_cycles(self) -> int:
+        """Number of recorded clock cycles."""
+        return self.matrix.shape[0]
+
+    @property
+    def num_wires(self) -> int:
+        """Number of traced wires (matrix columns)."""
+        return self.matrix.shape[1]
+
+    def __contains__(self, wire: str) -> bool:
+        return wire in self._index
+
+    def column_index(self, wire: str) -> int:
+        """Matrix column of a wire (KeyError if untraced)."""
+        try:
+            return self._index[wire]
+        except KeyError:
+            raise KeyError(f"wire {wire!r} not in trace") from None
+
+    def wire(self, wire: str) -> np.ndarray:
+        """All per-cycle values of one wire (length ``num_cycles``)."""
+        return self.matrix[:, self.column_index(wire)]
+
+    def value(self, cycle: int, wire: str) -> int:
+        """Value of one wire in one cycle."""
+        return int(self.matrix[cycle, self.column_index(wire)])
+
+    def cycle_values(self, cycle: int) -> dict[str, int]:
+        """All wire values of one cycle as a dict (debug/verify helper)."""
+        row = self.matrix[cycle]
+        return {wire: int(row[i]) for wire, i in self._index.items()}
+
+    def columns(self, wires: Iterable[str]) -> np.ndarray:
+        """Sub-matrix for the given wires, in the given order."""
+        idx = [self.column_index(w) for w in wires]
+        return self.matrix[:, idx]
+
+    def word(self, cycle: int, wires: Sequence[str]) -> int:
+        """Assemble an integer from wires given LSB-first (debug helper)."""
+        value = 0
+        for bit, wire in enumerate(wires):
+            value |= self.value(cycle, wire) << bit
+        return value
+
+    def slice_cycles(self, start: int, stop: int) -> "Trace":
+        """A trace restricted to cycles [start, stop)."""
+        return Trace(self.wire_names, self.matrix[start:stop].copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.wire_names == other.wire_names and np.array_equal(
+            self.matrix, other.matrix
+        )
+
+    def __repr__(self) -> str:
+        return f"Trace({self.num_cycles} cycles x {self.num_wires} wires)"

@@ -1,0 +1,21 @@
+"""Shared low-level helpers: bit manipulation, timing, deterministic RNG."""
+
+from repro.util.bits import (
+    bit_count,
+    bits_of,
+    from_bits,
+    mask,
+    sign_extend,
+    to_signed,
+)
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "Stopwatch",
+    "bit_count",
+    "bits_of",
+    "from_bits",
+    "mask",
+    "sign_extend",
+    "to_signed",
+]

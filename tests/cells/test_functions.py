@@ -1,0 +1,84 @@
+"""Tests for BoolFunc truth tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cells import BoolFunc
+
+
+class TestConstruction:
+    def test_from_callable_and(self):
+        f = BoolFunc.from_callable(["A", "B"], lambda a, b: a & b)
+        assert f.table == 0b1000
+
+    def test_from_expression_matches_callable(self):
+        f1 = BoolFunc.from_expression(["A", "B", "C"], "(A & B) | C")
+        f2 = BoolFunc.from_callable(["A", "B", "C"], lambda a, b, c: (a & b) | c)
+        assert f1 == f2
+
+    def test_duplicate_pins_rejected(self):
+        with pytest.raises(ValueError):
+            BoolFunc(["A", "A"], 0)
+
+    def test_table_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BoolFunc(["A"], 16)
+
+
+class TestEvaluate:
+    def test_all_rows_of_xor(self):
+        f = BoolFunc.from_expression(["A", "B"], "A ^ B")
+        assert f.evaluate({"A": 0, "B": 0}) == 0
+        assert f.evaluate({"A": 1, "B": 0}) == 1
+        assert f.evaluate({"A": 0, "B": 1}) == 1
+        assert f.evaluate({"A": 1, "B": 1}) == 0
+
+    def test_rejects_non_boolean(self):
+        f = BoolFunc.from_expression(["A"], "A")
+        with pytest.raises(ValueError):
+            f.evaluate({"A": 2})
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+    def test_evaluate_row_consistent(self, table, row):
+        f = BoolFunc(("A", "B", "C"), table)
+        assignment = {"A": row & 1, "B": (row >> 1) & 1, "C": (row >> 2) & 1}
+        assert f.evaluate(assignment) == f.evaluate_row(row)
+
+
+class TestCofactorAndSupport:
+    def test_cofactor_fixes_pin(self):
+        f = BoolFunc.from_expression(["A", "B"], "A & B")
+        assert f.cofactor("B", 0).table == 0
+        restricted = f.cofactor("B", 1)
+        assert restricted.evaluate({"A": 1, "B": 0}) == 1
+
+    def test_depends_on(self):
+        f = BoolFunc.from_expression(["A", "B"], "A | (B & 0)")
+        assert f.depends_on("A")
+        assert not f.depends_on("B")
+
+    def test_support_drops_unused(self):
+        f = BoolFunc.from_expression(["A", "B", "C"], "A ^ C")
+        assert f.support() == ("A", "C")
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_cofactors_partition_function(self, table):
+        f = BoolFunc(("A", "B"), table)
+        for row in range(4):
+            target = f.cofactor("A", row & 1)
+            assert target.evaluate_row(row) == f.evaluate_row(row & 0b10 | (row & 1))
+
+
+class TestPythonExpression:
+    @given(st.integers(min_value=0, max_value=255))
+    def test_expression_is_equivalent(self, table):
+        f = BoolFunc(("A", "B", "C"), table)
+        code = compile(f.python_expression(), "<test>", "eval")
+        for row in range(8):
+            env = {"A": row & 1, "B": (row >> 1) & 1, "C": (row >> 2) & 1}
+            assert (eval(code, {}, env) & 1) == f.evaluate_row(row)
+
+    def test_constants(self):
+        assert BoolFunc(("A",), 0).python_expression() == "0"
+        assert BoolFunc(("A",), 3).python_expression() == "1"

@@ -1,0 +1,86 @@
+"""Tests for the Cell/Library containers and the nangate15 library."""
+
+import pytest
+
+from repro.cells import BoolFunc, Cell, Library, nangate15_library
+
+
+class TestCell:
+    def test_sequential_cell_has_no_function(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", ("D",), "Q", BoolFunc(("D",), 2), sequential=True)
+
+    def test_combinational_needs_function(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", ("A",), "Y", None)
+
+    def test_function_pins_must_match(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", ("A", "B"), "Y", BoolFunc(("A",), 2))
+
+    def test_output_cannot_be_input(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", ("A",), "A", BoolFunc(("A",), 2))
+
+    def test_evaluate_sequential_raises(self):
+        lib = nangate15_library()
+        with pytest.raises(ValueError):
+            lib["DFF"].evaluate({"D": 1})
+
+
+class TestLibrary:
+    def test_duplicate_cell_rejected(self):
+        lib = Library("test")
+        cell = Cell("INV", ("A",), "Y", BoolFunc(("A",), 1))
+        lib.add(cell)
+        with pytest.raises(ValueError):
+            lib.add(Cell("INV", ("A",), "Y", BoolFunc(("A",), 1)))
+
+    def test_unknown_cell_message_lists_known(self):
+        lib = Library("test")
+        with pytest.raises(KeyError, match="not in library"):
+            lib["NOPE"]
+
+
+class TestNangate15:
+    def test_singleton(self):
+        assert nangate15_library() is nangate15_library()
+
+    def test_expected_cells_present(self):
+        lib = nangate15_library()
+        for name in ("INV", "BUF", "NAND2", "NOR3", "XOR2", "MUX2", "AOI21",
+                     "OAI22", "XOR3", "MAJ3", "DFF"):
+            assert name in lib
+
+    def test_one_sequential_cell(self):
+        lib = nangate15_library()
+        assert [c.name for c in lib.sequential()] == ["DFF"]
+
+    @pytest.mark.parametrize(
+        "cell,assignment,expected",
+        [
+            ("NAND2", {"A": 1, "B": 1}, 0),
+            ("NAND2", {"A": 1, "B": 0}, 1),
+            ("NOR2", {"A": 0, "B": 0}, 1),
+            ("XNOR2", {"A": 1, "B": 1}, 1),
+            ("MUX2", {"A": 1, "B": 0, "S": 0}, 1),
+            ("MUX2", {"A": 1, "B": 0, "S": 1}, 0),
+            ("AOI21", {"A1": 1, "A2": 1, "B": 0}, 0),
+            ("AOI21", {"A1": 0, "A2": 1, "B": 0}, 1),
+            ("OAI21", {"A1": 0, "A2": 0, "B": 1}, 1),
+            ("OAI22", {"A1": 1, "A2": 0, "B1": 0, "B2": 1}, 0),
+            ("XOR3", {"A": 1, "B": 1, "C": 1}, 1),
+            ("MAJ3", {"A": 1, "B": 1, "C": 0}, 1),
+            ("MAJ3", {"A": 1, "B": 0, "C": 0}, 0),
+        ],
+    )
+    def test_cell_functions(self, cell, assignment, expected):
+        lib = nangate15_library()
+        assert lib[cell].evaluate(assignment) == expected
+
+    def test_areas_are_positive_and_ordered(self):
+        lib = nangate15_library()
+        assert all(cell.area > 0 for cell in lib)
+        # An inverter is the smallest combinational cell.
+        inv_area = lib["INV"].area
+        assert all(cell.area >= inv_area for cell in lib.combinational())

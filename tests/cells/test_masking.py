@@ -1,0 +1,182 @@
+"""Tests for gate-masking-term extraction — the paper's Sec. 4 step 1.
+
+The key property (checked exhaustively and with hypothesis-generated random
+cells): whenever a masking term's assignment holds, the cell output must be
+independent of *every* faulty pin, for *all* values of the unassigned pins.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cells import (
+    BoolFunc,
+    Cell,
+    MaskingTerm,
+    gate_masking_terms,
+    has_masking_capability,
+    nangate15_library,
+)
+
+LIB = nangate15_library()
+
+
+class TestMaskingTerm:
+    def test_sorted_assignment(self):
+        term = MaskingTerm({"B": 1, "A": 0})
+        assert term.assignment == (("A", 0), ("B", 1))
+
+    def test_subset(self):
+        small = MaskingTerm({"A": 0})
+        large = MaskingTerm({"A": 0, "B": 1})
+        assert small.is_subset_of(large)
+        assert not large.is_subset_of(small)
+
+    def test_conflict(self):
+        assert MaskingTerm({"A": 0}).conflicts_with(MaskingTerm({"A": 1}))
+        assert not MaskingTerm({"A": 0}).conflicts_with(MaskingTerm({"B": 1}))
+
+    def test_non_boolean_rejected(self):
+        with pytest.raises(ValueError):
+            MaskingTerm({"A": 2})
+
+
+class TestPaperExamples:
+    """The exact examples given in the paper."""
+
+    def test_mux_faulty_select(self):
+        terms = gate_masking_terms(LIB["MUX2"], {"S"})
+        assert set(terms) == {
+            MaskingTerm({"A": 0, "B": 0}),
+            MaskingTerm({"A": 1, "B": 1}),
+        }
+
+    def test_xor_has_no_masking_capability(self):
+        assert gate_masking_terms(LIB["XOR2"], {"A"}) == ()
+        assert gate_masking_terms(LIB["XOR2"], {"B"}) == ()
+        assert not has_masking_capability(LIB["XOR2"], {"A"})
+
+    def test_and_masks_with_zero(self):
+        assert gate_masking_terms(LIB["AND2"], {"A"}) == (MaskingTerm({"B": 0}),)
+
+    def test_or_masks_with_one(self):
+        assert gate_masking_terms(LIB["OR2"], {"A"}) == (MaskingTerm({"B": 1}),)
+
+
+class TestMoreCells:
+    def test_nand_masks_with_zero(self):
+        assert gate_masking_terms(LIB["NAND2"], {"B"}) == (MaskingTerm({"A": 0}),)
+
+    def test_inv_never_masks(self):
+        assert gate_masking_terms(LIB["INV"], {"A"}) == ()
+
+    def test_mux_faulty_selected_input(self):
+        # Fault on A is masked by selecting B.
+        assert MaskingTerm({"S": 1}) in gate_masking_terms(LIB["MUX2"], {"A"})
+
+    def test_mux_both_data_inputs_faulty_unmaskable(self):
+        assert gate_masking_terms(LIB["MUX2"], {"A", "B"}) == ()
+
+    def test_aoi21(self):
+        assert gate_masking_terms(LIB["AOI21"], {"B"}) == (
+            MaskingTerm({"A1": 1, "A2": 1}),
+        )
+        terms_a1 = gate_masking_terms(LIB["AOI21"], {"A1"})
+        assert MaskingTerm({"A2": 0}) in terms_a1
+        assert MaskingTerm({"B": 1}) in terms_a1
+
+    def test_maj3(self):
+        assert set(gate_masking_terms(LIB["MAJ3"], {"A"})) == {
+            MaskingTerm({"B": 0, "C": 0}),
+            MaskingTerm({"B": 1, "C": 1}),
+        }
+
+    def test_and3_two_faulty(self):
+        assert gate_masking_terms(LIB["AND3"], {"A", "B"}) == (
+            MaskingTerm({"C": 0}),
+        )
+
+    def test_all_inputs_faulty_never_maskable_for_dependent_cells(self):
+        for cell in LIB.combinational():
+            support = cell.function.support()
+            if not support:
+                continue
+            terms = gate_masking_terms(cell, set(cell.inputs))
+            assert terms == (), f"{cell.name} masked an all-faulty input set"
+
+    def test_rejects_unknown_pin(self):
+        with pytest.raises(ValueError):
+            gate_masking_terms(LIB["AND2"], {"Z"})
+
+    def test_rejects_empty_faulty_set(self):
+        with pytest.raises(ValueError):
+            gate_masking_terms(LIB["AND2"], set())
+
+    def test_rejects_sequential(self):
+        with pytest.raises(ValueError):
+            gate_masking_terms(LIB["DFF"], {"D"})
+
+
+def _term_masks(function: BoolFunc, faulty: set[str], term: MaskingTerm) -> bool:
+    """Exhaustive soundness oracle for a masking term."""
+    assigned = term.as_dict()
+    free = [p for p in function.pins if p not in assigned and p not in faulty]
+    for free_values in itertools.product((0, 1), repeat=len(free)):
+        env = dict(assigned)
+        env.update(zip(free, free_values))
+        outputs = set()
+        for faulty_values in itertools.product((0, 1), repeat=len(faulty)):
+            env.update(zip(sorted(faulty), faulty_values))
+            outputs.add(function.evaluate(env))
+        if len(outputs) > 1:
+            return False
+    return True
+
+
+class TestSoundnessExhaustive:
+    @pytest.mark.parametrize("cell", [c.name for c in LIB.combinational()])
+    def test_every_library_term_is_sound(self, cell):
+        cell_def = LIB[cell]
+        pins = cell_def.inputs
+        for k in range(1, len(pins) + 1):
+            for faulty in itertools.combinations(pins, k):
+                for term in gate_masking_terms(cell_def, set(faulty)):
+                    assert _term_masks(cell_def.function, set(faulty), term)
+
+    @pytest.mark.parametrize("cell", [c.name for c in LIB.combinational()])
+    def test_terms_are_minimal(self, cell):
+        cell_def = LIB[cell]
+        for pin in cell_def.inputs:
+            terms = gate_masking_terms(cell_def, {pin})
+            for term in terms:
+                for drop in term.pins:
+                    weakened = MaskingTerm(
+                        {p: v for p, v in term.assignment if p != drop}
+                    )
+                    assert not _term_masks(cell_def.function, {pin}, weakened), (
+                        f"{cell}: term {term} is not minimal (can drop {drop})"
+                    )
+
+
+@given(table=st.integers(min_value=0, max_value=255),
+       faulty_mask=st.integers(min_value=1, max_value=7))
+def test_random_cells_terms_sound_and_complete(table, faulty_mask):
+    """Property test over random 3-input cells.
+
+    Soundness: every returned term masks the faulty set (oracle).
+    Completeness (weak form): if NO term is returned, then no single-pin
+    assignment masks the fault either.
+    """
+    pins = ("A", "B", "C")
+    function = BoolFunc(pins, table)
+    cell = Cell("RND", pins, "Y", function)
+    faulty = {p for i, p in enumerate(pins) if (faulty_mask >> i) & 1}
+    terms = gate_masking_terms(cell, faulty)
+    for term in terms:
+        assert _term_masks(function, faulty, term)
+    if not terms:
+        for pin in set(pins) - faulty:
+            for value in (0, 1):
+                assert not _term_masks(function, faulty, MaskingTerm({pin: value}))

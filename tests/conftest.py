@@ -1,0 +1,17 @@
+"""Session-wide fixtures: the two synthesized cores with compiled simulators."""
+
+import pytest
+
+from repro.cpu.avr import synthesize_avr
+from repro.cpu.msp430 import synthesize_msp430
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="session")
+def avr_sim():
+    return Simulator(synthesize_avr())
+
+
+@pytest.fixture(scope="session")
+def msp430_sim():
+    return Simulator(synthesize_msp430())

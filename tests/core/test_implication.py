@@ -1,0 +1,114 @@
+"""Tests for forcing ancestors and the implication engine."""
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.core.implication import ImplicationEngine, forcing_ancestors
+from repro.netlist import Netlist
+
+
+@pytest.fixture()
+def netlist():
+    """state bits -> in_exec decode -> per-register write enables."""
+    lib = nangate15_library()
+    n = Netlist("decode", lib)
+    n.add_input("s0")
+    n.add_input("s1")
+    n.add_input("w0")
+    n.add_input("w1")
+    # in_exec = s0 & ~s1
+    n.add_gate("inv_s1", "INV", {"A": "s1"}, "ns1")
+    n.add_gate("dec", "AND2", {"A": "s0", "B": "ns1"}, "in_exec")
+    # enables = in_exec & wN
+    n.add_gate("en0", "AND2", {"A": "in_exec", "B": "w0"}, "we0")
+    n.add_gate("en1", "AND2", {"A": "in_exec", "B": "w1"}, "we1")
+    # an OR for forcing-to-1 tests
+    n.add_gate("or0", "OR2", {"A": "we0", "B": "we1"}, "any_we")
+    n.add_output("any_we")
+    return n
+
+
+class TestForcingAncestors:
+    def test_includes_self(self, netlist):
+        assert ("we0", 0) in forcing_ancestors(netlist, "we0", 0)
+
+    def test_and_zero_chain(self, netlist):
+        ancestors = forcing_ancestors(netlist, "we0", 0)
+        assert ("in_exec", 0) in ancestors
+        assert ("w0", 0) in ancestors
+        assert ("s0", 0) in ancestors  # s0=0 forces in_exec=0 forces we0=0
+        assert ("s1", 1) in ancestors  # s1=1 -> ns1=0 -> in_exec=0
+
+    def test_and_one_not_forcible_by_single_literal(self, netlist):
+        ancestors = forcing_ancestors(netlist, "we0", 1)
+        assert ancestors == [("we0", 1)]
+
+    def test_or_one_chain(self, netlist):
+        ancestors = forcing_ancestors(netlist, "any_we", 1)
+        assert ("we0", 1) in ancestors
+        assert ("we1", 1) in ancestors
+
+    def test_depth_limit(self, netlist):
+        shallow = forcing_ancestors(netlist, "we0", 0, depth=1)
+        assert ("in_exec", 0) in shallow
+        assert ("s0", 0) not in shallow  # two gates away
+
+
+class TestImplicationEngine:
+    def test_forward_forcing(self, netlist):
+        engine = ImplicationEngine(netlist)
+        known = engine.propagate({"in_exec": 0})
+        assert known is not None
+        assert known["we0"] == 0
+        assert known["we1"] == 0
+        assert known["any_we"] == 0
+
+    def test_backward_inference(self, netlist):
+        engine = ImplicationEngine(netlist)
+        known = engine.propagate({"in_exec": 1})
+        assert known is not None
+        # AND output 1 implies both inputs 1 -> s0=1, ns1=1 -> s1=0.
+        assert known["s0"] == 1
+        assert known["s1"] == 0
+
+    def test_mixed_direction(self, netlist):
+        engine = ImplicationEngine(netlist)
+        known = engine.propagate({"we0": 1})
+        assert known is not None
+        # we0=1 -> in_exec=1, w0=1 -> s0=1, s1=0 -> (forward) nothing else,
+        # and any_we = 1 forward.
+        assert known["w0"] == 1
+        assert known["s1"] == 0
+        assert known["any_we"] == 1
+
+    def test_contradiction(self, netlist):
+        engine = ImplicationEngine(netlist)
+        assert engine.propagate({"in_exec": 1, "s0": 0}) is None
+
+    def test_tainted_backward_blocked(self, netlist):
+        engine = ImplicationEngine(netlist)
+        known = engine.propagate({"we0": 1}, tainted=frozenset({"w0"}))
+        assert known is not None
+        assert "w0" not in known  # golden-only fact must not be learned
+        assert known["in_exec"] == 1  # untainted sibling still inferred
+
+    def test_tainted_forward_allowed(self, netlist):
+        engine = ImplicationEngine(netlist)
+        known = engine.propagate({"in_exec": 0}, tainted=frozenset({"we0"}))
+        assert known is not None
+        assert known["we0"] == 0  # forced irrespective of the fault
+
+    def test_closure_cache(self, netlist):
+        engine = ImplicationEngine(netlist)
+        first = engine.closure_of_term((("in_exec", 0),))
+        second = engine.closure_of_term((("in_exec", 0),))
+        assert first is second
+        assert (("we0", 0)) in first
+
+    def test_closure_of_contradictory_term(self, netlist):
+        lib = netlist.library
+        n2 = Netlist("c", lib)
+        n2.add_input("a")
+        n2.add_gate("g", "INV", {"A": "a"}, "na")
+        engine = ImplicationEngine(n2)
+        assert engine.closure_of_term((("a", 1), ("na", 1))) is None

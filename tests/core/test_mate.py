@@ -1,0 +1,106 @@
+"""Tests for the Mate/MateSet data structures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mate import Mate, MateSet
+
+
+class TestMate:
+    def test_literals_sorted_and_deduped(self):
+        mate = Mate([("b", 1), ("a", 0), ("b", 1)], ["f1"])
+        assert mate.literals == (("a", 0), ("b", 1))
+        assert mate.num_inputs == 2
+
+    def test_conflicting_literals_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            Mate([("a", 0), ("a", 1)], ["f1"])
+
+    def test_non_boolean_rejected(self):
+        with pytest.raises(ValueError):
+            Mate([("a", 2)], ["f1"])
+
+    def test_requires_fault_wire(self):
+        with pytest.raises(ValueError):
+            Mate([("a", 0)], [])
+
+    def test_holds(self):
+        mate = Mate([("a", 0), ("b", 1)], ["f1"])
+        assert mate.holds({"a": 0, "b": 1, "c": 0})
+        assert not mate.holds({"a": 1, "b": 1})
+
+    def test_empty_conjunction_always_holds(self):
+        mate = Mate([], ["f1"])
+        assert mate.holds({})
+        assert mate.num_inputs == 0
+
+    def test_merge(self):
+        m1 = Mate([("a", 0)], ["f1"])
+        m2 = Mate([("a", 0)], ["f2"])
+        merged = m1.merged_with(m2)
+        assert merged.fault_wires == {"f1", "f2"}
+
+    def test_merge_different_terms_rejected(self):
+        with pytest.raises(ValueError):
+            Mate([("a", 0)], ["f1"]).merged_with(Mate([("b", 0)], ["f1"]))
+
+    def test_repr_shows_polarity(self):
+        mate = Mate([("x", 0), ("y", 1)], ["f1"])
+        assert "!x" in repr(mate)
+        assert "y" in repr(mate)
+
+
+class TestMateSet:
+    def test_groups_by_literals(self):
+        ms = MateSet([Mate([("a", 0)], ["f1"]), Mate([("a", 0)], ["f2"])])
+        assert len(ms) == 1
+        (mate,) = ms.mates()
+        assert mate.fault_wires == {"f1", "f2"}
+
+    def test_distinct_terms_kept(self):
+        ms = MateSet([Mate([("a", 0)], ["f1"]), Mate([("a", 1)], ["f1"])])
+        assert len(ms) == 2
+
+    def test_covered_fault_wires(self):
+        ms = MateSet(
+            [Mate([("a", 0)], ["f1", "f2"]), Mate([("b", 0)], ["f3"])]
+        )
+        assert ms.covered_fault_wires() == {"f1", "f2", "f3"}
+
+    def test_mates_for_fault(self):
+        m1 = Mate([("a", 0)], ["f1"])
+        m2 = Mate([("b", 0)], ["f1", "f2"])
+        ms = MateSet([m1, m2])
+        assert len(ms.mates_for_fault("f1")) == 2
+        assert len(ms.mates_for_fault("f2")) == 1
+        assert ms.mates_for_fault("zz") == []
+
+    def test_average_inputs(self):
+        ms = MateSet([Mate([("a", 0)], ["f1"]), Mate([("b", 0), ("c", 1)], ["f2"])])
+        mean, std = ms.average_num_inputs()
+        assert mean == pytest.approx(1.5)
+        assert std == pytest.approx(0.5)
+
+    def test_empty_set_statistics(self):
+        assert MateSet().average_num_inputs() == (0.0, 0.0)
+
+    @given(st.lists(
+        st.tuples(
+            st.lists(st.tuples(st.sampled_from("abcd"),
+                               st.integers(0, 1)), max_size=3),
+            st.sampled_from(["f1", "f2", "f3"]),
+        ),
+        max_size=12,
+    ))
+    def test_grouping_preserves_all_coverage(self, raw):
+        mates = []
+        for literals, wire in raw:
+            try:
+                mates.append(Mate(literals, [wire]))
+            except ValueError:
+                continue  # conflicting random literals
+        ms = MateSet(mates)
+        for mate in mates:
+            grouped = ms.mates_for_fault(next(iter(mate.fault_wires)))
+            assert any(g.literals == mate.literals for g in grouped)

@@ -1,0 +1,97 @@
+"""Tests for multi-bit-upset MATEs (paper Sec. 6.2)."""
+
+import pytest
+
+from repro.core.multibit import adjacent_register_pairs, find_pair_mates
+from repro.core.search import SearchParameters
+from repro.rtl import RtlCircuit, mux
+from repro.sim import Simulator, TableTestbench
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def design():
+    """Two registers feeding a gated output; pairs can be masked together."""
+    c = RtlCircuit("pairable")
+    enable = c.input("enable")
+    data = c.input("data", 4)
+    held = c.reg("held", 4)
+    free = c.reg("free", 2)
+    held.next = mux(enable, held, data)
+    free.next = free ^ data[0:2]  # reads itself: never maskable
+    c.output("out", (held ^ free.zext(4)) & (~enable).replicate(4))
+    return synthesize(c)
+
+
+class TestAdjacentPairs:
+    def test_pairs_follow_bit_order(self, design):
+        pairs = adjacent_register_pairs(design)
+        assert ("held_b0", "held_b1") in pairs
+        assert ("held_b2", "held_b3") in pairs
+        assert ("free_b0", "free_b1") in pairs
+        # No cross-register pairs.
+        assert all(a.rsplit("_b", 1)[0] == b.rsplit("_b", 1)[0] for a, b in pairs)
+
+    def test_limit(self, design):
+        assert len(adjacent_register_pairs(design, limit=2)) == 2
+
+
+class TestPairSearch:
+    def test_maskable_pair_found(self, design):
+        summary = find_pair_mates(design, [("held_b0", "held_b1")])
+        (result,) = summary.results
+        assert result.status == "found"
+        assert result.pair_id == "held_b0+held_b1"
+        # The write-enable cycle masks both bits at once.
+        assert any("held_b0+held_b1" in m.fault_wires for m in result.mates)
+
+    def test_self_reading_pair_not_maskable(self, design):
+        summary = find_pair_mates(design, [("free_b0", "free_b1")])
+        (result,) = summary.results
+        assert result.status in ("no_mate", "unmaskable")
+
+    def test_pair_cone_covers_both_sources(self, design):
+        from repro.core.cone import compute_fault_cone
+
+        cone = compute_fault_cone(design, "held_b0", extra_wires=("free_b0",))
+        single = compute_fault_cone(design, "held_b0")
+        assert cone.cone_wires > single.cone_wires
+        assert cone.fault_wires == {"held_b0", "free_b0"}
+
+    def test_pair_mates_sound_against_double_flip(self, design):
+        """Exact validation: when a pair MATE triggers, flipping BOTH bits
+        must leave every endpoint unchanged."""
+        summary = find_pair_mates(
+            design, [("held_b0", "held_b1"), ("held_b2", "held_b3")]
+        )
+        simulator = Simulator(design)
+        rows = [
+            {"enable": cycle % 3 == 0, "data": (cycle * 7) % 16}
+            for cycle in range(40)
+        ]
+        trace = simulator.run(TableTestbench(rows), max_cycles=len(rows)).trace
+        compiled = simulator.compiled
+        for result in summary.results:
+            if result.status != "found":
+                continue
+            indices = [compiled.dff_names.index(w) for w in result.wires]
+            for mate in result.mates:
+                for cycle in range(trace.num_cycles):
+                    if not mate.holds(trace.cycle_values(cycle)):
+                        continue
+                    state = [trace.value(cycle, d.q) for d in compiled.dffs]
+                    inputs = [
+                        trace.value(cycle, w) for w in compiled.input_wires
+                    ]
+                    golden = compiled.step(list(state), inputs)[:2]
+                    faulty_state = list(state)
+                    for index in indices:
+                        faulty_state[index] ^= 1
+                    faulty = compiled.step(faulty_state, inputs)[:2]
+                    assert faulty == golden, (result.pair_id, mate, cycle)
+
+    def test_budget_respected(self, design):
+        params = SearchParameters(max_candidates=3, max_exact_checks=2)
+        summary = find_pair_mates(design, [("held_b0", "held_b1")], params)
+        (result,) = summary.results
+        assert result.candidates_tried <= 3 + 32

@@ -1,0 +1,93 @@
+"""Tests for multi-cycle masking quantification."""
+
+import numpy as np
+import pytest
+
+from repro.core.multicycle import masked_within_k_cycles, multicycle_headroom
+from repro.rtl import RtlCircuit, mux
+from repro.sim import Simulator, TableTestbench
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def shift_design():
+    """A 3-stage shift register into a gated output.
+
+    A fault in stage0 needs 3 cycles to reach the output; if the output
+    gate is closed by then, it is masked within 3 cycles but NOT within 1.
+    """
+    c = RtlCircuit("shifter")
+    data = c.input("data")
+    gate = c.input("gate")
+    s0 = c.reg("s0")
+    s1 = c.reg("s1")
+    s2 = c.reg("s2")
+    s0.next = data
+    s1.next = s0
+    s2.next = s1
+    c.output("out", s2 & gate)
+    return synthesize(c)
+
+
+def _trace(netlist, rows):
+    return Simulator(netlist).run(TableTestbench(rows), max_cycles=len(rows)).trace
+
+
+class TestMaskedWithinK:
+    def test_fault_flushes_through_closed_gate(self, shift_design):
+        # gate stays 0: the fault shifts out unobserved within 3 cycles.
+        rows = [{"data": 0, "gate": 0}] * 10
+        trace = _trace(shift_design, rows)
+        compiled = Simulator(shift_design).compiled
+        assert not masked_within_k_cycles(compiled, trace, "s0", 2, k=1)
+        assert not masked_within_k_cycles(compiled, trace, "s0", 2, k=2)
+        assert masked_within_k_cycles(compiled, trace, "s0", 2, k=3)
+        assert masked_within_k_cycles(compiled, trace, "s0", 2, k=8)
+
+    def test_open_gate_blocks_masking(self, shift_design):
+        rows = [{"data": 0, "gate": 1}] * 10
+        trace = _trace(shift_design, rows)
+        compiled = Simulator(shift_design).compiled
+        # The fault reaches the open output at cycle+3: never masked.
+        assert not masked_within_k_cycles(compiled, trace, "s0", 2, k=8)
+
+    def test_last_stage_masked_within_one_cycle_when_gate_closed(self, shift_design):
+        rows = [{"data": 0, "gate": 0}] * 10
+        trace = _trace(shift_design, rows)
+        compiled = Simulator(shift_design).compiled
+        assert masked_within_k_cycles(compiled, trace, "s2", 2, k=1)
+
+    def test_gate_closing_mid_window(self, shift_design):
+        # gate open at injection, closes before the fault arrives.
+        rows = [{"data": 0, "gate": 1}] * 4 + [{"data": 0, "gate": 0}] * 6
+        trace = _trace(shift_design, rows)
+        compiled = Simulator(shift_design).compiled
+        # Inject at s0 in cycle 2: reaches out at cycle 5 where gate=0.
+        assert masked_within_k_cycles(compiled, trace, "s0", 2, k=4)
+
+
+class TestHeadroom:
+    def test_monotone_in_window(self, shift_design):
+        rows = [{"data": c % 2, "gate": (c // 3) % 2} for c in range(60)]
+        trace = _trace(shift_design, rows)
+        compiled = Simulator(shift_design).compiled
+        headroom = multicycle_headroom(
+            compiled, trace, ["s0", "s1", "s2"], windows=(1, 2, 4), cycle_stride=5
+        )
+        assert headroom.sampled_points > 0
+        fractions = [headroom.fraction(k) for k in (1, 2, 4)]
+        assert fractions == sorted(fractions)
+        assert "multi-cycle masking headroom" in headroom.format()
+
+    def test_k1_agrees_with_single_cycle_oracle(self, shift_design):
+        from repro.core.verify import masked_within_one_cycle, state_and_inputs_at
+
+        rows = [{"data": c % 3 == 0, "gate": c % 2} for c in range(30)]
+        trace = _trace(shift_design, rows)
+        compiled = Simulator(shift_design).compiled
+        for dff in ("s0", "s1", "s2"):
+            for cycle in range(0, 25, 3):
+                state, inputs = state_and_inputs_at(compiled, trace, cycle)
+                single = masked_within_one_cycle(compiled, state, inputs, dff)
+                multi = masked_within_k_cycles(compiled, trace, dff, cycle, k=1)
+                assert single == multi, (dff, cycle)

@@ -1,0 +1,157 @@
+"""Tests for propagation-path enumeration and killer-term machinery."""
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.core.cone import compute_fault_cone
+from repro.core.paths import (
+    _MinimalSets,
+    enumerate_paths,
+    expand_term_variants,
+    wire_level_terms,
+)
+from repro.netlist import Netlist
+
+
+@pytest.fixture()
+def lib():
+    return nangate15_library()
+
+
+class TestWireLevelTerms:
+    def test_basic_translation(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("g", "AND2", {"A": "a", "B": "b"}, "y")
+        n.add_output("y")
+        terms = wire_level_terms(n, n.gates["g"], frozenset({"A"}))
+        assert terms == [(("b", 0),)]
+
+    def test_constant_simplification(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("s")
+        # MUX with B tied to 1: masking term (A=1,B=1) loses the B literal.
+        n.add_gate("g", "MUX2", {"A": "a", "B": "1'b1", "S": "s"}, "y")
+        n.add_output("y")
+        terms = wire_level_terms(n, n.gates["g"], frozenset({"S"}))
+        assert (("a", 1),) in terms
+        # The (A=0, B=0) variant is unsatisfiable with B==1 and is dropped.
+        assert all(("a", 0) not in t for t in terms)
+
+    def test_independent_output_returns_none(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        # AND with one input tied to 0: output never depends on A.
+        n.add_gate("g", "AND2", {"A": "a", "B": "1'b0"}, "y")
+        n.add_output("y")
+        assert wire_level_terms(n, n.gates["g"], frozenset({"A"})) is None
+
+    def test_shared_wire_conflict_dropped(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("x")
+        # MAJ3 with B and C on the same wire: the (B=0,C=1)-style terms
+        # cannot exist; only consistent ones survive.
+        n.add_gate("g", "MAJ3", {"A": "a", "B": "x", "C": "x"}, "y")
+        n.add_output("y")
+        terms = wire_level_terms(n, n.gates["g"], frozenset({"A"}))
+        assert set(terms) == {(("x", 0),), (("x", 1),)}
+
+
+class TestMinimalSets:
+    def test_domination(self):
+        sets = _MinimalSets()
+        sets.add(frozenset({1, 2}))
+        assert sets.is_dominated(frozenset({1, 2, 3}))
+        assert not sets.is_dominated(frozenset({1}))
+
+    def test_adding_subset_replaces_supersets(self):
+        sets = _MinimalSets()
+        sets.add(frozenset({1, 2, 3}))
+        sets.add(frozenset({1, 4}))
+        sets.add(frozenset({1}))
+        assert sets.sets == [frozenset({1})]
+
+    def test_incomparable_sets_coexist(self):
+        sets = _MinimalSets()
+        sets.add(frozenset({1}))
+        sets.add(frozenset({2}))
+        assert len(sets.sets) == 2
+
+
+class TestExpandTermVariants:
+    def test_cone_literal_needs_outside_ancestor(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("g1", "AND2", {"A": "a", "B": "b"}, "en")
+        n.add_gate("g2", "AND2", {"A": "en", "B": "a"}, "y")
+        n.add_output("y")
+        # Literal over 'en' with 'en' inside the cone: the expansion must
+        # fall back to out-of-cone forcing ancestors (a=0 or b=0 force en=0).
+        variants = expand_term_variants(n, (("en", 0),), cone_wires={"en"})
+        assert (("a", 0),) in variants or (("b", 0),) in variants
+        assert all(w != "en" for v in variants for w, _ in v)
+
+    def test_unreachable_literal_gives_no_variants(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_gate("g", "INV", {"A": "a"}, "y")
+        n.add_output("y")
+        # Both the literal and its only forcing ancestor are in the cone.
+        assert expand_term_variants(n, (("y", 1),), cone_wires={"y", "a"}) == []
+
+
+class TestEnumeration:
+    def _chain(self, lib, gates):
+        """in -> g1 -> g2 ... -> out chain with a side input per gate."""
+        n = Netlist("chain", lib)
+        n.add_input("x")
+        previous = "x"
+        for i, cell in enumerate(gates):
+            n.add_input(f"s{i}")
+            n.add_gate(f"g{i}", cell, {"A": previous, "B": f"s{i}"}, f"w{i}")
+            previous = f"w{i}"
+        n.add_output(previous)
+        return n
+
+    def test_killers_along_chain(self, lib):
+        n = self._chain(lib, ["AND2", "OR2"])
+        enum = enumerate_paths(n, "x")
+        assert not enum.unmaskable
+        assert len(enum.signatures) == 1
+        killer_terms = {enum.terms[t] for t in enum.signatures[0]}
+        assert (("s0", 0),) in killer_terms  # AND side input low
+        assert (("s1", 1),) in killer_terms  # OR side input high
+
+    def test_xor_chain_unmaskable(self, lib):
+        n = self._chain(lib, ["XOR2", "XOR2"])
+        assert enumerate_paths(n, "x").unmaskable
+
+    def test_depth_truncation_makes_unmaskable(self, lib):
+        # XOR then AND: masking only possible at depth 2.
+        n = self._chain(lib, ["XOR2", "AND2"])
+        assert not enumerate_paths(n, "x", depth=2).unmaskable
+        assert enumerate_paths(n, "x", depth=1).unmaskable
+
+    def test_step_budget_aborts(self, lib):
+        n = self._chain(lib, ["AND2"] * 6)
+        enum = enumerate_paths(n, "x", max_steps=2)
+        assert enum.aborted
+
+    def test_direct_endpoint_unmaskable(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_dff("f", d="q", q="q")  # self-holding FF: q drives its own D
+        enum = enumerate_paths(n, "q")
+        assert enum.unmaskable
+
+    def test_dangling_fault_has_no_paths(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_dff("f", d="a", q="q")  # q read by nothing
+        enum = enumerate_paths(n, "q")
+        assert not enum.unmaskable
+        assert enum.signatures == []

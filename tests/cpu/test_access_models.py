@@ -1,0 +1,106 @@
+"""Tests for the def-use register access decoders of both cores."""
+
+import pytest
+
+from repro.cpu.avr.access import avr_access_model
+from repro.cpu.msp430 import assemble_msp430
+from repro.cpu.msp430.access import msp430_access_model, registers_read
+
+
+class TestMsp430RegistersRead:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("mov r5, r6", {5}),          # MOV does not read its register dst
+            ("add r5, r6", {5, 6}),       # RMW dst is read
+            ("mov #0x1234, r5", set()),   # immediate src, MOV dst
+            ("add #2, r5", {5}),          # CG immediate + RMW dst
+            ("mov @r4, r5", {4}),
+            ("mov @r4+, r5", {4}),
+            ("mov 4(r6), r7", {6}),
+            ("mov r7, 4(r6)", {6, 7}),    # indexed dst reads the base
+            ("mov r5, &0x220", {5}),      # absolute dst: r2 base, not RF
+            ("cmp r8, r9", {8, 9}),
+            ("rra r5", {5}),
+            ("swpb r12", {12}),
+            ("jmp 0", set()),
+            ("jne 0", set()),
+            ("nop", set()),
+        ],
+    )
+    def test_decode(self, source, expected):
+        words = assemble_msp430(source)
+        assert registers_read(words[0]) == expected
+
+    def test_non_rf_registers_excluded(self):
+        # mov r2, r5 reads SR (r2) which is not RF-tagged.
+        (word,) = assemble_msp430("mov r2, r5")
+        assert registers_read(word) == set()
+
+
+class TestModelConstruction:
+    def test_avr_model_wires_exist(self, avr_sim):
+        model = avr_access_model(avr_sim.netlist)
+        assert len(model.registers) == 32
+        assert model.valid_wire == "flush"
+        wires = avr_sim.netlist.wires()
+        for reg_wires in model.registers.values():
+            assert all(w in wires for w in reg_wires)
+
+    def test_msp430_model_wires_exist(self, msp430_sim):
+        model = msp430_access_model(msp430_sim.netlist)
+        assert len(model.registers) == 13  # r1, r4..r15
+        assert model.extra_instruction_wires is not None
+        wires = msp430_sim.netlist.wires()
+        assert all(w in wires for w in model.extra_instruction_wires)
+
+
+@pytest.mark.slow
+class TestMsp430DefuseEndToEnd:
+    def test_pruned_points_benign(self, msp430_sim):
+        import random
+
+        import numpy as np
+
+        from repro.core.intercycle import prune_fault_space
+        from repro.cpu.msp430 import Msp430System
+        from repro.fi import Campaign, CampaignTarget, Outcome
+
+        source = """
+        start:
+            mov #5, r7
+        loop:
+            mov #0x1111, r10   ; dead store, rewritten below
+            mov #0x2222, r10
+            add r10, r11
+            sub #1, r7
+            jne loop
+            mov r11, &0x200
+            halt
+        """
+        program = assemble_msp430(source)
+        tb_factory = lambda: Msp430System(program, halt_on_cpuoff=True)  # noqa: E731
+        golden = msp430_sim.run(tb_factory(), max_cycles=2000)
+        assert golden.halted
+
+        model = msp430_access_model(msp430_sim.netlist)
+        space = prune_fault_space(golden.trace, model)
+        assert space.num_benign > 0
+
+        target = CampaignTarget(
+            name="msp430-defuse",
+            simulator=msp430_sim,
+            make_testbench=tb_factory,
+            observables=lambda bench, res: tuple(bench.ram.words),
+        )
+        campaign = Campaign(target)
+        rng = random.Random(9)
+        points = []
+        for wire in space.fault_wires:
+            row = space.benign[space._row[wire]]  # noqa: SLF001
+            for cycle in np.nonzero(row)[0]:
+                if cycle < campaign.golden_cycles:
+                    points.append((wire, int(cycle)))
+        sample = rng.sample(points, min(25, len(points)))
+        result = campaign.run_points(sample)
+        assert result.count(Outcome.BENIGN) == result.num_injections

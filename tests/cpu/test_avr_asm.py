@@ -1,0 +1,121 @@
+"""Tests for the AVR assembler: encodings match the AVR instruction manual."""
+
+import pytest
+
+from repro.cpu.avr import AvrAssemblyError, assemble_avr
+
+
+def one(source: str) -> int:
+    (word,) = assemble_avr(source)
+    return word
+
+
+class TestEncodings:
+    """Reference encodings cross-checked against avr-as output."""
+
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("nop", 0x0000),
+            ("sleep", 0x9588),
+            ("add r1, r2", 0x0C12),
+            ("add r17, r18", 0x0F12),
+            ("adc r0, r31", 0x1E0F),
+            ("sub r5, r6", 0x1856),
+            ("sbc r5, r6", 0x0856),
+            ("and r10, r11", 0x20AB),
+            ("or r10, r11", 0x28AB),
+            ("eor r7, r7", 0x2477),
+            ("mov r1, r30", 0x2E1E),
+            ("cp r16, r17", 0x1701),
+            ("cpc r16, r17", 0x0701),
+            ("ldi r16, 0xFF", 0xEF0F),
+            ("ldi r31, 0x42", 0xE4F2),
+            ("subi r20, 10", 0x504A),
+            ("andi r25, 0x0F", 0x709F),
+            ("cpi r18, 100", 0x3624),
+            ("inc r5", 0x9453),
+            ("dec r31", 0x95FA),
+            ("lsr r16", 0x9506),
+            ("ror r16", 0x9507),
+            ("asr r16", 0x9505),
+            ("com r16", 0x9500),
+            ("neg r16", 0x9501),
+            ("swap r16", 0x9502),
+            ("ld r4, x", 0x904C),
+            ("ld r4, x+", 0x904D),
+            ("st x, r4", 0x924C),
+            ("st x+, r4", 0x924D),
+            ("out 0x05, r16", 0xB905),
+            ("out 0x3F, r0", 0xBE0F),
+        ],
+    )
+    def test_single_instructions(self, source, expected):
+        assert one(source) == expected
+
+    def test_lsl_rol_aliases(self):
+        assert one("lsl r16") == one("add r16, r16")
+        assert one("rol r16") == one("adc r16, r16")
+        assert one("clr r9") == one("eor r9, r9")
+        assert one("tst r9") == one("and r9, r9")
+
+
+class TestBranchesAndLabels:
+    def test_backward_branch(self):
+        words = assemble_avr("loop:\n  nop\n  brne loop")
+        # offset = 0 - 1 - 1 = -2; brne = BRBC on the Z bit (bit 1).
+        assert words[1] == 0xF000 | (1 << 10) | ((-2 & 0x7F) << 3) | 0b001
+
+    def test_forward_rjmp(self):
+        words = assemble_avr("  rjmp end\n  nop\nend:\n  nop")
+        assert words[0] == 0xC000 | 1
+
+    def test_rjmp_self(self):
+        assert assemble_avr("here: rjmp here")[0] == 0xCFFF
+
+    def test_branch_out_of_range(self):
+        source = "  brne far\n" + "  nop\n" * 100 + "far:\n  nop"
+        with pytest.raises(AvrAssemblyError, match="out of range"):
+            assemble_avr(source)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AvrAssemblyError, match="duplicate"):
+            assemble_avr("a:\n nop\na:\n nop")
+
+    def test_word_directive_and_expressions(self):
+        words = assemble_avr(".word 0xBEEF\n.word 'A'\n.word 0b101")
+        assert words == [0xBEEF, 0x41, 0b101]
+
+    def test_lo8_hi8(self):
+        words = assemble_avr("ldi r26, lo8(0x1234)\nldi r27, hi8(0x1234)")
+        assert words[0] == 0xE3A4  # K=0x34, d=r26-16=10
+        assert words[1] == 0xE1B2  # K=0x12, d=r27-16=11
+
+
+class TestErrors:
+    def test_immediate_register_range(self):
+        with pytest.raises(AvrAssemblyError, match="r16"):
+            assemble_avr("ldi r5, 1")
+
+    def test_bad_register(self):
+        with pytest.raises(AvrAssemblyError, match="bad register"):
+            assemble_avr("add r32, r0")
+
+    def test_bad_mnemonic(self):
+        with pytest.raises(AvrAssemblyError, match="unknown mnemonic"):
+            assemble_avr("frob r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AvrAssemblyError, match="expects 2"):
+            assemble_avr("add r1")
+
+    def test_unsupported_addressing(self):
+        with pytest.raises(AvrAssemblyError, match="unsupported addressing"):
+            assemble_avr("ld r4, y")
+
+    def test_bad_value(self):
+        with pytest.raises(AvrAssemblyError, match="bad value"):
+            assemble_avr("ldi r16, banana")
+
+    def test_comments_and_blank_lines_ignored(self):
+        assert assemble_avr("; just a comment\n\n  nop ; trailing\n") == [0]

@@ -1,0 +1,154 @@
+"""Behavioural tests for the AVR instruction-set simulator."""
+
+import pytest
+
+from repro.cpu.avr import AvrIss, assemble_avr
+from repro.cpu.avr.isa import SREG_C, SREG_H, SREG_N, SREG_S, SREG_V, SREG_Z
+from repro.sim import RAM, ROM
+
+
+def run(source: str, max_instructions: int = 10_000) -> AvrIss:
+    iss = AvrIss(ROM(assemble_avr(source), 16), RAM(256, 8))
+    iss.run(max_instructions)
+    return iss
+
+
+def flag(iss: AvrIss, bit: int) -> int:
+    return (iss.sreg >> bit) & 1
+
+
+class TestArithmeticFlags:
+    def test_add_carry_and_overflow(self):
+        iss = run("ldi r16, 0x80\nldi r17, 0x80\nadd r16, r17\nsleep")
+        assert iss.regs[16] == 0
+        assert flag(iss, SREG_C) == 1
+        assert flag(iss, SREG_Z) == 1
+        assert flag(iss, SREG_V) == 1  # -128 + -128 overflows
+        assert flag(iss, SREG_N) == 0
+
+    def test_add_half_carry(self):
+        iss = run("ldi r16, 0x0F\nldi r17, 0x01\nadd r16, r17\nsleep")
+        assert iss.regs[16] == 0x10
+        assert flag(iss, SREG_H) == 1
+        assert flag(iss, SREG_C) == 0
+
+    def test_adc_uses_carry(self):
+        iss = run(
+            "ldi r16, 0xFF\nldi r17, 1\nadd r16, r17\n"  # sets C
+            "ldi r18, 0\nldi r19, 0\nadc r18, r19\nsleep"
+        )
+        assert iss.regs[18] == 1
+
+    def test_sub_borrow(self):
+        iss = run("ldi r16, 1\nldi r17, 2\nsub r16, r17\nsleep")
+        assert iss.regs[16] == 0xFF
+        assert flag(iss, SREG_C) == 1
+        assert flag(iss, SREG_N) == 1
+        assert flag(iss, SREG_S) == 1
+
+    def test_cp_does_not_write(self):
+        iss = run("ldi r16, 5\nldi r17, 5\ncp r16, r17\nsleep")
+        assert iss.regs[16] == 5
+        assert flag(iss, SREG_Z) == 1
+
+    def test_cpc_z_sticky(self):
+        # 16-bit compare of 0x0100 vs 0x0100: Z stays 1 through CPC.
+        iss = run(
+            "ldi r16, 0\nldi r17, 1\nldi r18, 0\nldi r19, 1\n"
+            "cp r16, r18\ncpc r17, r19\nsleep"
+        )
+        assert flag(iss, SREG_Z) == 1
+
+    def test_cpc_z_sticky_clears(self):
+        iss = run(
+            "ldi r16, 1\nldi r17, 1\nldi r18, 0\nldi r19, 1\n"
+            "cp r16, r18\ncpc r17, r19\nsleep"
+        )
+        assert flag(iss, SREG_Z) == 0
+
+    def test_inc_dec_preserve_carry(self):
+        iss = run("ldi r16, 0xFF\nldi r17, 1\nadd r16, r17\ninc r16\nsleep")
+        assert flag(iss, SREG_C) == 1
+        assert iss.regs[16] == 1
+
+    def test_neg(self):
+        iss = run("ldi r16, 1\nneg r16\nsleep")
+        assert iss.regs[16] == 0xFF
+        assert flag(iss, SREG_C) == 1
+
+
+class TestShifts:
+    def test_lsr(self):
+        iss = run("ldi r16, 0x81\nlsr r16\nsleep")
+        assert iss.regs[16] == 0x40
+        assert flag(iss, SREG_C) == 1
+
+    def test_ror_through_carry(self):
+        iss = run("ldi r16, 0x01\nlsr r16\nldi r17, 0\nror r17\nsleep")
+        assert iss.regs[17] == 0x80
+
+    def test_asr_keeps_sign(self):
+        iss = run("ldi r16, 0x82\nasr r16\nsleep")
+        assert iss.regs[16] == 0xC1
+
+    def test_swap(self):
+        iss = run("ldi r16, 0xAB\nswap r16\nsleep")
+        assert iss.regs[16] == 0xBA
+
+    def test_lsl_rol_16bit_shift(self):
+        iss = run("ldi r16, 0x80\nldi r17, 0x01\nlsl r16\nrol r17\nsleep")
+        assert iss.regs[16] == 0x00
+        assert iss.regs[17] == 0x03
+
+
+class TestControlFlow:
+    def test_brne_loop(self):
+        iss = run("ldi r16, 5\nloop:\ndec r16\nbrne loop\nsleep")
+        assert iss.regs[16] == 0
+        assert iss.halted
+
+    def test_rjmp_skips(self):
+        iss = run("rjmp skip\nldi r16, 1\nskip:\nldi r17, 2\nsleep")
+        assert iss.regs[16] == 0
+        assert iss.regs[17] == 2
+
+    def test_brcc_taken_when_no_carry(self):
+        iss = run("ldi r16, 1\nlsr r16\nbrcc out\nldi r17, 9\nout:\nsleep")
+        # lsr of 1 sets C, so brcc NOT taken.
+        assert iss.regs[17] == 9
+
+
+class TestMemoryAndIo:
+    def test_st_ld_roundtrip(self):
+        iss = run(
+            "ldi r26, 0x20\nldi r27, 0\nldi r16, 0xAB\nst x, r16\n"
+            "ld r17, x\nsleep"
+        )
+        assert iss.regs[17] == 0xAB
+        assert iss.ram.words[0x20] == 0xAB
+
+    def test_post_increment(self):
+        iss = run(
+            "ldi r26, 0x20\nldi r27, 0\nldi r16, 1\nst x+, r16\nst x+, r16\nsleep"
+        )
+        assert iss.x_pointer == 0x22
+        assert iss.ram.words[0x20:0x22] == [1, 1]
+
+    def test_x_pointer_wraps_16bit(self):
+        iss = run("ldi r26, 0xFF\nldi r27, 0xFF\nldi r16, 1\nst x+, r16\nsleep")
+        assert iss.x_pointer == 0
+
+    def test_out_logged(self):
+        iss = run("ldi r16, 42\nout 0x07, r16\nsleep")
+        assert iss.port_log == [(7, 42)]
+
+    def test_unimplemented_raises(self):
+        iss = AvrIss(ROM([0x9409], 16), RAM(16, 8))  # IJMP: not implemented
+        with pytest.raises(ValueError, match="unimplemented"):
+            iss.step()
+
+    def test_halted_step_is_noop(self):
+        iss = run("sleep")
+        pc = iss.pc
+        iss.step()
+        assert iss.pc == pc

@@ -1,0 +1,132 @@
+"""Tests for the MSP430 assembler."""
+
+import pytest
+
+from repro.cpu.msp430 import Msp430AssemblyError, assemble_msp430
+from repro.cpu.msp430 import isa
+
+
+class TestFormat1Encodings:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            # mov r5, r6: op=4, src=5, Ad=0, As=00, dst=6
+            ("mov r5, r6", [0x4506]),
+            ("add r10, r11", [0x5A0B]),
+            ("sub r4, r4", [0x8404]),
+            ("cmp r1, r2", [0x9102]),
+            ("and r15, r0", [0xFF00]),
+        ],
+    )
+    def test_register_register(self, source, expected):
+        assert assemble_msp430(source) == expected
+
+    def test_indirect_modes(self):
+        # mov @r4, r5: As=10
+        assert assemble_msp430("mov @r4, r5") == [0x4425]
+        # mov @r4+, r5: As=11
+        assert assemble_msp430("mov @r4+, r5") == [0x4435]
+
+    def test_indexed_source(self):
+        # mov 4(r6), r7: As=01 + ext word
+        assert assemble_msp430("mov 4(r6), r7") == [0x4617, 0x0004]
+
+    def test_indexed_destination(self):
+        # mov r7, 4(r6): Ad=1 + ext word
+        assert assemble_msp430("mov r7, 4(r6)") == [0x4786, 0x0004]
+
+    def test_absolute(self):
+        # &addr == indexed on SR (r2)
+        words = assemble_msp430("mov r5, &0x220")
+        assert words == [0x4582, 0x0220]
+        words = assemble_msp430("mov &0x220, r5")
+        assert words == [0x4215, 0x0220]  # src = r2-indexed (As=01)
+
+
+class TestImmediates:
+    @pytest.mark.parametrize(
+        "value,src,as_mode",
+        [
+            (0, isa.REG_CG, 0b00),
+            (1, isa.REG_CG, 0b01),
+            (2, isa.REG_CG, 0b10),
+            (-1, isa.REG_CG, 0b11),
+            (4, isa.REG_SR, 0b10),
+            (8, isa.REG_SR, 0b11),
+        ],
+    )
+    def test_constant_generator(self, value, src, as_mode):
+        words = assemble_msp430(f"add #{value}, r5")
+        assert len(words) == 1
+        assert (words[0] >> 8) & 0xF == src
+        assert (words[0] >> 4) & 0x3 == as_mode
+
+    def test_general_immediate_uses_pc_increment(self):
+        words = assemble_msp430("mov #0x1234, r5")
+        # src=PC(0), As=11, plus the literal as extension word.
+        assert words == [0x4035, 0x1234]
+
+    def test_label_immediate_always_ext_word(self):
+        # The label resolves to 0 (CG-encodable), but pass-1 sizing requires
+        # the extension word to stay.
+        words = assemble_msp430("zero:\n  mov #zero, r5")
+        assert words == [0x4035, 0x0000]
+
+
+class TestFormat2AndJumps:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("rrc r5", 0x1005),
+            ("swpb r5", 0x1085),
+            ("rra r5", 0x1105),
+            ("sxt r5", 0x1185),
+        ],
+    )
+    def test_format2(self, source, expected):
+        assert assemble_msp430(source) == [expected]
+
+    def test_jump_backward(self):
+        words = assemble_msp430("loop:\n  nop\n  jne loop")
+        # jne at byte 2; offset = (0 - 2 - 2)/2 = -2
+        assert words[1] == 0x2000 | (0 << 10) | (-2 & 0x3FF)
+
+    def test_jmp_forward(self):
+        words = assemble_msp430("  jmp end\n  nop\nend:\n  nop")
+        assert words[0] == 0x2000 | (0b111 << 10) | 1
+
+    def test_jump_out_of_range(self):
+        source = "  jne far\n" + "  nop\n" * 600 + "far:\n  nop"
+        with pytest.raises(Msp430AssemblyError, match="out of range"):
+            assemble_msp430(source)
+
+    def test_nop_is_mov_r3_r3(self):
+        assert assemble_msp430("nop") == [0x4303]
+
+    def test_halt_sets_cpuoff(self):
+        words = assemble_msp430("halt")
+        assert words == [0xD032, 0x0010]  # BIS #0x10, SR (immediate via @PC+)
+
+
+class TestLayout:
+    def test_labels_count_bytes(self):
+        words = assemble_msp430(
+            "  mov #0x1234, r5\n"  # 2 words
+            "target:\n"
+            "  jmp target\n"
+        )
+        # jmp at byte 4, target at byte 4: offset = -2/2 = -1
+        assert words[2] == 0x2000 | (0b111 << 10) | (-1 & 0x3FF)
+
+    def test_word_directive(self):
+        assert assemble_msp430(".word 0xBEEF") == [0xBEEF]
+
+    def test_errors(self):
+        with pytest.raises(Msp430AssemblyError, match="unknown mnemonic"):
+            assemble_msp430("frob r1, r2")
+        with pytest.raises(Msp430AssemblyError, match="destination"):
+            assemble_msp430("mov r1, @r2")
+        with pytest.raises(Msp430AssemblyError, match="register mode only"):
+            assemble_msp430("rra @r5")
+        with pytest.raises(Msp430AssemblyError, match="duplicate"):
+            assemble_msp430("a:\n nop\na:\n nop")

@@ -1,0 +1,163 @@
+"""Behavioural tests for the MSP430 instruction-set simulator."""
+
+import pytest
+
+from repro.cpu.msp430 import Msp430Iss, assemble_msp430
+from repro.cpu.msp430.isa import SR_C, SR_N, SR_V, SR_Z
+from repro.sim import RAM, ROM
+
+
+def run(source: str, max_instructions: int = 10_000) -> Msp430Iss:
+    iss = Msp430Iss(ROM(assemble_msp430(source), 16), RAM(256, 16))
+    iss.run(max_instructions)
+    return iss
+
+
+def flag(iss: Msp430Iss, bit: int) -> int:
+    return (iss.sr >> bit) & 1
+
+
+class TestArithmetic:
+    def test_add_carry(self):
+        iss = run("mov #0xFFFF, r5\nadd #1, r5\nhalt")
+        assert iss.regs[5] == 0
+        assert flag(iss, SR_C) == 1
+        assert flag(iss, SR_Z) == 1
+
+    def test_add_overflow(self):
+        iss = run("mov #0x7FFF, r5\nadd #1, r5\nhalt")
+        assert iss.regs[5] == 0x8000
+        assert flag(iss, SR_V) == 1
+        assert flag(iss, SR_N) == 1
+
+    def test_sub_sets_carry_when_no_borrow(self):
+        iss = run("mov #5, r5\nsub #3, r5\nhalt")
+        assert iss.regs[5] == 2
+        assert flag(iss, SR_C) == 1  # MSP430: C = NOT borrow
+
+    def test_sub_borrow_clears_carry(self):
+        iss = run("mov #3, r5\nsub #5, r5\nhalt")
+        assert iss.regs[5] == 0xFFFE
+        assert flag(iss, SR_C) == 0
+
+    def test_addc_subc(self):
+        iss = run(
+            "mov #0xFFFF, r5\nadd #1, r5\n"  # C=1
+            "mov #10, r6\naddc #0, r6\nhalt"
+        )
+        assert iss.regs[6] == 11
+
+    def test_cmp_does_not_write(self):
+        iss = run("mov #7, r5\ncmp #7, r5\nhalt")
+        assert iss.regs[5] == 7
+        assert flag(iss, SR_Z) == 1
+
+
+class TestLogic:
+    def test_and_carry_is_not_z(self):
+        iss = run("mov #0xF0, r5\nand #0x0F, r5\nhalt")
+        assert iss.regs[5] == 0
+        assert flag(iss, SR_Z) == 1
+        assert flag(iss, SR_C) == 0
+
+    def test_bit_preserves_dst(self):
+        iss = run("mov #0xFF, r5\nbit #1, r5\nhalt")
+        assert iss.regs[5] == 0xFF
+        assert flag(iss, SR_C) == 1
+
+    def test_bic_bis(self):
+        iss = run("mov #0xFF, r5\nbic #0x0F, r5\nbis #0x100, r5\nhalt")
+        assert iss.regs[5] == 0x1F0
+
+    def test_xor_overflow_when_both_negative(self):
+        iss = run("mov #0x8000, r5\nmov #0x8001, r6\nxor r5, r6\nhalt")
+        assert iss.regs[6] == 1
+        assert flag(iss, SR_V) == 1
+
+
+class TestFormat2:
+    def test_rra(self):
+        iss = run("mov #0x8002, r5\nrra r5\nhalt")
+        assert iss.regs[5] == 0xC001
+        assert flag(iss, SR_C) == 0
+
+    def test_rrc(self):
+        iss = run("mov #1, r5\nrra r5\nmov #0, r6\nrrc r6\nhalt")
+        assert iss.regs[6] == 0x8000
+
+    def test_swpb(self):
+        iss = run("mov #0x1234, r5\nswpb r5\nhalt")
+        assert iss.regs[5] == 0x3412
+
+    def test_sxt(self):
+        iss = run("mov #0x80, r5\nsxt r5\nhalt")
+        assert iss.regs[5] == 0xFF80
+        assert flag(iss, SR_N) == 1
+        assert flag(iss, SR_C) == 1
+
+
+class TestAddressing:
+    def test_indexed_store_and_load(self):
+        iss = run(
+            "mov #0x0200, r4\nmov #0xAB, r5\nmov r5, 4(r4)\nmov 4(r4), r6\nhalt"
+        )
+        assert iss.regs[6] == 0xAB
+        assert iss.ram.words[2] == 0xAB
+
+    def test_absolute(self):
+        iss = run("mov #0x1234, &0x0210\nmov &0x0210, r7\nhalt")
+        assert iss.regs[7] == 0x1234
+        assert iss.ram.words[8] == 0x1234
+
+    def test_indirect_autoincrement(self):
+        iss = run(
+            "mov #1, &0x0200\nmov #2, &0x0202\n"
+            "mov #0x0200, r4\nmov @r4+, r5\nmov @r4+, r6\nhalt"
+        )
+        assert (iss.regs[5], iss.regs[6]) == (1, 2)
+        assert iss.regs[4] == 0x0204
+
+    def test_constant_generator_values(self):
+        iss = run(
+            "mov #0, r4\nmov #1, r5\nmov #2, r6\nmov #-1, r7\n"
+            "mov #4, r8\nmov #8, r9\nhalt"
+        )
+        assert [iss.regs[i] for i in range(4, 10)] == [0, 1, 2, 0xFFFF, 4, 8]
+
+    def test_writes_to_r3_discarded(self):
+        iss = run("mov #0x1234, r3\nmov r3, r5\nhalt")
+        assert iss.regs[5] == 0  # r3 always reads as constant 0
+
+    def test_memory_destination_rmw(self):
+        iss = run("mov #5, &0x0200\nadd #3, &0x0200\nhalt")
+        assert iss.ram.words[0] == 8
+
+
+class TestControlFlow:
+    def test_jne_loop(self):
+        iss = run("mov #5, r5\nloop:\nsub #1, r5\njne loop\nhalt")
+        assert iss.regs[5] == 0
+
+    def test_jge_jl_signed(self):
+        iss = run(
+            "mov #0xFFFF, r5\ncmp #1, r5\n"  # -1 < 1 signed
+            "jge ge_path\nmov #7, r6\njmp done\nge_path:\nmov #9, r6\ndone:\nhalt"
+        )
+        assert iss.regs[6] == 7
+
+    def test_mov_to_pc_is_a_jump(self):
+        iss = run("mov #target, pc\nmov #1, r5\ntarget:\nmov #2, r6\nhalt")
+        assert iss.regs[5] == 0
+        assert iss.regs[6] == 2
+
+    def test_halt_via_cpuoff(self):
+        iss = run("halt")
+        assert iss.halted
+        pc = iss.pc
+        iss.step()
+        assert iss.pc == pc
+
+    def test_unimplemented_format2_mode(self):
+        iss = Msp430Iss(ROM([0x1025], 16), RAM(16, 16))  # rrc @r5
+        with pytest.raises(ValueError, match="non-register"):
+            iss.step()

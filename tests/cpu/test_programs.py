@@ -1,0 +1,100 @@
+"""End-to-end runs of the paper's two test programs on both netlist cores."""
+
+import pytest
+
+from repro.cpu.avr import AvrSystem
+from repro.cpu.msp430 import Msp430System
+from repro.programs import avr_conv, avr_fib, msp430_conv, msp430_fib
+from repro.programs.avr_programs import (
+    CONV_OUT_BASE,
+    CONV_SAMPLES,
+    FIB_BASE,
+    FIB_COUNT,
+)
+from repro.programs import msp430_programs
+
+FIB = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987, 1597]
+
+
+def expected_conv():
+    x = [3 * i + 5 for i in range(CONV_SAMPLES + 3)]
+    h = [1, 2, 3, 2]
+    return [sum(h[k] * x[n + k] for k in range(4)) for n in range(CONV_SAMPLES)]
+
+
+class TestAvrPrograms:
+    def test_fib_halting(self, avr_sim):
+        tb = AvrSystem(avr_fib())
+        result = avr_sim.run(tb, max_cycles=2000, record_trace=False)
+        assert result.halted
+        assert tb.ram.words[FIB_BASE : FIB_BASE + FIB_COUNT] == FIB[:FIB_COUNT]
+        assert tb.port_log[-1][2] == 144  # fib(11) published via OUT
+
+    def test_conv_halting(self, avr_sim):
+        tb = AvrSystem(avr_conv())
+        result = avr_sim.run(tb, max_cycles=10_000, record_trace=False)
+        assert result.halted
+        got = [
+            tb.ram.words[CONV_OUT_BASE + 2 * i]
+            | (tb.ram.words[CONV_OUT_BASE + 2 * i + 1] << 8)
+            for i in range(CONV_SAMPLES)
+        ]
+        assert got == [v & 0xFFFF for v in expected_conv()]
+
+    def test_fib_free_running_restarts(self, avr_sim):
+        tb = AvrSystem(avr_fib(halt=False))
+        result = avr_sim.run(tb, max_cycles=500, record_trace=False)
+        assert not result.halted
+        # The kernel keeps rewriting the same results.
+        assert tb.ram.words[FIB_BASE] == 1
+        first_writes = [w for w in tb.ram.write_log if w[1] == FIB_BASE]
+        assert len(first_writes) >= 2  # restarted at least once
+
+    def test_conv_free_running(self, avr_sim):
+        tb = AvrSystem(avr_conv(halt=False))
+        result = avr_sim.run(tb, max_cycles=8500, record_trace=False)
+        assert not result.halted
+
+
+class TestMsp430Programs:
+    def test_fib_halting(self, msp430_sim):
+        tb = Msp430System(msp430_fib())
+        result = msp430_sim.run(tb, max_cycles=4000, record_trace=False)
+        assert result.halted
+        count = msp430_programs.FIB_COUNT
+        assert tb.ram.words[:count] == FIB[:count]
+        result_word = (msp430_programs.FIB_RESULT - 0x0200) // 2
+        assert tb.ram.words[result_word] == FIB[count - 1]
+
+    def test_conv_halting(self, msp430_sim):
+        tb = Msp430System(msp430_conv())
+        result = msp430_sim.run(tb, max_cycles=20_000, record_trace=False)
+        assert result.halted
+        base = (msp430_programs.CONV_OUT_BASE - 0x0200) // 2
+        got = tb.ram.words[base : base + msp430_programs.CONV_SAMPLES]
+        assert got == [v & 0xFFFF for v in expected_conv()]
+
+    def test_fib_free_running(self, msp430_sim):
+        tb = Msp430System(msp430_fib(halt=False))
+        result = msp430_sim.run(tb, max_cycles=1000, record_trace=False)
+        assert not result.halted
+        first_writes = [w for w in tb.ram.write_log if w[1] == 0]
+        assert len(first_writes) >= 2
+
+    def test_conv_free_running(self, msp430_sim):
+        tb = Msp430System(msp430_conv(halt=False))
+        result = msp430_sim.run(tb, max_cycles=8500, record_trace=False)
+        assert not result.halted
+
+
+class TestTraceRecording:
+    """The traces used in the evaluation: 8500 cycles, all wires."""
+
+    @pytest.mark.slow
+    def test_avr_8500_cycle_trace(self, avr_sim):
+        tb = AvrSystem(avr_fib(halt=False))
+        result = avr_sim.run(tb, max_cycles=8500)
+        assert result.trace.num_cycles == 8500
+        # Program activity shows in the trace: the PC changes over time.
+        pc_bits = [w for w in result.trace.wire_names if w.startswith("pc_b")]
+        assert result.trace.columns(pc_bits).any(axis=0).any()

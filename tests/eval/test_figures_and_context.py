@@ -1,0 +1,98 @@
+"""Tests for the evaluation harness pieces that run quickly."""
+
+import numpy as np
+import pytest
+
+from repro.eval import context
+from repro.eval.figures import build_figure1
+from repro.eval.table1 import Table1, Table1Column, _render
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return build_figure1()
+
+    def test_cone_facts(self, figure):
+        assert "'d', 'g', 'k', 'l'" in figure.cone_report
+        assert "'c', 'f', 'h'" in figure.cone_report
+
+    def test_mate_facts(self, figure):
+        assert "!f & h" in figure.mates_report
+        assert "e: unmaskable" in figure.mates_report
+
+    def test_grid_shape(self, figure):
+        assert figure.grid.num_cycles == 8
+        assert len(figure.grid.fault_wires) == 5
+        assert 0 < figure.grid.num_benign < figure.grid.size
+
+    def test_format_contains_dots(self, figure):
+        text = figure.format()
+        assert "●" in text and "○" in text
+
+
+class TestTableRendering:
+    def test_render_alignment(self):
+        text = _render(
+            "Title", ["col a", "b"], [("row", ["1", "22"]), ("longer row", ["333", "4"])]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert all(len(line) == len(lines[2]) for line in lines[3:])
+
+    def test_table1_format(self):
+        column = Table1Column(
+            core="avr", ff_set="FF", faulty_wires=10, avg_cone_gates=5.4,
+            median_cone_gates=5.0, runtime_seconds=1.2, num_unmaskable=2,
+            num_candidates=12345, num_mates=7, num_unique_mates=6,
+        )
+        text = Table1([column]).format()
+        assert "avr FF" in text
+        assert "1.2e+04" in text
+
+
+class TestContext:
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError, match="unknown core"):
+            context.get_netlist("z80")
+
+    def test_netlists_cached(self):
+        assert context.get_netlist("avr") is context.get_netlist("avr")
+
+    def test_netlist_hash_stable(self):
+        assert context.netlist_hash("avr") == context.netlist_hash("avr")
+        assert context.netlist_hash("avr") != context.netlist_hash("msp430")
+
+    def test_make_system_halting_variants(self):
+        halting = context.make_system("avr", "fib", halt=True)
+        free = context.make_system("avr", "fib", halt=False)
+        assert halting.halt_on_sleep
+        assert not free.halt_on_sleep
+
+    def test_trace_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(context, "_CACHE_DIR", tmp_path)
+        context.get_trace.cache_clear()
+        trace1 = context.get_trace("avr", "fib", cycles=40)
+        files = list(tmp_path.glob("trace_avr_fib_40_*.npz"))
+        assert len(files) == 1
+        context.get_trace.cache_clear()
+        trace2 = context.get_trace("avr", "fib", cycles=40)
+        assert trace1 == trace2
+        context.get_trace.cache_clear()
+
+    def test_search_cache_roundtrip(self, tmp_path, monkeypatch):
+        from repro.core.search import SearchParameters
+
+        monkeypatch.setattr(context, "_CACHE_DIR", tmp_path)
+        context.get_search.cache_clear()
+        params = SearchParameters(max_candidates=200, max_exact_checks=40,
+                                  depth=3, max_mates_per_wire=4)
+        first = context.get_search("avr", True, params)
+        context.get_search.cache_clear()
+        second = context.get_search("avr", True, params)
+        assert second.num_faulty_wires == first.num_faulty_wires
+        assert second.num_mates == first.num_mates
+        assert [r.status for r in second.wire_results] == [
+            r.status for r in first.wire_results
+        ]
+        context.get_search.cache_clear()

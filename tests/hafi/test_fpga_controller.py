@@ -1,0 +1,106 @@
+"""Tests for the FPGA LUT-cost and campaign-plan models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mate import Mate
+from repro.hafi import FiControllerModel, estimate_mate_cost
+from repro.hafi.controller import plan_campaign
+from repro.hafi.fpga import XC6VLX240T, FpgaDevice, luts_for_inputs
+
+
+class TestLutPacking:
+    @pytest.mark.parametrize(
+        "inputs,expected",
+        [(0, 0), (1, 1), (2, 1), (6, 1), (7, 2), (11, 2), (12, 3), (16, 3)],
+    )
+    def test_six_input_luts(self, inputs, expected):
+        assert luts_for_inputs(inputs, 6) == expected
+
+    @pytest.mark.parametrize("inputs,expected", [(4, 1), (5, 2), (7, 2), (10, 3), (11, 4)])
+    def test_four_input_luts(self, inputs, expected):
+        assert luts_for_inputs(inputs, 4) == expected
+
+    def test_bad_lut_size(self):
+        with pytest.raises(ValueError):
+            luts_for_inputs(3, 1)
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(min_value=2, max_value=8))
+    def test_lut_tree_can_absorb_all_inputs(self, inputs, lut_size):
+        luts = luts_for_inputs(inputs, lut_size)
+        # Capacity check: a tree of n LUTs absorbs lut_size + (n-1)*(lut_size-1).
+        assert lut_size + (luts - 1) * (lut_size - 1) >= inputs
+
+
+class TestMateCost:
+    def _mates(self, sizes):
+        return [
+            Mate([(f"w{i}_{j}", 1) for j in range(size)], [f"f{i}"])
+            for i, size in enumerate(sizes)
+        ]
+
+    def test_paper_claim_small_mates_fit_one_or_two_luts(self):
+        # Avg < 6 inputs -> 1 LUT each on a 6-LUT device.
+        cost = estimate_mate_cost(self._mates([3, 5, 6, 4]))
+        assert cost.total_luts == 4
+        assert cost.max_luts_single_mate == 1
+        assert cost.average_inputs == pytest.approx(4.5)
+
+    def test_utilization_negligible(self):
+        cost = estimate_mate_cost(self._mates([5] * 100))
+        assert cost.device_utilization < 0.001  # << 1% of a Virtex-6
+
+    def test_format_mentions_device(self):
+        cost = estimate_mate_cost(self._mates([2]))
+        assert "XC6VLX240T" in cost.format()
+
+    def test_empty_set(self):
+        cost = estimate_mate_cost([])
+        assert cost.total_luts == 0
+        assert cost.average_inputs == 0.0
+
+
+class TestCampaignPlan:
+    def test_pruning_reduces_experiments_and_time(self):
+        plan = plan_campaign(
+            fault_space_size=1000, pruned_points=200, workload_cycles=8500
+        )
+        assert plan.experiments == 800
+        assert plan.pruned_fraction == pytest.approx(0.2)
+        assert plan.campaign_seconds < plan.unpruned_campaign_seconds
+        assert plan.seconds_saved == pytest.approx(
+            plan.unpruned_campaign_seconds - plan.campaign_seconds
+        )
+
+    def test_mate_luts_counted_against_controller(self):
+        mates = [Mate([("a", 1), ("b", 0)], ["f"])] * 1
+        cost = estimate_mate_cost(mates)
+        plan = plan_campaign(
+            fault_space_size=100,
+            pruned_points=10,
+            workload_cycles=100,
+            mate_cost=cost,
+        )
+        assert plan.total_luts == plan.controller.luts + cost.total_luts
+        assert plan.lut_overhead_fraction == pytest.approx(
+            cost.total_luts / plan.controller.luts
+        )
+        assert plan.fits()
+
+    def test_oversized_design_does_not_fit(self):
+        tiny = FpgaDevice("tiny", 6, 10)
+        plan = plan_campaign(
+            fault_space_size=10,
+            pruned_points=0,
+            workload_cycles=10,
+            controller=FiControllerModel(luts=100),
+            device=tiny,
+        )
+        assert not plan.fits()
+
+    def test_format(self):
+        plan = plan_campaign(500, 100, 1000)
+        text = plan.format()
+        assert "pruned by MATEs : 100" in text
+        assert "experiments     : 400" in text

@@ -1,0 +1,115 @@
+"""Round-trip and error tests for Verilog and JSON netlist i/o."""
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.netlist import (
+    Netlist,
+    netlist_from_json,
+    netlist_to_json,
+    netlist_to_verilog,
+    parse_verilog,
+    validate_netlist,
+)
+from repro.netlist.verilog import VerilogSyntaxError
+
+
+@pytest.fixture()
+def lib():
+    return nangate15_library()
+
+
+@pytest.fixture()
+def example(lib):
+    n = Netlist("example", lib)
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("u1", "AOI21", {"A1": "a", "A2": "b", "B": "q0"}, "w1")
+    n.add_gate("u2", "MUX2", {"A": "w1", "B": "a", "S": "b"}, "w2")
+    n.add_dff("ff0", d="w2", q="q0", init=1)
+    n.add_gate("u3", "BUF", {"A": "q0"}, "y")
+    n.add_output("y")
+    n.attributes["register_file_dffs"] = []
+    return n
+
+
+class TestVerilogRoundtrip:
+    def test_roundtrip_identical(self, example, lib):
+        text = netlist_to_verilog(example)
+        parsed = parse_verilog(text, lib)
+        assert netlist_to_verilog(parsed) == text
+        validate_netlist(parsed)
+
+    def test_dff_init_preserved(self, example, lib):
+        parsed = parse_verilog(netlist_to_verilog(example), lib)
+        assert parsed.dffs["ff0"].init == 1
+
+    def test_constants_roundtrip(self, lib):
+        n = Netlist("c", lib)
+        n.add_input("a")
+        n.add_gate("u1", "AND2", {"A": "a", "B": "1'b1"}, "y")
+        n.add_output("y")
+        parsed = parse_verilog(netlist_to_verilog(n), lib)
+        assert parsed.gates["u1"].inputs["B"] == "1'b1"
+
+    def test_comments_tolerated(self, lib):
+        text = """
+        // comment
+        module m (clk, a, y);
+          input clk; /* multi
+          line */ input a;
+          output y;
+          INV u1 (.A(a), .Y(y));
+        endmodule
+        """
+        parsed = parse_verilog(text, lib)
+        assert parsed.inputs == ["a"]
+        assert parsed.gates["u1"].cell == "INV"
+
+
+class TestVerilogErrors:
+    def test_unknown_cell(self, lib):
+        text = "module m (a); input a; FOO u1 (.A(a), .Y(y)); endmodule"
+        with pytest.raises(VerilogSyntaxError, match="unknown cell"):
+            parse_verilog(text, lib)
+
+    def test_missing_output_pin(self, lib):
+        text = "module m (a); input a; INV u1 (.A(a)); endmodule"
+        with pytest.raises(VerilogSyntaxError, match="output pin"):
+            parse_verilog(text, lib)
+
+    def test_bad_dff_pins(self, lib):
+        text = "module m (a); input a; DFF f (.D(a), .X(b)); endmodule"
+        with pytest.raises(VerilogSyntaxError, match="bad pins"):
+            parse_verilog(text, lib)
+
+    def test_truncated_input(self, lib):
+        with pytest.raises(VerilogSyntaxError):
+            parse_verilog("module m (a); input a;", lib)
+
+    def test_garbage_character(self, lib):
+        with pytest.raises(VerilogSyntaxError, match="unexpected character"):
+            parse_verilog("module m (); ?", lib)
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_identical(self, example, lib):
+        text = netlist_to_json(example)
+        parsed = netlist_from_json(text, lib)
+        assert netlist_to_json(parsed) == text
+
+    def test_attributes_preserved(self, example, lib):
+        example.attributes["input_widths"] = {"a": 1, "b": 1}
+        parsed = netlist_from_json(netlist_to_json(example), lib)
+        assert parsed.attributes["input_widths"] == {"a": 1, "b": 1}
+
+    def test_wrong_library_rejected(self, example):
+        from repro.cells import Library
+
+        other = Library("other")
+        with pytest.raises(ValueError, match="library"):
+            netlist_from_json(netlist_to_json(example), other)
+
+    def test_wrong_format_rejected(self, lib):
+        with pytest.raises(ValueError, match="format"):
+            netlist_from_json('{"format": 99}', lib)

@@ -1,0 +1,83 @@
+"""Tests for netlist validation and statistics."""
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.netlist import Netlist, NetlistError, netlist_stats, validate_netlist
+
+
+@pytest.fixture()
+def lib():
+    return nangate15_library()
+
+
+class TestValidate:
+    def test_valid_passes(self, lib):
+        n = Netlist("ok", lib)
+        n.add_input("a")
+        n.add_gate("g", "INV", {"A": "a"}, "y")
+        n.add_output("y")
+        validate_netlist(n)
+
+    def test_undriven_wire(self, lib):
+        n = Netlist("bad", lib)
+        n.add_gate("g", "INV", {"A": "phantom"}, "y")
+        n.add_output("y")
+        with pytest.raises(NetlistError, match="undriven"):
+            validate_netlist(n)
+
+    def test_undriven_output(self, lib):
+        n = Netlist("bad", lib)
+        n.add_output("nowhere")
+        with pytest.raises(NetlistError, match="undriven"):
+            validate_netlist(n)
+
+    def test_undriven_dff_d(self, lib):
+        n = Netlist("bad", lib)
+        n.add_dff("f", d="phantom", q="q")
+        with pytest.raises(NetlistError, match="undriven"):
+            validate_netlist(n)
+
+    def test_cycle_reported(self, lib):
+        n = Netlist("bad", lib)
+        n.add_gate("g1", "INV", {"A": "w2"}, "w1")
+        n.add_gate("g2", "INV", {"A": "w1"}, "w2")
+        with pytest.raises(NetlistError, match="cycle"):
+            validate_netlist(n)
+
+    def test_dangling_output_flagged_when_strict(self, lib):
+        n = Netlist("d", lib)
+        n.add_input("a")
+        n.add_gate("g", "INV", {"A": "a"}, "unused")
+        validate_netlist(n)  # tolerant by default
+        with pytest.raises(NetlistError, match="dangling"):
+            validate_netlist(n, allow_dangling_outputs=False)
+
+    def test_multiple_problems_collected(self, lib):
+        n = Netlist("bad", lib)
+        n.add_gate("g", "INV", {"A": "p1"}, "y")
+        n.add_output("p2")
+        try:
+            validate_netlist(n)
+        except NetlistError as exc:
+            assert len(exc.problems) >= 2
+        else:
+            pytest.fail("expected NetlistError")
+
+
+class TestStats:
+    def test_counts(self, lib):
+        n = Netlist("s", lib)
+        n.add_input("a")
+        n.add_gate("g1", "INV", {"A": "a"}, "w1")
+        n.add_gate("g2", "NAND2", {"A": "w1", "B": "a"}, "w2")
+        n.add_dff("rf_x", d="w2", q="q")
+        n.add_output("w2")
+        stats = netlist_stats(n)
+        assert stats.num_gates == 2
+        assert stats.num_dffs == 1
+        assert stats.num_register_file_dffs == 1
+        assert stats.num_non_rf_dffs == 0
+        assert stats.cell_histogram == {"INV": 1, "NAND2": 1}
+        assert stats.max_logic_depth == 2
+        assert "netlist s" in stats.format()

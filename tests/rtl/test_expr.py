@@ -1,0 +1,179 @@
+"""Tests for RTL expression construction and the reference evaluator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtl import RtlCircuit, cat, const, mux, onehot_case
+from repro.rtl.evaluate import evaluate_expr
+from repro.rtl.expr import Const, InputExpr
+
+A = InputExpr("a", 8)
+B = InputExpr("b", 8)
+S = InputExpr("s", 1)
+
+words = st.integers(min_value=0, max_value=255)
+
+
+class TestWidths:
+    def test_binop_width(self):
+        assert (A & B).width == 8
+
+    def test_binop_width_mismatch(self):
+        with pytest.raises(ValueError):
+            A & InputExpr("c", 4)
+
+    def test_add_grows_by_one(self):
+        assert (A + B).width == 9
+
+    def test_slice_and_index(self):
+        assert A[3].width == 1
+        assert A[2:6].width == 4
+        assert A[-1].width == 1
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(ValueError):
+            A[0:9]
+
+    def test_zext_sext(self):
+        assert A.zext(16).width == 16
+        assert A.sext(12).width == 12
+        with pytest.raises(ValueError):
+            A.zext(4)
+
+    def test_mux_requires_1bit_select(self):
+        with pytest.raises(ValueError):
+            mux(A, A, B)
+
+    def test_const_coercion(self):
+        expr = A & 0x0F
+        assert expr.width == 8
+
+
+class TestEvaluation:
+    @given(words, words)
+    def test_bitwise(self, a, b):
+        env = {"a": a, "b": b}
+        assert evaluate_expr(A & B, env) == (a & b)
+        assert evaluate_expr(A | B, env) == (a | b)
+        assert evaluate_expr(A ^ B, env) == (a ^ b)
+        assert evaluate_expr(~A, env) == (~a & 0xFF)
+
+    @given(words, words)
+    def test_add_has_carry(self, a, b):
+        env = {"a": a, "b": b}
+        total = evaluate_expr(A + B, env)
+        assert total == a + b
+        assert evaluate_expr((A + B)[8], env) == (a + b) >> 8
+
+    @given(words, words, st.integers(min_value=0, max_value=1))
+    def test_add_with_carry(self, a, b, cin):
+        env = {"a": a, "b": b, "s": cin}
+        assert evaluate_expr(A.add_with_carry(B, S), env) == a + b + cin
+
+    @given(words, words)
+    def test_sub_carry_is_not_borrow(self, a, b):
+        env = {"a": a, "b": b}
+        result = evaluate_expr(A - B, env)
+        assert (result & 0xFF) == ((a - b) & 0xFF)
+        assert (result >> 8) == (1 if a >= b else 0)
+
+    @given(words, words, st.integers(min_value=0, max_value=1))
+    def test_sub_with_borrow(self, a, b, borrow):
+        env = {"a": a, "b": b, "s": borrow}
+        result = evaluate_expr(A.sub_with_borrow(B, S), env)
+        assert (result & 0xFF) == ((a - b - borrow) & 0xFF)
+        assert (result >> 8) == (1 if a >= b + borrow else 0)
+
+    @given(words, words)
+    def test_comparisons(self, a, b):
+        env = {"a": a, "b": b}
+        assert evaluate_expr(A.eq(B), env) == int(a == b)
+        assert evaluate_expr(A.ne(B), env) == int(a != b)
+        assert evaluate_expr(A.lt(B), env) == int(a < b)
+        assert evaluate_expr(A.ge(B), env) == int(a >= b)
+
+    @given(words)
+    def test_reductions(self, a):
+        env = {"a": a}
+        assert evaluate_expr(A.reduce_or(), env) == int(a != 0)
+        assert evaluate_expr(A.reduce_and(), env) == int(a == 0xFF)
+        assert evaluate_expr(A.reduce_xor(), env) == bin(a).count("1") % 2
+        assert evaluate_expr(A.is_zero(), env) == int(a == 0)
+
+    @given(words, words, st.integers(min_value=0, max_value=1))
+    def test_mux(self, a, b, s):
+        env = {"a": a, "b": b, "s": s}
+        assert evaluate_expr(mux(S, A, B), env) == (b if s else a)
+
+    @given(words)
+    def test_cat_slice_roundtrip(self, a):
+        env = {"a": a}
+        assert evaluate_expr(cat(A[0:4], A[4:8]), env) == a
+
+    @given(words)
+    def test_sext(self, a):
+        env = {"a": a}
+        expected = a | (0xFF00 if a & 0x80 else 0)
+        assert evaluate_expr(A.sext(16), env) == expected
+
+    @given(words)
+    def test_replicate(self, a):
+        env = {"a": a}
+        assert evaluate_expr(A[7].replicate(4), env) == (0b1111 if a & 0x80 else 0)
+
+
+class TestOnehotCase:
+    @given(words, words, st.integers(min_value=0, max_value=3))
+    def test_priority(self, a, b, which):
+        s0 = InputExpr("s0", 1)
+        s1 = InputExpr("s1", 1)
+        env = {"a": a, "b": b, "s0": which & 1, "s1": (which >> 1) & 1}
+        expr = onehot_case([(s0, A), (s1, B)], default=0)
+        expected = a if which & 1 else (b if which & 2 else 0)
+        assert evaluate_expr(expr, env) == expected
+
+    def test_all_int_values_rejected_without_width(self):
+        with pytest.raises(ValueError):
+            onehot_case([(S, 1)], default=0)
+
+    def test_int_values_with_width(self):
+        expr = onehot_case([(S, 3)], default=1, width=4)
+        assert evaluate_expr(expr, {"s": 1}) == 3
+        assert evaluate_expr(expr, {"s": 0}) == 1
+
+
+class TestCircuit:
+    def test_register_double_assign_rejected(self):
+        c = RtlCircuit("t")
+        r = c.reg("r", 4)
+        r.next = Const(0, 4)
+        with pytest.raises(ValueError):
+            r.next = Const(1, 4)
+
+    def test_register_width_mismatch(self):
+        c = RtlCircuit("t")
+        r = c.reg("r", 4)
+        with pytest.raises(ValueError):
+            r.next = Const(0, 5)
+
+    def test_finalize_requires_next(self):
+        c = RtlCircuit("t")
+        c.reg("r", 4)
+        with pytest.raises(ValueError, match="without next"):
+            c.finalize()
+
+    def test_duplicate_names_rejected(self):
+        c = RtlCircuit("t")
+        c.input("x", 4)
+        with pytest.raises(ValueError):
+            c.reg("x", 4)
+        with pytest.raises(ValueError):
+            c.output("x", Const(0, 4))
+
+    def test_output_int_needs_width(self):
+        c = RtlCircuit("t")
+        with pytest.raises(ValueError):
+            c.output("y", 3)
+        c.output("z", 3, width=4)
+        assert c.outputs["z"].width == 4

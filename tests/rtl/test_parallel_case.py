@@ -1,0 +1,63 @@
+"""Tests for the parallel (priority-free) case construct."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtl import RtlCircuit, parallel_case
+from repro.rtl.evaluate import evaluate_expr
+from repro.rtl.expr import InputExpr, onehot_case
+from repro.synth import synthesize
+
+
+class TestParallelCase:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 3))
+    def test_matches_priority_case_for_exclusive_selects(self, a, b, which):
+        """With one-hot selects, parallel and priority cases agree."""
+        sel0 = InputExpr("s0", 1)
+        sel1 = InputExpr("s1", 1)
+        va = InputExpr("a", 8)
+        vb = InputExpr("b", 8)
+        env = {"a": a, "b": b, "s0": int(which == 1), "s1": int(which == 2)}
+        cases = [(sel0, va), (sel1, vb)]
+        parallel = parallel_case(cases, default=0)
+        priority = onehot_case(cases, default=0)
+        assert evaluate_expr(parallel, env) == evaluate_expr(priority, env)
+
+    def test_default_when_none_active(self):
+        sel = InputExpr("s", 1)
+        value = InputExpr("v", 4)
+        expr = parallel_case([(sel, value)], default=0b1010, width=4)
+        assert evaluate_expr(expr, {"s": 0, "v": 0xF}) == 0b1010
+        assert evaluate_expr(expr, {"s": 1, "v": 0xF}) == 0xF
+
+    def test_overlapping_selects_or_values(self):
+        """Documented parallel_case semantics: simultaneous selects OR."""
+        s0 = InputExpr("s0", 1)
+        s1 = InputExpr("s1", 1)
+        expr = parallel_case([(s0, 0b01), (s1, 0b10)], default=0, width=2)
+        assert evaluate_expr(expr, {"s0": 1, "s1": 1}) == 0b11
+
+    def test_requires_width_for_int_only(self):
+        sel = InputExpr("s", 1)
+        with pytest.raises(ValueError):
+            parallel_case([(sel, 1)], default=0)
+
+    def test_selector_must_be_one_bit(self):
+        wide = InputExpr("w", 2)
+        value = InputExpr("v", 4)
+        with pytest.raises(ValueError):
+            parallel_case([(wide, value)], default=0)
+
+    def test_synthesizes_shallow(self):
+        """Logic depth grows logarithmically, not linearly, in arm count."""
+        c = RtlCircuit("shallow")
+        arms = []
+        for index in range(8):
+            sel = c.input(f"s{index}")
+            val = c.input(f"v{index}", 4)
+            arms.append((sel, val))
+        c.output("y", parallel_case(arms, default=0, width=4))
+        netlist = synthesize(c)
+        depth = max(netlist.logic_levels().values()) + 1
+        assert depth <= 6, f"parallel case too deep: {depth}"

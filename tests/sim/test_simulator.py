@@ -1,0 +1,194 @@
+"""Tests for the compiled netlist simulator."""
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.netlist import Netlist
+from repro.rtl import RtlCircuit, mux
+from repro.sim import (
+    RAM,
+    ROM,
+    CompiledNetlist,
+    ConstantTestbench,
+    Simulator,
+    TableTestbench,
+    Testbench,
+)
+from repro.synth import synthesize
+from repro.synth.lower import bit_name
+
+
+def _counter_netlist(width=8):
+    c = RtlCircuit("counter")
+    en = c.input("en")
+    cnt = c.reg("cnt", width)
+    cnt.next = mux(en, cnt, (cnt + 1).trunc(width))
+    c.output("value", cnt)
+    return synthesize(c)
+
+
+def _value(trace, cycle, name, width):
+    return trace.word(cycle, [bit_name(name, i, width) for i in range(width)])
+
+
+class TestCompiledNetlist:
+    def test_initial_state_from_inits(self):
+        lib = nangate15_library()
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_dff("f0", d="a", q="q0", init=1)
+        n.add_dff("f1", d="a", q="q1", init=0)
+        n.add_gate("g", "BUF", {"A": "q0"}, "y")
+        n.add_output("y")
+        compiled = CompiledNetlist(n)
+        assert compiled.initial_state() == [1, 0]
+        assert compiled.num_state_bits == 2
+
+    def test_step_constants_in_trace(self):
+        lib = nangate15_library()
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_gate("g", "AND2", {"A": "a", "B": "1'b1"}, "y")
+        n.add_output("y")
+        compiled = CompiledNetlist(n)
+        _, outputs, row = compiled.step([], [1])
+        assert outputs == (1,)
+        assert row[0] == 0 and row[1] == 1  # constant columns
+
+    def test_all_cells_have_templates(self):
+        """Every combinational library cell simulates per its truth table."""
+        lib = nangate15_library()
+        for cell in lib.combinational():
+            n = Netlist("t", lib)
+            pins = {}
+            for pin in cell.inputs:
+                n.add_input(f"in_{pin}")
+                pins[pin] = f"in_{pin}"
+            n.add_gate("g", cell.name, pins, "y")
+            n.add_output("y")
+            compiled = CompiledNetlist(n)
+            for row in range(1 << len(cell.inputs)):
+                inputs = [(row >> i) & 1 for i in range(len(cell.inputs))]
+                _, outputs, _ = compiled.step([], inputs)
+                assert outputs[0] == cell.function.evaluate_row(row), (
+                    f"{cell.name} row {row}"
+                )
+
+
+class TestSimulatorRuns:
+    def test_counting(self):
+        sim = Simulator(_counter_netlist())
+        result = sim.run(ConstantTestbench({"en": 1}), max_cycles=10)
+        assert [_value(result.trace, t, "value", 8) for t in range(4)] == [0, 1, 2, 3]
+        assert result.cycles == 10
+        assert not result.halted
+
+    def test_hold(self):
+        sim = Simulator(_counter_netlist())
+        result = sim.run(ConstantTestbench({"en": 0}), max_cycles=5)
+        assert _value(result.trace, 4, "value", 8) == 0
+
+    def test_table_testbench_repeats_last_row(self):
+        sim = Simulator(_counter_netlist())
+        result = sim.run(TableTestbench([{"en": 1}, {"en": 0}]), max_cycles=6)
+        # Counts once, then holds.
+        assert _value(result.trace, 5, "value", 8) == 1
+
+    def test_halt(self):
+        class HaltAtThree(Testbench):
+            def drive(self, cycle, state):
+                return {"en": 1}
+
+            def observe(self, cycle, outputs):
+                return outputs["value"] == 3
+
+        sim = Simulator(_counter_netlist())
+        result = sim.run(HaltAtThree(), max_cycles=100)
+        assert result.halted
+        assert result.cycles == 4
+
+    def test_no_trace_mode(self):
+        sim = Simulator(_counter_netlist())
+        result = sim.run(ConstantTestbench({"en": 1}), max_cycles=5, record_trace=False)
+        assert result.trace is None
+        assert result.cycles == 5
+
+    def test_state_view_reads_registers(self):
+        class SpyTestbench(Testbench):
+            def __init__(self):
+                self.seen = []
+
+            def drive(self, cycle, state):
+                self.seen.append(state.read_reg("cnt"))
+                return {"en": 1}
+
+        sim = Simulator(_counter_netlist())
+        spy = SpyTestbench()
+        sim.run(spy, max_cycles=4)
+        assert spy.seen == [0, 1, 2, 3]
+
+    def test_outputs_last(self):
+        sim = Simulator(_counter_netlist())
+        result = sim.run(ConstantTestbench({"en": 1}), max_cycles=3)
+        assert result.outputs_last == {"value": 2}
+
+
+class TestInjection:
+    def test_flip_changes_state_and_propagates(self):
+        sim = Simulator(_counter_netlist())
+        golden = sim.run(ConstantTestbench({"en": 1}), max_cycles=8)
+        faulty = sim.run(
+            ConstantTestbench({"en": 1}), max_cycles=8, flips={3: ["cnt_b2"]}
+        )
+        assert _value(faulty.trace, 3, "value", 8) == _value(
+            golden.trace, 3, "value", 8
+        ) ^ 4
+        # Fault persists: counter continues from the corrupted value (3+4=7,
+        # so the next cycle shows 8 instead of 4).
+        assert _value(faulty.trace, 4, "value", 8) == (
+            _value(golden.trace, 4, "value", 8) + 4
+        )
+
+    def test_double_flip_same_cycle(self):
+        sim = Simulator(_counter_netlist())
+        faulty = sim.run(
+            ConstantTestbench({"en": 1}),
+            max_cycles=4,
+            flips={1: ["cnt_b0", "cnt_b1"]},
+        )
+        assert _value(faulty.trace, 1, "value", 8) == 1 ^ 0b11
+
+    def test_unknown_dff_raises(self):
+        sim = Simulator(_counter_netlist())
+        with pytest.raises(KeyError):
+            sim.run(ConstantTestbench({"en": 1}), max_cycles=4, flips={0: ["nope"]})
+
+
+class TestMemories:
+    def test_rom_open_bus(self):
+        rom = ROM([1, 2, 3], width=8)
+        assert rom.read(1) == 2
+        assert rom.read(99) == 0
+        assert len(rom) == 3
+
+    def test_rom_masks_width(self):
+        rom = ROM([0x1FF], width=8)
+        assert rom.read(0) == 0xFF
+
+    def test_ram_write_log(self):
+        ram = RAM(16, width=8)
+        ram.write(3, 0xAB, cycle=7)
+        assert ram.read(3) == 0xAB
+        assert ram.write_log == [(7, 3, 0xAB)]
+
+    def test_ram_out_of_range_ignored(self):
+        ram = RAM(4, width=8)
+        ram.write(99, 1, cycle=0)
+        assert ram.write_log == []
+        assert ram.read(99) == 0
+
+    def test_ram_load_not_logged(self):
+        ram = RAM(8, width=16)
+        ram.load(2, [10, 20])
+        assert ram.read(3) == 20
+        assert ram.write_log == []

@@ -1,0 +1,28 @@
+"""Tests for the Stopwatch helper."""
+
+import pytest
+
+from repro.util import Stopwatch
+
+
+def test_accumulates_elapsed_time():
+    sw = Stopwatch()
+    with sw:
+        pass
+    first = sw.elapsed
+    with sw:
+        pass
+    assert sw.elapsed >= first >= 0.0
+
+
+def test_double_start_raises():
+    sw = Stopwatch()
+    sw.start()
+    with pytest.raises(RuntimeError):
+        sw.start()
+    sw.stop()
+
+
+def test_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
