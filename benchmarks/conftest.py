@@ -9,7 +9,16 @@ Heavy artifacts (traces, MATE searches) come from the shared disk cache in
 
 import pytest
 
+from repro import obs
 from repro.eval import context
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Per-benchmark metrics isolation (mirrors tests/conftest.py)."""
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,99 @@
+"""Micro-benchmark: observability overhead on the simulator hot loop.
+
+The instrumentation contract (see ``sim/simulator.py``) is that metrics stay
+*outside* the per-cycle loop — one span plus a few counter increments per
+``Simulator.run`` call. This benchmark pins that contract: simulating the
+same workload with observability enabled must cost < 5% more wall time than
+with it disabled, so the observability layer can never quietly regress the
+thing it exists to measure.
+
+Run with ``pytest benchmarks/test_bench_obs_overhead.py -s``.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.rtl import RtlCircuit
+from repro.sim import Simulator, Testbench
+from repro.synth import synthesize
+
+#: Cycles per measured run — large enough that one run takes milliseconds.
+_CYCLES = 3000
+#: Interleaved measurement rounds; min-of-rounds defeats scheduler noise.
+_ROUNDS = 9
+#: Allowed instrumentation overhead on the hot loop.
+_MAX_OVERHEAD = 0.05
+
+
+def _counter_netlist():
+    """A small free-running circuit with enough gates to busy the loop."""
+    c = RtlCircuit("obs_bench")
+    data = c.input("data", 8)
+    acc = c.reg("acc", 16)
+    count = c.reg("count", 8)
+    acc.next = (acc + data.zext(16)).trunc(16)
+    count.next = (count + 1).trunc(8)
+    c.output("acc_out", acc)
+    c.output("count_out", count)
+    return synthesize(c)
+
+
+class _DriveBench(Testbench):
+    def drive(self, cycle, state):
+        return {"data": cycle & 0xFF}
+
+
+def _one_run(simulator: Simulator) -> float:
+    start = time.perf_counter()
+    simulator.run(_DriveBench(), max_cycles=_CYCLES, record_trace=False)
+    return time.perf_counter() - start
+
+
+@pytest.fixture()
+def simulator():
+    return Simulator(_counter_netlist())
+
+
+def test_obs_overhead_on_sim_hot_loop_under_5_percent(simulator):
+    # Warm up both paths (JIT-free, but caches/allocator state matter).
+    for enabled in (True, False):
+        obs.set_enabled(enabled)
+        _one_run(simulator)
+
+    enabled_best = disabled_best = float("inf")
+    try:
+        # Interleave A/B so clock drift and thermal state hit both equally.
+        for _ in range(_ROUNDS):
+            obs.set_enabled(True)
+            enabled_best = min(enabled_best, _one_run(simulator))
+            obs.set_enabled(False)
+            disabled_best = min(disabled_best, _one_run(simulator))
+    finally:
+        obs.set_enabled(True)
+
+    overhead = enabled_best / disabled_best - 1.0
+    print(
+        f"\nsim hot loop ({_CYCLES} cycles): instrumented {enabled_best * 1e3:.2f}ms, "
+        f"bare {disabled_best * 1e3:.2f}ms, overhead {100 * overhead:+.2f}%"
+    )
+    assert overhead < _MAX_OVERHEAD, (
+        f"observability overhead {100 * overhead:.1f}% exceeds "
+        f"{100 * _MAX_OVERHEAD:.0f}% on the simulator hot loop"
+    )
+
+
+def test_disabled_span_is_cheap():
+    """A disabled span must cost well under a microsecond."""
+    obs.set_enabled(False)
+    try:
+        iterations = 100_000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("noop"):
+                pass
+        per_span = (time.perf_counter() - start) / iterations
+    finally:
+        obs.set_enabled(True)
+    assert per_span < 5e-6, f"disabled span costs {per_span * 1e9:.0f}ns"

@@ -13,6 +13,7 @@ pair list from register bit order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.cone import compute_fault_cone
@@ -25,7 +26,7 @@ from repro.core.search import (
     _generate_candidates,
 )
 from repro.netlist.netlist import Netlist
-from repro.util.timing import Stopwatch
+from repro.obs import counter, progress_iter, span
 
 
 @dataclass
@@ -82,9 +83,9 @@ def find_pair_mates(
     params = params or SearchParameters()
     engine = ImplicationEngine(netlist)
     results: list[PairSearchResult] = []
-    stopwatch = Stopwatch()
-    with stopwatch:
-        for wire_a, wire_b in pairs:
+    started = time.perf_counter()
+    with span("mate-search-pairs", netlist=netlist.name, pairs=len(pairs)):
+        for wire_a, wire_b in progress_iter(pairs, label="pair-search"):
             cone = compute_fault_cone(netlist, wire_a, extra_wires=(wire_b,))
             enumeration = enumerate_paths(
                 netlist,
@@ -131,7 +132,12 @@ def find_pair_mates(
                     **base,
                 )
             )
-    return PairSearchSummary(results=results, runtime_seconds=stopwatch.elapsed)
+    for result in results:
+        counter(f"search.pairs.{result.status}").inc()
+        counter("search.pairs.analyzed").inc()
+    return PairSearchSummary(
+        results=results, runtime_seconds=time.perf_counter() - started
+    )
 
 
 def adjacent_register_pairs(

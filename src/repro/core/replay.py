@@ -13,6 +13,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.mate import Mate
+from repro.obs import counter, span
 from repro.trace.trace import Trace
 
 #: Byte population-count lookup table.
@@ -136,16 +137,22 @@ def replay_mates(
     triggered_packed = np.zeros((len(mates), packed_len), dtype=np.uint8)
     trigger_counts = np.zeros(len(mates), dtype=np.int64)
 
-    for index, mate in enumerate(mates):
-        if not mate.literals:
-            triggered = np.ones(num_cycles, dtype=bool)
-        else:
-            wires = [wire for wire, _ in mate.literals]
-            values = np.array([value for _, value in mate.literals], dtype=np.uint8)
-            columns = trace.columns(wires)
-            triggered = (columns == values).all(axis=1)
-        trigger_counts[index] = int(triggered.sum())
-        triggered_packed[index] = np.packbits(triggered.astype(np.uint8), bitorder="big")
+    with span("replay", mates=len(mates), cycles=num_cycles):
+        for index, mate in enumerate(mates):
+            if not mate.literals:
+                triggered = np.ones(num_cycles, dtype=bool)
+            else:
+                wires = [wire for wire, _ in mate.literals]
+                values = np.array([value for _, value in mate.literals], dtype=np.uint8)
+                columns = trace.columns(wires)
+                triggered = (columns == values).all(axis=1)
+            trigger_counts[index] = int(triggered.sum())
+            triggered_packed[index] = np.packbits(
+                triggered.astype(np.uint8), bitorder="big"
+            )
+        counter("replay.mates.evaluated").inc(len(mates))
+        counter("replay.cycles.replayed").inc(num_cycles)
+        counter("replay.mate.triggers").inc(int(trigger_counts.sum()))
 
     return ReplayResult(
         mates=mates,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import statistics
+import time
 from dataclasses import dataclass, field
 
 from repro.core.cone import FaultCone, compute_fault_cone
@@ -40,7 +41,7 @@ from repro.core.paths import (
     wire_level_terms,
 )
 from repro.netlist.netlist import Netlist
-from repro.util.timing import Stopwatch
+from repro.obs import counter, histogram, progress_iter, span
 
 #: How many of the strongest terms get implication-closure coverage.
 _CLOSURE_TOP_K = 200
@@ -215,9 +216,13 @@ def _search_wire(
     engine: ImplicationEngine,
 ) -> WireSearchResult:
     cone = compute_fault_cone(netlist, wire)
-    enumeration = enumerate_paths(
-        netlist, wire, depth=params.depth, max_steps=params.max_path_steps, cone=cone
-    )
+    with span("enumerate-paths"):
+        enumeration = enumerate_paths(
+            netlist, wire, depth=params.depth, max_steps=params.max_path_steps, cone=cone
+        )
+    histogram("search.cone.gates").observe(cone.num_gates)
+    histogram("search.paths.terms").observe(len(enumeration.terms))
+    histogram("search.paths.signatures").observe(len(enumeration.signatures))
     base = dict(
         wire=wire,
         dff_name=dff_name,
@@ -235,11 +240,34 @@ def _search_wire(
         return WireSearchResult(status="found", candidates_tried=0, mates=[mate], **base)
 
     checker = _ContaminationChecker(netlist, cone, engine)
-    mates, tried, exact = _generate_candidates(enumeration, checker, wire, params)
+    with span("generate-candidates"):
+        mates, tried, exact = _generate_candidates(enumeration, checker, wire, params)
     status = "found" if mates else "no_mate"
     return WireSearchResult(
         status=status, candidates_tried=tried, exact_checks=exact, mates=mates, **base
     )
+
+
+def record_search_metrics(result: "SearchResult | WireSearchResult") -> None:
+    """Fold a search outcome into the global metrics registry.
+
+    Called per wire during a live search; :mod:`repro.eval.context` also
+    calls it with a whole cached :class:`SearchResult` so the CLI's
+    ``--metrics-out`` reports candidate counters even on warm cache hits.
+    """
+    results = (
+        result.wire_results if isinstance(result, SearchResult) else [result]
+    )
+    wires = counter("search.wires.analyzed")
+    generated = counter("search.candidates.generated")
+    filtered = counter("search.candidates.filtered")
+    verified = counter("search.candidates.verified")
+    for wire_result in results:
+        wires.inc()
+        counter(f"search.wires.{wire_result.status}").inc()
+        generated.inc(wire_result.candidates_tried)
+        filtered.inc(wire_result.exact_checks)
+        verified.inc(len(wire_result.mates))
 
 
 def _generate_candidates(
@@ -465,15 +493,20 @@ def find_mates(
 
     engine = ImplicationEngine(netlist)
     results: list[WireSearchResult] = []
-    stopwatch = Stopwatch()
-    with stopwatch:
-        for wire, dff_name in faulty_wires.items():
-            results.append(_search_wire(netlist, wire, dff_name, params, engine))
+    started = time.perf_counter()
+    with span("mate-search", netlist=netlist.name, wires=len(faulty_wires)):
+        for wire, dff_name in progress_iter(
+            faulty_wires.items(), label=f"mate-search {netlist.name}"
+        ):
+            with span("wire"):
+                result = _search_wire(netlist, wire, dff_name, params, engine)
+            record_search_metrics(result)
+            results.append(result)
     return SearchResult(
         netlist_name=netlist.name,
         parameters=params,
         wire_results=results,
-        runtime_seconds=stopwatch.elapsed,
+        runtime_seconds=time.perf_counter() - started,
     )
 
 

@@ -9,12 +9,49 @@ Usage::
     python -m repro.eval hafi            # Sec. 6.1 hardware-cost figures
     python -m repro.eval all             # everything above
     python -m repro.eval clear-cache     # drop cached traces/searches
+
+Observability (see README "Observability" and :mod:`repro.obs`)::
+
+    python -m repro.eval table1 --metrics-out metrics.json   # JSON snapshot
+    python -m repro.eval all --events-out events.jsonl       # span stream
+    python -m repro.eval table2 --verbose    # progress lines + summary table
+    python -m repro.eval all --prometheus-out metrics.prom   # Prometheus text
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from repro import obs
+
+
+def _run_experiment(name: str) -> str:
+    if name == "table1":
+        from repro.eval.table1 import build_table1
+
+        return build_table1().format()
+    if name == "table2":
+        from repro.eval.mate_performance import build_mate_performance
+
+        return build_mate_performance("avr").format()
+    if name == "table3":
+        from repro.eval.mate_performance import build_mate_performance
+
+        return build_mate_performance("msp430").format()
+    if name == "figure1":
+        from repro.eval.figures import build_figure1
+
+        return build_figure1().format()
+    if name == "hafi":
+        from repro.eval.hafi_cost import build_hafi_cost
+
+        return build_hafi_cost().format()
+    if name == "combined":
+        from repro.eval.combined import build_combined
+
+        return build_combined().format()
+    raise ValueError(f"unknown experiment {name!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,7 +65,37 @@ def main(argv: list[str] | None = None) -> int:
         choices=["table1", "table2", "table3", "figure1", "hafi", "combined",
                  "all", "clear-cache"],
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a JSON snapshot of all metrics/spans to PATH on exit",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="stream structured span events to PATH as JSON lines",
+    )
+    parser.add_argument(
+        "--prometheus-out",
+        metavar="PATH",
+        help="write the metrics in Prometheus text format to PATH on exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="show TTY progress for long loops and print the metrics summary",
+    )
     args = parser.parse_args(argv)
+
+    # Fail fast on unwritable output paths — not after a long experiment run.
+    for path in (args.metrics_out, args.events_out, args.prometheus_out):
+        if path:
+            from pathlib import Path
+
+            parent = Path(path).parent
+            if not parent.is_dir():
+                parser.error(f"output directory does not exist: {parent}")
 
     if args.experiment == "clear-cache":
         from repro.eval.context import clear_disk_cache
@@ -37,37 +104,34 @@ def main(argv: list[str] | None = None) -> int:
         print(f"removed {removed} cached artifact(s)")
         return 0
 
+    obs.configure(
+        jsonl_path=args.events_out,
+        progress=True if args.verbose else None,
+    )
+
     wanted = (
         ["figure1", "table1", "table2", "table3", "hafi", "combined"]
         if args.experiment == "all"
         else [args.experiment]
     )
-    for name in wanted:
-        if name == "table1":
-            from repro.eval.table1 import build_table1
+    try:
+        for name in wanted:
+            with obs.span(f"eval/{name}"):
+                text = _run_experiment(name)
+            print(text)
+            print()
+    finally:
+        if args.metrics_out:
+            obs.write_json(args.metrics_out)
+        if args.prometheus_out:
+            from pathlib import Path
 
-            print(build_table1().format())
-        elif name == "table2":
-            from repro.eval.mate_performance import build_mate_performance
-
-            print(build_mate_performance("avr").format())
-        elif name == "table3":
-            from repro.eval.mate_performance import build_mate_performance
-
-            print(build_mate_performance("msp430").format())
-        elif name == "figure1":
-            from repro.eval.figures import build_figure1
-
-            print(build_figure1().format())
-        elif name == "hafi":
-            from repro.eval.hafi_cost import build_hafi_cost
-
-            print(build_hafi_cost().format())
-        elif name == "combined":
-            from repro.eval.combined import build_combined
-
-            print(build_combined().format())
-        print()
+            Path(args.prometheus_out).write_text(
+                obs.prometheus_text(), encoding="utf-8"
+            )
+        obs.clear_sinks()
+    if args.verbose:
+        print(obs.summary())
     return 0
 
 

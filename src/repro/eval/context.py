@@ -22,11 +22,13 @@ from repro.core.search import (
     WireSearchResult,
     faulty_wires_for_dffs,
     find_mates,
+    record_search_metrics,
 )
 from repro.cpu.avr import AvrSystem, synthesize_avr
 from repro.cpu.msp430 import Msp430System, synthesize_msp430
 from repro.netlist.json_io import netlist_to_json
 from repro.netlist.netlist import Netlist
+from repro.obs import counter, span
 from repro.programs import avr_conv, avr_fib, msp430_conv, msp430_fib
 from repro.sim.simulator import Simulator
 from repro.trace.trace import Trace
@@ -49,11 +51,12 @@ def cache_dir() -> Path:
 @lru_cache(maxsize=None)
 def get_netlist(core: str) -> Netlist:
     """Synthesized netlist of one evaluation core (memoized)."""
-    if core == "avr":
-        return synthesize_avr()
-    if core == "msp430":
+    if core not in CORES:
+        raise ValueError(f"unknown core {core!r} (expected one of {CORES})")
+    with span("synthesize", core=core):
+        if core == "avr":
+            return synthesize_avr()
         return synthesize_msp430()
-    raise ValueError(f"unknown core {core!r} (expected one of {CORES})")
 
 
 @lru_cache(maxsize=None)
@@ -83,11 +86,14 @@ def get_trace(core: str, program: str, cycles: int = TRACE_CYCLES) -> Trace:
     """Full-wire execution trace (free-running program), disk-cached."""
     path = cache_dir() / f"trace_{core}_{program}_{cycles}_{netlist_hash(core)}.npz"
     if path.exists():
+        counter("context.trace.cache.hit").inc()
         data = np.load(path, allow_pickle=False)
         wires = [str(w) for w in data["wires"]]
         return Trace(wires, data["matrix"])
+    counter("context.trace.cache.miss").inc()
     simulator = get_simulator(core)
-    result = simulator.run(make_system(core, program), max_cycles=cycles)
+    with span("trace-record", core=core, program=program, cycles=cycles):
+        result = simulator.run(make_system(core, program), max_cycles=cycles)
     assert result.trace is not None
     np.savez_compressed(
         path,
@@ -176,7 +182,15 @@ def get_search(
         f"mates_{core}_{suffix}_{netlist_hash(core)}_{_params_key(params)}.json"
     )
     if path.exists():
-        return _search_from_json(path.read_text(), params)
+        counter("context.search.cache.hit").inc()
+        # Replay the cached aggregates into the registry under the same span
+        # path a live search uses, so metrics exports stay meaningful on
+        # warm caches (counters then report *loaded* search work).
+        with span("mate-search", netlist=core, cached=True):
+            result = _search_from_json(path.read_text(), params)
+        record_search_metrics(result)
+        return result
+    counter("context.search.cache.miss").inc()
     netlist = get_netlist(core)
     wires = faulty_wires_for_dffs(netlist, exclude_register_file=exclude_register_file)
     result = find_mates(netlist, faulty_wires=wires, params=params)

@@ -9,12 +9,14 @@ MATE-pruned fault list — and classifies each run.
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.faultspace import FaultSpace
 from repro.fi.classify import Outcome
+from repro.obs import counter, gauge, progress_iter, span
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.sim.testbench import Testbench
 
@@ -68,9 +70,15 @@ class CampaignResult:
 
     @property
     def benign_fraction(self) -> float:
-        """Fraction of injections that were benign."""
+        """Fraction of injections that were benign.
+
+        An empty campaign has no meaningful fraction: this returns
+        ``float("nan")`` rather than a silent ``0.0`` (which would read as
+        "every injection was effective"). Callers that aggregate fractions
+        must check :attr:`num_injections` (or ``math.isnan``) first.
+        """
         if not self.records:
-            return 0.0
+            return math.nan
         return self.count(Outcome.BENIGN) / len(self.records)
 
     def summary(self) -> str:
@@ -87,9 +95,10 @@ class Campaign:
     def __init__(self, target: CampaignTarget, max_cycles: int = 50_000) -> None:
         self.target = target
         tb = target.make_testbench()
-        self._golden = target.simulator.run(
-            tb, max_cycles=max_cycles, record_trace=False
-        )
+        with span("campaign/golden-run", target=target.name):
+            self._golden = target.simulator.run(
+                tb, max_cycles=max_cycles, record_trace=False
+            )
         if not self._golden.halted:
             raise ValueError(
                 f"golden run of {target.name} did not halt within {max_cycles} cycles"
@@ -106,28 +115,43 @@ class Campaign:
             )
         budget = int(self.golden_cycles * self.target.timeout_factor) + 8
         tb = self.target.make_testbench()
-        result = self.target.simulator.run(
-            tb,
-            max_cycles=budget,
-            record_trace=False,
-            flips={cycle: [dff_name]},
-        )
+        with span("campaign/inject"):
+            result = self.target.simulator.run(
+                tb,
+                max_cycles=budget,
+                record_trace=False,
+                flips={cycle: [dff_name]},
+            )
         if not result.halted:
-            return Outcome.TIMEOUT
-        if self.target.observables(tb, result) == self._golden_observables:
-            return Outcome.BENIGN
-        return Outcome.SDC
+            outcome = Outcome.TIMEOUT
+        elif self.target.observables(tb, result) == self._golden_observables:
+            outcome = Outcome.BENIGN
+        else:
+            outcome = Outcome.SDC
+        counter("campaign.injections").inc()
+        counter(f"campaign.outcome.{outcome.value}").inc()
+        return outcome
 
     # ------------------------------------------------------------------
     def run_points(self, points: Iterable[tuple[str, int]]) -> CampaignResult:
         """Inject a list of (dff name, cycle) points."""
         dffs = self.target.simulator.netlist.dffs
         result = CampaignResult(self.target.name, self.golden_cycles)
-        for dff_name, cycle in points:
-            if dff_name not in dffs:
-                raise KeyError(f"unknown flip-flop {dff_name!r}")
-            outcome = self.inject(dff_name, cycle)
-            result.records.append(InjectionRecord(dff_name, cycle, outcome))
+        points = list(points)
+        with span(
+            "campaign/run-points", target=self.target.name, points=len(points)
+        ) as run_span:
+            for dff_name, cycle in progress_iter(
+                points, label=f"campaign {self.target.name}"
+            ):
+                if dff_name not in dffs:
+                    raise KeyError(f"unknown flip-flop {dff_name!r}")
+                outcome = self.inject(dff_name, cycle)
+                result.records.append(InjectionRecord(dff_name, cycle, outcome))
+        if run_span.elapsed > 0:
+            gauge("campaign.injections_per_second").set(
+                len(points) / run_span.elapsed
+            )
         return result
 
     def run_sampled(
@@ -153,8 +177,15 @@ class Campaign:
     ) -> tuple[CampaignResult, int]:
         """Sample the *remaining* (unpruned) fault space of ``space``.
 
-        ``space`` rows must be DFF names. Returns (result, pruned_points):
-        the pruned count is the number of experiments the MATE set saved.
+        ``space`` rows must be DFF names. Returns ``(result, pruned_points)``.
+
+        ``pruned_points`` is exactly ``space.num_benign``: the number of
+        (flip-flop, cycle) points the MATE set (or any other pruning
+        technique) proved benign — the experiments pruning saved. It does
+        **not** count points that were merely *sampled away* because the
+        remaining space exceeded ``num_samples``, nor remaining points past
+        the golden run length. Sampling never mutates ``space``, so the
+        count is identical whether it is read before or after sampling.
         """
         remaining = [
             (name, cycle)
@@ -164,4 +195,6 @@ class Campaign:
         rng = random.Random(seed)
         if len(remaining) > num_samples:
             remaining = rng.sample(remaining, num_samples)
-        return self.run_points(remaining), space.num_benign
+        pruned_points = space.num_benign
+        counter("campaign.points.pruned").inc(pruned_points)
+        return self.run_points(remaining), pruned_points

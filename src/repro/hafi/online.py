@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.core.faultspace import FaultSpace
 from repro.core.mate import Mate
 from repro.netlist.netlist import Netlist
+from repro.obs import counter, gauge, span
 from repro.sim.simulator import Simulator
 from repro.sim.testbench import Testbench
 
@@ -76,16 +77,27 @@ def simulate_online_pruning(
     step = compiled.step
     from repro.sim.simulator import StateView
 
-    for cycle in range(cycles):
-        view = StateView(state, simulator.dff_index, simulator.reg_widths)
-        inputs = simulator.pack_inputs(testbench.drive(cycle, view))
-        state, outputs, row = step(state, inputs)
-        for index, checks in enumerate(mate_checks):
-            if all(row[col] == val for col, val in checks):
-                trigger_counts[index] += 1
-                for dff_name in mate_targets[index]:
-                    space.mark_benign(dff_name, cycle)
-        testbench.observe(cycle, simulator.unpack_outputs(outputs))
+    with span(
+        "hafi/online-pruning", netlist=netlist.name, cycles=cycles, mates=len(mates)
+    ) as run_span:
+        for cycle in range(cycles):
+            view = StateView(state, simulator.dff_index, simulator.reg_widths)
+            inputs = simulator.pack_inputs(testbench.drive(cycle, view))
+            state, outputs, row = step(state, inputs)
+            for index, checks in enumerate(mate_checks):
+                if all(row[col] == val for col, val in checks):
+                    trigger_counts[index] += 1
+                    for dff_name in mate_targets[index]:
+                        space.mark_benign(dff_name, cycle)
+            testbench.observe(cycle, simulator.unpack_outputs(outputs))
+
+    counter("hafi.cycles.emulated").inc(cycles)
+    counter("hafi.mate.evaluations").inc(cycles * len(mates))
+    counter("hafi.mate.triggers").inc(sum(trigger_counts))
+    counter("hafi.points.pruned").inc(space.num_benign)
+    if cycles:
+        # Per-cycle cost of evaluating the whole MATE set in the emulation.
+        gauge("hafi.seconds_per_cycle").set(run_span.elapsed / cycles)
 
     return OnlinePruningRun(
         fault_space=space, cycles=cycles, trigger_counts=trigger_counts

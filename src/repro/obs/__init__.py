@@ -1,0 +1,121 @@
+"""repro.obs — observability for the pruning pipeline.
+
+One import gives instrumented code everything it needs::
+
+    from repro import obs
+
+    with obs.span("mate-search", netlist=netlist.name):
+        obs.counter("search.candidates.generated").inc(tried)
+        obs.histogram("search.cone.gates").observe(cone.num_gates)
+
+and gives operators one-call reporting::
+
+    print(obs.summary())          # aligned text tables
+    obs.write_json("metrics.json")
+    obs.prometheus_text()
+
+Components
+----------
+- :mod:`repro.obs.metrics` — process-global :class:`MetricsRegistry` of
+  named counters, gauges, and histograms (thread-safe, resettable);
+- :mod:`repro.obs.spans` — hierarchical wall-time spans (``with
+  span("phase"):``) aggregated per path and streamed as events;
+- :mod:`repro.obs.events` — structured JSONL event sink;
+- :mod:`repro.obs.export` — JSON snapshot / summary table / Prometheus
+  text exporters;
+- :mod:`repro.obs.progress` — TTY progress meter (rate, ETA) for long
+  loops, silent in batch runs.
+
+Metric names follow ``subsystem.phase.metric`` (see README, "Metrics
+naming"). Tests get a fresh registry per test via the autouse fixture in
+``tests/conftest.py`` which calls :func:`reset`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import events
+from repro.obs.events import JsonlSink, clear_sinks, emit, install_sink, remove_sink
+from repro.obs.export import prometheus_text, snapshot, summary, write_json
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanStats,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from repro.obs.progress import Progress, progress_enabled, progress_iter, set_progress
+from repro.obs.spans import Span, current_path, is_enabled, set_enabled, span, timed
+
+
+def configure(
+    jsonl_path: str | Path | None = None,
+    progress: bool | None = None,
+    enabled: bool | None = None,
+) -> None:
+    """One-call setup of the observability layer.
+
+    ``jsonl_path`` installs a JSONL event sink at that path; ``progress``
+    forces TTY progress reporting on/off (``None`` keeps auto-detect);
+    ``enabled`` switches span recording globally.
+    """
+    if jsonl_path is not None:
+        install_sink(JsonlSink(jsonl_path))
+    if progress is not None:
+        set_progress(progress)
+    if enabled is not None:
+        set_enabled(enabled)
+
+
+def reset() -> None:
+    """Restore a pristine state: empty registry, no sinks, defaults on.
+
+    Used by the test suite (autouse fixture) to isolate metrics between
+    tests; safe to call any time.
+    """
+    get_registry().reset()
+    clear_sinks()
+    set_progress(None)
+    set_enabled(True)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Progress",
+    "Span",
+    "SpanStats",
+    "clear_sinks",
+    "configure",
+    "counter",
+    "current_path",
+    "emit",
+    "events",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "install_sink",
+    "is_enabled",
+    "progress_enabled",
+    "progress_iter",
+    "prometheus_text",
+    "remove_sink",
+    "reset",
+    "set_enabled",
+    "set_progress",
+    "set_registry",
+    "snapshot",
+    "span",
+    "summary",
+    "timed",
+    "write_json",
+]

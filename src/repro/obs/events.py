@@ -1,0 +1,89 @@
+"""Structured JSONL event sink.
+
+Every completed span (and any custom event an instrumented module emits)
+can be streamed to one or more *sinks* as single-line JSON records::
+
+    {"ts": 1754400000.123, "kind": "span", "path": "mate-search", ...}
+
+Sinks are process-global and explicitly installed — by default nothing is
+written anywhere and :func:`emit` is a cheap no-op guarded by
+:func:`has_sinks`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import IO
+
+_sinks: list["JsonlSink"] = []
+_lock = threading.Lock()
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a file (or file-like) target."""
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+            self.path: Path | None = None
+        else:
+            self.path = Path(target)
+            self._stream = self.path.open("w", encoding="utf-8")
+            self._owned = True
+        self._write_lock = threading.Lock()
+
+    def write(self, record: dict[str, object]) -> None:
+        """Serialize one event record as a JSON line."""
+        line = json.dumps(record, default=str)
+        with self._write_lock:
+            self._stream.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and (for path-opened sinks) close the underlying file."""
+        with self._write_lock:
+            self._stream.flush()
+            if self._owned:
+                self._stream.close()
+
+
+def install_sink(sink: JsonlSink) -> JsonlSink:
+    """Register a sink to receive all subsequent events."""
+    with _lock:
+        _sinks.append(sink)
+    return sink
+
+
+def remove_sink(sink: JsonlSink) -> None:
+    """Unregister (and close) one sink; unknown sinks are ignored."""
+    with _lock:
+        if sink in _sinks:
+            _sinks.remove(sink)
+    sink.close()
+
+
+def clear_sinks() -> None:
+    """Unregister and close every sink."""
+    with _lock:
+        sinks, _sinks[:] = list(_sinks), []
+    for sink in sinks:
+        sink.close()
+
+
+def has_sinks() -> bool:
+    """True when at least one sink is installed (emit fast-path guard)."""
+    return bool(_sinks)
+
+
+def emit(record: dict[str, object]) -> None:
+    """Timestamp an event record and fan it out to every sink."""
+    if not _sinks:
+        return
+    stamped = {"ts": time.time(), **record}
+    with _lock:
+        sinks = list(_sinks)
+    for sink in sinks:
+        sink.write(stamped)

@@ -1,0 +1,199 @@
+"""Exporters: JSON snapshot, human-readable summary, Prometheus text.
+
+All exporters read a point-in-time snapshot of a
+:class:`~repro.obs.metrics.MetricsRegistry` (the global one by default) and
+never mutate it, so they can be called repeatedly mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+def snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
+    """Whole-registry state as a JSON-serializable dict.
+
+    Layout::
+
+        {"counters":   {name: int},
+         "gauges":     {name: float},
+         "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}},
+         "spans":      {path: {count, total_seconds, min_seconds,
+                               max_seconds, mean_seconds}}}
+    """
+    registry = registry or get_registry()
+    return {
+        "counters": {n: c.value for n, c in sorted(registry.counters.items())},
+        "gauges": {n: g.value for n, g in sorted(registry.gauges.items())},
+        "histograms": {
+            n: h.snapshot() for n, h in sorted(registry.histograms.items())
+        },
+        "spans": {p: s.snapshot() for p, s in sorted(registry.spans.items())},
+    }
+
+
+def write_json(path: str | Path, registry: MetricsRegistry | None = None) -> Path:
+    """Write :func:`snapshot` to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot(registry), indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Human-readable summary
+# ----------------------------------------------------------------------
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _table(title: str, headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  " + "-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append(
+            "  "
+            + "  ".join(
+                cell.ljust(w) if i == 0 else cell.rjust(w)
+                for i, (cell, w) in enumerate(zip(row, widths))
+            ).rstrip()
+        )
+    return lines
+
+
+def summary(registry: MetricsRegistry | None = None) -> str:
+    """Render every metric and span aggregate as aligned text tables."""
+    registry = registry or get_registry()
+    sections: list[str] = []
+
+    spans = sorted(registry.spans.items())
+    if spans:
+        # Indent by the number of *recorded* ancestor paths so span names
+        # that themselves contain "/" (e.g. "sim/run") don't fake a level.
+        paths = {path for path, _ in spans}
+
+        def _ancestry(path: str) -> tuple[int, str]:
+            parts = path.split("/")
+            for cut in range(len(parts) - 1, 0, -1):
+                prefix = "/".join(parts[:cut])
+                if prefix in paths:
+                    depth, _ = _ancestry(prefix)
+                    return depth + 1, path[len(prefix) + 1 :]
+            return 0, path
+
+        rows = []
+        for path, stats in spans:
+            depth, label = _ancestry(path)
+            rows.append(
+                [
+                    "  " * depth + label,
+                    str(stats.count),
+                    _format_seconds(stats.total_seconds),
+                    _format_seconds(stats.total_seconds / stats.count)
+                    if stats.count
+                    else "-",
+                ]
+            )
+        sections.append(
+            "\n".join(_table("spans", ["path", "count", "total", "mean"], rows))
+        )
+
+    counters = sorted(registry.counters.items())
+    if counters:
+        rows = [[name, f"{c.value:,}"] for name, c in counters]
+        sections.append("\n".join(_table("counters", ["name", "value"], rows)))
+
+    gauges = sorted(registry.gauges.items())
+    if gauges:
+        rows = [[name, f"{g.value:g}"] for name, g in gauges]
+        sections.append("\n".join(_table("gauges", ["name", "value"], rows)))
+
+    histograms = sorted(registry.histograms.items())
+    if histograms:
+        rows = []
+        for name, hist in histograms:
+            if not hist.count:
+                rows.append([name, "0", "-", "-", "-", "-"])
+                continue
+            rows.append(
+                [
+                    name,
+                    f"{hist.count:,}",
+                    f"{hist.mean:g}",
+                    f"{hist.percentile(50):g}",
+                    f"{hist.min:g}",
+                    f"{hist.max:g}",
+                ]
+            )
+        sections.append(
+            "\n".join(
+                _table(
+                    "histograms",
+                    ["name", "count", "mean", "p50", "min", "max"],
+                    rows,
+                )
+            )
+        )
+
+    if not sections:
+        return "no metrics recorded"
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _prom_name(name: str, suffix: str = "") -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    return f"repro_{sanitized}{suffix}"
+
+
+def _prom_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry | None = None) -> str:
+    """Registry snapshot in the Prometheus text exposition format."""
+    registry = registry or get_registry()
+    lines: list[str] = []
+    for name, metric in sorted(registry.counters.items()):
+        prom = _prom_name(name, "_total")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {metric.value}")
+    for name, metric in sorted(registry.gauges.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(metric.value)}")
+    for name, hist in sorted(registry.histograms.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        lines.append(f"{prom}_count {hist.count}")
+        lines.append(f"{prom}_sum {_prom_value(hist.total)}")
+        if hist.count:
+            for q, label in ((50, "0.5"), (90, "0.9"), (99, "0.99")):
+                lines.append(
+                    f'{prom}{{quantile="{label}"}} {_prom_value(hist.percentile(q))}'
+                )
+    for path, stats in sorted(registry.spans.items()):
+        prom = _prom_name(f"span.{path.replace('/', '.')}")
+        lines.append(f"# TYPE {prom}_seconds summary")
+        lines.append(f"{prom}_seconds_count {stats.count}")
+        lines.append(f"{prom}_seconds_sum {_prom_value(stats.total_seconds)}")
+    return "\n".join(lines) + ("\n" if lines else "")

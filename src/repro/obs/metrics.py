@@ -1,0 +1,286 @@
+"""Process-global metrics: named counters, gauges, and histograms.
+
+Pure stdlib, thread-safe, resettable. Metric names follow the dotted
+``subsystem.phase.metric`` convention (``search.candidates.generated``,
+``campaign.outcome.benign``, ...) so exporters can group them and the
+Prometheus exporter can mechanically translate them.
+
+The module keeps one process-global :class:`MetricsRegistry`; instrumented
+code reaches it through the convenience functions :func:`counter`,
+:func:`gauge`, and :func:`histogram`. Tests swap or reset the global
+registry (see :func:`reset` and the autouse fixture in
+``tests/conftest.py``) so metrics never leak between test cases.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Histograms keep raw samples up to this many observations; beyond it only
+#: the running aggregates (count/sum/min/max) stay exact and percentiles are
+#: computed over the retained prefix.
+_HISTOGRAM_SAMPLE_CAP = 65_536
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A named value that can go up and down (last-write-wins)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta``."""
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """A named distribution with exact aggregates and sampled percentiles."""
+
+    __slots__ = ("name", "_lock", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._samples) < _HISTOGRAM_SAMPLE_CAP:
+                self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (nan when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over retained samples."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        with self._lock:
+            if not self._samples:
+                return math.nan
+            ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, float]:
+        """Aggregates + standard percentiles as a plain dict."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class SpanStats:
+    """Aggregated wall-time statistics of one span path."""
+
+    __slots__ = ("path", "count", "total_seconds", "min_seconds", "max_seconds", "_lock")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = math.inf
+        self.max_seconds = -math.inf
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Fold one completed span occurrence into the aggregate."""
+        with self._lock:
+            self.count += 1
+            self.total_seconds += seconds
+            if seconds < self.min_seconds:
+                self.min_seconds = seconds
+            if seconds > self.max_seconds:
+                self.max_seconds = seconds
+
+    def snapshot(self) -> dict[str, float]:
+        """Aggregates as a plain dict."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds if self.count else 0.0,
+            "mean_seconds": self.total_seconds / self.count if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home of all named metrics and span aggregates."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: dict[str, SpanStats] = {}
+
+    # -- create-or-get accessors ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def span_stats(self, path: str) -> SpanStats:
+        """The span aggregate for ``path`` (created on first use)."""
+        with self._lock:
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats(path)
+        return stats
+
+    # -- introspection -------------------------------------------------
+    @property
+    def counters(self) -> dict[str, Counter]:
+        """Name → counter view (copy)."""
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, Gauge]:
+        """Name → gauge view (copy)."""
+        with self._lock:
+            return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """Name → histogram view (copy)."""
+        with self._lock:
+            return dict(self._histograms)
+
+    @property
+    def spans(self) -> dict[str, SpanStats]:
+        """Path → span-aggregate view (copy)."""
+        with self._lock:
+            return dict(self._spans)
+
+    def reset(self) -> None:
+        """Drop every metric and span aggregate (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-global registry + convenience handles
+# ----------------------------------------------------------------------
+_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry all instrumentation reports into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (returns the previous one)."""
+    global _registry
+    with _registry_lock:
+        previous, _registry = _registry, registry
+    return previous
+
+
+def counter(name: str) -> Counter:
+    """Global-registry counter called ``name``."""
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Global-registry gauge called ``name``."""
+    return _registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Global-registry histogram called ``name``."""
+    return _registry.histogram(name)

@@ -1,0 +1,166 @@
+"""Lightweight TTY progress reporting for long pipeline loops.
+
+A :class:`Progress` tracks items done, rate (items/sec), and — when a total
+is known — percentage and ETA, redrawing a single ``\\r`` status line at a
+bounded frequency. Reporting is off unless stderr is a TTY, the
+``REPRO_PROGRESS`` environment variable is set, or it was force-enabled via
+:func:`set_progress` (the eval CLI's ``--verbose`` does this), so batch runs
+and test suites stay byte-identical.
+
+The common entry point is :func:`progress_iter`::
+
+    for point in progress_iter(points, label="campaign", total=len(points)):
+        ...
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from collections.abc import Iterable, Iterator
+from typing import IO, TypeVar
+
+_T = TypeVar("_T")
+
+#: Tri-state override: None = auto-detect (TTY / env var), True/False = forced.
+_forced: bool | None = None
+
+
+def set_progress(enabled: bool | None) -> None:
+    """Force progress reporting on/off, or ``None`` to restore auto-detect."""
+    global _forced
+    _forced = enabled
+
+
+def progress_enabled(stream: IO[str] | None = None) -> bool:
+    """Resolve whether progress lines should be drawn right now."""
+    if _forced is not None:
+        return _forced
+    if os.environ.get("REPRO_PROGRESS"):
+        return True
+    stream = stream if stream is not None else sys.stderr
+    isatty = getattr(stream, "isatty", None)
+    return bool(isatty and isatty())
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class Progress:
+    """Single-line progress meter (rate, percentage, ETA)."""
+
+    def __init__(
+        self,
+        total: int | None = None,
+        label: str = "",
+        stream: IO[str] | None = None,
+        min_interval: float = 0.2,
+        enabled: bool | None = None,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.count = 0
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.enabled = (
+            progress_enabled(self.stream) if enabled is None else enabled
+        )
+        self._start = time.perf_counter()
+        self._last_draw = 0.0
+        self._drew = False
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the meter was created."""
+        return time.perf_counter() - self._start
+
+    @property
+    def rate(self) -> float:
+        """Items per second so far (0.0 before any time has passed)."""
+        elapsed = self.elapsed
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds to completion (None without a total/rate)."""
+        if self.total is None or self.count == 0:
+            return None
+        rate = self.rate
+        if rate <= 0:
+            return None
+        return (self.total - self.count) / rate
+
+    # ------------------------------------------------------------------
+    def update(self, n: int = 1) -> None:
+        """Advance the meter by ``n`` items and maybe redraw."""
+        self.count += n
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if now - self._last_draw >= self.min_interval:
+            self._last_draw = now
+            self._draw()
+
+    def _line(self) -> str:
+        parts = [self.label] if self.label else []
+        if self.total:
+            parts.append(
+                f"{self.count}/{self.total} ({100 * self.count / self.total:.0f}%)"
+            )
+        else:
+            parts.append(str(self.count))
+        parts.append(f"{self.rate:.1f}/s")
+        eta = self.eta_seconds
+        if eta is not None:
+            parts.append(f"eta {_format_eta(eta)}")
+        return " ".join(parts)
+
+    def _draw(self) -> None:
+        self._drew = True
+        self.stream.write("\r\x1b[2K" + self._line())
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Draw the final state and terminate the status line."""
+        if self.enabled and (self._drew or self.count):
+            self._draw()
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def __enter__(self) -> "Progress":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def progress_iter(
+    iterable: Iterable[_T],
+    label: str = "",
+    total: int | None = None,
+    stream: IO[str] | None = None,
+) -> Iterator[_T]:
+    """Yield from ``iterable`` while driving a :class:`Progress` meter."""
+    if total is None:
+        try:
+            total = len(iterable)  # type: ignore[arg-type]
+        except TypeError:
+            total = None
+    meter = Progress(total=total, label=label, stream=stream)
+    if not meter.enabled:  # zero-overhead path for batch runs
+        yield from iterable
+        return
+    with meter:
+        for item in iterable:
+            yield item
+            meter.update()

@@ -1,0 +1,145 @@
+"""Hierarchical wall-time spans.
+
+A span measures one phase of the pipeline::
+
+    with span("mate-search") as sp:
+        ...
+        with span("enumerate-paths"):   # path: mate-search/enumerate-paths
+            ...
+        sp.set(wires=len(results))
+
+Nesting is tracked per thread: a span's *path* is the ``/``-joined chain of
+the active span names, so the same helper instrumented from two different
+callers aggregates under two different paths. On exit, every span
+
+- folds its elapsed wall time into the global registry's per-path
+  :class:`~repro.obs.metrics.SpanStats`, and
+- emits a structured ``span`` event to the installed sinks (JSONL).
+
+Spans are cheap (one ``perf_counter`` pair plus a dict update) and become
+near-free no-ops when observability is disabled via :func:`set_enabled`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs import events
+from repro.obs.metrics import get_registry
+
+_local = threading.local()
+
+#: Global on/off switch for span recording (see :func:`set_enabled`).
+_enabled = True
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable or disable span recording and event emission globally."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def is_enabled() -> bool:
+    """True when spans are being recorded."""
+    return _enabled
+
+
+def _stack() -> list[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_path() -> str:
+    """Path of the innermost active span on this thread ("" outside spans)."""
+    return "/".join(_stack())
+
+
+class Span:
+    """One live span occurrence; attach attributes via :meth:`set`."""
+
+    __slots__ = ("name", "path", "depth", "attrs", "elapsed", "_start")
+
+    def __init__(self, name: str, path: str, depth: int, attrs: dict[str, object]) -> None:
+        self.name = name
+        self.path = path
+        self.depth = depth
+        self.attrs = attrs
+        #: Wall-clock seconds; populated when the span closes.
+        self.elapsed = 0.0
+        self._start = time.perf_counter()
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) event attributes on this span."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _NullSpan:
+    """Inert stand-in yielded while observability is disabled."""
+
+    __slots__ = ()
+    name = ""
+    path = ""
+    depth = 0
+    elapsed = 0.0
+    attrs: dict[str, object] = {}
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Span | _NullSpan]:
+    """Context manager measuring one named phase (see module docstring)."""
+    if not _enabled:
+        yield _NULL_SPAN
+        return
+    stack = _stack()
+    stack.append(name)
+    live = Span(name, "/".join(stack), len(stack), dict(attrs))
+    error: str | None = None
+    try:
+        yield live
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        live.elapsed = time.perf_counter() - live._start
+        stack.pop()
+        get_registry().span_stats(live.path).record(live.elapsed)
+        if events.has_sinks():
+            payload = {
+                "kind": "span",
+                "path": live.path,
+                "name": live.name,
+                "depth": live.depth,
+                "elapsed_s": live.elapsed,
+            }
+            if error is not None:
+                payload["error"] = error
+            if live.attrs:
+                payload["attrs"] = live.attrs
+            events.emit(payload)
+
+
+def timed(name: str):
+    """Decorator form: run the wrapped function inside ``span(name)``."""
+
+    def wrap(fn):
+        def inner(*args: object, **kwargs: object):
+            with span(name):
+                return fn(*args, **kwargs)
+
+        inner.__name__ = getattr(fn, "__name__", "timed")
+        inner.__doc__ = fn.__doc__
+        return inner
+
+    return wrap

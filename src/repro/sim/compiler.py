@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
 from repro.netlist.validate import validate_netlist
+from repro.obs import counter, span
 
 #: Per-cell Python expression templates (pin name → local variable).
 _TEMPLATES = {
@@ -45,26 +46,29 @@ class CompiledNetlist:
     """A netlist compiled to an executable single-cycle step function."""
 
     def __init__(self, netlist: Netlist) -> None:
-        validate_netlist(netlist)
-        self.netlist = netlist
-        self.input_wires: list[str] = list(netlist.inputs)
-        self.dffs = list(netlist.dffs.values())
-        self.dff_names: list[str] = [dff.name for dff in self.dffs]
-        self.output_wires: list[str] = list(netlist.outputs)
+        with span("sim/compile", netlist=netlist.name):
+            validate_netlist(netlist)
+            self.netlist = netlist
+            self.input_wires: list[str] = list(netlist.inputs)
+            self.dffs = list(netlist.dffs.values())
+            self.dff_names: list[str] = [dff.name for dff in self.dffs]
+            self.output_wires: list[str] = list(netlist.outputs)
 
-        # Trace column order: constants, inputs, FF Q wires, gate outputs.
-        topo = netlist.topological_gates()
-        self.trace_wires: list[str] = [CONST0, CONST1]
-        self.trace_wires.extend(self.input_wires)
-        self.trace_wires.extend(dff.q for dff in self.dffs)
-        seen = set(self.trace_wires)
-        for gate in topo:
-            if gate.output not in seen:
-                self.trace_wires.append(gate.output)
-                seen.add(gate.output)
+            # Trace column order: constants, inputs, FF Q wires, gate outputs.
+            topo = netlist.topological_gates()
+            self.trace_wires: list[str] = [CONST0, CONST1]
+            self.trace_wires.extend(self.input_wires)
+            self.trace_wires.extend(dff.q for dff in self.dffs)
+            seen = set(self.trace_wires)
+            for gate in topo:
+                if gate.output not in seen:
+                    self.trace_wires.append(gate.output)
+                    seen.add(gate.output)
 
-        self._var_of: dict[str, str] = {CONST0: "0", CONST1: "1"}
-        self.step = self._compile(topo)
+            self._var_of: dict[str, str] = {CONST0: "0", CONST1: "1"}
+            self.step = self._compile(topo)
+        counter("sim.compile.netlists").inc()
+        counter("sim.compile.gates").inc(len(topo))
 
     # ------------------------------------------------------------------
     def _var(self, wire: str) -> str:

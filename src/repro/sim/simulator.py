@@ -19,6 +19,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.netlist.netlist import Netlist
+from repro.obs import counter, span
 from repro.sim.compiler import CompiledNetlist
 from repro.sim.testbench import Testbench
 from repro.synth.lower import bit_name
@@ -147,24 +148,31 @@ class Simulator:
         halted = False
         out_words: dict[str, int] = {}
         cycle = 0
-        for cycle in range(max_cycles):
-            if flips and cycle in flips:
-                for dff_name in flips[cycle]:
-                    index = self.dff_index[dff_name]
-                    state[index] ^= 1
-            view = StateView(state, self.dff_index, self.reg_widths)
-            in_words = testbench.drive(cycle, view)
-            inputs = self.pack_inputs(in_words)
-            state, outputs, row = step(state, inputs)
-            if record_trace:
-                rows.append(row)
-            out_words = self.unpack_outputs(outputs)
-            if testbench.observe(cycle, out_words):
-                halted = True
-                cycle += 1
-                break
-        else:
-            cycle = max_cycles
+        # Instrumentation stays *outside* the per-cycle loop: one span and a
+        # few counter increments per run (see benchmarks/test_bench_obs_overhead).
+        with span("sim/run", netlist=self.netlist.name, injected=bool(flips)):
+            for cycle in range(max_cycles):
+                if flips and cycle in flips:
+                    for dff_name in flips[cycle]:
+                        index = self.dff_index[dff_name]
+                        state[index] ^= 1
+                view = StateView(state, self.dff_index, self.reg_widths)
+                in_words = testbench.drive(cycle, view)
+                inputs = self.pack_inputs(in_words)
+                state, outputs, row = step(state, inputs)
+                if record_trace:
+                    rows.append(row)
+                out_words = self.unpack_outputs(outputs)
+                if testbench.observe(cycle, out_words):
+                    halted = True
+                    cycle += 1
+                    break
+            else:
+                cycle = max_cycles
+        counter("sim.runs").inc()
+        counter("sim.cycles.simulated").inc(cycle)
+        if flips:
+            counter("sim.runs.injected").inc()
 
         trace = None
         if record_trace:

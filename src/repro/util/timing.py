@@ -1,14 +1,28 @@
-"""Tiny wall-clock stopwatch used for Table 1 run-time reporting."""
+"""Deprecated wall-clock stopwatch — superseded by :mod:`repro.obs`.
+
+``Stopwatch`` predates the observability layer; all pipeline call sites now
+use :func:`repro.obs.span` (hierarchical, aggregated, exportable). The class
+is kept as a shim for external users and emits a :class:`DeprecationWarning`
+on construction. It will be removed in a future release.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
 
 
 class Stopwatch:
     """Accumulating stopwatch; usable as a context manager.
 
-    >>> sw = Stopwatch()
+    .. deprecated::
+        Use ``with repro.obs.span("phase") as sp: ...`` and read
+        ``sp.elapsed`` (or the registry's span aggregates) instead.
+
+    >>> import warnings
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     sw = Stopwatch()
     >>> with sw:
     ...     pass
     >>> sw.elapsed >= 0.0
@@ -16,6 +30,11 @@ class Stopwatch:
     """
 
     def __init__(self) -> None:
+        warnings.warn(
+            "repro.util.Stopwatch is deprecated; use repro.obs.span() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.elapsed = 0.0
         self._started_at: float | None = None
 

@@ -1,10 +1,25 @@
-"""Session-wide fixtures: the two synthesized cores with compiled simulators."""
+"""Session-wide fixtures: the two synthesized cores with compiled simulators,
+plus per-test isolation of the global observability state."""
 
 import pytest
 
+from repro import obs
 from repro.cpu.avr import synthesize_avr
 from repro.cpu.msp430 import synthesize_msp430
 from repro.sim import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Give every test a pristine metrics registry, no sinks, defaults on.
+
+    Instrumented code (simulator, search, campaigns) reports into the
+    process-global registry; without this reset, counters would leak across
+    tests and any assertion on metric values would depend on test order.
+    """
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,13 @@
 """Fault-injection campaign tests on a small purpose-built target."""
 
+import math
+
 import pytest
 
+from repro import obs
 from repro.core.faultspace import FaultSpace
 from repro.fi import Campaign, CampaignTarget, Outcome
+from repro.fi.campaign import CampaignResult
 from repro.rtl import RtlCircuit, mux
 from repro.sim import Simulator, Testbench
 from repro.synth import synthesize
@@ -104,6 +108,40 @@ class TestCampaign:
         result, pruned = campaign.run_pruned(space, num_samples=10, seed=1)
         assert pruned == 8 * campaign.golden_cycles
         assert all(not r.dff_name.startswith("decoy") for r in result.records)
+
+    def test_empty_result_benign_fraction_is_nan(self):
+        # 0.0 would silently read as "nothing benign"; an empty campaign has
+        # no meaningful fraction.
+        assert math.isnan(CampaignResult("empty", 10).benign_fraction)
+
+    def test_run_pruned_counts_pruned_not_sampled_away(self, campaign, target):
+        """`pruned_points` is the MATE-pruned count, never the sampling loss.
+
+        Regression pin for the run_pruned contract: `space.num_benign` is
+        read after sampling, which must not matter because sampling never
+        mutates the space — points dropped only because the remaining space
+        exceeded `num_samples` are not reported as pruned.
+        """
+        dffs = list(target.simulator.netlist.dffs)
+        space = FaultSpace(dffs, campaign.golden_cycles)
+        space.mark_benign(dffs[0], 0)
+        space.mark_benign(dffs[0], 1)
+        space.mark_benign(dffs[1], 2)
+        assert space.num_remaining > 5  # sampling will drop points
+        result, pruned = campaign.run_pruned(space, num_samples=5, seed=2)
+        assert pruned == 3 == space.num_benign  # space untouched by sampling
+        assert result.num_injections == 5
+
+    def test_injection_metrics_recorded(self, target):
+        campaign = Campaign(target, max_cycles=100)
+        campaign.run_points([("acc_b0", 2), ("decoy_b0", 2)])
+        registry = obs.get_registry()
+        assert registry.counter("campaign.injections").value == 2
+        assert registry.counter("campaign.outcome.sdc").value == 1
+        assert registry.counter("campaign.outcome.benign").value == 1
+        assert registry.spans["campaign/run-points"].count == 1
+        assert registry.spans["campaign/run-points/campaign/inject"].count == 2
+        assert registry.counter("sim.runs").value >= 3  # golden + 2 injections
 
     def test_nonhalting_golden_rejected(self, target):
         class NeverHalt(Testbench):

@@ -1,0 +1,77 @@
+"""Tests for the JSON / summary / Prometheus exporters."""
+
+import json
+
+from repro import obs
+
+
+def _populate():
+    obs.counter("search.candidates.generated").inc(42)
+    obs.gauge("campaign.injections_per_second").set(12.5)
+    obs.histogram("search.cone.gates").observe(10)
+    obs.histogram("search.cone.gates").observe(20)
+    with obs.span("mate-search"):
+        with obs.span("wire"):
+            pass
+
+
+class TestSnapshot:
+    def test_layout(self):
+        _populate()
+        snap = obs.snapshot()
+        assert snap["counters"]["search.candidates.generated"] == 42
+        assert snap["gauges"]["campaign.injections_per_second"] == 12.5
+        hist = snap["histograms"]["search.cone.gates"]
+        assert hist["count"] == 2 and hist["mean"] == 15.0
+        assert snap["spans"]["mate-search"]["count"] == 1
+        assert snap["spans"]["mate-search/wire"]["count"] == 1
+
+    def test_json_serializable_and_written(self, tmp_path):
+        _populate()
+        path = obs.write_json(tmp_path / "m.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(obs.snapshot()))
+
+
+class TestSummary:
+    def test_contains_all_sections(self):
+        _populate()
+        text = obs.summary()
+        for section in ("spans", "counters", "gauges", "histograms"):
+            assert section in text
+        assert "search.candidates.generated" in text
+        assert "42" in text
+
+    def test_span_tree_indentation(self):
+        _populate()
+        lines = obs.summary().splitlines()
+        parent = next(line for line in lines if "mate-search" in line)
+        child = next(line for line in lines if line.lstrip().startswith("wire"))
+        assert len(child) - len(child.lstrip()) > len(parent) - len(parent.lstrip())
+
+    def test_slash_names_do_not_fake_nesting(self):
+        with obs.span("sim/run"):
+            pass
+        # Nothing recorded a plain "sim" parent: the row must not be indented
+        # below a sibling it is not actually nested under.
+        lines = obs.summary().splitlines()
+        row = next(line for line in lines if "sim/run" in line)
+        assert row.startswith("  sim/run")
+
+    def test_empty_registry(self):
+        assert obs.summary() == "no metrics recorded"
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_lines(self):
+        _populate()
+        text = obs.prometheus_text()
+        assert "# TYPE repro_search_candidates_generated_total counter" in text
+        assert "repro_search_candidates_generated_total 42" in text
+        assert "repro_campaign_injections_per_second 12.5" in text
+        assert "repro_search_cone_gates_count 2" in text
+        assert 'repro_search_cone_gates{quantile="0.5"}' in text
+        assert "repro_span_mate_search_seconds_count 1" in text
+
+    def test_empty_registry(self):
+        assert obs.prometheus_text() == ""

@@ -1,0 +1,80 @@
+"""End-to-end: the pipeline populates the expected metrics and spans.
+
+Runs the paper's Figure 1 example circuit through search → trace → replay
+and asserts the observability contract the eval CLI's ``--metrics-out``
+relies on (span paths for the search/replay phases, candidate counters).
+"""
+
+from repro import obs
+from repro.core.replay import replay_mates
+from repro.core.search import find_mates
+from repro.eval.example_circuit import (
+    FIGURE1_FAULT_WIRES,
+    figure1_netlist,
+    figure1_testbench_rows,
+)
+from repro.sim.simulator import Simulator
+from repro.sim.testbench import TableTestbench
+
+
+def _run_pipeline():
+    netlist = figure1_netlist()
+    search = find_mates(netlist, faulty_wires={w: w for w in FIGURE1_FAULT_WIRES})
+    rows = figure1_testbench_rows()
+    trace = Simulator(netlist).run(TableTestbench(rows), max_cycles=len(rows)).trace
+    replay = replay_mates(
+        search.mate_set().mates(), trace, list(FIGURE1_FAULT_WIRES)
+    )
+    return search, replay
+
+
+class TestPipelineInstrumentation:
+    def test_search_counters_and_spans(self):
+        search, _ = _run_pipeline()
+        registry = obs.get_registry()
+        counters = {n: c.value for n, c in registry.counters.items()}
+        assert counters["search.wires.analyzed"] == len(FIGURE1_FAULT_WIRES)
+        # The counters mirror the search result exactly.
+        assert counters["search.candidates.generated"] == search.num_candidates
+        assert counters["search.candidates.verified"] == search.num_mates
+        assert counters["search.candidates.filtered"] >= search.num_mates
+        assert counters["search.wires.unmaskable"] == search.num_unmaskable
+        spans = registry.spans
+        assert spans["mate-search"].count == 1
+        assert spans["mate-search/wire"].count == len(FIGURE1_FAULT_WIRES)
+        assert spans["mate-search/wire/enumerate-paths"].count == len(
+            FIGURE1_FAULT_WIRES
+        )
+        assert registry.histograms["search.cone.gates"].count == len(
+            FIGURE1_FAULT_WIRES
+        )
+
+    def test_replay_and_sim_metrics(self):
+        _, replay = _run_pipeline()
+        registry = obs.get_registry()
+        assert registry.spans["replay"].count == 1
+        assert registry.counter("replay.mates.evaluated").value == replay.num_mates
+        assert registry.counter("replay.cycles.replayed").value == replay.num_cycles
+        assert registry.counter("sim.runs").value == 1
+        assert registry.counter("sim.cycles.simulated").value == replay.num_cycles
+        assert registry.spans["sim/compile"].count == 1
+        assert registry.spans["sim/run"].count == 1
+
+    def test_metrics_json_contract(self, tmp_path):
+        """What `--metrics-out` must contain (acceptance criteria)."""
+        _run_pipeline()
+        import json
+
+        snap = json.loads(obs.write_json(tmp_path / "m.json").read_text())
+        for name in (
+            "search.candidates.generated",
+            "search.candidates.filtered",
+            "search.candidates.verified",
+        ):
+            assert name in snap["counters"]
+        assert "mate-search" in snap["spans"]
+        assert "replay" in snap["spans"]
+        # summary() renders the same data as human-readable tables.
+        text = obs.summary()
+        assert "mate-search" in text and "replay" in text
+        assert "search.candidates.generated" in text

@@ -1,0 +1,110 @@
+"""Tests for the metrics registry: counters, gauges, histograms, isolation."""
+
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_create_and_increment(self):
+        c = obs.counter("test.counter")
+        c.inc()
+        c.inc(5)
+        assert obs.counter("test.counter").value == 6
+
+    def test_same_name_same_object(self):
+        assert obs.counter("test.x") is obs.counter("test.x")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            obs.counter("test.neg").inc(-1)
+
+    def test_thread_safety(self):
+        c = obs.counter("test.threads")
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = obs.gauge("test.gauge")
+        g.set(2.5)
+        g.add(-1.0)
+        assert g.value == pytest.approx(1.5)
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = obs.histogram("test.hist")
+        for v in (1, 2, 3, 4, 100):
+            h.observe(v)
+        assert h.count == 5
+        assert h.min == 1
+        assert h.max == 100
+        assert h.mean == pytest.approx(22.0)
+        assert h.percentile(50) == 3
+
+    def test_empty_histogram(self):
+        h = obs.histogram("test.empty")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(50))
+        assert h.snapshot() == {"count": 0}
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            obs.histogram("test.h").percentile(150)
+
+    def test_sample_cap_keeps_exact_aggregates(self, monkeypatch):
+        from repro.obs import metrics
+
+        monkeypatch.setattr(metrics, "_HISTOGRAM_SAMPLE_CAP", 4)
+        h = metrics.Histogram("capped")
+        for v in range(10):
+            h.observe(v)
+        assert h.count == 10
+        assert h.max == 9
+        assert h.mean == pytest.approx(4.5)
+
+
+class TestRegistry:
+    def test_reset_clears_everything(self):
+        obs.counter("a").inc()
+        obs.gauge("b").set(1)
+        obs.histogram("c").observe(1)
+        with obs.span("d"):
+            pass
+        obs.get_registry().reset()
+        snap = obs.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+
+    def test_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = obs.set_registry(mine)
+        try:
+            obs.counter("swapped").inc()
+            assert mine.counter("swapped").value == 1
+            assert "swapped" not in previous.counters
+        finally:
+            obs.set_registry(previous)
+
+    def test_autouse_fixture_isolates_part1(self):
+        obs.counter("isolation.probe").inc(7)
+        assert obs.counter("isolation.probe").value == 7
+
+    def test_autouse_fixture_isolates_part2(self):
+        # Runs after part1 in file order; the autouse reset must have wiped
+        # the probe counter between the two tests.
+        assert obs.counter("isolation.probe").value == 0

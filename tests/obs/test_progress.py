@@ -1,0 +1,78 @@
+"""Tests for the TTY progress reporter."""
+
+import io
+
+from repro import obs
+from repro.obs.progress import Progress, progress_iter
+
+
+class TestEnableDetection:
+    def test_disabled_for_non_tty(self):
+        assert Progress(stream=io.StringIO()).enabled is False
+
+    def test_env_var_forces_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert Progress(stream=io.StringIO()).enabled is True
+
+    def test_set_progress_forces(self):
+        obs.set_progress(True)
+        assert Progress(stream=io.StringIO()).enabled is True
+        obs.set_progress(False)
+        assert Progress(stream=io.StringIO()).enabled is False
+        obs.set_progress(None)  # back to auto-detect: non-TTY stream is off
+        assert Progress(stream=io.StringIO()).enabled is False
+
+
+class TestMeter:
+    def test_rate_and_eta(self):
+        meter = Progress(total=100, stream=io.StringIO(), enabled=False)
+        meter.count = 50
+        meter._start -= 5.0  # pretend 5 seconds elapsed
+        assert meter.rate > 0
+        assert meter.eta_seconds is not None
+        assert meter.eta_seconds > 0
+
+    def test_eta_unknown_without_total(self):
+        meter = Progress(stream=io.StringIO(), enabled=False)
+        meter.update()
+        assert meter.eta_seconds is None
+
+    def test_draws_single_line_with_percentage(self):
+        buf = io.StringIO()
+        meter = Progress(total=4, label="inject", stream=buf, enabled=True,
+                         min_interval=0.0)
+        for _ in range(4):
+            meter.update()
+        meter.close()
+        output = buf.getvalue()
+        assert "inject" in output
+        assert "4/4 (100%)" in output
+        assert "/s" in output
+        assert output.endswith("\n")
+
+    def test_disabled_meter_writes_nothing(self):
+        buf = io.StringIO()
+        meter = Progress(total=4, stream=buf, enabled=False)
+        for _ in range(4):
+            meter.update()
+        meter.close()
+        assert buf.getvalue() == ""
+
+
+class TestProgressIter:
+    def test_yields_all_items_when_disabled(self):
+        buf = io.StringIO()
+        assert list(progress_iter(range(5), stream=buf)) == [0, 1, 2, 3, 4]
+        assert buf.getvalue() == ""
+
+    def test_yields_all_items_when_enabled(self):
+        obs.set_progress(True)
+        buf = io.StringIO()
+        assert list(progress_iter(range(5), label="x", stream=buf)) == list(range(5))
+        assert "5/5" in buf.getvalue() or "x" in buf.getvalue()
+
+    def test_total_inferred_from_len(self):
+        obs.set_progress(True)
+        buf = io.StringIO()
+        list(progress_iter([1, 2, 3], stream=buf))
+        assert "3/3" in buf.getvalue().replace("\r", "")

@@ -1,0 +1,123 @@
+"""Tests for hierarchical spans and the JSONL event sink."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+
+
+class TestSpanNesting:
+    def test_path_joins_active_spans(self):
+        with obs.span("outer") as outer:
+            assert outer.path == "outer"
+            with obs.span("inner") as inner:
+                assert inner.path == "outer/inner"
+                assert obs.current_path() == "outer/inner"
+        assert obs.current_path() == ""
+
+    def test_aggregation_per_path(self):
+        for _ in range(3):
+            with obs.span("phase"):
+                pass
+        stats = obs.get_registry().spans["phase"]
+        assert stats.count == 3
+        assert stats.total_seconds >= stats.max_seconds >= stats.min_seconds >= 0
+
+    def test_elapsed_set_on_exit(self):
+        with obs.span("timed") as sp:
+            assert sp.elapsed == 0.0
+        assert sp.elapsed > 0.0
+
+    def test_attrs(self):
+        with obs.span("attrs", core="avr") as sp:
+            sp.set(wires=5)
+        assert sp.attrs == {"core": "avr", "wires": 5}
+
+    def test_exception_still_recorded(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        assert obs.get_registry().spans["failing"].count == 1
+        assert obs.current_path() == ""  # stack unwound
+
+    def test_thread_local_stacks(self):
+        paths = []
+
+        def work():
+            with obs.span("worker") as sp:
+                paths.append(sp.path)
+
+        with obs.span("main-span"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        # The worker thread has its own stack: no "main-span/" prefix.
+        assert paths == ["worker"]
+
+    def test_timed_decorator(self):
+        @obs.timed("decorated")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert obs.get_registry().spans["decorated"].count == 1
+
+
+class TestDisabled:
+    def test_disabled_spans_are_noops(self):
+        obs.set_enabled(False)
+        with obs.span("ghost") as sp:
+            sp.set(x=1)
+        assert "ghost" not in obs.get_registry().spans
+        assert obs.is_enabled() is False
+        obs.set_enabled(True)
+        with obs.span("real"):
+            pass
+        assert "real" in obs.get_registry().spans
+
+
+class TestJsonlSink:
+    def test_span_events_written(self):
+        buf = io.StringIO()
+        obs.install_sink(obs.JsonlSink(buf))
+        with obs.span("a", core="avr"):
+            with obs.span("b"):
+                pass
+        obs.clear_sinks()
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [r["path"] for r in records] == ["a/b", "a"]  # inner closes first
+        assert records[1]["attrs"] == {"core": "avr"}
+        assert all(r["kind"] == "span" and r["ts"] > 0 for r in records)
+
+    def test_error_attribute_on_failure(self):
+        buf = io.StringIO()
+        obs.install_sink(obs.JsonlSink(buf))
+        with pytest.raises(ValueError):
+            with obs.span("bad"):
+                raise ValueError("nope")
+        obs.clear_sinks()
+        (record,) = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert record["error"] == "ValueError"
+
+    def test_file_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.configure(jsonl_path=path)
+        with obs.span("to-file"):
+            pass
+        obs.clear_sinks()
+        (record,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record["path"] == "to-file"
+
+    def test_custom_event(self):
+        buf = io.StringIO()
+        obs.install_sink(obs.JsonlSink(buf))
+        obs.emit({"kind": "note", "msg": "hello"})
+        obs.clear_sinks()
+        (record,) = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert record["kind"] == "note"
+
+    def test_no_sink_emit_is_noop(self):
+        obs.emit({"kind": "ignored"})  # must not raise

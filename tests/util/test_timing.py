@@ -1,12 +1,25 @@
-"""Tests for the Stopwatch helper."""
+"""Tests for the deprecated Stopwatch shim (error paths + warning)."""
+
+import warnings
 
 import pytest
 
 from repro.util import Stopwatch
 
 
+def _make_stopwatch() -> Stopwatch:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return Stopwatch()
+
+
+def test_construction_warns_deprecation():
+    with pytest.deprecated_call(match="repro.obs.span"):
+        Stopwatch()
+
+
 def test_accumulates_elapsed_time():
-    sw = Stopwatch()
+    sw = _make_stopwatch()
     with sw:
         pass
     first = sw.elapsed
@@ -16,13 +29,32 @@ def test_accumulates_elapsed_time():
 
 
 def test_double_start_raises():
-    sw = Stopwatch()
+    sw = _make_stopwatch()
     sw.start()
-    with pytest.raises(RuntimeError):
+    with pytest.raises(RuntimeError, match="already running"):
         sw.start()
     sw.stop()
 
 
 def test_stop_without_start_raises():
+    with pytest.raises(RuntimeError, match="not running"):
+        _make_stopwatch().stop()
+
+
+def test_stop_twice_raises():
+    sw = _make_stopwatch()
+    sw.start()
+    sw.stop()
+    with pytest.raises(RuntimeError, match="not running"):
+        sw.stop()
+
+
+def test_context_manager_restarts_after_error_path():
+    sw = _make_stopwatch()
     with pytest.raises(RuntimeError):
-        Stopwatch().stop()
+        with sw:
+            sw.start()  # double start inside the context
+    # The context manager stopped the watch on exit; it is reusable.
+    with sw:
+        pass
+    assert sw.elapsed >= 0.0
