@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast lint lint-self tables
+
+test:            ## full test suite
+	$(PYTHON) -m pytest
+
+test-fast:       ## skip the slow end-to-end tests
+	$(PYTHON) -m pytest -m "not slow"
+
+lint:            ## static analysis of the evaluation designs
+	$(PYTHON) -m repro.lint figure1
+	$(PYTHON) -m repro.lint avr
+	$(PYTHON) -m repro.lint msp430
+
+lint-self:       ## self-lint every fixture-produced netlist (zero errors)
+	$(PYTHON) -m pytest -m lint_self -q
+
+tables:          ## regenerate the paper's tables and figures
+	$(PYTHON) -m repro.eval all

@@ -90,6 +90,9 @@ class SearchResult:
     parameters: SearchParameters
     wire_results: list[WireSearchResult]
     runtime_seconds: float
+    #: Static soundness audit of the found MATEs (``find_mates(audit=True)``);
+    #: a :class:`repro.lint.static_mate.MateAudit` or ``None`` when not run.
+    audit: object | None = None
 
     @property
     def num_faulty_wires(self) -> int:
@@ -480,12 +483,16 @@ def find_mates(
     netlist: Netlist,
     faulty_wires: dict[str, str] | None = None,
     params: SearchParameters | None = None,
+    audit: bool = False,
 ) -> SearchResult:
     """Run the MATE search for a set of faulty wires.
 
     ``faulty_wires`` maps fault wire → owning DFF name; by default every
     flip-flop Q output in the netlist is a faulty wire (the paper's
-    flip-flop-level SEU fault model).
+    flip-flop-level SEU fault model). With ``audit=True`` every found MATE
+    is re-proven by the static soundness checker
+    (:mod:`repro.lint.static_mate`) after the search; the aggregate lands
+    in :attr:`SearchResult.audit`.
     """
     params = params or SearchParameters()
     if faulty_wires is None:
@@ -502,11 +509,20 @@ def find_mates(
                 result = _search_wire(netlist, wire, dff_name, params, engine)
             record_search_metrics(result)
             results.append(result)
+    audit_result = None
+    if audit:
+        from repro.lint.static_mate import audit_mates
+
+        pairs = [(r.wire, mate) for r in results for mate in r.mates]
+        with span("mate-audit", netlist=netlist.name, mates=len(pairs)):
+            audit_result = audit_mates(netlist, pairs, engine=engine)
+        counter("search.audit.refuted").inc(audit_result.refuted)
     return SearchResult(
         netlist_name=netlist.name,
         parameters=params,
         wire_results=results,
         runtime_seconds=time.perf_counter() - started,
+        audit=audit_result,
     )
 
 

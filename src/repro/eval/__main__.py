@@ -16,6 +16,11 @@ Observability (see README "Observability" and :mod:`repro.obs`)::
     python -m repro.eval all --events-out events.jsonl       # span stream
     python -m repro.eval table2 --verbose    # progress lines + summary table
     python -m repro.eval all --prometheus-out metrics.prom   # Prometheus text
+
+Static analysis (see README "Static analysis" and :mod:`repro.lint`)::
+
+    python -m repro.eval table1 --lint-report audit.json   # archive the
+    # lint + static-MATE-soundness audit of every search the run used
 """
 
 from __future__ import annotations
@@ -54,6 +59,25 @@ def _run_experiment(name: str) -> str:
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def _write_lint_report(path: str) -> None:
+    """Audit every search the run used and archive the reports as JSON."""
+    import json
+    from pathlib import Path
+
+    from repro.eval.context import completed_searches, get_netlist
+    from repro.lint import LintTarget, run_lint
+
+    reports = []
+    for (core, suffix), search in sorted(completed_searches().items()):
+        target = LintTarget.for_search(
+            get_netlist(core), search, name=f"{core}-{suffix}"
+        )
+        reports.append(run_lint(target).to_dict())
+    doc = {"version": 1, "reports": reports}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"lint report: {len(reports)} search audit(s) written to {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -81,6 +105,12 @@ def main(argv: list[str] | None = None) -> int:
         help="write the metrics in Prometheus text format to PATH on exit",
     )
     parser.add_argument(
+        "--lint-report",
+        metavar="PATH",
+        help="write a JSON lint report (netlist rules + static MATE "
+        "soundness audit) for every MATE search this run used",
+    )
+    parser.add_argument(
         "--verbose",
         "-v",
         action="store_true",
@@ -89,7 +119,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     # Fail fast on unwritable output paths — not after a long experiment run.
-    for path in (args.metrics_out, args.events_out, args.prometheus_out):
+    for path in (args.metrics_out, args.events_out, args.prometheus_out,
+                 args.lint_report):
         if path:
             from pathlib import Path
 
@@ -120,6 +151,8 @@ def main(argv: list[str] | None = None) -> int:
                 text = _run_experiment(name)
             print(text)
             print()
+        if args.lint_report:
+            _write_lint_report(args.lint_report)
     finally:
         if args.metrics_out:
             obs.write_json(args.metrics_out)

@@ -169,6 +169,17 @@ def _search_from_json(text: str, params: SearchParameters) -> SearchResult:
     )
 
 
+#: Searches completed this process, keyed by (core, FF-set label). The
+#: ``--lint-report`` option of ``python -m repro.eval`` audits these so a
+#: campaign archives the static-soundness report alongside its metrics.
+_COMPLETED_SEARCHES: dict[tuple[str, str], SearchResult] = {}
+
+
+def completed_searches() -> dict[tuple[str, str], SearchResult]:
+    """Searches loaded or run so far: ``(core, "FF"|"noRF") -> result``."""
+    return dict(_COMPLETED_SEARCHES)
+
+
 @lru_cache(maxsize=None)
 def get_search(
     core: str,
@@ -189,12 +200,14 @@ def get_search(
         with span("mate-search", netlist=core, cached=True):
             result = _search_from_json(path.read_text(), params)
         record_search_metrics(result)
+        _COMPLETED_SEARCHES[(core, suffix)] = result
         return result
     counter("context.search.cache.miss").inc()
     netlist = get_netlist(core)
     wires = faulty_wires_for_dffs(netlist, exclude_register_file=exclude_register_file)
     result = find_mates(netlist, faulty_wires=wires, params=params)
     path.write_text(_search_to_json(result))
+    _COMPLETED_SEARCHES[(core, suffix)] = result
     return result
 
 
@@ -229,6 +242,7 @@ __all__ = [
     "MateSet",
     "cache_dir",
     "clear_disk_cache",
+    "completed_searches",
     "get_fault_wires",
     "get_mates",
     "get_netlist",

@@ -1,0 +1,194 @@
+"""Command-line lint runner.
+
+Usage::
+
+    python -m repro.lint figure1                  # named example circuit
+    python -m repro.lint avr --audit-mates        # core + cached MATE audit
+    python -m repro.lint design.json              # netlist in JSON form
+    python -m repro.lint design.v --format json   # structural Verilog
+    python -m repro.lint avr --write-baseline lint-baseline.json
+    python -m repro.lint avr --baseline lint-baseline.json
+    python -m repro.lint --list-rules
+
+Exits 1 when any error-severity finding remains after baseline
+suppression, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import write_baseline
+from repro.lint.registry import LintConfig, LintTarget, default_registry
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import run_lint
+
+#: Designs loadable by name (the evaluation circuits).
+NAMED_TARGETS = ("figure1", "avr", "msp430")
+
+
+def _load_target(name: str, audit_mates: bool) -> LintTarget:
+    """Resolve a CLI target argument to a :class:`LintTarget`."""
+    if name == "figure1":
+        from repro.eval.example_circuit import (
+            FIGURE1_FAULT_WIRES,
+            figure1_netlist,
+        )
+
+        netlist = figure1_netlist()
+        if not audit_mates:
+            return LintTarget.for_netlist(netlist)
+        from repro.core.search import find_mates
+
+        search = find_mates(
+            netlist, faulty_wires={w: "" for w in FIGURE1_FAULT_WIRES}
+        )
+        return LintTarget.for_search(netlist, search)
+    if name in ("avr", "msp430"):
+        from repro.eval.context import get_netlist, get_search
+
+        netlist = get_netlist(name)
+        if not audit_mates:
+            return LintTarget.for_netlist(netlist)
+        return LintTarget.for_search(netlist, get_search(name, False))
+
+    path = Path(name)
+    if not path.is_file():
+        raise ValueError(
+            f"target {name!r} is neither a named design "
+            f"({', '.join(NAMED_TARGETS)}) nor an existing file"
+        )
+    if audit_mates:
+        raise ValueError("--audit-mates requires a named design target")
+    from repro.cells.nangate15 import nangate15_library
+
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".json":
+        from repro.netlist.json_io import netlist_from_json
+
+        return LintTarget.for_netlist(netlist_from_json(text, nangate15_library()))
+    if path.suffix == ".v":
+        from repro.netlist.verilog import parse_verilog
+
+        return LintTarget.for_netlist(parse_verilog(text, nangate15_library()))
+    raise ValueError(f"unsupported netlist file type {path.suffix!r} (.json/.v)")
+
+
+def _split_ids(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _rule_catalog() -> str:
+    registry = default_registry()
+    rows = [("RULE", "LAYER", "SEVERITY", "SUMMARY")]
+    rows += [
+        (rule.id, rule.layer, str(rule.severity), rule.summary)
+        for rule in sorted(registry, key=lambda r: r.id)
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    return "\n".join(
+        f"{r[0]:<{widths[0]}}  {r[1]:<{widths[1]}}  {r[2]:<{widths[2]}}  {r[3]}"
+        for r in rows
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Cross-layer static analysis over netlists, RTL, and MATEs.",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        help=f"named design ({', '.join(NAMED_TARGETS)}) or a .json/.v netlist file",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="ID[,ID...]",
+        help="skip these rule ids",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="accept all current findings into a new baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--mate-budget",
+        type=int,
+        default=LintConfig.mate_budget_bits,
+        metavar="BITS",
+        help="free-wire budget of the static MATE enumeration (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--audit-mates",
+        action="store_true",
+        help="audit the design's (cached) MATE search with the static checker",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_catalog())
+        return 0
+    if args.target is None:
+        parser.error("a target is required (or use --list-rules)")
+
+    try:
+        target = _load_target(args.target, args.audit_mates)
+        report = run_lint(
+            target,
+            config=LintConfig(mate_budget_bits=args.mate_budget),
+            enable=_split_ids(args.rules),
+            disable=_split_ids(args.disable) or (),
+            baseline=args.baseline,
+        )
+    except (ValueError, KeyError, OSError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report)
+        print(f"baseline: accepted {count} finding(s) into {args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 1 if report.has_errors else 0
+
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. `... --list-rules | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

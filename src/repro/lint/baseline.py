@@ -1,0 +1,55 @@
+"""Baseline suppression files.
+
+A baseline is a JSON file of diagnostic fingerprints that are *known and
+accepted*. The runner drops findings whose fingerprint appears in the
+baseline (counting them as ``suppressed``), so a legacy design can be
+linted for regressions without first fixing every historical finding.
+Fingerprints are content-derived (rule + location + message), so a finding
+that moves or changes its message resurfaces automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.diagnostics import LintReport
+
+#: Schema version of the baseline file format.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Read the suppressed fingerprints from a baseline file."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "suppress" not in doc:
+        raise ValueError(f"baseline file {path} is not a suppression document")
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline file {path} has version {version!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    suppress = doc["suppress"]
+    if not isinstance(suppress, list) or not all(
+        isinstance(item, str) for item in suppress
+    ):
+        raise ValueError(f"baseline file {path}: 'suppress' must be a string list")
+    return frozenset(suppress)
+
+
+def write_baseline(path: str | Path, report: LintReport) -> int:
+    """Write a baseline accepting every finding of ``report``.
+
+    Returns the number of fingerprints written. Suppressed findings of the
+    producing run are *not* re-listed — re-run without a baseline first to
+    capture everything.
+    """
+    fingerprints = report.fingerprints()
+    doc = {
+        "version": BASELINE_VERSION,
+        "target": report.target,
+        "suppress": fingerprints,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return len(fingerprints)

@@ -1,0 +1,168 @@
+"""Diagnostics data model of the static-analysis layer.
+
+A :class:`Diagnostic` is one finding: a stable rule id, a severity, the
+layer the rule reasons about (``netlist``/``rtl``/``synth``/``mate``), a
+human-readable location, the message, and an optional fix hint. Findings are
+collected into a :class:`LintReport`, which knows severity counts and the
+process exit code the CLI should produce.
+
+Every diagnostic has a stable :meth:`~Diagnostic.fingerprint` derived from
+(rule, location, message); baseline suppression files store fingerprints so
+known findings can be acknowledged without silencing the rule.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """Finding severity; ``ERROR`` makes the lint run fail."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank, highest = most severe (for sorting)."""
+        return {"error": 3, "warning": 2, "info": 1}[self.value]
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity name (case-insensitive)."""
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r} (expected error/warning/info)"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    rule: str
+    severity: Severity
+    layer: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable id of this finding, used by baseline suppression files."""
+        blob = f"{self.rule}|{self.location}|{self.message}"
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-ready representation (reporters and ``--format json``)."""
+        doc = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "layer": self.layer,
+            "location": self.location,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.hint:
+            doc["hint"] = self.hint
+        return doc
+
+    def __str__(self) -> str:
+        return f"{self.severity}: [{self.rule}] {self.location}: {self.message}"
+
+
+def _sort_key(diagnostic: Diagnostic) -> tuple:
+    return (-diagnostic.severity.rank, diagnostic.rule, diagnostic.location,
+            diagnostic.message)
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run over one target."""
+
+    target: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Findings dropped because their fingerprint is in the baseline file.
+    suppressed: int = 0
+    #: Rule ids that were skipped because the target lacks a required facet.
+    skipped_rules: list[str] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one finding."""
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append several findings."""
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Findings ordered most-severe-first, then by rule and location."""
+        return sorted(self.diagnostics, key=_sort_key)
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at one severity."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def num_errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def num_warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def num_infos(self) -> int:
+        return self.count(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        """True when the CLI must exit nonzero."""
+        return self.num_errors > 0
+
+    def by_rule(self) -> dict[str, int]:
+        """Finding counts per rule id."""
+        return dict(Counter(d.rule for d in self.diagnostics))
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        """All findings at one severity, sorted."""
+        return [d for d in self.sorted() if d.severity is severity]
+
+    def fingerprints(self) -> list[str]:
+        """Fingerprints of all findings (baseline-file content)."""
+        return sorted(d.fingerprint() for d in self.diagnostics)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the whole report."""
+        return {
+            "target": self.target,
+            "summary": {
+                "errors": self.num_errors,
+                "warnings": self.num_warnings,
+                "infos": self.num_infos,
+                "suppressed": self.suppressed,
+            },
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LintReport({self.target!r}: {self.num_errors} errors, "
+            f"{self.num_warnings} warnings, {self.num_infos} infos, "
+            f"{self.suppressed} suppressed)"
+        )

@@ -1,0 +1,253 @@
+"""Rule registry and lint targets.
+
+A :class:`LintRule` couples a stable id with the layer it reasons about, a
+default severity, the target facets it needs (``netlist``, ``circuit``,
+``mates``), and a check function ``check(target, config) -> iterable of
+Diagnostic``. Rules register themselves into the process-global registry via
+the :func:`rule` decorator at import time; :func:`default_registry` imports
+all built-in rule modules and returns that registry.
+
+A :class:`LintTarget` bundles whatever artifacts are available for one
+design — the gate-level netlist, the word-level RTL circuit it came from,
+and discovered MATEs — so cross-layer rules can correlate them. Rules whose
+required facets are missing are skipped (and recorded on the report).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.mate import Mate
+    from repro.core.search import SearchResult
+    from repro.netlist.netlist import Netlist
+    from repro.rtl.circuit import RtlCircuit
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable knobs shared by all rules."""
+
+    #: Budget for the static MATE checker's exhaustive stage: the check is
+    #: skipped (``info``) when more than this many free variables survive
+    #: the implication closure and the difference-propagation pruning.
+    mate_budget_bits: int = 16
+    #: Maximum literals printed per MATE counterexample before eliding.
+    counterexample_wires: int = 12
+
+
+@dataclass
+class LintTarget:
+    """The artifacts one lint run reasons about."""
+
+    name: str
+    netlist: "Netlist | None" = None
+    circuit: "RtlCircuit | None" = None
+    #: ``(fault_wire, mate)`` pairs to audit with the static MATE checker.
+    mates: tuple[tuple[str, "Mate"], ...] = ()
+
+    @classmethod
+    def for_netlist(cls, netlist: "Netlist", name: str | None = None) -> "LintTarget":
+        """Target holding only a gate-level netlist."""
+        return cls(name=name or netlist.name, netlist=netlist)
+
+    @classmethod
+    def for_circuit(
+        cls,
+        circuit: "RtlCircuit",
+        netlist: "Netlist | None" = None,
+        name: str | None = None,
+    ) -> "LintTarget":
+        """Target holding an RTL circuit (plus its synthesized netlist, if
+        available, which enables the cross-layer synth rules)."""
+        return cls(name=name or circuit.name, circuit=circuit, netlist=netlist)
+
+    @classmethod
+    def for_mates(
+        cls,
+        netlist: "Netlist",
+        mates: Iterable["Mate"],
+        name: str | None = None,
+    ) -> "LintTarget":
+        """Target auditing a MATE collection against its netlist.
+
+        Each MATE is checked once per fault wire it covers.
+        """
+        pairs = tuple(
+            (wire, mate) for mate in mates for wire in sorted(mate.fault_wires)
+        )
+        return cls(name=name or netlist.name, netlist=netlist, mates=pairs)
+
+    @classmethod
+    def for_search(
+        cls,
+        netlist: "Netlist",
+        search: "SearchResult",
+        name: str | None = None,
+    ) -> "LintTarget":
+        """Target auditing every MATE a search produced, per fault wire."""
+        pairs = tuple(
+            (result.wire, mate)
+            for result in search.wire_results
+            for mate in result.mates
+        )
+        return cls(name=name or search.netlist_name, netlist=netlist, mates=pairs)
+
+    def facets(self) -> frozenset[str]:
+        """Which facets this target can offer to rules."""
+        present = set()
+        if self.netlist is not None:
+            present.add("netlist")
+        if self.circuit is not None:
+            present.add("circuit")
+        if self.mates:
+            present.add("mates")
+        return frozenset(present)
+
+
+CheckFunction = Callable[[LintTarget, LintConfig], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered static-analysis rule."""
+
+    id: str
+    layer: str
+    severity: Severity
+    summary: str
+    requires: tuple[str, ...]
+    check: CheckFunction
+    #: Free-form grouping labels; ``validate`` marks the structural rules
+    #: the legacy :func:`repro.netlist.validate.validate_netlist` runs.
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def applicable(self, target: LintTarget) -> bool:
+        """True when the target offers every facet this rule needs."""
+        return set(self.requires) <= target.facets()
+
+    def diagnostic(
+        self,
+        location: str,
+        message: str,
+        hint: str = "",
+        severity: Severity | None = None,
+    ) -> Diagnostic:
+        """Build a finding attributed to this rule."""
+        return Diagnostic(
+            rule=self.id,
+            severity=severity or self.severity,
+            layer=self.layer,
+            location=location,
+            message=message,
+            hint=hint,
+        )
+
+
+class RuleRegistry:
+    """An ordered, id-indexed collection of lint rules."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, LintRule] = {}
+
+    def register(self, rule: LintRule) -> LintRule:
+        """Add a rule; duplicate ids are rejected."""
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate lint rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def __iter__(self) -> Iterator[LintRule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def get(self, rule_id: str) -> LintRule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown lint rule {rule_id!r} (known: {sorted(self._rules)})"
+            ) from None
+
+    def ids(self) -> list[str]:
+        """All registered rule ids, in registration order."""
+        return list(self._rules)
+
+    def select(
+        self,
+        enable: Iterable[str] | None = None,
+        disable: Iterable[str] = (),
+        tags: Iterable[str] | None = None,
+    ) -> list[LintRule]:
+        """Resolve an enable/disable selection to a concrete rule list.
+
+        ``enable=None`` means "all rules"; unknown ids in either list raise
+        so typos fail loudly instead of silently skipping a rule. ``tags``
+        restricts the result to rules carrying at least one of the tags.
+        """
+        for rule_id in list(enable or ()) + list(disable):
+            if rule_id not in self._rules:
+                raise KeyError(
+                    f"unknown lint rule {rule_id!r} (known: {sorted(self._rules)})"
+                )
+        chosen = (
+            list(self._rules.values())
+            if enable is None
+            else [self._rules[rule_id] for rule_id in enable]
+        )
+        banned = set(disable)
+        chosen = [rule for rule in chosen if rule.id not in banned]
+        if tags is not None:
+            wanted = set(tags)
+            chosen = [rule for rule in chosen if rule.tags & wanted]
+        return chosen
+
+
+#: Process-global registry the built-in rule modules register into.
+_DEFAULT_REGISTRY = RuleRegistry()
+
+
+def rule(
+    id: str,  # noqa: A002 - mirrors the diagnostic field name
+    layer: str,
+    severity: Severity,
+    summary: str,
+    requires: tuple[str, ...],
+    tags: Iterable[str] = (),
+    registry: RuleRegistry | None = None,
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Decorator: register ``check(target, config)`` as a lint rule."""
+
+    def decorate(check: CheckFunction) -> CheckFunction:
+        (registry or _DEFAULT_REGISTRY).register(
+            LintRule(
+                id=id,
+                layer=layer,
+                severity=severity,
+                summary=summary,
+                requires=requires,
+                check=check,
+                tags=frozenset(tags),
+            )
+        )
+        return check
+
+    return decorate
+
+
+def default_registry() -> RuleRegistry:
+    """The registry holding every built-in rule (imports rule modules)."""
+    # Importing the rule modules has the side effect of registering their
+    # rules; repeat imports are no-ops.
+    from repro.lint import rules_netlist, rules_rtl, static_mate  # noqa: F401
+
+    return _DEFAULT_REGISTRY

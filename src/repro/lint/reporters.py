@@ -1,0 +1,47 @@
+"""Report rendering: aligned text for terminals, JSON for archival."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import LintReport
+
+
+def render_json(report: LintReport, indent: int = 2) -> str:
+    """The report as a JSON document (``--format json``)."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=False)
+
+
+def render_text(report: LintReport, show_hints: bool = True) -> str:
+    """The report as an aligned, severity-sorted text table."""
+    lines = [f"lint: {report.target}"]
+    diagnostics = report.sorted()
+    if diagnostics:
+        severity_width = max(len(str(d.severity)) for d in diagnostics)
+        rule_width = max(len(d.rule) for d in diagnostics)
+        location_width = max(len(d.location) for d in diagnostics)
+        for diagnostic in diagnostics:
+            lines.append(
+                f"{str(diagnostic.severity):<{severity_width}}  "
+                f"{diagnostic.rule:<{rule_width}}  "
+                f"{diagnostic.location:<{location_width}}  "
+                f"{diagnostic.message}"
+            )
+            if show_hints and diagnostic.hint:
+                pad = " " * (severity_width + rule_width + 4)
+                lines.append(f"{pad}hint: {diagnostic.hint}")
+    else:
+        lines.append("  no findings")
+    summary = (
+        f"summary: {report.num_errors} error(s), "
+        f"{report.num_warnings} warning(s), {report.num_infos} info(s)"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed by baseline")
+    if report.skipped_rules:
+        extras.append(f"{len(report.skipped_rules)} rule(s) not applicable")
+    if extras:
+        summary += f" [{'; '.join(extras)}]"
+    lines.append(summary)
+    return "\n".join(lines)

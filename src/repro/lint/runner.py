@@ -1,0 +1,62 @@
+"""The lint runner: rule selection, execution, baseline filtering.
+
+Instrumented through :mod:`repro.obs`: the whole run is a ``lint.run``
+span, per-rule cost lands in ``lint.rule`` child spans, and every emitted
+finding increments a ``lint.findings.<rule id>`` counter so campaigns can
+chart findings-per-rule over time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline
+from repro.lint.diagnostics import LintReport
+from repro.lint.registry import (
+    LintConfig,
+    LintTarget,
+    RuleRegistry,
+    default_registry,
+)
+from repro.obs import counter, span
+
+
+def run_lint(
+    target: LintTarget,
+    config: LintConfig | None = None,
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] = (),
+    tags: Iterable[str] | None = None,
+    baseline: str | Path | frozenset[str] | None = None,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Run the (selected) rules over one target and collect a report.
+
+    ``enable=None`` runs every registered rule; rules whose required facets
+    the target lacks are skipped and recorded on the report. ``baseline``
+    accepts a fingerprint set or a baseline-file path; matching findings
+    are dropped and counted as suppressed.
+    """
+    config = config or LintConfig()
+    registry = registry or default_registry()
+    rules = registry.select(enable=enable, disable=disable, tags=tags)
+    if isinstance(baseline, (str, Path)):
+        baseline = load_baseline(baseline)
+    suppressed_fingerprints = baseline or frozenset()
+
+    report = LintReport(target=target.name)
+    with span("lint.run", target=target.name, rules=len(rules)):
+        for rule in rules:
+            if not rule.applicable(target):
+                report.skipped_rules.append(rule.id)
+                continue
+            with span("lint.rule", rule=rule.id):
+                findings = list(rule.check(target, config))
+            for diagnostic in findings:
+                if diagnostic.fingerprint() in suppressed_fingerprints:
+                    report.suppressed += 1
+                    continue
+                counter(f"lint.findings.{diagnostic.rule}").inc()
+                report.add(diagnostic)
+    return report

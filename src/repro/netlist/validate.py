@@ -3,11 +3,18 @@
 Checks the invariants the rest of the pipeline (simulation, cone analysis,
 MATE search) relies on: single drivers, no dangling wires, no combinational
 cycles, known cells, complete pin maps.
+
+Since the introduction of :mod:`repro.lint`, the individual checks live as
+``validate``-tagged rules in :mod:`repro.lint.rules_netlist`, where they
+report *all* problems as structured diagnostics instead of bailing at the
+first batch. :func:`validate_netlist` remains the back-compat entry point:
+it runs that rule subset and raises :class:`NetlistError` when anything is
+found.
 """
 
 from __future__ import annotations
 
-from repro.netlist.netlist import CONST_WIRES, Gate, Netlist
+from repro.netlist.netlist import Gate, Netlist
 
 
 class NetlistError(Exception):
@@ -23,63 +30,23 @@ def validate_netlist(netlist: Netlist, allow_dangling_outputs: bool = True) -> N
 
     ``allow_dangling_outputs`` tolerates gate outputs that nothing reads
     (harmless, and common right after dead-logic elimination keeps observable
-    gates only).
+    gates only); strict mode escalates the ``net.dead-gate`` lint rule into
+    the fatal set.
+
+    For non-fatal reporting — severities, locations, fix hints, the full
+    rule catalog — run :func:`repro.lint.run_lint` (or ``python -m
+    repro.lint``) instead.
     """
+    # Imported lazily: repro.lint imports the netlist data model, so a
+    # module-level import here would be circular via repro.netlist.__init__.
+    from repro.lint.registry import LintConfig, LintTarget, default_registry
+
+    tags = {"validate"} if allow_dangling_outputs else {"validate", "strict-validate"}
+    target = LintTarget.for_netlist(netlist)
+    config = LintConfig()
     problems: list[str] = []
-
-    # Every cell must exist and (checked at add time, re-checked here for
-    # netlists built via i/o paths) every pin must be wired.
-    for gate in netlist.gates.values():
-        if gate.cell not in netlist.library:
-            problems.append(f"gate {gate.name}: unknown cell {gate.cell}")
-            continue
-        cell = netlist.library[gate.cell]
-        missing = set(cell.inputs) - set(gate.inputs)
-        if missing:
-            problems.append(f"gate {gate.name}: unconnected pins {sorted(missing)}")
-
-    # Single-driver rule (driver_map raises on double drive).
-    try:
-        drivers = netlist.driver_map()
-    except ValueError as exc:
-        raise NetlistError([str(exc)]) from exc
-
-    # Every read wire must have a driver.
-    for gate in netlist.gates.values():
-        for pin, wire in gate.inputs.items():
-            if wire not in drivers:
-                problems.append(f"gate {gate.name}.{pin}: undriven wire {wire}")
-    for dff in netlist.dffs.values():
-        if dff.d not in drivers:
-            problems.append(f"DFF {dff.name}.D: undriven wire {dff.d}")
-    for wire in netlist.outputs:
-        if wire not in drivers:
-            problems.append(f"primary output {wire} undriven")
-
-    # Primary inputs must not also be driven internally.
-    for wire in netlist.inputs:
-        driver = drivers.get(wire)
-        if driver not in ("input",):
-            problems.append(f"primary input {wire} also driven by {driver}")
-
-    # Constants are reserved.
-    for gate in netlist.gates.values():
-        if gate.output in CONST_WIRES:
-            problems.append(f"gate {gate.name} drives constant {gate.output}")
-
-    # No combinational cycles.
-    try:
-        netlist.topological_gates()
-    except ValueError as exc:
-        problems.append(str(exc))
-
-    if not allow_dangling_outputs:
-        readers = netlist.reader_map()
-        sinks = set(netlist.outputs) | netlist.dff_d_wires()
-        for gate in netlist.gates.values():
-            if gate.output not in sinks and gate.output not in readers:
-                problems.append(f"gate {gate.name}: dangling output {gate.output}")
-
+    for rule in default_registry().select(tags=tags):
+        problems.extend(d.message for d in rule.check(target, config))
     if problems:
         raise NetlistError(problems)
 

@@ -1,0 +1,84 @@
+"""Tests for the diagnostics data model (Diagnostic, LintReport, Severity)."""
+
+import pytest
+
+from repro.lint import Diagnostic, LintReport, Severity
+
+
+def _diag(rule="net.x", severity=Severity.ERROR, location="n:gate g",
+          message="boom", hint=""):
+    return Diagnostic(rule=rule, severity=severity, layer="netlist",
+                      location=location, message=message, hint=hint)
+
+
+class TestSeverity:
+    def test_rank_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+    def test_parse_case_insensitive(self):
+        assert Severity.parse("ERROR") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_str_is_value(self):
+        assert str(Severity.INFO) == "info"
+
+
+class TestDiagnostic:
+    def test_fingerprint_stable_and_content_derived(self):
+        a = _diag()
+        assert a.fingerprint() == _diag().fingerprint()
+        assert a.fingerprint() != _diag(message="other").fingerprint()
+        assert a.fingerprint() != _diag(location="n:gate h").fingerprint()
+        # The hint is presentation, not identity.
+        assert a.fingerprint() == _diag(hint="try this").fingerprint()
+
+    def test_to_dict_omits_empty_hint(self):
+        doc = _diag().to_dict()
+        assert doc["severity"] == "error"
+        assert "hint" not in doc
+        assert _diag(hint="fix it").to_dict()["hint"] == "fix it"
+
+    def test_str_mentions_rule_and_location(self):
+        text = str(_diag())
+        assert "net.x" in text and "n:gate g" in text
+
+
+class TestLintReport:
+    def test_counts_and_exit_condition(self):
+        report = LintReport(target="t")
+        report.add(_diag(severity=Severity.WARNING))
+        assert not report.has_errors
+        report.extend([_diag(), _diag(rule="net.y", severity=Severity.INFO)])
+        assert report.num_errors == 1
+        assert report.num_warnings == 1
+        assert report.num_infos == 1
+        assert report.has_errors
+        assert len(report) == 3
+
+    def test_sorted_most_severe_first(self):
+        report = LintReport(target="t")
+        report.add(_diag(rule="z.rule", severity=Severity.INFO))
+        report.add(_diag(rule="b.rule", severity=Severity.ERROR))
+        report.add(_diag(rule="a.rule", severity=Severity.ERROR))
+        ordered = report.sorted()
+        assert [d.severity for d in ordered] == [
+            Severity.ERROR, Severity.ERROR, Severity.INFO]
+        assert [d.rule for d in ordered[:2]] == ["a.rule", "b.rule"]
+
+    def test_by_rule_counts(self):
+        report = LintReport(target="t")
+        report.extend([_diag(), _diag(message="again"), _diag(rule="net.y")])
+        assert report.by_rule() == {"net.x": 2, "net.y": 1}
+
+    def test_to_dict_summary(self):
+        report = LintReport(target="t", suppressed=2)
+        report.add(_diag())
+        doc = report.to_dict()
+        assert doc["target"] == "t"
+        assert doc["summary"] == {
+            "errors": 1, "warnings": 0, "infos": 0, "suppressed": 2}
+        assert doc["diagnostics"][0]["rule"] == "net.x"

@@ -1,0 +1,51 @@
+"""Self-lint: every netlist the project's own fixtures produce must be
+error-free under the full rule catalog (``pytest -m lint_self``, also
+reachable as ``make lint-self``)."""
+
+import pytest
+
+from repro.eval.example_circuit import figure1_netlist
+from repro.lint import LintTarget, run_lint
+from repro.rtl import RtlCircuit, mux
+from repro.synth import synthesize
+
+pytestmark = pytest.mark.lint_self
+
+
+def _small_datapath() -> RtlCircuit:
+    """A fixture-sized circuit exercising registers, muxes, and arithmetic."""
+    c = RtlCircuit("datapath")
+    a = c.input("a", 8)
+    enable = c.input("enable", 1)
+    acc = c.reg("acc", 8, init=0x10)
+    total = (acc + a).trunc(8)
+    acc.next = mux(enable, acc, total)
+    c.output("sum_out", total)
+    c.output("acc_out", acc)
+    c.finalize()
+    return c
+
+
+def _assert_error_free(netlist, circuit=None):
+    target = LintTarget.for_circuit(circuit, netlist=netlist) if circuit \
+        else LintTarget.for_netlist(netlist)
+    report = run_lint(target)
+    errors = [d for d in report if d.severity.value == "error"]
+    assert not errors, f"{netlist.name}: {[str(d) for d in errors[:5]]}"
+
+
+def test_figure1_is_error_free():
+    _assert_error_free(figure1_netlist())
+
+
+def test_synthesized_datapath_is_error_free():
+    circuit = _small_datapath()
+    _assert_error_free(synthesize(circuit), circuit)
+
+
+def test_avr_core_is_error_free(avr_sim):
+    _assert_error_free(avr_sim.compiled.netlist)
+
+
+def test_msp430_core_is_error_free(msp430_sim):
+    _assert_error_free(msp430_sim.compiled.netlist)

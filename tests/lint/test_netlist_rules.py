@@ -1,0 +1,190 @@
+"""Netlist-layer rule tests: each rule on a minimal netlist exhibiting its
+defect, including broken netlists the strict graph queries would raise on."""
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.lint import LintTarget, run_lint
+from repro.netlist import Netlist
+from repro.netlist.netlist import CONST1, Gate
+
+
+@pytest.fixture()
+def lib():
+    return nangate15_library()
+
+
+def _messages(netlist, rule_id):
+    report = run_lint(LintTarget.for_netlist(netlist), enable=[rule_id])
+    return [d.message for d in report]
+
+
+class TestStructuralRules:
+    def test_unknown_cell(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        # add_gate checks the library, so plant the broken gate directly.
+        n.gates["g"] = Gate("g", "BOGUS", {"A": "a"}, "y")
+        n.add_output("y")
+        (msg,) = _messages(n, "net.unknown-cell")
+        assert "unknown cell BOGUS" in msg
+
+    def test_pin_mismatch_missing(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.gates["g"] = Gate("g", "NAND2", {"A": "a"}, "y")
+        n.add_output("y")
+        (msg,) = _messages(n, "net.pin-mismatch")
+        assert "gate g (NAND2)" in msg and "unconnected pins ['B']" in msg
+
+    def test_pin_mismatch_extra_pin_reports_cell_name(self, lib):
+        # Regression: unknown/extra pins used to go unreported.
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.gates["g"] = Gate("g", "INV", {"A": "a", "ZZ": "a"}, "y")
+        n.add_output("y")
+        (msg,) = _messages(n, "net.pin-mismatch")
+        assert "gate g (INV)" in msg and "unknown pins ['ZZ']" in msg
+
+    def test_pin_mismatch_reports_both_directions(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.gates["g"] = Gate("g", "NAND2", {"A": "a", "ZZ": "a"}, "y")
+        n.add_output("y")
+        messages = _messages(n, "net.pin-mismatch")
+        assert len(messages) == 2
+        assert any("unconnected pins ['B']" in m for m in messages)
+        assert any("unknown pins ['ZZ']" in m for m in messages)
+
+    def test_multi_driven(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("g1", "INV", {"A": "a"}, "dd")
+        n.add_gate("g2", "INV", {"A": "b"}, "dd")
+        n.add_output("dd")
+        (msg,) = _messages(n, "net.multi-driven")
+        assert "wire dd driven more than once" in msg
+        assert "gate g1" in msg and "gate g2" in msg
+
+    def test_undriven_reports_each_read_site(self, lib):
+        n = Netlist("t", lib)
+        n.add_gate("g", "INV", {"A": "phantom"}, "y")
+        n.add_dff("f", d="ghost", q="q")
+        n.add_output("y")
+        n.add_output("nowhere")
+        messages = _messages(n, "net.undriven")
+        assert len(messages) == 3
+        assert any("g.A" in m and "phantom" in m for m in messages)
+        assert any("f.D" in m and "ghost" in m for m in messages)
+        assert any("output nowhere" in m for m in messages)
+
+    def test_input_driven(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("g", "INV", {"A": "b"}, "a")
+        (msg,) = _messages(n, "net.input-driven")
+        assert "primary input a also driven by gate g" in msg
+
+    def test_const_driven(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        # add_gate refuses constant outputs; plant the gate directly.
+        n.gates["g"] = Gate("g", "INV", {"A": "a"}, CONST1)
+        (msg,) = _messages(n, "net.const-driven")
+        assert f"gate g drives constant {CONST1}" in msg
+
+    def test_comb_loop_reports_cycle_path(self, lib):
+        n = Netlist("t", lib)
+        n.add_gate("g1", "INV", {"A": "w2"}, "w1")
+        n.add_gate("g2", "INV", {"A": "w1"}, "w2")
+        n.add_output("w1")
+        (msg,) = _messages(n, "net.comb-loop")
+        assert "combinational cycle" in msg
+        # The concrete path is printed and closes on itself.
+        assert "g1(w1)" in msg and "g2(w2)" in msg and " -> " in msg
+
+    def test_two_disjoint_loops_reported_separately(self, lib):
+        n = Netlist("t", lib)
+        n.add_gate("g1", "INV", {"A": "w2"}, "w1")
+        n.add_gate("g2", "INV", {"A": "w1"}, "w2")
+        n.add_gate("h1", "INV", {"A": "v2"}, "v1")
+        n.add_gate("h2", "INV", {"A": "v1"}, "v2")
+        assert len(_messages(n, "net.comb-loop")) == 2
+
+
+class TestQualityRules:
+    def test_dead_gate(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_gate("g", "INV", {"A": "a"}, "unused")
+        (msg,) = _messages(n, "net.dead-gate")
+        assert "dangling output unused" in msg
+
+    def test_output_gate_is_not_dead(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_gate("g", "INV", {"A": "a"}, "y")
+        n.add_output("y")
+        assert _messages(n, "net.dead-gate") == []
+
+    def test_dff_const_d_and_self_hold(self, lib):
+        n = Netlist("t", lib)
+        n.add_dff("frozen", d=CONST1, q="q1")
+        n.add_dff("stuck", d="q2", q="q2")
+        n.add_output("q1")
+        n.add_output("q2")
+        messages = _messages(n, "net.dff-const-d")
+        assert len(messages) == 2
+        assert any("frozen" in m and "constant" in m for m in messages)
+        assert any("stuck" in m and "own Q" in m for m in messages)
+
+    def test_dff_unread(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_dff("f", d="a", q="nobody_reads_me")
+        (msg,) = _messages(n, "net.dff-unread")
+        assert "f" in msg and "never read" in msg
+
+    def test_unreachable_cyclic_island(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_gate("ok", "INV", {"A": "a"}, "y")
+        n.add_output("y")
+        # An island fed only by its own feedback: driven, but unreachable.
+        n.add_gate("i1", "INV", {"A": "v2"}, "v1")
+        n.add_gate("i2", "INV", {"A": "v1"}, "v2")
+        messages = _messages(n, "net.unreachable")
+        assert len(messages) == 2
+        assert all("not reachable" in m for m in messages)
+
+    def test_undriven_inputs_not_double_reported_as_unreachable(self, lib):
+        n = Netlist("t", lib)
+        n.add_gate("g", "INV", {"A": "phantom"}, "y")
+        n.add_output("y")
+        assert _messages(n, "net.unreachable") == []
+
+    def test_no_masking_cell_flags_xor(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("x", "XOR2", {"A": "a", "B": "b"}, "y")
+        n.add_gate("m", "AND2", {"A": "a", "B": "b"}, "z")
+        n.add_output("y")
+        n.add_output("z")
+        messages = _messages(n, "net.no-masking-cell")
+        # XOR passes every fault through; AND masks via its 0-side.
+        assert len(messages) == 1
+        assert "XOR2" in messages[0]
+
+    def test_clean_netlist_has_no_findings(self, lib):
+        n = Netlist("t", lib)
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("g", "AND2", {"A": "a", "B": "b"}, "y")
+        n.add_dff("f", d="y", q="q")
+        n.add_output("q")
+        report = run_lint(LintTarget.for_netlist(n))
+        assert report.num_errors == 0
+        assert report.num_warnings == 0

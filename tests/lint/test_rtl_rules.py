@@ -1,0 +1,134 @@
+"""RTL- and synth-layer rule tests: corrupted expression trees, dead
+signals, registers without update paths, and dropped observable wires."""
+
+import pytest
+
+from repro.lint import LintTarget, run_lint
+from repro.rtl import RtlCircuit
+from repro.synth import synthesize
+
+
+def _messages(circuit, rule_id, netlist=None):
+    target = LintTarget.for_circuit(circuit, netlist=netlist)
+    report = run_lint(target, enable=[rule_id])
+    return [d.message for d in report]
+
+
+def _counter_circuit() -> RtlCircuit:
+    c = RtlCircuit("ctr")
+    step = c.input("step", 4)
+    count = c.reg("count", 4)
+    count.next = (count + step).trunc(4)
+    c.output("value", count)
+    return c
+
+
+class TestWidthMismatch:
+    def test_clean_circuit_passes(self):
+        assert _messages(_counter_circuit(), "rtl.width-mismatch") == []
+
+    def test_corrupted_annotation_detected(self):
+        c = _counter_circuit()
+        # Widths are fixed at construction; simulate post-hoc corruption.
+        c.outputs["value"].next.width = 9  # type: ignore[attr-defined]
+        messages = _messages(c, "rtl.width-mismatch")
+        assert messages, "corrupted width annotation must be reported"
+        assert any("width" in m for m in messages)
+
+    def test_operand_width_disagreement_detected(self):
+        c = RtlCircuit("t")
+        a = c.input("a", 4)
+        b = c.input("b", 4)
+        expr = a & b
+        expr.rhs.width = 8  # corrupt one operand after construction
+        c.output("y", expr)
+        messages = _messages(c, "rtl.width-mismatch")
+        assert any("operand widths differ" in m for m in messages)
+
+    def test_findings_capped_per_root(self):
+        c = RtlCircuit("t")
+        a = c.input("a", 4)
+        expr = a
+        for _ in range(8):
+            expr = ~expr
+            expr.width = 99
+        c.output("y", expr)
+        assert len(_messages(c, "rtl.width-mismatch")) <= 6
+
+
+class TestNoNext:
+    def test_unassigned_register_reported(self):
+        c = RtlCircuit("t")
+        r = c.reg("r", 4)
+        c.output("y", r)
+        (msg,) = _messages(c, "rtl.no-next")
+        assert "register r" in msg and "no next-value" in msg
+
+    def test_assigned_register_passes(self):
+        assert _messages(_counter_circuit(), "rtl.no-next") == []
+
+
+class TestUnusedSignal:
+    def test_dead_input_and_register(self):
+        c = RtlCircuit("t")
+        a = c.input("a", 4)
+        c.input("ignored", 4)
+        dead = c.reg("dead", 4)
+        dead.next = dead  # feeds only itself: dead state
+        c.output("y", a)
+        messages = _messages(c, "rtl.unused-signal")
+        assert len(messages) == 2
+        assert any("input ignored" in m for m in messages)
+        assert any("register dead" in m for m in messages)
+
+    def test_register_live_through_another_register(self):
+        c = RtlCircuit("t")
+        a = c.input("a", 4)
+        first = c.reg("first", 4)
+        second = c.reg("second", 4)
+        first.next = a
+        second.next = first
+        c.output("y", second)
+        assert _messages(c, "rtl.unused-signal") == []
+
+
+class TestDroppedWire:
+    def test_intact_synthesis_passes(self):
+        circuit = _counter_circuit()
+        netlist = synthesize(circuit)
+        assert _messages(circuit, "synth.dropped-wire", netlist=netlist) == []
+
+    def test_dropped_output_bits_detected(self):
+        circuit = _counter_circuit()
+        netlist = synthesize(circuit)
+        netlist.outputs = [w for w in netlist.outputs if not w.startswith("value")]
+        messages = _messages(circuit, "synth.dropped-wire", netlist=netlist)
+        assert any("output value" in m and "4/4 bits missing" in m
+                   for m in messages)
+
+    def test_dropped_state_bit_detected(self):
+        circuit = _counter_circuit()
+        netlist = synthesize(circuit)
+        victim = next(n for n, d in netlist.dffs.items()
+                      if d.q.startswith("count"))
+        del netlist.dffs[victim]
+        messages = _messages(circuit, "synth.dropped-wire", netlist=netlist)
+        assert any("register count" in m and "1/4 state bits" in m
+                   for m in messages)
+
+    def test_rule_skipped_without_netlist(self):
+        report = run_lint(LintTarget.for_circuit(_counter_circuit()),
+                          enable=["synth.dropped-wire"])
+        assert len(report) == 0
+        assert report.skipped_rules == ["synth.dropped-wire"]
+
+
+def test_unfinalized_circuit_never_raises():
+    """Lint must report on circuits finalize() would reject, not crash."""
+    c = RtlCircuit("t")
+    r = c.reg("r", 2)
+    c.output("y", r)
+    with pytest.raises(ValueError):
+        c.finalize()
+    report = run_lint(LintTarget.for_circuit(c))
+    assert any(d.rule == "rtl.no-next" for d in report)

@@ -1,0 +1,187 @@
+"""Static MATE soundness checker tests.
+
+Covers every verdict path (endpoint, closure-vacuous, propagation-sound,
+enumeration sound/refuted/vacuous, budget skip), the refutation
+counterexample on the paper's example circuit, the mate.* lint rules, and
+the guarantee that the checker works without any simulation.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.lint as lint_package
+from repro.cells import nangate15_library
+from repro.core.mate import Mate
+from repro.core.search import find_mates
+from repro.eval.example_circuit import FIGURE1_FAULT_WIRES, figure1_netlist
+from repro.lint import LintConfig, LintTarget, StaticMateChecker, audit_mates, run_lint
+from repro.netlist import Netlist
+
+
+@pytest.fixture()
+def figure1():
+    return figure1_netlist()
+
+
+def _figure1_search(netlist):
+    return find_mates(netlist, faulty_wires={w: "" for w in FIGURE1_FAULT_WIRES})
+
+
+# The paper's M_d = (!f & h) and a corrupted variant claiming (f & h).
+CORRECT_MD = Mate([("f", 0), ("h", 1)], ["d"])
+CORRUPTED_MD = Mate([("f", 1), ("h", 1)], ["d"])
+
+
+class TestVerdicts:
+    def test_paper_mates_sound_by_propagation(self, figure1):
+        checker = StaticMateChecker(figure1)
+        for mate, wire in [(CORRECT_MD, "d"), (Mate([("b", 0)], ["a"]), "a")]:
+            verdict = checker.check(wire, mate)
+            assert verdict.status == "sound"
+            assert verdict.method == "propagation"
+            assert verdict.is_sound
+
+    def test_corrupted_mate_refuted_with_counterexample(self, figure1):
+        verdict = StaticMateChecker(figure1).check("d", CORRUPTED_MD)
+        assert verdict.status == "refuted"
+        assert verdict.method == "enumeration"
+        # Concrete witness: with f=1 forced by the term, any c/d makes the
+        # flip on d visible at endpoint k = AND(XOR(c, d), f).
+        assert verdict.counterexample == (("c", 0), ("d", 0), ("f", 1))
+        assert verdict.diff_endpoints == ("k",)
+        assert not verdict.is_sound
+        assert "refuted" in verdict.describe()
+
+    def test_fault_on_endpoint_always_refuted(self, figure1):
+        # h is a primary output: no term over other wires can mask it.
+        verdict = StaticMateChecker(figure1).check("h", Mate([("a", 0)], ["h"]))
+        assert verdict.status == "refuted"
+        assert verdict.method == "endpoint"
+
+    def test_unsatisfiable_term_vacuous_via_closure(self, figure1):
+        # a=1 & b=1 forces f=NAND(a,b)=0, contradicting the f=1 literal.
+        mate = Mate([("a", 1), ("b", 1), ("f", 1)], ["d"])
+        verdict = StaticMateChecker(figure1).check("d", mate)
+        assert verdict.status == "vacuous"
+        assert verdict.method == "closure"
+        assert verdict.is_sound  # vacuous masking is still sound
+
+    def test_cone_literal_contradiction_vacuous_via_enumeration(self, figure1):
+        # g is inside the cone of d, so g's literal only filters golden
+        # rows: c=0 & d=0 makes g=XOR(0,0)=0, never 1 -> no valid row.
+        mate = Mate([("c", 0), ("d", 0), ("g", 1)], ["d"])
+        verdict = StaticMateChecker(figure1).check("d", mate)
+        assert verdict.status == "vacuous"
+        assert verdict.method == "enumeration"
+
+    def test_budget_skip(self, figure1):
+        verdict = StaticMateChecker(figure1, budget_bits=1).check(
+            "d", CORRUPTED_MD)
+        assert verdict.status == "skipped"
+        assert verdict.free_wires == 2
+        assert "budget" in verdict.describe()
+
+    def test_reconvergent_fanout_sound_by_enumeration(self):
+        # y = XOR(x, INV(x)) == 1 in both golden and faulty circuit, but
+        # difference propagation alone cannot see the cancellation.
+        n = Netlist("reconv", nangate15_library())
+        n.add_input("x")
+        n.add_gate("g1", "INV", {"A": "x"}, "nx")
+        n.add_gate("g2", "XOR2", {"A": "x", "B": "nx"}, "y")
+        n.add_output("y")
+        verdict = StaticMateChecker(n).check("x", Mate([], ["x"]))
+        assert verdict.status == "sound"
+        assert verdict.method == "enumeration"
+        assert verdict.assignments == 2
+
+
+class TestAudit:
+    def test_figure1_search_audit_all_sound(self, figure1):
+        search = _figure1_search(figure1)
+        pairs = [(r.wire, m) for r in search.wire_results for m in r.mates]
+        assert pairs, "the example circuit must yield MATEs"
+        audit = audit_mates(figure1, pairs)
+        assert audit.checked == len(pairs)
+        assert audit.sound == audit.checked
+        assert audit.refuted == audit.skipped == audit.vacuous == 0
+        assert audit.all_sound
+        assert audit.to_dict()["sound"] == audit.checked
+
+    def test_find_mates_audit_hook(self, figure1):
+        plain = _figure1_search(figure1)
+        assert plain.audit is None
+        audited = find_mates(
+            figure1,
+            faulty_wires={w: "" for w in FIGURE1_FAULT_WIRES},
+            audit=True,
+        )
+        assert audited.audit is not None
+        assert audited.audit.all_sound
+        assert audited.audit.checked == sum(
+            len(r.mates) for r in audited.wire_results)
+
+    def test_refutation_recorded(self, figure1):
+        audit = audit_mates(figure1, [("d", CORRUPTED_MD), ("d", CORRECT_MD)])
+        assert audit.checked == 2
+        assert audit.refuted == 1
+        assert not audit.all_sound
+        assert audit.refutations[0].counterexample is not None
+
+
+class TestMateRules:
+    def test_unsound_and_vacuous_rules(self, figure1):
+        vacuous = Mate([("a", 1), ("b", 1), ("f", 1)], ["d"])
+        target = LintTarget.for_mates(figure1, [CORRUPTED_MD, vacuous])
+        report = run_lint(target)
+        by_rule = report.by_rule()
+        assert by_rule.get("mate.unsound") == 1
+        assert by_rule.get("mate.vacuous") == 1
+        assert report.has_errors
+        (unsound,) = [d for d in report if d.rule == "mate.unsound"]
+        assert "fault wire d" in unsound.message
+        assert "f & h" in unsound.location
+
+    def test_budget_rule_downgrades_to_info(self, figure1):
+        target = LintTarget.for_mates(figure1, [CORRUPTED_MD])
+        report = run_lint(target, config=LintConfig(mate_budget_bits=1))
+        by_rule = report.by_rule()
+        assert by_rule.get("mate.budget-exceeded") == 1
+        assert "mate.unsound" not in by_rule
+        assert not report.has_errors
+
+    def test_verdicts_shared_across_rules(self, figure1, monkeypatch):
+        calls = {"n": 0}
+        original = StaticMateChecker.check_all
+
+        def counting(self, pairs):
+            calls["n"] += 1
+            return original(self, pairs)
+
+        monkeypatch.setattr(StaticMateChecker, "check_all", counting)
+        target = LintTarget.for_mates(figure1, [CORRUPTED_MD, CORRECT_MD])
+        run_lint(target)
+        assert calls["n"] == 1  # the three mate.* rules share one run
+
+
+class TestNoSimulation:
+    def test_checker_never_touches_the_simulator(self, figure1, monkeypatch):
+        search = _figure1_search(figure1)
+        pairs = [(r.wire, m) for r in search.wire_results for m in r.mates]
+        pairs.append(("d", CORRUPTED_MD))
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError("simulation invoked during static checking")
+
+        monkeypatch.setattr("repro.sim.compiler.CompiledNetlist.__init__", boom)
+        monkeypatch.setattr("repro.sim.simulator.Simulator.__init__", boom)
+        verdicts = StaticMateChecker(figure1).check_all(pairs)
+        assert len(verdicts) == len(pairs)
+        assert sum(1 for v in verdicts if v.status == "refuted") == 1
+
+    def test_lint_package_does_not_import_simulation(self):
+        package_dir = Path(lint_package.__file__).parent
+        for path in sorted(package_dir.glob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            assert "repro.sim" not in text, f"{path.name} references repro.sim"
+            assert "repro.trace" not in text, f"{path.name} references repro.trace"

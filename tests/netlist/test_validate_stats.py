@@ -53,6 +53,17 @@ class TestValidate:
         with pytest.raises(NetlistError, match="dangling"):
             validate_netlist(n, allow_dangling_outputs=False)
 
+    def test_extra_pin_reported_with_cell_name(self, lib):
+        # Regression: pins not in the cell definition used to pass silently.
+        from repro.netlist.netlist import Gate
+
+        n = Netlist("bad", lib)
+        n.add_input("a")
+        n.gates["g"] = Gate("g", "INV", {"A": "a", "QQ": "a"}, "y")
+        n.add_output("y")
+        with pytest.raises(NetlistError, match=r"g \(INV\).*unknown pins"):
+            validate_netlist(n)
+
     def test_multiple_problems_collected(self, lib):
         n = Netlist("bad", lib)
         n.add_gate("g", "INV", {"A": "p1"}, "y")
