@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint lint-self tables
+.PHONY: test test-fast lint lint-self ruff tables
 
 test:            ## full test suite
 	$(PYTHON) -m pytest
@@ -16,6 +16,9 @@ lint:            ## static analysis of the evaluation designs
 
 lint-self:       ## self-lint every fixture-produced netlist (zero errors)
 	$(PYTHON) -m pytest -m lint_self -q
+
+ruff:            ## style/import checks (requires ruff; CI installs it)
+	$(PYTHON) -m ruff check .
 
 tables:          ## regenerate the paper's tables and figures
 	$(PYTHON) -m repro.eval all

@@ -1,0 +1,81 @@
+"""SAT engine vs. exhaustive enumeration as the free border grows.
+
+Synthetic fault cones with a controllable number of free border wires:
+enumeration cost doubles per wire (2^k rows), while the CDCL engine's
+cost tracks the cone structure. Past ``mate_budget_bits`` (16) the
+enumeration stage refuses outright — those cones only the SAT engine
+decides.
+"""
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.core.mate import Mate
+from repro.lint import StaticMateChecker
+from repro.netlist import Netlist
+
+
+def _wide_cone(width: int, maskable: bool) -> Netlist:
+    """A fault on DFF output ``q`` feeding an AND chain over ``width``
+    border wires into the next-state endpoint.
+
+    ``maskable=True`` reconverges the chain with ``!x0`` — a wire inside
+    the cone, so the endpoint is identically zero on both rails and no
+    assignment propagates the difference (sound, but invisible to
+    stage-1 pruning); otherwise all-ones on the border is a
+    counterexample (refuted).
+    """
+    n = Netlist(f"cone{width}", nangate15_library())
+    n.add_dff("s", d="d_in", q="q")
+    previous = "q"
+    for i in range(width):
+        n.add_input(f"b{i}")
+        n.add_gate(f"g{i}", "AND2", {"A": previous, "B": f"b{i}"}, f"x{i}")
+        previous = f"x{i}"
+    if maskable:
+        n.add_gate("ginv", "INV", {"A": "x0"}, "nx0")
+        n.add_gate("gmask", "AND2", {"A": previous, "B": "nx0"}, "d_in")
+    else:
+        n.add_gate("gbuf", "BUF", {"A": previous}, "d_in")
+    return n
+
+
+def _check(netlist, engine, budget=64):
+    checker = StaticMateChecker(netlist, budget_bits=budget, engine=engine)
+    return checker.check("q", Mate([], ["q"]))
+
+
+@pytest.mark.parametrize("width", [8, 12, 14])
+@pytest.mark.parametrize("engine", ["enum", "sat"])
+def test_bench_refuted_cone(benchmark, width, engine):
+    """Both engines refute the uncovered cone; compare their scaling."""
+    netlist = _wide_cone(width, maskable=False)
+    verdict = benchmark.pedantic(
+        _check, args=(netlist, engine), rounds=3, iterations=1
+    )
+    assert verdict.status == "refuted"
+    assert verdict.free_wires == width + 1  # border plus the fault wire
+
+
+@pytest.mark.parametrize("width", [8, 12])
+@pytest.mark.parametrize("engine", ["enum", "sat"])
+def test_bench_sound_reconvergent_cone(benchmark, width, engine):
+    """Soundness proofs: 2^k rows for enum, one UNSAT proof for SAT."""
+    netlist = _wide_cone(width, maskable=True)
+    verdict = benchmark.pedantic(
+        _check, args=(netlist, engine), rounds=3, iterations=1
+    )
+    assert verdict.status == "sound"
+
+
+@pytest.mark.parametrize("width", [18, 24])
+def test_bench_sat_beyond_enumeration_budget(benchmark, width):
+    """Cones past the 16-wire budget: enumeration skips, SAT decides."""
+    netlist = _wide_cone(width, maskable=True)
+    skipped = _check(netlist, "enum", budget=16)
+    assert skipped.status == "skipped"
+    assert skipped.free_wires == width + 1
+    verdict = benchmark.pedantic(
+        _check, args=(netlist, "sat"), rounds=3, iterations=1
+    )
+    assert verdict.status == "sound"

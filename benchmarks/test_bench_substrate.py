@@ -4,7 +4,6 @@ Not a paper table, but the performance envelope everything else rests on —
 regressions here silently blow up the headline experiments.
 """
 
-import pytest
 
 from repro.cells import gate_masking_terms, nangate15_library
 from repro.core.cone import compute_fault_cone

@@ -36,7 +36,9 @@ class MaskingTerm:
 
     __slots__ = ("assignment",)
 
-    def __init__(self, assignment: dict[str, int] | tuple[tuple[str, int], ...]) -> None:
+    def __init__(
+        self, assignment: dict[str, int] | tuple[tuple[str, int], ...]
+    ) -> None:
         if isinstance(assignment, dict):
             items = tuple(sorted(assignment.items()))
         else:
@@ -65,7 +67,9 @@ class MaskingTerm:
     def conflicts_with(self, other: "MaskingTerm") -> bool:
         """True if the two terms assign opposite values to some pin."""
         mine = dict(self.assignment)
-        return any(pin in mine and mine[pin] != value for pin, value in other.assignment)
+        return any(
+            pin in mine and mine[pin] != value for pin, value in other.assignment
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MaskingTerm):

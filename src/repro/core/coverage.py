@@ -1,0 +1,196 @@
+"""Exact masking-coverage analysis: does *any* single-cycle MATE exist?
+
+When the greedy search reports ``no_mate`` for a flip-flop, that is a
+property of its candidate generation, not of the circuit. This module
+answers the exact question with one SAT query per fault wire: **is there
+any assignment of the cone's border wires under which an SEU on the wire
+is masked within the cycle?** A satisfying assignment is itself a
+(maximally specific) masking condition — coverage the search missed in
+principle; unsatisfiability proves the wire genuinely unmaskable at this
+border cut.
+
+Formally, with the dual-rail cone encoding (golden rail vs. faulty rail
+where the fault site is flipped), *maskable(w)* asks
+
+    ∃ border, fault-value assignment:  ∀ endpoints e: golden(e) == faulty(e)
+
+Although a masking condition must work for **both** polarities of the
+flipped state bit, one existential query suffices: swapping the golden and
+faulty rails maps a masking model at fault value ``g`` to one at ``¬g``
+while preserving every gate constraint and the endpoint equalities, so the
+property is fault-polarity symmetric. Witnesses are nevertheless
+re-validated by evaluating the cone with the cell truth tables under both
+polarities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.cone import FaultCone, compute_fault_cone
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.obs import counter, span
+
+#: Coverage statuses.
+MASKABLE = "maskable"
+UNMASKABLE = "unmaskable"
+ENDPOINT = "endpoint"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class CoverageVerdict:
+    """Exact maskability of one fault wire."""
+
+    fault_wire: str
+    #: ``maskable`` / ``unmaskable`` / ``endpoint`` / ``unknown``.
+    status: str
+    #: A border assignment that masks the flip (``maskable`` only).
+    witness: tuple[tuple[str, int], ...] | None = None
+    border_wires: int = 0
+    cone_gates: int = 0
+    #: Solver conflicts spent on the query.
+    conflicts: int = 0
+
+    @property
+    def is_maskable(self) -> bool:
+        return self.status == MASKABLE
+
+    def describe(self, max_wires: int = 12) -> str:
+        """One-line human summary (used by lint and the eval table)."""
+        if self.status == MASKABLE:
+            shown = list(self.witness or ())[:max_wires]
+            term = " & ".join(w if v else f"!{w}" for w, v in shown)
+            if self.witness and len(self.witness) > max_wires:
+                term += " & …"
+            return f"maskable under {{{term or 'any state'}}}"
+        if self.status == ENDPOINT:
+            return "endpoint: the wire crosses the cycle boundary directly"
+        if self.status == UNKNOWN:
+            return "unknown: conflict budget exhausted"
+        return "unmaskable: no border assignment masks the flip"
+
+
+def exact_maskability(
+    netlist: Netlist,
+    fault_wire: str,
+    cone: FaultCone | None = None,
+    max_conflicts: int | None = None,
+) -> CoverageVerdict:
+    """Decide, exactly, whether any single-cycle masking condition over the
+    border of ``fault_wire``'s cone exists.
+
+    ``max_conflicts`` caps the CDCL effort per query and yields an
+    ``unknown`` verdict when exhausted; ``None`` decides unconditionally.
+    """
+    from repro.formal import CnfBuilder, DualConeEncoder
+
+    if cone is None:
+        cone = compute_fault_cone(netlist, fault_wire)
+    counter("coverage.checked").inc()
+    if cone.fault_wire_is_endpoint:
+        counter("coverage.endpoint").inc()
+        return CoverageVerdict(
+            fault_wire=fault_wire,
+            status=ENDPOINT,
+            border_wires=len(cone.border_wires),
+            cone_gates=cone.num_gates,
+        )
+
+    with span("formal.coverage", wire=fault_wire, gates=cone.num_gates):
+        builder = CnfBuilder()
+        encoder = DualConeEncoder(netlist, builder)
+        for wire in sorted(cone.fault_wires):
+            encoder.inject_fault(wire)
+        encoder.encode_gates(cone.cone_gates)
+        for endpoint in sorted(cone.endpoint_wires):
+            encoder.assert_equal(endpoint)
+        outcome = builder.solver.solve(max_conflicts=max_conflicts)
+    conflicts = builder.solver.conflicts
+
+    if outcome is None:
+        counter("coverage.unknown").inc()
+        return CoverageVerdict(
+            fault_wire=fault_wire,
+            status=UNKNOWN,
+            border_wires=len(cone.border_wires),
+            cone_gates=cone.num_gates,
+            conflicts=conflicts,
+        )
+    if outcome is False:
+        counter("coverage.unmaskable").inc()
+        return CoverageVerdict(
+            fault_wire=fault_wire,
+            status=UNMASKABLE,
+            border_wires=len(cone.border_wires),
+            cone_gates=cone.num_gates,
+            conflicts=conflicts,
+        )
+
+    solver = builder.solver
+    witness: list[tuple[str, int]] = []
+    for wire in sorted(cone.border_wires):
+        if wire in (CONST0, CONST1):
+            continue
+        lit = encoder.golden_lit(wire)
+        value = solver.model_value(abs(lit))
+        witness.append((wire, value ^ 1 if lit < 0 else value))
+    verdict = CoverageVerdict(
+        fault_wire=fault_wire,
+        status=MASKABLE,
+        witness=tuple(witness),
+        border_wires=len(cone.border_wires),
+        cone_gates=cone.num_gates,
+        conflicts=conflicts,
+    )
+    for fault_value in (0, 1):
+        if not _masks(netlist, cone, dict(witness), fault_value):
+            raise RuntimeError(
+                f"coverage witness for {fault_wire} fails to mask at "
+                f"fault value {fault_value}"
+            )
+    counter("coverage.maskable").inc()
+    return verdict
+
+
+def _masks(
+    netlist: Netlist,
+    cone: FaultCone,
+    border: dict[str, int],
+    fault_value: int,
+) -> bool:
+    """Replay the cone with the cell truth tables: does ``border`` mask a
+    flip when the fault wires carry ``fault_value``?"""
+    golden: dict[str, int] = {CONST0: 0, CONST1: 1}
+    golden.update(border)
+    faulty = dict(golden)
+    for wire in cone.fault_wires:
+        golden[wire] = fault_value
+        faulty[wire] = fault_value ^ 1
+    library = netlist.library
+    for gate in cone.cone_gates:
+        function = library[gate.cell].function
+        assert function is not None
+        golden[gate.output] = function.evaluate(
+            {pin: golden[wire] for pin, wire in gate.inputs.items()}
+        )
+        faulty[gate.output] = function.evaluate(
+            {pin: faulty[wire] for pin, wire in gate.inputs.items()}
+        )
+    return all(
+        golden[endpoint] == faulty[endpoint]
+        for endpoint in cone.endpoint_wires
+    )
+
+
+def coverage_report(
+    netlist: Netlist,
+    fault_wires: Iterable[str],
+    max_conflicts: int | None = None,
+) -> list[CoverageVerdict]:
+    """Exact maskability of each wire, in the given order."""
+    return [
+        exact_maskability(netlist, wire, max_conflicts=max_conflicts)
+        for wire in fault_wires
+    ]

@@ -130,4 +130,7 @@ class MateSet:
         return (mean, variance**0.5)
 
     def __repr__(self) -> str:
-        return f"MateSet({len(self)} unique terms, {len(self.covered_fault_wires())} fault wires)"
+        return (
+            f"MateSet({len(self)} unique terms, "
+            f"{len(self.covered_fault_wires())} fault wires)"
+        )

@@ -72,7 +72,9 @@ class MultiCycleHeadroom:
 
     def format(self) -> str:
         """Human-readable per-window table."""
-        lines = [f"multi-cycle masking headroom ({self.sampled_points} sampled points):"]
+        lines = [
+            f"multi-cycle masking headroom ({self.sampled_points} sampled points):"
+        ]
         for k in self.windows:
             lines.append(f"  within {k:3d} cycle(s): {100 * self.fraction(k):6.2f}%")
         return "\n".join(lines)

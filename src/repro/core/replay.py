@@ -75,7 +75,9 @@ class ReplayResult:
             pairs[index] = int(self.trigger_counts[index]) * covered
         return pairs
 
-    def masked_vector(self, fault_wire: str, subset: Sequence[int] | None = None) -> np.ndarray:
+    def masked_vector(
+        self, fault_wire: str, subset: Sequence[int] | None = None
+    ) -> np.ndarray:
         """Bit-packed benign-cycle vector for one fault wire."""
         allowed = None if subset is None else set(subset)
         accumulator = np.zeros(self.triggered_packed.shape[1], dtype=np.uint8)
@@ -106,7 +108,9 @@ class ReplayResult:
             grid[row] = np.unpackbits(packed)[: self.num_cycles]
         return grid
 
-    def average_inputs(self, subset: Sequence[int] | None = None) -> tuple[float, float]:
+    def average_inputs(
+        self, subset: Sequence[int] | None = None
+    ) -> tuple[float, float]:
         """(mean, std) of #inputs over *effective* MATEs ("Avg. #inputs")."""
         effective = self.effective_indices(subset)
         if not effective:

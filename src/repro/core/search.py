@@ -221,7 +221,11 @@ def _search_wire(
     cone = compute_fault_cone(netlist, wire)
     with span("enumerate-paths"):
         enumeration = enumerate_paths(
-            netlist, wire, depth=params.depth, max_steps=params.max_path_steps, cone=cone
+            netlist,
+            wire,
+            depth=params.depth,
+            max_steps=params.max_path_steps,
+            cone=cone,
         )
     histogram("search.cone.gates").observe(cone.num_gates)
     histogram("search.paths.terms").observe(len(enumeration.terms))
@@ -240,7 +244,9 @@ def _search_wire(
     if not enumeration.signatures:
         # The fault propagates nowhere: benign in every cycle.
         mate = Mate((), [wire])
-        return WireSearchResult(status="found", candidates_tried=0, mates=[mate], **base)
+        return WireSearchResult(
+            status="found", candidates_tried=0, mates=[mate], **base
+        )
 
     checker = _ContaminationChecker(netlist, cone, engine)
     with span("generate-candidates"):
@@ -515,7 +521,7 @@ def find_mates(
 
         pairs = [(r.wire, mate) for r in results for mate in r.mates]
         with span("mate-audit", netlist=netlist.name, mates=len(pairs)):
-            audit_result = audit_mates(netlist, pairs, engine=engine)
+            audit_result = audit_mates(netlist, pairs, implications=engine)
         counter("search.audit.refuted").inc(audit_result.refuted)
     return SearchResult(
         netlist_name=netlist.name,

@@ -10,8 +10,8 @@ Sec. 6.3.
 
 from __future__ import annotations
 
-from repro.cpu.avr import isa
 from repro.core.intercycle import RegisterAccessModel
+from repro.cpu.avr import isa
 from repro.netlist.netlist import Netlist
 from repro.synth.lower import bit_name
 

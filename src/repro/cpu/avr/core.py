@@ -189,7 +189,9 @@ def build_avr_core() -> RtlCircuit:
         default=rd_val ^ b_main,
     )
 
-    shift_hi = parallel_case([(is_ror, flag_c), (is_asr, rd_val[7])], default=const(0, 1))
+    shift_hi = parallel_case(
+        [(is_ror, flag_c), (is_asr, rd_val[7])], default=const(0, 1)
+    )
     shift_res = cat(rd_val[1:8], shift_hi)
 
     is_add_class = is_add | is_adc | is_inc

@@ -178,7 +178,9 @@ class AvrIss:
             elif imm_op == "subi":
                 self.regs[rd] = self._alu_sub(a, value, 0)
             elif imm_op == "sbci":
-                self.regs[rd] = self._alu_sub(a, value, self._flag(isa.SREG_C), keep_z=True)
+                self.regs[rd] = self._alu_sub(
+                    a, value, self._flag(isa.SREG_C), keep_z=True
+                )
             elif imm_op == "cpi":
                 self._alu_sub(a, value, 0)
             elif imm_op == "andi":
@@ -277,7 +279,9 @@ class AvrIss:
                 self.regs[d5] = 0
             return
 
-        raise ValueError(f"unimplemented instruction {word:#06x} at pc={self.pc - 1:#x}")
+        raise ValueError(
+            f"unimplemented instruction {word:#06x} at pc={self.pc - 1:#x}"
+        )
 
     def run(self, max_instructions: int = 1_000_000) -> int:
         """Run until SLEEP or the instruction budget; returns retired count."""

@@ -214,7 +214,11 @@ def _encode(
         src = _parse_src(ops[0], labels, line_no, line)
         dst = _parse_dst(ops[1], labels, line_no, line)
         word = isa.encode_format1(
-            mnemonic, src.reg, src.mode, dst.reg, 1 if dst.mode == isa.MODE_INDEXED else 0
+            mnemonic,
+            src.reg,
+            src.mode,
+            dst.reg,
+            1 if dst.mode == isa.MODE_INDEXED else 0,
         )
         words = [word]
         if src.needs_ext:

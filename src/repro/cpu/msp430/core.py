@@ -34,7 +34,10 @@ def _mux16(select: Expr, values: list[Expr]) -> Expr:
     level = list(values)
     for bit_index in range(4):
         bit = select[bit_index]
-        level = [mux(bit, level[2 * i], level[2 * i + 1]) for i in range(len(level) // 2)]
+        level = [
+            mux(bit, level[2 * i], level[2 * i + 1])
+            for i in range(len(level) // 2)
+        ]
     return level[0]
 
 

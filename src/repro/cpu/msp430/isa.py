@@ -80,7 +80,9 @@ CONST_GENERATOR = {
 }
 
 
-def encode_format1(mnemonic: str, src: int, as_mode: int, dst: int, ad_mode: int) -> int:
+def encode_format1(
+    mnemonic: str, src: int, as_mode: int, dst: int, ad_mode: int
+) -> int:
     """Two-operand encoding: ``oooo ssss a b aa dddd``."""
     if not 0 <= src < 16 or not 0 <= dst < 16:
         raise ValueError("registers must be r0..r15")

@@ -119,7 +119,9 @@ class Msp430Iss:
             mode = (word >> 4) & 0x3
             reg = word & 0xF
             if mode != isa.MODE_REGISTER:
-                raise ValueError(f"format-II non-register mode unimplemented: {word:#x}")
+                raise ValueError(
+                    f"format-II non-register mode unimplemented: {word:#x}"
+                )
             operand = self.regs[reg]
             if func == isa.FORMAT2["rrc"]:
                 carry_in = self._flag(isa.SR_C)
@@ -188,7 +190,9 @@ class Msp430Iss:
         if mnemonic in ("add", "addc", "sub", "subc", "cmp"):
             if mnemonic in ("sub", "subc", "cmp"):
                 operand = (~src) & 0xFFFF
-                carry = 1 if mnemonic == "sub" or mnemonic == "cmp" else self._flag(isa.SR_C)
+                carry = (
+                    1 if mnemonic in ("sub", "cmp") else self._flag(isa.SR_C)
+                )
             else:
                 operand = src
                 carry = 0 if mnemonic == "add" else self._flag(isa.SR_C)

@@ -7,6 +7,7 @@ Usage::
     python -m repro.eval table3          # MSP430 MATE performance
     python -m repro.eval figure1         # example circuit + pruning grid
     python -m repro.eval hafi            # Sec. 6.1 hardware-cost figures
+    python -m repro.eval coverage        # SAT exact-coverage ceiling
     python -m repro.eval all             # everything above
     python -m repro.eval clear-cache     # drop cached traces/searches
 
@@ -56,6 +57,10 @@ def _run_experiment(name: str) -> str:
         from repro.eval.combined import build_combined
 
         return build_combined().format()
+    if name == "coverage":
+        from repro.eval.coverage_table import build_coverage_table
+
+        return build_coverage_table().format()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -87,7 +92,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "figure1", "hafi", "combined",
-                 "all", "clear-cache"],
+                 "coverage", "all", "clear-cache"],
     )
     parser.add_argument(
         "--metrics-out",
@@ -141,7 +146,8 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     wanted = (
-        ["figure1", "table1", "table2", "table3", "hafi", "combined"]
+        ["figure1", "table1", "table2", "table3", "hafi", "combined",
+         "coverage"]
         if args.experiment == "all"
         else [args.experiment]
     )

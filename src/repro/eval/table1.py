@@ -40,14 +40,19 @@ class Table1:
         rows = [
             ("Faulty Wires", [str(c.faulty_wires) for c in self.columns]),
             ("Avg. Cone [#gates]", [f"{c.avg_cone_gates:.0f}" for c in self.columns]),
-            ("Med. Cone [#gates]", [f"{c.median_cone_gates:.0f}" for c in self.columns]),
+            (
+                "Med. Cone [#gates]",
+                [f"{c.median_cone_gates:.0f}" for c in self.columns],
+            ),
             ("Run Time [s]", [f"{c.runtime_seconds:.0f}" for c in self.columns]),
             ("#Unmaskable", [str(c.num_unmaskable) for c in self.columns]),
             ("#MATE candid.", [f"{c.num_candidates:.1e}" for c in self.columns]),
             ("#MATE", [str(c.num_mates) for c in self.columns]),
             ("#MATE (unique)", [str(c.num_unique_mates) for c in self.columns]),
         ]
-        return _render("Table 1: Statistics of the heuristic MATE search", headers, rows)
+        return _render(
+            "Table 1: Statistics of the heuristic MATE search", headers, rows
+        )
 
 
 def _render(title: str, headers: list[str], rows: list[tuple[str, list[str]]]) -> str:

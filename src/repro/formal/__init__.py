@@ -1,0 +1,29 @@
+"""SAT-based proof engine for the pruning pipeline.
+
+Pure-stdlib CDCL SAT solving (:mod:`repro.formal.solver`), Tseitin
+encoding of cell truth tables and golden/faulty netlist cones
+(:mod:`repro.formal.encode`), and miter-based combinational equivalence
+checking (:mod:`repro.formal.miter`).  Consumed by the static MATE
+checker's ``engine="sat"`` backend, ``synthesize(..., verify=True)``,
+and the exact masking-coverage analysis.
+"""
+
+from repro.formal.encode import CnfBuilder, DualConeEncoder
+from repro.formal.miter import (
+    EquivalenceResult,
+    check_netlist_equivalence,
+    netlist_to_graph,
+)
+from repro.formal.solver import SAT, UNKNOWN, UNSAT, Solver
+
+__all__ = [
+    "SAT",
+    "UNKNOWN",
+    "UNSAT",
+    "CnfBuilder",
+    "DualConeEncoder",
+    "EquivalenceResult",
+    "Solver",
+    "check_netlist_equivalence",
+    "netlist_to_graph",
+]

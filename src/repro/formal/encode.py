@@ -1,0 +1,153 @@
+"""Tseitin encoding of cell functions and netlist cones to CNF.
+
+Two layers live here:
+
+* :class:`CnfBuilder` — a thin convenience wrapper around
+  :class:`~repro.formal.solver.Solver` that allocates variables, owns a
+  lazily created *true* literal for constants, and compiles a
+  :class:`~repro.cells.functions.BoolFunc` to clauses straight from its
+  truth table.  A cell with ``k`` pins yields ``2**k`` clauses of length
+  ``k + 1``: for every row ``r``, *(pins == r) implies (out == f(r))*.
+  With the library capped at 4 pins that is at most 16 clauses per gate
+  — small enough that no gate-specific encodings are needed.
+
+* :class:`DualConeEncoder` — the golden/faulty two-rail encoding used by
+  the MATE soundness and exact-coverage proofs.  Wires outside the fault
+  cone share one variable between both rails (they cannot diverge within
+  the cycle); the fault site's faulty rail is the *negation* of its
+  golden rail (an SEU flips it); a faulty copy of a gate is emitted only
+  when at least one of its input rails actually diverges, so the CNF
+  grows with the contaminated region, not the whole cone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.cells.functions import BoolFunc
+from repro.formal.solver import Solver
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+
+
+class CnfBuilder:
+    """Allocates CNF variables and encodes truth tables into a solver."""
+
+    def __init__(self, solver: Solver | None = None) -> None:
+        self.solver = solver or Solver()
+        self._true: int | None = None
+
+    def new_var(self) -> int:
+        return self.solver.new_var()
+
+    def add(self, *lits: int) -> None:
+        self.solver.add_clause(lits)
+
+    @property
+    def true_lit(self) -> int:
+        """A literal constrained to 1 (for encoding constant wires)."""
+        if self._true is None:
+            self._true = self.solver.new_var()
+            self.solver.add_clause((self._true,))
+        return self._true
+
+    def encode_function(
+        self, function: BoolFunc, pin_lits: Mapping[str, int], out_lit: int
+    ) -> None:
+        """Constrain ``out_lit == function(pins)`` row by row."""
+        lits = [pin_lits[pin] for pin in function.pins]
+        table = function.table
+        for row in range(1 << len(lits)):
+            clause = [
+                -lit if (row >> j) & 1 else lit for j, lit in enumerate(lits)
+            ]
+            clause.append(out_lit if (table >> row) & 1 else -out_lit)
+            self.add(*clause)
+
+    def encode_xor(self, a: int, b: int) -> int:
+        """A fresh literal equal to ``a XOR b``."""
+        d = self.new_var()
+        self.add(-d, a, b)
+        self.add(-d, -a, -b)
+        self.add(d, -a, b)
+        self.add(d, a, -b)
+        return d
+
+    def encode_equal(self, a: int, b: int) -> None:
+        """Constrain ``a == b``."""
+        self.add(-a, b)
+        self.add(a, -b)
+
+
+class DualConeEncoder:
+    """Golden/faulty CNF encoding of a topologically ordered gate slice."""
+
+    def __init__(self, netlist: Netlist, builder: CnfBuilder) -> None:
+        self.netlist = netlist
+        self.builder = builder
+        self.golden: dict[str, int] = {}
+        self.faulty: dict[str, int] = {}
+
+    def golden_lit(self, wire: str) -> int:
+        """The golden-rail literal of *wire* (allocated on first use)."""
+        lit = self.golden.get(wire)
+        if lit is None:
+            if wire == CONST0:
+                lit = -self.builder.true_lit
+            elif wire == CONST1:
+                lit = self.builder.true_lit
+            else:
+                lit = self.builder.new_var()
+            self.golden[wire] = lit
+        return lit
+
+    def faulty_lit(self, wire: str) -> int:
+        """The faulty-rail literal (defaults to the shared golden rail)."""
+        return self.faulty.get(wire, self.golden_lit(wire))
+
+    def inject_fault(self, wire: str) -> None:
+        """Model the SEU: the faulty rail is the flipped golden rail."""
+        self.faulty[wire] = -self.golden_lit(wire)
+
+    def fix(self, wire: str, value: int) -> None:
+        """Pin the (shared) golden rail of *wire* to a constant."""
+        lit = self.golden_lit(wire)
+        self.builder.add(lit if value else -lit)
+
+    def encode_gates(self, gates: Iterable[Gate]) -> None:
+        """Encode golden copies of *gates*, plus faulty copies where the
+        rails may diverge (must be called in topological order)."""
+        library = self.netlist.library
+        for gate in gates:
+            function = library[gate.cell].function
+            assert function is not None, f"sequential cell in cone: {gate.cell}"
+            golden_pins = {
+                pin: self.golden_lit(wire) for pin, wire in gate.inputs.items()
+            }
+            out = self.builder.new_var()
+            self.golden[gate.output] = out
+            self.builder.encode_function(function, golden_pins, out)
+            faulty_pins = {
+                pin: self.faulty_lit(wire) for pin, wire in gate.inputs.items()
+            }
+            if faulty_pins != golden_pins:
+                fout = self.builder.new_var()
+                self.faulty[gate.output] = fout
+                self.builder.encode_function(function, faulty_pins, fout)
+
+    def diff_lit(self, wire: str) -> int | None:
+        """A literal for *golden != faulty* on *wire*; ``None`` when the
+        rails are structurally identical (no divergence possible)."""
+        golden = self.golden_lit(wire)
+        faulty = self.faulty_lit(wire)
+        if faulty == golden:
+            return None
+        if faulty == -golden:
+            return self.builder.true_lit  # always differs (the fault site)
+        return self.builder.encode_xor(golden, faulty)
+
+    def assert_equal(self, wire: str) -> None:
+        """Constrain golden == faulty on *wire* (no-op if shared)."""
+        golden = self.golden_lit(wire)
+        faulty = self.faulty_lit(wire)
+        if faulty != golden:
+            self.builder.encode_equal(golden, faulty)

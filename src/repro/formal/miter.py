@@ -1,0 +1,344 @@
+"""Miter construction: combinational equivalence of two netlists.
+
+Both netlists are re-encoded into **one shared, simplifying**
+:class:`~repro.synth.bitgraph.BitGraph`: primary inputs and flip-flop Q
+wires become shared ``VAR`` leaves (keyed by wire name), and every gate
+is decomposed into the graph primitives its cell was tech-mapped from
+(``NAND3`` → ``NOT(AND(AND(a, b), c))`` and so on).  Because the graph's
+hash-consing and local rewrites are exactly the simplifications the
+optimizing synthesis pipeline applies, re-encoding an *unoptimized*
+netlist converges onto the same nodes as the optimized one — so the XOR
+of most matched endpoints folds to constant 0 **structurally** and only
+genuinely divergent (or rewrite-order-sensitive) endpoints reach the SAT
+solver.
+
+The residual check is the classic miter: one CNF over the shared graph,
+one fresh difference variable per unresolved endpoint, and a single
+top-level clause asserting *some* endpoint differs.  UNSAT proves
+cycle-accurate equivalence (same next-state and output functions over
+identical input/state spaces); a model is a concrete distinguishing
+input/state assignment, which is re-validated against the graph
+interpreter before it is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.functions import BoolFunc
+from repro.formal.encode import CnfBuilder
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.obs import counter, span
+from repro.synth.bitgraph import CONST0 as N0
+from repro.synth.bitgraph import CONST1 as N1
+from repro.synth.bitgraph import BitGraph
+
+
+def _fold(graph: BitGraph, kind: str, nodes: list[int]) -> int:
+    """Canonical n-ary AND/OR: flatten same-kind operands, sort, left-fold.
+
+    The raw and optimized netlists fuse AND/OR chains into different cell
+    groupings (fanout-dependent), so naive re-decomposition associates
+    the same leaves differently and the shared graph can't see the
+    equality. Flattening through same-kind nodes and folding over the
+    sorted leaf set restores one canonical shape for both.
+    """
+    op = graph.mk_and if kind == "AND" else graph.mk_or
+    leaves: list[int] = []
+    stack = list(nodes)
+    while stack:
+        node_id = stack.pop()
+        node = graph.nodes[node_id]
+        if node[0] == kind:
+            stack.extend(node[1:])
+        else:
+            leaves.append(node_id)
+    ordered = sorted(set(leaves))
+    result = ordered[0]
+    for leaf in ordered[1:]:
+        result = op(result, leaf)
+    return result
+
+
+def _function_node(graph: BitGraph, function: BoolFunc, pins: list[int]) -> int:
+    """Generic fallback: Shannon-expand a truth table into MUX nodes."""
+
+    def build(num_pins: int, table: int) -> int:
+        rows = 1 << num_pins
+        if table == 0:
+            return N0
+        if table == (1 << rows) - 1:
+            return N1
+        half = 1 << (num_pins - 1)
+        low = table & ((1 << half) - 1)
+        high = table >> half
+        sel = pins[num_pins - 1]
+        return graph.mk_mux(sel, build(num_pins - 1, low), build(num_pins - 1, high))
+
+    return build(len(pins), function.table)
+
+
+def cell_node(graph: BitGraph, cell_name: str, function: BoolFunc | None,
+              pins: list[int]) -> int:
+    """Decompose one cell instance into graph primitives.
+
+    ``pins`` are operand node ids in the cell's library pin order. The
+    named cases mirror :mod:`repro.synth.techmap`'s fusion patterns in
+    reverse, so an optimized netlist round-trips onto its source nodes.
+    """
+    if cell_name == "INV":
+        return graph.mk_not(pins[0])
+    if cell_name == "BUF":
+        return pins[0]
+    if cell_name.startswith("AND"):
+        return _fold(graph, "AND", pins)
+    if cell_name.startswith("NAND"):
+        return graph.mk_not(_fold(graph, "AND", pins))
+    if cell_name.startswith("OR"):
+        return _fold(graph, "OR", pins)
+    if cell_name.startswith("NOR"):
+        return graph.mk_not(_fold(graph, "OR", pins))
+    if cell_name == "XOR2":
+        return graph.mk_xor(pins[0], pins[1])
+    if cell_name == "XNOR2":
+        return graph.mk_not(graph.mk_xor(pins[0], pins[1]))
+    if cell_name == "MUX2":  # pins (A, B, S): S high selects B
+        return graph.mk_mux(pins[2], pins[0], pins[1])
+    if cell_name == "XOR3":
+        return graph.mk_xor3(pins[0], pins[1], pins[2])
+    if cell_name == "MAJ3":
+        return graph.mk_maj3(pins[0], pins[1], pins[2])
+    if function is None:
+        raise ValueError(f"sequential cell {cell_name} in combinational miter")
+    return _function_node(graph, function, pins)
+
+
+def netlist_to_graph(netlist: Netlist, graph: BitGraph) -> dict[str, int]:
+    """Encode a netlist's combinational logic into ``graph``.
+
+    Returns a wire → node map. Leaves (inputs, DFF Q wires) are named
+    ``VAR`` nodes, so encoding two netlists with matching interfaces into
+    the same graph makes their logic share leaves.
+    """
+    wire_node: dict[str, int] = {CONST0: N0, CONST1: N1}
+    for wire in netlist.inputs:
+        wire_node[wire] = graph.var(wire)
+    for dff in netlist.dffs.values():
+        wire_node[dff.q] = graph.var(dff.q)
+    library = netlist.library
+    for gate in netlist.topological_gates():
+        cell = library[gate.cell]
+        pins = []
+        for pin in cell.inputs:
+            wire = gate.inputs[pin]
+            node = wire_node.get(wire)
+            if node is None:
+                # Undriven wire: a free leaf (the undriven-wire lint rule
+                # reports these separately; equivalence treats them as
+                # shared unconstrained inputs).
+                node = graph.var(wire)
+                wire_node[wire] = node
+            pins.append(node)
+        wire_node[gate.output] = cell_node(graph, gate.cell, cell.function, pins)
+    return wire_node
+
+
+def graph_to_cnf(graph: BitGraph, roots: list[int], builder: CnfBuilder
+                 ) -> dict[int, int]:
+    """Tseitin-encode the cone of ``roots``; returns node id → literal."""
+    lits: dict[int, int] = {N0: -builder.true_lit, N1: builder.true_lit}
+    for node_id in graph.live_nodes(roots):
+        if node_id in lits:
+            continue
+        node = graph.nodes[node_id]
+        kind = node[0]
+        if kind == "VAR":
+            lits[node_id] = builder.new_var()
+        elif kind == "NOT":
+            lits[node_id] = -lits[node[1]]
+        elif kind == "XOR":
+            lits[node_id] = builder.encode_xor(lits[node[1]], lits[node[2]])
+        elif kind == "XOR3":
+            inner = builder.encode_xor(lits[node[1]], lits[node[2]])
+            lits[node_id] = builder.encode_xor(inner, lits[node[3]])
+        elif kind == "AND":
+            v = builder.new_var()
+            a, b = lits[node[1]], lits[node[2]]
+            builder.add(-v, a)
+            builder.add(-v, b)
+            builder.add(v, -a, -b)
+            lits[node_id] = v
+        elif kind == "OR":
+            v = builder.new_var()
+            a, b = lits[node[1]], lits[node[2]]
+            builder.add(v, -a)
+            builder.add(v, -b)
+            builder.add(-v, a, b)
+            lits[node_id] = v
+        elif kind == "MUX":
+            v = builder.new_var()
+            s, if0, if1 = (lits[node[1]], lits[node[2]], lits[node[3]])
+            builder.add(s, -if0, v)
+            builder.add(s, if0, -v)
+            builder.add(-s, -if1, v)
+            builder.add(-s, if1, -v)
+            lits[node_id] = v
+        elif kind == "MAJ3":
+            v = builder.new_var()
+            a, b, c = (lits[node[1]], lits[node[2]], lits[node[3]])
+            builder.add(-v, a, b)
+            builder.add(-v, a, c)
+            builder.add(-v, b, c)
+            builder.add(v, -a, -b)
+            builder.add(v, -a, -c)
+            builder.add(v, -b, -c)
+            lits[node_id] = v
+        else:
+            raise ValueError(f"unknown node kind {kind}")
+    return lits
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of a combinational equivalence check between two netlists."""
+
+    golden_name: str
+    revised_name: str
+    equivalent: bool
+    #: Compared endpoints: one per primary output plus one per DFF D input.
+    endpoints: int
+    #: Endpoints whose XOR folded to constant 0 in the shared graph.
+    structural: int
+    #: Endpoints that needed the SAT miter.
+    solved: int
+    #: Endpoints whose functions differ under the counterexample.
+    failing_endpoints: tuple[str, ...] = ()
+    #: Distinguishing input/state assignment (wire → 0/1), or ``None``.
+    counterexample: tuple[tuple[str, int], ...] | None = None
+
+    def describe(self) -> str:
+        if self.equivalent:
+            return (
+                f"{self.golden_name} == {self.revised_name}: "
+                f"{self.endpoints} endpoints "
+                f"({self.structural} structural, {self.solved} via SAT)"
+            )
+        shown = ", ".join(f"{w}={v}" for w, v in (self.counterexample or ())[:12])
+        where = ",".join(self.failing_endpoints[:3]) or "?"
+        return (
+            f"{self.golden_name} != {self.revised_name}: endpoint(s) {where} "
+            f"differ under {{{shown}}}"
+        )
+
+
+def check_netlist_equivalence(
+    golden: Netlist, revised: Netlist, max_conflicts: int | None = None
+) -> EquivalenceResult:
+    """Prove the two netlists compute identical output/next-state functions.
+
+    The interfaces must match exactly (same inputs, outputs, and DFF
+    names); a mismatch raises :class:`ValueError` because the circuits
+    are not comparable, which is a different failure than inequivalence.
+    """
+    if sorted(golden.inputs) != sorted(revised.inputs):
+        raise ValueError(
+            f"input mismatch: {sorted(set(golden.inputs) ^ set(revised.inputs))}"
+        )
+    if sorted(golden.outputs) != sorted(revised.outputs):
+        raise ValueError(
+            f"output mismatch: {sorted(set(golden.outputs) ^ set(revised.outputs))}"
+        )
+    if sorted(golden.dffs) != sorted(revised.dffs):
+        raise ValueError(
+            f"flip-flop mismatch: {sorted(set(golden.dffs) ^ set(revised.dffs))}"
+        )
+
+    with span("formal.equiv", golden=golden.name, revised=revised.name):
+        return _check(golden, revised, max_conflicts)
+
+
+def _check(
+    golden: Netlist, revised: Netlist, max_conflicts: int | None
+) -> EquivalenceResult:
+    graph = BitGraph()
+    golden_map = netlist_to_graph(golden, graph)
+    revised_map = netlist_to_graph(revised, graph)
+
+    endpoints: list[tuple[str, int, int]] = []
+    for wire in golden.outputs:
+        endpoints.append((f"output {wire}", golden_map[wire], revised_map[wire]))
+    for name in sorted(golden.dffs):
+        g_d = golden_map[golden.dffs[name].d]
+        r_d = revised_map[revised.dffs[name].d]
+        endpoints.append((f"dff {name}.D", g_d, r_d))
+
+    diffs: list[tuple[str, int]] = []  # (endpoint label, XOR node)
+    structural = 0
+    for label, g_node, r_node in endpoints:
+        xor = graph.mk_xor(g_node, r_node)
+        if xor == N0:
+            structural += 1
+        else:
+            diffs.append((label, xor))
+    counter("formal.equiv.endpoints").inc(len(endpoints))
+    counter("formal.equiv.structural").inc(structural)
+
+    if not diffs:
+        return EquivalenceResult(
+            golden_name=golden.name,
+            revised_name=revised.name,
+            equivalent=True,
+            endpoints=len(endpoints),
+            structural=structural,
+            solved=0,
+        )
+
+    # One small UNSAT proof per distinct XOR node (endpoints often share
+    # cones): far cheaper than a single monolithic miter over all of them,
+    # because each query only sees its own cone's clauses.
+    counter("formal.equiv.sat_endpoints").inc(len(diffs))
+    by_node: dict[int, list[str]] = {}
+    for label, node in diffs:
+        by_node.setdefault(node, []).append(label)
+    for node, labels in by_node.items():
+        builder = CnfBuilder()
+        lits = graph_to_cnf(graph, [node], builder)
+        builder.add(lits[node])
+        outcome = builder.solver.solve(max_conflicts=max_conflicts)
+        if outcome is None:
+            raise RuntimeError(
+                f"equivalence of {golden.name} vs {revised.name} at "
+                f"{labels[0]} undecided within {max_conflicts} conflicts"
+            )
+        if outcome is False:
+            continue
+        # Satisfiable: extract and re-validate the distinguishing input.
+        solver = builder.solver
+        env: dict[str, int] = {}
+        for name, node_id in graph.var_names().items():
+            lit = lits.get(node_id)
+            env[name] = (
+                solver.model_value(lit) if lit is not None and lit > 0 else 0
+            )
+        values = graph.evaluate([n for _, n in diffs], env)
+        failing = tuple(lbl for lbl, n in diffs if values[n])
+        if not failing:
+            raise RuntimeError("SAT model does not distinguish the netlists")
+        return EquivalenceResult(
+            golden_name=golden.name,
+            revised_name=revised.name,
+            equivalent=False,
+            endpoints=len(endpoints),
+            structural=structural,
+            solved=len(diffs),
+            failing_endpoints=failing,
+            counterexample=tuple(sorted(env.items())),
+        )
+    return EquivalenceResult(
+        golden_name=golden.name,
+        revised_name=revised.name,
+        equivalent=True,
+        endpoints=len(endpoints),
+        structural=structural,
+        solved=len(diffs),
+    )

@@ -1,0 +1,366 @@
+"""A self-contained CDCL SAT solver (pure stdlib).
+
+The solver implements the classic conflict-driven clause-learning loop
+in the MiniSat lineage, sized for the netlist-cone queries this project
+generates (thousands of variables, tens of thousands of clauses):
+
+* **two-watched literals** for unit propagation,
+* **first-UIP** conflict analysis with clause learning,
+* **VSIDS**-style variable activity with a lazily rebuilt heap,
+* **phase saving** (a variable is re-tried with its last value),
+* **Luby restarts**, and
+* **model extraction** for satisfiable queries.
+
+Literals follow the DIMACS convention at the API boundary: variable
+``v`` (a positive integer from :meth:`Solver.new_var`) appears as ``v``
+or ``-v``.  Internally a literal is ``2*v + sign`` so negation is a
+cheap XOR and watch lists index into a flat list.
+
+The clause database is never garbage-collected: our queries are one-shot
+(a fresh solver per proof obligation) and rarely exceed a few thousand
+conflicts, so learned-clause deletion would only add machinery.
+
+Solver statistics (conflicts, decisions, propagations, restarts) feed
+the ``formal.*`` observability counters and each :meth:`Solver.solve`
+call is wrapped in a ``formal.solve`` span.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.obs import counter, span
+
+#: Verdicts returned by :meth:`Solver.solve`.
+SAT = True
+UNSAT = False
+UNKNOWN = None
+
+_UNASSIGNED = -1
+
+
+def luby(i: int) -> int:
+    """The *i*-th term (1-based) of the Luby restart sequence.
+
+    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    """
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """A CDCL SAT solver over clauses of DIMACS-style literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        #: per-variable truth value: 1, 0, or ``_UNASSIGNED``; index 0 unused.
+        self._assign: list[int] = [_UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._polarity: list[int] = [0]
+        #: watch lists indexed by internal literal (``2*v + sign``).
+        self._watches: list[list[list[int]]] = [[], []]
+        self._trail: list[int] = []  # internal literals in assignment order
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._heap: list[tuple[float, int]] = []  # lazy (-activity, var) heap
+        self._ok = True
+        self._model: list[int] | None = None
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self.num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._heap, (0.0, self.num_vars))
+        return self.num_vars
+
+    @staticmethod
+    def _internal(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+    @staticmethod
+    def _external(ilit: int) -> int:
+        return (ilit >> 1) if not (ilit & 1) else -(ilit >> 1)
+
+    def _lit_value(self, ilit: int) -> int:
+        value = self._assign[ilit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (ilit & 1)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns ``False`` if the formula became UNSAT.
+
+        Clauses may be added only before :meth:`solve` (the solver is
+        always at decision level 0 between calls, so unit clauses are
+        enqueued immediately).
+        """
+        if not self._ok:
+            return False
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if not lit or abs(lit) > self.num_vars:
+                raise ValueError(f"unknown literal {lit!r}")
+            ilit = self._internal(lit)
+            if ilit ^ 1 in seen:
+                return True  # tautology: p or -p
+            if ilit in seen:
+                continue
+            value = self._lit_value(ilit)
+            if value == 1 and self._level[ilit >> 1] == 0:
+                return True  # already satisfied at the root
+            if value == 0 and self._level[ilit >> 1] == 0:
+                continue  # falsified at the root: drop the literal
+            seen.add(ilit)
+            clause.append(ilit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: list[int]) -> None:
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment / propagation
+    # ------------------------------------------------------------------
+    def _enqueue(self, ilit: int, reason: list[int] | None) -> bool:
+        var = ilit >> 1
+        value = 1 ^ (ilit & 1)
+        if self._assign[var] != _UNASSIGNED:
+            return self._assign[var] == value
+        self._assign[var] = value
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Propagate units; returns a conflicting clause or ``None``."""
+        assign = self._assign
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = p ^ 1
+            # Clauses watching ``false_lit`` are registered under index
+            # ``false_lit ^ 1 == p`` (see _attach).
+            watch_list = watches[p]
+            kept: list[list[int]] = []
+            for i, clause in enumerate(watch_list):
+                # Ensure the falsified watch sits at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                value = assign[first >> 1]
+                if value != _UNASSIGNED and (value ^ (first & 1)) == 1:
+                    kept.append(clause)  # satisfied by the other watch
+                    continue
+                for k in range(2, len(clause)):
+                    lit = clause[k]
+                    value = assign[lit >> 1]
+                    if value == _UNASSIGNED or (value ^ (lit & 1)) == 1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[clause[1] ^ 1].append(clause)
+                        break
+                else:
+                    kept.append(clause)
+                    if not self._enqueue(first, clause):
+                        kept.extend(watch_list[i + 1 :])
+                        watches[p] = kept
+                        return clause
+            watches[p] = kept
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis: returns (learnt clause, backtrack level)."""
+        learnt: list[int] = [0]  # slot 0 receives the asserting literal
+        seen = bytearray(self.num_vars + 1)
+        current = len(self._trail_lim)
+        counter_ = 0
+        p = -1
+        index = len(self._trail) - 1
+        clause = conflict
+        while True:
+            start = 0 if p == -1 else 1  # skip the propagated literal
+            for k in range(start, len(clause)):
+                q = clause[k]
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    self._bump(var)
+                    if self._level[var] >= current:
+                        counter_ += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            seen[p >> 1] = 0
+            counter_ -= 1
+            if counter_ == 0:
+                break
+            clause = self._reason[p >> 1]  # type: ignore[assignment]
+        learnt[0] = p ^ 1
+        if len(learnt) == 1:
+            return learnt, 0
+        # Move a literal from the highest remaining level into slot 1.
+        best = max(range(1, len(learnt)), key=lambda i: self._level[learnt[i] >> 1])
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, self._level[learnt[1] >> 1]
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for ilit in reversed(self._trail[bound:]):
+            var = ilit >> 1
+            self._polarity[var] = self._assign[var]
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _decide(self) -> bool:
+        while self._heap:
+            _, var = heapq.heappop(self._heap)
+            if self._assign[var] == _UNASSIGNED:
+                self.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                # Phase saving: re-try the last value; default phase False.
+                sign = 0 if self._polarity[var] == 1 else 1
+                self._enqueue((var << 1) | sign, None)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, max_conflicts: int | None = None) -> bool | None:
+        """Decide satisfiability.
+
+        Returns :data:`SAT` (``True``) with a model available through
+        :meth:`model_value`, :data:`UNSAT` (``False``), or
+        :data:`UNKNOWN` (``None``) when *max_conflicts* ran out.
+        """
+        with span("formal.solve", vars=self.num_vars):
+            result = self._solve(max_conflicts)
+        counter("formal.conflicts").inc(self.conflicts)
+        counter("formal.decisions").inc(self.decisions)
+        counter("formal.propagations").inc(self.propagations)
+        counter("formal.restarts").inc(self.restarts)
+        return result
+
+    def _solve(self, max_conflicts: int | None) -> bool | None:
+        if not self._ok:
+            return UNSAT
+        self._model = None
+        restart_unit = 128
+        round_ = 0
+        budget_left = max_conflicts
+        while True:
+            round_ += 1
+            limit = luby(round_) * restart_unit
+            status = self._search(limit, budget_left)
+            if status is not UNKNOWN:
+                return status
+            if budget_left is not None:
+                budget_left = max_conflicts - self.conflicts
+                if budget_left <= 0:
+                    self._backtrack(0)
+                    return UNKNOWN
+            self.restarts += 1
+            self._backtrack(0)
+
+    def _search(self, restart_limit: int, budget_left: int | None) -> bool | None:
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return UNSAT
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return UNSAT
+                else:
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.learned += 1
+                self._var_inc /= 0.95
+                if conflicts_here >= restart_limit:
+                    return UNKNOWN
+                if budget_left is not None and conflicts_here >= budget_left:
+                    return UNKNOWN
+            else:
+                if not self._decide():
+                    self._model = self._assign[:]
+                    self._backtrack(0)
+                    return SAT
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def model_value(self, var: int) -> int:
+        """Truth value (0/1) of *var* in the last satisfying model."""
+        if self._model is None:
+            raise RuntimeError("no model: last solve() did not return SAT")
+        value = self._model[var]
+        return 0 if value == _UNASSIGNED else value
+
+    def model(self) -> dict[int, int]:
+        """The last satisfying model as ``{var: 0/1}``."""
+        return {v: self.model_value(v) for v in range(1, self.num_vars + 1)}

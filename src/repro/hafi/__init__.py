@@ -6,8 +6,8 @@ fault-space pruning flow of Figure 1b where MATEs are evaluated per cycle
 inside the emulation to shrink the injection fault list.
 """
 
-from repro.hafi.fpga import FpgaDevice, MateHardwareCost, estimate_mate_cost
 from repro.hafi.controller import CampaignPlan, FiControllerModel
+from repro.hafi.fpga import FpgaDevice, MateHardwareCost, estimate_mate_cost
 from repro.hafi.online import OnlinePruningRun, simulate_online_pruning
 
 __all__ = [

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.lint figure1                  # named example circuit
     python -m repro.lint avr --audit-mates        # core + cached MATE audit
+    python -m repro.lint avr msp430 --mate-engine sat   # SAT-backed audit
     python -m repro.lint design.json              # netlist in JSON form
     python -m repro.lint design.v --format json   # structural Verilog
     python -m repro.lint avr --write-baseline lint-baseline.json
@@ -103,8 +104,9 @@ def main(argv: list[str] | None = None) -> int:
         description="Cross-layer static analysis over netlists, RTL, and MATEs.",
     )
     parser.add_argument(
-        "target",
-        nargs="?",
+        "targets",
+        nargs="*",
+        metavar="target",
         help=f"named design ({', '.join(NAMED_TARGETS)}) or a .json/.v netlist file",
     )
     parser.add_argument(
@@ -146,6 +148,14 @@ def main(argv: list[str] | None = None) -> int:
         help="audit the design's (cached) MATE search with the static checker",
     )
     parser.add_argument(
+        "--mate-engine",
+        choices=("enum", "sat"),
+        default=LintConfig.mate_engine,
+        help="stage-2 MATE decision procedure: budget-capped enumeration or "
+        "an unbounded SAT proof (implies --audit-mates for named designs; "
+        "default: %(default)s)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -155,32 +165,52 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         print(_rule_catalog())
         return 0
-    if args.target is None:
+    if not args.targets:
         parser.error("a target is required (or use --list-rules)")
+    if args.write_baseline and len(args.targets) > 1:
+        parser.error("--write-baseline accepts a single target")
 
-    try:
-        target = _load_target(args.target, args.audit_mates)
-        report = run_lint(
-            target,
-            config=LintConfig(mate_budget_bits=args.mate_budget),
-            enable=_split_ids(args.rules),
-            disable=_split_ids(args.disable) or (),
-            baseline=args.baseline,
+    config = LintConfig(
+        mate_budget_bits=args.mate_budget,
+        mate_engine=args.mate_engine,
+    )
+    reports = []
+    for name in args.targets:
+        # The SAT engine only matters when MATEs are audited; asking for it
+        # on a named design implies the audit.
+        audit = args.audit_mates or (
+            args.mate_engine == "sat" and name in NAMED_TARGETS
         )
-    except (ValueError, KeyError, OSError) as error:
-        print(f"repro-lint: {error}", file=sys.stderr)
-        return 2
+        try:
+            target = _load_target(name, audit)
+            reports.append(
+                run_lint(
+                    target,
+                    config=config,
+                    enable=_split_ids(args.rules),
+                    disable=_split_ids(args.disable) or (),
+                    baseline=args.baseline,
+                )
+            )
+        except (ValueError, KeyError, OSError) as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
 
     if args.write_baseline:
-        count = write_baseline(args.write_baseline, report)
+        count = write_baseline(args.write_baseline, reports[0])
         print(f"baseline: accepted {count} finding(s) into {args.write_baseline}")
         return 0
 
-    if args.format == "json":
-        print(render_json(report))
-    else:
-        print(render_text(report))
-    return 1 if report.has_errors else 0
+    for i, report in enumerate(reports):
+        if args.format == "json":
+            print(render_json(report))
+        else:
+            if len(reports) > 1:
+                if i:
+                    print()
+                print(f"== {args.targets[i]} ==")
+            print(render_text(report))
+    return 1 if any(report.has_errors for report in reports) else 0
 
 
 if __name__ == "__main__":

@@ -36,8 +36,13 @@ class LintConfig:
     #: skipped (``info``) when more than this many free variables survive
     #: the implication closure and the difference-propagation pruning.
     mate_budget_bits: int = 16
+    #: Stage-2 decision procedure for the static MATE checker: ``"enum"``
+    #: (budget-capped enumeration) or ``"sat"`` (unbounded CDCL proof).
+    mate_engine: str = "enum"
     #: Maximum literals printed per MATE counterexample before eliding.
     counterexample_wires: int = 12
+    #: Conflict cap per exact-coverage SAT query (``None`` = unbounded).
+    coverage_max_conflicts: int | None = None
 
 
 @dataclass
@@ -49,6 +54,9 @@ class LintTarget:
     circuit: "RtlCircuit | None" = None
     #: ``(fault_wire, mate)`` pairs to audit with the static MATE checker.
     mates: tuple[tuple[str, "Mate"], ...] = ()
+    #: Fault wires the search left uncovered (``no_mate``); the exact
+    #: coverage rule decides whether a masking condition exists at all.
+    unmatched: tuple[str, ...] = ()
 
     @classmethod
     def for_netlist(cls, netlist: "Netlist", name: str | None = None) -> "LintTarget":
@@ -95,7 +103,17 @@ class LintTarget:
             for result in search.wire_results
             for mate in result.mates
         )
-        return cls(name=name or search.netlist_name, netlist=netlist, mates=pairs)
+        unmatched = tuple(
+            result.wire
+            for result in search.wire_results
+            if result.status == "no_mate"
+        )
+        return cls(
+            name=name or search.netlist_name,
+            netlist=netlist,
+            mates=pairs,
+            unmatched=unmatched,
+        )
 
     def facets(self) -> frozenset[str]:
         """Which facets this target can offer to rules."""
@@ -106,6 +124,8 @@ class LintTarget:
             present.add("circuit")
         if self.mates:
             present.add("mates")
+        if self.unmatched:
+            present.add("unmatched")
         return frozenset(present)
 
 
@@ -248,6 +268,11 @@ def default_registry() -> RuleRegistry:
     """The registry holding every built-in rule (imports rule modules)."""
     # Importing the rule modules has the side effect of registering their
     # rules; repeat imports are no-ops.
-    from repro.lint import rules_netlist, rules_rtl, static_mate  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        rules_netlist,
+        rules_rtl,
+        rules_synth,
+        static_mate,
+    )
 
     return _DEFAULT_REGISTRY

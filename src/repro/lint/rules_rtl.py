@@ -164,7 +164,9 @@ def _loc(circuit: RtlCircuit, where: str) -> str:
     summary="expression width annotation disagrees with its operands",
     requires=("circuit",),
 )
-def check_width_mismatch(target: LintTarget, config: LintConfig) -> Iterator[Diagnostic]:
+def check_width_mismatch(
+    target: LintTarget, config: LintConfig
+) -> Iterator[Diagnostic]:
     circuit = target.circuit
     assert circuit is not None
     rule_def = _self("rtl.width-mismatch")

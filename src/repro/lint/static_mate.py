@@ -26,6 +26,15 @@ reasoning over the fault cone alone:
   OR the endpoint XORs. A nonzero row is a **concrete counterexample**
   assignment; zero rows prove soundness exhaustively. The stage is capped
   by ``mate_budget_bits`` free wires and reports *skipped* beyond it.
+- **Stage 2' — SAT decision (``engine="sat"``).** The same slice is
+  instead compiled to CNF with the dual-rail
+  :class:`~repro.formal.encode.DualConeEncoder` and handed to the
+  :mod:`repro.formal` CDCL solver: one satisfiability query asks whether
+  *any* free-border assignment satisfying the cone-internal literals
+  drives a golden/faulty difference into an endpoint. UNSAT is an
+  unbounded soundness proof (no budget, so ``skipped`` is unreachable);
+  SAT yields a model that is decoded into a concrete counterexample and
+  re-validated by evaluating the slice with the cell truth tables.
 
 The verdict is relative to the border cut — free border wires range over
 all values, the same criterion the search itself proves — so *sound* here
@@ -124,18 +133,41 @@ def _eval_columns(
     return result
 
 
+#: A back-slice of the fault cone: the gates feeding the live endpoints
+#: plus the base-wire partition both decision procedures share.
+@dataclass(frozen=True)
+class _Slice:
+    fault_wire: str
+    gates: tuple[Gate, ...]
+    #: Unconstrained base wires (the free border support).
+    free: tuple[str, ...]
+    #: Closure-forced base wires and their values.
+    fixed: tuple[tuple[str, int], ...]
+    #: Base wires flipped by the SEU.
+    fault_vars: tuple[str, ...]
+
+
 class StaticMateChecker:
-    """Proves MATE soundness per fault wire, purely statically."""
+    """Proves MATE soundness per fault wire, purely statically.
+
+    ``engine`` selects the stage-2 decision procedure: ``"enum"``
+    (bit-parallel exhaustive enumeration, capped by ``budget_bits``) or
+    ``"sat"`` (CDCL proof via :mod:`repro.formal`, unbounded).
+    """
 
     def __init__(
         self,
         netlist: Netlist,
-        engine: ImplicationEngine | None = None,
+        implications: ImplicationEngine | None = None,
         budget_bits: int = 16,
+        engine: str = "enum",
     ) -> None:
+        if engine not in ("enum", "sat"):
+            raise ValueError(f"unknown MATE engine {engine!r}")
         self.netlist = netlist
-        self.engine = engine or ImplicationEngine(netlist)
+        self.implications = implications or ImplicationEngine(netlist)
         self.budget_bits = budget_bits
+        self.engine = engine
         self._cones: dict[str, FaultCone] = {}
 
     # ------------------------------------------------------------------
@@ -183,7 +215,9 @@ class StaticMateChecker:
         golden_only = tuple(
             (w, v) for w, v in mate.literals if w in cone.cone_wires
         )
-        closure = self.engine.propagate(seed, tainted=frozenset(cone.cone_wires))
+        closure = self.implications.propagate(
+            seed, tainted=frozenset(cone.cone_wires)
+        )
         if closure is None:
             return StaticMateVerdict(
                 fault_wire=fault_wire,
@@ -201,7 +235,10 @@ class StaticMateChecker:
                 status=SOUND,
                 method="propagation",
             )
-        return self._enumerate(cone, closure, golden_only, live_endpoints, mate)
+        cut = self._slice(cone, closure, golden_only, live_endpoints)
+        if self.engine == "sat":
+            return self._sat_decide(cut, golden_only, live_endpoints, mate)
+        return self._enumerate(cut, golden_only, live_endpoints, mate)
 
     # ------------------------------------------------------------------
     def _propagate_difference(
@@ -245,20 +282,20 @@ class StaticMateChecker:
         return closure.get(wire)
 
     # ------------------------------------------------------------------
-    def _enumerate(
+    def _slice(
         self,
         cone: FaultCone,
         closure: dict[str, int],
         golden_only: tuple[tuple[str, int], ...],
         live_endpoints: list[str],
-        mate: Mate,
-    ) -> StaticMateVerdict:
-        """Stage 2: exhaustively enumerate the free support of the slice."""
-        netlist = self.netlist
-        fault_wire = cone.fault_wire
+    ) -> _Slice:
+        """Back-slice the cone to what stage 2 must actually decide.
 
-        # Back-slice: the cone gates feeding a live endpoint or a golden-only
-        # constrained wire, stopping at closure-forced wires.
+        Keeps the gates feeding a live endpoint or a golden-only
+        constrained wire, stopping at closure-forced wires, and splits the
+        base wires (read but not driven inside the slice) into free /
+        fixed / fault-site sets.
+        """
         needed: set[str] = set(live_endpoints)
         needed.update(w for w, _ in golden_only)
         slice_gates: list[Gate] = []
@@ -270,9 +307,8 @@ class StaticMateChecker:
         slice_gates.reverse()
         sliced_outputs = {gate.output for gate in slice_gates}
 
-        # Base wires: everything the slice reads that no slice gate drives.
         free: list[str] = []
-        fixed: dict[str, int] = {}
+        fixed: list[tuple[str, int]] = []
         fault_vars: list[str] = []
         for wire in sorted(needed):
             if wire in sliced_outputs or wire in (CONST0, CONST1):
@@ -283,11 +319,34 @@ class StaticMateChecker:
                 if value is None:
                     free.append(wire)
                 else:
-                    fixed[wire] = value
+                    fixed.append((wire, value))
             elif value is not None:
-                fixed[wire] = value
+                fixed.append((wire, value))
             else:
                 free.append(wire)
+        return _Slice(
+            fault_wire=cone.fault_wire,
+            gates=tuple(slice_gates),
+            free=tuple(free),
+            fixed=tuple(fixed),
+            fault_vars=tuple(fault_vars),
+        )
+
+    # ------------------------------------------------------------------
+    def _enumerate(
+        self,
+        cut: _Slice,
+        golden_only: tuple[tuple[str, int], ...],
+        live_endpoints: list[str],
+        mate: Mate,
+    ) -> StaticMateVerdict:
+        """Stage 2: exhaustively enumerate the free support of the slice."""
+        netlist = self.netlist
+        fault_wire = cut.fault_wire
+        slice_gates = cut.gates
+        free = list(cut.free)
+        fixed = dict(cut.fixed)
+        fault_vars = cut.fault_vars
 
         if len(free) > self.budget_bits:
             return StaticMateVerdict(
@@ -378,6 +437,122 @@ class StaticMateChecker:
             diff_endpoints=tuple(diff_where),
         )
 
+    # ------------------------------------------------------------------
+    def _sat_decide(
+        self,
+        cut: _Slice,
+        golden_only: tuple[tuple[str, int], ...],
+        live_endpoints: list[str],
+        mate: Mate,
+    ) -> StaticMateVerdict:
+        """Stage 2': decide the slice with the CDCL solver (no budget).
+
+        Two incremental queries on one CNF: first *can the golden-only
+        literals hold at all* (UNSAT ⇒ vacuous), then — after adding the
+        endpoint-difference disjunction — *can a difference escape*
+        (UNSAT ⇒ sound, SAT ⇒ refuted with a model-derived, re-validated
+        counterexample).
+        """
+        from repro.formal import CnfBuilder, DualConeEncoder
+
+        fault_wire = cut.fault_wire
+        builder = CnfBuilder()
+        encoder = DualConeEncoder(self.netlist, builder)
+        for wire in cut.fault_vars:
+            encoder.inject_fault(wire)
+        for wire, value in cut.fixed:
+            encoder.fix(wire, value)
+        encoder.encode_gates(cut.gates)
+        for wire, value in golden_only:
+            encoder.fix(wire, value)
+
+        if golden_only and builder.solver.solve() is False:
+            return StaticMateVerdict(
+                fault_wire=fault_wire,
+                literals=mate.literals,
+                status=VACUOUS,
+                method="sat",
+                free_wires=len(cut.free),
+            )
+
+        escape = [
+            lit
+            for lit in (encoder.diff_lit(w) for w in live_endpoints)
+            if lit is not None
+        ]
+        if escape:
+            builder.add(*escape)
+        outcome = builder.solver.solve() if escape else False
+        if outcome is False:
+            return StaticMateVerdict(
+                fault_wire=fault_wire,
+                literals=mate.literals,
+                status=SOUND,
+                method="sat",
+                free_wires=len(cut.free),
+            )
+
+        solver = builder.solver
+        witness: list[tuple[str, int]] = list(cut.fixed)
+        for wire in cut.free:
+            lit = encoder.golden_lit(wire)
+            value = solver.model_value(abs(lit))
+            witness.append((wire, value ^ 1 if lit < 0 else value))
+        counterexample = tuple(sorted(witness))
+        diff_where = self.verify_counterexample(
+            cut, golden_only, live_endpoints, counterexample
+        )
+        if not diff_where:
+            raise RuntimeError(
+                f"SAT model for {fault_wire} does not reproduce a "
+                f"difference at any live endpoint"
+            )
+        return StaticMateVerdict(
+            fault_wire=fault_wire,
+            literals=mate.literals,
+            status=REFUTED,
+            method="sat",
+            free_wires=len(cut.free),
+            counterexample=counterexample,
+            diff_endpoints=diff_where,
+        )
+
+    # ------------------------------------------------------------------
+    def verify_counterexample(
+        self,
+        cut: _Slice,
+        golden_only: tuple[tuple[str, int], ...],
+        live_endpoints: list[str],
+        assignment: tuple[tuple[str, int], ...],
+    ) -> tuple[str, ...]:
+        """Replay *assignment* through the slice with the cell truth tables.
+
+        Returns the live endpoints where golden and faulty diverge while
+        every golden-only literal holds — empty when the assignment is
+        *not* a valid counterexample. Used both to re-validate SAT models
+        and by tests to cross-check enumeration witnesses.
+        """
+        golden: dict[str, int] = {CONST0: 0, CONST1: 1}
+        golden.update(assignment)
+        faulty = dict(golden)
+        for wire in cut.fault_vars:
+            faulty[wire] = golden[wire] ^ 1
+        library = self.netlist.library
+        for gate in cut.gates:
+            function = library[gate.cell].function
+            assert function is not None
+            golden[gate.output] = function.evaluate(
+                {pin: golden[wire] for pin, wire in gate.inputs.items()}
+            )
+            faulty[gate.output] = function.evaluate(
+                {pin: faulty[wire] for pin, wire in gate.inputs.items()}
+            )
+        if any(golden[wire] != value for wire, value in golden_only):
+            return ()
+        return tuple(
+            w for w in live_endpoints if golden[w] != faulty[w]
+        )
+
 
 # ----------------------------------------------------------------------
 # search-audit convenience
@@ -413,11 +588,17 @@ class MateAudit:
 def audit_mates(
     netlist: Netlist,
     pairs: Iterable[tuple[str, Mate]],
-    engine: ImplicationEngine | None = None,
+    implications: ImplicationEngine | None = None,
     budget_bits: int = 16,
+    engine: str = "enum",
 ) -> MateAudit:
     """Audit ``(fault wire, mate)`` pairs; used by the post-search hook."""
-    checker = StaticMateChecker(netlist, engine=engine, budget_bits=budget_bits)
+    checker = StaticMateChecker(
+        netlist,
+        implications=implications,
+        budget_bits=budget_bits,
+        engine=engine,
+    )
     verdicts = checker.check_all(pairs)
     by_status = {status: 0 for status in (SOUND, REFUTED, SKIPPED, VACUOUS)}
     for verdict in verdicts:
@@ -440,16 +621,24 @@ def audit_mates(
 def _verdicts_for(
     target: LintTarget, config: LintConfig
 ) -> list[StaticMateVerdict]:
-    """Run the checker once per target; the three rules share the result."""
+    """Run the checker once per target; the mate.* rules share the result.
+
+    The cache key must identify the *whole* checker configuration — keying
+    on the budget alone would alias ``engine="enum"`` and ``engine="sat"``
+    runs of the same target and serve stale verdicts.
+    """
+    key = (config.mate_engine, config.mate_budget_bits)
     cache = getattr(target, "_mate_verdicts", None)
-    if cache is not None and cache[0] == config.mate_budget_bits:
+    if cache is not None and cache[0] == key:
         return cache[1]
     assert target.netlist is not None
     checker = StaticMateChecker(
-        target.netlist, budget_bits=config.mate_budget_bits
+        target.netlist,
+        budget_bits=config.mate_budget_bits,
+        engine=config.mate_engine,
     )
     verdicts = checker.check_all(target.mates)
-    target._mate_verdicts = (config.mate_budget_bits, verdicts)  # type: ignore[attr-defined]
+    target._mate_verdicts = (key, verdicts)  # type: ignore[attr-defined]
     return verdicts
 
 

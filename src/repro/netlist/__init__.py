@@ -1,10 +1,10 @@
 """Gate-level netlist model, graph queries, and interchange formats."""
 
+from repro.netlist.json_io import netlist_from_json, netlist_to_json
 from repro.netlist.netlist import DFF, Gate, Netlist
 from repro.netlist.stats import NetlistStats, netlist_stats
 from repro.netlist.validate import NetlistError, validate_netlist
 from repro.netlist.verilog import netlist_to_verilog, parse_verilog
-from repro.netlist.json_io import netlist_from_json, netlist_to_json
 
 __all__ = [
     "DFF",

@@ -53,7 +53,9 @@ def netlist_to_verilog(netlist: Netlist) -> str:
     for gate in netlist.gates.values():
         pins = ", ".join(f".{pin}({wire})" for pin, wire in sorted(gate.inputs.items()))
         cell = netlist.library[gate.cell]
-        lines.append(f"  {gate.cell} {gate.name} ({pins}, .{cell.output}({gate.output}));")
+        lines.append(
+            f"  {gate.cell} {gate.name} ({pins}, .{cell.output}({gate.output}));"
+        )
     for dff in netlist.dffs.values():
         lines.append(
             f"  DFF #(.INIT(1'b{dff.init})) {dff.name} "
@@ -70,7 +72,9 @@ def _tokenize(text: str) -> list[str]:
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
-            raise VerilogSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+            raise VerilogSyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
         pos = match.end()
         if match.lastgroup in ("comment", "ws"):
             continue
@@ -175,7 +179,9 @@ def parse_verilog(text: str, library: Library) -> Netlist:
             netlist.add_dff(instance, d=pins["D"], q=pins["Q"], init=init)
         else:
             if cell_name not in library:
-                raise VerilogSyntaxError(f"unknown cell {cell_name} (instance {instance})")
+                raise VerilogSyntaxError(
+                    f"unknown cell {cell_name} (instance {instance})"
+                )
             cell = library[cell_name]
             output = pins.pop(cell.output, None)
             if output is None:

@@ -143,7 +143,14 @@ class Histogram:
 class SpanStats:
     """Aggregated wall-time statistics of one span path."""
 
-    __slots__ = ("path", "count", "total_seconds", "min_seconds", "max_seconds", "_lock")
+    __slots__ = (
+        "path",
+        "count",
+        "total_seconds",
+        "min_seconds",
+        "max_seconds",
+        "_lock",
+    )
 
     def __init__(self, path: str) -> None:
         self.path = path

@@ -64,7 +64,9 @@ class Span:
 
     __slots__ = ("name", "path", "depth", "attrs", "elapsed", "_start")
 
-    def __init__(self, name: str, path: str, depth: int, attrs: dict[str, object]) -> None:
+    def __init__(
+        self, name: str, path: str, depth: int, attrs: dict[str, object]
+    ) -> None:
         self.name = name
         self.path = path
         self.depth = depth

@@ -6,6 +6,7 @@ netlists that the MATE analysis consumes — our stand-in for the paper's
 Design Compiler ASIC synthesis flow.
 """
 
+from repro.rtl.circuit import Reg, RtlCircuit
 from repro.rtl.expr import (
     Cat,
     Const,
@@ -18,7 +19,6 @@ from repro.rtl.expr import (
     onehot_case,
     parallel_case,
 )
-from repro.rtl.circuit import Reg, RtlCircuit
 from repro.rtl.evaluate import evaluate_expr, run_circuit, step_circuit
 
 __all__ = [

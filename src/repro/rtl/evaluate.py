@@ -100,7 +100,9 @@ def step_circuit(
     for name, reg in circuit.regs.items():
         env[name] = state.get(name, reg.init) & ((1 << reg.width) - 1)
     outputs = {name: evaluate_expr(expr, env) for name, expr in circuit.outputs.items()}
-    next_state = {name: evaluate_expr(reg.next, env) for name, reg in circuit.regs.items()}
+    next_state = {
+        name: evaluate_expr(reg.next, env) for name, reg in circuit.regs.items()
+    }
     return next_state, outputs
 
 

@@ -82,7 +82,9 @@ class SimulationResult:
 class Simulator:
     """Runs testbench-driven (optionally fault-injected) simulations."""
 
-    def __init__(self, netlist: Netlist, compiled: CompiledNetlist | None = None) -> None:
+    def __init__(
+        self, netlist: Netlist, compiled: CompiledNetlist | None = None
+    ) -> None:
         self.netlist = netlist
         self.compiled = compiled or CompiledNetlist(netlist)
         self.dff_index = {name: i for i, name in enumerate(self.compiled.dff_names)}

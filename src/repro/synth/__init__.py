@@ -1,6 +1,19 @@
 """Synthesis: lower RTL to bits, optimize, tech-map onto the cell library."""
 
 from repro.synth.bitgraph import BitGraph
-from repro.synth.synthesize import synthesize
+from repro.synth.synthesize import (
+    SynthesisEquivalenceError,
+    SynthesisResult,
+    elaborate,
+    synthesize,
+    verify_synthesis,
+)
 
-__all__ = ["BitGraph", "synthesize"]
+__all__ = [
+    "BitGraph",
+    "SynthesisEquivalenceError",
+    "SynthesisResult",
+    "elaborate",
+    "synthesize",
+    "verify_synthesis",
+]

@@ -10,6 +10,13 @@ realistic fault-cone sizes.
 Node ids 0 and 1 are the constants. Node kinds:
 ``VAR`` (named leaf), ``NOT``, ``AND``, ``OR``, ``XOR``, ``MUX`` (sel, if0,
 if1), ``XOR3`` (full-adder sum), ``MAJ3`` (full-adder carry).
+
+With ``simplify=False`` the constructors intern nodes verbatim (operands
+still canonically sorted for commutative kinds) without constant folding
+or rewrites. Synthesis uses this *raw* mode to produce the unoptimized
+reference netlist that the SAT equivalence check compares against the
+optimized one — the reference must not share the optimizer whose output
+it vouches for.
 """
 
 from __future__ import annotations
@@ -21,11 +28,12 @@ CONST1 = 1
 class BitGraph:
     """A DAG of 1-bit operations with structural hashing."""
 
-    def __init__(self) -> None:
+    def __init__(self, simplify: bool = True) -> None:
         # nodes[i] is a tuple; constants get placeholder tuples.
         self.nodes: list[tuple] = [("CONST", 0), ("CONST", 1)]
         self._hash: dict[tuple, int] = {}
         self._vars: dict[str, int] = {}
+        self.simplify = simplify
 
     # ------------------------------------------------------------------
     def _intern(self, node: tuple) -> int:
@@ -61,112 +69,120 @@ class BitGraph:
     # ------------------------------------------------------------------
     def mk_not(self, a: int) -> int:
         """Complement (folds constants and double negation)."""
-        if a == CONST0:
-            return CONST1
-        if a == CONST1:
-            return CONST0
-        node = self.nodes[a]
-        if node[0] == "NOT":
-            return node[1]
+        if self.simplify:
+            if a == CONST0:
+                return CONST1
+            if a == CONST1:
+                return CONST0
+            node = self.nodes[a]
+            if node[0] == "NOT":
+                return node[1]
         return self._intern(("NOT", a))
 
     def mk_and(self, a: int, b: int) -> int:
         """Conjunction with the usual local identities."""
-        if a == CONST0 or b == CONST0:
-            return CONST0
-        if a == CONST1:
-            return b
-        if b == CONST1:
-            return a
-        if a == b:
-            return a
-        if self._is_not_of(a, b):
-            return CONST0
+        if self.simplify:
+            if a == CONST0 or b == CONST0:
+                return CONST0
+            if a == CONST1:
+                return b
+            if b == CONST1:
+                return a
+            if a == b:
+                return a
+            if self._is_not_of(a, b):
+                return CONST0
         if a > b:
             a, b = b, a
         return self._intern(("AND", a, b))
 
     def mk_or(self, a: int, b: int) -> int:
         """Disjunction with the usual local identities."""
-        if a == CONST1 or b == CONST1:
-            return CONST1
-        if a == CONST0:
-            return b
-        if b == CONST0:
-            return a
-        if a == b:
-            return a
-        if self._is_not_of(a, b):
-            return CONST1
+        if self.simplify:
+            if a == CONST1 or b == CONST1:
+                return CONST1
+            if a == CONST0:
+                return b
+            if b == CONST0:
+                return a
+            if a == b:
+                return a
+            if self._is_not_of(a, b):
+                return CONST1
         if a > b:
             a, b = b, a
         return self._intern(("OR", a, b))
 
     def mk_xor(self, a: int, b: int) -> int:
         """Exclusive-or with the usual local identities."""
-        if a == b:
-            return CONST0
-        if a == CONST0:
-            return b
-        if b == CONST0:
-            return a
-        if a == CONST1:
-            return self.mk_not(b)
-        if b == CONST1:
-            return self.mk_not(a)
-        if self._is_not_of(a, b):
-            return CONST1
+        if self.simplify:
+            if a == b:
+                return CONST0
+            if a == CONST0:
+                return b
+            if b == CONST0:
+                return a
+            if a == CONST1:
+                return self.mk_not(b)
+            if b == CONST1:
+                return self.mk_not(a)
+            if self._is_not_of(a, b):
+                return CONST1
         if a > b:
             a, b = b, a
         return self._intern(("XOR", a, b))
 
     def mk_mux(self, sel: int, if0: int, if1: int) -> int:
         """``sel == 0`` selects ``if0``; ``sel == 1`` selects ``if1``."""
-        if sel == CONST0:
-            return if0
-        if sel == CONST1:
-            return if1
-        if if0 == if1:
-            return if0
-        if if0 == CONST0 and if1 == CONST1:
-            return sel
-        if if0 == CONST1 and if1 == CONST0:
-            return self.mk_not(sel)
-        if if0 == CONST0:
-            return self.mk_and(sel, if1)
-        if if1 == CONST0:
-            return self.mk_and(self.mk_not(sel), if0)
-        if if0 == CONST1:
-            return self.mk_or(self.mk_not(sel), if1)
-        if if1 == CONST1:
-            return self.mk_or(sel, if0)
-        if self._is_not_of(if0, if1):
-            # mux(s, x, ~x) == s XOR x
-            return self.mk_xor(sel, if0)
+        if self.simplify:
+            if sel == CONST0:
+                return if0
+            if sel == CONST1:
+                return if1
+            if if0 == if1:
+                return if0
+            if if0 == CONST0 and if1 == CONST1:
+                return sel
+            if if0 == CONST1 and if1 == CONST0:
+                return self.mk_not(sel)
+            if if0 == CONST0:
+                return self.mk_and(sel, if1)
+            if if1 == CONST0:
+                return self.mk_and(self.mk_not(sel), if0)
+            if if0 == CONST1:
+                return self.mk_or(self.mk_not(sel), if1)
+            if if1 == CONST1:
+                return self.mk_or(sel, if0)
+            if self._is_not_of(if0, if1):
+                # mux(s, x, ~x) == s XOR x
+                return self.mk_xor(sel, if0)
         return self._intern(("MUX", sel, if0, if1))
 
     def mk_xor3(self, a: int, b: int, c: int) -> int:
         """Full-adder sum bit."""
         operands = sorted((a, b, c))
-        if operands[0] in (CONST0, CONST1) or len(set(operands)) < 3:
+        if self.simplify and (
+            operands[0] in (CONST0, CONST1) or len(set(operands)) < 3
+        ):
             return self.mk_xor(self.mk_xor(a, b), c)
         return self._intern(("XOR3", *operands))
 
     def mk_maj3(self, a: int, b: int, c: int) -> int:
         """Full-adder carry bit (majority of three)."""
-        if a == b:
-            return a
-        if a == c:
-            return a
-        if b == c:
-            return b
-        for x, y, z in ((a, b, c), (b, a, c), (c, a, b)):
-            if x == CONST0:
-                return self.mk_and(y, z)
-            if x == CONST1:
-                return self.mk_or(y, z)
-            if self._is_not_of(y, z):
-                return x
+        if self.simplify:
+            if a == b:
+                return a
+            if a == c:
+                return a
+            if b == c:
+                return b
+            for x, y, z in ((a, b, c), (b, a, c), (c, a, b)):
+                if x == CONST0:
+                    return self.mk_and(y, z)
+                if x == CONST1:
+                    return self.mk_or(y, z)
+                if self._is_not_of(y, z):
+                    return x
         operands = sorted((a, b, c))
         return self._intern(("MAJ3", *operands))
 

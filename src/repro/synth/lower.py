@@ -54,7 +54,10 @@ class Lowerer:
     def _lower(self, expr: Expr) -> list[int]:
         graph = self.graph
         if isinstance(expr, Const):
-            return [CONST1 if (expr.value >> i) & 1 else CONST0 for i in range(expr.width)]
+            return [
+                CONST1 if (expr.value >> i) & 1 else CONST0
+                for i in range(expr.width)
+            ]
         if isinstance(expr, InputExpr):
             return self._leaf_bits(expr.name, expr.width)
         if isinstance(expr, Reg):
@@ -64,7 +67,11 @@ class Lowerer:
         if isinstance(expr, BinOp):
             lhs = self.lower(expr.lhs)
             rhs = self.lower(expr.rhs)
-            op = {"and": graph.mk_and, "or": graph.mk_or, "xor": graph.mk_xor}[expr.kind]
+            op = {
+                "and": graph.mk_and,
+                "or": graph.mk_or,
+                "xor": graph.mk_xor,
+            }[expr.kind]
             return [op(a, b) for a, b in zip(lhs, rhs)]
         if isinstance(expr, Mux):
             sel = self.lower(expr.sel)[0]
@@ -79,7 +86,9 @@ class Lowerer:
         if isinstance(expr, Slice):
             return self.lower(expr.operand)[expr.start : expr.stop]
         if isinstance(expr, Add):
-            carry = self.lower(expr.carry_in)[0] if expr.carry_in is not None else CONST0
+            carry = (
+                self.lower(expr.carry_in)[0] if expr.carry_in is not None else CONST0
+            )
             return self._ripple(self.lower(expr.lhs), self.lower(expr.rhs), carry)
         if isinstance(expr, Sub):
             # a - b - bin  ==  a + ~b + ~bin (two's complement)
@@ -96,7 +105,11 @@ class Lowerer:
             return [self._tree(graph.mk_and, equal_bits)]
         if isinstance(expr, Reduce):
             bits = self.lower(expr.operand)
-            op = {"and": graph.mk_and, "or": graph.mk_or, "xor": graph.mk_xor}[expr.kind]
+            op = {
+                "and": graph.mk_and,
+                "or": graph.mk_or,
+                "xor": graph.mk_xor,
+            }[expr.kind]
             return [self._tree(op, bits)]
         raise TypeError(f"cannot lower expression of type {type(expr).__name__}")
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.cells.library import Library
 from repro.cells.nangate15 import nangate15_library
 from repro.netlist.netlist import Netlist
@@ -11,28 +13,56 @@ from repro.synth.lower import Lowerer, bit_name
 from repro.synth.techmap import TechMapper
 
 
-def synthesize(
+class SynthesisEquivalenceError(RuntimeError):
+    """Raised by ``synthesize(..., verify=True)`` on an optimizer miscompile.
+
+    Carries the :class:`~repro.formal.miter.EquivalenceResult` (including
+    the distinguishing input/state assignment) as :attr:`result`.
+    """
+
+    def __init__(self, result) -> None:
+        super().__init__(result.describe())
+        self.result = result
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized netlist plus the bit-graph artifacts it came from.
+
+    ``output_bits`` / ``next_bits`` map word-level output and register
+    names to their per-bit node ids in ``graph`` (LSB first) — enough to
+    cross-check :meth:`BitGraph.evaluate` against the netlist simulator.
+    """
+
+    netlist: Netlist
+    graph: BitGraph
+    output_bits: dict[str, list[int]]
+    next_bits: dict[str, list[int]]
+
+
+def elaborate(
     circuit: RtlCircuit,
     library: Library | None = None,
     name: str | None = None,
-) -> Netlist:
-    """Synthesize an RTL circuit onto a standard-cell library.
+    simplify: bool = True,
+) -> SynthesisResult:
+    """Lower, (optionally) optimize, and tech-map an RTL circuit.
 
-    The resulting netlist carries attributes used downstream:
-
-    - ``register_file_dffs``: DFF instance names tagged via ``reg(..., register_file=True)``
-    - ``input_widths`` / ``output_widths`` / ``reg_widths``: word-level port map
+    ``simplify=False`` disables every bit-graph rewrite and produces the
+    *unoptimized reference* netlist used by the equivalence check.
     """
     circuit.finalize()
     if library is None:
         library = nangate15_library()
     netlist = Netlist(name or circuit.name, library)
 
-    graph = BitGraph()
+    graph = BitGraph(simplify=simplify)
     lowerer = Lowerer(graph)
 
     output_bits = {out: lowerer.lower(expr) for out, expr in circuit.outputs.items()}
-    next_bits = {reg_name: lowerer.lower(reg.next) for reg_name, reg in circuit.regs.items()}
+    next_bits = {
+        reg_name: lowerer.lower(reg.next) for reg_name, reg in circuit.regs.items()
+    }
 
     roots: list[int] = []
     for bits in output_bits.values():
@@ -66,7 +96,9 @@ def synthesize(
         width = circuit.outputs[out_name].width
         for i, node_id in enumerate(bits):
             wire = bit_name(out_name, i, width)
-            netlist.add_gate(f"obuf_{wire}", "BUF", {"A": mapper.wire_of(node_id)}, wire)
+            netlist.add_gate(
+                f"obuf_{wire}", "BUF", {"A": mapper.wire_of(node_id)}, wire
+            )
             netlist.add_output(wire)
 
     netlist.attributes["register_file_dffs"] = sorted(register_file_dffs)
@@ -79,4 +111,57 @@ def synthesize(
     netlist.attributes["reg_widths"] = {
         reg_name: reg.width for reg_name, reg in circuit.regs.items()
     }
-    return netlist
+    return SynthesisResult(
+        netlist=netlist, graph=graph, output_bits=output_bits, next_bits=next_bits
+    )
+
+
+def synthesize(
+    circuit: RtlCircuit,
+    library: Library | None = None,
+    name: str | None = None,
+    verify: bool = False,
+) -> Netlist:
+    """Synthesize an RTL circuit onto a standard-cell library.
+
+    The resulting netlist carries attributes used downstream:
+
+    - ``register_file_dffs``: DFF instance names tagged via
+      ``reg(..., register_file=True)``
+    - ``input_widths`` / ``output_widths`` / ``reg_widths``: word-level port map
+
+    With ``verify=True`` the circuit is additionally tech-mapped with
+    every bit-graph optimization disabled and the two netlists are proven
+    combinationally equivalent by the SAT miter
+    (:func:`repro.formal.miter.check_netlist_equivalence`); a miscompile
+    raises :class:`SynthesisEquivalenceError` with a distinguishing
+    input/state assignment.
+    """
+    result = elaborate(circuit, library=library, name=name)
+    if verify:
+        equivalence = verify_synthesis(circuit, result.netlist, library=library)
+        if not equivalence.equivalent:
+            raise SynthesisEquivalenceError(equivalence)
+    return result.netlist
+
+
+def verify_synthesis(
+    circuit: RtlCircuit,
+    optimized: Netlist,
+    library: Library | None = None,
+):
+    """SAT-check ``optimized`` against an unoptimized re-synthesis.
+
+    Returns the :class:`~repro.formal.miter.EquivalenceResult`; callers
+    decide whether inequivalence is an exception (``synthesize``) or a
+    diagnostic (the ``synth.not-equivalent`` lint rule).
+    """
+    from repro.formal.miter import check_netlist_equivalence
+
+    reference = elaborate(
+        circuit,
+        library=library,
+        name=f"{optimized.name}__unopt",
+        simplify=False,
+    ).netlist
+    return check_netlist_equivalence(reference, optimized)

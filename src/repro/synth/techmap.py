@@ -98,7 +98,9 @@ class TechMapper:
             if kind == "NOT":
                 inner = nodes[node_id][1]
                 inner_kind = nodes[inner][0]
-                if inner_kind in ("AND", "OR", "XOR") and self._fusable(inner, inner_kind):
+                if inner_kind in ("AND", "OR", "XOR") and self._fusable(
+                    inner, inner_kind
+                ):
                     self._absorbed.add(inner)
                     if inner_kind == "XOR":
                         leaves = list(self.graph.fanin(inner))

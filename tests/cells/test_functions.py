@@ -39,7 +39,10 @@ class TestEvaluate:
         with pytest.raises(ValueError):
             f.evaluate({"A": 2})
 
-    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=7),
+    )
     def test_evaluate_row_consistent(self, table, row):
         f = BoolFunc(("A", "B", "C"), table)
         assignment = {"A": row & 1, "B": (row >> 1) & 1, "C": (row >> 2) & 1}

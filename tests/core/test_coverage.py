@@ -1,0 +1,152 @@
+"""Exact masking-coverage tests on the paper's example circuit, including
+a brute-force cross-check of the SAT verdicts and the lint rule."""
+
+import itertools
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.core.cone import compute_fault_cone
+from repro.core.coverage import (
+    ENDPOINT,
+    MASKABLE,
+    UNKNOWN,
+    UNMASKABLE,
+    coverage_report,
+    exact_maskability,
+)
+from repro.eval.example_circuit import FIGURE1_FAULT_WIRES, figure1_netlist
+from repro.lint import LintConfig, LintTarget, run_lint
+from repro.netlist import Netlist
+
+
+@pytest.fixture()
+def figure1():
+    return figure1_netlist()
+
+
+def _brute_force_maskable(netlist, fault_wire):
+    """Reference: enumerate every border × fault-value assignment."""
+    cone = compute_fault_cone(netlist, fault_wire)
+    if cone.fault_wire_is_endpoint:
+        return None
+    border = sorted(cone.border_wires - {"1'b0", "1'b1"})
+    library = netlist.library
+    for bits in itertools.product((0, 1), repeat=len(border)):
+        env = dict(zip(border, bits))
+        masked_both = True
+        for fault_value in (0, 1):
+            golden = {"1'b0": 0, "1'b1": 1, **env}
+            for w in cone.fault_wires:
+                golden[w] = fault_value
+            faulty = dict(golden)
+            for w in cone.fault_wires:
+                faulty[w] = fault_value ^ 1
+            for gate in cone.cone_gates:
+                function = library[gate.cell].function
+                golden[gate.output] = function.evaluate(
+                    {p: golden[w] for p, w in gate.inputs.items()}
+                )
+                faulty[gate.output] = function.evaluate(
+                    {p: faulty[w] for p, w in gate.inputs.items()}
+                )
+            if any(
+                golden[e] != faulty[e] for e in cone.endpoint_wires
+            ):
+                masked_both = False
+                break
+        if masked_both:
+            return True
+    return False
+
+
+class TestFigure1Coverage:
+    def test_d_maskable_with_verified_witness(self, figure1):
+        verdict = exact_maskability(figure1, "d")
+        assert verdict.status == MASKABLE
+        assert verdict.witness is not None
+        # The witness ranges exactly over the border of d's cone.
+        assert {w for w, _ in verdict.witness} == {"c", "f", "h"}
+        # The paper's M_d = (!f & h) must be among the masking states.
+        env = dict(verdict.witness)
+        assert (env["f"], env["h"]) == (0, 1)
+        assert "maskable under" in verdict.describe()
+
+    def test_e_unmaskable(self, figure1):
+        verdict = exact_maskability(figure1, "e")
+        assert verdict.status == UNMASKABLE
+        assert verdict.witness is None
+        assert "unmaskable" in verdict.describe()
+
+    def test_output_wire_is_endpoint(self, figure1):
+        verdict = exact_maskability(figure1, "h")
+        assert verdict.status == ENDPOINT
+        assert "cycle boundary" in verdict.describe()
+
+    def test_brute_force_cross_check(self, figure1):
+        """SAT verdicts match exhaustive border enumeration on every wire."""
+        for wire in FIGURE1_FAULT_WIRES:
+            verdict = exact_maskability(figure1, wire)
+            expected = _brute_force_maskable(figure1, wire)
+            if expected is None:
+                assert verdict.status == ENDPOINT, wire
+            else:
+                assert verdict.status == (
+                    MASKABLE if expected else UNMASKABLE
+                ), wire
+
+    def test_conflict_budget_yields_unknown(self, figure1):
+        verdict = exact_maskability(figure1, "d", max_conflicts=0)
+        assert verdict.status in (UNKNOWN, MASKABLE)
+        # A zero budget on a wire that needs search must stay undecided;
+        # figure1's tiny cone may be decided by propagation alone, so
+        # exercise the guarantee structurally instead:
+        assert verdict.status != UNMASKABLE
+
+    def test_coverage_report_order(self, figure1):
+        verdicts = coverage_report(figure1, ["e", "d"])
+        assert [v.fault_wire for v in verdicts] == ["e", "d"]
+        assert [v.status for v in verdicts] == [UNMASKABLE, MASKABLE]
+
+    def test_always_propagating_chain_unmaskable(self):
+        """A fault feeding an endpoint through XORs can never be masked."""
+        n = Netlist("chain", nangate15_library())
+        n.add_input("x")
+        n.add_input("k")
+        n.add_dff("s", d="d_in", q="q")
+        n.add_gate("g1", "XOR2", {"A": "q", "B": "x"}, "t")
+        n.add_gate("g2", "XOR2", {"A": "t", "B": "k"}, "d_in")
+        verdict = exact_maskability(n, "q")
+        assert verdict.status == UNMASKABLE
+
+
+class TestMissedCoverageRule:
+    def test_rule_flags_maskable_uncovered_wires(self, figure1):
+        target = LintTarget(
+            name="fig1", netlist=figure1, unmatched=("d", "e")
+        )
+        report = run_lint(target)
+        findings = [d for d in report if d.rule == "mate.missed-coverage"]
+        assert len(findings) == 1  # d is maskable, e is not
+        assert "fault wire d" in findings[0].message
+        assert not report.has_errors  # informational severity
+
+    def test_rule_skipped_without_unmatched_facet(self, figure1):
+        target = LintTarget.for_netlist(figure1)
+        report = run_lint(target)
+        assert "mate.missed-coverage" in report.skipped_rules
+
+    def test_conflict_cap_from_config(self, figure1, monkeypatch):
+        seen = {}
+        import repro.core.coverage as coverage_module
+
+        original = coverage_module.exact_maskability
+
+        def spy(netlist, wire, cone=None, max_conflicts=None):
+            seen["max_conflicts"] = max_conflicts
+            return original(netlist, wire, cone, max_conflicts)
+
+        monkeypatch.setattr(coverage_module, "exact_maskability", spy)
+        target = LintTarget(name="fig1", netlist=figure1, unmatched=("d",))
+        run_lint(target, config=LintConfig(coverage_max_conflicts=77))
+        assert seen["max_conflicts"] == 77

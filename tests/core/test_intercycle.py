@@ -6,6 +6,7 @@ import random
 import numpy as np
 import pytest
 
+from repro.core.faultspace import FaultSpace
 from repro.core.intercycle import (
     RegisterAccessModel,
     combine_benign,
@@ -14,10 +15,9 @@ from repro.core.intercycle import (
     read_cycles,
     write_cycles,
 )
-from repro.core.faultspace import FaultSpace
 from repro.cpu.avr import AvrSystem, assemble_avr
 from repro.cpu.avr.access import avr_access_model, registers_read
-from repro.fi import Campaign, Outcome, avr_target
+from repro.fi import Campaign, Outcome
 from repro.trace import Trace
 
 

@@ -1,10 +1,9 @@
 """Tests for multi-cycle masking quantification."""
 
-import numpy as np
 import pytest
 
 from repro.core.multicycle import masked_within_k_cycles, multicycle_headroom
-from repro.rtl import RtlCircuit, mux
+from repro.rtl import RtlCircuit
 from repro.sim import Simulator, TableTestbench
 from repro.synth import synthesize
 

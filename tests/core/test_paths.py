@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cells import nangate15_library
-from repro.core.cone import compute_fault_cone
 from repro.core.paths import (
     _MinimalSets,
     enumerate_paths,

@@ -7,7 +7,6 @@ contents, and i/o logs must match exactly.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

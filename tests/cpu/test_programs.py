@@ -5,13 +5,13 @@ import pytest
 from repro.cpu.avr import AvrSystem
 from repro.cpu.msp430 import Msp430System
 from repro.programs import avr_conv, avr_fib, msp430_conv, msp430_fib
+from repro.programs import msp430_programs
 from repro.programs.avr_programs import (
     CONV_OUT_BASE,
     CONV_SAMPLES,
     FIB_BASE,
     FIB_COUNT,
 )
-from repro.programs import msp430_programs
 
 FIB = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987, 1597]
 

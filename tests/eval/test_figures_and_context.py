@@ -1,6 +1,5 @@
 """Tests for the evaluation harness pieces that run quickly."""
 
-import numpy as np
 import pytest
 
 from repro.eval import context
@@ -34,7 +33,9 @@ class TestFigure1:
 class TestTableRendering:
     def test_render_alignment(self):
         text = _render(
-            "Title", ["col a", "b"], [("row", ["1", "22"]), ("longer row", ["333", "4"])]
+            "Title",
+            ["col a", "b"],
+            [("row", ["1", "22"]), ("longer row", ["333", "4"])],
         )
         lines = text.splitlines()
         assert lines[0] == "Title"

@@ -1,0 +1,124 @@
+"""Tseitin encoder tests: every library cell's CNF must agree with its
+truth table, and the dual-rail cone encoding must model SEU semantics."""
+
+import itertools
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.formal import CnfBuilder, DualConeEncoder
+from repro.formal.solver import SAT, UNSAT
+from repro.netlist import Netlist
+
+
+def _combinational_cells():
+    library = nangate15_library()
+    return [cell for cell in library if not cell.sequential]
+
+
+@pytest.mark.parametrize(
+    "cell", _combinational_cells(), ids=lambda c: c.name
+)
+def test_encode_function_matches_truth_table(cell):
+    """For every input row the CNF forces exactly the tabulated output."""
+    function = cell.function
+    assert function is not None
+    for row_bits in itertools.product((0, 1), repeat=len(function.pins)):
+        assignment = dict(zip(function.pins, row_bits))
+        expected = function.evaluate(assignment)
+        for claimed in (0, 1):
+            builder = CnfBuilder()
+            pin_lits = {pin: builder.new_var() for pin in function.pins}
+            out = builder.new_var()
+            builder.encode_function(function, pin_lits, out)
+            for pin, value in assignment.items():
+                builder.add(pin_lits[pin] if value else -pin_lits[pin])
+            builder.add(out if claimed else -out)
+            outcome = builder.solver.solve()
+            assert outcome is (SAT if claimed == expected else UNSAT), (
+                f"{cell.name}{assignment}: out={claimed} "
+                f"expected f={expected}"
+            )
+
+
+def test_encode_xor_and_equal():
+    builder = CnfBuilder()
+    a, b = builder.new_var(), builder.new_var()
+    d = builder.encode_xor(a, b)
+    builder.add(d)
+    builder.encode_equal(a, b)
+    assert builder.solver.solve() is UNSAT
+
+
+def test_true_lit_is_constant_one():
+    builder = CnfBuilder()
+    builder.add(-builder.true_lit)
+    assert builder.solver.solve() is UNSAT
+
+
+class TestDualConeEncoder:
+    def _netlist(self):
+        n = Netlist("cone", nangate15_library())
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("g1", "AND2", {"A": "a", "B": "b"}, "x")
+        n.add_gate("g2", "INV", {"A": "x"}, "y")
+        n.add_output("y")
+        return n
+
+    def test_fault_propagates_only_when_enabled(self):
+        """With b=1 the flip on a reaches y; with b=0 the AND masks it."""
+        n = self._netlist()
+        for b_value, expect_diff in ((1, True), (0, False)):
+            builder = CnfBuilder()
+            encoder = DualConeEncoder(n, builder)
+            encoder.inject_fault("a")
+            encoder.fix("b", b_value)
+            encoder.encode_gates(list(n.gates.values()))
+            diff = encoder.diff_lit("y")
+            assert diff is not None  # the faulty rail diverges structurally
+            builder.add(diff)
+            outcome = builder.solver.solve()
+            assert outcome is (SAT if expect_diff else UNSAT)
+
+    def test_fault_site_always_differs(self):
+        n = self._netlist()
+        builder = CnfBuilder()
+        encoder = DualConeEncoder(n, builder)
+        encoder.inject_fault("a")
+        assert encoder.diff_lit("a") == builder.true_lit
+
+    def test_unfaulted_wire_shares_rails(self):
+        n = self._netlist()
+        builder = CnfBuilder()
+        encoder = DualConeEncoder(n, builder)
+        encoder.inject_fault("a")
+        assert encoder.diff_lit("b") is None
+
+    def test_faulty_copies_only_in_contaminated_region(self):
+        """Gates with clean input rails must not get a faulty duplicate."""
+        n = Netlist("split", nangate15_library())
+        n.add_input("a")
+        n.add_input("c")
+        n.add_gate("g1", "INV", {"A": "a"}, "x")
+        n.add_gate("g2", "INV", {"A": "c"}, "z")
+        n.add_output("x")
+        n.add_output("z")
+        builder = CnfBuilder()
+        encoder = DualConeEncoder(n, builder)
+        encoder.inject_fault("a")
+        encoder.encode_gates(list(n.gates.values()))
+        assert "x" in encoder.faulty  # contaminated by the fault on a
+        assert "z" not in encoder.faulty  # clean side stays single-rail
+
+    def test_assert_equal_forces_masking(self):
+        n = self._netlist()
+        builder = CnfBuilder()
+        encoder = DualConeEncoder(n, builder)
+        encoder.inject_fault("a")
+        encoder.encode_gates(list(n.gates.values()))
+        encoder.assert_equal("y")
+        assert builder.solver.solve() is SAT
+        # The only masking assignment sets b=0.
+        b_lit = encoder.golden_lit("b")
+        assert builder.solver.model_value(abs(b_lit)) == (0 if b_lit > 0 else 1)

@@ -1,0 +1,192 @@
+"""Miter / equivalence-checking tests: cell decomposition against truth
+tables, structural and SAT equivalence, seeded miscompiles, and the
+``synthesize(verify=True)`` integration."""
+
+import itertools
+
+import pytest
+
+from repro.cells import nangate15_library
+from repro.formal import check_netlist_equivalence
+from repro.formal.miter import cell_node
+from repro.netlist import Netlist
+from repro.rtl import RtlCircuit, mux
+from repro.synth import (
+    BitGraph,
+    SynthesisEquivalenceError,
+    elaborate,
+    synthesize,
+    verify_synthesis,
+)
+
+
+def _combinational_cells():
+    return [c for c in nangate15_library() if not c.sequential]
+
+
+@pytest.mark.parametrize("cell", _combinational_cells(), ids=lambda c: c.name)
+def test_cell_node_matches_truth_table(cell):
+    """Decomposing any cell into graph nodes preserves its function."""
+    function = cell.function
+    graph = BitGraph()
+    pins = [graph.var(f"p{i}") for i in range(len(function.pins))]
+    root = cell_node(graph, cell.name, function, pins)
+    for row_bits in itertools.product((0, 1), repeat=len(function.pins)):
+        env = {f"p{i}": bit for i, bit in enumerate(row_bits)}
+        expected = function.evaluate(dict(zip(function.pins, row_bits)))
+        assert graph.evaluate([root], env)[root] == expected, (
+            f"{cell.name} row {row_bits}"
+        )
+
+
+def _xor_netlist(name: str, cell: str) -> Netlist:
+    n = Netlist(name, nangate15_library())
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("g", cell, {"A": "a", "B": "b"}, "y")
+    n.add_output("y")
+    return n
+
+
+class TestEquivalence:
+    def test_identical_netlists_structural(self):
+        result = check_netlist_equivalence(
+            _xor_netlist("g", "XOR2"), _xor_netlist("r", "XOR2")
+        )
+        assert result.equivalent
+        assert result.structural == result.endpoints == 1
+        assert result.solved == 0
+
+    def test_rewritten_but_equal(self):
+        """XNOR(a,b) vs INV(XOR(a,b)): different gates, same function."""
+        golden = _xor_netlist("g", "XNOR2")
+        revised = Netlist("r", nangate15_library())
+        revised.add_input("a")
+        revised.add_input("b")
+        revised.add_gate("g1", "XOR2", {"A": "a", "B": "b"}, "t")
+        revised.add_gate("g2", "INV", {"A": "t"}, "y")
+        revised.add_output("y")
+        result = check_netlist_equivalence(golden, revised)
+        assert result.equivalent
+
+    def test_miscompile_caught_with_distinguishing_input(self):
+        result = check_netlist_equivalence(
+            _xor_netlist("g", "XOR2"), _xor_netlist("r", "OR2")
+        )
+        assert not result.equivalent
+        assert result.failing_endpoints == ("output y",)
+        env = dict(result.counterexample)
+        # XOR and OR differ exactly on a=b=1.
+        assert env["a"] == 1 and env["b"] == 1
+        assert "differ under" in result.describe()
+
+    def test_counterexample_distinguishes_by_simulation(self):
+        """The distinguishing assignment must actually split the netlists."""
+        from repro.sim import CompiledNetlist
+
+        golden = _xor_netlist("g", "XOR2")
+        revised = _xor_netlist("r", "NAND2")
+        result = check_netlist_equivalence(golden, revised)
+        assert not result.equivalent
+        env = dict(result.counterexample)
+        inputs = [env.get(w, 0) for w in golden.inputs]
+        _, golden_out, _ = CompiledNetlist(golden).step([], inputs)
+        _, revised_out, _ = CompiledNetlist(revised).step([], inputs)
+        assert golden_out != revised_out
+
+    def test_interface_mismatch_rejected(self):
+        golden = _xor_netlist("g", "XOR2")
+        revised = Netlist("r", nangate15_library())
+        revised.add_input("a")  # missing input b
+        revised.add_gate("g", "INV", {"A": "a"}, "y")
+        revised.add_output("y")
+        with pytest.raises(ValueError, match="input"):
+            check_netlist_equivalence(golden, revised)
+
+    def test_dff_state_included(self):
+        """State bits are miter inputs; next-state functions are endpoints."""
+        def counter_bit(name, cell):
+            n = Netlist(name, nangate15_library())
+            n.add_input("en")
+            n.add_gate("g", cell, {"A": "en", "B": "q"}, "d")
+            n.add_dff("ff", d="d", q="q")
+            return n
+
+        same = check_netlist_equivalence(
+            counter_bit("g", "XOR2"), counter_bit("r", "XOR2")
+        )
+        assert same.equivalent
+        diff = check_netlist_equivalence(
+            counter_bit("g", "XOR2"), counter_bit("r", "AND2")
+        )
+        assert not diff.equivalent
+        assert diff.failing_endpoints == ("dff ff.D",)
+
+
+def _alu_circuit() -> RtlCircuit:
+    c = RtlCircuit("mini_alu")
+    a = c.input("a", 4)
+    b = c.input("b", 4)
+    sel = c.input("sel")
+    acc = c.reg("acc", 4, init=3)
+    total = (a + b).trunc(4)
+    acc.next = mux(sel, total, a ^ b)
+    c.output("y", mux(sel, acc & b, acc | b))
+    c.output("z", a.eq(b))
+    return c
+
+
+class TestVerifiedSynthesis:
+    def test_optimized_equals_unoptimized_reference(self):
+        circuit = _alu_circuit()
+        optimized = elaborate(circuit).netlist
+        result = verify_synthesis(circuit, optimized)
+        assert result.equivalent
+        assert result.endpoints > 0
+
+    def test_synthesize_verify_flag(self):
+        netlist = synthesize(_alu_circuit(), verify=True)
+        assert netlist.name == "mini_alu"
+
+    def test_seeded_miscompile_raises(self, monkeypatch):
+        """A wrong optimizer rewrite must be caught with a witness."""
+        original = BitGraph.mk_xor
+
+        def miscompiled_mk_xor(self, a, b):
+            if self.simplify and a > 1 and b > 1:
+                return self.mk_or(a, b)  # drops the a&b case
+            return original(self, a, b)
+
+        monkeypatch.setattr(BitGraph, "mk_xor", miscompiled_mk_xor)
+        with pytest.raises(SynthesisEquivalenceError) as excinfo:
+            synthesize(_alu_circuit(), verify=True)
+        result = excinfo.value.result
+        assert not result.equivalent
+        assert result.failing_endpoints
+        assert result.counterexample is not None
+
+    def test_raw_graph_applies_no_rewrites(self):
+        graph = BitGraph(simplify=False)
+        a = graph.var("a")
+        double_not = graph.mk_not(graph.mk_not(a))
+        assert double_not != a  # interned verbatim, not rewritten
+        assert graph.mk_and(a, 0) != 0  # no constant folding
+        # Semantics are still correct through evaluate().
+        assert graph.evaluate([double_not], {"a": 1})[double_not] == 1
+
+
+@pytest.mark.slow
+class TestCoreEquivalence:
+    """Both CPU cores: the optimizer output provably matches the RTL."""
+
+    @pytest.mark.parametrize("core", ["avr", "msp430"])
+    def test_core_synthesis_verified(self, core):
+        if core == "avr":
+            from repro.cpu.avr import build_avr_core as build
+        else:
+            from repro.cpu.msp430 import build_msp430_core as build
+        circuit = build()
+        optimized = elaborate(circuit).netlist
+        result = verify_synthesis(circuit, optimized)
+        assert result.equivalent
+        assert result.endpoints == result.structural + result.solved

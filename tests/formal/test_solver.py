@@ -1,0 +1,168 @@
+"""CDCL solver unit tests: UNSAT proofs, random differential testing
+against brute force, model correctness, restarts, and conflict budgets."""
+
+import itertools
+import random
+
+from repro.formal.solver import SAT, UNKNOWN, UNSAT, Solver, luby
+
+
+def _pigeonhole(pigeons: int, holes: int) -> Solver:
+    """php(p, h): p pigeons into h holes — UNSAT whenever p > h."""
+    solver = Solver()
+    var = {
+        (p, h): solver.new_var()
+        for p in range(pigeons)
+        for h in range(holes)
+    }
+    for p in range(pigeons):
+        solver.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var[p1, h], -var[p2, h]])
+    return solver
+
+
+def _brute_force(num_vars: int, clauses: list[list[int]]):
+    """Reference decision procedure: try all assignments."""
+    for bits in itertools.product((0, 1), repeat=num_vars):
+        if all(
+            any(
+                bits[abs(lit) - 1] == (1 if lit > 0 else 0) for lit in clause
+            )
+            for clause in clauses
+        ):
+            return bits
+    return None
+
+
+class TestUnsatProofs:
+    def test_pigeonhole_unsat(self):
+        for pigeons in (2, 4, 6):
+            assert _pigeonhole(pigeons, pigeons - 1).solve() is UNSAT
+
+    def test_pigeonhole_sat_when_enough_holes(self):
+        solver = _pigeonhole(4, 4)
+        assert solver.solve() is SAT
+
+    def test_empty_clause_is_unsat(self):
+        solver = Solver()
+        solver.new_var()
+        assert not solver.add_clause([])
+        assert solver.solve() is UNSAT
+
+    def test_contradicting_units(self):
+        solver = Solver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        solver.add_clause([-v])
+        assert solver.solve() is UNSAT
+
+
+class TestDifferential:
+    def test_random_instances_match_brute_force(self):
+        rng = random.Random(20180624)
+        for trial in range(300):
+            num_vars = rng.randint(1, 8)
+            clauses = [
+                [
+                    rng.choice((1, -1)) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(rng.randint(1, 24))
+            ]
+            solver = Solver()
+            for _ in range(num_vars):
+                solver.new_var()
+            for clause in clauses:
+                solver.add_clause(clause)
+            expected = _brute_force(num_vars, clauses)
+            outcome = solver.solve()
+            assert outcome is (SAT if expected is not None else UNSAT), (
+                f"trial {trial}: solver {outcome}, brute force {expected}, "
+                f"clauses {clauses}"
+            )
+            if outcome is SAT:
+                model = solver.model()
+                for clause in clauses:
+                    assert any(
+                        model[abs(lit)] == (1 if lit > 0 else 0)
+                        for lit in clause
+                    ), f"trial {trial}: model violates {clause}"
+
+    def test_random_3sat_near_phase_transition(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            num_vars = 20
+            clauses = []
+            for _ in range(int(4.2 * num_vars)):
+                picked = rng.sample(range(1, num_vars + 1), 3)
+                clauses.append([rng.choice((1, -1)) * v for v in picked])
+            solver = Solver()
+            for _ in range(num_vars):
+                solver.new_var()
+            for clause in clauses:
+                solver.add_clause(clause)
+            outcome = solver.solve()
+            assert outcome in (SAT, UNSAT)
+            if outcome is SAT:
+                model = solver.model()
+                assert all(
+                    any(
+                        model[abs(lit)] == (1 if lit > 0 else 0)
+                        for lit in clause
+                    )
+                    for clause in clauses
+                )
+
+
+class TestIncremental:
+    def test_add_clauses_between_solves(self):
+        solver = Solver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        assert solver.solve() is SAT
+        solver.add_clause([-a])
+        assert solver.solve() is SAT
+        assert solver.model_value(b) == 1
+        solver.add_clause([-b])
+        assert solver.solve() is UNSAT
+
+    def test_statistics_accumulate(self):
+        solver = _pigeonhole(5, 4)
+        assert solver.solve() is UNSAT
+        assert solver.conflicts > 0
+        assert solver.decisions > 0
+        assert solver.propagations > 0
+
+
+class TestBudget:
+    def test_conflict_budget_yields_unknown(self):
+        solver = _pigeonhole(8, 7)
+        assert solver.solve(max_conflicts=1) is UNKNOWN
+        # An unbudgeted re-solve still decides the instance.
+        assert solver.solve() is UNSAT
+
+    def test_easy_instance_within_budget(self):
+        solver = Solver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        assert solver.solve(max_conflicts=1) is SAT
+
+
+class TestLuby:
+    def test_standard_sequence_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+    def test_no_model_before_solve(self):
+        solver = Solver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        try:
+            solver.model_value(v)
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("model access before solve must raise")

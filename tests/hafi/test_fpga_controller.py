@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core.mate import Mate
 from repro.hafi import FiControllerModel, estimate_mate_cost
 from repro.hafi.controller import plan_campaign
-from repro.hafi.fpga import XC6VLX240T, FpgaDevice, luts_for_inputs
+from repro.hafi.fpga import FpgaDevice, luts_for_inputs
 
 
 class TestLutPacking:
@@ -18,7 +18,9 @@ class TestLutPacking:
     def test_six_input_luts(self, inputs, expected):
         assert luts_for_inputs(inputs, 6) == expected
 
-    @pytest.mark.parametrize("inputs,expected", [(4, 1), (5, 2), (7, 2), (10, 3), (11, 4)])
+    @pytest.mark.parametrize(
+        "inputs,expected", [(4, 1), (5, 2), (7, 2), (10, 3), (11, 4)]
+    )
     def test_four_input_luts(self, inputs, expected):
         assert luts_for_inputs(inputs, 4) == expected
 
@@ -26,7 +28,10 @@ class TestLutPacking:
         with pytest.raises(ValueError):
             luts_for_inputs(3, 1)
 
-    @given(st.integers(min_value=2, max_value=64), st.integers(min_value=2, max_value=8))
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=2, max_value=8),
+    )
     def test_lut_tree_can_absorb_all_inputs(self, inputs, lut_size):
         luts = luts_for_inputs(inputs, lut_size)
         # Capacity check: a tree of n LUTs absorbs lut_size + (n-1)*(lut_size-1).

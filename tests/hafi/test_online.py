@@ -1,11 +1,10 @@
 """Tests for online (in-emulation) fault-space pruning."""
 
 import numpy as np
-import pytest
 
 from repro.core.replay import replay_mates
 from repro.core.search import find_mates
-from repro.eval.example_circuit import figure1_netlist, figure1_testbench_rows
+from repro.eval.example_circuit import figure1_netlist
 from repro.hafi import simulate_online_pruning
 from repro.rtl import RtlCircuit, mux
 from repro.sim import Simulator, TableTestbench

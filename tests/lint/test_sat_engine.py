@@ -1,0 +1,133 @@
+"""SAT backend of the static MATE checker: agreement with enumeration,
+unbounded proofs past the budget, counterexample validity, and the
+engine-aware verdict cache."""
+
+import pytest
+
+from repro.core.mate import Mate
+from repro.core.search import find_mates
+from repro.eval.example_circuit import FIGURE1_FAULT_WIRES, figure1_netlist
+from repro.lint import LintConfig, LintTarget, StaticMateChecker, run_lint
+from repro.lint.static_mate import REFUTED, SKIPPED, _verdicts_for
+
+CORRECT_MD = Mate([("f", 0), ("h", 1)], ["d"])
+CORRUPTED_MD = Mate([("f", 1), ("h", 1)], ["d"])
+
+
+@pytest.fixture()
+def figure1():
+    return figure1_netlist()
+
+
+def _assert_agree(netlist, pairs):
+    """Both engines must reach the same verdict on every pair, and every
+    refutation must carry a counterexample the slice replay confirms."""
+    enum = StaticMateChecker(netlist, engine="enum")
+    sat = StaticMateChecker(netlist, engine="sat")
+    for wire, mate in pairs:
+        enum_verdict = enum.check(wire, mate)
+        sat_verdict = sat.check(wire, mate)
+        assert enum_verdict.status == sat_verdict.status, (
+            f"{wire}: enum={enum_verdict.status}/{enum_verdict.method} "
+            f"sat={sat_verdict.status}/{sat_verdict.method}"
+        )
+        if sat_verdict.status != REFUTED or sat_verdict.method == "endpoint":
+            continue
+        # Counterexamples may differ (any model is valid) but both must
+        # assign the same variables and replay to a real difference.
+        assert enum_verdict.counterexample is not None
+        assert sat_verdict.counterexample is not None
+        assert {w for w, _ in enum_verdict.counterexample} == {
+            w for w, _ in sat_verdict.counterexample
+        }
+        assert sat_verdict.diff_endpoints
+
+
+class TestEngineAgreement:
+    def test_figure1_search_mates(self, figure1):
+        search = find_mates(
+            figure1, faulty_wires={w: "" for w in FIGURE1_FAULT_WIRES}
+        )
+        pairs = [(r.wire, m) for r in search.wire_results for m in r.mates]
+        assert pairs
+        _assert_agree(figure1, pairs)
+
+    def test_figure1_adversarial_mates(self, figure1):
+        pairs = [
+            ("d", CORRECT_MD),
+            ("d", CORRUPTED_MD),
+            ("d", Mate([], ["d"])),
+            ("d", Mate([("c", 0), ("d", 0), ("g", 1)], ["d"])),  # vacuous
+            ("h", Mate([("a", 0)], ["h"])),  # endpoint
+            ("a", Mate([("b", 0)], ["a"])),
+        ]
+        _assert_agree(figure1, pairs)
+
+    def test_sat_refutation_matches_enumeration_witness(self, figure1):
+        enum = StaticMateChecker(figure1, engine="enum")
+        sat = StaticMateChecker(figure1, engine="sat")
+        enum_verdict = enum.check("d", CORRUPTED_MD)
+        sat_verdict = sat.check("d", CORRUPTED_MD)
+        assert enum_verdict.status == sat_verdict.status == REFUTED
+        assert sat_verdict.method == "sat"
+        # Both assignments force the term literal f=1.
+        assert dict(enum_verdict.counterexample)["f"] == 1
+        assert dict(sat_verdict.counterexample)["f"] == 1
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("core", ["avr", "msp430"])
+    def test_cached_search_agreement(self, core):
+        """Every cached-search MATE on both cores: identical verdicts."""
+        from repro.eval.context import get_netlist, get_search
+
+        netlist = get_netlist(core)
+        search = get_search(core, False)
+        pairs = [(r.wire, m) for r in search.wire_results for m in r.mates]
+        assert pairs
+        _assert_agree(netlist, pairs)
+
+
+class TestUnboundedProofs:
+    def test_sat_never_skips(self, figure1):
+        """The budget that forces enumeration to skip is irrelevant to SAT."""
+        enum = StaticMateChecker(figure1, budget_bits=1, engine="enum")
+        sat = StaticMateChecker(figure1, budget_bits=1, engine="sat")
+        assert enum.check("d", CORRUPTED_MD).status == SKIPPED
+        sat_verdict = sat.check("d", CORRUPTED_MD)
+        assert sat_verdict.status == REFUTED
+        assert sat_verdict.counterexample is not None
+
+    def test_budget_rule_unreachable_under_sat(self, figure1):
+        target = LintTarget.for_mates(figure1, [CORRUPTED_MD])
+        config = LintConfig(mate_budget_bits=1, mate_engine="sat")
+        report = run_lint(target, config=config)
+        by_rule = report.by_rule()
+        assert "mate.budget-exceeded" not in by_rule
+        assert by_rule.get("mate.unsound") == 1
+
+    def test_unknown_engine_rejected(self, figure1):
+        with pytest.raises(ValueError, match="engine"):
+            StaticMateChecker(figure1, engine="bdd")
+
+
+class TestVerdictCache:
+    def test_cache_key_includes_engine(self, figure1):
+        """Regression: the cache used to key on the budget alone, so an
+        enum run would poison a later SAT run of the same target."""
+        target = LintTarget.for_mates(figure1, [CORRUPTED_MD])
+        enum_config = LintConfig(mate_budget_bits=1, mate_engine="enum")
+        sat_config = LintConfig(mate_budget_bits=1, mate_engine="sat")
+        enum_verdicts = _verdicts_for(target, enum_config)
+        assert [v.status for v in enum_verdicts] == [SKIPPED]
+        sat_verdicts = _verdicts_for(target, sat_config)
+        assert [v.status for v in sat_verdicts] == [REFUTED]
+        # Flipping back recomputes (one cached configuration at a time)
+        # and must again reflect the enum engine, not the SAT verdicts.
+        assert _verdicts_for(target, enum_config)[0].status == SKIPPED
+
+    def test_cache_key_still_includes_budget(self, figure1):
+        target = LintTarget.for_mates(figure1, [CORRUPTED_MD])
+        skipped = _verdicts_for(target, LintConfig(mate_budget_bits=1))
+        assert skipped[0].status == SKIPPED
+        decided = _verdicts_for(target, LintConfig(mate_budget_bits=16))
+        assert decided[0].status == REFUTED

@@ -1,0 +1,54 @@
+"""The SAT-backed synthesis equivalence lint rule."""
+
+import pytest
+
+from repro.lint import LintTarget, run_lint
+from repro.rtl import RtlCircuit, mux
+from repro.synth import BitGraph, elaborate
+
+
+def _circuit() -> RtlCircuit:
+    c = RtlCircuit("toy")
+    a = c.input("a", 4)
+    b = c.input("b", 4)
+    s = c.input("s")
+    acc = c.reg("acc", 4)
+    acc.next = mux(s, acc ^ b, (a + b).trunc(4))
+    c.output("y", a ^ b)
+    return c
+
+
+@pytest.fixture()
+def circuit():
+    return _circuit()
+
+
+class TestSynthNotEquivalent:
+    def test_clean_synthesis_passes(self, circuit):
+        netlist = elaborate(circuit).netlist
+        target = LintTarget.for_circuit(circuit, netlist=netlist)
+        report = run_lint(target, enable=["synth.not-equivalent"])
+        assert not list(report)
+
+    def test_seeded_miscompile_reported(self, circuit, monkeypatch):
+        original = BitGraph.mk_xor
+
+        def miscompiled_mk_xor(self, a, b):
+            if self.simplify and a > 1 and b > 1:
+                return self.mk_or(a, b)
+            return original(self, a, b)
+
+        monkeypatch.setattr(BitGraph, "mk_xor", miscompiled_mk_xor)
+        netlist = elaborate(circuit).netlist
+        target = LintTarget.for_circuit(circuit, netlist=netlist)
+        report = run_lint(target, enable=["synth.not-equivalent"])
+        (finding,) = list(report)
+        assert finding.rule == "synth.not-equivalent"
+        assert "differ under" in finding.message  # distinguishing input
+        assert report.has_errors
+
+    def test_rule_skipped_without_circuit(self, circuit):
+        netlist = elaborate(circuit).netlist
+        target = LintTarget.for_netlist(netlist)
+        report = run_lint(target, enable=["synth.not-equivalent"])
+        assert "synth.not-equivalent" in report.skipped_rules

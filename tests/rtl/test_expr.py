@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.rtl import RtlCircuit, cat, const, mux, onehot_case
+from repro.rtl import RtlCircuit, cat, mux, onehot_case
 from repro.rtl.evaluate import evaluate_expr
 from repro.rtl.expr import Const, InputExpr
 

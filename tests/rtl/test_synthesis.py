@@ -1,6 +1,5 @@
 """Synthesis correctness: netlist simulation must match the golden RTL model."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

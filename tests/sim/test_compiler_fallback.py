@@ -1,10 +1,8 @@
 """Tests for compiler details: SOP fallback, word packing, trace layout."""
 
-import pytest
-
 from repro.cells import BoolFunc, Cell, Library
 from repro.netlist import Netlist
-from repro.sim import CompiledNetlist, Simulator
+from repro.sim import CompiledNetlist
 from repro.sim.compiler import _TEMPLATES
 
 
@@ -14,12 +12,14 @@ class TestSopFallback:
     def _library_with_custom_cell(self):
         lib = Library("custom")
         for name in ("INV", "BUF"):
-            lib.add(Cell(name, ("A",), "Y",
-                         BoolFunc.from_expression(("A",), "1 ^ A" if name == "INV" else "A")))
+            expr = "1 ^ A" if name == "INV" else "A"
+            lib.add(Cell(name, ("A",), "Y", BoolFunc.from_expression(("A",), expr)))
         # A 3-input "exactly one hot" cell: no template exists for it.
         lib.add(Cell(
             "ONEHOT3", ("A", "B", "C"), "Y",
-            BoolFunc.from_callable(("A", "B", "C"), lambda a, b, c: int(a + b + c == 1)),
+            BoolFunc.from_callable(
+                ("A", "B", "C"), lambda a, b, c: int(a + b + c == 1)
+            ),
         ))
         lib.add(Cell("DFF", ("D",), "Q", None, sequential=True))
         return lib

@@ -37,7 +37,10 @@ class TestBitsRoundtrip:
         with pytest.raises(ValueError):
             bits.from_bits([0, 2, 1])
 
-    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
     def test_truncation(self, value, extra):
         # bits_of truncates to width
         assert bits.from_bits(bits.bits_of(value + (extra << 8), 8)) == value
