@@ -1,13 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint lint-self ruff tables
+.PHONY: test test-fast test-resilience campaign-demo lint lint-self ruff tables
 
 test:            ## full test suite
 	$(PYTHON) -m pytest
 
 test-fast:       ## skip the slow end-to-end tests
 	$(PYTHON) -m pytest -m "not slow"
+
+test-resilience: ## kill/resume campaign tests, with a faulthandler hang guard
+	$(PYTHON) -m pytest tests/fi -p faulthandler -o faulthandler_timeout=300
+
+campaign-demo:   ## interrupted + resumed campaign (crash-recovery demo)
+	rm -f campaign-demo.jsonl
+	$(PYTHON) -m repro.fi run --target msp430-fib --sampled 12 --limit 5 \
+		--journal campaign-demo.jsonl
+	$(PYTHON) -m repro.fi status --journal campaign-demo.jsonl
+	$(PYTHON) -m repro.fi resume --journal campaign-demo.jsonl
+	$(PYTHON) -m repro.fi status --journal campaign-demo.jsonl
+	rm -f campaign-demo.jsonl
 
 lint:            ## static analysis of the evaluation designs
 	$(PYTHON) -m repro.lint figure1

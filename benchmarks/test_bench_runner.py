@@ -1,0 +1,74 @@
+"""Benchmark: multi-worker campaign speedup over sequential injection.
+
+The resilient runner exists for robustness, but its worker pool must also
+pay for itself: on a multi-core host, a pooled campaign over a sampled
+MSP430 fault list — including per-worker spawn, synthesis, compile, and
+golden run — must beat sequential ``Campaign.run_points`` by >= 1.5x.
+Single-core machines (some CI shells, small containers) skip the speedup
+assertion; the throughput benchmark itself runs everywhere.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.fi import Campaign, CampaignRunner, RunnerConfig, TargetSpec, named_target
+
+CPUS = len(os.sched_getaffinity(0))
+WORKERS = min(4, CPUS)
+SAMPLES = 40
+
+MSP430 = TargetSpec(
+    factory="repro.fi.targets:named_target", kwargs={"name": "msp430-fib"}
+)
+
+
+def _config(workers):
+    return RunnerConfig(workers=workers, install_signal_handlers=False)
+
+
+def test_bench_runner_throughput(benchmark, tmp_path):
+    """Pooled campaign wall time (spawn + compile + inject, end to end)."""
+    runner = CampaignRunner(MSP430, _config(WORKERS))
+    points = runner.sample_points(SAMPLES, seed=0)
+
+    def pooled():
+        journal = tmp_path / f"bench_{time.monotonic_ns()}.jsonl"
+        return runner.run(points, journal, seed=0)
+
+    report = benchmark.pedantic(pooled, rounds=1, iterations=1)
+    assert report.complete
+    assert report.executed == SAMPLES
+
+
+@pytest.mark.skipif(
+    CPUS < 2, reason=f"speedup needs >= 2 CPUs (have {CPUS})"
+)
+def test_bench_parallel_speedup_over_sequential(tmp_path):
+    """>= 1.5x over sequential run_points on the same sampled fault list."""
+    runner = CampaignRunner(MSP430, _config(WORKERS))
+    points = runner.sample_points(SAMPLES, seed=0)
+
+    campaign = Campaign(named_target("msp430-fib"), max_cycles=50_000)
+    start = time.perf_counter()
+    sequential = campaign.run_points(points)
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = runner.run(points, tmp_path / "pool.jsonl", seed=0)
+    parallel_seconds = time.perf_counter() - start
+
+    assert report.complete
+    assert [
+        (r.dff_name, r.cycle, r.outcome) for r in report.result.records
+    ] == [(r.dff_name, r.cycle, r.outcome) for r in sequential.records]
+    speedup = sequential_seconds / parallel_seconds
+    print(
+        f"\nsequential {sequential_seconds:.2f}s, "
+        f"{WORKERS} workers {parallel_seconds:.2f}s -> {speedup:.2f}x"
+    )
+    assert speedup >= 1.5, (
+        f"pool speedup only {speedup:.2f}x with {WORKERS} workers "
+        f"({sequential_seconds:.2f}s sequential, {parallel_seconds:.2f}s pooled)"
+    )

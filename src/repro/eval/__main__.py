@@ -8,8 +8,15 @@ Usage::
     python -m repro.eval figure1         # example circuit + pruning grid
     python -m repro.eval hafi            # Sec. 6.1 hardware-cost figures
     python -m repro.eval coverage        # SAT exact-coverage ceiling
-    python -m repro.eval all             # everything above
+    python -m repro.eval campaign        # sampled ground-truth SEU campaigns
+    python -m repro.eval all             # everything above except campaign
     python -m repro.eval clear-cache     # drop cached traces/searches
+
+``campaign`` routes through the resilient runner (:mod:`repro.fi.runner`):
+injections are journaled under the artifact cache, so an interrupted run
+resumes and a warm re-run replays instead of re-injecting. It stays out of
+``all`` because it executes real injection campaigns (minutes, not
+seconds, on a cold cache).
 
 Observability (see README "Observability" and :mod:`repro.obs`)::
 
@@ -61,6 +68,10 @@ def _run_experiment(name: str) -> str:
         from repro.eval.coverage_table import build_coverage_table
 
         return build_coverage_table().format()
+    if name == "campaign":
+        from repro.eval.campaign_table import build_campaign_table
+
+        return build_campaign_table().format()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -92,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "figure1", "hafi", "combined",
-                 "coverage", "all", "clear-cache"],
+                 "coverage", "campaign", "all", "clear-cache"],
     )
     parser.add_argument(
         "--metrics-out",

@@ -1,0 +1,115 @@
+"""Ground-truth campaign table, executed through the resilient runner.
+
+Runs a sampled SEU campaign per (core, program) workload and tabulates the
+outcome distribution — the ground truth the MATE pruning claims are checked
+against. Campaigns route through :class:`~repro.fi.runner.CampaignRunner`,
+so every injection is journaled under the artifact cache: an interrupted
+``python -m repro.eval campaign`` resumes exactly where it stopped, and a
+warm re-run replays the journal instead of re-injecting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval import context
+from repro.fi.classify import Outcome
+from repro.fi.runner import CampaignRunner, RunnerConfig, RunReport, TargetSpec
+
+#: Default sample size per workload — small enough that the table stays a
+#: minutes-scale experiment, large enough for a stable outcome mix.
+DEFAULT_SAMPLES = 50
+
+
+@dataclass
+class CampaignTableRow:
+    """One (core, program) row: sampled injection outcome distribution."""
+
+    core: str
+    program: str
+    injections: int
+    benign: int
+    sdc: int
+    timeout: int
+    error: int
+    resumed: int
+    retries: int
+
+    @property
+    def sdc_fraction(self) -> float:
+        """Share of sampled injections that silently corrupted data."""
+        return self.sdc / self.injections if self.injections else 0.0
+
+
+@dataclass
+class CampaignTableReport:
+    """The assembled ground-truth campaign table."""
+
+    rows: list[CampaignTableRow]
+
+    def format(self) -> str:
+        """Render as aligned text."""
+        lines = [
+            "Sampled SEU campaign ground truth (resilient runner, journaled)",
+            "",
+            f"{'core/program':<16s}{'inj':>6s}{'benign':>8s}{'sdc':>6s}"
+            f"{'timeout':>8s}{'error':>6s}{'resumed':>8s}",
+            "-" * 58,
+        ]
+        for row in self.rows:
+            label = f"{row.core}/{row.program}"
+            lines.append(
+                f"{label:<16s}{row.injections:6d}"
+                f"{row.benign:8d}{row.sdc:6d}{row.timeout:8d}"
+                f"{row.error:6d}{row.resumed:8d}"
+            )
+        return "\n".join(lines)
+
+
+def _row_from_report(core: str, program: str, report: RunReport) -> CampaignTableRow:
+    tally = dict.fromkeys(Outcome, 0)
+    for record in report.result.records:
+        tally[record.outcome] += 1
+    return CampaignTableRow(
+        core=core,
+        program=program,
+        injections=len(report.result.records),
+        benign=tally[Outcome.BENIGN],
+        sdc=tally[Outcome.SDC],
+        timeout=tally[Outcome.TIMEOUT],
+        error=tally[Outcome.ERROR],
+        resumed=report.skipped,
+        retries=report.retries,
+    )
+
+
+def build_campaign_table(
+    cores=context.CORES,
+    programs=context.PROGRAMS,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = 0,
+    workers: int = 1,
+) -> CampaignTableReport:
+    """Sampled ground-truth campaigns for every (core, program) workload.
+
+    Journals live in :func:`repro.eval.context.cache_dir`, keyed like every
+    other cached artifact by the netlist content hash (plus sample size and
+    seed) — so changing the core invalidates the campaign, while a repeat
+    run with identical inputs resumes/replays the existing journal.
+    """
+    rows = []
+    for core in cores:
+        for program in programs:
+            name = f"{core}-{program}"
+            spec = TargetSpec(
+                factory="repro.fi.targets:named_target", kwargs={"name": name}
+            )
+            runner = CampaignRunner(spec, RunnerConfig(workers=workers))
+            journal = context.cache_dir() / (
+                f"campaign_{name}_{samples}_{seed}_{context.netlist_hash(core)}.jsonl"
+            )
+            points = runner.sample_points(samples, seed=seed)
+            report = runner.run(journal_path=journal, points=points,
+                                resume=True, seed=seed)
+            rows.append(_row_from_report(core, program, report))
+    return CampaignTableReport(rows)

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
+import warnings
 from functools import lru_cache
 from pathlib import Path
 
@@ -26,7 +29,7 @@ from repro.core.search import (
 )
 from repro.cpu.avr import AvrSystem, synthesize_avr
 from repro.cpu.msp430 import Msp430System, synthesize_msp430
-from repro.netlist.json_io import netlist_to_json
+from repro.netlist.json_io import netlist_content_hash
 from repro.netlist.netlist import Netlist
 from repro.obs import counter, span
 from repro.programs import avr_conv, avr_fib, msp430_conv, msp430_fib
@@ -46,6 +49,44 @@ def cache_dir() -> Path:
     """The on-disk artifact cache directory (created on demand)."""
     _CACHE_DIR.mkdir(exist_ok=True)
     return _CACHE_DIR
+
+
+def _atomic_write(path: Path, writer) -> None:
+    """Write a cache file atomically: temp file in the same dir + rename.
+
+    A crash (or SIGKILL) mid-write must never leave a truncated artifact at
+    the final path — readers either see the complete previous version or
+    the complete new one. ``writer`` receives the open binary temp file.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _discard_corrupt(path: Path, what: str, exc: Exception) -> None:
+    """Warn about, count, and delete an unreadable cache artifact."""
+    warnings.warn(
+        f"discarding corrupt {what} cache {path.name}: {exc}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    counter("context.cache.corrupt").inc()
+    try:
+        path.unlink()
+    except OSError:
+        pass
 
 
 @lru_cache(maxsize=None)
@@ -68,8 +109,7 @@ def get_simulator(core: str) -> Simulator:
 @lru_cache(maxsize=None)
 def netlist_hash(core: str) -> str:
     """Content hash keying all cached artifacts of a core."""
-    text = netlist_to_json(get_netlist(core))
-    return hashlib.sha256(text.encode()).hexdigest()[:16]
+    return netlist_content_hash(get_netlist(core))
 
 
 def make_system(core: str, program: str, halt: bool = False):
@@ -86,19 +126,27 @@ def get_trace(core: str, program: str, cycles: int = TRACE_CYCLES) -> Trace:
     """Full-wire execution trace (free-running program), disk-cached."""
     path = cache_dir() / f"trace_{core}_{program}_{cycles}_{netlist_hash(core)}.npz"
     if path.exists():
-        counter("context.trace.cache.hit").inc()
-        data = np.load(path, allow_pickle=False)
-        wires = [str(w) for w in data["wires"]]
-        return Trace(wires, data["matrix"])
+        try:
+            data = np.load(path, allow_pickle=False)
+            wires = [str(w) for w in data["wires"]]
+            trace = Trace(wires, data["matrix"])
+        except Exception as exc:  # truncated zip, missing keys, bad dtype
+            _discard_corrupt(path, "trace", exc)
+        else:
+            counter("context.trace.cache.hit").inc()
+            return trace
     counter("context.trace.cache.miss").inc()
     simulator = get_simulator(core)
     with span("trace-record", core=core, program=program, cycles=cycles):
         result = simulator.run(make_system(core, program), max_cycles=cycles)
     assert result.trace is not None
-    np.savez_compressed(
+    _atomic_write(
         path,
-        wires=np.array(result.trace.wire_names),
-        matrix=result.trace.matrix,
+        lambda fh: np.savez_compressed(
+            fh,
+            wires=np.array(result.trace.wire_names),
+            matrix=result.trace.matrix,
+        ),
     )
     return result.trace
 
@@ -193,20 +241,26 @@ def get_search(
         f"mates_{core}_{suffix}_{netlist_hash(core)}_{_params_key(params)}.json"
     )
     if path.exists():
-        counter("context.search.cache.hit").inc()
-        # Replay the cached aggregates into the registry under the same span
-        # path a live search uses, so metrics exports stay meaningful on
-        # warm caches (counters then report *loaded* search work).
-        with span("mate-search", netlist=core, cached=True):
-            result = _search_from_json(path.read_text(), params)
-        record_search_metrics(result)
-        _COMPLETED_SEARCHES[(core, suffix)] = result
-        return result
+        try:
+            # Replay the cached aggregates into the registry under the same
+            # span path a live search uses, so metrics exports stay
+            # meaningful on warm caches (counters then report *loaded*
+            # search work).
+            with span("mate-search", netlist=core, cached=True):
+                result = _search_from_json(path.read_text(), params)
+        except Exception as exc:  # truncated/garbled JSON, missing keys
+            _discard_corrupt(path, "search", exc)
+        else:
+            counter("context.search.cache.hit").inc()
+            record_search_metrics(result)
+            _COMPLETED_SEARCHES[(core, suffix)] = result
+            return result
     counter("context.search.cache.miss").inc()
     netlist = get_netlist(core)
     wires = faulty_wires_for_dffs(netlist, exclude_register_file=exclude_register_file)
     result = find_mates(netlist, faulty_wires=wires, params=params)
-    path.write_text(_search_to_json(result))
+    text = _search_to_json(result)
+    _atomic_write(path, lambda fh: fh.write(text.encode()))
     _COMPLETED_SEARCHES[(core, suffix)] = result
     return result
 

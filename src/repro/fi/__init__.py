@@ -9,13 +9,30 @@ pruned point is benign end-to-end.
 
 from repro.fi.campaign import Campaign, CampaignResult, CampaignTarget
 from repro.fi.classify import Outcome
-from repro.fi.targets import avr_target, msp430_target
+from repro.fi.journal import JournalError, JournalMismatch, load_journal
+from repro.fi.runner import (
+    CampaignRunner,
+    RunnerConfig,
+    RunReport,
+    TargetSpec,
+    load_result,
+)
+from repro.fi.targets import avr_target, msp430_target, named_target
 
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CampaignRunner",
     "CampaignTarget",
+    "JournalError",
+    "JournalMismatch",
     "Outcome",
+    "RunReport",
+    "RunnerConfig",
+    "TargetSpec",
     "avr_target",
+    "load_journal",
+    "load_result",
     "msp430_target",
+    "named_target",
 ]

@@ -1,0 +1,253 @@
+"""Command-line campaign runner (resilient execution engine).
+
+Usage::
+
+    python -m repro.fi run --target msp430-fib --sampled 200 \\
+        --journal camp.jsonl --workers 4          # parallel campaign
+    python -m repro.fi run --target avr-fib --sampled 500 --pruned \\
+        --journal pruned.jsonl                    # sample the MATE-pruned space
+    python -m repro.fi resume --journal camp.jsonl  # continue after a crash
+    python -m repro.fi status --journal camp.jsonl  # progress + outcome tally
+
+``--target`` accepts a named core+program combination (``avr-fib``,
+``avr-conv``, ``msp430-fib``, ``msp430-conv``) or a
+``package.module:callable`` reference to a zero-/keyword-argument factory
+returning a :class:`~repro.fi.campaign.CampaignTarget`.
+
+Every injection outcome is journaled durably; an interrupted run (Ctrl-C,
+SIGTERM, SIGKILL, power loss) resumes exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import obs
+from repro.fi.classify import Outcome
+from repro.fi.journal import JournalError, load_journal
+from repro.fi.runner import CampaignRunner, RunnerConfig, RunReport, TargetSpec
+from repro.fi.targets import NAMED_TARGETS
+
+#: Exit code when a run stops early but remains resumable.
+EXIT_INTERRUPTED = 130
+
+
+def _spec_for(target: str) -> TargetSpec:
+    if target in NAMED_TARGETS:
+        return TargetSpec(
+            factory="repro.fi.targets:named_target", kwargs={"name": target}
+        )
+    if ":" in target:
+        return TargetSpec(factory=target)
+    raise SystemExit(
+        f"error: unknown target {target!r} — expected one of "
+        f"{', '.join(NAMED_TARGETS)} or a 'package.module:callable' reference"
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> RunnerConfig:
+    config = RunnerConfig(
+        workers=args.workers,
+        max_retries=args.max_retries,
+        limit=args.limit,
+    )
+    if args.timeout_factor is not None:
+        config.timeout_factor = args.timeout_factor
+    if args.timeout_seconds is not None:
+        config.timeout_seconds = args.timeout_seconds
+    return config
+
+
+def _pruned_points(
+    runner: CampaignRunner, target: str, num_samples: int, seed: int
+) -> list[tuple[str, int]]:
+    """Sample the MATE-pruned (remaining) fault space of a named target."""
+    import random
+
+    import numpy as np
+
+    from repro.core.faultspace import FaultSpace
+    from repro.core.replay import replay_mates
+    from repro.eval import context
+
+    core, _, program = target.partition("-")
+    mates = context.get_mates(core, exclude_register_file=False)
+    fault_wires = context.get_fault_wires(core, exclude_register_file=False)
+    trace = context.get_trace(core, program)
+    replay = replay_mates(mates, trace, fault_wires)
+    netlist = runner.target.simulator.netlist
+    dff_of_wire = {dff.q: name for name, dff in netlist.dffs.items()}
+
+    space = FaultSpace(fault_wires, runner.golden_cycles)
+    for wire in fault_wires:
+        benign = np.unpackbits(replay.masked_vector(wire))[: runner.golden_cycles]
+        space.mark_benign_cycles(wire, benign)
+    remaining = [
+        (dff_of_wire[wire], cycle)
+        for wire, cycle in space.remaining_points()
+        if wire in dff_of_wire
+    ]
+    obs.counter("campaign.points.pruned").inc(space.num_benign)
+    if len(remaining) > num_samples:
+        remaining = random.Random(seed).sample(remaining, num_samples)
+    return remaining
+
+
+def _print_report(report: RunReport) -> int:
+    result = report.result
+    print(result.summary())
+    print(
+        f"executed {report.executed} new, skipped {report.skipped} journaled, "
+        f"{report.retries} retries, {report.quarantined} quarantined, "
+        f"{report.worker_restarts} worker restarts"
+    )
+    if report.complete:
+        print(f"campaign complete — journal: {report.journal_path}")
+        return 0
+    reason = (
+        f"interrupted by {report.interrupted}"
+        if report.interrupted
+        else "stopped at --limit"
+    )
+    print(f"campaign incomplete ({reason}) — resume with:")
+    print(f"  {report.resume_hint}")
+    return EXIT_INTERRUPTED if report.interrupted else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_for(args.target)
+    runner = CampaignRunner(spec, _config_from_args(args))
+    if args.pruned:
+        if args.target not in NAMED_TARGETS:
+            raise SystemExit("error: --pruned requires a named core target")
+        points = _pruned_points(runner, args.target, args.sampled, args.seed)
+    else:
+        points = runner.sample_points(args.sampled, seed=args.seed)
+    report = runner.run(
+        points, args.journal, resume=args.resume, seed=args.seed
+    )
+    return _print_report(report)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    state = load_journal(args.journal)
+    if state.complete:
+        print(f"journal {args.journal} is already complete:")
+        return _cmd_status(args)
+    spec = TargetSpec.from_dict(state.header["target"])
+    config = _config_from_args(args)
+    config.max_cycles = state.header["max_cycles"]
+    runner = CampaignRunner(spec, config)
+    report = runner.run(
+        state.points,
+        args.journal,
+        resume=True,
+        seed=state.header.get("seed"),
+    )
+    return _print_report(report)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    state = load_journal(args.journal)
+    header = state.header
+    total = header["num_points"]
+    print(f"journal:   {args.journal}")
+    print(f"workload:  {header['workload']} (netlist {header['netlist_hash']})")
+    print(
+        f"keyed by:  points_hash={header['points_hash']} seed={header['seed']} "
+        f"golden_cycles={header['golden_cycles']}"
+    )
+    print(f"progress:  {len(state.records)}/{total} injections recorded")
+    outcomes = [r.outcome for r in state.records.values()]
+    tally = ", ".join(
+        f"{outcome.value}={outcomes.count(outcome)}" for outcome in Outcome
+    )
+    print(f"outcomes:  {tally}")
+    if state.complete:
+        print("state:     complete")
+    else:
+        print("state:     partial — resume with:")
+        print(f"  python -m repro.fi resume --journal {args.journal}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fi",
+        description="Resilient (parallel, checkpointed) SEU injection campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_exec_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes (0 = inline, no pool; default 1)",
+        )
+        p.add_argument(
+            "--timeout-factor", type=float, default=None,
+            help="wall-clock injection timeout as a multiple of the golden "
+            "run's wall time (default 50)",
+        )
+        p.add_argument(
+            "--timeout-seconds", type=float, default=None,
+            help="explicit wall-clock injection timeout (overrides the factor)",
+        )
+        p.add_argument(
+            "--max-retries", type=int, default=1,
+            help="failed attempts per point before quarantine (default 1)",
+        )
+        p.add_argument(
+            "--limit", type=int, default=None,
+            help="stop (resumable) after N new injections",
+        )
+        p.add_argument("--verbose", "-v", action="store_true")
+
+    run_p = sub.add_parser("run", help="start a campaign (journaling as it goes)")
+    run_p.add_argument("--target", required=True)
+    run_p.add_argument("--journal", required=True, type=Path)
+    run_p.add_argument(
+        "--sampled", type=int, default=100, metavar="N",
+        help="number of uniformly sampled injection points (default 100)",
+    )
+    run_p.add_argument(
+        "--pruned", action="store_true",
+        help="sample the MATE-pruned (remaining) fault space instead of the "
+        "full one (named core targets only)",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing journal instead of failing on it",
+    )
+    add_exec_options(run_p)
+    run_p.set_defaults(func=_cmd_run)
+
+    resume_p = sub.add_parser(
+        "resume", help="continue an interrupted campaign from its journal"
+    )
+    resume_p.add_argument("--journal", required=True, type=Path)
+    add_exec_options(resume_p)
+    resume_p.set_defaults(func=_cmd_resume)
+
+    status_p = sub.add_parser("status", help="inspect a campaign journal")
+    status_p.add_argument("--journal", required=True, type=Path)
+    status_p.set_defaults(func=_cmd_status)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "verbose", False):
+        obs.configure(progress=True)
+    try:
+        return args.func(args)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (FileExistsError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

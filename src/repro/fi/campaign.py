@@ -109,6 +109,8 @@ class Campaign:
     # ------------------------------------------------------------------
     def inject(self, dff_name: str, cycle: int) -> Outcome:
         """Inject one SEU and classify the outcome."""
+        if dff_name not in self.target.simulator.netlist.dffs:
+            raise KeyError(f"unknown flip-flop {dff_name!r}")
         if cycle >= self.golden_cycles:
             raise ValueError(
                 f"cycle {cycle} beyond the golden run ({self.golden_cycles})"

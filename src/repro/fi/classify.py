@@ -14,6 +14,12 @@ class Outcome(enum.Enum):
     SDC = "sdc"
     #: Run did not reach the terminal state within the timeout.
     TIMEOUT = "timeout"
+    #: The injection could not be executed: the run crashed its worker or
+    #: exceeded the wall-clock budget repeatedly and was quarantined by the
+    #: campaign runner. Unlike TIMEOUT (the *simulated target* ran too
+    #: long), ERROR is an infrastructure verdict — nothing is known about
+    #: the fault's effect on the target.
+    ERROR = "error"
 
     @property
     def is_effective(self) -> bool:

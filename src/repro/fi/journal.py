@@ -1,0 +1,215 @@
+"""Crash-safe campaign journals: durable JSONL records with exact resume.
+
+A journal is one JSON-lines file. The first line is the *header* — it keys
+the campaign (netlist hash, workload name, point-list hash, seed, golden
+run length) and embeds the full point list plus the target spec so a
+``resume`` needs nothing but the journal path. Every later line is either
+one injection *record* or the terminal *complete* marker.
+
+Durability contract:
+
+- every record is appended as one ``os.write`` to an ``O_APPEND`` file
+  descriptor (a whole line including the newline, so concurrent readers
+  and crash recovery never see interleaved fragments);
+- ``fsync`` is batched (every ``fsync_interval`` records, plus on close
+  and on the complete marker) — a crash loses at most one batch, never
+  corrupts earlier lines;
+- the loader tolerates a torn final line (the crash case) by dropping it
+  with a counter bump; a malformed line *before* the end means real
+  corruption and raises :class:`JournalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fi.campaign import InjectionRecord
+from repro.fi.classify import Outcome
+from repro.obs import counter
+
+FORMAT_VERSION = 1
+
+#: Header fields that must match exactly for a resume to be accepted.
+MATCH_KEYS = (
+    "netlist_hash",
+    "workload",
+    "points_hash",
+    "seed",
+    "num_points",
+    "golden_cycles",
+    "max_cycles",
+)
+
+
+class JournalError(Exception):
+    """The journal file is unusable (corrupt, wrong version, missing)."""
+
+
+class JournalMismatch(JournalError):
+    """The journal belongs to a different campaign than the one resuming."""
+
+
+@dataclass
+class JournalState:
+    """Everything a loader recovers from a journal file."""
+
+    header: dict
+    #: Completed injections keyed by point index.
+    records: dict[int, InjectionRecord] = field(default_factory=dict)
+    #: Extra per-record metadata (attempts, error strings) keyed by index.
+    details: dict[int, dict] = field(default_factory=dict)
+    complete: bool = False
+
+    @property
+    def points(self) -> list[tuple[str, int]]:
+        """The campaign's full point list, as recorded in the header."""
+        return [(dff, cycle) for dff, cycle in self.header["points"]]
+
+
+def points_hash(points: list[tuple[str, int]]) -> str:
+    """Order-sensitive content hash of a point list."""
+    import hashlib
+
+    blob = json.dumps([[dff, cycle] for dff, cycle in points])
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def load_journal(path: str | Path) -> JournalState:
+    """Parse a journal, tolerating a torn trailing line.
+
+    Partial journals (no complete marker) load fine — that is the whole
+    point. Raises :class:`JournalError` on a missing file, an unparsable
+    header, or corruption anywhere except the final line.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no journal at {path}")
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not lines:
+        raise JournalError(f"journal {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise JournalError(f"journal {path} has an unparsable header: {exc}") from exc
+    if header.get("kind") != "header" or header.get("version") != FORMAT_VERSION:
+        raise JournalError(
+            f"journal {path} has an unsupported header "
+            f"(kind={header.get('kind')!r}, version={header.get('version')!r})"
+        )
+    state = JournalState(header=header)
+    last = len(lines) - 1
+    for lineno, line in enumerate(lines[1:], start=1):
+        try:
+            doc = json.loads(line)
+            kind = doc["kind"]
+            if kind == "record":
+                record = InjectionRecord(
+                    doc["dff"], doc["cycle"], Outcome(doc["outcome"])
+                )
+            elif kind != "complete":
+                raise ValueError(f"unknown line kind {kind!r}")
+        except (ValueError, KeyError, TypeError) as exc:
+            if lineno == last:
+                # Torn write from a crash mid-append: drop and recover.
+                counter("campaign.journal.torn_tail").inc()
+                break
+            raise JournalError(
+                f"journal {path} is corrupt at line {lineno + 1}: {exc}"
+            ) from exc
+        if kind == "complete":
+            state.complete = True
+        else:
+            index = doc["i"]
+            state.records[index] = record
+            state.details[index] = {
+                k: doc[k] for k in ("attempts", "error") if k in doc
+            }
+    return state
+
+
+def check_resumable(state: JournalState, expected_header: dict) -> None:
+    """Refuse to resume a journal that keys a different campaign."""
+    mismatches = [
+        f"{key}: journal={state.header.get(key)!r} expected={expected_header[key]!r}"
+        for key in MATCH_KEYS
+        if state.header.get(key) != expected_header[key]
+    ]
+    if mismatches:
+        raise JournalMismatch(
+            "journal does not match this campaign — refusing to resume "
+            "(delete the journal to start over): " + "; ".join(mismatches)
+        )
+
+
+class CampaignJournal:
+    """Append-side of a journal: crash-safe writes with batched fsync."""
+
+    def __init__(
+        self, path: str | Path, header: dict, fsync_interval: int = 16
+    ) -> None:
+        self.path = Path(path)
+        self.header = header
+        self.fsync_interval = max(1, fsync_interval)
+        self._unsynced = 0
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        if fresh:
+            self._write_line({"kind": "header", "version": FORMAT_VERSION, **header})
+            self._sync()
+
+    # ------------------------------------------------------------------
+    def _write_line(self, doc: dict) -> None:
+        os.write(self._fd, (json.dumps(doc) + "\n").encode())
+
+    def _sync(self) -> None:
+        os.fsync(self._fd)
+        self._unsynced = 0
+
+    def append_record(
+        self,
+        index: int,
+        record: InjectionRecord,
+        attempts: int = 1,
+        error: str | None = None,
+    ) -> None:
+        """Durably append one injection outcome."""
+        doc = {
+            "kind": "record",
+            "i": index,
+            "dff": record.dff_name,
+            "cycle": record.cycle,
+            "outcome": record.outcome.value,
+            "attempts": attempts,
+        }
+        if error is not None:
+            doc["error"] = error
+        self._write_line(doc)
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_interval:
+            self._sync()
+
+    def mark_complete(self, num_records: int) -> None:
+        """Write the terminal marker (campaign fully executed)."""
+        self._write_line({"kind": "complete", "records": num_records})
+        self._sync()
+
+    def close(self) -> None:
+        """Flush everything to disk and release the descriptor."""
+        if self._fd is not None:
+            self._sync()
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> CampaignJournal:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

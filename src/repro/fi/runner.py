@@ -1,0 +1,585 @@
+"""Resilient campaign execution: parallel, checkpointed, crash-tolerant.
+
+:class:`CampaignRunner` layers fault tolerance *around* the existing
+:class:`~repro.fi.campaign.Campaign` model — the campaign engine must
+survive faults in itself while injecting faults into the target:
+
+- **Durable journal + resume** — every injection outcome is appended to a
+  crash-safe JSONL journal (:mod:`repro.fi.journal`) keyed by netlist
+  hash, workload, point-list hash, and seed. An interrupted campaign
+  resumes exactly where it stopped; a resumed run is record-for-record
+  identical to an uninterrupted one (records are ordered by point index,
+  never by completion order).
+- **Supervised worker pool** — ``ProcessPoolExecutor`` (spawn context);
+  each worker builds its own compiled simulator from a serializable
+  :class:`TargetSpec` and runs its own golden execution once. The parent
+  enforces a per-injection *wall-clock* timeout (derived from the golden
+  run's wall time — distinct from the in-simulation cycle budget), retries
+  transient failures with backoff, replaces broken pools, and quarantines
+  poison points: a point whose attempts are exhausted gets a terminal
+  :attr:`Outcome.ERROR` record instead of aborting the campaign.
+- **Graceful shutdown** — SIGINT/SIGTERM stop submission, flush the
+  journal, tear the pool down, and report a resume hint; partial results
+  are always loadable into a valid :class:`CampaignResult`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fi.campaign import Campaign, CampaignResult, CampaignTarget, InjectionRecord
+from repro.fi.classify import Outcome
+from repro.fi.journal import (
+    CampaignJournal,
+    JournalState,
+    check_resumable,
+    load_journal,
+    points_hash,
+)
+from repro.netlist.json_io import netlist_content_hash
+from repro.obs import counter, gauge, span
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """A picklable, JSON-serializable recipe for a :class:`CampaignTarget`.
+
+    ``factory`` is a ``"package.module:callable"`` reference resolved in
+    whatever process builds the target (the parent *and* every spawned
+    worker); ``kwargs`` must be JSON-serializable so the spec can live in
+    a journal header. Factories that need to ship a netlist across the
+    process boundary put its JSON form in ``kwargs`` and rebuild through
+    :class:`repro.sim.spec.SimulatorSpec`.
+    """
+
+    factory: str
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self) -> CampaignTarget:
+        """Import the factory and build the target in this process."""
+        module_name, _, attr = self.factory.partition(":")
+        if not module_name or not attr:
+            raise ValueError(
+                f"target spec factory {self.factory!r} is not of the form "
+                "'package.module:callable'"
+            )
+        module = importlib.import_module(module_name)
+        factory = getattr(module, attr)
+        target = factory(**self.kwargs)
+        if not isinstance(target, CampaignTarget):
+            raise TypeError(
+                f"{self.factory} returned {type(target).__name__}, "
+                "expected CampaignTarget"
+            )
+        return target
+
+    def to_dict(self) -> dict:
+        return {"factory": self.factory, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> TargetSpec:
+        return cls(factory=doc["factory"], kwargs=dict(doc.get("kwargs", {})))
+
+
+@dataclass
+class RunnerConfig:
+    """Tuning knobs of the resilient runner."""
+
+    #: Worker processes; 0 executes inline in this process (no pool).
+    workers: int = 1
+    #: Wall-clock per-injection timeout = golden wall time x this factor
+    #: (floored at ``min_timeout_seconds``). Distinct from the *cycle*
+    #: budget `CampaignTarget.timeout_factor`, which bounds the simulated
+    #: run; this bounds the host-side execution of one injection.
+    timeout_factor: float = 50.0
+    #: Explicit wall-clock timeout override (seconds); None = derive.
+    timeout_seconds: float | None = None
+    min_timeout_seconds: float = 5.0
+    #: Extra deadline slack until the pool has produced its first result
+    #: (covers spawn + per-worker compile + golden run).
+    startup_grace: float = 60.0
+    #: Failed attempts allowed per point beyond the first; a point failing
+    #: ``max_retries + 1`` times total is quarantined with Outcome.ERROR.
+    max_retries: int = 1
+    #: Base sleep before re-submitting a failed point (doubles per attempt).
+    retry_backoff: float = 0.05
+    #: Journal fsync batching (records per fsync).
+    fsync_interval: int = 16
+    #: Cycle budget for the golden run (Campaign max_cycles).
+    max_cycles: int = 50_000
+    #: Stop (gracefully, resumable) after this many new records; None = all.
+    limit: int | None = None
+    #: Install SIGINT/SIGTERM handlers for graceful shutdown (main thread
+    #: only; originals are restored on exit).
+    install_signal_handlers: bool = True
+
+
+@dataclass
+class RunReport:
+    """What one :meth:`CampaignRunner.run` invocation did."""
+
+    result: CampaignResult
+    complete: bool
+    journal_path: Path
+    total_points: int
+    executed: int = 0
+    skipped: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    worker_restarts: int = 0
+    #: Signal name if the run was interrupted, else None.
+    interrupted: str | None = None
+
+    @property
+    def resume_hint(self) -> str:
+        """Shell hint for continuing an unfinished campaign."""
+        return f"python -m repro.fi resume --journal {self.journal_path}"
+
+
+def load_result(journal_path: str | Path) -> CampaignResult:
+    """Load a (possibly partial) journal into a valid CampaignResult."""
+    state = load_journal(journal_path)
+    return _assemble_result(state.header, state.records)
+
+
+def _assemble_result(
+    header: dict, records: dict[int, InjectionRecord]
+) -> CampaignResult:
+    result = CampaignResult(header["workload"], header["golden_cycles"])
+    result.records = [records[i] for i in sorted(records)]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Worker side (module-level so the spawn pickler can reference it)
+# ----------------------------------------------------------------------
+_WORKER_CAMPAIGN: Campaign | None = None
+
+
+def _worker_init(spec_doc: dict, max_cycles: int) -> None:
+    """Pool initializer: build the target and run golden once per worker."""
+    global _WORKER_CAMPAIGN
+    spec = TargetSpec.from_dict(spec_doc)
+    _WORKER_CAMPAIGN = Campaign(spec.build(), max_cycles=max_cycles)
+
+
+def _worker_inject(index: int, dff_name: str, cycle: int) -> tuple[int, str]:
+    assert _WORKER_CAMPAIGN is not None, "worker initializer did not run"
+    outcome = _WORKER_CAMPAIGN.inject(dff_name, cycle)
+    return index, outcome.value
+
+
+def _worker_probe() -> bool:
+    """No-op marker task: completes once a worker finished initializing."""
+    return _WORKER_CAMPAIGN is not None
+
+
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Fault-tolerant executor of one campaign over one target spec."""
+
+    def __init__(self, spec: TargetSpec, config: RunnerConfig | None = None) -> None:
+        self.spec = spec
+        self.config = config or RunnerConfig()
+        with span("runner/parent-setup"):
+            self.target = spec.build()
+            start = time.monotonic()
+            self.campaign = Campaign(self.target, max_cycles=self.config.max_cycles)
+            self.golden_wall_seconds = time.monotonic() - start
+        self.netlist_hash = netlist_content_hash(self.target.simulator.netlist)
+
+    # ------------------------------------------------------------------
+    @property
+    def golden_cycles(self) -> int:
+        return self.campaign.golden_cycles
+
+    def sample_points(
+        self, num_samples: int, seed: int = 0
+    ) -> list[tuple[str, int]]:
+        """The exact point list ``Campaign.run_sampled`` would inject."""
+        import random
+
+        rng = random.Random(seed)
+        names = list(self.target.simulator.netlist.dffs)
+        return [
+            (rng.choice(names), rng.randrange(self.golden_cycles))
+            for _ in range(num_samples)
+        ]
+
+    def wall_timeout(self) -> float:
+        """Per-injection wall-clock budget (seconds)."""
+        if self.config.timeout_seconds is not None:
+            return self.config.timeout_seconds
+        return max(
+            self.config.min_timeout_seconds,
+            self.golden_wall_seconds * self.config.timeout_factor,
+        )
+
+    def _header(self, points: list[tuple[str, int]], seed: int | None) -> dict:
+        return {
+            "target": self.spec.to_dict(),
+            "workload": self.target.name,
+            "netlist_hash": self.netlist_hash,
+            "points_hash": points_hash(points),
+            "seed": seed,
+            "num_points": len(points),
+            "golden_cycles": self.golden_cycles,
+            "max_cycles": self.config.max_cycles,
+            "points": [[dff, cycle] for dff, cycle in points],
+        }
+
+    def _validate_points(self, points: list[tuple[str, int]]) -> None:
+        dffs = self.target.simulator.netlist.dffs
+        for dff_name, cycle in points:
+            if dff_name not in dffs:
+                raise KeyError(f"unknown flip-flop {dff_name!r}")
+            if cycle >= self.golden_cycles:
+                raise ValueError(
+                    f"cycle {cycle} beyond the golden run ({self.golden_cycles})"
+                )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        points: list[tuple[str, int]],
+        journal_path: str | Path,
+        resume: bool = False,
+        seed: int | None = None,
+    ) -> RunReport:
+        """Execute (or continue) the campaign, journaling every record.
+
+        With ``resume=True`` an existing journal is validated against this
+        campaign's header (netlist hash, workload, point-list hash, seed,
+        golden length) and already-recorded points are skipped; a mismatch
+        raises :class:`~repro.fi.journal.JournalMismatch`. Without it, an
+        existing non-empty journal is an error.
+        """
+        journal_path = Path(journal_path)
+        points = list(points)
+        self._validate_points(points)
+        header = self._header(points, seed)
+
+        done: dict[int, InjectionRecord] = {}
+        already_complete = False
+        if journal_path.exists() and journal_path.stat().st_size > 0:
+            if not resume:
+                raise FileExistsError(
+                    f"journal {journal_path} already exists — resume it with "
+                    f"'python -m repro.fi resume --journal {journal_path}' "
+                    "or delete it to start over"
+                )
+            state = load_journal(journal_path)
+            check_resumable(state, header)
+            done = dict(state.records)
+            already_complete = state.complete
+            counter("campaign.resume.skipped").inc(len(done))
+
+        report = RunReport(
+            result=CampaignResult(self.target.name, self.golden_cycles),
+            complete=False,
+            journal_path=journal_path,
+            total_points=len(points),
+            skipped=len(done),
+        )
+        pending = [i for i in range(len(points)) if i not in done]
+        if self.config.limit is not None:
+            pending = pending[: self.config.limit]
+
+        stop = threading.Event()
+        stop_signal: list[str] = []
+        old_handlers = self._install_handlers(stop, stop_signal)
+        try:
+            with CampaignJournal(
+                journal_path, header, self.config.fsync_interval
+            ) as journal, span(
+                "runner/execute", target=self.target.name, points=len(pending)
+            ) as run_span:
+                if pending:
+                    if self.config.workers <= 0:
+                        self._run_inline(points, pending, done, journal, report, stop)
+                    else:
+                        self._run_pool(points, pending, done, journal, report, stop)
+                executed_all = len(done) == len(points)
+                if executed_all and not stop.is_set():
+                    if not already_complete:
+                        journal.mark_complete(len(done))
+                    report.complete = True
+            if run_span.elapsed > 0 and report.executed:
+                gauge("campaign.injections_per_second").set(
+                    report.executed / run_span.elapsed
+                )
+        finally:
+            self._restore_handlers(old_handlers)
+
+        report.interrupted = stop_signal[0] if stop_signal else None
+        report.result = _assemble_result(header, done)
+        return report
+
+    # ------------------------------------------------------------------
+    def _install_handlers(self, stop: threading.Event, names: list[str]):
+        if (
+            not self.config.install_signal_handlers
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            return None
+
+        def handler(signum, frame):
+            names.append(signal.Signals(signum).name)
+            stop.set()
+
+        return {
+            sig: signal.signal(sig, handler)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+
+    @staticmethod
+    def _restore_handlers(old_handlers) -> None:
+        if old_handlers:
+            for sig, old in old_handlers.items():
+                signal.signal(sig, old)
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        journal: CampaignJournal,
+        done: dict[int, InjectionRecord],
+        report: RunReport,
+        index: int,
+        point: tuple[str, int],
+        outcome: Outcome,
+        attempts: int,
+        error: str | None = None,
+    ) -> None:
+        record = InjectionRecord(point[0], point[1], outcome)
+        journal.append_record(index, record, attempts=attempts, error=error)
+        done[index] = record
+        report.executed += 1
+        counter("campaign.injections").inc()
+        counter(f"campaign.outcome.{outcome.value}").inc()
+
+    def _quarantine(
+        self,
+        journal: CampaignJournal,
+        done: dict[int, InjectionRecord],
+        report: RunReport,
+        index: int,
+        point: tuple[str, int],
+        attempts: int,
+        error: str,
+    ) -> None:
+        report.quarantined += 1
+        counter("campaign.points.quarantined").inc()
+        self._record(
+            journal, done, report, index, point, Outcome.ERROR, attempts, error
+        )
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, points, pending, done, journal, report, stop) -> None:
+        """Serial in-process execution (workers=0): retries, no wall timeout."""
+        for index in pending:
+            if stop.is_set():
+                return
+            dff_name, cycle = points[index]
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    outcome = self.campaign.inject(dff_name, cycle)
+                except Exception as exc:  # noqa: BLE001 - quarantine boundary
+                    if attempts > self.config.max_retries:
+                        self._quarantine(
+                            journal, done, report, index, points[index],
+                            attempts, f"{type(exc).__name__}: {exc}",
+                        )
+                        break
+                    report.retries += 1
+                    counter("campaign.retries").inc()
+                    time.sleep(self.config.retry_backoff * (2 ** (attempts - 1)))
+                else:
+                    self._record(
+                        journal, done, report, index, points[index],
+                        outcome, attempts,
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    def _make_pool(self) -> ProcessPoolExecutor:
+        import multiprocessing
+
+        return ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(self.spec.to_dict(), self.config.max_cycles),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool whose workers may be wedged."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            process.kill()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pool(self, points, pending, done, journal, report, stop) -> None:
+        """Supervised ProcessPoolExecutor execution with timeouts/retries."""
+        config = self.config
+        timeout = self.wall_timeout()
+        queue = deque(pending)
+        attempts: dict[int, int] = dict.fromkeys(pending, 0)
+        last_error = "unknown"
+        pool = self._make_pool()
+        # The probe completes once a worker finished initializing (spawn +
+        # compile + golden run). Until then, submitted points carry the
+        # startup grace on their deadline; once it lands, deadlines re-arm
+        # to a plain `now + timeout` so a hung first task cannot hide
+        # behind the grace — including after every pool restart.
+        probe = pool.submit(_worker_probe)
+        pool_warm = False
+        cold_restarts = 0  # pool deaths before any worker ever succeeded
+        outstanding: dict = {}  # future -> (index, deadline)
+        try:
+            while (queue or outstanding) and not stop.is_set():
+                # A point that failed before (crash or timeout) re-runs
+                # *solo*: if the pool breaks again the culprit is
+                # unambiguous, so innocent neighbours are never penalized
+                # twice and only true poison points reach quarantine.
+                solo_active = any(
+                    attempts[i] > 0 for i, _ in outstanding.values()
+                )
+                while (
+                    queue and len(outstanding) < config.workers and not solo_active
+                ):
+                    if attempts[queue[0]] > 0 and outstanding:
+                        break  # drain the window, then run the suspect alone
+                    index = queue.popleft()
+                    dff_name, cycle = points[index]
+                    future = pool.submit(_worker_inject, index, dff_name, cycle)
+                    deadline = time.monotonic() + timeout
+                    if not pool_warm:
+                        deadline += config.startup_grace
+                    outstanding[future] = (index, deadline)
+                    if attempts[index] > 0:
+                        break  # suspect submitted; keep it alone in the pool
+
+                now = time.monotonic()
+                wait_budget = max(
+                    0.01, min(dl for _, dl in outstanding.values()) - now
+                )
+                waitset = set(outstanding)
+                if not pool_warm:
+                    waitset.add(probe)
+                finished, _ = wait(
+                    waitset, timeout=wait_budget, return_when=FIRST_COMPLETED
+                )
+
+                if not pool_warm and probe.done() and probe.exception() is None:
+                    pool_warm = True
+                    rearm = time.monotonic() + timeout
+                    for key, (i, deadline) in outstanding.items():
+                        outstanding[key] = (i, min(deadline, rearm))
+
+                pool_broken = False
+                for future in finished:
+                    if future not in outstanding:
+                        continue  # the probe
+                    index, _ = outstanding.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        result_index, outcome_value = future.result()
+                        self._record(
+                            journal, done, report, result_index,
+                            points[result_index], Outcome(outcome_value),
+                            attempts[result_index] + 1,
+                        )
+                    elif isinstance(exc, BrokenProcessPool):
+                        pool_broken = True
+                        last_error = f"worker crashed: {exc}"
+                        self._register_failure(
+                            journal, done, report, points, queue, attempts,
+                            index, last_error,
+                        )
+                    else:
+                        last_error = f"{type(exc).__name__}: {exc}"
+                        self._register_failure(
+                            journal, done, report, points, queue, attempts,
+                            index, last_error,
+                        )
+
+                timed_out = [
+                    (future, index)
+                    for future, (index, deadline) in outstanding.items()
+                    if time.monotonic() >= deadline and not future.done()
+                ]
+                if timed_out:
+                    for _, index in timed_out:
+                        self._register_failure(
+                            journal, done, report, points, queue, attempts,
+                            index, f"wall-clock timeout after {timeout:.1f}s",
+                        )
+                    hung = {index for _, index in timed_out}
+                    # The pool has wedged workers — survivors are innocent
+                    # victims of the restart and are requeued free of charge.
+                    for future, (index, _) in outstanding.items():
+                        if index not in hung and not future.done():
+                            queue.append(index)
+                    outstanding.clear()
+                    pool, probe, pool_warm = self._restart_pool(pool, report)
+                elif pool_broken:
+                    if not pool_warm:
+                        cold_restarts += 1
+                        if cold_restarts > max(2, self.config.max_retries + 1):
+                            raise RuntimeError(
+                                "worker pool died repeatedly before completing "
+                                "a single injection — the target spec likely "
+                                "fails to build in workers; last error: "
+                                + last_error
+                            )
+                    # Every other outstanding future is doomed with the same
+                    # BrokenProcessPool; drain them as free requeues.
+                    for future, (index, _) in outstanding.items():
+                        if index not in done:
+                            queue.append(index)
+                    outstanding.clear()
+                    pool, probe, pool_warm = self._restart_pool(pool, report)
+            if stop.is_set():
+                for future in outstanding:
+                    future.cancel()
+        finally:
+            self._kill_pool(pool)
+
+    def _restart_pool(self, pool: ProcessPoolExecutor, report: RunReport):
+        self._kill_pool(pool)
+        report.worker_restarts += self.config.workers
+        counter("campaign.worker_restarts").inc(self.config.workers)
+        fresh = self._make_pool()
+        return fresh, fresh.submit(_worker_probe), False
+
+    def _register_failure(
+        self, journal, done, report, points, queue, attempts,
+        index: int, error: str,
+    ) -> None:
+        """Count one failed attempt; retry or quarantine the point."""
+        if index in done:  # already quarantined in this round
+            return
+        attempts[index] += 1
+        if attempts[index] > self.config.max_retries:
+            self._quarantine(
+                journal, done, report, index, points[index], attempts[index],
+                error,
+            )
+        else:
+            report.retries += 1
+            counter("campaign.retries").inc()
+            time.sleep(
+                self.config.retry_backoff * (2 ** (attempts[index] - 1))
+            )
+            queue.append(index)

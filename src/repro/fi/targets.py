@@ -39,3 +39,27 @@ def msp430_target(program: str, simulator: Simulator) -> CampaignTarget:
         make_testbench=lambda: Msp430System(words, halt_on_cpuoff=True),
         observables=_msp430_observables,
     )
+
+
+#: Targets nameable on the ``python -m repro.fi`` command line and in
+#: journal headers / worker specs: ``<core>-<program>``.
+NAMED_TARGETS = ("avr-fib", "avr-conv", "msp430-fib", "msp430-conv")
+
+
+def named_target(name: str) -> CampaignTarget:
+    """Build one of the standard core+program targets by name.
+
+    Synthesizes (memoized per process through :mod:`repro.eval.context`)
+    in whatever process calls it — this is the factory campaign-runner
+    workers invoke after ``spawn``, so each worker owns its own compiled
+    simulator without pickling one across the process boundary.
+    """
+    if name not in NAMED_TARGETS:
+        raise ValueError(
+            f"unknown target {name!r} (expected one of {', '.join(NAMED_TARGETS)})"
+        )
+    from repro.eval.context import get_simulator
+
+    core, _, program = name.partition("-")
+    factory = avr_target if core == "avr" else msp430_target
+    return factory(program, get_simulator(core))

@@ -62,7 +62,14 @@ def simulate_online_pruning(
     column = {wire: i for i, wire in enumerate(compiled.trace_wires)}
     mate_checks: list[list[tuple[int, int]]] = []
     mate_targets: list[list[str]] = []
-    for mate in mates:
+    for index, mate in enumerate(mates):
+        for wire, _ in mate.literals:
+            if wire not in column:
+                raise ValueError(
+                    f"MATE #{index} references wire {wire!r} which does not "
+                    f"exist in netlist {netlist.name!r} — the MATE set was "
+                    "likely computed from a differently-synthesized netlist"
+                )
         mate_checks.append([(column[w], v) for w, v in mate.literals])
         mate_targets.append(
             [dff_of_wire[w] for w in mate.fault_wires if w in dff_of_wire]

@@ -1,6 +1,10 @@
 """Gate-level netlist model, graph queries, and interchange formats."""
 
-from repro.netlist.json_io import netlist_from_json, netlist_to_json
+from repro.netlist.json_io import (
+    netlist_content_hash,
+    netlist_from_json,
+    netlist_to_json,
+)
 from repro.netlist.netlist import DFF, Gate, Netlist
 from repro.netlist.stats import NetlistStats, netlist_stats
 from repro.netlist.validate import NetlistError, validate_netlist
@@ -12,6 +16,7 @@ __all__ = [
     "Netlist",
     "NetlistError",
     "NetlistStats",
+    "netlist_content_hash",
     "netlist_from_json",
     "netlist_stats",
     "netlist_to_json",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -9,6 +10,16 @@ from repro.cells.library import Library
 from repro.netlist.netlist import Netlist
 
 FORMAT_VERSION = 1
+
+
+def netlist_content_hash(netlist: Netlist) -> str:
+    """Short content hash of a netlist's full JSON serialization.
+
+    Keys every artifact derived from a netlist (traces, MATE searches,
+    campaign journals): two netlists hash equal iff their JSON forms —
+    structure *and* attributes — are identical.
+    """
+    return hashlib.sha256(netlist_to_json(netlist).encode()).hexdigest()[:16]
 
 
 def netlist_to_json(netlist: Netlist) -> str:

@@ -3,6 +3,7 @@
 from repro.sim.compiler import CompiledNetlist, compile_netlist
 from repro.sim.memory import RAM, ROM
 from repro.sim.simulator import SimulationResult, Simulator, StateView
+from repro.sim.spec import SimulatorSpec
 from repro.sim.testbench import ConstantTestbench, TableTestbench, Testbench
 
 __all__ = [
@@ -12,6 +13,7 @@ __all__ = [
     "ConstantTestbench",
     "SimulationResult",
     "Simulator",
+    "SimulatorSpec",
     "StateView",
     "TableTestbench",
     "Testbench",

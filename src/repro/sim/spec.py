@@ -1,0 +1,75 @@
+"""Serializable simulator specs for cross-process campaign workers.
+
+A :class:`SimulatorSpec` carries everything a *different process* needs to
+rebuild a compiled simulator: the netlist's lossless JSON form plus the
+cell-library name. The campaign runner ships specs to spawned workers
+(pickled through ``multiprocessing``), where :meth:`SimulatorSpec.build`
+compiles the netlist exactly once per process — a worker that executes
+thousands of injections pays the compile cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.json_io import netlist_from_json, netlist_to_json
+from repro.netlist.netlist import Netlist
+from repro.obs import counter
+from repro.sim.simulator import Simulator
+
+#: Per-process memo of built simulators, keyed by the spec's content hash.
+_BUILT: dict[str, Simulator] = {}
+
+
+def _library_by_name(name: str):
+    from repro.cells import nangate15_library
+
+    library = nangate15_library()
+    if library.name != name:
+        raise ValueError(
+            f"netlist requires cell library {name!r}; only {library.name!r} "
+            "is available in this process"
+        )
+    return library
+
+
+@dataclass(frozen=True)
+class SimulatorSpec:
+    """A picklable recipe for building a :class:`Simulator` anywhere."""
+
+    netlist_json: str
+    library: str
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> SimulatorSpec:
+        """Capture a netlist into a spec (loses the compiled form only)."""
+        return cls(
+            netlist_json=netlist_to_json(netlist), library=netlist.library.name
+        )
+
+    @classmethod
+    def from_simulator(cls, simulator: Simulator) -> SimulatorSpec:
+        """Capture the netlist behind an existing simulator."""
+        return cls.from_netlist(simulator.netlist)
+
+    @property
+    def content_hash(self) -> str:
+        """Hash keying the per-process build memo (and journal headers)."""
+        import hashlib
+
+        return hashlib.sha256(self.netlist_json.encode()).hexdigest()[:16]
+
+    def build(self) -> Simulator:
+        """Compile (once per process) and return the simulator."""
+        key = self.content_hash
+        simulator = _BUILT.get(key)
+        if simulator is None:
+            counter("sim.spec.builds").inc()
+            netlist = netlist_from_json(
+                self.netlist_json, _library_by_name(self.library)
+            )
+            simulator = Simulator(netlist)
+            _BUILT[key] = simulator
+        else:
+            counter("sim.spec.build_cache_hits").inc()
+        return simulator

@@ -1,0 +1,106 @@
+"""Crash-safety tests for the on-disk artifact cache.
+
+A campaign box can lose power mid-write; the cache must never serve a
+truncated artifact. Writes go through a temp-file + ``os.replace`` dance
+(readers see the old version or the new one, nothing in between), and a
+corrupt file found at load time is warned about, deleted, and regenerated.
+"""
+
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.core.search import SearchParameters
+from repro.eval import context
+
+SMALL_PARAMS = SearchParameters(
+    max_candidates=200, max_exact_checks=40, depth=3, max_mates_per_wire=4
+)
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    """Point the disk cache at a fresh directory; clear the memo caches."""
+    monkeypatch.setattr(context, "_CACHE_DIR", tmp_path)
+    context.get_trace.cache_clear()
+    context.get_search.cache_clear()
+    yield tmp_path
+    context.get_trace.cache_clear()
+    context.get_search.cache_clear()
+
+
+def _only(cache, pattern):
+    files = list(cache.glob(pattern))
+    assert len(files) == 1, files
+    return files[0]
+
+
+class TestTraceCache:
+    def test_truncated_npz_regenerated(self, cache):
+        trace = context.get_trace("avr", "fib", cycles=40)
+        path = _only(cache, "trace_avr_fib_40_*.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # power loss mid-write
+
+        context.get_trace.cache_clear()
+        with pytest.warns(RuntimeWarning, match="corrupt trace cache"):
+            again = context.get_trace("avr", "fib", cycles=40)
+        assert again == trace
+        assert obs.get_registry().counter("context.cache.corrupt").value == 1
+        # ... and the regenerated file loads cleanly next time.
+        context.get_trace.cache_clear()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert context.get_trace("avr", "fib", cycles=40) == trace
+
+    def test_garbage_npz_regenerated(self, cache):
+        trace = context.get_trace("avr", "fib", cycles=40)
+        path = _only(cache, "trace_avr_fib_40_*.npz")
+        path.write_bytes(b"this is not a zip archive")
+        context.get_trace.cache_clear()
+        with pytest.warns(RuntimeWarning, match="corrupt trace cache"):
+            assert context.get_trace("avr", "fib", cycles=40) == trace
+
+    def test_no_temp_files_left_behind(self, cache):
+        context.get_trace("avr", "fib", cycles=40)
+        assert not list(cache.glob("*.tmp"))
+
+    def test_failed_write_leaves_no_artifact(self, cache, tmp_path):
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_writer(fh):
+            fh.write(b"partial")
+            raise Boom()
+
+        target = tmp_path / "artifact.bin"
+        with pytest.raises(Boom):
+            context._atomic_write(target, exploding_writer)
+        assert not target.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestSearchCache:
+    def test_truncated_json_regenerated(self, cache):
+        first = context.get_search("avr", True, SMALL_PARAMS)
+        path = _only(cache, "mates_avr_noRF_*.json")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+
+        context.get_search.cache_clear()
+        with pytest.warns(RuntimeWarning, match="corrupt search cache"):
+            again = context.get_search("avr", True, SMALL_PARAMS)
+        assert again.num_mates == first.num_mates
+        assert [r.status for r in again.wire_results] == [
+            r.status for r in first.wire_results
+        ]
+        # The regenerated file is complete and loads warning-free.
+        context.get_search.cache_clear()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            context.get_search("avr", True, SMALL_PARAMS)
+
+    def test_write_is_atomic(self, cache):
+        context.get_search("avr", True, SMALL_PARAMS)
+        assert not list(cache.glob("*.tmp"))

@@ -83,6 +83,12 @@ class TestCampaign:
         with pytest.raises(KeyError):
             campaign.run_points([("nope", 0)])
 
+    def test_inject_validates_dff_name_directly(self, campaign):
+        # A typo'd flip-flop must fail loudly at the API boundary, not deep
+        # inside the simulator state machinery.
+        with pytest.raises(KeyError, match="unknown flip-flop 'acc_b99'"):
+            campaign.inject("acc_b99", 2)
+
     def test_run_points_aggregation(self, campaign):
         result = campaign.run_points([("acc_b0", 2), ("decoy_b0", 2)])
         assert result.num_injections == 2

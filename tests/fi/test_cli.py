@@ -1,0 +1,153 @@
+"""End-to-end CLI resilience tests: kill/interrupt real campaign processes.
+
+These drive ``python -m repro.fi`` as a subprocess (its own process group),
+SIGKILL or SIGTERM it mid-campaign, and check the acceptance criteria: the
+journal survives, ``resume`` completes it, and the final record list is
+record-for-record identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join([os.path.join(REPO_ROOT, "src"), REPO_ROOT]),
+)
+TARGET = "tests.fi.runner_targets:accum_target"
+#: Same workload/netlist, ~20 ms per simulated cycle — slow enough that a
+#: test can reliably kill the campaign while it is mid-flight.
+SLOW_TARGET = "tests.fi.runner_targets:slow_accum_target"
+
+
+def _cli(*args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.fi", *args],
+        env=ENV,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        **kwargs,
+    )
+
+
+def _records(journal_path):
+    """Injection records by index: ``{i: (dff, cycle, outcome)}`` sorted."""
+    out = {}
+    with open(journal_path) as fh:
+        for line in fh:
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # torn tail from the kill
+            if doc.get("kind") == "record":
+                out[doc["i"]] = (doc["dff"], doc["cycle"], doc["outcome"])
+    return [out[i] for i in sorted(out)]
+
+
+def _start_and_wait_for_records(journal, *extra_args, min_records=10):
+    """Launch a slow-ish campaign; block until records hit the journal."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.fi", "run",
+            "--target", SLOW_TARGET,
+            "--sampled", "120", "--seed", "5", "--workers", "2",
+            "--journal", str(journal), *extra_args,
+        ],
+        env=ENV,
+        cwd=REPO_ROOT,
+        start_new_session=True,  # own process group, like a real terminal job
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if journal.exists() and len(_records(journal)) >= min_records:
+            return proc
+        if proc.poll() is not None:
+            break
+        time.sleep(0.05)
+    out, err = proc.communicate(timeout=10)
+    raise AssertionError(
+        f"campaign never journaled {min_records} records "
+        f"(rc={proc.returncode}):\n{out}\n{err}"
+    )
+
+
+@pytest.mark.slow
+class TestCliResilience:
+    def test_sigkill_then_resume_record_identical(self, tmp_path):
+        """The headline acceptance test: SIGKILL the whole process group
+        mid-campaign, resume from the journal, match an uninterrupted run
+        record for record."""
+        reference = tmp_path / "ref.jsonl"
+        done = _cli(
+            "run", "--target", TARGET, "--sampled", "120", "--seed", "5",
+            "--workers", "0", "--journal", str(reference),
+        )
+        assert done.returncode == 0, done.stderr
+
+        journal = tmp_path / "killed.jsonl"
+        proc = _start_and_wait_for_records(journal)
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        survived = len(_records(journal))
+        assert 0 < survived < 120  # really died mid-campaign
+
+        resumed = _cli("resume", "--journal", str(journal), "--workers", "2")
+        assert resumed.returncode == 0, resumed.stderr
+        assert "campaign complete" in resumed.stdout
+        assert _records(journal) == _records(reference)
+
+    def test_sigterm_graceful_shutdown(self, tmp_path):
+        journal = tmp_path / "termed.jsonl"
+        proc = _start_and_wait_for_records(journal, "--timeout-seconds", "30")
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 130
+        assert "interrupted by SIGTERM" in out
+        assert f"resume --journal {journal}" in out
+
+        status = _cli("status", "--journal", str(journal))
+        assert status.returncode == 0
+        assert "partial" in status.stdout
+        assert "resume" in status.stdout
+
+    def test_status_complete_and_limit_resume(self, tmp_path):
+        journal = tmp_path / "limited.jsonl"
+        first = _cli(
+            "run", "--target", TARGET, "--sampled", "9", "--workers", "0",
+            "--limit", "4", "--journal", str(journal),
+        )
+        assert first.returncode == 0  # a --limit stop is not an error
+        assert "stopped at --limit" in first.stdout
+
+        resumed = _cli("resume", "--journal", str(journal), "--workers", "0")
+        assert resumed.returncode == 0, resumed.stderr
+
+        status = _cli("status", "--journal", str(journal))
+        assert "9/9 injections recorded" in status.stdout
+        assert "state:     complete" in status.stdout
+
+
+class TestCliErrors:
+    def test_unknown_target_fails_cleanly(self, tmp_path):
+        result = _cli(
+            "run", "--target", "pdp11-fib",
+            "--journal", str(tmp_path / "x.jsonl"),
+        )
+        assert result.returncode != 0
+        assert "unknown target" in result.stderr
+
+    def test_resume_missing_journal_fails_cleanly(self, tmp_path):
+        result = _cli("resume", "--journal", str(tmp_path / "absent.jsonl"))
+        assert result.returncode == 2
+        assert "no journal" in result.stderr

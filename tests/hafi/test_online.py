@@ -1,7 +1,9 @@
 """Tests for online (in-emulation) fault-space pruning."""
 
 import numpy as np
+import pytest
 
+from repro.core.mate import Mate
 from repro.core.replay import replay_mates
 from repro.core.search import find_mates
 from repro.eval.example_circuit import figure1_netlist
@@ -78,3 +80,19 @@ class TestOnlinePruning:
         total = run.fault_space.size
         remaining = len(run.fault_list())
         assert remaining == total - run.fault_space.num_benign
+
+    def test_foreign_mate_names_wire_index_and_netlist(self):
+        """A MATE from a differently-synthesized netlist fails with context
+        (wire, MATE index, netlist name) — not a bare KeyError."""
+        netlist = _gated_netlist()
+        good = find_mates(netlist).mate_set().mates()
+        foreign = Mate([("ghost_wire", 1)], ["held_b0"])
+        rows = [{"en": 0, "data": 3}] * 4
+        with pytest.raises(ValueError) as err:
+            simulate_online_pruning(
+                netlist, [*good, foreign], TableTestbench(rows), len(rows)
+            )
+        message = str(err.value)
+        assert "'ghost_wire'" in message
+        assert f"MATE #{len(good)}" in message
+        assert "'gated'" in message
