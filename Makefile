@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-resilience campaign-demo lint lint-self ruff tables
+.PHONY: test test-fast test-resilience campaign-demo bench lint lint-self ruff tables
 
 test:            ## full test suite
 	$(PYTHON) -m pytest
@@ -13,13 +13,19 @@ test-resilience: ## kill/resume campaign tests, with a faulthandler hang guard
 	$(PYTHON) -m pytest tests/fi -p faulthandler -o faulthandler_timeout=300
 
 campaign-demo:   ## interrupted + resumed campaign (crash-recovery demo)
-	rm -f campaign-demo.jsonl
+	rm -rf campaign-demo.jsonl campaign-demo.jsonl.telemetry
 	$(PYTHON) -m repro.fi run --target msp430-fib --sampled 12 --limit 5 \
 		--journal campaign-demo.jsonl
 	$(PYTHON) -m repro.fi status --journal campaign-demo.jsonl
-	$(PYTHON) -m repro.fi resume --journal campaign-demo.jsonl
+	$(PYTHON) -m repro.fi resume --journal campaign-demo.jsonl \
+		--telemetry-dir campaign-demo.jsonl.telemetry \
+		--metrics-out campaign-demo-metrics.json \
+		--trace-out campaign-demo-trace.json
 	$(PYTHON) -m repro.fi status --journal campaign-demo.jsonl
-	rm -f campaign-demo.jsonl
+	$(PYTHON) -m repro.fi report campaign-demo.jsonl --out campaign-demo.html
+
+bench:           ## perf snapshot of search/replay/campaign workloads
+	$(PYTHON) -m repro.eval bench --out BENCH_5.json
 
 lint:            ## static analysis of the evaluation designs
 	$(PYTHON) -m repro.lint figure1

@@ -15,10 +15,16 @@ from repro.eval import context
 
 @pytest.fixture(autouse=True)
 def _reset_obs():
-    """Per-benchmark metrics isolation (mirrors tests/conftest.py)."""
+    """Per-benchmark metrics isolation (mirrors tests/conftest.py).
+
+    Covers the cross-process telemetry writer too: a benchmark that
+    enables worker-side telemetry must not leak its sink into the next.
+    """
     obs.reset()
     yield
     obs.reset()
+    obs.remote.reset()
+    assert obs.remote._worker_writer is None
 
 
 @pytest.fixture(scope="session")

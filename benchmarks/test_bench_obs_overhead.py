@@ -15,6 +15,8 @@ import time
 import pytest
 
 from repro import obs
+from repro.fi.campaign import Campaign, CampaignTarget
+from repro.obs import events, remote
 from repro.rtl import RtlCircuit
 from repro.sim import Simulator, Testbench
 from repro.synth import synthesize
@@ -81,6 +83,78 @@ def test_obs_overhead_on_sim_hot_loop_under_5_percent(simulator):
     assert overhead < _MAX_OVERHEAD, (
         f"observability overhead {100 * overhead:.1f}% exceeds "
         f"{100 * _MAX_OVERHEAD:.0f}% on the simulator hot loop"
+    )
+
+
+#: Golden-run length for the campaign hot loop; the injection budget is
+#: ``timeout_factor`` times this, so one injection simulates thousands of
+#: cycles while telemetry writes exactly one span record.
+_INJECT_CYCLES = 1500
+_INJECT_POINTS = 6
+
+
+class _HaltingDriveBench(_DriveBench):
+    def observe(self, cycle, outputs):
+        return cycle >= _INJECT_CYCLES
+
+
+def _campaign() -> Campaign:
+    target = CampaignTarget(
+        name="obs-bench",
+        simulator=Simulator(_counter_netlist()),
+        make_testbench=_HaltingDriveBench,
+        observables=lambda tb, result: result.outputs_last,
+    )
+    return Campaign(target, max_cycles=_INJECT_CYCLES + 8)
+
+
+def test_campaign_telemetry_overhead_inline_under_5_percent(tmp_path):
+    """Streaming span telemetry must not slow the inline injection loop.
+
+    The cross-process contract (see ``obs/remote.py``) is that telemetry
+    writes happen at span granularity — one appended JSONL record per
+    injection — never inside the simulation loop. With a realistic
+    injection length the stream must cost < 5% extra wall time.
+    """
+    campaign = _campaign()
+    points = [("acc_b0", 100 + i) for i in range(_INJECT_POINTS)]
+
+    def one_pass() -> float:
+        start = time.perf_counter()
+        for dff_name, cycle in points:
+            campaign.inject(dff_name, cycle)
+        return time.perf_counter() - start
+
+    def telemetry_pass(index: int) -> float:
+        writer = remote.TelemetryWriter(
+            tmp_path / f"parent-{index}.jsonl", role="parent"
+        )
+        events.install_sink(writer)
+        try:
+            elapsed = one_pass()
+            writer.flush_metrics(obs.get_registry())
+        finally:
+            events.remove_sink(writer)
+            writer.close()
+        return elapsed
+
+    telemetry_pass(0)  # warm up both paths
+    one_pass()
+
+    streamed_best = bare_best = float("inf")
+    for round_index in range(_ROUNDS):
+        streamed_best = min(streamed_best, telemetry_pass(round_index + 1))
+        bare_best = min(bare_best, one_pass())
+
+    overhead = streamed_best / bare_best - 1.0
+    print(
+        f"\ninline inject loop ({_INJECT_POINTS} injections x ~{_INJECT_CYCLES} "
+        f"cycles): streamed {streamed_best * 1e3:.2f}ms, "
+        f"bare {bare_best * 1e3:.2f}ms, overhead {100 * overhead:+.2f}%"
+    )
+    assert overhead < _MAX_OVERHEAD, (
+        f"telemetry overhead {100 * overhead:.1f}% exceeds "
+        f"{100 * _MAX_OVERHEAD:.0f}% on the inline injection loop"
     )
 
 

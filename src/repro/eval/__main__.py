@@ -11,6 +11,9 @@ Usage::
     python -m repro.eval campaign        # sampled ground-truth SEU campaigns
     python -m repro.eval all             # everything above except campaign
     python -m repro.eval clear-cache     # drop cached traces/searches
+    python -m repro.eval bench --out BENCH.json   # perf snapshot (see
+    #                                     repro.eval.bench; --baseline
+    #                                     compares and fails on regression)
 
 ``campaign`` routes through the resilient runner (:mod:`repro.fi.runner`):
 injections are journaled under the artifact cache, so an interrupted run
@@ -96,6 +99,13 @@ def _write_lint_report(path: str) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv[:1] == ["bench"]:
+        # bench has its own option surface; dispatch before the
+        # experiment parser rejects its flags.
+        from repro.eval.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Regenerate the paper's tables and figures.",

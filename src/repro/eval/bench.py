@@ -1,0 +1,288 @@
+"""Perf snapshots: ``python -m repro.eval bench --out BENCH.json``.
+
+Runs a fixed set of pipeline workloads — MATE *search*, masking *replay*,
+and a small inline injection *campaign* — several rounds each, records the
+minimum wall time per workload (min-of-rounds is robust to scheduler
+noise), and writes a schema-versioned JSON snapshot::
+
+    {"schema": "repro-bench", "schema_version": 1,
+     "quick": false, "rounds": 5,
+     "workloads": {"search": {"seconds": ..., "units": ...,
+                              "units_per_second": ..., "rounds": [...]},
+                   ...}}
+
+Snapshots from different commits are comparable: ``--baseline OLD.json``
+exits non-zero when any workload slowed down by more than
+``--max-slowdown`` (default 2x — generous enough for CI-runner jitter,
+tight enough to catch real regressions). :func:`validate_bench` checks a
+document against the schema; CI runs ``bench --quick`` and fails the build
+if the output does not validate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCHEMA = "repro-bench"
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Workloads — each callable returns the number of work units it performed.
+# ----------------------------------------------------------------------
+def _workload_search(iterations: int) -> int:
+    """MATE search over the Figure 1 example circuit, repeated."""
+    from repro.core.search import find_mates
+    from repro.eval.example_circuit import FIGURE1_FAULT_WIRES, figure1_netlist
+
+    netlist = figure1_netlist()
+    for _ in range(iterations):
+        find_mates(netlist, faulty_wires={w: w for w in FIGURE1_FAULT_WIRES})
+    return iterations
+
+
+def _workload_replay(iterations: int) -> int:
+    """Golden simulation + MATE replay over the Figure 1 stimulus."""
+    from repro.core.replay import replay_mates
+    from repro.core.search import find_mates
+    from repro.eval.example_circuit import (
+        FIGURE1_FAULT_WIRES,
+        figure1_netlist,
+        figure1_testbench_rows,
+    )
+    from repro.sim.simulator import Simulator
+    from repro.sim.testbench import TableTestbench
+
+    netlist = figure1_netlist()
+    rows = figure1_testbench_rows()
+    mates = find_mates(
+        netlist, faulty_wires={w: w for w in FIGURE1_FAULT_WIRES}
+    ).mate_set().mates()
+    for _ in range(iterations):
+        result = Simulator(netlist).run(TableTestbench(rows), max_cycles=len(rows))
+        assert result.trace is not None
+        replay_mates(mates, result.trace, list(FIGURE1_FAULT_WIRES))
+    return iterations
+
+
+def bench_campaign_target():
+    """Spawn-importable factory for the bench accumulator target."""
+    from repro.fi.campaign import CampaignTarget
+    from repro.rtl import RtlCircuit, mux
+    from repro.sim import Simulator, Testbench
+    from repro.synth import synthesize
+
+    c = RtlCircuit("bench-accum")
+    data = c.input("data", 4)
+    acc = c.reg("acc", 8)
+    count = c.reg("count", 4)
+    done = count.eq(8)
+    acc.next = mux(done, (acc + data.zext(8)).trunc(8), acc)
+    count.next = mux(done, (count + 1).trunc(4), count)
+    c.output("acc_out", acc)
+    c.output("done", done)
+    netlist = synthesize(c)
+
+    class _Bench(Testbench):
+        def __init__(self) -> None:
+            self.result = None
+
+        def drive(self, cycle, state):
+            return {"data": (cycle * 3 + 1) % 16}
+
+        def observe(self, cycle, outputs):
+            if outputs["done"]:
+                self.result = outputs["acc_out"]
+                return True
+            return False
+
+    return CampaignTarget(
+        name="bench-accum",
+        simulator=Simulator(netlist),
+        make_testbench=_Bench,
+        observables=lambda tb, result: tb.result,
+    )
+
+
+def _workload_campaign(points: int) -> int:
+    """Inline resilient-runner campaign on a tiny accumulator circuit."""
+    from repro.fi.runner import CampaignRunner, RunnerConfig, TargetSpec
+
+    spec = TargetSpec(factory="repro.eval.bench:bench_campaign_target")
+    config = RunnerConfig(
+        workers=0, max_cycles=100, install_signal_handlers=False
+    )
+    runner = CampaignRunner(spec, config)
+    with tempfile.TemporaryDirectory() as tmp:
+        report = runner.run(
+            runner.sample_points(points, seed=0),
+            Path(tmp) / "bench.jsonl",
+            seed=0,
+        )
+    assert report.executed == points
+    return points
+
+
+#: name -> (callable, full-size units, quick-size units)
+WORKLOADS = {
+    "search": (_workload_search, 20, 3),
+    "replay": (_workload_replay, 20, 3),
+    "campaign": (_workload_campaign, 24, 6),
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement, schema, comparison
+# ----------------------------------------------------------------------
+def run_bench(quick: bool = False, rounds: int | None = None) -> dict:
+    """Execute every workload and return the snapshot document."""
+    from repro import obs
+
+    rounds = rounds if rounds is not None else (3 if quick else 5)
+    workloads: dict[str, dict] = {}
+    for name, (func, full_units, quick_units) in WORKLOADS.items():
+        units = quick_units if quick else full_units
+        timings: list[float] = []
+        with obs.span(f"bench/{name}", units=units, rounds=rounds):
+            for _ in range(rounds):
+                start = time.perf_counter()
+                func(units)
+                timings.append(time.perf_counter() - start)
+        best = min(timings)
+        workloads[name] = {
+            "seconds": round(best, 6),
+            "units": units,
+            "units_per_second": round(units / best, 3) if best > 0 else 0.0,
+            "rounds": [round(t, 6) for t in timings],
+        }
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "rounds": rounds,
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "workloads": workloads,
+    }
+
+
+def validate_bench(doc: object) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid bench snapshot."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        raise ValueError("bench document is not a JSON object")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        problems.append("workloads must be a non-empty object")
+    else:
+        for name, entry in workloads.items():
+            if not isinstance(entry, dict):
+                problems.append(f"workload {name!r} is not an object")
+                continue
+            seconds = entry.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds <= 0:
+                problems.append(f"workload {name!r} has invalid seconds")
+            if not isinstance(entry.get("rounds"), list) or not entry["rounds"]:
+                problems.append(f"workload {name!r} has no rounds")
+            if not isinstance(entry.get("units"), int) or entry["units"] <= 0:
+                problems.append(f"workload {name!r} has invalid units")
+    if problems:
+        raise ValueError("invalid bench snapshot: " + "; ".join(problems))
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, max_slowdown: float = 2.0
+) -> list[str]:
+    """Regression messages for workloads slower than ``max_slowdown``x.
+
+    Comparison is per-unit (seconds/units), so snapshots taken at
+    different sizes (e.g. ``--quick`` vs full) still compare meaningfully.
+    """
+    regressions: list[str] = []
+    for name, entry in current["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            continue
+        per_unit = entry["seconds"] / entry["units"]
+        base_per_unit = base["seconds"] / base["units"]
+        if base_per_unit <= 0:
+            continue
+        ratio = per_unit / base_per_unit
+        if ratio > max_slowdown:
+            regressions.append(
+                f"{name}: {ratio:.2f}x slower than baseline "
+                f"({per_unit * 1e3:.3f}ms/unit vs {base_per_unit * 1e3:.3f}ms/unit)"
+            )
+    return regressions
+
+
+# ----------------------------------------------------------------------
+# CLI (dispatched from ``python -m repro.eval bench``)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval bench",
+        description="Measure pipeline workloads and snapshot the timings.",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the snapshot JSON here (e.g. BENCH_5.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads and fewer rounds (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="rounds per workload (default: 5, or 3 with --quick)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="compare against this snapshot; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=2.0,
+        help="per-unit slowdown ratio that counts as a regression "
+        "(default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_bench(quick=args.quick, rounds=args.rounds)
+    validate_bench(doc)
+    for name, entry in doc["workloads"].items():
+        print(
+            f"{name:10s} {entry['seconds'] * 1e3:9.2f} ms for "
+            f"{entry['units']} units "
+            f"({entry['units_per_second']:.1f} units/s)"
+        )
+    if args.out:
+        args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"bench snapshot written to {args.out}")
+
+    if args.baseline:
+        try:
+            baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+            validate_bench(baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: unusable baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        regressions = compare_to_baseline(doc, baseline, args.max_slowdown)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(threshold {args.max_slowdown:.1f}x)")
+    return 0

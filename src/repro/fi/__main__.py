@@ -8,6 +8,13 @@ Usage::
         --journal pruned.jsonl                    # sample the MATE-pruned space
     python -m repro.fi resume --journal camp.jsonl  # continue after a crash
     python -m repro.fi status --journal camp.jsonl  # progress + outcome tally
+    python -m repro.fi report camp.jsonl            # self-contained HTML report
+
+Pooled runs stream per-worker telemetry to ``<journal>.telemetry/`` by
+default (``--telemetry-dir`` overrides); ``--metrics-out`` writes the
+merged registry snapshot as JSON and ``--trace-out`` writes a Perfetto/
+``about://tracing``-loadable trace of the whole campaign. On a TTY, a live
+multi-line dashboard shows per-worker progress (force with ``--verbose``).
 
 ``--target`` accepts a named core+program combination (``avr-fib``,
 ``avr-conv``, ``msp430-fib``, ``msp430-conv``) or a
@@ -57,7 +64,23 @@ def _config_from_args(args: argparse.Namespace) -> RunnerConfig:
         config.timeout_factor = args.timeout_factor
     if args.timeout_seconds is not None:
         config.timeout_seconds = args.timeout_seconds
+    config.telemetry_dir = _telemetry_dir_for(args)
     return config
+
+
+def _telemetry_dir_for(args: argparse.Namespace) -> Path | None:
+    """Where this run's telemetry goes; None disables it.
+
+    Defaults to ``<journal>.telemetry`` for pooled runs (and whenever a
+    trace is requested, since the trace is built from telemetry);
+    ``--telemetry-dir ''`` turns telemetry off explicitly.
+    """
+    explicit = getattr(args, "telemetry_dir", None)
+    if explicit is not None:
+        return Path(explicit) if str(explicit) else None
+    if args.workers > 0 or getattr(args, "trace_out", None):
+        return Path(f"{args.journal}.telemetry")
+    return None
 
 
 def _pruned_points(
@@ -116,6 +139,40 @@ def _print_report(report: RunReport) -> int:
     return EXIT_INTERRUPTED if report.interrupted else 0
 
 
+def _execute(
+    runner: CampaignRunner,
+    points: list[tuple[str, int]],
+    args: argparse.Namespace,
+    resume: bool,
+    seed: int | None,
+) -> int:
+    """Run the campaign with the live dashboard and telemetry outputs."""
+    dashboard = obs.CampaignDashboard(
+        total=len(points),
+        label=f"campaign {runner.target.name}",
+        telemetry_dir=runner.config.telemetry_dir,
+    )
+    with dashboard:
+        report = runner.run(
+            points, args.journal, resume=resume, seed=seed, dashboard=dashboard
+        )
+    if dashboard.enabled:
+        print(file=sys.stderr)
+    if args.trace_out:
+        if report.telemetry is not None:
+            obs.write_trace(args.trace_out, report.telemetry)
+            print(f"trace written to {args.trace_out}")
+        else:
+            print(
+                "warning: --trace-out needs telemetry (enable --telemetry-dir)",
+                file=sys.stderr,
+            )
+    if args.metrics_out:
+        obs.write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return _print_report(report)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_for(args.target)
     runner = CampaignRunner(spec, _config_from_args(args))
@@ -125,10 +182,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         points = _pruned_points(runner, args.target, args.sampled, args.seed)
     else:
         points = runner.sample_points(args.sampled, seed=args.seed)
-    report = runner.run(
-        points, args.journal, resume=args.resume, seed=args.seed
-    )
-    return _print_report(report)
+    return _execute(runner, points, args, resume=args.resume, seed=args.seed)
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -140,13 +194,9 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     config.max_cycles = state.header["max_cycles"]
     runner = CampaignRunner(spec, config)
-    report = runner.run(
-        state.points,
-        args.journal,
-        resume=True,
-        seed=state.header.get("seed"),
+    return _execute(
+        runner, state.points, args, resume=True, seed=state.header.get("seed")
     )
-    return _print_report(report)
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -170,6 +220,28 @@ def _cmd_status(args: argparse.Namespace) -> int:
     else:
         print("state:     partial — resume with:")
         print(f"  python -m repro.fi resume --journal {args.journal}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.fi.report import write_report
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.remote import collect
+
+    state = load_journal(args.journal)
+    telemetry = None
+    telemetry_dir = (
+        Path(args.telemetry_dir)
+        if args.telemetry_dir
+        else Path(f"{args.journal}.telemetry")
+    )
+    if telemetry_dir.is_dir():
+        # Merge into a scratch registry: reporting must not pollute the
+        # process's live metrics.
+        telemetry = collect(telemetry_dir, registry=MetricsRegistry())
+    out = args.out or Path(f"{args.journal}.html")
+    write_report(out, state, telemetry)
+    print(f"report written to {out}")
     return 0
 
 
@@ -203,6 +275,19 @@ def main(argv: list[str] | None = None) -> int:
             "--limit", type=int, default=None,
             help="stop (resumable) after N new injections",
         )
+        p.add_argument(
+            "--telemetry-dir", type=str, default=None, metavar="DIR",
+            help="cross-process telemetry directory (default: "
+            "<journal>.telemetry for pooled runs; '' disables)",
+        )
+        p.add_argument(
+            "--metrics-out", type=Path, default=None, metavar="FILE",
+            help="write the merged metrics registry as JSON after the run",
+        )
+        p.add_argument(
+            "--trace-out", type=Path, default=None, metavar="FILE",
+            help="write a Perfetto-loadable trace-event JSON after the run",
+        )
         p.add_argument("--verbose", "-v", action="store_true")
 
     run_p = sub.add_parser("run", help="start a campaign (journaling as it goes)")
@@ -235,6 +320,21 @@ def main(argv: list[str] | None = None) -> int:
     status_p = sub.add_parser("status", help="inspect a campaign journal")
     status_p.add_argument("--journal", required=True, type=Path)
     status_p.set_defaults(func=_cmd_status)
+
+    report_p = sub.add_parser(
+        "report", help="render a journal as a self-contained HTML report"
+    )
+    report_p.add_argument("journal", type=Path)
+    report_p.add_argument(
+        "--out", type=Path, default=None,
+        help="output HTML path (default: <journal>.html)",
+    )
+    report_p.add_argument(
+        "--telemetry-dir", type=str, default=None, metavar="DIR",
+        help="telemetry directory for the timeline (default: "
+        "<journal>.telemetry when it exists)",
+    )
+    report_p.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     if getattr(args, "verbose", False):

@@ -128,7 +128,9 @@ def load_journal(path: str | Path) -> JournalState:
             index = doc["i"]
             state.records[index] = record
             state.details[index] = {
-                k: doc[k] for k in ("attempts", "error") if k in doc
+                k: doc[k]
+                for k in ("attempts", "error", "seconds", "worker")
+                if k in doc
             }
     return state
 
@@ -179,8 +181,15 @@ class CampaignJournal:
         record: InjectionRecord,
         attempts: int = 1,
         error: str | None = None,
+        seconds: float | None = None,
+        worker: int | None = None,
     ) -> None:
-        """Durably append one injection outcome."""
+        """Durably append one injection outcome.
+
+        ``seconds`` is the measured wall time of the injection and
+        ``worker`` the OS pid of the process that executed it; both are
+        optional telemetry used by ``python -m repro.fi report``.
+        """
         doc = {
             "kind": "record",
             "i": index,
@@ -191,6 +200,10 @@ class CampaignJournal:
         }
         if error is not None:
             doc["error"] = error
+        if seconds is not None:
+            doc["seconds"] = round(seconds, 6)
+        if worker is not None:
+            doc["worker"] = worker
         self._write_line(doc)
         self._unsynced += 1
         if self._unsynced >= self.fsync_interval:

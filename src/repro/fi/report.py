@@ -1,0 +1,293 @@
+"""Self-contained HTML campaign reports (``python -m repro.fi report``).
+
+Renders one journal — optionally enriched with the run's cross-process
+telemetry directory (:mod:`repro.obs.remote`) — into a single HTML file
+with no external assets or scripts:
+
+- headline facts (workload, progress, completeness, outcome tally);
+- an outcome-breakdown bar chart (status colors *plus* text labels and
+  counts — never color alone);
+- per-worker utilization: injections, busy seconds, and share of the
+  recorded work per worker pid (from the journal's ``worker``/``seconds``
+  record fields);
+- a timeline SVG, one lane per process, with every injection span placed
+  on the merged wall-clock timeline (telemetry runs only);
+- the slowest injections, as a table.
+
+Everything is generated from the standard library; the file opens in any
+browser offline.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.fi.journal import JournalState
+from repro.obs.remote import MergedTelemetry
+
+#: Status palette (dataviz): outcome -> hex. Outcomes are *states*, so they
+#: wear the reserved status colors; labels always accompany the color.
+OUTCOME_COLORS = {
+    "benign": "#0ca30c",  # good
+    "sdc": "#ec835a",  # serious
+    "timeout": "#fab219",  # warning
+    "error": "#d03b3b",  # critical
+}
+_NEUTRAL = "#6b7280"
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
+       color: #1f2430; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { text-align: left; padding: .25rem .9rem .25rem 0; font-size: .9rem; }
+th { color: #5b6270; font-weight: 600; border-bottom: 1px solid #d8dbe2; }
+td.num, th.num { text-align: right; }
+.meta td:first-child { color: #5b6270; }
+.bar { height: 12px; border-radius: 4px; display: inline-block;
+       vertical-align: middle; }
+.swatch { width: 10px; height: 10px; border-radius: 2px;
+          display: inline-block; margin-right: .4rem; }
+.note { color: #5b6270; font-size: .85rem; }
+svg { margin-top: .5rem; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _outcome_rows(state: JournalState) -> list[tuple[str, int]]:
+    tally: dict[str, int] = {}
+    for record in state.records.values():
+        tally[record.outcome.value] = tally.get(record.outcome.value, 0) + 1
+    order = list(OUTCOME_COLORS)
+    return sorted(
+        tally.items(),
+        key=lambda kv: (order.index(kv[0]) if kv[0] in order else len(order)),
+    )
+
+
+def _outcome_chart(state: JournalState) -> list[str]:
+    rows = _outcome_rows(state)
+    total = sum(count for _, count in rows) or 1
+    peak = max((count for _, count in rows), default=1)
+    out = ["<h2>Outcomes</h2>", "<table>"]
+    out.append("<tr><th>outcome</th><th class=num>count</th>"
+               "<th class=num>share</th><th></th></tr>")
+    for outcome, count in rows:
+        color = OUTCOME_COLORS.get(outcome, _NEUTRAL)
+        width = max(2, round(360 * count / peak))
+        out.append(
+            f"<tr><td><span class=swatch style='background:{color}'></span>"
+            f"{_esc(outcome)}</td>"
+            f"<td class=num>{count}</td>"
+            f"<td class=num>{100 * count / total:.1f}%</td>"
+            f"<td><span class=bar style='width:{width}px;"
+            f"background:{color}'></span></td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _worker_rows(state: JournalState) -> list[tuple[int, int, float]]:
+    """``(pid, injections, busy_seconds)`` per recorded worker pid."""
+    stats: dict[int, tuple[int, float]] = {}
+    for index in state.records:
+        detail = state.details.get(index, {})
+        worker = detail.get("worker")
+        if worker is None:
+            continue
+        count, busy = stats.get(worker, (0, 0.0))
+        stats[worker] = (count + 1, busy + float(detail.get("seconds") or 0.0))
+    return [(pid, c, b) for pid, (c, b) in sorted(stats.items())]
+
+
+def _utilization_table(state: JournalState) -> list[str]:
+    rows = _worker_rows(state)
+    if not rows:
+        return []
+    total_inj = sum(count for _, count, _ in rows) or 1
+    total_busy = sum(busy for _, _, busy in rows)
+    out = ["<h2>Per-worker utilization</h2>", "<table>"]
+    out.append(
+        "<tr><th>worker pid</th><th class=num>injections</th>"
+        "<th class=num>busy</th><th class=num>share of work</th></tr>"
+    )
+    for pid, count, busy in rows:
+        share = busy / total_busy if total_busy else count / total_inj
+        out.append(
+            f"<tr><td>{pid}</td><td class=num>{count}</td>"
+            f"<td class=num>{busy:.2f}s</td>"
+            f"<td class=num>{100 * share:.1f}%</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _lane_colors(
+    state: JournalState, telemetry: MergedTelemetry, worker: int
+) -> dict[int, str]:
+    """Color per timeline-event position, by pairing inject-start markers.
+
+    Each worker's ``inject-start`` records (which carry the point index)
+    precede its ``campaign/inject`` spans in the same order, so zipping the
+    two time-sorted sequences recovers each span's outcome.
+    """
+    starts = sorted(
+        (
+            (stamp, record)
+            for w, stamp, record in telemetry.custom
+            if w == worker and record.get("kind") == "inject-start"
+        ),
+        key=lambda item: item[0],
+    )
+    spans = [e for e in telemetry.timeline
+             if e.worker == worker and e.name == "campaign/inject"]
+    colors: dict[int, str] = {}
+    if len(starts) != len(spans):
+        return colors  # retries/torn tails broke the pairing; stay neutral
+    for position, (_, record) in enumerate(starts):
+        record_obj = state.records.get(record.get("i"))
+        if record_obj is not None:
+            colors[position] = OUTCOME_COLORS.get(
+                record_obj.outcome.value, _NEUTRAL
+            )
+    return colors
+
+
+def _timeline_svg(state: JournalState, telemetry: MergedTelemetry) -> list[str]:
+    events = [e for e in telemetry.timeline if e.name == "campaign/inject"]
+    if not events:
+        return []
+    t0 = min(e.start for e in events)
+    t1 = max(e.end for e in events)
+    span_s = max(t1 - t0, 1e-6)
+    width, lane_h, pad_l = 820, 22, 110
+    plot_w = width - pad_l - 10
+    lanes = sorted({e.worker for e in events})
+    height = lane_h * len(lanes) + 30
+    out = ["<h2>Timeline</h2>"]
+    out.append(
+        f"<svg width='{width}' height='{height}' "
+        "xmlns='http://www.w3.org/2000/svg' role='img' "
+        "aria-label='injection timeline'>"
+    )
+    for row, worker in enumerate(lanes):
+        y = 10 + row * lane_h
+        pid = telemetry.workers.get(worker, 0)
+        label = "parent" if worker < 0 else f"worker {worker}"
+        out.append(
+            f"<text x='0' y='{y + 12}' font-size='11' fill='#5b6270'>"
+            f"{_esc(label)} ({pid})</text>"
+        )
+        out.append(
+            f"<line x1='{pad_l}' y1='{y + 8}' x2='{width - 10}' y2='{y + 8}' "
+            "stroke='#e3e5ea'/>"
+        )
+        colors = _lane_colors(state, telemetry, worker)
+        lane_events = [e for e in events if e.worker == worker]
+        for position, event in enumerate(lane_events):
+            x = pad_l + plot_w * (event.start - t0) / span_s
+            w = max(1.5, plot_w * event.duration / span_s)
+            fill = colors.get(position, _NEUTRAL)
+            out.append(
+                f"<rect x='{x:.1f}' y='{y}' width='{w:.1f}' height='14' "
+                f"rx='2' fill='{fill}'/>"
+            )
+    axis_y = 10 + len(lanes) * lane_h + 12
+    out.append(
+        f"<text x='{pad_l}' y='{axis_y}' font-size='11' fill='#5b6270'>0s</text>"
+    )
+    out.append(
+        f"<text x='{width - 10}' y='{axis_y}' font-size='11' fill='#5b6270' "
+        f"text-anchor='end'>{span_s:.2f}s</text>"
+    )
+    out.append("</svg>")
+    out.append(
+        "<p class=note>One lane per process; each block is one injection, "
+        "colored by outcome (see the outcome table above).</p>"
+    )
+    return out
+
+
+def _slowest_table(state: JournalState, limit: int = 10) -> list[str]:
+    timed = [
+        (float(d["seconds"]), i)
+        for i, d in state.details.items()
+        if d.get("seconds") is not None and i in state.records
+    ]
+    if not timed:
+        return []
+    timed.sort(reverse=True)
+    out = [f"<h2>Slowest injections (top {min(limit, len(timed))})</h2>",
+           "<table>"]
+    out.append(
+        "<tr><th class=num>#</th><th>flip-flop</th><th class=num>cycle</th>"
+        "<th>outcome</th><th class=num>seconds</th><th class=num>attempts</th>"
+        "<th class=num>worker</th></tr>"
+    )
+    for seconds, index in timed[:limit]:
+        record = state.records[index]
+        detail = state.details.get(index, {})
+        color = OUTCOME_COLORS.get(record.outcome.value, _NEUTRAL)
+        out.append(
+            f"<tr><td class=num>{index}</td><td>{_esc(record.dff_name)}</td>"
+            f"<td class=num>{record.cycle}</td>"
+            f"<td><span class=swatch style='background:{color}'></span>"
+            f"{_esc(record.outcome.value)}</td>"
+            f"<td class=num>{seconds:.3f}</td>"
+            f"<td class=num>{detail.get('attempts', 1)}</td>"
+            f"<td class=num>{detail.get('worker', '-')}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def render_report(
+    state: JournalState, telemetry: MergedTelemetry | None = None
+) -> str:
+    """The full report as one self-contained HTML document."""
+    header = state.header
+    total = header.get("num_points", len(state.records))
+    recorded = len(state.records)
+    out = [
+        "<!DOCTYPE html>",
+        "<html lang='en'><head><meta charset='utf-8'>",
+        f"<title>campaign report — {_esc(header.get('workload', '?'))}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Campaign report — {_esc(header.get('workload', '?'))}</h1>",
+        "<table class=meta>",
+        f"<tr><td>netlist</td><td>{_esc(header.get('netlist_hash', '?'))}"
+        "</td></tr>",
+        f"<tr><td>seed</td><td>{_esc(header.get('seed'))}</td></tr>",
+        f"<tr><td>progress</td><td>{recorded}/{total} injections"
+        f" ({'complete' if state.complete else 'partial'})</td></tr>",
+        f"<tr><td>golden run</td><td>{_esc(header.get('golden_cycles', '?'))}"
+        " cycles</td></tr>",
+        "</table>",
+    ]
+    out.extend(_outcome_chart(state))
+    out.extend(_utilization_table(state))
+    if telemetry is not None:
+        out.extend(_timeline_svg(state, telemetry))
+    else:
+        out.append(
+            "<p class=note>No telemetry directory found — run with "
+            "--workers N (or --telemetry-dir) to capture a timeline.</p>"
+        )
+    out.extend(_slowest_table(state))
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def write_report(
+    path: str | Path,
+    state: JournalState,
+    telemetry: MergedTelemetry | None = None,
+) -> Path:
+    """Render and write the report; returns the output path."""
+    path = Path(path)
+    path.write_text(render_report(state, telemetry), encoding="utf-8")
+    return path

@@ -26,6 +26,7 @@ survive faults in itself while injecting faults into the target:
 from __future__ import annotations
 
 import importlib
+import os
 import signal
 import threading
 import time
@@ -45,7 +46,9 @@ from repro.fi.journal import (
     points_hash,
 )
 from repro.netlist.json_io import netlist_content_hash
-from repro.obs import counter, gauge, span
+from repro.obs import counter, events, gauge, histogram, remote, span
+from repro.obs.dashboard import CampaignDashboard
+from repro.obs.remote import MergedTelemetry
 
 
 @dataclass(frozen=True)
@@ -120,6 +123,13 @@ class RunnerConfig:
     #: Install SIGINT/SIGTERM handlers for graceful shutdown (main thread
     #: only; originals are restored on exit).
     install_signal_handlers: bool = True
+    #: Directory for cross-process telemetry (:mod:`repro.obs.remote`).
+    #: When set, every worker streams spans/metrics to a per-worker JSONL
+    #: file there, the parent streams to ``parent.jsonl``, and at the end
+    #: of the run the collector merges everything into the global registry
+    #: under ``worker=<n>`` labels (see :attr:`RunReport.telemetry`).
+    #: None disables cross-process telemetry entirely.
+    telemetry_dir: str | Path | None = None
 
 
 @dataclass
@@ -137,6 +147,8 @@ class RunReport:
     worker_restarts: int = 0
     #: Signal name if the run was interrupted, else None.
     interrupted: str | None = None
+    #: Merged cross-process telemetry (set when telemetry_dir is enabled).
+    telemetry: MergedTelemetry | None = None
 
     @property
     def resume_hint(self) -> str:
@@ -164,17 +176,28 @@ def _assemble_result(
 _WORKER_CAMPAIGN: Campaign | None = None
 
 
-def _worker_init(spec_doc: dict, max_cycles: int) -> None:
+def _worker_init(
+    spec_doc: dict, max_cycles: int, telemetry_dir: str | None = None
+) -> None:
     """Pool initializer: build the target and run golden once per worker."""
     global _WORKER_CAMPAIGN
+    if telemetry_dir is not None:
+        remote.enable_worker_telemetry(telemetry_dir)
     spec = TargetSpec.from_dict(spec_doc)
     _WORKER_CAMPAIGN = Campaign(spec.build(), max_cycles=max_cycles)
+    remote.flush_worker_metrics()
 
 
-def _worker_inject(index: int, dff_name: str, cycle: int) -> tuple[int, str]:
+def _worker_inject(
+    index: int, dff_name: str, cycle: int
+) -> tuple[int, str, float, int]:
     assert _WORKER_CAMPAIGN is not None, "worker initializer did not run"
+    remote.worker_event("inject-start", i=index, dff=dff_name, cycle=cycle)
+    start = time.monotonic()
     outcome = _WORKER_CAMPAIGN.inject(dff_name, cycle)
-    return index, outcome.value
+    seconds = time.monotonic() - start
+    remote.flush_worker_metrics()
+    return index, outcome.value, seconds, os.getpid()
 
 
 def _worker_probe() -> bool:
@@ -195,6 +218,8 @@ class CampaignRunner:
             self.campaign = Campaign(self.target, max_cycles=self.config.max_cycles)
             self.golden_wall_seconds = time.monotonic() - start
         self.netlist_hash = netlist_content_hash(self.target.simulator.netlist)
+        self._dashboard: CampaignDashboard | None = None
+        self._run_started = time.monotonic()
 
     # ------------------------------------------------------------------
     @property
@@ -253,6 +278,7 @@ class CampaignRunner:
         journal_path: str | Path,
         resume: bool = False,
         seed: int | None = None,
+        dashboard: CampaignDashboard | None = None,
     ) -> RunReport:
         """Execute (or continue) the campaign, journaling every record.
 
@@ -261,6 +287,9 @@ class CampaignRunner:
         golden length) and already-recorded points are skipped; a mismatch
         raises :class:`~repro.fi.journal.JournalMismatch`. Without it, an
         existing non-empty journal is an error.
+
+        ``dashboard`` receives live progress totals after every recorded
+        injection (see :class:`~repro.obs.dashboard.CampaignDashboard`).
         """
         journal_path = Path(journal_path)
         points = list(points)
@@ -296,6 +325,9 @@ class CampaignRunner:
         stop = threading.Event()
         stop_signal: list[str] = []
         old_handlers = self._install_handlers(stop, stop_signal)
+        telemetry_dir, parent_writer = self._open_telemetry()
+        self._dashboard = dashboard
+        self._run_started = time.monotonic()
         try:
             with CampaignJournal(
                 journal_path, header, self.config.fsync_interval
@@ -317,11 +349,30 @@ class CampaignRunner:
                     report.executed / run_span.elapsed
                 )
         finally:
+            self._dashboard = None
+            if parent_writer is not None:
+                events.remove_sink(parent_writer)
+                parent_writer.flush_metrics()
+                parent_writer.close()
             self._restore_handlers(old_handlers)
 
+        if telemetry_dir is not None:
+            report.telemetry = remote.collect(telemetry_dir)
         report.interrupted = stop_signal[0] if stop_signal else None
         report.result = _assemble_result(header, done)
         return report
+
+    def _open_telemetry(self):
+        """Start the parent's telemetry stream if a directory is configured."""
+        if self.config.telemetry_dir is None:
+            return None, None
+        telemetry_dir = Path(self.config.telemetry_dir)
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        writer = remote.TelemetryWriter(
+            telemetry_dir / remote.PARENT_FILE, role="parent"
+        )
+        events.install_sink(writer)
+        return telemetry_dir, writer
 
     # ------------------------------------------------------------------
     def _install_handlers(self, stop: threading.Event, names: list[str]):
@@ -357,13 +408,30 @@ class CampaignRunner:
         outcome: Outcome,
         attempts: int,
         error: str | None = None,
+        seconds: float | None = None,
+        worker: int | None = None,
     ) -> None:
         record = InjectionRecord(point[0], point[1], outcome)
-        journal.append_record(index, record, attempts=attempts, error=error)
+        journal.append_record(
+            index, record, attempts=attempts, error=error,
+            seconds=seconds, worker=worker,
+        )
         done[index] = record
         report.executed += 1
         counter("campaign.injections").inc()
         counter(f"campaign.outcome.{outcome.value}").inc()
+        if seconds is not None:
+            histogram("campaign.injection_seconds").observe(seconds)
+        elapsed = time.monotonic() - self._run_started
+        if elapsed > 0:
+            gauge("campaign.injections_per_second").set(report.executed / elapsed)
+        if self._dashboard is not None:
+            self._dashboard.update(
+                executed=report.executed,
+                skipped=report.skipped,
+                retries=report.retries,
+                quarantined=report.quarantined,
+            )
 
     def _quarantine(
         self,
@@ -391,6 +459,7 @@ class CampaignRunner:
             attempts = 0
             while True:
                 attempts += 1
+                start = time.monotonic()
                 try:
                     outcome = self.campaign.inject(dff_name, cycle)
                 except Exception as exc:  # noqa: BLE001 - quarantine boundary
@@ -407,6 +476,7 @@ class CampaignRunner:
                     self._record(
                         journal, done, report, index, points[index],
                         outcome, attempts,
+                        seconds=time.monotonic() - start, worker=os.getpid(),
                     )
                     break
 
@@ -414,11 +484,16 @@ class CampaignRunner:
     def _make_pool(self) -> ProcessPoolExecutor:
         import multiprocessing
 
+        telemetry_dir = (
+            str(self.config.telemetry_dir)
+            if self.config.telemetry_dir is not None
+            else None
+        )
         return ProcessPoolExecutor(
             max_workers=self.config.workers,
             mp_context=multiprocessing.get_context("spawn"),
             initializer=_worker_init,
-            initargs=(self.spec.to_dict(), self.config.max_cycles),
+            initargs=(self.spec.to_dict(), self.config.max_cycles, telemetry_dir),
         )
 
     @staticmethod
@@ -494,11 +569,12 @@ class CampaignRunner:
                     index, _ = outstanding.pop(future)
                     exc = future.exception()
                     if exc is None:
-                        result_index, outcome_value = future.result()
+                        result_index, outcome_value, seconds, pid = future.result()
                         self._record(
                             journal, done, report, result_index,
                             points[result_index], Outcome(outcome_value),
                             attempts[result_index] + 1,
+                            seconds=seconds, worker=pid,
                         )
                     elif isinstance(exc, BrokenProcessPool):
                         pool_broken = True

@@ -35,7 +35,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.obs import events
+from repro.obs import events, remote, traceevent
+from repro.obs.dashboard import CampaignDashboard
 from repro.obs.events import JsonlSink, clear_sinks, emit, install_sink, remove_sink
 from repro.obs.export import prometheus_text, snapshot, summary, write_json
 from repro.obs.metrics import (
@@ -48,10 +49,14 @@ from repro.obs.metrics import (
     gauge,
     get_registry,
     histogram,
+    labeled_name,
     set_registry,
+    split_labeled_name,
 )
 from repro.obs.progress import Progress, progress_enabled, progress_iter, set_progress
+from repro.obs.remote import MergedTelemetry, TelemetryWriter, collect
 from repro.obs.spans import Span, current_path, is_enabled, set_enabled, span, timed
+from repro.obs.traceevent import write_trace
 
 
 def configure(
@@ -81,20 +86,25 @@ def reset() -> None:
     """
     get_registry().reset()
     clear_sinks()
+    remote.reset()
     set_progress(None)
     set_enabled(True)
 
 
 __all__ = [
+    "CampaignDashboard",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "MergedTelemetry",
     "MetricsRegistry",
     "Progress",
     "Span",
     "SpanStats",
+    "TelemetryWriter",
     "clear_sinks",
+    "collect",
     "configure",
     "counter",
     "current_path",
@@ -105,9 +115,11 @@ __all__ = [
     "histogram",
     "install_sink",
     "is_enabled",
+    "labeled_name",
     "progress_enabled",
     "progress_iter",
     "prometheus_text",
+    "remote",
     "remove_sink",
     "reset",
     "set_enabled",
@@ -115,7 +127,9 @@ __all__ = [
     "set_registry",
     "snapshot",
     "span",
+    "split_labeled_name",
     "summary",
     "timed",
+    "traceevent",
     "write_json",
 ]

@@ -1,0 +1,243 @@
+"""Live TTY dashboard for resilient injection campaigns.
+
+Builds on :mod:`repro.obs.progress` (same enablement rules: stderr TTY,
+``REPRO_PROGRESS=1``, or forced) but renders a multi-line, in-place-redrawn
+panel instead of a single meter::
+
+    campaign accum  37/120 (31%)  12.4/s  eta 7s  retries 1  quarantined 0
+      w0 pid 49152  18 done  injecting #41 decoy_b1@3
+      w1 pid 49153  19 done  idle
+
+The headline rate is *rolling* (sliding window, default 10 s) so stalls and
+recoveries show immediately instead of being averaged away; ETA uses the
+same window. Per-worker rows come from incrementally tailing the campaign's
+telemetry directory (:mod:`repro.obs.remote`): each worker's file yields its
+pid, per-injection ``inject-start`` markers, and completed ``campaign/inject``
+spans, from which the dashboard derives "warming / injecting / idle" states
+and per-worker completion counts. Without telemetry (inline runs) only the
+headline renders.
+
+Redraws are throttled (default 5 Hz) and every line is erased before being
+rewritten, so the panel never smears even when worker rows appear late.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import IO
+
+from repro.obs.progress import _format_eta, progress_enabled
+
+#: Sliding-window length for the rolling rate, seconds.
+_RATE_WINDOW = 10.0
+
+
+class _FileTail:
+    """Incremental JSONL reader: yields only records appended since last poll."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._pos = 0
+        self._partial = b""
+
+    def poll(self) -> list[dict]:
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(self._pos)
+                chunk = fh.read()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        self._pos += len(chunk)
+        data = self._partial + chunk
+        lines = data.split(b"\n")
+        self._partial = lines.pop()  # empty after a complete final line
+        records = []
+        for line in lines:
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # torn/garbled line mid-run; the loader settles it
+            if isinstance(doc, dict):
+                records.append(doc)
+        return records
+
+
+class _WorkerRow:
+    """Last-known state of one worker, derived from its telemetry tail."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.done = 0
+        self.state = "warming up"
+
+    def apply(self, record: dict) -> None:
+        kind = record.get("kind")
+        if kind == "inject-start":
+            self.state = (
+                f"injecting #{record.get('i', '?')} "
+                f"{record.get('dff', '?')}@{record.get('cycle', '?')}"
+            )
+        elif kind == "span" and record.get("name") == "campaign/inject":
+            self.done += 1
+            self.state = "idle"
+        elif kind == "span" and record.get("name") == "campaign/golden-run":
+            self.state = "idle"
+
+
+class CampaignDashboard:
+    """Multi-line live campaign panel (see module docstring)."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "campaign",
+        telemetry_dir: str | Path | None = None,
+        stream: IO[str] | None = None,
+        enabled: bool | None = None,
+        min_interval: float = 0.2,
+    ) -> None:
+        import sys
+
+        self.total = total
+        self.label = label
+        self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = (
+            progress_enabled(self.stream) if enabled is None else enabled
+        )
+        self.min_interval = min_interval
+        self.executed = 0
+        self.skipped = 0
+        self.retries = 0
+        self.quarantined = 0
+        self._tails: dict[Path, _FileTail] = {}
+        self._workers: dict[int, _WorkerRow] = {}
+        self._window: deque[tuple[float, int]] = deque()
+        self._last_draw = 0.0
+        self._lines_drawn = 0
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        executed: int | None = None,
+        skipped: int | None = None,
+        retries: int | None = None,
+        quarantined: int | None = None,
+    ) -> None:
+        """Fold in the runner's latest totals and maybe redraw."""
+        if executed is not None:
+            self.executed = executed
+        if skipped is not None:
+            self.skipped = skipped
+        if retries is not None:
+            self.retries = retries
+        if quarantined is not None:
+            self.quarantined = quarantined
+        now = time.monotonic()
+        self._window.append((now, self.executed))
+        while self._window and now - self._window[0][0] > _RATE_WINDOW:
+            self._window.popleft()
+        if not self.enabled:
+            return
+        if now - self._last_draw >= self.min_interval:
+            self._last_draw = now
+            self._draw()
+
+    @property
+    def rolling_rate(self) -> float:
+        """Injections/sec over the sliding window (0.0 before two points)."""
+        if len(self._window) < 2:
+            return 0.0
+        (t0, n0), (t1, n1) = self._window[0], self._window[-1]
+        return (n1 - n0) / (t1 - t0) if t1 > t0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float | None:
+        """Window-rate ETA to completion (None before the rate settles)."""
+        rate = self.rolling_rate
+        if rate <= 0:
+            return None
+        remaining = self.total - self.skipped - self.executed
+        return max(0.0, remaining) / rate
+
+    # ------------------------------------------------------------------
+    def _poll_workers(self) -> None:
+        if self.telemetry_dir is None or not self.telemetry_dir.is_dir():
+            return
+        for path in sorted(self.telemetry_dir.glob("worker-*.jsonl")):
+            if path not in self._tails:
+                self._tails[path] = _FileTail(path)
+        for tail in self._tails.values():
+            for record in tail.poll():
+                if record.get("kind") == "hello":
+                    pid = int(record.get("pid", 0))
+                    self._workers.setdefault(pid, _WorkerRow(pid))
+                else:
+                    pid = self._pid_of(tail.path)
+                    if pid is not None:
+                        self._workers.setdefault(pid, _WorkerRow(pid)).apply(
+                            record
+                        )
+
+    @staticmethod
+    def _pid_of(path: Path) -> int | None:
+        stem = path.stem  # worker-<pid>
+        _, _, pid = stem.partition("-")
+        return int(pid) if pid.isdigit() else None
+
+    # ------------------------------------------------------------------
+    def lines(self) -> list[str]:
+        """Render the current panel as plain lines (tested directly)."""
+        done = self.executed + self.skipped
+        head = [self.label] if self.label else []
+        if self.total:
+            head.append(f"{done}/{self.total} ({100 * done / self.total:.0f}%)")
+        else:
+            head.append(str(done))
+        head.append(f"{self.rolling_rate:.1f}/s")
+        eta = self.eta_seconds
+        if eta is not None:
+            head.append(f"eta {_format_eta(eta)}")
+        head.append(f"retries {self.retries}")
+        head.append(f"quarantined {self.quarantined}")
+        out = ["  ".join(head)]
+        for index, pid in enumerate(sorted(self._workers)):
+            row = self._workers[pid]
+            out.append(
+                f"  w{index} pid {row.pid}  {row.done} done  {row.state}"
+            )
+        return out
+
+    def _draw(self) -> None:
+        self._poll_workers()
+        lines = self.lines()
+        parts = []
+        if self._lines_drawn:
+            parts.append(f"\x1b[{self._lines_drawn}F")  # back to panel top
+        parts.extend("\x1b[2K" + line + "\n" for line in lines)
+        # A shrinking panel (never expected, but cheap to handle) leaves
+        # stale rows: erase the leftovers without moving the anchor.
+        for _ in range(self._lines_drawn - len(lines)):
+            parts.append("\x1b[2K\n")
+        self._lines_drawn = max(len(lines), self._lines_drawn)
+        self.stream.write("".join(parts))
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Draw the final panel state and leave it on screen."""
+        if self.enabled and (self._lines_drawn or self.executed):
+            self._last_draw = 0.0
+            self._draw()
+
+    def __enter__(self) -> "CampaignDashboard":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -12,7 +12,7 @@ import math
 import re
 from pathlib import Path
 
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import MetricsRegistry, get_registry, split_labeled_name
 
 
 def snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
@@ -156,9 +156,41 @@ def summary(registry: MetricsRegistry | None = None) -> str:
 # ----------------------------------------------------------------------
 # Prometheus text exposition format
 # ----------------------------------------------------------------------
-def _prom_name(name: str, suffix: str = "") -> str:
-    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
-    return f"repro_{sanitized}{suffix}"
+def _prom_labels(labels: dict[str, str]) -> str:
+    """Render a label dict as a Prometheus label set, escaped and sanitized.
+
+    Label *names* must match ``[a-zA-Z_][a-zA-Z0-9_]*`` — hostile characters
+    are replaced with ``_`` (and a leading digit prefixed). Label *values*
+    may contain anything once backslash, double-quote, and newline are
+    escaped per the exposition format.
+    """
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        name = re.sub(r"[^a-zA-Z0-9_]", "_", key)
+        if not name or name[0].isdigit():
+            name = f"_{name}"
+        value = (
+            str(labels[key])
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{name}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_name(name: str, suffix: str = "") -> tuple[str, str]:
+    """``(metric_name, label_set)`` for one (possibly labeled) registry name.
+
+    The collector stores per-worker series as ``name{worker=n}``
+    (:func:`repro.obs.metrics.labeled_name`); those labels become real
+    Prometheus labels instead of being mangled into the metric name.
+    """
+    base, labels = split_labeled_name(name)
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", base)
+    return f"repro_{sanitized}{suffix}", _prom_labels(labels)
 
 
 def _prom_value(value: float) -> str:
@@ -169,31 +201,54 @@ def _prom_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _merge_labels(labels: str, extra: str) -> str:
+    """Append one ``name="value"`` pair to a rendered label set."""
+    if not labels:
+        return "{" + extra + "}"
+    return labels[:-1] + "," + extra + "}"
+
+
 def prometheus_text(registry: MetricsRegistry | None = None) -> str:
-    """Registry snapshot in the Prometheus text exposition format."""
+    """Registry snapshot in the Prometheus text exposition format.
+
+    Worker-labeled names (``campaign.injections{worker=1}``, produced by
+    the cross-process collector) render as one metric family with real
+    Prometheus labels; ``# TYPE`` headers are emitted once per family.
+    """
     registry = registry or get_registry()
     lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(prom: str, kind: str) -> None:
+        if prom not in typed:
+            typed.add(prom)
+            lines.append(f"# TYPE {prom} {kind}")
+
     for name, metric in sorted(registry.counters.items()):
-        prom = _prom_name(name, "_total")
-        lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {metric.value}")
+        prom, labels = _prom_name(name, "_total")
+        declare(prom, "counter")
+        lines.append(f"{prom}{labels} {metric.value}")
     for name, metric in sorted(registry.gauges.items()):
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {_prom_value(metric.value)}")
+        prom, labels = _prom_name(name)
+        declare(prom, "gauge")
+        lines.append(f"{prom}{labels} {_prom_value(metric.value)}")
     for name, hist in sorted(registry.histograms.items()):
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} summary")
-        lines.append(f"{prom}_count {hist.count}")
-        lines.append(f"{prom}_sum {_prom_value(hist.total)}")
+        prom, labels = _prom_name(name)
+        declare(prom, "summary")
+        lines.append(f"{prom}_count{labels} {hist.count}")
+        lines.append(f"{prom}_sum{labels} {_prom_value(hist.total)}")
         if hist.count:
             for q, label in ((50, "0.5"), (90, "0.9"), (99, "0.99")):
+                pair = f'quantile="{label}"'
                 lines.append(
-                    f'{prom}{{quantile="{label}"}} {_prom_value(hist.percentile(q))}'
+                    f"{prom}{_merge_labels(labels, pair)} "
+                    f"{_prom_value(hist.percentile(q))}"
                 )
     for path, stats in sorted(registry.spans.items()):
-        prom = _prom_name(f"span.{path.replace('/', '.')}")
-        lines.append(f"# TYPE {prom}_seconds summary")
-        lines.append(f"{prom}_seconds_count {stats.count}")
-        lines.append(f"{prom}_seconds_sum {_prom_value(stats.total_seconds)}")
+        base, span_labels = split_labeled_name(path)
+        sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", "span." + base.replace("/", "."))
+        prom, labels = f"repro_{sanitized}", _prom_labels(span_labels)
+        declare(f"{prom}_seconds", "summary")
+        lines.append(f"{prom}_seconds_count{labels} {stats.count}")
+        lines.append(f"{prom}_seconds_sum{labels} {_prom_value(stats.total_seconds)}")
     return "\n".join(lines) + ("\n" if lines else "")

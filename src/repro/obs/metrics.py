@@ -23,6 +23,43 @@ import threading
 _HISTOGRAM_SAMPLE_CAP = 65_536
 
 
+def labeled_name(name: str, **labels: object) -> str:
+    """Attach ``{key=value,...}`` labels to a metric or span-path name.
+
+    The registry itself is label-unaware (names are flat strings); the
+    cross-process collector uses this convention to keep per-worker series
+    apart (``campaign.injections{worker=1}``) and exporters that understand
+    labels (Prometheus) parse them back out via :func:`split_labeled_name`.
+    Labels are sorted by key so the same label set always produces the same
+    name.
+    """
+    if not labels:
+        return name
+    body = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def split_labeled_name(name: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`labeled_name`; labelless names get ``{}``.
+
+    Tolerant: anything that does not look like a single trailing
+    ``{k=v,...}`` group is treated as part of the plain name.
+    """
+    if not name.endswith("}"):
+        return name, {}
+    start = name.find("{")
+    if start < 0:
+        return name, {}
+    body = name[start + 1 : -1]
+    labels: dict[str, str] = {}
+    for part in body.split(","):
+        key, eq, value = part.partition("=")
+        if not eq or not key:
+            return name, {}
+        labels[key] = value
+    return name[:start], labels
+
+
 class Counter:
     """A monotonically increasing named counter."""
 
@@ -104,6 +141,42 @@ class Histogram:
                 self.max = value
             if len(self._samples) < _HISTOGRAM_SAMPLE_CAP:
                 self._samples.append(value)
+
+    def merge(
+        self,
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        samples: list[float] | tuple[float, ...] = (),
+    ) -> None:
+        """Fold another histogram's aggregates (and retained samples) in.
+
+        Used by the cross-process telemetry collector
+        (:mod:`repro.obs.remote`): count/sum/min/max merge exactly;
+        percentiles are computed over whichever samples both sides
+        retained, capped like local observations.
+        """
+        if count < 0:
+            raise ValueError(f"histogram {self.name}: negative merge count {count}")
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += total
+            if minimum < self.min:
+                self.min = minimum
+            if maximum > self.max:
+                self.max = maximum
+            room = _HISTOGRAM_SAMPLE_CAP - len(self._samples)
+            if room > 0:
+                self._samples.extend(float(s) for s in samples[:room])
+
+    @property
+    def samples(self) -> list[float]:
+        """Copy of the retained raw samples (percentile substrate)."""
+        with self._lock:
+            return list(self._samples)
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,390 @@
+"""Cross-process telemetry: stream worker metrics home, merge on one timeline.
+
+Pool workers (:mod:`repro.fi.runner`) record spans and counters into their
+*own* process-global registry — without this module that state dies with
+the worker. The pipeline here has three parts:
+
+- :class:`TelemetryWriter` (worker *and* parent side) — streams telemetry
+  records as crash-tolerant JSONL to one file per process: every line is a
+  single ``os.write`` to an ``O_APPEND`` descriptor, so a SIGKILLed worker
+  leaves at most one torn final line (the same durability discipline as
+  :mod:`repro.fi.journal`). The first line is a ``hello`` carrying the
+  process's ``(time.monotonic(), time.time())`` pair; spans stream through
+  the regular :mod:`repro.obs.events` sink interface with monotonic
+  start/end stamps; :func:`flush_metrics` appends cumulative registry
+  snapshots (last one wins).
+- :func:`load_telemetry` — torn-tail-tolerant loader for one file.
+- :class:`TelemetryCollector` / :func:`collect` — merges every per-process
+  file of a telemetry directory into a :class:`MergedTelemetry`: counters,
+  gauges, and histograms land in the (parent) registry under
+  ``name{worker=n}`` labels (:func:`~repro.obs.metrics.labeled_name`), span
+  occurrences land under ``path{worker=n}``, and all span events are
+  aligned onto one shared timeline using each process's hello clock pair
+  (``wall - monotonic`` maps that process's monotonic stamps to the shared
+  wall clock — all processes run on one host).
+
+Worker processes call :func:`enable_worker_telemetry` from their pool
+initializer; :func:`reset` (wired into ``repro.obs.reset``) tears the
+module-global writer down so tests never leak telemetry state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs import events
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter,
+    get_registry,
+    labeled_name,
+)
+
+FORMAT_VERSION = 1
+
+#: Raw histogram samples shipped per metrics flush (percentile fidelity
+#: without unbounded record growth).
+_SAMPLES_PER_FLUSH = 512
+
+#: The parent's telemetry file name; workers use ``worker-<pid>.jsonl``.
+PARENT_FILE = "parent.jsonl"
+
+
+class TelemetryError(Exception):
+    """A telemetry file is unusable (corrupt before its final line)."""
+
+
+def worker_file(directory: str | Path, pid: int | None = None) -> Path:
+    """The telemetry file path for one worker process."""
+    return Path(directory) / f"worker-{pid if pid is not None else os.getpid()}.jsonl"
+
+
+class TelemetryWriter:
+    """Append-side of one process's telemetry file.
+
+    Duck-compatible with :class:`repro.obs.events.JsonlSink` (``write`` /
+    ``close``), so installing it via ``events.install_sink`` makes every
+    finished span stream into the file with its monotonic stamps.
+    """
+
+    def __init__(self, path: str | Path, role: str = "worker") -> None:
+        self.path = Path(path)
+        self.role = role
+        self.pid = os.getpid()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: int | None = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        self.write(
+            {
+                "kind": "hello",
+                "version": FORMAT_VERSION,
+                "role": role,
+                "pid": self.pid,
+                "mono": time.monotonic(),
+                "wall": time.time(),
+            }
+        )
+
+    def write(self, record: dict[str, object]) -> None:
+        """Append one record as a single whole-line ``os.write``."""
+        if self._fd is None:
+            return
+        os.write(self._fd, (json.dumps(record, default=str) + "\n").encode())
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append a custom record with a monotonic stamp."""
+        self.write({"kind": kind, "mono": time.monotonic(), **fields})
+
+    def flush_metrics(self, registry: MetricsRegistry | None = None) -> None:
+        """Append a cumulative snapshot of the registry's metrics.
+
+        Counters/gauges ship whole; histograms ship exact aggregates plus a
+        capped sample prefix. Snapshots are cumulative, so the collector
+        only ever reads the *last* one per file — a lost tail costs recency,
+        never correctness of earlier lines.
+        """
+        registry = registry or get_registry()
+        histograms = {}
+        for name, hist in registry.histograms.items():
+            snap: dict[str, object] = {
+                "count": hist.count,
+                "sum": hist.total,
+                "min": hist.min if hist.count else 0.0,
+                "max": hist.max if hist.count else 0.0,
+            }
+            samples = hist.samples
+            if samples:
+                snap["samples"] = samples[:_SAMPLES_PER_FLUSH]
+            histograms[name] = snap
+        self.write(
+            {
+                "kind": "metrics",
+                "mono": time.monotonic(),
+                "counters": {n: c.value for n, c in registry.counters.items()},
+                "gauges": {n: g.value for n, g in registry.gauges.items()},
+                "histograms": histograms,
+            }
+        )
+
+    def close(self) -> None:
+        """Release the descriptor (O_APPEND writes need no extra flush)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+
+# ----------------------------------------------------------------------
+# Worker-side module globals
+# ----------------------------------------------------------------------
+_worker_writer: TelemetryWriter | None = None
+
+
+def enable_worker_telemetry(directory: str | Path) -> TelemetryWriter:
+    """Install this process's telemetry writer (idempotent per process).
+
+    Called from the pool initializer of spawned campaign workers: opens
+    ``worker-<pid>.jsonl`` in ``directory``, registers the writer as an
+    events sink (spans stream from then on), and remembers it for
+    :func:`flush_worker_metrics` / :func:`worker_event`.
+    """
+    global _worker_writer
+    if _worker_writer is not None:
+        return _worker_writer
+    _worker_writer = TelemetryWriter(worker_file(directory), role="worker")
+    events.install_sink(_worker_writer)  # type: ignore[arg-type]
+    return _worker_writer
+
+
+def worker_event(kind: str, **fields: object) -> None:
+    """Emit a custom record from a worker (no-op without telemetry)."""
+    if _worker_writer is not None:
+        _worker_writer.emit(kind, **fields)
+
+
+def flush_worker_metrics() -> None:
+    """Snapshot this worker's registry into its file (no-op if disabled)."""
+    if _worker_writer is not None:
+        _worker_writer.flush_metrics()
+
+
+def reset() -> None:
+    """Drop the worker-side writer (test isolation; safe any time).
+
+    The writer is *not* removed from the events sink list here — callers
+    reset sinks through ``repro.obs.reset`` / ``events.clear_sinks``, which
+    closes it; this just forgets the module-global handle.
+    """
+    global _worker_writer
+    if _worker_writer is not None:
+        _worker_writer.close()
+        _worker_writer = None
+
+
+# ----------------------------------------------------------------------
+# Load side
+# ----------------------------------------------------------------------
+@dataclass
+class TelemetryFile:
+    """Everything recovered from one per-process telemetry file."""
+
+    path: Path
+    hello: dict
+    #: All records after the hello, in file order (spans, custom, metrics).
+    records: list[dict] = field(default_factory=list)
+
+    @property
+    def pid(self) -> int:
+        return int(self.hello.get("pid", 0))
+
+    @property
+    def role(self) -> str:
+        return str(self.hello.get("role", "worker"))
+
+    @property
+    def clock_offset(self) -> float:
+        """Add to this process's monotonic stamps to get wall-clock time."""
+        return float(self.hello["wall"]) - float(self.hello["mono"])
+
+    @property
+    def last_metrics(self) -> dict | None:
+        """The most recent cumulative metrics snapshot, if any."""
+        for record in reversed(self.records):
+            if record.get("kind") == "metrics":
+                return record
+        return None
+
+
+def load_telemetry(path: str | Path) -> TelemetryFile:
+    """Parse one telemetry file, tolerating a torn trailing line.
+
+    A final line torn by a crash/SIGKILL is dropped with an
+    ``obs.telemetry.torn_tail`` counter bump; a malformed line *before* the
+    end means real corruption and raises :class:`TelemetryError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TelemetryError(f"no telemetry file at {path}")
+    lines = path.read_bytes().split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not lines:
+        raise TelemetryError(f"telemetry file {path} is empty")
+    try:
+        hello = json.loads(lines[0])
+    except ValueError as exc:
+        raise TelemetryError(
+            f"telemetry file {path} has an unparsable hello line: {exc}"
+        ) from exc
+    if hello.get("kind") != "hello" or hello.get("version") != FORMAT_VERSION:
+        raise TelemetryError(
+            f"telemetry file {path} has an unsupported hello "
+            f"(kind={hello.get('kind')!r}, version={hello.get('version')!r})"
+        )
+    out = TelemetryFile(path=path, hello=hello)
+    last = len(lines) - 1
+    for lineno, line in enumerate(lines[1:], start=1):
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict) or "kind" not in doc:
+                raise ValueError("not a telemetry record object")
+        except (ValueError, TypeError) as exc:
+            if lineno == last:
+                counter("obs.telemetry.torn_tail").inc()
+                break
+            raise TelemetryError(
+                f"telemetry file {path} is corrupt at line {lineno + 1}: {exc}"
+            ) from exc
+        out.records.append(doc)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Collector
+# ----------------------------------------------------------------------
+@dataclass
+class TimelineEvent:
+    """One span occurrence on the merged cross-process timeline."""
+
+    #: ``worker=<n>`` index, or -1 for the parent process.
+    worker: int
+    pid: int
+    path: str
+    name: str
+    #: Shared-timeline (wall-clock) start/end, seconds.
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class MergedTelemetry:
+    """The collector's result: one timeline + per-worker identities."""
+
+    #: worker index -> pid (the parent, if present, is index -1).
+    workers: dict[int, int] = field(default_factory=dict)
+    #: All span occurrences, sorted by aligned start time.
+    timeline: list[TimelineEvent] = field(default_factory=list)
+    #: Non-span custom records as ``(worker, aligned_time, record)``.
+    custom: list[tuple[int, float, dict]] = field(default_factory=list)
+    #: Files the loader refused (corrupt beyond the torn tail).
+    corrupt_files: list[Path] = field(default_factory=list)
+
+    def span_events(self, name: str | None = None) -> list[TimelineEvent]:
+        """Timeline events, optionally filtered by span *name*."""
+        if name is None:
+            return list(self.timeline)
+        return [e for e in self.timeline if e.name == name]
+
+
+def _worker_label(worker: int) -> dict[str, object]:
+    return {"worker": worker} if worker >= 0 else {"worker": "parent"}
+
+
+def _merge_file(
+    telemetry: TelemetryFile,
+    worker: int,
+    registry: MetricsRegistry,
+    merged: MergedTelemetry,
+) -> None:
+    label = _worker_label(worker)
+    offset = telemetry.clock_offset
+    for record in telemetry.records:
+        kind = record.get("kind")
+        if kind == "span" and "mono_start" in record and "mono_end" in record:
+            merged.timeline.append(
+                TimelineEvent(
+                    worker=worker,
+                    pid=telemetry.pid,
+                    path=str(record.get("path", "")),
+                    name=str(record.get("name", "")),
+                    start=float(record["mono_start"]) + offset,
+                    end=float(record["mono_end"]) + offset,
+                    attrs=dict(record.get("attrs") or {}),
+                )
+            )
+        elif kind not in ("metrics", "span"):
+            stamp = float(record.get("mono", 0.0)) + offset
+            merged.custom.append((worker, stamp, record))
+    metrics = telemetry.last_metrics
+    if metrics:
+        for name, value in metrics.get("counters", {}).items():
+            registry.counter(labeled_name(name, **label)).inc(int(value))
+        for name, value in metrics.get("gauges", {}).items():
+            registry.gauge(labeled_name(name, **label)).set(float(value))
+        for name, snap in metrics.get("histograms", {}).items():
+            registry.histogram(labeled_name(name, **label)).merge(
+                int(snap.get("count", 0)),
+                float(snap.get("sum", 0.0)),
+                float(snap.get("min", 0.0)),
+                float(snap.get("max", 0.0)),
+                snap.get("samples", ()),
+            )
+
+
+def collect(
+    directory: str | Path, registry: MetricsRegistry | None = None
+) -> MergedTelemetry:
+    """Merge every telemetry file under ``directory`` (see module docstring).
+
+    Worker files get indices 0..k-1 in ascending-pid order (stable for a
+    given directory); the parent file, when present, is index -1. Corrupt
+    files are skipped with an ``obs.telemetry.corrupt_files`` counter bump
+    and listed in :attr:`MergedTelemetry.corrupt_files` — telemetry must
+    never take down the campaign that produced it.
+    """
+    registry = registry or get_registry()
+    directory = Path(directory)
+    merged = MergedTelemetry()
+    files: list[TelemetryFile] = []
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            files.append(load_telemetry(path))
+        except TelemetryError:
+            counter("obs.telemetry.corrupt_files").inc()
+            merged.corrupt_files.append(path)
+    workers = sorted(
+        (f for f in files if f.role == "worker"), key=lambda f: (f.pid, f.path)
+    )
+    ordered: list[tuple[int, TelemetryFile]] = [
+        (index, telemetry) for index, telemetry in enumerate(workers)
+    ]
+    ordered.extend((-1, f) for f in files if f.role != "worker")
+    for index, telemetry in ordered:
+        merged.workers[index] = telemetry.pid
+        _merge_file(telemetry, index, registry, merged)
+    merged.timeline.sort(key=lambda e: (e.start, e.end))
+    merged.custom.sort(key=lambda item: item[1])
+    for event in merged.timeline:
+        registry.span_stats(
+            labeled_name(event.path, **_worker_label(event.worker))
+        ).record(event.duration)
+    return merged

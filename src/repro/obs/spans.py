@@ -62,7 +62,9 @@ def current_path() -> str:
 class Span:
     """One live span occurrence; attach attributes via :meth:`set`."""
 
-    __slots__ = ("name", "path", "depth", "attrs", "elapsed", "_start")
+    __slots__ = (
+        "name", "path", "depth", "attrs", "elapsed", "start_monotonic", "_start"
+    )
 
     def __init__(
         self, name: str, path: str, depth: int, attrs: dict[str, object]
@@ -73,6 +75,9 @@ class Span:
         self.attrs = attrs
         #: Wall-clock seconds; populated when the span closes.
         self.elapsed = 0.0
+        #: ``time.monotonic()`` at entry — the cross-process telemetry
+        #: collector aligns these stamps onto one shared timeline.
+        self.start_monotonic = time.monotonic()
         self._start = time.perf_counter()
 
     def set(self, **attrs: object) -> "Span":
@@ -89,6 +94,7 @@ class _NullSpan:
     path = ""
     depth = 0
     elapsed = 0.0
+    start_monotonic = 0.0
     attrs: dict[str, object] = {}
 
     def set(self, **attrs: object) -> "_NullSpan":
@@ -124,6 +130,8 @@ def span(name: str, **attrs: object) -> Iterator[Span | _NullSpan]:
                 "name": live.name,
                 "depth": live.depth,
                 "elapsed_s": live.elapsed,
+                "mono_start": live.start_monotonic,
+                "mono_end": time.monotonic(),
             }
             if error is not None:
                 payload["error"] = error

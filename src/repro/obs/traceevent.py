@@ -1,0 +1,116 @@
+"""Chrome trace-event JSON export of the merged cross-process timeline.
+
+Renders a :class:`~repro.obs.remote.MergedTelemetry` in the Trace Event
+Format that Perfetto (https://ui.perfetto.dev) and Chrome's legacy
+``about://tracing`` load directly: one process track per campaign worker
+plus one for the parent, named via metadata events.
+
+Event mapping:
+
+- every span occurrence becomes one complete (``"ph": "X"``) event with
+  microsecond ``ts``/``dur`` relative to the earliest event in the trace;
+- each process additionally gets one ``"B"``/``"E"`` pair bracketing its
+  first-to-last recorded activity (the "alive" lane), so per-worker
+  lifetime and utilization are visible at a glance;
+- ``process_name`` / ``thread_name`` metadata events label the tracks.
+
+``pid``/``tid`` are the real OS pid of each process (distinct per worker by
+construction), so the trace never merges two workers into one track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.remote import MergedTelemetry
+
+
+def _track_name(worker: int, pid: int) -> str:
+    if worker < 0:
+        return f"parent (pid {pid})"
+    return f"worker {worker} (pid {pid})"
+
+
+def trace_events(merged: MergedTelemetry) -> list[dict]:
+    """The trace as a list of trace-event dicts (see module docstring)."""
+    if not merged.timeline:
+        return []
+    base = min(event.start for event in merged.timeline)
+
+    def micros(t: float) -> int:
+        return max(0, round((t - base) * 1e6))
+
+    out: list[dict] = []
+    for worker in sorted(merged.workers):
+        pid = merged.workers[worker]
+        name = _track_name(worker, pid)
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": name},
+            }
+        )
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": "main"},
+            }
+        )
+        spans = [e for e in merged.timeline if e.worker == worker]
+        if spans:
+            first = min(e.start for e in spans)
+            last = max(e.end for e in spans)
+            out.append(
+                {
+                    "name": "alive",
+                    "cat": "lifetime",
+                    "ph": "B",
+                    "ts": micros(first),
+                    "pid": pid,
+                    "tid": pid,
+                }
+            )
+            out.append(
+                {
+                    "name": "alive",
+                    "cat": "lifetime",
+                    "ph": "E",
+                    "ts": micros(last),
+                    "pid": pid,
+                    "tid": pid,
+                }
+            )
+    for event in merged.timeline:
+        doc = {
+            "name": event.path,
+            "cat": "span",
+            "ph": "X",
+            "ts": micros(event.start),
+            "dur": max(0, round(event.duration * 1e6)),
+            "pid": event.pid,
+            "tid": event.pid,
+        }
+        if event.attrs:
+            doc["args"] = dict(event.attrs)
+        out.append(doc)
+    out.sort(key=lambda doc: (doc.get("ts", -1), doc.get("ph") != "M"))
+    return out
+
+
+def write_trace(path: str | Path, merged: MergedTelemetry) -> Path:
+    """Write the trace as a Perfetto-loadable JSON object.
+
+    Uses the ``{"traceEvents": [...]}`` object form so viewers that expect
+    display hints keep working; the array form is equivalent for Perfetto.
+    """
+    path = Path(path)
+    doc = {"traceEvents": trace_events(merged), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+    return path

@@ -1,4 +1,4 @@
-"""Shared low-level helpers: bit manipulation, timing, deterministic RNG."""
+"""Shared low-level helpers: bit manipulation, deterministic RNG."""
 
 from repro.util.bits import (
     bit_count,
@@ -8,10 +8,8 @@ from repro.util.bits import (
     sign_extend,
     to_signed,
 )
-from repro.util.timing import Stopwatch
 
 __all__ = [
-    "Stopwatch",
     "bit_count",
     "bits_of",
     "from_bits",

@@ -16,10 +16,16 @@ def _reset_obs():
     Instrumented code (simulator, search, campaigns) reports into the
     process-global registry; without this reset, counters would leak across
     tests and any assertion on metric values would depend on test order.
+    ``obs.reset()`` also closes and forgets the cross-process telemetry
+    writer (:mod:`repro.obs.remote`) — the explicit call below keeps the
+    remote/collector state covered even if a test re-installs a writer and
+    then swaps the whole registry.
     """
     obs.reset()
     yield
     obs.reset()
+    obs.remote.reset()
+    assert obs.remote._worker_writer is None
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,165 @@
+"""Perf-snapshot harness: schema, validation, baseline regression gate."""
+
+import json
+
+import pytest
+
+from repro.eval.bench import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    WORKLOADS,
+    compare_to_baseline,
+    main,
+    run_bench,
+    validate_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    """One real quick bench run shared by the module's tests."""
+    return run_bench(quick=True, rounds=1)
+
+
+# ----------------------------------------------------------------------
+class TestRunBench:
+    def test_snapshot_has_schema_and_all_workloads(self, quick_doc):
+        assert quick_doc["schema"] == SCHEMA
+        assert quick_doc["schema_version"] == SCHEMA_VERSION
+        assert set(quick_doc["workloads"]) == set(WORKLOADS)
+
+    def test_snapshot_validates(self, quick_doc):
+        validate_bench(quick_doc)  # must not raise
+
+    def test_timings_are_positive(self, quick_doc):
+        for entry in quick_doc["workloads"].values():
+            assert entry["seconds"] > 0
+            assert entry["units"] > 0
+            assert entry["units_per_second"] > 0
+            assert len(entry["rounds"]) == 1
+
+    def test_snapshot_is_json_serializable(self, quick_doc):
+        json.dumps(quick_doc)
+
+
+# ----------------------------------------------------------------------
+class TestValidateBench:
+    def _valid(self):
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "workloads": {
+                "search": {"seconds": 0.5, "units": 10,
+                           "rounds": [0.5, 0.6]},
+            },
+        }
+
+    def test_accepts_valid(self):
+        validate_bench(self._valid())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="not a JSON object"):
+            validate_bench([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        doc = self._valid()
+        doc["schema"] = "something-else"
+        with pytest.raises(ValueError, match="schema is"):
+            validate_bench(doc)
+
+    def test_rejects_wrong_version(self):
+        doc = self._valid()
+        doc["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_bench(doc)
+
+    def test_rejects_empty_workloads(self):
+        doc = self._valid()
+        doc["workloads"] = {}
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_bench(doc)
+
+    def test_rejects_bad_seconds_and_rounds(self):
+        doc = self._valid()
+        doc["workloads"]["search"]["seconds"] = 0
+        doc["workloads"]["search"]["rounds"] = []
+        with pytest.raises(ValueError, match="invalid seconds"):
+            validate_bench(doc)
+
+
+# ----------------------------------------------------------------------
+class TestBaselineComparison:
+    def _doc(self, seconds):
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "workloads": {
+                name: {"seconds": seconds, "units": 10, "rounds": [seconds]}
+                for name in ("search", "replay")
+            },
+        }
+
+    def test_no_regression_within_threshold(self):
+        assert compare_to_baseline(self._doc(0.15), self._doc(0.1), 2.0) == []
+
+    def test_two_x_slowdown_is_flagged(self):
+        regressions = compare_to_baseline(self._doc(0.25), self._doc(0.1), 2.0)
+        assert len(regressions) == 2
+        assert "2.50x slower" in regressions[0]
+
+    def test_per_unit_comparison_survives_size_changes(self):
+        current = self._doc(0.2)
+        current["workloads"]["search"]["units"] = 20  # twice the work
+        baseline = self._doc(0.1)
+        assert compare_to_baseline(current, baseline, 2.0) == []
+
+    def test_unknown_workloads_in_current_are_ignored(self):
+        current = self._doc(0.1)
+        current["workloads"]["brand-new"] = {
+            "seconds": 99.0, "units": 1, "rounds": [99.0]
+        }
+        assert compare_to_baseline(current, self._doc(0.1), 2.0) == []
+
+
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_writes_validating_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        assert main(["--quick", "--rounds", "1", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        validate_bench(doc)
+        assert "bench snapshot written" in capsys.readouterr().out
+
+    def test_baseline_regression_exits_nonzero(self, tmp_path, capsys):
+        # A synthetic baseline that claims every workload used to take
+        # (effectively) zero time per unit: any real run is a >=2x slowdown.
+        baseline = {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "workloads": {
+                name: {"seconds": 1e-9, "units": 1_000_000,
+                       "rounds": [1e-9]}
+                for name in WORKLOADS
+            },
+        }
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(baseline))
+        code = main(["--quick", "--rounds", "1",
+                     "--baseline", str(base_path)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_matching_baseline_passes(self, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert main(["--quick", "--rounds", "1", "--out", str(out)]) == 0
+        # Same machine, moments later, generous threshold: no regression.
+        code = main(["--quick", "--rounds", "1",
+                     "--baseline", str(out), "--max-slowdown", "50.0"])
+        assert code == 0
+
+    def test_unusable_baseline_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        code = main(["--quick", "--rounds", "1", "--baseline", str(bad)])
+        assert code == 2
+        assert "unusable baseline" in capsys.readouterr().err

@@ -1,0 +1,152 @@
+"""HTML campaign reports: structure, outcome colors, timeline, tables."""
+
+from html.parser import HTMLParser
+
+from repro.fi.campaign import InjectionRecord
+from repro.fi.classify import Outcome
+from repro.fi.journal import JournalState
+from repro.fi.report import (
+    OUTCOME_COLORS,
+    render_report,
+    write_report,
+)
+from repro.obs.remote import MergedTelemetry, TimelineEvent
+
+
+class _Validator(HTMLParser):
+    """Checks well-formedness of the generated document."""
+
+    VOID = {"meta", "br", "hr", "img", "line", "rect", "text", "input"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.tags = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        self.tags.append(tag)
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}> (stack: {self.stack})")
+        else:
+            self.stack.pop()
+
+
+def _state(num=4, complete=True, workers=(11, 22)) -> JournalState:
+    outcomes = [Outcome.BENIGN, Outcome.SDC, Outcome.TIMEOUT, Outcome.ERROR]
+    state = JournalState(
+        header={
+            "workload": "unit<test>",  # hostile name: must be escaped
+            "netlist_hash": "cafe1234",
+            "seed": 7,
+            "num_points": num,
+            "golden_cycles": 64,
+        }
+    )
+    for i in range(num):
+        state.records[i] = InjectionRecord(f"ff{i}", i, outcomes[i % 4])
+        state.details[i] = {
+            "attempts": 1,
+            "seconds": 0.1 * (i + 1),
+            "worker": workers[i % len(workers)],
+        }
+    state.complete = complete
+    return state
+
+
+def _telemetry() -> MergedTelemetry:
+    merged = MergedTelemetry(workers={0: 11, 1: 22})
+    for i in range(4):
+        merged.timeline.append(
+            TimelineEvent(worker=i % 2, pid=11 if i % 2 == 0 else 22,
+                          path="campaign/inject", name="campaign/inject",
+                          start=float(i), end=float(i) + 0.5)
+        )
+        merged.custom.append(
+            (i % 2, float(i) - 0.01, {"kind": "inject-start", "i": i})
+        )
+    merged.timeline.sort(key=lambda e: e.start)
+    merged.custom.sort(key=lambda item: item[1])
+    return merged
+
+
+def test_report_is_wellformed_html():
+    html_text = render_report(_state(), _telemetry())
+    validator = _Validator()
+    validator.feed(html_text)
+    assert validator.errors == []
+    assert "html" in validator.tags
+    assert "svg" in validator.tags
+
+
+def test_header_facts_and_escaping():
+    html_text = render_report(_state())
+    assert "unit&lt;test&gt;" in html_text
+    assert "unit<test>" not in html_text
+    assert "cafe1234" in html_text
+    assert "4/4 injections" in html_text
+    assert "(complete)" in html_text
+
+
+def test_outcome_breakdown_has_labels_and_status_colors():
+    html_text = render_report(_state())
+    for outcome, color in OUTCOME_COLORS.items():
+        assert outcome in html_text  # text label, never color alone
+        assert color in html_text
+    assert "25.0%" in html_text
+
+
+def test_worker_utilization_table():
+    html_text = render_report(_state())
+    assert "Per-worker utilization" in html_text
+    assert "<td>11</td>" in html_text
+    assert "<td>22</td>" in html_text
+
+
+def test_timeline_svg_one_lane_per_worker():
+    html_text = render_report(_state(), _telemetry())
+    assert "worker 0" in html_text
+    assert "worker 1" in html_text
+    assert html_text.count("<rect") == 4
+
+
+def test_timeline_rects_colored_by_outcome():
+    html_text = render_report(_state(), _telemetry())
+    # Worker 0 ran points 0 (benign) and 2 (timeout).
+    assert OUTCOME_COLORS["benign"] in html_text
+    assert OUTCOME_COLORS["timeout"] in html_text
+
+
+def test_without_telemetry_notes_the_gap():
+    html_text = render_report(_state())
+    assert "<svg" not in html_text
+    assert "No telemetry directory" in html_text
+
+
+def test_slowest_injections_sorted_descending():
+    html_text = render_report(_state())
+    assert "Slowest injections" in html_text
+    # Slowest (0.4s, index 3) listed before the fastest (0.1s, index 0).
+    assert html_text.index("0.400") < html_text.index("0.100")
+
+
+def test_partial_campaign_is_flagged():
+    state = _state(complete=False)
+    assert "(partial)" in render_report(state)
+
+
+def test_empty_journal_renders_without_error():
+    state = JournalState(header={"workload": "empty", "num_points": 0})
+    html_text = render_report(state)
+    assert "0/0 injections" in html_text
+
+
+def test_write_report_round_trip(tmp_path):
+    path = write_report(tmp_path / "r.html", _state(), _telemetry())
+    assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")

@@ -1,0 +1,161 @@
+"""Campaign telemetry end-to-end: pooled runs stream, collect, and trace.
+
+The acceptance contract of the cross-process pipeline:
+
+- a pooled ``--workers 2`` campaign produces a merged registry whose
+  worker-labeled inject-span count equals the number of executed
+  injections;
+- the trace-event export validates against the Chrome schema (X/B/E
+  phases, a distinct pid per worker, monotonically consistent stamps);
+- journal records carry ``seconds``/``worker`` so reports can attribute
+  work, and the rate gauge/duration histogram update during the run.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.fi.journal import load_journal
+from repro.fi.runner import CampaignRunner, RunnerConfig, TargetSpec
+from repro.obs.traceevent import trace_events, write_trace
+from tests.fi.runner_targets import TRIP_FF
+
+ACCUM_SPEC = TargetSpec(factory="tests.fi.runner_targets:accum_target")
+
+POINTS = [
+    ("acc_b0", 0), ("acc_b1", 1), ("decoy_b2", 2), ("count_b0", 3),
+    ("acc_b2", 4), ("decoy_b0", 5),
+]
+
+
+def _config(**overrides) -> RunnerConfig:
+    defaults = dict(
+        workers=0, max_cycles=100, install_signal_handlers=False
+    )
+    defaults.update(overrides)
+    return RunnerConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Inline (workers=0) telemetry
+# ----------------------------------------------------------------------
+class TestInlineTelemetry:
+    def test_journal_records_carry_seconds_and_worker(self, tmp_path):
+        runner = CampaignRunner(ACCUM_SPEC, _config())
+        runner.run(POINTS, tmp_path / "j.jsonl")
+        state = load_journal(tmp_path / "j.jsonl")
+        for index in range(len(POINTS)):
+            detail = state.details[index]
+            assert detail["seconds"] >= 0.0
+            assert detail["worker"] > 0
+
+    def test_rate_gauge_and_duration_histogram_update(self, tmp_path):
+        runner = CampaignRunner(ACCUM_SPEC, _config())
+        report = runner.run(POINTS, tmp_path / "j.jsonl")
+        assert obs.gauge("campaign.injections_per_second").value > 0
+        hist = obs.histogram("campaign.injection_seconds")
+        assert hist.count == report.executed == len(POINTS)
+
+    def test_parent_telemetry_written_and_collected(self, tmp_path):
+        config = _config(telemetry_dir=tmp_path / "telemetry")
+        runner = CampaignRunner(ACCUM_SPEC, config)
+        report = runner.run(POINTS, tmp_path / "j.jsonl")
+        assert (tmp_path / "telemetry" / "parent.jsonl").exists()
+        assert report.telemetry is not None
+        assert report.telemetry.workers.get(-1) is not None
+        execute_spans = report.telemetry.span_events("runner/execute")
+        assert len(execute_spans) == 1
+
+    def test_no_telemetry_dir_means_no_collection(self, tmp_path):
+        runner = CampaignRunner(ACCUM_SPEC, _config())
+        report = runner.run(POINTS, tmp_path / "j.jsonl")
+        assert report.telemetry is None
+
+
+# ----------------------------------------------------------------------
+# Pooled acceptance
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestPooledTelemetry:
+    def test_worker_span_count_equals_executed_injections(self, tmp_path):
+        config = _config(workers=2, telemetry_dir=tmp_path / "telemetry")
+        runner = CampaignRunner(ACCUM_SPEC, config)
+        report = runner.run(POINTS, tmp_path / "j.jsonl")
+        assert report.complete
+        assert report.executed == len(POINTS)
+
+        merged = report.telemetry
+        assert merged is not None
+        worker_injects = [
+            e for e in merged.span_events("campaign/inject") if e.worker >= 0
+        ]
+        assert len(worker_injects) == report.executed
+
+        # The same spans landed in the global registry under worker labels.
+        registry = obs.get_registry()
+        labeled = [
+            path for path in registry.spans
+            if path.startswith("campaign/inject{worker=")
+            and "parent" not in path
+        ]
+        assert sum(registry.spans[p].count for p in labeled) == report.executed
+
+        # Journal attribution matches the worker pids that reported.
+        state = load_journal(tmp_path / "j.jsonl")
+        journal_pids = {d["worker"] for d in state.details.values()}
+        telemetry_pids = {
+            pid for idx, pid in merged.workers.items() if idx >= 0
+        }
+        assert journal_pids <= telemetry_pids
+
+    def test_trace_export_validates_chrome_schema(self, tmp_path):
+        config = _config(workers=2, telemetry_dir=tmp_path / "telemetry")
+        runner = CampaignRunner(ACCUM_SPEC, config)
+        report = runner.run(POINTS, tmp_path / "j.jsonl")
+        merged = report.telemetry
+        path = write_trace(tmp_path / "trace.json", merged)
+        doc = json.loads(path.read_text())
+
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"X", "B", "E", "M"} <= phases
+
+        # Distinct pid per worker, all tracks present.
+        worker_pids = {pid for idx, pid in merged.workers.items() if idx >= 0}
+        event_pids = {e["pid"] for e in events}
+        assert worker_pids <= event_pids
+        assert len(worker_pids) == len(set(worker_pids))
+
+        # Monotonically consistent: ts >= 0, dur >= 0, and within each
+        # pid the B "alive" bracket opens before its E closes.
+        for event in events:
+            if event["ph"] != "M":
+                assert event["ts"] >= 0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        for pid in event_pids:
+            begins = [e["ts"] for e in events
+                      if e["ph"] == "B" and e["pid"] == pid]
+            ends = [e["ts"] for e in events
+                    if e["ph"] == "E" and e["pid"] == pid]
+            if begins and ends:
+                assert min(begins) <= max(ends)
+
+    def test_retried_point_still_counts_once(self, tmp_path):
+        sentinel = tmp_path / "killed-once"
+        spec = TargetSpec(
+            factory="tests.fi.runner_targets:killer_target",
+            kwargs={"sentinel": str(sentinel)},
+        )
+        config = _config(
+            workers=1, telemetry_dir=tmp_path / "telemetry",
+            max_retries=2, startup_grace=120.0,
+        )
+        runner = CampaignRunner(spec, config)
+        points = [(TRIP_FF, 1)]
+        report = runner.run(points, tmp_path / "j.jsonl")
+        assert report.executed == 1
+        assert report.retries >= 1
+        state = load_journal(tmp_path / "j.jsonl")
+        assert state.details[0]["attempts"] >= 2

@@ -1,0 +1,138 @@
+"""Live campaign dashboard: rendering, rolling rate, worker tailing."""
+
+import io
+import json
+
+from repro.obs.dashboard import CampaignDashboard, _FileTail
+from repro.obs.remote import worker_file
+
+
+def _dash(total=10, **kwargs):
+    kwargs.setdefault("stream", io.StringIO())
+    kwargs.setdefault("enabled", True)
+    kwargs.setdefault("min_interval", 0.0)
+    return CampaignDashboard(total=total, label="campaign test", **kwargs)
+
+
+# ----------------------------------------------------------------------
+class TestFileTail:
+    def test_yields_only_new_records_per_poll(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('{"kind": "a"}\n')
+        tail = _FileTail(path)
+        assert [r["kind"] for r in tail.poll()] == ["a"]
+        assert tail.poll() == []
+        with path.open("a") as fh:
+            fh.write('{"kind": "b"}\n')
+        assert [r["kind"] for r in tail.poll()] == ["b"]
+
+    def test_buffers_partial_lines_across_polls(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('{"kind": "a"}\n{"kind": ')
+        tail = _FileTail(path)
+        assert [r["kind"] for r in tail.poll()] == ["a"]
+        with path.open("a") as fh:
+            fh.write('"b"}\n')
+        assert [r["kind"] for r in tail.poll()] == ["b"]
+
+    def test_skips_garbled_lines(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('garbage\n{"kind": "ok"}\n')
+        assert [r["kind"] for r in _FileTail(path).poll()] == ["ok"]
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        assert _FileTail(tmp_path / "absent.jsonl").poll() == []
+
+
+# ----------------------------------------------------------------------
+class TestHeadline:
+    def test_progress_and_tallies(self):
+        dash = _dash(total=20)
+        dash.update(executed=4, skipped=1, retries=2, quarantined=1)
+        head = dash.lines()[0]
+        assert "campaign test" in head
+        assert "5/20 (25%)" in head
+        assert "retries 2" in head
+        assert "quarantined 1" in head
+
+    def test_rolling_rate_uses_the_window(self, monkeypatch):
+        dash = _dash(total=100)
+        clock = iter([0.0, 1.0, 2.0, 3.0, 4.0])
+        monkeypatch.setattr(
+            "repro.obs.dashboard.time.monotonic", lambda: next(clock)
+        )
+        dash.enabled = False  # avoid draws consuming clock ticks
+        for executed in (0, 10, 20, 30):
+            dash.update(executed=executed)
+        assert dash.rolling_rate == 10.0
+        assert dash.eta_seconds == 7.0  # (100 - 30) / 10
+
+    def test_rate_is_zero_before_two_samples(self):
+        dash = _dash()
+        assert dash.rolling_rate == 0.0
+        assert dash.eta_seconds is None
+
+
+# ----------------------------------------------------------------------
+class TestWorkerRows:
+    def test_rows_from_telemetry_files(self, tmp_path):
+        records = [
+            {"kind": "hello", "version": 1, "role": "worker", "pid": 42,
+             "mono": 0.0, "wall": 0.0},
+            {"kind": "inject-start", "i": 3, "dff": "acc0", "cycle": 7},
+        ]
+        worker_file(tmp_path, pid=42).write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        dash = _dash(telemetry_dir=tmp_path)
+        dash.update(executed=1)
+        rows = dash.lines()[1:]
+        assert len(rows) == 1
+        assert "pid" in rows[0]
+        assert "injecting #3 acc0@7" in rows[0]
+
+    def test_completed_inject_span_counts_and_idles(self, tmp_path):
+        path = worker_file(tmp_path, pid=7)
+        records = [
+            {"kind": "hello", "version": 1, "role": "worker", "pid": 7,
+             "mono": 0.0, "wall": 0.0},
+            {"kind": "inject-start", "i": 0, "dff": "x", "cycle": 1},
+            {"kind": "span", "name": "campaign/inject",
+             "path": "campaign/inject", "mono_start": 0.0, "mono_end": 0.1},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        dash = _dash(telemetry_dir=tmp_path)
+        dash.update(executed=1)
+        (row,) = dash.lines()[1:]
+        assert "1 done" in row
+        assert "idle" in row
+
+    def test_no_telemetry_dir_renders_headline_only(self):
+        dash = _dash()
+        dash.update(executed=2)
+        assert len(dash.lines()) == 1
+
+
+# ----------------------------------------------------------------------
+class TestDrawing:
+    def test_redraw_rewinds_with_ansi_and_erases(self):
+        stream = io.StringIO()
+        dash = _dash(stream=stream)
+        dash.update(executed=1)
+        dash.update(executed=2)
+        out = stream.getvalue()
+        assert "\x1b[2K" in out  # erase-line before rewrite
+        assert "\x1b[1F" in out  # cursor back up over the panel
+
+    def test_disabled_dashboard_writes_nothing(self):
+        stream = io.StringIO()
+        dash = CampaignDashboard(total=5, stream=stream, enabled=False)
+        dash.update(executed=3)
+        dash.close()
+        assert stream.getvalue() == ""
+
+    def test_context_manager_draws_final_state(self):
+        stream = io.StringIO()
+        with _dash(stream=stream, min_interval=999.0) as dash:
+            dash.update(executed=5)
+        assert "5/10" in stream.getvalue()

@@ -75,3 +75,57 @@ class TestPrometheus:
 
     def test_empty_registry(self):
         assert obs.prometheus_text() == ""
+
+    def test_worker_labels_become_prometheus_labels(self):
+        obs.counter(obs.labeled_name("campaign.injections", worker=1)).inc(3)
+        obs.counter(obs.labeled_name("campaign.injections", worker="parent")).inc(9)
+        text = obs.prometheus_text()
+        assert 'repro_campaign_injections_total{worker="1"} 3' in text
+        assert 'repro_campaign_injections_total{worker="parent"} 9' in text
+        # One family, one TYPE header — labels do not fork the family.
+        assert text.count("# TYPE repro_campaign_injections_total counter") == 1
+
+    def test_label_hostile_names_are_sanitized(self):
+        obs.counter('evil{9name=a"b\\c\nd}').inc(1)
+        text = obs.prometheus_text()
+        # Label name gets a leading underscore (digit start); the value's
+        # backslash, quote, and newline are escaped per exposition format.
+        assert 'repro_evil_total{_9name="a\\"b\\\\c\\nd"} 1' in text
+        assert "\nd}" not in text  # the raw newline never leaks into a line
+
+    def test_metric_name_hostile_characters_become_underscores(self):
+        obs.counter("search.cone/gates-total").inc(2)
+        assert "repro_search_cone_gates_total_total 2" in obs.prometheus_text()
+
+    def test_single_sample_histogram_quantiles_collapse(self):
+        obs.histogram("solo.hist").observe(7.5)
+        text = obs.prometheus_text()
+        assert "repro_solo_hist_count 1" in text
+        assert "repro_solo_hist_sum 7.5" in text
+        for quantile in ("0.5", "0.9", "0.99"):
+            assert f'repro_solo_hist{{quantile="{quantile}"}} 7.5' in text
+
+    def test_empty_histogram_emits_count_but_no_quantiles(self):
+        obs.histogram("hollow.hist")
+        text = obs.prometheus_text()
+        assert "repro_hollow_hist_count 0" in text
+        assert "quantile" not in text
+
+
+class TestSnapshotEdgeCases:
+    def test_empty_registry_snapshot_shape(self):
+        snap = obs.snapshot()
+        assert snap == {
+            "counters": {}, "gauges": {}, "histograms": {}, "spans": {}
+        }
+
+    def test_empty_registry_writes_valid_json(self, tmp_path):
+        path = obs.write_json(tmp_path / "empty.json")
+        assert json.loads(path.read_text()) == obs.snapshot()
+
+    def test_single_sample_histogram_percentiles(self):
+        obs.histogram("one.sample").observe(3.25)
+        hist = obs.snapshot()["histograms"]["one.sample"]
+        assert hist["count"] == 1
+        assert hist["p50"] == hist["p90"] == hist["p99"] == 3.25
+        assert hist["min"] == hist["max"] == hist["mean"] == 3.25

@@ -1,0 +1,252 @@
+"""Cross-process telemetry: writer durability, loader recovery, merging."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import remote
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.remote import (
+    PARENT_FILE,
+    TelemetryError,
+    TelemetryWriter,
+    collect,
+    load_telemetry,
+    worker_file,
+)
+
+
+def _lines(path):
+    return path.read_text().splitlines()
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class TestTelemetryWriter:
+    def test_first_line_is_a_hello_with_clock_pair(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(path, role="worker")
+        writer.close()
+        hello = json.loads(_lines(path)[0])
+        assert hello["kind"] == "hello"
+        assert hello["version"] == remote.FORMAT_VERSION
+        assert hello["role"] == "worker"
+        assert hello["pid"] == os.getpid()
+        assert isinstance(hello["mono"], float)
+        assert isinstance(hello["wall"], float)
+
+    def test_installs_as_events_sink_and_streams_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(path)
+        obs.events.install_sink(writer)
+        try:
+            with obs.span("unit/work"):
+                pass
+        finally:
+            obs.events.remove_sink(writer)
+            writer.close()
+        spans = [json.loads(l) for l in _lines(path)[1:]]
+        assert spans[0]["kind"] == "span"
+        assert spans[0]["name"] == "unit/work"
+        assert spans[0]["mono_end"] >= spans[0]["mono_start"]
+
+    def test_flush_metrics_snapshots_are_cumulative(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "t.jsonl")
+        obs.counter("unit.count").inc(2)
+        writer.flush_metrics()
+        obs.counter("unit.count").inc(3)
+        obs.histogram("unit.hist").observe(1.5)
+        writer.flush_metrics()
+        writer.close()
+        telemetry = load_telemetry(tmp_path / "t.jsonl")
+        last = telemetry.last_metrics
+        assert last["counters"]["unit.count"] == 5
+        assert last["histograms"]["unit.hist"]["count"] == 1
+        assert last["histograms"]["unit.hist"]["samples"] == [1.5]
+
+    def test_write_after_close_is_a_noop(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.write({"kind": "late"})  # must not raise
+        assert len(_lines(tmp_path / "t.jsonl")) == 1
+
+
+# ----------------------------------------------------------------------
+# Worker-side globals
+# ----------------------------------------------------------------------
+class TestWorkerGlobals:
+    def test_enable_is_idempotent_and_reset_clears(self, tmp_path):
+        first = remote.enable_worker_telemetry(tmp_path)
+        second = remote.enable_worker_telemetry(tmp_path)
+        assert first is second
+        assert worker_file(tmp_path).exists()
+        remote.reset()
+        assert remote._worker_writer is None
+
+    def test_worker_event_and_flush_are_noops_when_disabled(self, tmp_path):
+        remote.worker_event("inject-start", i=0)
+        remote.flush_worker_metrics()  # no writer installed: no crash
+
+    def test_worker_event_records_custom_kinds(self, tmp_path):
+        remote.enable_worker_telemetry(tmp_path)
+        remote.worker_event("inject-start", i=7, dff="ff", cycle=3)
+        remote.reset()
+        obs.events.clear_sinks()
+        telemetry = load_telemetry(worker_file(tmp_path))
+        (record,) = telemetry.records
+        assert record["kind"] == "inject-start"
+        assert record["i"] == 7
+        assert "mono" in record
+
+
+# ----------------------------------------------------------------------
+# Loader
+# ----------------------------------------------------------------------
+class TestLoadTelemetry:
+    def test_missing_and_empty_files_raise(self, tmp_path):
+        with pytest.raises(TelemetryError, match="no telemetry"):
+            load_telemetry(tmp_path / "absent.jsonl")
+        (tmp_path / "empty.jsonl").write_text("")
+        with pytest.raises(TelemetryError, match="empty"):
+            load_telemetry(tmp_path / "empty.jsonl")
+
+    def test_bad_hello_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "span"}\n')
+        with pytest.raises(TelemetryError, match="unsupported hello"):
+            load_telemetry(path)
+        path.write_text("not json\n")
+        with pytest.raises(TelemetryError, match="unparsable hello"):
+            load_telemetry(path)
+
+    def test_torn_tail_is_dropped_with_counter(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(path)
+        writer.emit("ok")
+        writer.close()
+        with path.open("ab") as fh:
+            fh.write(b'{"kind": "torn", "mo')  # crash mid-append
+        telemetry = load_telemetry(path)
+        assert [r["kind"] for r in telemetry.records] == ["ok"]
+        assert obs.counter("obs.telemetry.torn_tail").value == 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(path)
+        writer.close()
+        with path.open("ab") as fh:
+            fh.write(b"garbage\n")
+            fh.write(b'{"kind": "later"}\n')
+        with pytest.raises(TelemetryError, match="corrupt at line 2"):
+            load_telemetry(path)
+
+    def test_clock_offset_maps_monotonic_to_wall(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "t.jsonl")
+        writer.close()
+        telemetry = load_telemetry(tmp_path / "t.jsonl")
+        hello = telemetry.hello
+        assert telemetry.clock_offset == pytest.approx(
+            hello["wall"] - hello["mono"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Collector
+# ----------------------------------------------------------------------
+def _fake_file(path, pid, role="worker", mono_base=0.0, wall_base=1000.0):
+    """Hand-write a telemetry file with a controlled clock pair."""
+    records = [
+        {
+            "kind": "hello",
+            "version": remote.FORMAT_VERSION,
+            "role": role,
+            "pid": pid,
+            "mono": mono_base,
+            "wall": wall_base,
+        }
+    ]
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+def _append(path, record):
+    with path.open("a") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+class TestCollect:
+    def test_workers_indexed_by_ascending_pid_parent_minus_one(self, tmp_path):
+        _fake_file(tmp_path / "worker-30.jsonl", pid=30)
+        _fake_file(tmp_path / "worker-20.jsonl", pid=20)
+        _fake_file(tmp_path / PARENT_FILE, pid=10, role="parent")
+        merged = collect(tmp_path, registry=MetricsRegistry())
+        assert merged.workers == {0: 20, 1: 30, -1: 10}
+
+    def test_clock_alignment_orders_cross_process_events(self, tmp_path):
+        # Worker A's monotonic clock starts at 100, worker B's at 5 — but
+        # on the shared wall timeline A's span happened *first*.
+        a = _fake_file(tmp_path / "worker-1.jsonl", 1, mono_base=100.0,
+                       wall_base=1000.0)
+        b = _fake_file(tmp_path / "worker-2.jsonl", 2, mono_base=5.0,
+                       wall_base=1000.0)
+        _append(a, {"kind": "span", "name": "x", "path": "x",
+                    "mono_start": 101.0, "mono_end": 102.0})
+        _append(b, {"kind": "span", "name": "x", "path": "x",
+                    "mono_start": 8.0, "mono_end": 9.0})
+        merged = collect(tmp_path, registry=MetricsRegistry())
+        assert [e.pid for e in merged.timeline] == [1, 2]
+        assert merged.timeline[0].start == pytest.approx(1001.0)
+        assert merged.timeline[1].start == pytest.approx(1003.0)
+
+    def test_metrics_merge_under_worker_labels(self, tmp_path):
+        path = _fake_file(tmp_path / "worker-9.jsonl", 9)
+        _append(path, {"kind": "metrics", "mono": 1.0,
+                       "counters": {"unit.count": 4},
+                       "gauges": {"unit.gauge": 2.5},
+                       "histograms": {"unit.hist": {
+                           "count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+                           "samples": [1.0, 2.0]}}})
+        registry = MetricsRegistry()
+        collect(tmp_path, registry=registry)
+        assert registry.counter("unit.count{worker=0}").value == 4
+        assert registry.gauge("unit.gauge{worker=0}").value == 2.5
+        hist = registry.histogram("unit.hist{worker=0}")
+        assert hist.count == 2
+        assert hist.percentile(50) == pytest.approx(1.0)
+
+    def test_span_occurrences_recorded_as_labeled_span_stats(self, tmp_path):
+        path = _fake_file(tmp_path / "worker-3.jsonl", 3)
+        for start in (1.0, 2.0):
+            _append(path, {"kind": "span", "name": "campaign/inject",
+                           "path": "campaign/inject",
+                           "mono_start": start, "mono_end": start + 0.5})
+        registry = MetricsRegistry()
+        merged = collect(tmp_path, registry=registry)
+        stats = registry.spans["campaign/inject{worker=0}"]
+        assert stats.count == 2
+        assert stats.total_seconds == pytest.approx(1.0)
+        assert len(merged.span_events("campaign/inject")) == 2
+
+    def test_corrupt_file_is_skipped_not_fatal(self, tmp_path):
+        good = _fake_file(tmp_path / "worker-5.jsonl", 5)
+        _append(good, {"kind": "span", "name": "x", "path": "x",
+                       "mono_start": 1.0, "mono_end": 2.0})
+        bad = tmp_path / "worker-6.jsonl"
+        bad.write_text("not a hello\n")
+        merged = collect(tmp_path, registry=MetricsRegistry())
+        assert merged.corrupt_files == [bad]
+        assert merged.workers == {0: 5}
+        assert obs.counter("obs.telemetry.corrupt_files").value == 1
+
+    def test_custom_records_land_on_the_timeline(self, tmp_path):
+        path = _fake_file(tmp_path / "worker-4.jsonl", 4, mono_base=0.0,
+                          wall_base=50.0)
+        _append(path, {"kind": "inject-start", "mono": 2.0, "i": 1})
+        merged = collect(tmp_path, registry=MetricsRegistry())
+        (worker, stamp, record) = merged.custom[0]
+        assert worker == 0
+        assert stamp == pytest.approx(52.0)
+        assert record["i"] == 1

@@ -1,0 +1,90 @@
+"""Chrome trace-event export: schema shape, track separation, timestamps."""
+
+import json
+
+from repro.obs.remote import MergedTelemetry, TimelineEvent
+from repro.obs.traceevent import trace_events, write_trace
+
+
+def _merged():
+    merged = MergedTelemetry(workers={0: 100, 1: 200, -1: 50})
+    merged.timeline = [
+        TimelineEvent(worker=-1, pid=50, path="runner/execute",
+                      name="runner/execute", start=10.0, end=10.9),
+        TimelineEvent(worker=0, pid=100, path="campaign/inject",
+                      name="campaign/inject", start=10.1, end=10.3,
+                      attrs={"i": 0}),
+        TimelineEvent(worker=1, pid=200, path="campaign/inject",
+                      name="campaign/inject", start=10.2, end=10.5),
+    ]
+    merged.timeline.sort(key=lambda e: e.start)
+    return merged
+
+
+def test_empty_timeline_yields_no_events():
+    assert trace_events(MergedTelemetry()) == []
+
+
+def test_phases_and_required_fields():
+    events = trace_events(_merged())
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "B", "E", "X"}
+    for event in events:
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], int)
+            assert event["ts"] >= 0
+        if event["ph"] == "X":
+            assert isinstance(event["dur"], int)
+            assert event["dur"] >= 0
+
+
+def test_distinct_pid_per_worker_track():
+    events = trace_events(_merged())
+    x_pids = {e["pid"] for e in events if e["ph"] == "X"}
+    assert x_pids == {50, 100, 200}
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names[50] == "parent (pid 50)"
+    assert names[100] == "worker 0 (pid 100)"
+    assert names[200] == "worker 1 (pid 200)"
+
+
+def test_timestamps_monotonically_consistent():
+    events = trace_events(_merged())
+    x_events = [e for e in events if e["ph"] == "X"]
+    # Relative microseconds: parent span at t=0, worker spans offset.
+    by_pid = {e["pid"]: e for e in x_events}
+    assert by_pid[50]["ts"] == 0
+    assert by_pid[100]["ts"] == 100_000
+    assert by_pid[200]["ts"] == 200_000
+    assert by_pid[100]["dur"] == 200_000
+    # B/E lifetime brackets sit at each process's first/last activity.
+    for pid in (50, 100, 200):
+        begin = next(e for e in events if e["ph"] == "B" and e["pid"] == pid)
+        end = next(e for e in events if e["ph"] == "E" and e["pid"] == pid)
+        assert begin["ts"] <= end["ts"]
+
+
+def test_span_attrs_become_args():
+    events = trace_events(_merged())
+    inject_0 = next(e for e in events if e["ph"] == "X" and e["pid"] == 100)
+    assert inject_0["args"] == {"i": 0}
+
+
+def test_metadata_events_sort_first():
+    events = trace_events(_merged())
+    leading = [e["ph"] for e in events[:6]]
+    assert set(leading) == {"M"}
+
+
+def test_write_trace_is_loadable_json(tmp_path):
+    path = write_trace(tmp_path / "trace.json", _merged())
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert isinstance(doc["traceEvents"], list)
+    assert len(doc["traceEvents"]) == 3 * 2 + 3 * 2 + 3  # M pairs, B/E, X

@@ -1,60 +1,30 @@
-"""Tests for the deprecated Stopwatch shim (error paths + warning)."""
+"""The deprecated Stopwatch shim is gone — spans are the only timer now.
 
-import warnings
+``repro.util.Stopwatch`` was deprecated in PR 1 (every call site migrated
+to :func:`repro.obs.span`) and removed in PR 5. These tests pin the
+removal so the name cannot quietly come back.
+"""
+
+import importlib
 
 import pytest
 
-from repro.util import Stopwatch
+import repro.util
 
 
-def _make_stopwatch() -> Stopwatch:
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return Stopwatch()
+def test_stopwatch_name_is_gone():
+    assert not hasattr(repro.util, "Stopwatch")
+    assert "Stopwatch" not in repro.util.__all__
 
 
-def test_construction_warns_deprecation():
-    with pytest.deprecated_call(match="repro.obs.span"):
-        Stopwatch()
+def test_timing_module_is_gone():
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module("repro.util.timing")
 
 
-def test_accumulates_elapsed_time():
-    sw = _make_stopwatch()
-    with sw:
+def test_obs_span_is_the_replacement():
+    from repro import obs
+
+    with obs.span("util/replacement-check") as live:
         pass
-    first = sw.elapsed
-    with sw:
-        pass
-    assert sw.elapsed >= first >= 0.0
-
-
-def test_double_start_raises():
-    sw = _make_stopwatch()
-    sw.start()
-    with pytest.raises(RuntimeError, match="already running"):
-        sw.start()
-    sw.stop()
-
-
-def test_stop_without_start_raises():
-    with pytest.raises(RuntimeError, match="not running"):
-        _make_stopwatch().stop()
-
-
-def test_stop_twice_raises():
-    sw = _make_stopwatch()
-    sw.start()
-    sw.stop()
-    with pytest.raises(RuntimeError, match="not running"):
-        sw.stop()
-
-
-def test_context_manager_restarts_after_error_path():
-    sw = _make_stopwatch()
-    with pytest.raises(RuntimeError):
-        with sw:
-            sw.start()  # double start inside the context
-    # The context manager stopped the watch on exit; it is reusable.
-    with sw:
-        pass
-    assert sw.elapsed >= 0.0
+    assert live.elapsed >= 0.0
