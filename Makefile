@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-resilience campaign-demo bench lint lint-self ruff tables
+.PHONY: test test-fast test-resilience campaign-demo store-smoke bench lint lint-self ruff tables
 
 test:            ## full test suite
 	$(PYTHON) -m pytest
@@ -24,8 +24,18 @@ campaign-demo:   ## interrupted + resumed campaign (crash-recovery demo)
 	$(PYTHON) -m repro.fi status --journal campaign-demo.jsonl
 	$(PYTHON) -m repro.fi report campaign-demo.jsonl --out campaign-demo.html
 
-bench:           ## perf snapshot of search/replay/campaign workloads
-	$(PYTHON) -m repro.eval bench --out BENCH_5.json
+store-smoke:     ## warehouse round trip on the campaign-demo journal
+	rm -f store-smoke.sqlite3 store-smoke-heatmap.html
+	$(PYTHON) -m repro.store --db store-smoke.sqlite3 ingest \
+		campaign-demo.jsonl --telemetry-dir campaign-demo.jsonl.telemetry
+	$(PYTHON) -m repro.store --db store-smoke.sqlite3 list
+	$(PYTHON) -m repro.store --db store-smoke.sqlite3 show 1
+	$(PYTHON) -m repro.store --db store-smoke.sqlite3 diff 1 1
+	$(PYTHON) -m repro.store --db store-smoke.sqlite3 heatmap 1 \
+		--out store-smoke-heatmap.html
+
+bench:           ## append a versioned perf snapshot (BENCH_<n+1>.json)
+	$(PYTHON) -m repro.eval bench --out-dir .
 
 lint:            ## static analysis of the evaluation designs
 	$(PYTHON) -m repro.lint figure1

@@ -11,15 +11,16 @@ Usage::
     python -m repro.eval campaign        # sampled ground-truth SEU campaigns
     python -m repro.eval all             # everything above except campaign
     python -m repro.eval clear-cache     # drop cached traces/searches
-    python -m repro.eval bench --out BENCH.json   # perf snapshot (see
-    #                                     repro.eval.bench; --baseline
-    #                                     compares and fails on regression)
+    python -m repro.eval bench --out-dir .        # versioned perf snapshot
+    #   (see repro.eval.bench; appends BENCH_<n>.json, auto-ingests into
+    #   the results warehouse; --baseline compares and fails on regression)
 
 ``campaign`` routes through the resilient runner (:mod:`repro.fi.runner`):
 injections are journaled under the artifact cache, so an interrupted run
-resumes and a warm re-run replays instead of re-injecting. It stays out of
-``all`` because it executes real injection campaigns (minutes, not
-seconds, on a cold cache).
+resumes and a warm re-run replays instead of re-injecting; completed
+campaigns are warehoused (:mod:`repro.store`) for cross-run diffing. It
+stays out of ``all`` because it executes real injection campaigns
+(minutes, not seconds, on a cold cache).
 
 Observability (see README "Observability" and :mod:`repro.obs`)::
 
@@ -73,8 +74,9 @@ def _run_experiment(name: str) -> str:
         return build_coverage_table().format()
     if name == "campaign":
         from repro.eval.campaign_table import build_campaign_table
+        from repro.store import default_db_path
 
-        return build_campaign_table().format()
+        return build_campaign_table(store_path=default_db_path()).format()
     raise ValueError(f"unknown experiment {name!r}")
 
 

@@ -1,4 +1,4 @@
-"""Perf snapshots: ``python -m repro.eval bench --out BENCH.json``.
+"""Perf snapshots: ``python -m repro.eval bench --out-dir .``.
 
 Runs a fixed set of pipeline workloads — MATE *search*, masking *replay*,
 and a small inline injection *campaign* — several rounds each, records the
@@ -10,6 +10,12 @@ noise), and writes a schema-versioned JSON snapshot::
      "workloads": {"search": {"seconds": ..., "units": ...,
                               "units_per_second": ..., "rounds": [...]},
                    ...}}
+
+``--out-dir DIR`` appends the next free ``BENCH_<n>.json`` in that
+directory (``--out FILE`` still writes an exact path), and every written
+snapshot is auto-ingested into the results warehouse (``--store``
+overrides the database, ``--no-store`` opts out) so ``python -m
+repro.store trend`` can gate the perf trajectory across history.
 
 Snapshots from different commits are comparable: ``--baseline OLD.json``
 exits non-zero when any workload slowed down by more than
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import tempfile
 import time
@@ -30,6 +37,24 @@ from pathlib import Path
 
 SCHEMA = "repro-bench"
 SCHEMA_VERSION = 1
+
+#: Versioned snapshot file names: BENCH_1.json, BENCH_2.json, ...
+BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def next_bench_path(directory: str | Path) -> Path:
+    """Next free ``BENCH_<n>.json`` in ``directory`` (append, never clobber).
+
+    Snapshot history is append-only so ``python -m repro.store trend`` can
+    chart the whole perf trajectory; overwriting one file would erase it.
+    """
+    directory = Path(directory)
+    taken = [
+        int(m.group(1))
+        for p in directory.glob("BENCH_*.json")
+        if (m := BENCH_NAME.match(p.name))
+    ]
+    return directory / f"BENCH_{max(taken, default=0) + 1}.json"
 
 
 # ----------------------------------------------------------------------
@@ -230,14 +255,44 @@ def compare_to_baseline(
 # ----------------------------------------------------------------------
 # CLI (dispatched from ``python -m repro.eval bench``)
 # ----------------------------------------------------------------------
+def _ingest_snapshot(path: Path, store_path: Path | None) -> None:
+    """Best effort: warehouse the written snapshot; warn, never fail."""
+    try:
+        from repro.store import ResultsStore
+
+        with ResultsStore(store_path) as store:
+            bid = store.ingest_bench(path)
+        print(f"warehoused as bench run #{bid} (python -m repro.store trend)")
+    except Exception as exc:
+        from repro import obs
+
+        obs.counter("store.ingest.errors").inc()
+        print(f"warning: warehouse ingest failed: {exc}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-eval bench",
         description="Measure pipeline workloads and snapshot the timings.",
     )
-    parser.add_argument(
+    out_group = parser.add_mutually_exclusive_group()
+    out_group.add_argument(
         "--out", type=Path, default=None, metavar="FILE",
-        help="write the snapshot JSON here (e.g. BENCH_5.json)",
+        help="write the snapshot JSON to this exact path",
+    )
+    out_group.add_argument(
+        "--out-dir", type=Path, default=None, metavar="DIR",
+        help="append a versioned BENCH_<n>.json snapshot to this directory "
+        "(never overwrites earlier snapshots)",
+    )
+    parser.add_argument(
+        "--store", type=Path, default=None, metavar="FILE",
+        help="results-warehouse database the snapshot is auto-ingested "
+        "into (default: .repro_cache/warehouse.sqlite3)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="skip the results-warehouse auto-ingest",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -266,9 +321,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{entry['units']} units "
             f"({entry['units_per_second']:.1f} units/s)"
         )
-    if args.out:
-        args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
-        print(f"bench snapshot written to {args.out}")
+    out = args.out
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        out = next_bench_path(args.out_dir)
+    if out:
+        out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"bench snapshot written to {out}")
+        if not args.no_store:
+            _ingest_snapshot(out, args.store)
 
     if args.baseline:
         try:

@@ -89,6 +89,7 @@ def build_campaign_table(
     samples: int = DEFAULT_SAMPLES,
     seed: int = 0,
     workers: int = 1,
+    store_path=None,
 ) -> CampaignTableReport:
     """Sampled ground-truth campaigns for every (core, program) workload.
 
@@ -96,6 +97,8 @@ def build_campaign_table(
     other cached artifact by the netlist content hash (plus sample size and
     seed) — so changing the core invalidates the campaign, while a repeat
     run with identical inputs resumes/replays the existing journal.
+    ``store_path`` additionally warehouses each completed campaign
+    (:mod:`repro.store`); the CLI passes the default warehouse.
     """
     rows = []
     for core in cores:
@@ -104,7 +107,9 @@ def build_campaign_table(
             spec = TargetSpec(
                 factory="repro.fi.targets:named_target", kwargs={"name": name}
             )
-            runner = CampaignRunner(spec, RunnerConfig(workers=workers))
+            runner = CampaignRunner(
+                spec, RunnerConfig(workers=workers, store_path=store_path)
+            )
             journal = context.cache_dir() / (
                 f"campaign_{name}_{samples}_{seed}_{context.netlist_hash(core)}.jsonl"
             )

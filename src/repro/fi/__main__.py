@@ -65,6 +65,13 @@ def _config_from_args(args: argparse.Namespace) -> RunnerConfig:
     if args.timeout_seconds is not None:
         config.timeout_seconds = args.timeout_seconds
     config.telemetry_dir = _telemetry_dir_for(args)
+    if not args.no_store:
+        if args.store is not None:
+            config.store_path = args.store
+        else:
+            from repro.store import default_db_path
+
+            config.store_path = default_db_path()
     return config
 
 
@@ -85,8 +92,13 @@ def _telemetry_dir_for(args: argparse.Namespace) -> Path | None:
 
 def _pruned_points(
     runner: CampaignRunner, target: str, num_samples: int, seed: int
-) -> list[tuple[str, int]]:
-    """Sample the MATE-pruned (remaining) fault space of a named target."""
+) -> tuple[list[tuple[str, int]], dict]:
+    """Sample the MATE-pruned (remaining) fault space of a named target.
+
+    Returns the point list plus journal-header metadata attributing the
+    pruning (full space size, points pruned away) for the warehouse's
+    pruning-effectiveness reporting.
+    """
     import random
 
     import numpy as np
@@ -115,7 +127,12 @@ def _pruned_points(
     obs.counter("campaign.points.pruned").inc(space.num_benign)
     if len(remaining) > num_samples:
         remaining = random.Random(seed).sample(remaining, num_samples)
-    return remaining
+    meta = {
+        "pruned": True,
+        "space_points": len(fault_wires) * runner.golden_cycles,
+        "pruned_points": int(space.num_benign),
+    }
+    return remaining, meta
 
 
 def _print_report(report: RunReport) -> int:
@@ -128,6 +145,11 @@ def _print_report(report: RunReport) -> int:
     )
     if report.complete:
         print(f"campaign complete — journal: {report.journal_path}")
+        if report.store_id is not None:
+            print(
+                f"warehoused as campaign #{report.store_id} "
+                f"(python -m repro.store show {report.store_id})"
+            )
         return 0
     reason = (
         f"interrupted by {report.interrupted}"
@@ -145,6 +167,7 @@ def _execute(
     args: argparse.Namespace,
     resume: bool,
     seed: int | None,
+    meta: dict | None = None,
 ) -> int:
     """Run the campaign with the live dashboard and telemetry outputs."""
     dashboard = obs.CampaignDashboard(
@@ -154,7 +177,8 @@ def _execute(
     )
     with dashboard:
         report = runner.run(
-            points, args.journal, resume=resume, seed=seed, dashboard=dashboard
+            points, args.journal, resume=resume, seed=seed,
+            dashboard=dashboard, meta=meta,
         )
     if dashboard.enabled:
         print(file=sys.stderr)
@@ -179,10 +203,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.pruned:
         if args.target not in NAMED_TARGETS:
             raise SystemExit("error: --pruned requires a named core target")
-        points = _pruned_points(runner, args.target, args.sampled, args.seed)
+        points, meta = _pruned_points(runner, args.target, args.sampled,
+                                      args.seed)
     else:
         points = runner.sample_points(args.sampled, seed=args.seed)
-    return _execute(runner, points, args, resume=args.resume, seed=args.seed)
+        num_ffs = len(runner.target.simulator.netlist.dffs)
+        meta = {"pruned": False,
+                "space_points": num_ffs * runner.golden_cycles}
+    return _execute(runner, points, args, resume=args.resume, seed=args.seed,
+                    meta=meta)
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -199,6 +228,31 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     )
 
 
+def _last_known_rate(telemetry_dir: Path, window: int = 20) -> float | None:
+    """Completion rate (injections/s) over the last recorded span window.
+
+    Derived from the workers' ``campaign/inject`` span stream, so it
+    survives a SIGKILLed parent (workers flush after every injection) and
+    reflects the *end* of the run, not a lifetime average.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.remote import collect
+
+    if not telemetry_dir.is_dir():
+        return None
+    merged = collect(telemetry_dir, registry=MetricsRegistry())
+    ends = sorted(
+        e.end for e in merged.timeline if e.name == "campaign/inject"
+    )
+    if len(ends) < 2:
+        return None
+    tail = ends[-window:]
+    elapsed = tail[-1] - tail[0]
+    if elapsed <= 0:
+        return None
+    return (len(tail) - 1) / elapsed
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     state = load_journal(args.journal)
     header = state.header
@@ -211,10 +265,30 @@ def _cmd_status(args: argparse.Namespace) -> int:
     )
     print(f"progress:  {len(state.records)}/{total} injections recorded")
     outcomes = [r.outcome for r in state.records.values()]
-    tally = ", ".join(
-        f"{outcome.value}={outcomes.count(outcome)}" for outcome in Outcome
+    recorded = len(outcomes) or 1
+    print()
+    print(obs.aligned_table(
+        "outcomes",
+        ["outcome", "count", "share"],
+        [
+            [outcome.value, str(outcomes.count(outcome)),
+             f"{100 * outcomes.count(outcome) / recorded:.1f}%"]
+            for outcome in Outcome
+        ],
+    ))
+    print()
+    telemetry_dir = (
+        Path(args.telemetry_dir)
+        if getattr(args, "telemetry_dir", None)
+        else Path(f"{args.journal}.telemetry")
     )
-    print(f"outcomes:  {tally}")
+    rate = _last_known_rate(telemetry_dir)
+    if rate is not None:
+        remaining = max(0, total - len(state.records))
+        line = f"last rate: {rate:.1f} injections/s (from telemetry)"
+        if remaining and rate > 0:
+            line += f" — eta ~{remaining / rate:.0f}s for {remaining} remaining"
+        print(line)
     if state.complete:
         print("state:     complete")
     else:
@@ -288,6 +362,15 @@ def main(argv: list[str] | None = None) -> int:
             "--trace-out", type=Path, default=None, metavar="FILE",
             help="write a Perfetto-loadable trace-event JSON after the run",
         )
+        p.add_argument(
+            "--store", type=Path, default=None, metavar="FILE",
+            help="results-warehouse database a completed campaign is "
+            "auto-ingested into (default: .repro_cache/warehouse.sqlite3)",
+        )
+        p.add_argument(
+            "--no-store", action="store_true",
+            help="skip the results-warehouse auto-ingest",
+        )
         p.add_argument("--verbose", "-v", action="store_true")
 
     run_p = sub.add_parser("run", help="start a campaign (journaling as it goes)")
@@ -319,6 +402,11 @@ def main(argv: list[str] | None = None) -> int:
 
     status_p = sub.add_parser("status", help="inspect a campaign journal")
     status_p.add_argument("--journal", required=True, type=Path)
+    status_p.add_argument(
+        "--telemetry-dir", type=str, default=None, metavar="DIR",
+        help="telemetry directory for the rate/ETA estimate (default: "
+        "<journal>.telemetry when it exists)",
+    )
     status_p.set_defaults(func=_cmd_status)
 
     report_p = sub.add_parser(

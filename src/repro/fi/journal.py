@@ -59,7 +59,8 @@ class JournalState:
     header: dict
     #: Completed injections keyed by point index.
     records: dict[int, InjectionRecord] = field(default_factory=dict)
-    #: Extra per-record metadata (attempts, error strings) keyed by index.
+    #: Extra per-record metadata keyed by index: attempts, error strings,
+    #: plus any fields from newer schema versions (preserved, not dropped).
     details: dict[int, dict] = field(default_factory=dict)
     complete: bool = False
 
@@ -127,10 +128,13 @@ def load_journal(path: str | Path) -> JournalState:
         else:
             index = doc["i"]
             state.records[index] = record
+            # Everything beyond the core record shape is detail — including
+            # fields this version has never heard of, so journals written by
+            # a *newer* schema (e.g. multi-bit "bit") load without loss.
             state.details[index] = {
-                k: doc[k]
-                for k in ("attempts", "error", "seconds", "worker")
-                if k in doc
+                k: v
+                for k, v in doc.items()
+                if k not in ("kind", "i", "dff", "cycle", "outcome")
             }
     return state
 

@@ -34,9 +34,12 @@ OUTCOME_COLORS = {
     "timeout": "#fab219",  # warning
     "error": "#d03b3b",  # critical
 }
-_NEUTRAL = "#6b7280"
+NEUTRAL_COLOR = "#6b7280"
+_NEUTRAL = NEUTRAL_COLOR
 
-_CSS = """
+#: Shared stylesheet for every self-contained HTML artifact (this report
+#: and the warehouse heatmaps of :mod:`repro.store.heatmap`).
+BASE_CSS = """
 body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
        color: #1f2430; }
 h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
@@ -52,10 +55,15 @@ td.num, th.num { text-align: right; }
 .note { color: #5b6270; font-size: .85rem; }
 svg { margin-top: .5rem; }
 """
+_CSS = BASE_CSS
 
 
-def _esc(value: object) -> str:
+def escape(value: object) -> str:
+    """HTML-escape any value — every interpolated string goes through here."""
     return html.escape(str(value))
+
+
+_esc = escape
 
 
 def _outcome_rows(state: JournalState) -> list[tuple[str, int]]:

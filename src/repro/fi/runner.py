@@ -28,6 +28,7 @@ from __future__ import annotations
 import importlib
 import os
 import signal
+import sys
 import threading
 import time
 from collections import deque
@@ -130,6 +131,13 @@ class RunnerConfig:
     #: under ``worker=<n>`` labels (see :attr:`RunReport.telemetry`).
     #: None disables cross-process telemetry entirely.
     telemetry_dir: str | Path | None = None
+    #: Results-warehouse database (:mod:`repro.store`). When set, a run
+    #: that *completes* its campaign auto-ingests the journal (plus the
+    #: telemetry directory, when enabled) so cross-campaign diffing and
+    #: heatmaps need no extra step. Warehouse trouble never fails the
+    #: campaign — it is counted under ``store.ingest.errors`` instead.
+    #: None (the default) disables auto-ingest.
+    store_path: str | Path | None = None
 
 
 @dataclass
@@ -149,6 +157,8 @@ class RunReport:
     interrupted: str | None = None
     #: Merged cross-process telemetry (set when telemetry_dir is enabled).
     telemetry: MergedTelemetry | None = None
+    #: Warehouse campaign id (set when a completed run auto-ingested).
+    store_id: int | None = None
 
     @property
     def resume_hint(self) -> str:
@@ -248,8 +258,13 @@ class CampaignRunner:
             self.golden_wall_seconds * self.config.timeout_factor,
         )
 
-    def _header(self, points: list[tuple[str, int]], seed: int | None) -> dict:
-        return {
+    def _header(
+        self,
+        points: list[tuple[str, int]],
+        seed: int | None,
+        meta: dict | None = None,
+    ) -> dict:
+        header = {
             "target": self.spec.to_dict(),
             "workload": self.target.name,
             "netlist_hash": self.netlist_hash,
@@ -260,6 +275,9 @@ class CampaignRunner:
             "max_cycles": self.config.max_cycles,
             "points": [[dff, cycle] for dff, cycle in points],
         }
+        if meta:
+            header["meta"] = dict(meta)
+        return header
 
     def _validate_points(self, points: list[tuple[str, int]]) -> None:
         dffs = self.target.simulator.netlist.dffs
@@ -279,6 +297,7 @@ class CampaignRunner:
         resume: bool = False,
         seed: int | None = None,
         dashboard: CampaignDashboard | None = None,
+        meta: dict | None = None,
     ) -> RunReport:
         """Execute (or continue) the campaign, journaling every record.
 
@@ -290,11 +309,17 @@ class CampaignRunner:
 
         ``dashboard`` receives live progress totals after every recorded
         injection (see :class:`~repro.obs.dashboard.CampaignDashboard`).
+
+        ``meta`` is free-form JSON-serializable context written into a
+        *fresh* journal's header under ``"meta"`` (a resumed journal keeps
+        its original metadata). It never participates in resume matching;
+        the results warehouse reads keys like ``pruned`` /
+        ``space_points`` / ``pruned_points`` from it.
         """
         journal_path = Path(journal_path)
         points = list(points)
         self._validate_points(points)
-        header = self._header(points, seed)
+        header = self._header(points, seed, meta)
 
         done: dict[int, InjectionRecord] = {}
         already_complete = False
@@ -360,7 +385,36 @@ class CampaignRunner:
             report.telemetry = remote.collect(telemetry_dir)
         report.interrupted = stop_signal[0] if stop_signal else None
         report.result = _assemble_result(header, done)
+        if report.complete and self.config.store_path is not None:
+            report.store_id = self._auto_ingest(journal_path, telemetry_dir)
         return report
+
+    def _auto_ingest(
+        self, journal_path: Path, telemetry_dir: Path | None
+    ) -> int | None:
+        """Ingest the completed journal into the results warehouse.
+
+        Best-effort by design: the campaign's results are already durable
+        in the journal, so a warehouse problem is counted
+        (``store.ingest.errors``) and reported as a warning, never raised.
+        """
+        from repro.store import ResultsStore
+
+        try:
+            with span("store/auto-ingest"), ResultsStore(
+                self.config.store_path
+            ) as store:
+                return store.ingest_journal(
+                    journal_path, telemetry_dir=telemetry_dir
+                )
+        except Exception as exc:  # noqa: BLE001 - warehouse must not kill runs
+            counter("store.ingest.errors").inc()
+            print(
+                f"warning: could not ingest {journal_path} into "
+                f"{self.config.store_path}: {exc}",
+                file=sys.stderr,
+            )
+            return None
 
     def _open_telemetry(self):
         """Start the parent's telemetry stream if a directory is configured."""

@@ -38,7 +38,13 @@ from pathlib import Path
 from repro.obs import events, remote, traceevent
 from repro.obs.dashboard import CampaignDashboard
 from repro.obs.events import JsonlSink, clear_sinks, emit, install_sink, remove_sink
-from repro.obs.export import prometheus_text, snapshot, summary, write_json
+from repro.obs.export import (
+    aligned_table,
+    prometheus_text,
+    snapshot,
+    summary,
+    write_json,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -103,6 +109,7 @@ __all__ = [
     "Span",
     "SpanStats",
     "TelemetryWriter",
+    "aligned_table",
     "clear_sinks",
     "collect",
     "configure",

@@ -74,6 +74,16 @@ def _table(title: str, headers: list[str], rows: list[list[str]]) -> list[str]:
     return lines
 
 
+def aligned_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """One aligned text table (first column left-, rest right-justified).
+
+    The same renderer :func:`summary` uses, exposed for other CLIs
+    (``repro.fi status``, ``repro.store``) so every text table in the
+    toolchain lines up the same way.
+    """
+    return "\n".join(_table(title, headers, rows))
+
+
 def summary(registry: MetricsRegistry | None = None) -> str:
     """Render every metric and span aggregate as aligned text tables."""
     registry = registry or get_registry()

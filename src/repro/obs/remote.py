@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -188,27 +189,51 @@ def reset() -> None:
 # ----------------------------------------------------------------------
 # Load side
 # ----------------------------------------------------------------------
+#: Worker telemetry file names carry the pid — the identity fallback when
+#: the hello record is missing.
+_WORKER_NAME = re.compile(r"^worker-(\d+)\.jsonl$")
+
+
 @dataclass
 class TelemetryFile:
     """Everything recovered from one per-process telemetry file."""
 
     path: Path
+    #: The hello record; empty when the file lost its hello and was loaded
+    #: leniently (``load_telemetry(..., require_hello=False)``).
     hello: dict
     #: All records after the hello, in file order (spans, custom, metrics).
     records: list[dict] = field(default_factory=list)
+    #: Clock offset imposed by the collector for hello-less files (aligned
+    #: to the parent's clock — CLOCK_MONOTONIC is system-wide on one host).
+    offset_override: float | None = None
 
     @property
     def pid(self) -> int:
-        return int(self.hello.get("pid", 0))
+        if "pid" in self.hello:
+            return int(self.hello["pid"])
+        match = _WORKER_NAME.match(self.path.name)
+        return int(match.group(1)) if match else 0
 
     @property
     def role(self) -> str:
-        return str(self.hello.get("role", "worker"))
+        if self.hello:
+            return str(self.hello.get("role", "worker"))
+        return "parent" if self.path.name == PARENT_FILE else "worker"
+
+    @property
+    def has_clock(self) -> bool:
+        """Whether this file can align its own monotonic stamps."""
+        return self.offset_override is not None or "wall" in self.hello
 
     @property
     def clock_offset(self) -> float:
         """Add to this process's monotonic stamps to get wall-clock time."""
-        return float(self.hello["wall"]) - float(self.hello["mono"])
+        if self.offset_override is not None:
+            return self.offset_override
+        if "wall" in self.hello:
+            return float(self.hello["wall"]) - float(self.hello["mono"])
+        return 0.0
 
     @property
     def last_metrics(self) -> dict | None:
@@ -219,12 +244,20 @@ class TelemetryFile:
         return None
 
 
-def load_telemetry(path: str | Path) -> TelemetryFile:
+def load_telemetry(path: str | Path, require_hello: bool = True) -> TelemetryFile:
     """Parse one telemetry file, tolerating a torn trailing line.
 
     A final line torn by a crash/SIGKILL is dropped with an
     ``obs.telemetry.torn_tail`` counter bump; a malformed line *before* the
     end means real corruption and raises :class:`TelemetryError`.
+
+    With ``require_hello=False`` a file whose first line is an ordinary
+    record (the hello was lost — e.g. the head of the file was truncated)
+    loads anyway with an empty :attr:`TelemetryFile.hello` and an
+    ``obs.telemetry.no_hello`` counter bump; the caller must supply clock
+    alignment via :attr:`TelemetryFile.offset_override`. A *present* hello
+    with an unsupported version is always an error — that is a format
+    mismatch, not data loss.
     """
     path = Path(path)
     if not path.exists():
@@ -235,19 +268,32 @@ def load_telemetry(path: str | Path) -> TelemetryFile:
     if not lines:
         raise TelemetryError(f"telemetry file {path} is empty")
     try:
-        hello = json.loads(lines[0])
+        first = json.loads(lines[0])
+        if not isinstance(first, dict):
+            raise ValueError("not a telemetry record object")
     except ValueError as exc:
         raise TelemetryError(
             f"telemetry file {path} has an unparsable hello line: {exc}"
         ) from exc
-    if hello.get("kind") != "hello" or hello.get("version") != FORMAT_VERSION:
+    if first.get("kind") == "hello":
+        if first.get("version") != FORMAT_VERSION:
+            raise TelemetryError(
+                f"telemetry file {path} has an unsupported hello "
+                f"(version={first.get('version')!r})"
+            )
+        out = TelemetryFile(path=path, hello=first)
+        body_start = 1
+    elif require_hello or "kind" not in first:
         raise TelemetryError(
             f"telemetry file {path} has an unsupported hello "
-            f"(kind={hello.get('kind')!r}, version={hello.get('version')!r})"
+            f"(kind={first.get('kind')!r}, version={first.get('version')!r})"
         )
-    out = TelemetryFile(path=path, hello=hello)
+    else:
+        counter("obs.telemetry.no_hello").inc()
+        out = TelemetryFile(path=path, hello={})
+        body_start = 0
     last = len(lines) - 1
-    for lineno, line in enumerate(lines[1:], start=1):
+    for lineno, line in enumerate(lines[body_start:], start=body_start):
         try:
             doc = json.loads(line)
             if not isinstance(doc, dict) or "kind" not in doc:
@@ -360,6 +406,12 @@ def collect(
     files are skipped with an ``obs.telemetry.corrupt_files`` counter bump
     and listed in :attr:`MergedTelemetry.corrupt_files` — telemetry must
     never take down the campaign that produced it.
+
+    A worker file that lost its hello record is *not* dropped: its records
+    are kept (``obs.telemetry.no_hello`` counts such files), its pid comes
+    from the ``worker-<pid>.jsonl`` file name, and its monotonic stamps are
+    aligned with the parent's clock offset — valid because
+    ``CLOCK_MONOTONIC`` is system-wide for all processes on one host.
     """
     registry = registry or get_registry()
     directory = Path(directory)
@@ -367,10 +419,19 @@ def collect(
     files: list[TelemetryFile] = []
     for path in sorted(directory.glob("*.jsonl")):
         try:
-            files.append(load_telemetry(path))
+            files.append(load_telemetry(path, require_hello=False))
         except TelemetryError:
             counter("obs.telemetry.corrupt_files").inc()
             merged.corrupt_files.append(path)
+    # Clock for hello-less files: the parent's offset when available, else
+    # any sibling that still has its hello (same host, same clock).
+    reference = next(
+        (f.clock_offset for f in files if f.has_clock and f.role != "worker"),
+        next((f.clock_offset for f in files if f.has_clock), 0.0),
+    )
+    for f in files:
+        if not f.has_clock:
+            f.offset_override = reference
     workers = sorted(
         (f for f in files if f.role == "worker"), key=lambda f: (f.pid, f.path)
     )

@@ -1,0 +1,55 @@
+"""repro.store — the queryable cross-campaign results warehouse.
+
+Campaign journals (:mod:`repro.fi.journal`), merged worker telemetry
+(:mod:`repro.obs.remote`), and perf snapshots (:mod:`repro.eval.bench`)
+all flow into one SQLite database so results outlive their run::
+
+    from repro.store import ResultsStore, diff_campaigns
+
+    store = ResultsStore()                     # .repro_cache/warehouse.sqlite3
+    cid = store.ingest_journal("camp.jsonl")   # + <journal>.telemetry if present
+    diff = diff_campaigns(store, cid, other)   # zero flips or the exact list
+
+Or from the shell::
+
+    python -m repro.store ingest camp.jsonl BENCH_6.json
+    python -m repro.store list
+    python -m repro.store diff 1 2            # exit 1 on any outcome flip
+    python -m repro.store heatmap 1 --out heat.html --compare 2
+    python -m repro.store trend               # exit 1 on >=2x perf regression
+    python -m repro.store query "SELECT dff, COUNT(*) FROM outcomes \
+        WHERE outcome='sdc' GROUP BY dff ORDER BY 2 DESC"
+
+:class:`~repro.fi.runner.CampaignRunner` (when configured with a
+``store_path``) and ``python -m repro.eval bench`` ingest automatically on
+completion, so the warehouse accumulates without ceremony.
+"""
+
+from repro.store.db import (
+    BenchRow,
+    CampaignRow,
+    OutcomeRow,
+    ResultsStore,
+    StoreError,
+    default_db_path,
+)
+from repro.store.diff import CampaignDiff, OutcomeFlip, diff_campaigns
+from repro.store.heatmap import render_heatmap, write_heatmap
+from repro.store.trend import WorkloadTrend, bench_trend, format_trend
+
+__all__ = [
+    "BenchRow",
+    "CampaignDiff",
+    "CampaignRow",
+    "OutcomeFlip",
+    "OutcomeRow",
+    "ResultsStore",
+    "StoreError",
+    "WorkloadTrend",
+    "bench_trend",
+    "default_db_path",
+    "diff_campaigns",
+    "format_trend",
+    "render_heatmap",
+    "write_heatmap",
+]

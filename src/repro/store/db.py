@@ -1,0 +1,530 @@
+"""The campaign results warehouse: a normalized SQLite store.
+
+One :class:`ResultsStore` wraps one SQLite database (default:
+``.repro_cache/warehouse.sqlite3``) holding every campaign journal, merged
+worker telemetry, and perf snapshot ever ingested, so questions that span
+runs — "did this refactor flip any injection outcome?", "which flip-flops
+dominate SDC?", "is campaign throughput trending up?" — become queries
+instead of archaeology.
+
+Schema (``SCHEMA_VERSION`` = 1, pinned in the ``meta`` table)::
+
+    campaigns      one row per ingested journal, keyed like a resume:
+                   (netlist_hash, workload, points_hash, seed) — re-ingesting
+                   the same campaign replaces the old rows
+    outcomes       one row per injection: (campaign_id, point_index) with
+                   the fault-space key (dff, bit, cycle) and classification
+    worker_stats   per-process utilization (from journal records, enriched
+                   with span counts when a telemetry directory is present)
+    bench_runs     one row per ingested ``BENCH_<n>.json`` perf snapshot
+    bench_samples  per-workload timings of one snapshot
+
+``bit`` is 0 for today's single-bit flip-flop SEUs; journal records from a
+future multi-bit schema carry it as an extra field, which the
+forward-compatible loader preserves and the ingester picks up.
+
+Writes are wrapped in ``store/*`` spans and counted under ``store.*``
+metrics (:mod:`repro.obs`), like every other subsystem.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs import counter, span
+
+SCHEMA_VERSION = 1
+
+#: Fields that identify "the same campaign" across ingests (the journal's
+#: resume key, minus the derived counts).
+CAMPAIGN_KEY = ("netlist_hash", "workload", "points_hash", "seed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id            INTEGER PRIMARY KEY,
+    workload      TEXT NOT NULL,
+    netlist_hash  TEXT NOT NULL,
+    points_hash   TEXT NOT NULL,
+    seed          INTEGER,
+    num_points    INTEGER NOT NULL,
+    golden_cycles INTEGER NOT NULL,
+    max_cycles    INTEGER,
+    complete      INTEGER NOT NULL DEFAULT 0,
+    pruned        INTEGER NOT NULL DEFAULT 0,
+    space_points  INTEGER,
+    pruned_points INTEGER,
+    journal_path  TEXT,
+    label         TEXT,
+    ingested_at   REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS outcomes (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    point_index INTEGER NOT NULL,
+    dff         TEXT NOT NULL,
+    bit         INTEGER NOT NULL DEFAULT 0,
+    cycle       INTEGER NOT NULL,
+    outcome     TEXT NOT NULL,
+    attempts    INTEGER,
+    seconds     REAL,
+    worker      INTEGER,
+    PRIMARY KEY (campaign_id, point_index)
+);
+CREATE INDEX IF NOT EXISTS outcomes_by_key
+    ON outcomes(campaign_id, dff, bit, cycle);
+CREATE TABLE IF NOT EXISTS worker_stats (
+    campaign_id  INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    pid          INTEGER NOT NULL,
+    injections   INTEGER NOT NULL DEFAULT 0,
+    busy_seconds REAL NOT NULL DEFAULT 0.0,
+    spans        INTEGER,
+    PRIMARY KEY (campaign_id, pid)
+);
+CREATE TABLE IF NOT EXISTS bench_runs (
+    id             INTEGER PRIMARY KEY,
+    path           TEXT,
+    sequence       INTEGER,
+    schema_version INTEGER NOT NULL,
+    quick          INTEGER NOT NULL DEFAULT 0,
+    rounds         INTEGER,
+    python         TEXT,
+    ingested_at    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bench_samples (
+    bench_id         INTEGER NOT NULL
+                     REFERENCES bench_runs(id) ON DELETE CASCADE,
+    workload         TEXT NOT NULL,
+    seconds          REAL NOT NULL,
+    units            INTEGER NOT NULL,
+    units_per_second REAL NOT NULL,
+    PRIMARY KEY (bench_id, workload)
+);
+"""
+
+#: ``BENCH_<n>.json`` — the versioned perf-snapshot naming convention.
+BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+class StoreError(Exception):
+    """The warehouse is unusable or was asked something inconsistent."""
+
+
+def default_db_path() -> Path:
+    """The shared warehouse, next to the other cached artifacts."""
+    cache = Path(__file__).resolve().parents[3] / ".repro_cache"
+    cache.mkdir(exist_ok=True)
+    return cache / "warehouse.sqlite3"
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One campaign as stored (see the ``campaigns`` table)."""
+
+    id: int
+    workload: str
+    netlist_hash: str
+    points_hash: str
+    seed: int | None
+    num_points: int
+    golden_cycles: int
+    max_cycles: int | None
+    complete: bool
+    pruned: bool
+    space_points: int | None
+    pruned_points: int | None
+    journal_path: str | None
+    label: str | None
+    ingested_at: float
+
+
+@dataclass(frozen=True)
+class OutcomeRow:
+    """One injection outcome with its fault-space key."""
+
+    point_index: int
+    dff: str
+    bit: int
+    cycle: int
+    outcome: str
+    attempts: int | None = None
+    seconds: float | None = None
+    worker: int | None = None
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        """The cross-campaign identity of this fault-space point."""
+        return (self.dff, self.bit, self.cycle)
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One perf snapshot plus its per-workload samples."""
+
+    id: int
+    path: str | None
+    sequence: int | None
+    schema_version: int
+    quick: bool
+    rounds: int | None
+    python: str | None
+    ingested_at: float
+    #: workload -> (seconds, units, units_per_second)
+    samples: dict[str, tuple[float, int, float]] = field(default_factory=dict)
+
+
+def _bench_sequence(path: str | Path | None) -> int | None:
+    """The ``<n>`` of a ``BENCH_<n>.json`` filename, if it follows it."""
+    if path is None:
+        return None
+    match = BENCH_NAME.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+class ResultsStore:
+    """Open (creating if needed) the warehouse at ``path``."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else default_db_path()
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            self._conn.close()
+            raise StoreError(
+                f"warehouse {self.path} has schema version {row[0]}, "
+                f"this build speaks {SCHEMA_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> ResultsStore:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Campaign ingest
+    # ------------------------------------------------------------------
+    def ingest_journal(
+        self,
+        journal_path: str | Path,
+        telemetry_dir: str | Path | None = None,
+        label: str | None = None,
+    ) -> int:
+        """Ingest one campaign journal; returns the campaign id.
+
+        Re-ingesting a journal with the same resume key (netlist hash,
+        workload, point-list hash, seed) replaces the previous rows, so the
+        warehouse always reflects the journal's latest state — ingest after
+        every resume and nothing is double-counted. ``telemetry_dir``
+        defaults to ``<journal>.telemetry`` when that directory exists.
+        """
+        from repro.fi.journal import load_journal
+
+        journal_path = Path(journal_path)
+        with span("store/ingest-journal", journal=str(journal_path)):
+            state = load_journal(journal_path)
+            header = state.header
+            meta = header.get("meta") or {}
+            key = {
+                "netlist_hash": header.get("netlist_hash"),
+                "workload": header.get("workload"),
+                "points_hash": header.get("points_hash"),
+                "seed": header.get("seed"),
+            }
+            self._conn.execute(
+                "DELETE FROM campaigns WHERE netlist_hash IS ? AND "
+                "workload IS ? AND points_hash IS ? AND seed IS ?",
+                tuple(key.values()),
+            )
+            cursor = self._conn.execute(
+                "INSERT INTO campaigns (workload, netlist_hash, points_hash,"
+                " seed, num_points, golden_cycles, max_cycles, complete,"
+                " pruned, space_points, pruned_points, journal_path, label,"
+                " ingested_at) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    key["workload"],
+                    key["netlist_hash"],
+                    key["points_hash"],
+                    key["seed"],
+                    header.get("num_points", len(state.records)),
+                    header.get("golden_cycles", 0),
+                    header.get("max_cycles"),
+                    int(state.complete),
+                    int(bool(meta.get("pruned"))),
+                    meta.get("space_points"),
+                    meta.get("pruned_points"),
+                    str(journal_path),
+                    label,
+                    time.time(),
+                ),
+            )
+            campaign_id = cursor.lastrowid
+            assert campaign_id is not None
+            rows = []
+            for index in sorted(state.records):
+                record = state.records[index]
+                detail = state.details.get(index, {})
+                rows.append(
+                    (
+                        campaign_id,
+                        index,
+                        record.dff_name,
+                        int(detail.get("bit", 0)),
+                        record.cycle,
+                        record.outcome.value,
+                        detail.get("attempts"),
+                        detail.get("seconds"),
+                        detail.get("worker"),
+                    )
+                )
+            self._conn.executemany(
+                "INSERT INTO outcomes (campaign_id, point_index, dff, bit,"
+                " cycle, outcome, attempts, seconds, worker)"
+                " VALUES (?,?,?,?,?,?,?,?,?)",
+                rows,
+            )
+            self._ingest_worker_stats(campaign_id, state, journal_path,
+                                      telemetry_dir)
+            self._conn.commit()
+            counter("store.campaigns.ingested").inc()
+            counter("store.outcomes.ingested").inc(len(rows))
+            return campaign_id
+
+    def _ingest_worker_stats(
+        self, campaign_id, state, journal_path, telemetry_dir
+    ) -> None:
+        stats: dict[int, list[float]] = {}  # pid -> [injections, busy]
+        for index in state.records:
+            detail = state.details.get(index, {})
+            pid = detail.get("worker")
+            if pid is None:
+                continue
+            entry = stats.setdefault(int(pid), [0, 0.0])
+            entry[0] += 1
+            entry[1] += float(detail.get("seconds") or 0.0)
+        span_counts = self._telemetry_span_counts(journal_path, telemetry_dir)
+        for pid in span_counts:
+            stats.setdefault(pid, [0, 0.0])
+        self._conn.executemany(
+            "INSERT INTO worker_stats (campaign_id, pid, injections,"
+            " busy_seconds, spans) VALUES (?,?,?,?,?)",
+            [
+                (campaign_id, pid, int(inj), busy, span_counts.get(pid))
+                for pid, (inj, busy) in sorted(stats.items())
+            ],
+        )
+
+    @staticmethod
+    def _telemetry_span_counts(
+        journal_path: Path, telemetry_dir: str | Path | None
+    ) -> dict[int, int]:
+        """``pid -> campaign/inject span count`` from the telemetry dir."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.remote import collect
+
+        if telemetry_dir is None:
+            candidate = Path(f"{journal_path}.telemetry")
+            telemetry_dir = candidate if candidate.is_dir() else None
+        if telemetry_dir is None or not Path(telemetry_dir).is_dir():
+            return {}
+        # Scratch registry: ingest must not pollute the live metrics.
+        merged = collect(telemetry_dir, registry=MetricsRegistry())
+        counts: dict[int, int] = {}
+        for event in merged.timeline:
+            if event.name == "campaign/inject":
+                counts[event.pid] = counts.get(event.pid, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Bench ingest
+    # ------------------------------------------------------------------
+    def ingest_bench(
+        self, doc_or_path: dict | str | Path, path: str | Path | None = None
+    ) -> int:
+        """Ingest one perf snapshot (a ``BENCH_<n>.json`` document or path).
+
+        Re-ingesting the same path replaces the previous rows. The
+        ``BENCH_<n>`` sequence number orders the trend series; snapshots
+        with non-conforming names fall back to ingest order.
+        """
+        from repro.eval.bench import validate_bench
+
+        if not isinstance(doc_or_path, dict):
+            path = Path(doc_or_path)
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        else:
+            doc = doc_or_path
+        with span("store/ingest-bench", path=str(path) if path else "-"):
+            try:
+                validate_bench(doc)
+            except ValueError as exc:
+                raise StoreError(str(exc)) from exc
+            if path is not None:
+                self._conn.execute(
+                    "DELETE FROM bench_runs WHERE path = ?", (str(path),)
+                )
+            cursor = self._conn.execute(
+                "INSERT INTO bench_runs (path, sequence, schema_version,"
+                " quick, rounds, python, ingested_at) VALUES (?,?,?,?,?,?,?)",
+                (
+                    str(path) if path is not None else None,
+                    _bench_sequence(path),
+                    doc["schema_version"],
+                    int(bool(doc.get("quick"))),
+                    doc.get("rounds"),
+                    doc.get("python"),
+                    time.time(),
+                ),
+            )
+            bench_id = cursor.lastrowid
+            assert bench_id is not None
+            self._conn.executemany(
+                "INSERT INTO bench_samples (bench_id, workload, seconds,"
+                " units, units_per_second) VALUES (?,?,?,?,?)",
+                [
+                    (
+                        bench_id,
+                        name,
+                        float(entry["seconds"]),
+                        int(entry["units"]),
+                        int(entry["units"]) / float(entry["seconds"]),
+                    )
+                    for name, entry in doc["workloads"].items()
+                ],
+            )
+            self._conn.commit()
+            counter("store.bench.ingested").inc()
+            return bench_id
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def campaigns(self) -> list[CampaignRow]:
+        """Every stored campaign, oldest first."""
+        rows = self._conn.execute(
+            "SELECT id, workload, netlist_hash, points_hash, seed,"
+            " num_points, golden_cycles, max_cycles, complete, pruned,"
+            " space_points, pruned_points, journal_path, label, ingested_at"
+            " FROM campaigns ORDER BY id"
+        ).fetchall()
+        return [self._campaign_row(r) for r in rows]
+
+    @staticmethod
+    def _campaign_row(r: tuple) -> CampaignRow:
+        return CampaignRow(
+            id=r[0], workload=r[1], netlist_hash=r[2], points_hash=r[3],
+            seed=r[4], num_points=r[5], golden_cycles=r[6], max_cycles=r[7],
+            complete=bool(r[8]), pruned=bool(r[9]), space_points=r[10],
+            pruned_points=r[11], journal_path=r[12], label=r[13],
+            ingested_at=r[14],
+        )
+
+    def campaign(self, campaign_id: int) -> CampaignRow:
+        """One campaign by id; raises :class:`StoreError` if absent."""
+        row = self._conn.execute(
+            "SELECT id, workload, netlist_hash, points_hash, seed,"
+            " num_points, golden_cycles, max_cycles, complete, pruned,"
+            " space_points, pruned_points, journal_path, label, ingested_at"
+            " FROM campaigns WHERE id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no campaign #{campaign_id} in {self.path}")
+        return self._campaign_row(row)
+
+    def outcomes(self, campaign_id: int) -> list[OutcomeRow]:
+        """Every injection outcome of one campaign, in point order."""
+        self.campaign(campaign_id)  # existence check
+        rows = self._conn.execute(
+            "SELECT point_index, dff, bit, cycle, outcome, attempts,"
+            " seconds, worker FROM outcomes WHERE campaign_id = ?"
+            " ORDER BY point_index",
+            (campaign_id,),
+        ).fetchall()
+        return [OutcomeRow(*r) for r in rows]
+
+    def outcome_tally(self, campaign_id: int) -> dict[str, int]:
+        """``outcome -> count`` for one campaign."""
+        rows = self._conn.execute(
+            "SELECT outcome, COUNT(*) FROM outcomes WHERE campaign_id = ?"
+            " GROUP BY outcome",
+            (campaign_id,),
+        ).fetchall()
+        return dict(rows)
+
+    def worker_stats(self, campaign_id: int) -> list[tuple[int, int, float, int | None]]:
+        """``(pid, injections, busy_seconds, spans)`` rows of one campaign."""
+        return self._conn.execute(
+            "SELECT pid, injections, busy_seconds, spans FROM worker_stats"
+            " WHERE campaign_id = ? ORDER BY pid",
+            (campaign_id,),
+        ).fetchall()
+
+    def bench_runs(self) -> list[BenchRow]:
+        """Every perf snapshot with its samples, in trend order.
+
+        Trend order is the ``BENCH_<n>`` sequence when every run has one,
+        else ingest order (id).
+        """
+        rows = self._conn.execute(
+            "SELECT id, path, sequence, schema_version, quick, rounds,"
+            " python, ingested_at FROM bench_runs"
+            " ORDER BY (sequence IS NULL), sequence, id"
+        ).fetchall()
+        out = []
+        for r in rows:
+            samples = {
+                name: (seconds, units, ups)
+                for name, seconds, units, ups in self._conn.execute(
+                    "SELECT workload, seconds, units, units_per_second"
+                    " FROM bench_samples WHERE bench_id = ? ORDER BY workload",
+                    (r[0],),
+                )
+            }
+            out.append(
+                BenchRow(
+                    id=r[0], path=r[1], sequence=r[2], schema_version=r[3],
+                    quick=bool(r[4]), rounds=r[5], python=r[6],
+                    ingested_at=r[7], samples=samples,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> tuple[list[str], list[tuple]]:
+        """Run one read-only SQL statement; ``(column_names, rows)``.
+
+        The query runs on a separate ``query_only`` connection, so no SQL —
+        hostile or fat-fingered — can mutate the warehouse through here.
+        """
+        conn = sqlite3.connect(self.path)
+        try:
+            conn.execute("PRAGMA query_only = ON")
+            cursor = conn.execute(sql)
+            names = [d[0] for d in cursor.description or []]
+            return names, cursor.fetchall()
+        finally:
+            conn.close()

@@ -1,0 +1,120 @@
+"""Cross-campaign outcome diffing: the regression primitive.
+
+Every future speed optimisation of the injection pipeline — bit-parallel
+simulation, divergence-bounded replay, distributed execution — must prove
+it flips **zero** outcomes. :func:`diff_campaigns` compares two campaigns
+on the same target point-for-point, keying each injection by its
+fault-space identity ``(dff, bit, cycle)`` (not by point index, so
+differently ordered or differently sampled runs still line up), and
+reports every classification flip.
+
+A sampled point list may contain duplicate fault-space keys (sampling is
+with replacement); a key's *outcome set* is compared, so a key is only a
+flip when the two campaigns genuinely disagree about what that fault does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import counter, span
+from repro.store.db import CampaignRow, ResultsStore, StoreError
+
+
+@dataclass(frozen=True)
+class OutcomeFlip:
+    """One fault-space point whose classification changed."""
+
+    dff: str
+    bit: int
+    cycle: int
+    #: ``+``-joined sorted outcome set in campaign A / campaign B.
+    before: str
+    after: str
+
+
+@dataclass
+class CampaignDiff:
+    """The result of diffing campaign ``a`` against campaign ``b``."""
+
+    a: CampaignRow
+    b: CampaignRow
+    #: Fault-space keys present in both campaigns.
+    matched: int = 0
+    flips: list[OutcomeFlip] = field(default_factory=list)
+    #: Keys sampled by exactly one of the two campaigns.
+    only_in_a: int = 0
+    only_in_b: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no matched point changed classification."""
+        return not self.flips
+
+    def summary(self) -> str:
+        verdict = (
+            "zero outcome flips — campaigns agree"
+            if self.clean
+            else f"{len(self.flips)} outcome flip(s)"
+        )
+        return (
+            f"campaign #{self.a.id} ({self.a.workload} @ "
+            f"{self.a.netlist_hash}) vs #{self.b.id} ({self.b.workload} @ "
+            f"{self.b.netlist_hash}): {self.matched} matched fault-space "
+            f"point(s), {self.only_in_a} only in #{self.a.id}, "
+            f"{self.only_in_b} only in #{self.b.id} — {verdict}"
+        )
+
+
+def _outcome_sets(
+    store: ResultsStore, campaign_id: int
+) -> dict[tuple[str, int, int], frozenset[str]]:
+    by_key: dict[tuple[str, int, int], set[str]] = {}
+    for row in store.outcomes(campaign_id):
+        by_key.setdefault(row.key, set()).add(row.outcome)
+    return {key: frozenset(v) for key, v in by_key.items()}
+
+
+def diff_campaigns(
+    store: ResultsStore,
+    a_id: int,
+    b_id: int,
+    allow_mismatch: bool = False,
+) -> CampaignDiff:
+    """Diff two stored campaigns point-for-point (see module docstring).
+
+    The campaigns must target the same design and workload (equal netlist
+    hash and workload name) — comparing different targets is a category
+    error, refused unless ``allow_mismatch`` (which still diffs whatever
+    keys happen to collide, useful for cross-core curiosity only).
+    """
+    with span("store/diff", a=a_id, b=b_id):
+        a = store.campaign(a_id)
+        b = store.campaign(b_id)
+        if not allow_mismatch and (
+            a.netlist_hash != b.netlist_hash or a.workload != b.workload
+        ):
+            raise StoreError(
+                f"campaign #{a.id} ({a.workload} @ {a.netlist_hash}) and "
+                f"#{b.id} ({b.workload} @ {b.netlist_hash}) target different "
+                "designs — pass allow_mismatch/--force to diff them anyway"
+            )
+        outcomes_a = _outcome_sets(store, a_id)
+        outcomes_b = _outcome_sets(store, b_id)
+        diff = CampaignDiff(a=a, b=b)
+        for key in sorted(set(outcomes_a) & set(outcomes_b)):
+            diff.matched += 1
+            if outcomes_a[key] != outcomes_b[key]:
+                diff.flips.append(
+                    OutcomeFlip(
+                        dff=key[0],
+                        bit=key[1],
+                        cycle=key[2],
+                        before="+".join(sorted(outcomes_a[key])),
+                        after="+".join(sorted(outcomes_b[key])),
+                    )
+                )
+        diff.only_in_a = len(set(outcomes_a) - set(outcomes_b))
+        diff.only_in_b = len(set(outcomes_b) - set(outcomes_a))
+        counter("store.diff.flips").inc(len(diff.flips))
+        return diff

@@ -1,0 +1,274 @@
+"""Fault-space heatmaps: where in FF × cycle space do faults bite?
+
+Renders one stored campaign as a self-contained HTML page (same styling
+and escaping discipline as :mod:`repro.fi.report`): an SVG grid with one
+row per flip-flop and one column per cycle bucket, each cell colored by
+the most severe outcome observed there (severity: sdc > error > timeout >
+benign), with exact per-cell counts in a hover ``<title>``. Rows are
+sorted so the flip-flops with the most effective (non-benign) injections
+float to the top — the fault-space hot spots the paper's pruning argument
+is about.
+
+With a comparison campaign (``--compare``, typically a MATE-pruned sample
+vs a full-space sample on the same target) the page adds a
+**pruning-effectiveness attribution table**: per-campaign outcome mix,
+effective rates, and the concentration factor the pruning achieved.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.fi.report import BASE_CSS, NEUTRAL_COLOR, OUTCOME_COLORS, escape
+from repro.obs import span
+from repro.store.db import CampaignRow, OutcomeRow, ResultsStore
+
+#: Cell color precedence: the most attention-worthy outcome in the bucket
+#: wins (silent corruption first — it is the headline risk).
+SEVERITY = ("sdc", "error", "timeout", "benign")
+
+#: Cells with no sampled injection.
+EMPTY_COLOR = "#eef0f3"
+
+_HEATMAP_CSS = BASE_CSS + """
+.legend span.item { margin-right: 1.2rem; font-size: .85rem; }
+"""
+
+
+def _bucket_outcomes(
+    outcomes: list[OutcomeRow], golden_cycles: int, max_cols: int
+) -> tuple[dict[str, dict[int, dict[str, int]]], int, int]:
+    """``ff -> column -> outcome -> count`` plus (columns, bucket_width)."""
+    cycles = max(golden_cycles, 1 + max((o.cycle for o in outcomes), default=0))
+    columns = min(max_cols, max(cycles, 1))
+    bucket = math.ceil(max(cycles, 1) / columns)
+    grid: dict[str, dict[int, dict[str, int]]] = {}
+    for row in outcomes:
+        cell = grid.setdefault(row.dff, {}).setdefault(
+            min(row.cycle // bucket, columns - 1), {}
+        )
+        cell[row.outcome] = cell.get(row.outcome, 0) + 1
+    return grid, columns, bucket
+
+
+def _row_order(grid: dict[str, dict[int, dict[str, int]]]) -> list[str]:
+    """Flip-flops sorted hottest (most non-benign hits) first, then name."""
+
+    def effective(ff: str) -> int:
+        return sum(
+            count
+            for cell in grid[ff].values()
+            for outcome, count in cell.items()
+            if outcome != "benign"
+        )
+
+    return sorted(grid, key=lambda ff: (-effective(ff), ff))
+
+
+def _cell_color(cell: dict[str, int]) -> str:
+    for outcome in SEVERITY:
+        if cell.get(outcome):
+            return OUTCOME_COLORS.get(outcome, NEUTRAL_COLOR)
+    return NEUTRAL_COLOR  # only unknown outcome names in the bucket
+
+
+def _heatmap_svg(
+    campaign: CampaignRow, outcomes: list[OutcomeRow], max_cols: int
+) -> list[str]:
+    if not outcomes:
+        return ["<p class=note>No recorded injections to map.</p>"]
+    grid, columns, bucket = _bucket_outcomes(
+        outcomes, campaign.golden_cycles, max_cols
+    )
+    ffs = _row_order(grid)
+    cell_w = max(6, min(18, 760 // columns))
+    cell_h = 14
+    pad_l, pad_t = 150, 4
+    width = pad_l + columns * cell_w + 10
+    height = pad_t + len(ffs) * cell_h + 26
+    out = [
+        f"<svg width='{width}' height='{height}' "
+        "xmlns='http://www.w3.org/2000/svg' role='img' "
+        "aria-label='fault-space heatmap'>"
+    ]
+    for row_index, ff in enumerate(ffs):
+        y = pad_t + row_index * cell_h
+        out.append(
+            f"<text x='{pad_l - 6}' y='{y + 11}' font-size='10' "
+            f"text-anchor='end' fill='#5b6270'>{escape(ff)}</text>"
+        )
+        out.append(  # row background: the not-sampled color
+            f"<rect x='{pad_l}' y='{y}' width='{columns * cell_w - 1}' "
+            f"height='{cell_h - 1}' fill='{EMPTY_COLOR}'/>"
+        )
+        for col, cell in sorted(grid[ff].items()):
+            x = pad_l + col * cell_w
+            detail = ", ".join(
+                f"{escape(name)}={count}" for name, count in sorted(cell.items())
+            )
+            lo, hi = col * bucket, min((col + 1) * bucket, campaign.golden_cycles) - 1
+            cycles = f"cycle {lo}" if hi <= lo else f"cycles {lo}-{hi}"
+            out.append(
+                f"<rect x='{x}' y='{y}' width='{cell_w - 1}' "
+                f"height='{cell_h - 1}' fill='{_cell_color(cell)}'>"
+                f"<title>{escape(ff)} {cycles}: {detail}</title></rect>"
+            )
+    axis_y = pad_t + len(ffs) * cell_h + 14
+    out.append(
+        f"<text x='{pad_l}' y='{axis_y}' font-size='10' fill='#5b6270'>"
+        "cycle 0</text>"
+    )
+    out.append(
+        f"<text x='{pad_l + columns * cell_w}' y='{axis_y}' font-size='10' "
+        f"fill='#5b6270' text-anchor='end'>"
+        f"cycle {campaign.golden_cycles - 1}</text>"
+    )
+    out.append("</svg>")
+    out.append(
+        f"<p class=note>{len(ffs)} flip-flop(s) × {columns} cycle bucket(s) "
+        f"({bucket} cycle(s) per bucket); hottest rows first; hover a cell "
+        "for exact counts. Gray cells were never sampled.</p>"
+    )
+    return out
+
+
+def _legend() -> list[str]:
+    items = "".join(
+        f"<span class=item><span class=swatch "
+        f"style='background:{color}'></span>{escape(outcome)}</span>"
+        for outcome, color in OUTCOME_COLORS.items()
+    )
+    return [
+        f"<p class=legend>{items}<span class=item><span class=swatch "
+        f"style='background:{EMPTY_COLOR}'></span>not sampled</span></p>"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pruning-effectiveness attribution
+# ----------------------------------------------------------------------
+def _tally(outcomes: list[OutcomeRow]) -> dict[str, int]:
+    tally: dict[str, int] = {}
+    for row in outcomes:
+        tally[row.outcome] = tally.get(row.outcome, 0) + 1
+    return tally
+
+
+def effective_rate(outcomes: list[OutcomeRow]) -> float:
+    """Share of classified injections that were effective (sdc/timeout).
+
+    ``error`` records are infrastructure verdicts, excluded from the
+    denominator — nothing is known about those faults.
+    """
+    tally = _tally(outcomes)
+    classified = sum(c for o, c in tally.items() if o != "error")
+    if not classified:
+        return float("nan")
+    return (tally.get("sdc", 0) + tally.get("timeout", 0)) / classified
+
+
+def attribution_rows(
+    pairs: list[tuple[CampaignRow, list[OutcomeRow]]],
+) -> list[tuple[str, list[str]]]:
+    """``(metric, per-campaign values)`` rows of the attribution table."""
+    rows: list[tuple[str, list[str]]] = []
+
+    def add(metric: str, render) -> None:
+        rows.append((metric, [render(c, o) for c, o in pairs]))
+
+    add("sampling", lambda c, o: "MATE-pruned space" if c.pruned
+        else "full fault space")
+    add("points injected", lambda c, o: str(len(o)))
+    add("distinct fault-space keys", lambda c, o: str(len({r.key for r in o})))
+    for outcome in ("benign", "sdc", "timeout", "error"):
+        add(outcome, lambda c, o, _oc=outcome: str(_tally(o).get(_oc, 0)))
+    add("effective rate (sdc+timeout)", lambda c, o: (
+        "-" if math.isnan(effective_rate(o)) else f"{100 * effective_rate(o):.1f}%"
+    ))
+    add("fault space (FF × cycles)", lambda c, o: (
+        str(c.space_points) if c.space_points else "-"
+    ))
+    add("MATE-pruned points", lambda c, o: (
+        f"{c.pruned_points} ({100 * c.pruned_points / c.space_points:.1f}%)"
+        if c.pruned_points and c.space_points
+        else (str(c.pruned_points) if c.pruned_points else "-")
+    ))
+    return rows
+
+
+def _attribution_table(
+    pairs: list[tuple[CampaignRow, list[OutcomeRow]]],
+) -> list[str]:
+    out = ["<h2>Pruning-effectiveness attribution</h2>", "<table>"]
+    heads = "".join(
+        f"<th>#{c.id} {escape(c.workload)}</th>" for c, _ in pairs
+    )
+    out.append(f"<tr><th>metric</th>{heads}</tr>")
+    for metric, values in attribution_rows(pairs):
+        cells = "".join(f"<td class=num>{escape(v)}</td>" for v in values)
+        out.append(f"<tr><td>{escape(metric)}</td>{cells}</tr>")
+    out.append("</table>")
+    rates = [effective_rate(o) for _, o in pairs]
+    if len(rates) == 2 and all(not math.isnan(r) for r in rates) and rates[0]:
+        out.append(
+            f"<p class=note>Effective-rate concentration: the second "
+            f"campaign's sample is {rates[1] / rates[0]:.2f}× as effective "
+            "per injection as the first's — pruning that discards only "
+            "benign points concentrates the remaining space.</p>"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+def render_heatmap(
+    store: ResultsStore,
+    campaign_id: int,
+    compare_id: int | None = None,
+    max_cols: int = 64,
+) -> str:
+    """One campaign's fault-space heatmap as a self-contained HTML page."""
+    with span("store/heatmap", campaign=campaign_id):
+        campaign = store.campaign(campaign_id)
+        outcomes = store.outcomes(campaign_id)
+        pairs = [(campaign, outcomes)]
+        if compare_id is not None:
+            pairs.append((store.campaign(compare_id), store.outcomes(compare_id)))
+        title = f"fault-space heatmap — {campaign.workload}"
+        out = [
+            "<!DOCTYPE html>",
+            "<html lang='en'><head><meta charset='utf-8'>",
+            f"<title>{escape(title)}</title>",
+            f"<style>{_HEATMAP_CSS}</style></head><body>",
+            f"<h1>Fault-space heatmap — {escape(campaign.workload)}"
+            f" (campaign #{campaign.id})</h1>",
+            "<table class=meta>",
+            f"<tr><td>netlist</td><td>{escape(campaign.netlist_hash)}</td></tr>",
+            f"<tr><td>golden run</td><td>{campaign.golden_cycles} cycles"
+            "</td></tr>",
+            f"<tr><td>recorded</td><td>{len(outcomes)} injection(s)"
+            f" ({'complete' if campaign.complete else 'partial'})</td></tr>",
+            "</table>",
+        ]
+        out.extend(_legend())
+        out.extend(_heatmap_svg(campaign, outcomes, max_cols))
+        if len(pairs) > 1 or campaign.pruned or campaign.pruned_points:
+            out.extend(_attribution_table(pairs))
+        out.append("</body></html>")
+        return "\n".join(out) + "\n"
+
+
+def write_heatmap(
+    path: str | Path,
+    store: ResultsStore,
+    campaign_id: int,
+    compare_id: int | None = None,
+    max_cols: int = 64,
+) -> Path:
+    """Render and write the heatmap; returns the output path."""
+    path = Path(path)
+    path.write_text(
+        render_heatmap(store, campaign_id, compare_id, max_cols),
+        encoding="utf-8",
+    )
+    return path

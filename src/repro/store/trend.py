@@ -1,0 +1,163 @@
+"""Perf-trend analysis and gating over the ingested bench history.
+
+Every ``BENCH_<n>.json`` snapshot that :mod:`repro.eval.bench` writes (and
+auto-ingests) becomes one point in a per-workload throughput series. The
+trend report renders the whole trajectory — per-unit time, units/second,
+and a sparkline — and the **gate** compares the latest snapshot's per-unit
+time against the best earlier snapshot: a ratio above ``max_slowdown``
+(default 2×, matching ``bench --baseline``) is a regression.
+
+Per-unit comparison means quick (CI) and full snapshots live in one
+series without lying to the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import counter, span
+from repro.store.db import BenchRow, ResultsStore
+
+#: Sparkline glyphs, slowest (tallest = fastest throughput) ordering.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class TrendPoint:
+    """One snapshot's contribution to one workload's series."""
+
+    bench_id: int
+    sequence: int | None
+    path: str | None
+    seconds: float
+    units: int
+    units_per_second: float
+
+    @property
+    def per_unit(self) -> float:
+        return self.seconds / self.units if self.units else float("inf")
+
+    @property
+    def label(self) -> str:
+        if self.sequence is not None:
+            return f"BENCH_{self.sequence}"
+        return f"run {self.bench_id}"
+
+
+@dataclass
+class WorkloadTrend:
+    """One workload's full series plus its gate verdict."""
+
+    workload: str
+    points: list[TrendPoint] = field(default_factory=list)
+    max_slowdown: float = 2.0
+
+    @property
+    def latest(self) -> TrendPoint:
+        return self.points[-1]
+
+    @property
+    def best_earlier(self) -> TrendPoint | None:
+        """The fastest (lowest per-unit) snapshot before the latest."""
+        earlier = self.points[:-1]
+        if not earlier:
+            return None
+        return min(earlier, key=lambda p: p.per_unit)
+
+    @property
+    def slowdown(self) -> float | None:
+        """Latest per-unit time / best earlier per-unit time."""
+        best = self.best_earlier
+        if best is None or best.per_unit <= 0:
+            return None
+        return self.latest.per_unit / best.per_unit
+
+    @property
+    def regressed(self) -> bool:
+        ratio = self.slowdown
+        return ratio is not None and ratio > self.max_slowdown
+
+    def sparkline(self) -> str:
+        """Throughput (units/s) sparkline, oldest to newest."""
+        values = [p.units_per_second for p in self.points]
+        peak = max(values) or 1.0
+        return "".join(
+            _SPARKS[min(len(_SPARKS) - 1, int(v / peak * (len(_SPARKS) - 1)))]
+            for v in values
+        )
+
+
+def bench_trend(
+    store: ResultsStore,
+    workload: str | None = None,
+    max_slowdown: float = 2.0,
+) -> list[WorkloadTrend]:
+    """Per-workload trend series over every ingested snapshot, gate armed.
+
+    Snapshots are ordered by their ``BENCH_<n>`` sequence (ingest order
+    for unversioned ones). Workloads appearing in fewer than one snapshot
+    are skipped; the gate only fires with ≥ 2 points.
+    """
+    with span("store/trend"):
+        runs: list[BenchRow] = store.bench_runs()
+        by_workload: dict[str, WorkloadTrend] = {}
+        for run in runs:
+            for name, (seconds, units, ups) in run.samples.items():
+                if workload is not None and name != workload:
+                    continue
+                trend = by_workload.setdefault(
+                    name, WorkloadTrend(workload=name, max_slowdown=max_slowdown)
+                )
+                trend.points.append(
+                    TrendPoint(
+                        bench_id=run.id,
+                        sequence=run.sequence,
+                        path=run.path,
+                        seconds=seconds,
+                        units=units,
+                        units_per_second=ups,
+                    )
+                )
+        trends = [by_workload[name] for name in sorted(by_workload)]
+        counter("store.trend.regressions").inc(
+            sum(1 for t in trends if t.regressed)
+        )
+        return trends
+
+
+def format_trend(trends: list[WorkloadTrend]) -> str:
+    """The whole trend report as aligned text (one block per workload)."""
+    from repro.obs.export import aligned_table
+
+    if not trends:
+        return "no bench snapshots ingested — run: python -m repro.eval bench"
+    blocks: list[str] = []
+    for trend in trends:
+        rows = [
+            [
+                point.label,
+                f"{point.units}",
+                f"{point.per_unit * 1e3:.3f}",
+                f"{point.units_per_second:.1f}",
+            ]
+            for point in trend.points
+        ]
+        blocks.append(
+            aligned_table(
+                f"{trend.workload}  {trend.sparkline()}",
+                ["snapshot", "units", "ms/unit", "units/s"],
+                rows,
+            )
+        )
+        ratio = trend.slowdown
+        if ratio is None:
+            blocks.append("  (single snapshot — gate needs at least two)")
+        else:
+            best = trend.best_earlier
+            assert best is not None
+            verdict = "REGRESSION" if trend.regressed else "ok"
+            blocks.append(
+                f"  latest vs best ({best.label}): {ratio:.2f}x per-unit "
+                f"— {verdict} (threshold {trend.max_slowdown:.1f}x)"
+            )
+    return "\n\n".join(blocks)

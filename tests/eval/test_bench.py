@@ -10,6 +10,7 @@ from repro.eval.bench import (
     WORKLOADS,
     compare_to_baseline,
     main,
+    next_bench_path,
     run_bench,
     validate_bench,
 )
@@ -122,13 +123,67 @@ class TestBaselineComparison:
 
 
 # ----------------------------------------------------------------------
+class TestNextBenchPath:
+    def test_empty_directory_starts_at_one(self, tmp_path):
+        assert next_bench_path(tmp_path) == tmp_path / "BENCH_1.json"
+
+    def test_appends_after_highest_existing(self, tmp_path):
+        (tmp_path / "BENCH_2.json").write_text("{}")
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        assert next_bench_path(tmp_path) == tmp_path / "BENCH_8.json"
+
+    def test_non_matching_names_are_ignored(self, tmp_path):
+        (tmp_path / "BENCH_x.json").write_text("{}")
+        (tmp_path / "BENCH_3.json.bak").write_text("{}")
+        assert next_bench_path(tmp_path) == tmp_path / "BENCH_1.json"
+
+
 class TestCli:
     def test_writes_validating_snapshot(self, tmp_path, capsys):
         out = tmp_path / "BENCH.json"
-        assert main(["--quick", "--rounds", "1", "--out", str(out)]) == 0
+        assert main(["--quick", "--rounds", "1", "--out", str(out),
+                     "--no-store"]) == 0
         doc = json.loads(out.read_text())
         validate_bench(doc)
         assert "bench snapshot written" in capsys.readouterr().out
+
+    def test_out_dir_appends_versioned_snapshots(self, tmp_path, capsys):
+        (tmp_path / "BENCH_4.json").write_text("{}")  # older history
+        assert main(["--quick", "--rounds", "1", "--out-dir", str(tmp_path),
+                     "--no-store"]) == 0
+        written = tmp_path / "BENCH_5.json"
+        validate_bench(json.loads(written.read_text()))
+        assert str(written) in capsys.readouterr().out
+        # The earlier snapshot is untouched — history is append-only.
+        assert (tmp_path / "BENCH_4.json").read_text() == "{}"
+
+    def test_out_and_out_dir_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--quick", "--out", "a.json", "--out-dir", str(tmp_path)])
+
+    def test_snapshot_auto_ingests_into_store(self, tmp_path, capsys):
+        from repro.store import ResultsStore
+
+        db = tmp_path / "warehouse.sqlite3"
+        assert main(["--quick", "--rounds", "1", "--out-dir", str(tmp_path),
+                     "--store", str(db)]) == 0
+        assert "warehoused as bench run" in capsys.readouterr().out
+        with ResultsStore(db) as store:
+            runs = store.bench_runs()
+        assert len(runs) == 1
+        assert runs[0].sequence == 1
+        assert set(runs[0].samples) == set(WORKLOADS)
+
+    def test_store_failure_is_a_warning_not_an_error(self, tmp_path, capsys):
+        # An undirectory-able store path: ingest fails, bench still exits 0.
+        bad_db = tmp_path / "not-a-dir" / "x" / "warehouse.sqlite3"
+        (tmp_path / "not-a-dir").write_text("file, not dir")
+        out = tmp_path / "BENCH.json"
+        code = main(["--quick", "--rounds", "1", "--out", str(out),
+                     "--store", str(bad_db)])
+        assert code == 0
+        assert "warehouse ingest failed" in capsys.readouterr().err
+        validate_bench(json.loads(out.read_text()))
 
     def test_baseline_regression_exits_nonzero(self, tmp_path, capsys):
         # A synthetic baseline that claims every workload used to take
@@ -151,7 +206,8 @@ class TestCli:
 
     def test_matching_baseline_passes(self, tmp_path):
         out = tmp_path / "BENCH.json"
-        assert main(["--quick", "--rounds", "1", "--out", str(out)]) == 0
+        assert main(["--quick", "--rounds", "1", "--out", str(out),
+                     "--no-store"]) == 0
         # Same machine, moments later, generous threshold: no regression.
         code = main(["--quick", "--rounds", "1",
                      "--baseline", str(out), "--max-slowdown", "50.0"])

@@ -27,6 +27,8 @@ SLOW_TARGET = "tests.fi.runner_targets:slow_accum_target"
 
 
 def _cli(*args, **kwargs):
+    if args and args[0] in ("run", "resume"):
+        args = (*args, "--no-store")  # keep tests out of the real warehouse
     return subprocess.run(
         [sys.executable, "-m", "repro.fi", *args],
         env=ENV,
@@ -59,7 +61,7 @@ def _start_and_wait_for_records(journal, *extra_args, min_records=10):
             sys.executable, "-m", "repro.fi", "run",
             "--target", SLOW_TARGET,
             "--sampled", "120", "--seed", "5", "--workers", "2",
-            "--journal", str(journal), *extra_args,
+            "--journal", str(journal), "--no-store", *extra_args,
         ],
         env=ENV,
         cwd=REPO_ROOT,
@@ -136,6 +138,76 @@ class TestCliResilience:
         status = _cli("status", "--journal", str(journal))
         assert "9/9 injections recorded" in status.stdout
         assert "state:     complete" in status.stdout
+
+
+class TestStatusReport:
+    """In-process ``status`` checks: outcome table + telemetry rate/ETA."""
+
+    def _journal(self, tmp_path, records=2):
+        from repro.fi.campaign import InjectionRecord
+        from repro.fi.classify import Outcome
+        from repro.fi.journal import CampaignJournal, points_hash
+
+        points = [("q0", 1), ("q1", 2), ("q2", 3)]
+        path = tmp_path / "c.jsonl"
+        header = {
+            "netlist_hash": "abc123",
+            "workload": "accum",
+            "points_hash": points_hash(points),
+            "seed": 7,
+            "num_points": len(points),
+            "golden_cycles": 8,
+            "max_cycles": 100,
+            "points": [list(p) for p in points],
+        }
+        outcomes = [Outcome.BENIGN, Outcome.SDC, Outcome.BENIGN]
+        with CampaignJournal(path, header) as journal:
+            for i in range(records):
+                journal.append_record(
+                    i, InjectionRecord(points[i][0], points[i][1], outcomes[i])
+                )
+        return path
+
+    def _telemetry(self, journal, spans=4):
+        from repro.obs.remote import FORMAT_VERSION
+
+        tdir = journal.parent / f"{journal.name}.telemetry"
+        tdir.mkdir()
+        lines = [
+            {"kind": "hello", "version": FORMAT_VERSION, "role": "worker",
+             "pid": 1, "mono": 0.0, "wall": 1000.0}
+        ]
+        for k in range(spans):
+            lines.append(
+                {"kind": "span", "name": "campaign/inject",
+                 "path": "campaign/inject",
+                 "mono_start": float(k), "mono_end": k + 0.5}
+            )
+        (tdir / "worker-1.jsonl").write_text(
+            "".join(json.dumps(doc) + "\n" for doc in lines)
+        )
+
+    def test_outcome_table_with_shares(self, tmp_path, capsys):
+        from repro.fi.__main__ import main
+
+        journal = self._journal(tmp_path)
+        assert main(["status", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "2/3 injections recorded" in out
+        # One benign, one sdc out of two recorded: 50% each, zeros listed.
+        assert "benign" in out and "50.0%" in out
+        assert "timeout" in out and "0.0%" in out
+        assert "last rate" not in out  # no telemetry directory
+
+    def test_rate_and_eta_from_telemetry(self, tmp_path, capsys):
+        from repro.fi.__main__ import main
+
+        journal = self._journal(tmp_path)
+        self._telemetry(journal)  # 4 spans, one per second -> 1.0/s
+        assert main(["status", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "last rate: 1.0 injections/s" in out
+        assert "eta ~1s for 1 remaining" in out
 
 
 class TestCliErrors:

@@ -9,6 +9,7 @@ from repro import obs
 from repro.fi.campaign import InjectionRecord
 from repro.fi.classify import Outcome
 from repro.fi.journal import (
+    FORMAT_VERSION,
     CampaignJournal,
     JournalError,
     JournalMismatch,
@@ -145,6 +146,37 @@ class TestCrashTolerance:
         finally:
             journal_mod.os.write = orig
         assert all(w.endswith(b"\n") and w.count(b"\n") == 1 for w in writes)
+
+
+class TestForwardCompat:
+    def test_schema_version_is_pinned(self):
+        # Bumping FORMAT_VERSION is a breaking act: older builds refuse the
+        # journal outright (test_wrong_version_raises). This pin makes the
+        # bump a deliberate, reviewed change rather than a drive-by edit.
+        assert FORMAT_VERSION == 1
+
+    def test_unknown_record_fields_load_and_are_preserved(self, tmp_path):
+        """A record written by a *newer* minor schema (extra fields, e.g. a
+        multi-bit ``bit``) loads fine and keeps the fields in details."""
+        path = tmp_path / "c.jsonl"
+        _write(path, records=1)
+        newer = {
+            "kind": "record", "i": 1, "dff": "decoy_b1", "cycle": 3,
+            "outcome": "sdc", "attempts": 1,
+            "bit": 2, "flux_polarity": "reversed",
+        }
+        with open(path, "a") as fh:
+            fh.write(json.dumps(newer) + "\n")
+        state = load_journal(path)
+        assert state.records[1] == InjectionRecord("decoy_b1", 3, Outcome.SDC)
+        assert state.details[1]["bit"] == 2
+        assert state.details[1]["flux_polarity"] == "reversed"
+
+    def test_core_fields_stay_out_of_details(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        _write(path, records=1)
+        details = load_journal(path).details[0]
+        assert not {"kind", "i", "dff", "cycle", "outcome"} & set(details)
 
 
 class TestResumeKeying:

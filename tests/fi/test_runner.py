@@ -232,3 +232,43 @@ class TestWorkerPool:
             obs.get_registry().gauge("campaign.injections_per_second").value
             > 0
         )
+
+
+class TestStoreAutoIngest:
+    def test_completed_run_lands_in_the_warehouse(self, tmp_path):
+        from repro.store import ResultsStore
+
+        db = tmp_path / "warehouse.sqlite3"
+        runner = CampaignRunner(ACCUM, _config(store_path=db))
+        report = runner.run(
+            TRIP_POINTS[:3], tmp_path / "c.jsonl",
+            meta={"pruned": False, "space_points": 99},
+        )
+        assert report.complete
+        assert report.store_id is not None
+        with ResultsStore(db) as store:
+            campaign = store.campaign(report.store_id)
+            assert campaign.workload == "accum"
+            assert campaign.complete
+            assert campaign.space_points == 99
+            assert len(store.outcomes(report.store_id)) == 3
+
+    def test_store_failure_never_fails_the_campaign(self, tmp_path, capsys):
+        # A path that cannot become a database directory: ingest fails,
+        # the campaign still completes and reports.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        runner = CampaignRunner(
+            ACCUM, _config(store_path=blocker / "x" / "db.sqlite3")
+        )
+        report = runner.run(TRIP_POINTS[:3], tmp_path / "c.jsonl")
+        assert report.complete
+        assert report.store_id is None
+        assert obs.counter("store.ingest.errors").value == 1
+        assert "could not ingest" in capsys.readouterr().err
+
+    def test_no_store_by_default(self, tmp_path):
+        runner = CampaignRunner(ACCUM, _config())
+        report = runner.run(TRIP_POINTS[:3], tmp_path / "c.jsonl")
+        assert report.complete
+        assert report.store_id is None

@@ -250,3 +250,55 @@ class TestCollect:
         assert worker == 0
         assert stamp == pytest.approx(52.0)
         assert record["i"] == 1
+
+
+# ----------------------------------------------------------------------
+# Hello-less files (truncated head): lenient load + parent-clock fallback
+# ----------------------------------------------------------------------
+class TestNoHelloFallback:
+    def _headless(self, path):
+        """A worker file whose hello was lost — records only."""
+        path.write_text("")
+        _append(path, {"kind": "span", "name": "campaign/inject",
+                       "path": "campaign/inject",
+                       "mono_start": 3.0, "mono_end": 4.0})
+        return path
+
+    def test_strict_load_still_refuses(self, tmp_path):
+        path = self._headless(tmp_path / "worker-77.jsonl")
+        with pytest.raises(TelemetryError, match="unsupported hello"):
+            load_telemetry(path)
+
+    def test_lenient_load_keeps_records_and_counts(self, tmp_path):
+        path = self._headless(tmp_path / "worker-77.jsonl")
+        telemetry = load_telemetry(path, require_hello=False)
+        assert [r["kind"] for r in telemetry.records] == ["span"]
+        assert telemetry.hello == {}
+        assert telemetry.pid == 77  # recovered from the file name
+        assert telemetry.role == "worker"
+        assert obs.counter("obs.telemetry.no_hello").value == 1
+
+    def test_lenient_load_never_excuses_a_version_mismatch(self, tmp_path):
+        path = tmp_path / "worker-1.jsonl"
+        path.write_text(json.dumps({"kind": "hello", "version": 99}) + "\n")
+        with pytest.raises(TelemetryError, match="unsupported hello"):
+            load_telemetry(path, require_hello=False)
+
+    def test_collect_aligns_headless_worker_to_parent_clock(self, tmp_path):
+        _fake_file(tmp_path / PARENT_FILE, pid=10, role="parent",
+                   mono_base=0.0, wall_base=1000.0)
+        self._headless(tmp_path / "worker-77.jsonl")
+        merged = collect(tmp_path, registry=MetricsRegistry())
+        assert merged.workers == {0: 77, -1: 10}
+        assert merged.corrupt_files == []
+        (event,) = merged.span_events("campaign/inject")
+        assert event.pid == 77
+        # mono 3.0 + the parent's offset (1000.0) — CLOCK_MONOTONIC is
+        # system-wide, so the parent's clock pair aligns the worker too.
+        assert event.start == pytest.approx(1003.0)
+
+    def test_collect_without_any_clock_uses_raw_monotonic(self, tmp_path):
+        self._headless(tmp_path / "worker-77.jsonl")
+        merged = collect(tmp_path, registry=MetricsRegistry())
+        (event,) = merged.span_events("campaign/inject")
+        assert event.start == pytest.approx(3.0)

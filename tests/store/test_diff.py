@@ -1,0 +1,87 @@
+"""Outcome diffing: the zero-flip regression gate's core semantics."""
+
+import pytest
+
+from repro import obs
+from repro.store import StoreError, diff_campaigns
+
+from tests.store.conftest import RECORDS, make_journal
+
+
+def _two_campaigns(store, tmp_path, records_b=None, **kwargs_b):
+    """Ingest the reference campaign and a variant (different seed so both
+    coexist in the store — the diff keys on fault-space points, not ids)."""
+    a = store.ingest_journal(make_journal(tmp_path / "a.jsonl", seed=1))
+    b = store.ingest_journal(
+        make_journal(
+            tmp_path / "b.jsonl", records_b or RECORDS, seed=2, **kwargs_b
+        )
+    )
+    return a, b
+
+
+class TestDiffCampaigns:
+    def test_identical_campaigns_diff_clean(self, store, tmp_path):
+        a, b = _two_campaigns(store, tmp_path)
+        diff = diff_campaigns(store, a, b)
+        assert diff.clean
+        assert diff.flips == []
+        assert diff.matched == 4  # q1@2 is one fault-space key, not two
+        assert diff.only_in_a == diff.only_in_b == 0
+        assert "zero outcome flips" in diff.summary()
+
+    def test_self_diff_is_clean(self, store, tmp_path):
+        """The CI smoke gate: a campaign diffed against itself."""
+        cid = store.ingest_journal(make_journal(tmp_path / "a.jsonl"))
+        assert diff_campaigns(store, cid, cid).clean
+
+    def test_single_mutated_outcome_is_exactly_one_flip(self, store, tmp_path):
+        """The acceptance criterion: mutate one journaled outcome, see
+        exactly that one flip, keyed by (dff, bit, cycle)."""
+        mutated = [
+            (dff, cycle, "benign" if (dff, cycle) == ("q2", 5) else outcome)
+            for dff, cycle, outcome in RECORDS
+        ]
+        a, b = _two_campaigns(store, tmp_path, records_b=mutated)
+        diff = diff_campaigns(store, a, b)
+        assert not diff.clean
+        (flip,) = diff.flips
+        assert (flip.dff, flip.bit, flip.cycle) == ("q2", 0, 5)
+        assert flip.before == "timeout"
+        assert flip.after == "benign"
+        assert "1 outcome flip(s)" in diff.summary()
+        assert obs.counter("store.diff.flips").value == 1
+
+    def test_duplicate_keys_compare_as_outcome_sets(self, store, tmp_path):
+        # q1@2 appears twice in RECORDS (both sdc). A variant where it was
+        # sampled once with the same verdict is NOT a flip...
+        once = [r for i, r in enumerate(RECORDS) if i != 2]
+        a, b = _two_campaigns(store, tmp_path, records_b=once)
+        assert diff_campaigns(store, a, b).clean
+        # ...but a variant where the two samples disagree IS one.
+        split = list(RECORDS)
+        split[2] = ("q1", 2, "benign")
+        c = store.ingest_journal(
+            make_journal(tmp_path / "c.jsonl", split, seed=3)
+        )
+        (flip,) = diff_campaigns(store, a, c).flips
+        assert (flip.dff, flip.cycle) == ("q1", 2)
+        assert flip.before == "sdc"
+        assert flip.after == "benign+sdc"
+
+    def test_disjoint_keys_counted_not_flipped(self, store, tmp_path):
+        extra = RECORDS + [("q9", 7, "sdc")]
+        a, b = _two_campaigns(store, tmp_path, records_b=extra)
+        diff = diff_campaigns(store, a, b)
+        assert diff.clean
+        assert diff.only_in_a == 0
+        assert diff.only_in_b == 1
+
+    def test_different_targets_refused_without_force(self, store, tmp_path):
+        a = store.ingest_journal(make_journal(tmp_path / "a.jsonl", seed=1))
+        b = store.ingest_journal(
+            make_journal(tmp_path / "b.jsonl", seed=2, netlist_hash="fff")
+        )
+        with pytest.raises(StoreError, match="different\\s+designs"):
+            diff_campaigns(store, a, b)
+        assert diff_campaigns(store, a, b, allow_mismatch=True).clean

@@ -1,0 +1,144 @@
+"""Fault-space heatmap HTML: structure, escaping, attribution table."""
+
+import math
+from html.parser import HTMLParser
+
+from repro.store.db import OutcomeRow
+from repro.store.heatmap import (
+    EMPTY_COLOR,
+    effective_rate,
+    render_heatmap,
+    write_heatmap,
+)
+
+from tests.store.conftest import make_journal
+
+
+class _Validator(HTMLParser):
+    """Checks well-formedness of the generated document."""
+
+    VOID = {"meta", "br", "hr", "img", "line", "rect", "text", "input"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.tags = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        self.tags.append(tag)
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}> (stack: {self.stack})")
+        else:
+            self.stack.pop()
+
+
+def _validate(html):
+    validator = _Validator()
+    validator.feed(html)
+    assert validator.errors == []
+    assert validator.stack == []
+    return validator
+
+
+HOSTILE = [
+    ("q<0>&", 1, "sdc"),
+    ("q<0>&", 3, "benign"),
+    ("ff'quote", 2, "timeout"),
+]
+
+
+class TestRenderHeatmap:
+    def test_wellformed_and_hostile_names_escaped(self, store, tmp_path):
+        journal = make_journal(
+            tmp_path / "c.jsonl", HOSTILE, workload="unit<test>"
+        )
+        html = render_heatmap(store, store.ingest_journal(journal))
+        validator = _validate(html)
+        assert "svg" in validator.tags
+        assert "unit<test>" not in html
+        assert "unit&lt;test&gt;" in html
+        assert "q<0>" not in html
+        assert "q&lt;0&gt;&amp;" in html
+
+    def test_cells_carry_exact_counts_in_titles(self, store, tmp_path):
+        journal = make_journal(tmp_path / "c.jsonl")
+        html = render_heatmap(store, store.ingest_journal(journal))
+        assert "<title>q1 cycle 2: sdc=2</title>" in html
+
+    def test_unsampled_background_and_legend(self, store, tmp_path):
+        journal = make_journal(tmp_path / "c.jsonl")
+        html = render_heatmap(store, store.ingest_journal(journal))
+        assert EMPTY_COLOR in html
+        assert "not sampled" in html
+
+    def test_empty_campaign_renders_a_note(self, store, tmp_path):
+        journal = make_journal(tmp_path / "c.jsonl", [], complete=False)
+        html = render_heatmap(store, store.ingest_journal(journal))
+        _validate(html)
+        assert "No recorded injections" in html
+
+    def test_attribution_needs_pruning_or_compare(self, store, tmp_path):
+        plain = store.ingest_journal(make_journal(tmp_path / "a.jsonl", seed=1))
+        assert "attribution" not in render_heatmap(store, plain)
+        pruned = store.ingest_journal(
+            make_journal(
+                tmp_path / "b.jsonl", seed=2,
+                meta={"pruned": True, "space_points": 40, "pruned_points": 30},
+            )
+        )
+        html = render_heatmap(store, pruned)
+        _validate(html)
+        assert "Pruning-effectiveness attribution" in html
+        assert "30 (75.0%)" in html  # pruned share of the fault space
+
+    def test_compare_renders_both_columns_and_concentration(
+        self, store, tmp_path
+    ):
+        full = store.ingest_journal(make_journal(tmp_path / "a.jsonl", seed=1))
+        pruned = store.ingest_journal(
+            make_journal(
+                tmp_path / "b.jsonl",
+                [("q1", 2, "sdc"), ("q2", 5, "timeout"), ("q4", 3, "sdc")],
+                seed=2,
+                meta={"pruned": True, "space_points": 40, "pruned_points": 30},
+            )
+        )
+        html = render_heatmap(store, full, compare_id=pruned)
+        _validate(html)
+        assert "MATE-pruned space" in html
+        assert "full fault space" in html
+        assert "Effective-rate concentration" in html
+
+    def test_write_heatmap_writes_the_file(self, store, tmp_path):
+        cid = store.ingest_journal(make_journal(tmp_path / "c.jsonl"))
+        out = write_heatmap(tmp_path / "heat.html", store, cid)
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestEffectiveRate:
+    def _rows(self, outcomes):
+        return [
+            OutcomeRow(i, f"q{i}", 0, i, outcome)
+            for i, outcome in enumerate(outcomes)
+        ]
+
+    def test_counts_sdc_and_timeout_over_classified(self):
+        rate = effective_rate(
+            self._rows(["benign", "sdc", "timeout", "benign"])
+        )
+        assert rate == 0.5
+
+    def test_error_records_excluded_from_denominator(self):
+        rate = effective_rate(self._rows(["sdc", "error", "error", "benign"]))
+        assert rate == 0.5
+
+    def test_no_classified_outcomes_is_nan(self):
+        assert math.isnan(effective_rate(self._rows(["error"])))
+        assert math.isnan(effective_rate([]))

@@ -1,0 +1,96 @@
+"""Perf-trend series and the per-unit slowdown gate."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.store import bench_trend, format_trend
+
+from tests.store.conftest import make_bench_doc
+
+
+def _snapshot(store, tmp_path, sequence, seconds, units=10, workloads=("search",)):
+    path = tmp_path / f"BENCH_{sequence}.json"
+    path.write_text(
+        json.dumps(make_bench_doc(seconds=seconds, units=units,
+                                  workloads=workloads))
+    )
+    return store.ingest_bench(path)
+
+
+class TestBenchTrend:
+    def test_two_x_slowdown_is_flagged(self, store, tmp_path):
+        """The acceptance criterion: >=2 snapshots, a synthetic >=2x
+        per-unit slowdown on the latest, gate fires."""
+        _snapshot(store, tmp_path, 1, seconds=0.1)
+        _snapshot(store, tmp_path, 2, seconds=0.25)  # 2.5x per-unit
+        (trend,) = bench_trend(store)
+        assert trend.workload == "search"
+        assert trend.slowdown == pytest.approx(2.5)
+        assert trend.regressed
+        assert obs.counter("store.trend.regressions").value == 1
+
+    def test_within_threshold_passes(self, store, tmp_path):
+        _snapshot(store, tmp_path, 1, seconds=0.1)
+        _snapshot(store, tmp_path, 2, seconds=0.15)
+        (trend,) = bench_trend(store)
+        assert not trend.regressed
+        assert obs.counter("store.trend.regressions").value == 0
+
+    def test_gate_compares_against_best_earlier_not_previous(
+        self, store, tmp_path
+    ):
+        # A slow middle snapshot must not mask a regression vs the best.
+        _snapshot(store, tmp_path, 1, seconds=0.1)
+        _snapshot(store, tmp_path, 2, seconds=0.5)
+        _snapshot(store, tmp_path, 3, seconds=0.4)
+        (trend,) = bench_trend(store)
+        assert trend.best_earlier.sequence == 1
+        assert trend.slowdown == pytest.approx(4.0)
+        assert trend.regressed
+
+    def test_per_unit_comparison_survives_size_changes(self, store, tmp_path):
+        # Full-size then quick: same speed per unit, no false alarm.
+        _snapshot(store, tmp_path, 1, seconds=1.0, units=100)
+        _snapshot(store, tmp_path, 2, seconds=0.03, units=3)
+        (trend,) = bench_trend(store)
+        assert trend.slowdown == pytest.approx(1.0)
+        assert not trend.regressed
+
+    def test_single_snapshot_is_not_gated(self, store, tmp_path):
+        _snapshot(store, tmp_path, 1, seconds=0.1)
+        (trend,) = bench_trend(store)
+        assert trend.slowdown is None
+        assert not trend.regressed
+
+    def test_workload_filter(self, store, tmp_path):
+        _snapshot(store, tmp_path, 1, seconds=0.1,
+                  workloads=("search", "replay"))
+        trends = bench_trend(store, workload="replay")
+        assert [t.workload for t in trends] == ["replay"]
+
+    def test_custom_threshold(self, store, tmp_path):
+        _snapshot(store, tmp_path, 1, seconds=0.1)
+        _snapshot(store, tmp_path, 2, seconds=0.15)
+        (trend,) = bench_trend(store, max_slowdown=1.2)
+        assert trend.regressed
+
+
+class TestFormatTrend:
+    def test_empty_store_prints_a_hint(self, store):
+        assert "no bench snapshots" in format_trend(bench_trend(store))
+
+    def test_report_carries_series_and_verdict(self, store, tmp_path):
+        _snapshot(store, tmp_path, 1, seconds=0.1)
+        _snapshot(store, tmp_path, 2, seconds=0.25)
+        text = format_trend(bench_trend(store))
+        assert "BENCH_1" in text and "BENCH_2" in text
+        assert "REGRESSION" in text
+        assert "(threshold 2.0x)" in text
+
+    def test_ok_verdict_when_clean(self, store, tmp_path):
+        _snapshot(store, tmp_path, 1, seconds=0.1)
+        _snapshot(store, tmp_path, 2, seconds=0.1)
+        text = format_trend(bench_trend(store))
+        assert "— ok" in text
