@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-resilience campaign-demo store-smoke bench lint lint-self ruff tables
+.PHONY: test test-fast test-resilience campaign-demo store-smoke prune-smoke bench lint lint-self ruff tables
 
 test:            ## full test suite
 	$(PYTHON) -m pytest
@@ -33,6 +33,28 @@ store-smoke:     ## warehouse round trip on the campaign-demo journal
 	$(PYTHON) -m repro.store --db store-smoke.sqlite3 diff 1 1
 	$(PYTHON) -m repro.store --db store-smoke.sqlite3 heatmap 1 \
 		--out store-smoke-heatmap.html
+
+prune-smoke:     ## def-use pruning: audit, accounting, collapsed-vs-full gate
+	rm -f prune-smoke.sqlite3 prune-smoke-heatmap.html prune-accounting.txt \
+		prune-full.jsonl prune-defuse.jsonl
+	# Sampled prune.* audit on both cores: any refuted claim is an
+	# error-severity finding, which exits 1 and fails the job.
+	$(PYTHON) -m repro.lint avr msp430 --audit-prune \
+		--rules prune.cert-invalid,prune.dead-refuted,prune.equiv-refuted
+	$(PYTHON) -m repro.eval prune | tee prune-accounting.txt
+	# Same sampled points, full campaign vs def-use collapse; the diff
+	# gate exits 1 on any outcome flip between them. 2000 points is dense
+	# enough for the collapse to save >2x injections (the headline win).
+	$(PYTHON) -m repro.fi run --target avr-fib --sampled 2000 --seed 7 \
+		--journal prune-full.jsonl --no-store
+	$(PYTHON) -m repro.fi run --target avr-fib --sampled 2000 --seed 7 \
+		--defuse --journal prune-defuse.jsonl --no-store
+	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 ingest \
+		prune-full.jsonl prune-defuse.jsonl
+	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 diff 1 2
+	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 show 2
+	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 heatmap 2 \
+		--compare 1 --out prune-smoke-heatmap.html
 
 bench:           ## append a versioned perf snapshot (BENCH_<n+1>.json)
 	$(PYTHON) -m repro.eval bench --out-dir .

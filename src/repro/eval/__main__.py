@@ -9,7 +9,8 @@ Usage::
     python -m repro.eval hafi            # Sec. 6.1 hardware-cost figures
     python -m repro.eval coverage        # SAT exact-coverage ceiling
     python -m repro.eval campaign        # sampled ground-truth SEU campaigns
-    python -m repro.eval all             # everything above except campaign
+    python -m repro.eval prune           # cross-layer pruning accounting
+    python -m repro.eval all             # everything above except campaign/prune
     python -m repro.eval clear-cache     # drop cached traces/searches
     python -m repro.eval bench --out-dir .        # versioned perf snapshot
     #   (see repro.eval.bench; appends BENCH_<n>.json, auto-ingests into
@@ -77,6 +78,10 @@ def _run_experiment(name: str) -> str:
         from repro.store import default_db_path
 
         return build_campaign_table(store_path=default_db_path()).format()
+    if name == "prune":
+        from repro.eval.prune_table import build_prune_table
+
+        return build_prune_table().format()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -115,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "figure1", "hafi", "combined",
-                 "coverage", "campaign", "all", "clear-cache"],
+                 "coverage", "campaign", "prune", "all", "clear-cache"],
     )
     parser.add_argument(
         "--metrics-out",

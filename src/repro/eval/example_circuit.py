@@ -60,3 +60,43 @@ def figure1_testbench_rows() -> list[dict[str, int]]:
     for a, b, c, d, e in patterns:
         rows.append({"a": a, "b": b, "c": c, "d": d, "e": e})
     return rows
+
+
+def figure1_sequential_netlist() -> Netlist:
+    """A registered variant of Figure 1a for the def-use analysis.
+
+    The combinational example has no flip-flops, so the architecture-level
+    pruning layer (``repro.prune``) needs this sequential wrapper: the
+    ``a``/``b`` fault sites become enable-gated registers (``ra``/``rb``
+    hold their value while ``en`` is low — the classic write→first-read
+    interval structure), the ``k`` output is registered through ``rk``, and
+    two pathological state bits exercise the boundary cases — ``rdead`` is
+    written every cycle but never read (all its injection points are dead),
+    and ``rhold`` feeds back on itself and is never read (one tail
+    interval spanning the whole run).
+    """
+    netlist = Netlist("figure1-seq", nangate15_library())
+    for wire in ("a", "b", "c", "d", "e", "en"):
+        netlist.add_input(wire)
+    # Enable-gated input registers: d = en ? input : q (hold).
+    netlist.add_gate("MA", "MUX2", {"A": "ra_q", "S": "en", "B": "a"}, "ra_d")
+    netlist.add_dff("ra", "ra_d", "ra_q")
+    netlist.add_gate("MB", "MUX2", {"A": "rb_q", "S": "en", "B": "b"}, "rb_d")
+    netlist.add_dff("rb", "rb_d", "rb_q")
+    # The Figure 1a gate cloud, reading the registered a/b.
+    netlist.add_gate("A", "NAND2", {"A": "ra_q", "B": "rb_q"}, "f")
+    netlist.add_gate("B", "XOR2", {"A": "c", "B": "d"}, "g")
+    netlist.add_gate("C", "INV", {"A": "e"}, "h")
+    netlist.add_gate("D", "AND2", {"A": "g", "B": "f"}, "k")
+    netlist.add_gate("E", "OR2", {"A": "g", "B": "h"}, "l")
+    # Registered k output.
+    netlist.add_dff("rk", "k", "rk_q")
+    netlist.add_gate("K", "BUF", {"A": "rk_q"}, "kq")
+    # Written every cycle, never read: every injection point is dead.
+    netlist.add_gate("DD", "AND2", {"A": "a", "B": "b"}, "rdead_d")
+    netlist.add_dff("rdead", "rdead_d", "rdead_q")
+    # Holds itself forever, never read: one tail interval.
+    netlist.add_dff("rhold", "rhold_q", "rhold_q")
+    for wire in ("kq", "l"):
+        netlist.add_output(wire)
+    return netlist

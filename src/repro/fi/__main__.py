@@ -6,6 +6,9 @@ Usage::
         --journal camp.jsonl --workers 4          # parallel campaign
     python -m repro.fi run --target avr-fib --sampled 500 --pruned \\
         --journal pruned.jsonl                    # sample the MATE-pruned space
+    python -m repro.fi run --target avr-fib --sampled 500 --defuse \\
+        --journal defuse.jsonl   # inject def-use representatives only,
+                                 # back-annotate the rest (repro.prune)
     python -m repro.fi resume --journal camp.jsonl  # continue after a crash
     python -m repro.fi status --journal camp.jsonl  # progress + outcome tally
     python -m repro.fi report camp.jsonl            # self-contained HTML report
@@ -90,20 +93,12 @@ def _telemetry_dir_for(args: argparse.Namespace) -> Path | None:
     return None
 
 
-def _pruned_points(
-    runner: CampaignRunner, target: str, num_samples: int, seed: int
-) -> tuple[list[tuple[str, int]], dict]:
-    """Sample the MATE-pruned (remaining) fault space of a named target.
-
-    Returns the point list plus journal-header metadata attributing the
-    pruning (full space size, points pruned away) for the warehouse's
-    pruning-effectiveness reporting.
-    """
-    import random
-
+def _mate_vectors(
+    runner: CampaignRunner, target: str
+) -> dict[str, "object"]:
+    """Per-fault-wire MATE trigger vectors, truncated to the golden run."""
     import numpy as np
 
-    from repro.core.faultspace import FaultSpace
     from repro.core.replay import replay_mates
     from repro.eval import context
 
@@ -112,12 +107,32 @@ def _pruned_points(
     fault_wires = context.get_fault_wires(core, exclude_register_file=False)
     trace = context.get_trace(core, program)
     replay = replay_mates(mates, trace, fault_wires)
+    return {
+        wire: np.unpackbits(replay.masked_vector(wire))[: runner.golden_cycles]
+        for wire in fault_wires
+    }
+
+
+def _pruned_points(
+    runner: CampaignRunner, target: str, num_samples: int, seed: int
+) -> tuple[list[tuple[str, int]], dict, dict]:
+    """Sample the MATE-pruned (remaining) fault space of a named target.
+
+    Returns the point list, journal-header metadata attributing the pruning
+    (full space size, points pruned away) for the warehouse's
+    pruning-effectiveness reporting, and the per-wire MATE vectors (reused
+    for cross-layer attribution when ``--defuse`` is also set).
+    """
+    import random
+
+    from repro.core.faultspace import FaultSpace
+
     netlist = runner.target.simulator.netlist
     dff_of_wire = {dff.q: name for name, dff in netlist.dffs.items()}
+    mate_vectors = _mate_vectors(runner, target)
 
-    space = FaultSpace(fault_wires, runner.golden_cycles)
-    for wire in fault_wires:
-        benign = np.unpackbits(replay.masked_vector(wire))[: runner.golden_cycles]
+    space = FaultSpace(list(mate_vectors), runner.golden_cycles)
+    for wire, benign in mate_vectors.items():
         space.mark_benign_cycles(wire, benign)
     remaining = [
         (dff_of_wire[wire], cycle)
@@ -129,17 +144,56 @@ def _pruned_points(
         remaining = random.Random(seed).sample(remaining, num_samples)
     meta = {
         "pruned": True,
-        "space_points": len(fault_wires) * runner.golden_cycles,
+        "space_points": space.size,
         "pruned_points": int(space.num_benign),
     }
-    return remaining, meta
+    return remaining, meta, mate_vectors
+
+
+def _defuse_plan(
+    runner: CampaignRunner,
+    target: str,
+    points: list[tuple[str, int]],
+    mate_vectors: dict | None = None,
+):
+    """Collapse ``points`` onto def-use representatives for a named target.
+
+    Returns the runner :class:`~repro.fi.runner.AnnotationPlan` plus the
+    journal-header metadata (collapse counts and per-layer fault-space
+    attribution) the warehouse reads back out.
+    """
+    from repro.prune import account, get_equivalence_map
+
+    equivalence_map = get_equivalence_map(target)
+    if equivalence_map.golden_cycles != runner.golden_cycles:
+        raise ValueError(
+            f"stale equivalence map for {target}: covers "
+            f"{equivalence_map.golden_cycles} cycle(s), golden run has "
+            f"{runner.golden_cycles}"
+        )
+    collapse = equivalence_map.collapse(points)
+    accounting = account(
+        target, runner.target.simulator.netlist, equivalence_map, mate_vectors
+    )
+    meta = {
+        "defuse": True,
+        "defuse_injected": collapse.num_injected,
+        "defuse_annotated": collapse.num_annotated,
+        "layers": accounting.layers(),
+    }
+    print(f"def-use collapse: {collapse.summary()}")
+    return collapse.annotation_plan(), meta
 
 
 def _print_report(report: RunReport) -> int:
     result = report.result
     print(result.summary())
+    annotated = (
+        f"{report.annotated} back-annotated, " if report.annotated else ""
+    )
     print(
-        f"executed {report.executed} new, skipped {report.skipped} journaled, "
+        f"executed {report.executed} new, {annotated}"
+        f"skipped {report.skipped} journaled, "
         f"{report.retries} retries, {report.quarantined} quarantined, "
         f"{report.worker_restarts} worker restarts"
     )
@@ -168,6 +222,7 @@ def _execute(
     resume: bool,
     seed: int | None,
     meta: dict | None = None,
+    plan=None,
 ) -> int:
     """Run the campaign with the live dashboard and telemetry outputs."""
     dashboard = obs.CampaignDashboard(
@@ -178,7 +233,7 @@ def _execute(
     with dashboard:
         report = runner.run(
             points, args.journal, resume=resume, seed=seed,
-            dashboard=dashboard, meta=meta,
+            dashboard=dashboard, meta=meta, plan=plan,
         )
     if dashboard.enabled:
         print(file=sys.stderr)
@@ -200,18 +255,27 @@ def _execute(
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_for(args.target)
     runner = CampaignRunner(spec, _config_from_args(args))
+    mate_vectors = None
     if args.pruned:
         if args.target not in NAMED_TARGETS:
             raise SystemExit("error: --pruned requires a named core target")
-        points, meta = _pruned_points(runner, args.target, args.sampled,
-                                      args.seed)
+        points, meta, mate_vectors = _pruned_points(
+            runner, args.target, args.sampled, args.seed
+        )
     else:
         points = runner.sample_points(args.sampled, seed=args.seed)
         num_ffs = len(runner.target.simulator.netlist.dffs)
         meta = {"pruned": False,
                 "space_points": num_ffs * runner.golden_cycles}
+    plan = None
+    if args.defuse:
+        if args.target not in NAMED_TARGETS:
+            raise SystemExit("error: --defuse requires a named core target")
+        plan, defuse_meta = _defuse_plan(runner, args.target, points,
+                                         mate_vectors)
+        meta.update(defuse_meta)
     return _execute(runner, points, args, resume=args.resume, seed=args.seed,
-                    meta=meta)
+                    meta=meta, plan=plan)
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -223,8 +287,25 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     config.max_cycles = state.header["max_cycles"]
     runner = CampaignRunner(spec, config)
+    plan = None
+    meta = state.header.get("meta") or {}
+    if meta.get("defuse"):
+        # A collapsed campaign resumes under the same deterministic plan,
+        # rebuilt from the cached equivalence map and the journaled points.
+        workload = state.header["workload"]
+        if workload not in NAMED_TARGETS:
+            raise SystemExit(
+                f"error: cannot rebuild the def-use plan for non-named "
+                f"target {workload!r}"
+            )
+        from repro.prune import get_equivalence_map
+
+        plan = (
+            get_equivalence_map(workload).collapse(state.points).annotation_plan()
+        )
     return _execute(
-        runner, state.points, args, resume=True, seed=state.header.get("seed")
+        runner, state.points, args, resume=True,
+        seed=state.header.get("seed"), plan=plan,
     )
 
 
@@ -264,6 +345,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
         f"golden_cycles={header['golden_cycles']}"
     )
     print(f"progress:  {len(state.records)}/{total} injections recorded")
+    annotated = sum(
+        1 for detail in state.details.values() if "pruned_by" in detail
+    )
+    if annotated:
+        print(f"           {annotated} of those back-annotated statically")
     outcomes = [r.outcome for r in state.records.values()]
     recorded = len(outcomes) or 1
     print()
@@ -384,6 +470,13 @@ def main(argv: list[str] | None = None) -> int:
         "--pruned", action="store_true",
         help="sample the MATE-pruned (remaining) fault space instead of the "
         "full one (named core targets only)",
+    )
+    run_p.add_argument(
+        "--defuse", action="store_true",
+        help="collapse the point list onto def-use equivalence "
+        "representatives: inject only representatives, back-annotate dead "
+        "and follower points into the journal (named core targets only; "
+        "composes with --pruned)",
     )
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(

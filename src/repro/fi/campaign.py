@@ -200,3 +200,44 @@ class Campaign:
         pruned_points = space.num_benign
         counter("campaign.points.pruned").inc(pruned_points)
         return self.run_points(remaining), pruned_points
+
+    def run_collapsed(
+        self, points: Iterable[tuple[str, int]], equivalence_map
+    ) -> tuple[CampaignResult, int]:
+        """Inject only def-use representatives; back-annotate the rest.
+
+        ``equivalence_map`` is a :class:`repro.prune.EquivalenceMap` for
+        this target's design and workload (its ``golden_cycles`` must match
+        this campaign's). Returns ``(result, num_injected)``: the result
+        carries one record per *requested* point in input order — dead
+        points as BENIGN, followers with their representative's outcome —
+        while only ``num_injected`` simulations actually ran.
+        """
+        points = list(points)
+        if equivalence_map.golden_cycles != self.golden_cycles:
+            raise ValueError(
+                f"equivalence map covers {equivalence_map.golden_cycles} "
+                f"cycle(s) but the golden run has {self.golden_cycles}"
+            )
+        plan = equivalence_map.collapse(points)
+        outcomes: dict[int, Outcome] = {}
+        with span(
+            "campaign/run-collapsed",
+            target=self.target.name,
+            points=len(points),
+            injected=plan.num_injected,
+        ):
+            for index in plan.executed:
+                dff_name, cycle = plan.points[index]
+                outcomes[index] = self.inject(dff_name, cycle)
+        for index in plan.dead:
+            outcomes[index] = Outcome.BENIGN
+        for index, rep_index in plan.follows.items():
+            outcomes[index] = outcomes[rep_index]
+        counter("campaign.points.annotated").inc(plan.num_annotated)
+        result = CampaignResult(self.target.name, self.golden_cycles)
+        result.records = [
+            InjectionRecord(dff, cycle, outcomes[index])
+            for index, (dff, cycle) in enumerate(plan.points)
+        ]
+        return result, plan.num_injected

@@ -187,12 +187,19 @@ class CampaignJournal:
         error: str | None = None,
         seconds: float | None = None,
         worker: int | None = None,
+        pruned_by: str | None = None,
+        equivalence_rep: tuple[str, int] | None = None,
     ) -> None:
         """Durably append one injection outcome.
 
         ``seconds`` is the measured wall time of the injection and
         ``worker`` the OS pid of the process that executed it; both are
         optional telemetry used by ``python -m repro.fi report``.
+        ``pruned_by`` names the static layer that decided this outcome
+        without simulation (e.g. ``"defuse"``); ``equivalence_rep`` is the
+        (dff, cycle) representative whose injected outcome a back-annotated
+        point inherits. Both travel through the forward-compat ``details``
+        path on load.
         """
         doc = {
             "kind": "record",
@@ -208,6 +215,11 @@ class CampaignJournal:
             doc["seconds"] = round(seconds, 6)
         if worker is not None:
             doc["worker"] = worker
+        if pruned_by is not None:
+            doc["pruned_by"] = pruned_by
+        if equivalence_rep is not None:
+            rep_dff, rep_cycle = equivalence_rep
+            doc["equivalence_rep"] = [rep_dff, int(rep_cycle)]
         self._write_line(doc)
         self._unsynced += 1
         if self._unsynced >= self.fsync_interval:

@@ -32,6 +32,7 @@ import sys
 import threading
 import time
 from collections import deque
+from collections.abc import Mapping
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -140,6 +141,52 @@ class RunnerConfig:
     store_path: str | Path | None = None
 
 
+@dataclass(frozen=True)
+class AnnotationPlan:
+    """Static back-annotation plan for one concrete point list.
+
+    Produced by :meth:`repro.prune.EquivalenceMap.collapse` (via
+    ``CollapsePlan.annotation_plan()``): ``dead`` indices are provably
+    benign and journaled without simulation; each ``follows`` entry maps a
+    follower index to the representative index whose injected outcome it
+    inherits the moment that record lands. ``source`` names the pruning
+    layer for the journal's ``pruned_by`` detail.
+    """
+
+    dead: tuple[int, ...] = ()
+    follows: Mapping[int, int] = field(default_factory=dict)
+    source: str = "defuse"
+
+    def followers_of(self) -> dict[int, list[int]]:
+        """Representative index → sorted follower indices."""
+        table: dict[int, list[int]] = {}
+        for follower, rep in self.follows.items():
+            table.setdefault(rep, []).append(follower)
+        for followers in table.values():
+            followers.sort()
+        return table
+
+    def validate(self, num_points: int) -> None:
+        """Reject structurally impossible plans early."""
+        dead = set(self.dead)
+        for index in dead:
+            if not 0 <= index < num_points:
+                raise IndexError(f"dead index {index} outside point list")
+        for follower, rep in self.follows.items():
+            if not 0 <= follower < num_points or not 0 <= rep < num_points:
+                raise IndexError(
+                    f"follower {follower} -> rep {rep} outside point list"
+                )
+            if follower == rep:
+                raise ValueError(f"point {follower} cannot follow itself")
+            if follower in dead:
+                raise ValueError(f"point {follower} is both dead and a follower")
+            if rep in dead or rep in self.follows:
+                raise ValueError(
+                    f"representative {rep} must be an executable point"
+                )
+
+
 @dataclass
 class RunReport:
     """What one :meth:`CampaignRunner.run` invocation did."""
@@ -149,6 +196,9 @@ class RunReport:
     journal_path: Path
     total_points: int
     executed: int = 0
+    #: Points decided statically (dead intervals + equivalence followers),
+    #: journaled without simulation.
+    annotated: int = 0
     skipped: int = 0
     retries: int = 0
     quarantined: int = 0
@@ -229,6 +279,9 @@ class CampaignRunner:
             self.golden_wall_seconds = time.monotonic() - start
         self.netlist_hash = netlist_content_hash(self.target.simulator.netlist)
         self._dashboard: CampaignDashboard | None = None
+        self._plan: AnnotationPlan | None = None
+        self._plan_followers: dict[int, list[int]] = {}
+        self._run_points: list[tuple[str, int]] = []
         self._run_started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -298,8 +351,17 @@ class CampaignRunner:
         seed: int | None = None,
         dashboard: CampaignDashboard | None = None,
         meta: dict | None = None,
+        plan: AnnotationPlan | None = None,
     ) -> RunReport:
         """Execute (or continue) the campaign, journaling every record.
+
+        ``plan`` is an optional static :class:`AnnotationPlan`: its dead
+        points are journaled as BENIGN up front (zero simulations), its
+        followers are back-annotated with their representative's outcome as
+        soon as that record lands, and only the remaining points are
+        actually injected. Resuming a collapsed campaign requires passing
+        an identical plan (rebuilt deterministically from the same
+        equivalence map and point list).
 
         With ``resume=True`` an existing journal is validated against this
         campaign's header (netlist hash, workload, point-list hash, seed,
@@ -319,6 +381,8 @@ class CampaignRunner:
         journal_path = Path(journal_path)
         points = list(points)
         self._validate_points(points)
+        if plan is not None:
+            plan.validate(len(points))
         header = self._header(points, seed, meta)
 
         done: dict[int, InjectionRecord] = {}
@@ -343,7 +407,16 @@ class CampaignRunner:
             total_points=len(points),
             skipped=len(done),
         )
-        pending = [i for i in range(len(points)) if i not in done]
+        self._plan = plan
+        self._plan_followers = plan.followers_of() if plan is not None else {}
+        self._run_points = points
+        skip_static: set[int] = (
+            set(plan.dead) | set(plan.follows) if plan is not None else set()
+        )
+        # The limit budgets *injections*; statically annotated points are free.
+        pending = [
+            i for i in range(len(points)) if i not in done and i not in skip_static
+        ]
         if self.config.limit is not None:
             pending = pending[: self.config.limit]
 
@@ -359,6 +432,8 @@ class CampaignRunner:
             ) as journal, span(
                 "runner/execute", target=self.target.name, points=len(pending)
             ) as run_span:
+                if plan is not None:
+                    self._annotate_static(plan, points, done, journal, report)
                 if pending:
                     if self.config.workers <= 0:
                         self._run_inline(points, pending, done, journal, report, stop)
@@ -375,6 +450,9 @@ class CampaignRunner:
                 )
         finally:
             self._dashboard = None
+            self._plan = None
+            self._plan_followers = {}
+            self._run_points = []
             if parent_writer is not None:
                 events.remove_sink(parent_writer)
                 parent_writer.flush_metrics()
@@ -452,6 +530,39 @@ class CampaignRunner:
                 signal.signal(sig, old)
 
     # ------------------------------------------------------------------
+    def _annotate_static(
+        self,
+        plan: AnnotationPlan,
+        points: list[tuple[str, int]],
+        done: dict[int, InjectionRecord],
+        journal: CampaignJournal,
+        report: RunReport,
+    ) -> None:
+        """Journal the plan's simulation-free outcomes.
+
+        Dead points are BENIGN by construction; followers whose
+        representative already has a record (a resumed collapsed campaign)
+        inherit it immediately. Followers of still-pending representatives
+        are back-annotated later through the :meth:`_record` funnel.
+        """
+        for index in plan.dead:
+            if index not in done:
+                self._record(
+                    journal, done, report, index, points[index],
+                    Outcome.BENIGN, attempts=0,
+                    annotation={"pruned_by": plan.source},
+                )
+        for follower, rep in sorted(plan.follows.items()):
+            if follower not in done and rep in done:
+                self._record(
+                    journal, done, report, follower, points[follower],
+                    done[rep].outcome, attempts=0,
+                    annotation={
+                        "pruned_by": plan.source,
+                        "equivalence_rep": points[rep],
+                    },
+                )
+
     def _record(
         self,
         journal: CampaignJournal,
@@ -464,28 +575,46 @@ class CampaignRunner:
         error: str | None = None,
         seconds: float | None = None,
         worker: int | None = None,
+        annotation: dict | None = None,
     ) -> None:
         record = InjectionRecord(point[0], point[1], outcome)
         journal.append_record(
             index, record, attempts=attempts, error=error,
             seconds=seconds, worker=worker,
+            pruned_by=annotation.get("pruned_by") if annotation else None,
+            equivalence_rep=annotation.get("equivalence_rep") if annotation else None,
         )
         done[index] = record
-        report.executed += 1
-        counter("campaign.injections").inc()
+        if annotation is not None:
+            report.annotated += 1
+            counter("campaign.points.annotated").inc()
+        else:
+            report.executed += 1
+            counter("campaign.injections").inc()
         counter(f"campaign.outcome.{outcome.value}").inc()
         if seconds is not None:
             histogram("campaign.injection_seconds").observe(seconds)
         elapsed = time.monotonic() - self._run_started
-        if elapsed > 0:
+        if elapsed > 0 and report.executed:
             gauge("campaign.injections_per_second").set(report.executed / elapsed)
         if self._dashboard is not None:
             self._dashboard.update(
-                executed=report.executed,
+                executed=report.executed + report.annotated,
                 skipped=report.skipped,
                 retries=report.retries,
                 quarantined=report.quarantined,
             )
+        # A freshly-landed representative decides its followers right away.
+        followers = self._plan_followers.get(index)
+        if annotation is None and followers:
+            source = self._plan.source if self._plan is not None else "defuse"
+            for follower in followers:
+                if follower not in done:
+                    self._record(
+                        journal, done, report, follower,
+                        self._run_points[follower], outcome, attempts=0,
+                        annotation={"pruned_by": source, "equivalence_rep": point},
+                    )
 
     def _quarantine(
         self,

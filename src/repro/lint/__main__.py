@@ -5,6 +5,7 @@ Usage::
     python -m repro.lint figure1                  # named example circuit
     python -m repro.lint avr --audit-mates        # core + cached MATE audit
     python -m repro.lint avr msp430 --mate-engine sat   # SAT-backed audit
+    python -m repro.lint avr --audit-prune        # def-use pruning audit
     python -m repro.lint design.json              # netlist in JSON form
     python -m repro.lint design.v --format json   # structural Verilog
     python -m repro.lint avr --write-baseline lint-baseline.json
@@ -30,9 +31,17 @@ from repro.lint.runner import run_lint
 NAMED_TARGETS = ("figure1", "avr", "msp430")
 
 
-def _load_target(name: str, audit_mates: bool) -> LintTarget:
+def _load_target(
+    name: str, audit_mates: bool, audit_prune: bool = False,
+    prune_program: str = "fib",
+) -> LintTarget:
     """Resolve a CLI target argument to a :class:`LintTarget`."""
     if name == "figure1":
+        if audit_prune:
+            raise ValueError(
+                "--audit-prune needs a sequential design (avr, msp430); "
+                "figure1 has no flip-flops"
+            )
         from repro.eval.example_circuit import (
             FIGURE1_FAULT_WIRES,
             figure1_netlist,
@@ -51,6 +60,18 @@ def _load_target(name: str, audit_mates: bool) -> LintTarget:
         from repro.eval.context import get_netlist, get_search
 
         netlist = get_netlist(name)
+        if audit_prune:
+            from repro.prune import get_prune_audit
+
+            audit = get_prune_audit(f"{name}-{prune_program}")
+            target = LintTarget.for_prune(audit, netlist=netlist)
+            if audit_mates:
+                search_target = LintTarget.for_search(
+                    netlist, get_search(name, False)
+                )
+                target.mates = search_target.mates
+                target.unmatched = search_target.unmatched
+            return target
         if not audit_mates:
             return LintTarget.for_netlist(netlist)
         return LintTarget.for_search(netlist, get_search(name, False))
@@ -63,6 +84,8 @@ def _load_target(name: str, audit_mates: bool) -> LintTarget:
         )
     if audit_mates:
         raise ValueError("--audit-mates requires a named design target")
+    if audit_prune:
+        raise ValueError("--audit-prune requires avr or msp430")
     from repro.cells.nangate15 import nangate15_library
 
     text = path.read_text(encoding="utf-8")
@@ -85,15 +108,24 @@ def _split_ids(text: str | None) -> list[str] | None:
 
 def _rule_catalog() -> str:
     registry = default_registry()
-    rows = [("RULE", "LAYER", "SEVERITY", "SUMMARY")]
+    rows = [("RULE", "LAYER", "SEVERITY", "REQUIRES", "TAGS", "SUMMARY")]
     rows += [
-        (rule.id, rule.layer, str(rule.severity), rule.summary)
+        (
+            rule.id,
+            rule.layer,
+            str(rule.severity),
+            ",".join(rule.requires) or "-",
+            ",".join(sorted(rule.tags)) or "-",
+            rule.summary,
+        )
         for rule in sorted(registry, key=lambda r: r.id)
     ]
-    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    widths = [max(len(row[i]) for row in rows) for i in range(5)]
     return "\n".join(
-        f"{r[0]:<{widths[0]}}  {r[1]:<{widths[1]}}  {r[2]:<{widths[2]}}  {r[3]}"
-        for r in rows
+        "  ".join(
+            [*(f"{row[i]:<{widths[i]}}" for i in range(5)), row[5]]
+        )
+        for row in rows
     )
 
 
@@ -156,6 +188,32 @@ def main(argv: list[str] | None = None) -> int:
         "default: %(default)s)",
     )
     parser.add_argument(
+        "--audit-prune",
+        action="store_true",
+        help="audit the def-use equivalence map (repro.prune) with the "
+        "prune.* rules: certificate re-derivation plus sampled "
+        "ground-truth injections (avr/msp430 only)",
+    )
+    parser.add_argument(
+        "--prune-program",
+        choices=("fib", "conv"),
+        default="fib",
+        help="workload for --audit-prune (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--prune-samples",
+        type=int,
+        default=LintConfig.prune_samples,
+        metavar="N",
+        help="sampled claims per ground-truth prune rule (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--prune-seed",
+        type=int,
+        default=LintConfig.prune_seed,
+        help="RNG seed for prune.* sampling (default: %(default)s)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -173,6 +231,8 @@ def main(argv: list[str] | None = None) -> int:
     config = LintConfig(
         mate_budget_bits=args.mate_budget,
         mate_engine=args.mate_engine,
+        prune_samples=args.prune_samples,
+        prune_seed=args.prune_seed,
     )
     reports = []
     for name in args.targets:
@@ -182,7 +242,11 @@ def main(argv: list[str] | None = None) -> int:
             args.mate_engine == "sat" and name in NAMED_TARGETS
         )
         try:
-            target = _load_target(name, audit)
+            target = _load_target(
+                name, audit,
+                audit_prune=args.audit_prune,
+                prune_program=args.prune_program,
+            )
             reports.append(
                 run_lint(
                     target,

@@ -43,6 +43,16 @@ class LintConfig:
     counterexample_wires: int = 12
     #: Conflict cap per exact-coverage SAT query (``None`` = unbounded).
     coverage_max_conflicts: int | None = None
+    #: Interval claims the ``prune.*`` ground-truth rules sample per kind
+    #: (dead intervals, equivalence pairs); each sampled claim costs one or
+    #: two real injections.
+    prune_samples: int = 12
+    #: Interval certificates the zero-simulation checker re-derives.
+    prune_cert_samples: int = 24
+    #: Cycles re-derived per sampled certificate (ends always included).
+    prune_cert_cycles: int = 4
+    #: RNG seed for all ``prune.*`` sampling.
+    prune_seed: int = 0
 
 
 @dataclass
@@ -57,6 +67,10 @@ class LintTarget:
     #: Fault wires the search left uncovered (``no_mate``); the exact
     #: coverage rule decides whether a masking condition exists at all.
     unmatched: tuple[str, ...] = ()
+    #: Def-use pruning audit bundle (:class:`repro.prune.PruneAudit`):
+    #: equivalence map, golden trace/reads, and a lazy ground-truth
+    #: campaign for the ``prune.*`` rules.
+    prune: "object | None" = None
 
     @classmethod
     def for_netlist(cls, netlist: "Netlist", name: str | None = None) -> "LintTarget":
@@ -115,6 +129,17 @@ class LintTarget:
             unmatched=unmatched,
         )
 
+    @classmethod
+    def for_prune(
+        cls,
+        audit: "object",
+        netlist: "Netlist | None" = None,
+        name: str | None = None,
+    ) -> "LintTarget":
+        """Target auditing a def-use equivalence map against ground truth."""
+        target_name = name or getattr(audit, "target_name", "prune")
+        return cls(name=target_name, netlist=netlist, prune=audit)
+
     def facets(self) -> frozenset[str]:
         """Which facets this target can offer to rules."""
         present = set()
@@ -126,6 +151,8 @@ class LintTarget:
             present.add("mates")
         if self.unmatched:
             present.add("unmatched")
+        if self.prune is not None:
+            present.add("prune")
         return frozenset(present)
 
 
@@ -270,6 +297,7 @@ def default_registry() -> RuleRegistry:
     # rules; repeat imports are no-ops.
     from repro.lint import (  # noqa: F401
         rules_netlist,
+        rules_prune,
         rules_rtl,
         rules_synth,
         static_mate,

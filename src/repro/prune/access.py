@@ -1,0 +1,133 @@
+"""Per-cycle def-use access events, vectorized over the golden trace.
+
+For one fault wire ``w`` (a flip-flop Q output) and every cycle ``c`` of the
+golden run, we ask: if the machine state at the start of ``c`` were exactly
+the golden state with bit ``w`` flipped, where does the difference go during
+``c``? The answer is one of three *events*:
+
+- ``'e'`` (**escape**) — the difference reaches another flip-flop's D pin, a
+  primary output, or the testbench read ``w`` that cycle. The fault becomes
+  observable or multi-bit; static reasoning stops here.
+- ``'h'`` (**hold**) — no escape, and ``w``'s own D value differs from
+  golden. Since golden D at ``c`` is golden Q at ``c+1``, the faulty next
+  state is again *golden with bit ``w`` flipped*: injecting at ``c`` is
+  bit-for-bit equivalent to injecting at ``c+1``.
+- ``'k'`` (**kill**) — no escape, and ``w``'s own D matches golden: the
+  flip is overwritten and the run reconverges with the golden run.
+
+Because every cycle's evaluation depends only on the golden trace (all cone
+border wires carry golden values), the per-cycle events are computed for all
+cycles at once: each cone gate is evaluated as a truth-table lookup over
+full trace columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cells.library import Cell
+from repro.core.cone import compute_fault_cone
+from repro.netlist.netlist import Netlist
+from repro.trace.trace import Trace
+
+#: Event codes (one character per cycle).
+EVENT_ESCAPE = "e"
+EVENT_HOLD = "h"
+EVENT_KILL = "k"
+
+
+def _cell_lut(cell: Cell, cache: dict[str, np.ndarray] | None) -> np.ndarray:
+    """Truth table of one cell as a ``2**npins`` lookup array."""
+    if cache is not None:
+        lut = cache.get(cell.name)
+        if lut is not None:
+            return lut
+    func = cell.function
+    npins = len(func.pins)
+    if npins > 16:
+        raise ValueError(f"cell {cell.name} has {npins} pins; LUT limit is 16")
+    lut = np.array(
+        [(func.table >> row) & 1 for row in range(1 << npins)], dtype=np.uint8
+    )
+    if cache is not None:
+        cache[cell.name] = lut
+    return lut
+
+
+def wire_events(
+    netlist: Netlist,
+    trace: Trace,
+    dff_name: str,
+    reads: Sequence[frozenset[str]] | None = None,
+    lut_cache: dict[str, np.ndarray] | None = None,
+) -> str:
+    """Per-cycle event string (``'e'``/``'h'``/``'k'``) for one flip-flop.
+
+    ``trace`` is the golden campaign trace (halting run, every wire
+    recorded); ``reads`` the per-cycle DFF-name sets the testbench read
+    during that same run (see ``Simulator.run(record_reads=True)``) — when
+    omitted, testbench reads are not treated as uses, which is only sound
+    for testbenches that never read state.
+    """
+    dff = netlist.dffs[dff_name]
+    fault_wire = dff.q
+    num_cycles = trace.num_cycles
+    if reads is not None and len(reads) != num_cycles:
+        raise ValueError(
+            f"reads length {len(reads)} != trace cycles {num_cycles}"
+        )
+
+    cone = compute_fault_cone(netlist, fault_wire)
+    # Faulty wire values across all cycles; border wires read golden columns.
+    faulty: dict[str, np.ndarray] = {fault_wire: trace.wire(fault_wire) ^ 1}
+    for gate in cone.cone_gates:
+        cell = netlist.library[gate.cell]
+        func = cell.function
+        row = np.zeros(num_cycles, dtype=np.uint16)
+        for pin_index, pin in enumerate(func.pins):
+            wire = gate.inputs[pin]
+            vec = faulty.get(wire)
+            if vec is None:
+                vec = trace.wire(wire)
+            row |= vec.astype(np.uint16) << pin_index
+        faulty[gate.output] = _cell_lut(cell, lut_cache)[row]
+
+    def diff(wire: str) -> np.ndarray | None:
+        """Boolean faulty-vs-golden difference vector, None outside cone."""
+        vec = faulty.get(wire)
+        if vec is None:
+            return None
+        return vec != trace.wire(wire)
+
+    escape = np.zeros(num_cycles, dtype=bool)
+    # Escapes are per *role*, not per wire: a wire may drive several DFF D
+    # pins and outputs at once, and ``w``'s own D role is the hold signal,
+    # never an escape.
+    for other_name, other in netlist.dffs.items():
+        if other_name == dff_name:
+            continue
+        other_diff = diff(other.d)
+        if other_diff is not None:
+            escape |= other_diff
+    for out_wire in netlist.outputs:
+        out_diff = diff(out_wire)
+        if out_diff is not None:
+            escape |= out_diff
+    if reads is not None:
+        escape |= np.fromiter(
+            (dff_name in cycle_reads for cycle_reads in reads),
+            dtype=bool,
+            count=num_cycles,
+        )
+
+    own_diff = diff(dff.d)
+    hold = own_diff if own_diff is not None else np.zeros(num_cycles, dtype=bool)
+
+    codes = np.where(
+        escape,
+        np.uint8(ord(EVENT_ESCAPE)),
+        np.where(hold, np.uint8(ord(EVENT_HOLD)), np.uint8(ord(EVENT_KILL))),
+    ).astype(np.uint8)
+    return codes.tobytes().decode("ascii")

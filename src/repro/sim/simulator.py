@@ -57,6 +57,45 @@ class StateView:
         return value
 
 
+class RecordingStateView(StateView):
+    """StateView that records which DFFs the testbench reads this cycle.
+
+    ``read_reg`` records every *present* bit DFF of the word (bits optimized
+    away read as constant 0 and cannot carry a fault, so they are not
+    recorded). The recorded name sets feed the def-use analysis: a cycle in
+    which the testbench reads a flip-flop is a *use* of that bit even when
+    no netlist endpoint observes it.
+    """
+
+    def __init__(
+        self,
+        state: list[int],
+        dff_index: dict[str, int],
+        reg_widths: Mapping[str, int],
+        sink: set[str],
+    ) -> None:
+        super().__init__(state, dff_index, reg_widths)
+        self._sink = sink
+
+    def read_ff(self, name: str) -> int:
+        value = self._state[self._dff_index[name]]
+        self._sink.add(name)
+        return value
+
+    def read_reg(self, name: str) -> int:
+        width = self._reg_widths.get(name)
+        if width is None:
+            raise KeyError(f"unknown register {name!r}")
+        value = 0
+        for bit in range(width):
+            dff_name = bit_name(name, bit, width)
+            index = self._dff_index.get(dff_name)
+            if index is not None:
+                self._sink.add(dff_name)
+                value |= self._state[index] << bit
+        return value
+
+
 class SimulationResult:
     """Outcome of a simulation run."""
 
@@ -67,12 +106,15 @@ class SimulationResult:
         halted: bool,
         final_state: list[int],
         outputs_last: dict[str, int],
+        reads: list[frozenset[str]] | None = None,
     ) -> None:
         self.trace = trace
         self.cycles = cycles
         self.halted = halted
         self.final_state = final_state
         self.outputs_last = outputs_last
+        #: Per-cycle sets of DFF names the testbench read (``record_reads``).
+        self.reads = reads
 
     def __repr__(self) -> str:
         status = "halted" if self.halted else "ran"
@@ -137,16 +179,19 @@ class Simulator:
         max_cycles: int = 10000,
         record_trace: bool = True,
         flips: Mapping[int, list[str]] | None = None,
+        record_reads: bool = False,
     ) -> SimulationResult:
         """Simulate up to ``max_cycles`` (or until the testbench halts).
 
         ``flips`` maps cycle → list of DFF names whose Q value is inverted
-        at the start of that cycle (SEU injection).
+        at the start of that cycle (SEU injection). With ``record_reads``
+        the result carries per-cycle sets of DFF names the testbench read.
         """
         testbench = testbench or Testbench()
         step = self.compiled.step
         state = self.compiled.initial_state()
         rows: list[tuple[int, ...]] = []
+        reads: list[frozenset[str]] | None = [] if record_reads else None
         halted = False
         out_words: dict[str, int] = {}
         cycle = 0
@@ -158,8 +203,18 @@ class Simulator:
                     for dff_name in flips[cycle]:
                         index = self.dff_index[dff_name]
                         state[index] ^= 1
-                view = StateView(state, self.dff_index, self.reg_widths)
+                if reads is None:
+                    view: StateView = StateView(
+                        state, self.dff_index, self.reg_widths
+                    )
+                else:
+                    sink: set[str] = set()
+                    view = RecordingStateView(
+                        state, self.dff_index, self.reg_widths, sink
+                    )
                 in_words = testbench.drive(cycle, view)
+                if reads is not None:
+                    reads.append(frozenset(sink))
                 inputs = self.pack_inputs(in_words)
                 state, outputs, row = step(state, inputs)
                 if record_trace:
@@ -182,4 +237,4 @@ class Simulator:
                 (0, len(self.compiled.trace_wires)), dtype=np.uint8
             )
             trace = Trace(self.compiled.trace_wires, matrix)
-        return SimulationResult(trace, cycle, halted, state, out_words)
+        return SimulationResult(trace, cycle, halted, state, out_words, reads=reads)

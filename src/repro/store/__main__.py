@@ -91,13 +91,16 @@ def _cmd_list(store: ResultsStore, args: argparse.Namespace) -> int:
         rows = []
         for c in campaigns:
             tally = store.outcome_tally(c.id)
+            space = "pruned" if c.pruned else "full"
+            if c.defuse:
+                space += "+defuse"
             rows.append([
                 str(c.id),
                 c.workload,
                 c.netlist_hash[:12],
                 str(sum(tally.values())),
                 "yes" if c.complete else "no",
-                "pruned" if c.pruned else "full",
+                space,
                 c.label or "-",
             ])
         print(aligned_table(
@@ -141,12 +144,26 @@ def _cmd_show(store: ResultsStore, args: argparse.Namespace) -> int:
         f"state:     {'complete' if c.complete else 'partial'}, "
         f"{c.num_points} point(s) planned, "
         f"{'pruned-space' if c.pruned else 'full-space'} sample"
+        f"{', def-use collapsed' if c.defuse else ''}"
     )
     if c.space_points:
         pruned = c.pruned_points or 0
         print(
             f"space:     {c.space_points} FF×cycle point(s), "
             f"{pruned} MATE-pruned ({100 * pruned / c.space_points:.1f}%)"
+        )
+    if c.layers:
+        print(
+            "layers:    "
+            + ", ".join(
+                f"{count} pruned by {layer}"
+                for layer, count in sorted(c.layers.items())
+            )
+        )
+    if c.defuse:
+        print(
+            f"collapse:  {c.defuse_injected} representative(s) injected, "
+            f"{c.defuse_annotated} point(s) back-annotated"
         )
     if c.journal_path:
         print(f"journal:   {c.journal_path}")
@@ -159,6 +176,17 @@ def _cmd_show(store: ResultsStore, args: argparse.Namespace) -> int:
         [[name, str(count), f"{100 * count / total:.1f}%"]
          for name, count in sorted(tally.items(), key=lambda kv: -kv[1])],
     ))
+    annotations = store.annotation_tally(c.id)
+    if annotations:
+        annotated = sum(annotations.values())
+        print()
+        print(aligned_table(
+            "provenance",
+            ["source", "count"],
+            [["injected", str(total - annotated)]]
+            + [[f"annotated ({layer})", str(count)]
+               for layer, count in sorted(annotations.items())],
+        ))
     workers = store.worker_stats(c.id)
     if workers:
         print()

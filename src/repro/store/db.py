@@ -7,13 +7,18 @@ runs — "did this refactor flip any injection outcome?", "which flip-flops
 dominate SDC?", "is campaign throughput trending up?" — become queries
 instead of archaeology.
 
-Schema (``SCHEMA_VERSION`` = 1, pinned in the ``meta`` table)::
+Schema (``SCHEMA_VERSION`` = 2, pinned in the ``meta`` table)::
 
     campaigns      one row per ingested journal, keyed like a resume:
-                   (netlist_hash, workload, points_hash, seed) — re-ingesting
-                   the same campaign replaces the old rows
-    outcomes       one row per injection: (campaign_id, point_index) with
-                   the fault-space key (dff, bit, cycle) and classification
+                   (netlist_hash, workload, points_hash, seed, defuse) —
+                   re-ingesting the same campaign replaces the old rows; the
+                   ``defuse`` flag keeps a collapsed (``fi run --defuse``)
+                   and a full campaign over the same point list side by side
+    outcomes       one row per fault-space point: (campaign_id, point_index)
+                   with the key (dff, bit, cycle) and classification; rows
+                   whose outcome was back-annotated from an equivalence
+                   representative (not injected) carry ``pruned_by`` and,
+                   for interval followers, ``equivalence_rep``
     worker_stats   per-process utilization (from journal records, enriched
                    with span counts when a telemetry directory is present)
     bench_runs     one row per ingested ``BENCH_<n>.json`` perf snapshot
@@ -38,11 +43,12 @@ from pathlib import Path
 
 from repro.obs import counter, span
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Fields that identify "the same campaign" across ingests (the journal's
-#: resume key, minus the derived counts).
-CAMPAIGN_KEY = ("netlist_hash", "workload", "points_hash", "seed")
+#: resume key, minus the derived counts, plus the collapse flag so a
+#: def-use-collapsed run never clobbers its full-campaign control).
+CAMPAIGN_KEY = ("netlist_hash", "workload", "points_hash", "seed", "defuse")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -62,6 +68,10 @@ CREATE TABLE IF NOT EXISTS campaigns (
     pruned        INTEGER NOT NULL DEFAULT 0,
     space_points  INTEGER,
     pruned_points INTEGER,
+    defuse           INTEGER NOT NULL DEFAULT 0,
+    defuse_injected  INTEGER,
+    defuse_annotated INTEGER,
+    layers           TEXT,
     journal_path  TEXT,
     label         TEXT,
     ingested_at   REAL NOT NULL
@@ -76,6 +86,8 @@ CREATE TABLE IF NOT EXISTS outcomes (
     attempts    INTEGER,
     seconds     REAL,
     worker      INTEGER,
+    pruned_by       TEXT,
+    equivalence_rep TEXT,
     PRIMARY KEY (campaign_id, point_index)
 );
 CREATE INDEX IF NOT EXISTS outcomes_by_key
@@ -140,6 +152,14 @@ class CampaignRow:
     pruned: bool
     space_points: int | None
     pruned_points: int | None
+    #: Def-use collapse (``fi run --defuse``): only interval representatives
+    #: were injected, everything else was back-annotated.
+    defuse: bool
+    defuse_injected: int | None
+    defuse_annotated: int | None
+    #: Per-layer fault-space pruning attribution, e.g.
+    #: ``{"mate": 812, "defuse": 1430, "both": 96}``.
+    layers: dict[str, int] | None
     journal_path: str | None
     label: str | None
     ingested_at: float
@@ -157,11 +177,22 @@ class OutcomeRow:
     attempts: int | None = None
     seconds: float | None = None
     worker: int | None = None
+    #: Which pruning layer produced this outcome without injecting
+    #: (``None`` for a real injection).
+    pruned_by: str | None = None
+    #: ``(dff, cycle)`` of the injected representative this outcome was
+    #: copied from, for equivalence-interval followers.
+    equivalence_rep: tuple[str, int] | None = None
 
     @property
     def key(self) -> tuple[str, int, int]:
         """The cross-campaign identity of this fault-space point."""
         return (self.dff, self.bit, self.cycle)
+
+    @property
+    def annotated(self) -> bool:
+        """True when the outcome was back-annotated, not injected."""
+        return self.pruned_by is not None
 
 
 @dataclass(frozen=True)
@@ -211,7 +242,8 @@ class ResultsStore:
             self._conn.close()
             raise StoreError(
                 f"warehouse {self.path} has schema version {row[0]}, "
-                f"this build speaks {SCHEMA_VERSION}"
+                f"this build speaks {SCHEMA_VERSION} — move the file aside "
+                "and re-ingest the journals"
             )
 
     # ------------------------------------------------------------------
@@ -248,22 +280,28 @@ class ResultsStore:
             state = load_journal(journal_path)
             header = state.header
             meta = header.get("meta") or {}
+            defuse = int(bool(meta.get("defuse")))
+            layers = meta.get("layers")
             key = {
                 "netlist_hash": header.get("netlist_hash"),
                 "workload": header.get("workload"),
                 "points_hash": header.get("points_hash"),
                 "seed": header.get("seed"),
+                "defuse": defuse,
             }
             self._conn.execute(
                 "DELETE FROM campaigns WHERE netlist_hash IS ? AND "
-                "workload IS ? AND points_hash IS ? AND seed IS ?",
+                "workload IS ? AND points_hash IS ? AND seed IS ? AND "
+                "defuse IS ?",
                 tuple(key.values()),
             )
             cursor = self._conn.execute(
                 "INSERT INTO campaigns (workload, netlist_hash, points_hash,"
                 " seed, num_points, golden_cycles, max_cycles, complete,"
-                " pruned, space_points, pruned_points, journal_path, label,"
-                " ingested_at) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                " pruned, space_points, pruned_points, defuse,"
+                " defuse_injected, defuse_annotated, layers, journal_path,"
+                " label, ingested_at)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (
                     key["workload"],
                     key["netlist_hash"],
@@ -276,6 +314,10 @@ class ResultsStore:
                     int(bool(meta.get("pruned"))),
                     meta.get("space_points"),
                     meta.get("pruned_points"),
+                    defuse,
+                    meta.get("defuse_injected"),
+                    meta.get("defuse_annotated"),
+                    json.dumps(layers, sort_keys=True) if layers else None,
                     str(journal_path),
                     label,
                     time.time(),
@@ -287,6 +329,7 @@ class ResultsStore:
             for index in sorted(state.records):
                 record = state.records[index]
                 detail = state.details.get(index, {})
+                rep = detail.get("equivalence_rep")
                 rows.append(
                     (
                         campaign_id,
@@ -298,12 +341,14 @@ class ResultsStore:
                         detail.get("attempts"),
                         detail.get("seconds"),
                         detail.get("worker"),
+                        detail.get("pruned_by"),
+                        json.dumps(list(rep)) if rep is not None else None,
                     )
                 )
             self._conn.executemany(
                 "INSERT INTO outcomes (campaign_id, point_index, dff, bit,"
-                " cycle, outcome, attempts, seconds, worker)"
-                " VALUES (?,?,?,?,?,?,?,?,?)",
+                " cycle, outcome, attempts, seconds, worker, pruned_by,"
+                " equivalence_rep) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
                 rows,
             )
             self._ingest_worker_stats(campaign_id, state, journal_path,
@@ -422,13 +467,17 @@ class ResultsStore:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    _CAMPAIGN_COLUMNS = (
+        "id, workload, netlist_hash, points_hash, seed, num_points,"
+        " golden_cycles, max_cycles, complete, pruned, space_points,"
+        " pruned_points, defuse, defuse_injected, defuse_annotated, layers,"
+        " journal_path, label, ingested_at"
+    )
+
     def campaigns(self) -> list[CampaignRow]:
         """Every stored campaign, oldest first."""
         rows = self._conn.execute(
-            "SELECT id, workload, netlist_hash, points_hash, seed,"
-            " num_points, golden_cycles, max_cycles, complete, pruned,"
-            " space_points, pruned_points, journal_path, label, ingested_at"
-            " FROM campaigns ORDER BY id"
+            f"SELECT {self._CAMPAIGN_COLUMNS} FROM campaigns ORDER BY id"
         ).fetchall()
         return [self._campaign_row(r) for r in rows]
 
@@ -438,17 +487,16 @@ class ResultsStore:
             id=r[0], workload=r[1], netlist_hash=r[2], points_hash=r[3],
             seed=r[4], num_points=r[5], golden_cycles=r[6], max_cycles=r[7],
             complete=bool(r[8]), pruned=bool(r[9]), space_points=r[10],
-            pruned_points=r[11], journal_path=r[12], label=r[13],
-            ingested_at=r[14],
+            pruned_points=r[11], defuse=bool(r[12]), defuse_injected=r[13],
+            defuse_annotated=r[14],
+            layers=json.loads(r[15]) if r[15] else None,
+            journal_path=r[16], label=r[17], ingested_at=r[18],
         )
 
     def campaign(self, campaign_id: int) -> CampaignRow:
         """One campaign by id; raises :class:`StoreError` if absent."""
         row = self._conn.execute(
-            "SELECT id, workload, netlist_hash, points_hash, seed,"
-            " num_points, golden_cycles, max_cycles, complete, pruned,"
-            " space_points, pruned_points, journal_path, label, ingested_at"
-            " FROM campaigns WHERE id = ?",
+            f"SELECT {self._CAMPAIGN_COLUMNS} FROM campaigns WHERE id = ?",
             (campaign_id,),
         ).fetchone()
         if row is None:
@@ -460,17 +508,38 @@ class ResultsStore:
         self.campaign(campaign_id)  # existence check
         rows = self._conn.execute(
             "SELECT point_index, dff, bit, cycle, outcome, attempts,"
-            " seconds, worker FROM outcomes WHERE campaign_id = ?"
-            " ORDER BY point_index",
+            " seconds, worker, pruned_by, equivalence_rep FROM outcomes"
+            " WHERE campaign_id = ? ORDER BY point_index",
             (campaign_id,),
         ).fetchall()
-        return [OutcomeRow(*r) for r in rows]
+        out = []
+        for r in rows:
+            rep = json.loads(r[9]) if r[9] else None
+            out.append(
+                OutcomeRow(
+                    *r[:9],
+                    equivalence_rep=(rep[0], int(rep[1])) if rep else None,
+                )
+            )
+        return out
 
     def outcome_tally(self, campaign_id: int) -> dict[str, int]:
         """``outcome -> count`` for one campaign."""
         rows = self._conn.execute(
             "SELECT outcome, COUNT(*) FROM outcomes WHERE campaign_id = ?"
             " GROUP BY outcome",
+            (campaign_id,),
+        ).fetchall()
+        return dict(rows)
+
+    def annotation_tally(self, campaign_id: int) -> dict[str, int]:
+        """``pruned_by layer -> back-annotated point count`` for one campaign.
+
+        Empty for campaigns where every outcome was actually injected.
+        """
+        rows = self._conn.execute(
+            "SELECT pruned_by, COUNT(*) FROM outcomes WHERE campaign_id = ?"
+            " AND pruned_by IS NOT NULL GROUP BY pruned_by",
             (campaign_id,),
         ).fetchall()
         return dict(rows)

@@ -45,6 +45,10 @@ class CampaignDiff:
     #: Keys sampled by exactly one of the two campaigns.
     only_in_a: int = 0
     only_in_b: int = 0
+    #: Back-annotated (not injected) outcome rows per side; a collapsed
+    #: campaign's annotations diff like any other outcome.
+    annotated_a: int = 0
+    annotated_b: int = 0
 
     @property
     def clean(self) -> bool:
@@ -57,22 +61,30 @@ class CampaignDiff:
             if self.clean
             else f"{len(self.flips)} outcome flip(s)"
         )
+        annotated = ""
+        if self.annotated_a or self.annotated_b:
+            annotated = (
+                f" (back-annotated: {self.annotated_a} in #{self.a.id}, "
+                f"{self.annotated_b} in #{self.b.id})"
+            )
         return (
             f"campaign #{self.a.id} ({self.a.workload} @ "
             f"{self.a.netlist_hash}) vs #{self.b.id} ({self.b.workload} @ "
             f"{self.b.netlist_hash}): {self.matched} matched fault-space "
             f"point(s), {self.only_in_a} only in #{self.a.id}, "
-            f"{self.only_in_b} only in #{self.b.id} — {verdict}"
+            f"{self.only_in_b} only in #{self.b.id}{annotated} — {verdict}"
         )
 
 
 def _outcome_sets(
     store: ResultsStore, campaign_id: int
-) -> dict[tuple[str, int, int], frozenset[str]]:
+) -> tuple[dict[tuple[str, int, int], frozenset[str]], int]:
     by_key: dict[tuple[str, int, int], set[str]] = {}
+    annotated = 0
     for row in store.outcomes(campaign_id):
         by_key.setdefault(row.key, set()).add(row.outcome)
-    return {key: frozenset(v) for key, v in by_key.items()}
+        annotated += row.annotated
+    return {key: frozenset(v) for key, v in by_key.items()}, annotated
 
 
 def diff_campaigns(
@@ -99,9 +111,11 @@ def diff_campaigns(
                 f"#{b.id} ({b.workload} @ {b.netlist_hash}) target different "
                 "designs — pass allow_mismatch/--force to diff them anyway"
             )
-        outcomes_a = _outcome_sets(store, a_id)
-        outcomes_b = _outcome_sets(store, b_id)
-        diff = CampaignDiff(a=a, b=b)
+        outcomes_a, annotated_a = _outcome_sets(store, a_id)
+        outcomes_b, annotated_b = _outcome_sets(store, b_id)
+        diff = CampaignDiff(
+            a=a, b=b, annotated_a=annotated_a, annotated_b=annotated_b
+        )
         for key in sorted(set(outcomes_a) & set(outcomes_b)):
             diff.matched += 1
             if outcomes_a[key] != outcomes_b[key]:

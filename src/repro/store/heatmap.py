@@ -177,9 +177,15 @@ def attribution_rows(
     def add(metric: str, render) -> None:
         rows.append((metric, [render(c, o) for c, o in pairs]))
 
-    add("sampling", lambda c, o: "MATE-pruned space" if c.pruned
+    add("sampling", lambda c, o: ("MATE-pruned space" if c.pruned
         else "full fault space")
-    add("points injected", lambda c, o: str(len(o)))
+        + (" + def-use collapse" if c.defuse else ""))
+    add("points injected", lambda c, o: str(
+        sum(1 for r in o if not r.annotated)
+    ))
+    add("points back-annotated", lambda c, o: str(
+        sum(1 for r in o if r.annotated)
+    ))
     add("distinct fault-space keys", lambda c, o: str(len({r.key for r in o})))
     for outcome in ("benign", "sdc", "timeout", "error"):
         add(outcome, lambda c, o, _oc=outcome: str(_tally(o).get(_oc, 0)))
@@ -194,6 +200,25 @@ def attribution_rows(
         if c.pruned_points and c.space_points
         else (str(c.pruned_points) if c.pruned_points else "-")
     ))
+
+    # Cross-layer attribution (campaigns that ran the def-use collapse
+    # carry per-layer pruned counts in their journal meta).
+    def by_layer(c: CampaignRow, layer: str) -> str:
+        count = (c.layers or {}).get(layer)
+        if count is None:
+            return "-"
+        if c.space_points:
+            return f"{count} ({100 * count / c.space_points:.1f}%)"
+        return str(count)
+
+    if any((c.layers or c.defuse) for c, _ in pairs):
+        add("pruned by MATE layer", lambda c, o: by_layer(c, "mate"))
+        add("pruned by def-use layer", lambda c, o: by_layer(c, "defuse"))
+        add("pruned by both layers", lambda c, o: by_layer(c, "both"))
+        add("representatives injected", lambda c, o: (
+            str(c.defuse_injected)
+            if c.defuse and c.defuse_injected is not None else "-"
+        ))
     return rows
 
 
@@ -246,13 +271,15 @@ def render_heatmap(
             f"<tr><td>netlist</td><td>{escape(campaign.netlist_hash)}</td></tr>",
             f"<tr><td>golden run</td><td>{campaign.golden_cycles} cycles"
             "</td></tr>",
-            f"<tr><td>recorded</td><td>{len(outcomes)} injection(s)"
+            f"<tr><td>recorded</td><td>{len(outcomes)} outcome(s), "
+            f"{sum(1 for r in outcomes if r.annotated)} back-annotated"
             f" ({'complete' if campaign.complete else 'partial'})</td></tr>",
             "</table>",
         ]
         out.extend(_legend())
         out.extend(_heatmap_svg(campaign, outcomes, max_cols))
-        if len(pairs) > 1 or campaign.pruned or campaign.pruned_points:
+        if (len(pairs) > 1 or campaign.pruned or campaign.pruned_points
+                or campaign.defuse):
             out.extend(_attribution_table(pairs))
         out.append("</body></html>")
         return "\n".join(out) + "\n"

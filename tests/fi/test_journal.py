@@ -179,6 +179,34 @@ class TestForwardCompat:
         assert not {"kind", "i", "dff", "cycle", "outcome"} & set(details)
 
 
+class TestAnnotationDetails:
+    def test_pruned_by_and_equivalence_rep_round_trip(self, tmp_path):
+        """Back-annotation provenance travels through the details path."""
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, _header()) as journal:
+            journal.append_record(0, InjectionRecord("acc_b0", 2, Outcome.SDC))
+            journal.append_record(
+                1,
+                InjectionRecord("decoy_b1", 3, Outcome.SDC),
+                pruned_by="defuse",
+                equivalence_rep=("acc_b0", 2),
+            )
+            journal.append_record(
+                2,
+                InjectionRecord("count_b0", 1, Outcome.BENIGN),
+                pruned_by="defuse",
+            )
+        state = load_journal(path)
+        # Plain injections carry no provenance fields.
+        assert "pruned_by" not in state.details.get(0, {})
+        assert state.details[1]["pruned_by"] == "defuse"
+        assert state.details[1]["equivalence_rep"] == ["acc_b0", 2]
+        assert state.details[2]["pruned_by"] == "defuse"
+        assert "equivalence_rep" not in state.details[2]
+        # Outcomes themselves are unaffected by the provenance fields.
+        assert state.records[1] == InjectionRecord("decoy_b1", 3, Outcome.SDC)
+
+
 class TestResumeKeying:
     def test_matching_header_resumable(self, tmp_path):
         path = tmp_path / "c.jsonl"

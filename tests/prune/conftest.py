@@ -1,0 +1,41 @@
+"""Shared fixtures for the def-use pruning tests."""
+
+import pytest
+
+from repro.prune import EquivalenceMap
+
+from .prune_targets import seq_target
+
+
+@pytest.fixture(scope="session")
+def target():
+    return seq_target()
+
+
+@pytest.fixture(scope="session")
+def netlist(target):
+    return target.simulator.netlist
+
+
+@pytest.fixture(scope="session")
+def golden(target):
+    """Golden run with the trace and per-cycle read sets recorded."""
+    result = target.simulator.run(
+        target.make_testbench(),
+        max_cycles=100,
+        record_trace=True,
+        record_reads=True,
+    )
+    assert result.halted
+    return result
+
+
+@pytest.fixture(scope="session")
+def emap(netlist, golden):
+    return EquivalenceMap.build(
+        netlist,
+        golden.trace,
+        golden.reads,
+        workload="fixture",
+        netlist_hash="fixture-hash",
+    )

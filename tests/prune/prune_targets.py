@@ -1,0 +1,70 @@
+"""Spawn-importable campaign target for the def-use pruning tests.
+
+The sequential figure1 fixture has one register of every access flavor the
+analysis distinguishes: enable-gated datapath registers (``ra``/``rb``),
+a register feeding an output *and* read by the testbench every fifth cycle
+(``rk``), a register whose D input toggles but whose Q drives nothing
+(``rdead`` — every interval dead), and a self-looping register nothing
+ever reads (``rhold`` — one tail interval spanning the whole run).
+
+Lives in a real module so :class:`repro.fi.runner.TargetSpec` can ship it
+to worker processes by ``module:callable`` reference.
+"""
+
+from __future__ import annotations
+
+from repro.eval.example_circuit import figure1_sequential_netlist
+from repro.fi.campaign import CampaignTarget
+from repro.sim import Simulator, Testbench
+
+#: Input patterns cycled by the fixture testbench: (a, b, c, d, e, en).
+PATTERNS = [
+    (1, 0, 0, 1, 0, 1),
+    (0, 0, 1, 1, 1, 0),
+    (1, 1, 0, 0, 0, 0),
+    (0, 1, 1, 0, 1, 1),
+    (1, 1, 1, 1, 0, 0),
+    (0, 0, 0, 0, 0, 1),
+    (1, 0, 1, 0, 1, 0),
+    (1, 1, 0, 1, 1, 0),
+]
+
+#: The fixture run halts after exactly this many cycles.
+HALT = 16
+
+
+class SeqBench(Testbench):
+    """Drives the pattern schedule; reads ``rk`` every fifth cycle."""
+
+    def __init__(self) -> None:
+        self.out_log: list[tuple] = []
+        self.seen = 0
+
+    def drive(self, cycle, state):
+        a, b, c, d, e, en = PATTERNS[cycle % len(PATTERNS)]
+        if cycle % 5 == 3:
+            self.seen += state.read_ff("rk")
+        return {"a": a, "b": b, "c": c, "d": d, "e": e, "en": en}
+
+    def observe(self, cycle, outputs):
+        self.out_log.append((cycle, tuple(sorted(outputs.items()))))
+        return cycle >= HALT - 1
+
+
+def seq_target() -> CampaignTarget:
+    """Campaign target over the sequential figure1 fixture.
+
+    Observables include the final state, so even faults that only linger in
+    an unread register (tail intervals) classify as SDC — the strictest
+    setting the tail-representative soundness argument must survive.
+    """
+    return CampaignTarget(
+        name="figure1-seq",
+        simulator=Simulator(figure1_sequential_netlist()),
+        make_testbench=SeqBench,
+        observables=lambda tb, res: (
+            tuple(tb.out_log),
+            tb.seen,
+            tuple(res.final_state),
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Per-cycle access-event classification (escape / hold / kill)."""
+
+import pytest
+
+from repro.prune import wire_events
+from repro.prune.access import EVENT_ESCAPE, EVENT_HOLD, EVENT_KILL
+
+
+class TestFixtureEvents:
+    def test_every_dff_gets_one_event_per_cycle(self, netlist, golden):
+        for dff_name in netlist.dffs:
+            events = wire_events(netlist, golden.trace, dff_name,
+                                 reads=golden.reads)
+            assert len(events) == golden.cycles
+            assert set(events) <= {EVENT_ESCAPE, EVENT_HOLD, EVENT_KILL}
+
+    def test_output_register_always_escapes(self, netlist, golden):
+        # rk's Q drives the kq primary output through a buffer: a flip is
+        # visible the same cycle, every cycle.
+        events = wire_events(netlist, golden.trace, "rk", reads=golden.reads)
+        assert events == EVENT_ESCAPE * golden.cycles
+
+    def test_unread_register_kills_every_write(self, netlist, golden):
+        # rdead's D toggles with the inputs but its Q drives nothing, so
+        # every flip is overwritten without ever being observed.
+        events = wire_events(netlist, golden.trace, "rdead",
+                             reads=golden.reads)
+        assert events == EVENT_KILL * golden.cycles
+
+    def test_self_loop_register_holds_forever(self, netlist, golden):
+        # rhold's D is its own Q and nothing reads it: a flip persists
+        # (hold) to the end of the trace without escaping or dying.
+        events = wire_events(netlist, golden.trace, "rhold",
+                             reads=golden.reads)
+        assert events == EVENT_HOLD * golden.cycles
+
+    def test_enable_gated_registers_mix_kinds(self, netlist, golden):
+        # ra/rb hold while their enable is low and are killed/escape on
+        # writes — the interesting interval structure.
+        for name in ("ra", "rb"):
+            events = wire_events(netlist, golden.trace, name,
+                                 reads=golden.reads)
+            assert EVENT_HOLD in events
+
+
+class TestReadChannel:
+    def test_testbench_read_is_an_escape(self, netlist, golden):
+        # Force a synthetic read of the otherwise-unobserved rhold: the
+        # read cycle must reclassify from hold to escape.
+        reads = [frozenset() for _ in range(golden.cycles)]
+        reads[5] = frozenset({"rhold"})
+        events = wire_events(netlist, golden.trace, "rhold", reads=reads)
+        assert events[5] == EVENT_ESCAPE
+        assert set(events[:5] + events[6:]) == {EVENT_HOLD}
+
+    def test_reads_must_cover_every_cycle(self, netlist, golden):
+        with pytest.raises(ValueError, match="reads length"):
+            wire_events(netlist, golden.trace, "rhold", reads=[frozenset()])
+
+    def test_unknown_dff_rejected(self, netlist, golden):
+        with pytest.raises(KeyError):
+            wire_events(netlist, golden.trace, "nope", reads=golden.reads)

@@ -1,0 +1,66 @@
+"""Exhaustive ground-truth agreement on the sequential fixture.
+
+Every (flip-flop, cycle) point of the fixture's fault space is actually
+injected and the full observable tuple (output log, testbench reads, halt
+flag, final state) compared against the golden run. The static claims must
+agree exactly: every dead-interval point behaves identically to the golden
+run, and every member of a live/tail interval behaves identically to its
+representative.
+"""
+
+import pytest
+
+from repro.prune.defuse import KIND_DEAD
+
+from .prune_targets import SeqBench
+
+
+def _observe(target, dff=None, cycle=None):
+    tb = SeqBench()
+    flips = {cycle: [dff]} if dff is not None else None
+    result = target.simulator.run(tb, max_cycles=100, flips=flips)
+    return (tuple(tb.out_log), tb.seen, result.halted, tuple(result.final_state))
+
+
+@pytest.fixture(scope="module")
+def ground_truth(target, golden, netlist):
+    """Observables of every single-point injection, exhaustively."""
+    return {
+        (dff, cycle): _observe(target, dff, cycle)
+        for dff in netlist.dffs
+        for cycle in range(golden.cycles)
+    }
+
+
+def test_dead_intervals_are_benign(target, emap, ground_truth):
+    golden_obs = _observe(target)
+    checked = 0
+    for claim in emap.claims():
+        if claim.kind != KIND_DEAD:
+            continue
+        for cycle in range(claim.start, claim.end + 1):
+            assert ground_truth[(claim.dff, cycle)] == golden_obs, (
+                f"{claim.describe()} refuted at cycle {cycle}"
+            )
+            checked += 1
+    assert checked == emap.num_dead_points
+    assert checked > 0  # the fixture must actually exercise dead intervals
+
+
+def test_interval_members_match_their_representative(emap, ground_truth):
+    multi = 0
+    for claim in emap.claims():
+        if claim.kind == KIND_DEAD:
+            continue
+        rep_obs = ground_truth[(claim.dff, claim.representative)]
+        for cycle in range(claim.start, claim.end + 1):
+            assert ground_truth[(claim.dff, cycle)] == rep_obs, (
+                f"{claim.describe()} refuted at cycle {cycle}"
+            )
+        multi += claim.num_points >= 2
+    assert multi > 0  # the fixture must exercise multi-point intervals
+
+
+def test_fixture_has_every_interval_kind(emap):
+    kinds = {claim.kind for claim in emap.claims()}
+    assert kinds == {"dead", "live", "tail"}

@@ -29,8 +29,14 @@ def make_journal(
     complete=True,
     meta=None,
     workers=None,
+    provenance=None,
 ):
-    """Write a well-formed campaign journal from (dff, cycle, outcome)s."""
+    """Write a well-formed campaign journal from (dff, cycle, outcome)s.
+
+    ``provenance`` maps a record index to back-annotation kwargs
+    (``pruned_by`` and optionally ``equivalence_rep``) for collapsed
+    campaigns.
+    """
     points = [(dff, cycle) for dff, cycle, _ in records]
     header = {
         "netlist_hash": netlist_hash,
@@ -51,6 +57,7 @@ def make_journal(
                 InjectionRecord(dff, cycle, Outcome(outcome)),
                 seconds=0.01 * (i + 1),
                 worker=workers[i % len(workers)] if workers else None,
+                **(provenance or {}).get(i, {}),
             )
         if complete:
             journal.mark_complete(len(records))
