@@ -1,7 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-resilience campaign-demo store-smoke prune-smoke bench lint lint-self ruff tables
+# All smoke/demo artifacts land here: one upload path for CI, one ignore
+# entry for git, one `rm -rf` to reset.
+SMOKE := .repro_cache/smoke
+
+.PHONY: test test-fast test-resilience campaign-demo store-smoke prune-smoke \
+	dataflow-smoke bench lint lint-self ruff tables
 
 test:            ## full test suite
 	$(PYTHON) -m pytest
@@ -13,48 +18,78 @@ test-resilience: ## kill/resume campaign tests, with a faulthandler hang guard
 	$(PYTHON) -m pytest tests/fi -p faulthandler -o faulthandler_timeout=300
 
 campaign-demo:   ## interrupted + resumed campaign (crash-recovery demo)
-	rm -rf campaign-demo.jsonl campaign-demo.jsonl.telemetry
+	mkdir -p $(SMOKE)
+	rm -rf $(SMOKE)/campaign-demo.jsonl $(SMOKE)/campaign-demo.jsonl.telemetry
 	$(PYTHON) -m repro.fi run --target msp430-fib --sampled 12 --limit 5 \
-		--journal campaign-demo.jsonl
-	$(PYTHON) -m repro.fi status --journal campaign-demo.jsonl
-	$(PYTHON) -m repro.fi resume --journal campaign-demo.jsonl \
-		--telemetry-dir campaign-demo.jsonl.telemetry \
-		--metrics-out campaign-demo-metrics.json \
-		--trace-out campaign-demo-trace.json
-	$(PYTHON) -m repro.fi status --journal campaign-demo.jsonl
-	$(PYTHON) -m repro.fi report campaign-demo.jsonl --out campaign-demo.html
+		--journal $(SMOKE)/campaign-demo.jsonl
+	$(PYTHON) -m repro.fi status --journal $(SMOKE)/campaign-demo.jsonl
+	$(PYTHON) -m repro.fi resume --journal $(SMOKE)/campaign-demo.jsonl \
+		--telemetry-dir $(SMOKE)/campaign-demo.jsonl.telemetry \
+		--metrics-out $(SMOKE)/campaign-demo-metrics.json \
+		--trace-out $(SMOKE)/campaign-demo-trace.json
+	$(PYTHON) -m repro.fi status --journal $(SMOKE)/campaign-demo.jsonl
+	$(PYTHON) -m repro.fi report $(SMOKE)/campaign-demo.jsonl \
+		--out $(SMOKE)/campaign-demo.html
 
 store-smoke:     ## warehouse round trip on the campaign-demo journal
-	rm -f store-smoke.sqlite3 store-smoke-heatmap.html
-	$(PYTHON) -m repro.store --db store-smoke.sqlite3 ingest \
-		campaign-demo.jsonl --telemetry-dir campaign-demo.jsonl.telemetry
-	$(PYTHON) -m repro.store --db store-smoke.sqlite3 list
-	$(PYTHON) -m repro.store --db store-smoke.sqlite3 show 1
-	$(PYTHON) -m repro.store --db store-smoke.sqlite3 diff 1 1
-	$(PYTHON) -m repro.store --db store-smoke.sqlite3 heatmap 1 \
-		--out store-smoke-heatmap.html
+	mkdir -p $(SMOKE)
+	rm -f $(SMOKE)/store-smoke.sqlite3 $(SMOKE)/store-smoke-heatmap.html
+	$(PYTHON) -m repro.store --db $(SMOKE)/store-smoke.sqlite3 ingest \
+		$(SMOKE)/campaign-demo.jsonl \
+		--telemetry-dir $(SMOKE)/campaign-demo.jsonl.telemetry
+	$(PYTHON) -m repro.store --db $(SMOKE)/store-smoke.sqlite3 list
+	$(PYTHON) -m repro.store --db $(SMOKE)/store-smoke.sqlite3 show 1
+	$(PYTHON) -m repro.store --db $(SMOKE)/store-smoke.sqlite3 diff 1 1
+	$(PYTHON) -m repro.store --db $(SMOKE)/store-smoke.sqlite3 heatmap 1 \
+		--out $(SMOKE)/store-smoke-heatmap.html
 
 prune-smoke:     ## def-use pruning: audit, accounting, collapsed-vs-full gate
-	rm -f prune-smoke.sqlite3 prune-smoke-heatmap.html prune-accounting.txt \
-		prune-full.jsonl prune-defuse.jsonl
+	mkdir -p $(SMOKE)
+	rm -rf $(SMOKE)/prune-smoke.sqlite3 $(SMOKE)/prune-smoke-heatmap.html \
+		$(SMOKE)/prune-accounting.txt $(SMOKE)/prune-full.jsonl \
+		$(SMOKE)/prune-full.jsonl.telemetry $(SMOKE)/prune-defuse.jsonl \
+		$(SMOKE)/prune-defuse.jsonl.telemetry
 	# Sampled prune.* audit on both cores: any refuted claim is an
 	# error-severity finding, which exits 1 and fails the job.
 	$(PYTHON) -m repro.lint avr msp430 --audit-prune \
 		--rules prune.cert-invalid,prune.dead-refuted,prune.equiv-refuted
-	$(PYTHON) -m repro.eval prune | tee prune-accounting.txt
+	$(PYTHON) -m repro.eval prune | tee $(SMOKE)/prune-accounting.txt
 	# Same sampled points, full campaign vs def-use collapse; the diff
 	# gate exits 1 on any outcome flip between them. 2000 points is dense
 	# enough for the collapse to save >2x injections (the headline win).
 	$(PYTHON) -m repro.fi run --target avr-fib --sampled 2000 --seed 7 \
-		--journal prune-full.jsonl --no-store
+		--journal $(SMOKE)/prune-full.jsonl --no-store
 	$(PYTHON) -m repro.fi run --target avr-fib --sampled 2000 --seed 7 \
-		--defuse --journal prune-defuse.jsonl --no-store
-	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 ingest \
-		prune-full.jsonl prune-defuse.jsonl
-	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 diff 1 2
-	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 show 2
-	$(PYTHON) -m repro.store --db prune-smoke.sqlite3 heatmap 2 \
-		--compare 1 --out prune-smoke-heatmap.html
+		--defuse --journal $(SMOKE)/prune-defuse.jsonl --no-store
+	$(PYTHON) -m repro.store --db $(SMOKE)/prune-smoke.sqlite3 ingest \
+		$(SMOKE)/prune-full.jsonl $(SMOKE)/prune-defuse.jsonl
+	$(PYTHON) -m repro.store --db $(SMOKE)/prune-smoke.sqlite3 diff 1 2
+	$(PYTHON) -m repro.store --db $(SMOKE)/prune-smoke.sqlite3 show 2
+	$(PYTHON) -m repro.store --db $(SMOKE)/prune-smoke.sqlite3 heatmap 2 \
+		--compare 1 --out $(SMOKE)/prune-smoke-heatmap.html
+
+dataflow-smoke:  ## static dataflow layer: audit, 3-layer accounting, flip gate
+	mkdir -p $(SMOKE)
+	rm -rf $(SMOKE)/dataflow-smoke.sqlite3 $(SMOKE)/dataflow-accounting.txt \
+		$(SMOKE)/dataflow-full.jsonl $(SMOKE)/dataflow-full.jsonl.telemetry \
+		$(SMOKE)/dataflow-static.jsonl \
+		$(SMOKE)/dataflow-static.jsonl.telemetry
+	# dataflow.claim-invalid re-derives *every* static certificate with the
+	# independent per-path checker; dataflow.dead-refuted injects sampled
+	# statically-dead points for real. One refuted claim exits 1.
+	$(PYTHON) -m repro.lint avr msp430 --audit-dataflow --rules 'dataflow.*'
+	# Three-layer accounting (MATE x def-use x static) as a CI artifact.
+	$(PYTHON) -m repro.eval prune | tee $(SMOKE)/dataflow-accounting.txt
+	# Same sampled points, full campaign vs static+def-use collapse; the
+	# diff gate exits 1 on any outcome flip between them.
+	$(PYTHON) -m repro.fi run --target avr-fib --sampled 2000 --seed 11 \
+		--journal $(SMOKE)/dataflow-full.jsonl --no-store
+	$(PYTHON) -m repro.fi run --target avr-fib --sampled 2000 --seed 11 \
+		--defuse --static --journal $(SMOKE)/dataflow-static.jsonl --no-store
+	$(PYTHON) -m repro.store --db $(SMOKE)/dataflow-smoke.sqlite3 ingest \
+		$(SMOKE)/dataflow-full.jsonl $(SMOKE)/dataflow-static.jsonl
+	$(PYTHON) -m repro.store --db $(SMOKE)/dataflow-smoke.sqlite3 diff 1 2
+	$(PYTHON) -m repro.store --db $(SMOKE)/dataflow-smoke.sqlite3 show 2
 
 bench:           ## append a versioned perf snapshot (BENCH_<n+1>.json)
 	$(PYTHON) -m repro.eval bench --out-dir .

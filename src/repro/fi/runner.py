@@ -150,12 +150,15 @@ class AnnotationPlan:
     benign and journaled without simulation; each ``follows`` entry maps a
     follower index to the representative index whose injected outcome it
     inherits the moment that record lands. ``source`` names the pruning
-    layer for the journal's ``pruned_by`` detail.
+    layer for the journal's ``pruned_by`` detail; ``sources`` overrides it
+    per index for plans composed from several layers (e.g. static-dead
+    points inside a def-use collapse carry ``pruned_by="static"``).
     """
 
     dead: tuple[int, ...] = ()
     follows: Mapping[int, int] = field(default_factory=dict)
     source: str = "defuse"
+    sources: Mapping[int, str] = field(default_factory=dict)
 
     def followers_of(self) -> dict[int, list[int]]:
         """Representative index → sorted follower indices."""
@@ -550,7 +553,7 @@ class CampaignRunner:
                 self._record(
                     journal, done, report, index, points[index],
                     Outcome.BENIGN, attempts=0,
-                    annotation={"pruned_by": plan.source},
+                    annotation={"pruned_by": plan.sources.get(index, plan.source)},
                 )
         for follower, rep in sorted(plan.follows.items()):
             if follower not in done and rep in done:
@@ -558,7 +561,7 @@ class CampaignRunner:
                     journal, done, report, follower, points[follower],
                     done[rep].outcome, attempts=0,
                     annotation={
-                        "pruned_by": plan.source,
+                        "pruned_by": plan.sources.get(follower, plan.source),
                         "equivalence_rep": points[rep],
                     },
                 )
@@ -607,9 +610,14 @@ class CampaignRunner:
         # A freshly-landed representative decides its followers right away.
         followers = self._plan_followers.get(index)
         if annotation is None and followers:
-            source = self._plan.source if self._plan is not None else "defuse"
+            plan = self._plan
             for follower in followers:
                 if follower not in done:
+                    source = (
+                        plan.sources.get(follower, plan.source)
+                        if plan is not None
+                        else "defuse"
+                    )
                     self._record(
                         journal, done, report, follower,
                         self._run_points[follower], outcome, attempts=0,

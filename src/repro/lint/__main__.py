@@ -6,6 +6,7 @@ Usage::
     python -m repro.lint avr --audit-mates        # core + cached MATE audit
     python -m repro.lint avr msp430 --mate-engine sat   # SAT-backed audit
     python -m repro.lint avr --audit-prune        # def-use pruning audit
+    python -m repro.lint avr --audit-dataflow --rules 'dataflow.*'
     python -m repro.lint design.json              # netlist in JSON form
     python -m repro.lint design.v --format json   # structural Verilog
     python -m repro.lint avr --write-baseline lint-baseline.json
@@ -33,14 +34,14 @@ NAMED_TARGETS = ("figure1", "avr", "msp430")
 
 def _load_target(
     name: str, audit_mates: bool, audit_prune: bool = False,
-    prune_program: str = "fib",
+    prune_program: str = "fib", audit_dataflow: bool = False,
 ) -> LintTarget:
     """Resolve a CLI target argument to a :class:`LintTarget`."""
     if name == "figure1":
-        if audit_prune:
+        if audit_prune or audit_dataflow:
             raise ValueError(
-                "--audit-prune needs a sequential design (avr, msp430); "
-                "figure1 has no flip-flops"
+                "--audit-prune/--audit-dataflow need a sequential design "
+                "(avr, msp430); figure1 has no flip-flops"
             )
         from repro.eval.example_circuit import (
             FIGURE1_FAULT_WIRES,
@@ -60,11 +61,16 @@ def _load_target(
         from repro.eval.context import get_netlist, get_search
 
         netlist = get_netlist(name)
-        if audit_prune:
-            from repro.prune import get_prune_audit
+        if audit_prune or audit_dataflow:
+            target = LintTarget(name=f"{name}-{prune_program}", netlist=netlist)
+            if audit_prune:
+                from repro.prune import get_prune_audit
 
-            audit = get_prune_audit(f"{name}-{prune_program}")
-            target = LintTarget.for_prune(audit, netlist=netlist)
+                target.prune = get_prune_audit(f"{name}-{prune_program}")
+            if audit_dataflow:
+                from repro.prune import get_dataflow_audit
+
+                target.dataflow = get_dataflow_audit(f"{name}-{prune_program}")
             if audit_mates:
                 search_target = LintTarget.for_search(
                     netlist, get_search(name, False)
@@ -86,6 +92,8 @@ def _load_target(
         raise ValueError("--audit-mates requires a named design target")
     if audit_prune:
         raise ValueError("--audit-prune requires avr or msp430")
+    if audit_dataflow:
+        raise ValueError("--audit-dataflow requires avr or msp430")
     from repro.cells.nangate15 import nangate15_library
 
     text = path.read_text(encoding="utf-8")
@@ -150,12 +158,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--rules",
         metavar="ID[,ID...]",
-        help="run only these rule ids (default: all)",
+        help="run only these rule ids or glob patterns, e.g. 'dataflow.*' "
+        "(default: all)",
     )
     parser.add_argument(
         "--disable",
         metavar="ID[,ID...]",
-        help="skip these rule ids",
+        help="skip these rule ids or glob patterns",
     )
     parser.add_argument(
         "--baseline",
@@ -195,10 +204,27 @@ def main(argv: list[str] | None = None) -> int:
         "ground-truth injections (avr/msp430 only)",
     )
     parser.add_argument(
+        "--audit-dataflow",
+        action="store_true",
+        help="audit the binary-level static dataflow layer "
+        "(repro.prune.dataflow) with the dataflow.* rules: full "
+        "certificate re-derivation plus sampled ground-truth injections "
+        "(avr/msp430 only)",
+    )
+    parser.add_argument(
         "--prune-program",
         choices=("fib", "conv"),
         default="fib",
-        help="workload for --audit-prune (default: %(default)s)",
+        help="workload for --audit-prune / --audit-dataflow "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dataflow-samples",
+        type=int,
+        default=LintConfig.dataflow_samples,
+        metavar="N",
+        help="sampled statically-dead points injected by "
+        "dataflow.dead-refuted (default: %(default)s)",
     )
     parser.add_argument(
         "--prune-samples",
@@ -233,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         mate_engine=args.mate_engine,
         prune_samples=args.prune_samples,
         prune_seed=args.prune_seed,
+        dataflow_samples=args.dataflow_samples,
     )
     reports = []
     for name in args.targets:
@@ -246,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
                 name, audit,
                 audit_prune=args.audit_prune,
                 prune_program=args.prune_program,
+                audit_dataflow=args.audit_dataflow,
             )
             reports.append(
                 run_lint(

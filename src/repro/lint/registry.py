@@ -53,6 +53,12 @@ class LintConfig:
     prune_cert_cycles: int = 4
     #: RNG seed for all ``prune.*`` sampling.
     prune_seed: int = 0
+    #: Statically-dead (register, cycle) points the ``dataflow.dead-refuted``
+    #: ground-truth rule injects per target; the ``dataflow.claim-invalid``
+    #: re-derivation checks *every* claim (it costs zero simulations).
+    dataflow_samples: int = 12
+    #: RNG seed for ``dataflow.*`` sampling.
+    dataflow_seed: int = 0
 
 
 @dataclass
@@ -71,6 +77,10 @@ class LintTarget:
     #: equivalence map, golden trace/reads, and a lazy ground-truth
     #: campaign for the ``prune.*`` rules.
     prune: "object | None" = None
+    #: Static dataflow audit bundle (:class:`repro.prune.DataflowAudit`):
+    #: program CFG, static prune map, and a lazy ground-truth campaign for
+    #: the ``dataflow.*`` rules.
+    dataflow: "object | None" = None
 
     @classmethod
     def for_netlist(cls, netlist: "Netlist", name: str | None = None) -> "LintTarget":
@@ -140,6 +150,17 @@ class LintTarget:
         target_name = name or getattr(audit, "target_name", "prune")
         return cls(name=target_name, netlist=netlist, prune=audit)
 
+    @classmethod
+    def for_dataflow(
+        cls,
+        audit: "object",
+        netlist: "Netlist | None" = None,
+        name: str | None = None,
+    ) -> "LintTarget":
+        """Target auditing a static dataflow map against ground truth."""
+        target_name = name or getattr(audit, "target_name", "dataflow")
+        return cls(name=target_name, netlist=netlist, dataflow=audit)
+
     def facets(self) -> frozenset[str]:
         """Which facets this target can offer to rules."""
         present = set()
@@ -153,6 +174,8 @@ class LintTarget:
             present.add("unmatched")
         if self.prune is not None:
             present.add("prune")
+        if self.dataflow is not None:
+            present.add("dataflow")
         return frozenset(present)
 
 
@@ -229,6 +252,40 @@ class RuleRegistry:
         """All registered rule ids, in registration order."""
         return list(self._rules)
 
+    def expand(self, patterns: Iterable[str]) -> list[str]:
+        """Expand ids and ``fnmatch`` globs to concrete rule ids, in order.
+
+        Exact ids pass through; a pattern containing ``*``/``?``/``[`` is
+        matched against every registered id. Unknown ids and globs that
+        match nothing both raise, so typos fail loudly instead of silently
+        skipping a rule.
+        """
+        from fnmatch import fnmatchcase
+
+        expanded: list[str] = []
+        for pattern in patterns:
+            if any(ch in pattern for ch in "*?["):
+                matched = [
+                    rule_id
+                    for rule_id in self._rules
+                    if fnmatchcase(rule_id, pattern)
+                ]
+                if not matched:
+                    raise KeyError(
+                        f"lint rule pattern {pattern!r} matches nothing "
+                        f"(known: {sorted(self._rules)})"
+                    )
+                expanded.extend(
+                    rule_id for rule_id in matched if rule_id not in expanded
+                )
+            elif pattern not in self._rules:
+                raise KeyError(
+                    f"unknown lint rule {pattern!r} (known: {sorted(self._rules)})"
+                )
+            elif pattern not in expanded:
+                expanded.append(pattern)
+        return expanded
+
     def select(
         self,
         enable: Iterable[str] | None = None,
@@ -237,21 +294,18 @@ class RuleRegistry:
     ) -> list[LintRule]:
         """Resolve an enable/disable selection to a concrete rule list.
 
-        ``enable=None`` means "all rules"; unknown ids in either list raise
-        so typos fail loudly instead of silently skipping a rule. ``tags``
-        restricts the result to rules carrying at least one of the tags.
+        ``enable=None`` means "all rules". Entries in either list may be
+        exact ids or glob patterns (see :meth:`expand`); unknown ids and
+        globs matching nothing raise. ``tags`` restricts the result to
+        rules carrying at least one of the tags.
         """
-        for rule_id in list(enable or ()) + list(disable):
-            if rule_id not in self._rules:
-                raise KeyError(
-                    f"unknown lint rule {rule_id!r} (known: {sorted(self._rules)})"
-                )
+        enabled = None if enable is None else self.expand(enable)
+        banned = set(self.expand(disable))
         chosen = (
             list(self._rules.values())
-            if enable is None
-            else [self._rules[rule_id] for rule_id in enable]
+            if enabled is None
+            else [self._rules[rule_id] for rule_id in enabled]
         )
-        banned = set(disable)
         chosen = [rule for rule in chosen if rule.id not in banned]
         if tags is not None:
             wanted = set(tags)
@@ -296,6 +350,7 @@ def default_registry() -> RuleRegistry:
     # Importing the rule modules has the side effect of registering their
     # rules; repeat imports are no-ops.
     from repro.lint import (  # noqa: F401
+        rules_dataflow,
         rules_netlist,
         rules_prune,
         rules_rtl,

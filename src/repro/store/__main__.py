@@ -94,6 +94,8 @@ def _cmd_list(store: ResultsStore, args: argparse.Namespace) -> int:
             space = "pruned" if c.pruned else "full"
             if c.defuse:
                 space += "+defuse"
+            if c.static:
+                space += "+static"
             rows.append([
                 str(c.id),
                 c.workload,
@@ -145,6 +147,7 @@ def _cmd_show(store: ResultsStore, args: argparse.Namespace) -> int:
         f"{c.num_points} point(s) planned, "
         f"{'pruned-space' if c.pruned else 'full-space'} sample"
         f"{', def-use collapsed' if c.defuse else ''}"
+        f"{', static collapsed' if c.static else ''}"
     )
     if c.space_points:
         pruned = c.pruned_points or 0
@@ -164,6 +167,11 @@ def _cmd_show(store: ResultsStore, args: argparse.Namespace) -> int:
         print(
             f"collapse:  {c.defuse_injected} representative(s) injected, "
             f"{c.defuse_annotated} point(s) back-annotated"
+        )
+    if c.static and c.static_annotated is not None:
+        print(
+            f"static:    {c.static_annotated} point(s) annotated dead by the "
+            f"dataflow layer"
         )
     if c.journal_path:
         print(f"journal:   {c.journal_path}")

@@ -7,13 +7,16 @@ runs — "did this refactor flip any injection outcome?", "which flip-flops
 dominate SDC?", "is campaign throughput trending up?" — become queries
 instead of archaeology.
 
-Schema (``SCHEMA_VERSION`` = 2, pinned in the ``meta`` table)::
+Schema (``SCHEMA_VERSION`` = 3, pinned in the ``meta`` table)::
 
     campaigns      one row per ingested journal, keyed like a resume:
-                   (netlist_hash, workload, points_hash, seed, defuse) —
-                   re-ingesting the same campaign replaces the old rows; the
-                   ``defuse`` flag keeps a collapsed (``fi run --defuse``)
-                   and a full campaign over the same point list side by side
+                   (netlist_hash, workload, points_hash, seed, defuse,
+                   static) — re-ingesting the same campaign replaces the old
+                   rows; the ``defuse``/``static`` flags keep collapsed
+                   (``fi run --defuse``/``--static``) and full campaigns
+                   over the same point list side by side, and the ``layers``
+                   JSON column carries the per-layer pruned-point counts
+                   (mate / defuse / static with pairwise overlaps)
     outcomes       one row per fault-space point: (campaign_id, point_index)
                    with the key (dff, bit, cycle) and classification; rows
                    whose outcome was back-annotated from an equivalence
@@ -43,12 +46,14 @@ from pathlib import Path
 
 from repro.obs import counter, span
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Fields that identify "the same campaign" across ingests (the journal's
-#: resume key, minus the derived counts, plus the collapse flag so a
-#: def-use-collapsed run never clobbers its full-campaign control).
-CAMPAIGN_KEY = ("netlist_hash", "workload", "points_hash", "seed", "defuse")
+#: resume key, minus the derived counts, plus the collapse flags so a
+#: collapsed run never clobbers its full-campaign control).
+CAMPAIGN_KEY = (
+    "netlist_hash", "workload", "points_hash", "seed", "defuse", "static",
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -71,6 +76,8 @@ CREATE TABLE IF NOT EXISTS campaigns (
     defuse           INTEGER NOT NULL DEFAULT 0,
     defuse_injected  INTEGER,
     defuse_annotated INTEGER,
+    static           INTEGER NOT NULL DEFAULT 0,
+    static_annotated INTEGER,
     layers           TEXT,
     journal_path  TEXT,
     label         TEXT,
@@ -157,8 +164,13 @@ class CampaignRow:
     defuse: bool
     defuse_injected: int | None
     defuse_annotated: int | None
+    #: Static dataflow collapse (``fi run --static``): trace-independent
+    #: register-dead points were back-annotated as benign.
+    static: bool
+    static_annotated: int | None
     #: Per-layer fault-space pruning attribution, e.g.
-    #: ``{"mate": 812, "defuse": 1430, "both": 96}``.
+    #: ``{"mate": 812, "defuse": 1430, "both": 96, "static": 320,
+    #: "defuse&static": 320}``.
     layers: dict[str, int] | None
     journal_path: str | None
     label: str | None
@@ -281,6 +293,7 @@ class ResultsStore:
             header = state.header
             meta = header.get("meta") or {}
             defuse = int(bool(meta.get("defuse")))
+            static = int(bool(meta.get("static")))
             layers = meta.get("layers")
             key = {
                 "netlist_hash": header.get("netlist_hash"),
@@ -288,20 +301,22 @@ class ResultsStore:
                 "points_hash": header.get("points_hash"),
                 "seed": header.get("seed"),
                 "defuse": defuse,
+                "static": static,
             }
             self._conn.execute(
                 "DELETE FROM campaigns WHERE netlist_hash IS ? AND "
                 "workload IS ? AND points_hash IS ? AND seed IS ? AND "
-                "defuse IS ?",
+                "defuse IS ? AND static IS ?",
                 tuple(key.values()),
             )
             cursor = self._conn.execute(
                 "INSERT INTO campaigns (workload, netlist_hash, points_hash,"
                 " seed, num_points, golden_cycles, max_cycles, complete,"
                 " pruned, space_points, pruned_points, defuse,"
-                " defuse_injected, defuse_annotated, layers, journal_path,"
+                " defuse_injected, defuse_annotated, static,"
+                " static_annotated, layers, journal_path,"
                 " label, ingested_at)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (
                     key["workload"],
                     key["netlist_hash"],
@@ -317,6 +332,8 @@ class ResultsStore:
                     defuse,
                     meta.get("defuse_injected"),
                     meta.get("defuse_annotated"),
+                    static,
+                    meta.get("static_annotated"),
                     json.dumps(layers, sort_keys=True) if layers else None,
                     str(journal_path),
                     label,
@@ -470,7 +487,8 @@ class ResultsStore:
     _CAMPAIGN_COLUMNS = (
         "id, workload, netlist_hash, points_hash, seed, num_points,"
         " golden_cycles, max_cycles, complete, pruned, space_points,"
-        " pruned_points, defuse, defuse_injected, defuse_annotated, layers,"
+        " pruned_points, defuse, defuse_injected, defuse_annotated,"
+        " static, static_annotated, layers,"
         " journal_path, label, ingested_at"
     )
 
@@ -488,9 +506,10 @@ class ResultsStore:
             seed=r[4], num_points=r[5], golden_cycles=r[6], max_cycles=r[7],
             complete=bool(r[8]), pruned=bool(r[9]), space_points=r[10],
             pruned_points=r[11], defuse=bool(r[12]), defuse_injected=r[13],
-            defuse_annotated=r[14],
-            layers=json.loads(r[15]) if r[15] else None,
-            journal_path=r[16], label=r[17], ingested_at=r[18],
+            defuse_annotated=r[14], static=bool(r[15]),
+            static_annotated=r[16],
+            layers=json.loads(r[17]) if r[17] else None,
+            journal_path=r[18], label=r[19], ingested_at=r[20],
         )
 
     def campaign(self, campaign_id: int) -> CampaignRow:

@@ -52,6 +52,25 @@ class TestRunner:
         with pytest.raises(KeyError, match="unknown lint rule"):
             run_lint(target, disable=["net.typo"])
 
+    def test_glob_pattern_expands_to_the_whole_layer(self):
+        target = LintTarget.for_netlist(_seeded_netlist())
+        report = run_lint(target, enable=["net.*"])
+        by_rule = report.by_rule()
+        assert by_rule
+        assert all(rule_id.startswith("net.") for rule_id in by_rule)
+
+    def test_disable_glob_drops_the_whole_layer(self):
+        target = LintTarget.for_netlist(_seeded_netlist())
+        report = run_lint(target, disable=["net.*"])
+        assert not any(r.startswith("net.") for r in report.by_rule())
+
+    def test_glob_matching_nothing_raises_clearly(self):
+        target = LintTarget.for_netlist(_seeded_netlist())
+        with pytest.raises(KeyError, match="matches nothing"):
+            run_lint(target, enable=["bogus.*"])
+        with pytest.raises(KeyError, match="matches nothing"):
+            run_lint(target, disable=["net.typo-*"])
+
     def test_disable_drops_rule(self):
         target = LintTarget.for_netlist(_seeded_netlist())
         report = run_lint(target, disable=["net.dead-gate"])
@@ -172,6 +191,18 @@ class TestCli:
     def test_unknown_target_exits_2(self, capsys):
         assert main(["no-such-design"]) == 2
         assert "repro-lint" in capsys.readouterr().err
+
+    def test_glob_rule_selection(self, seeded_path, capsys):
+        exit_code = main(["--format", "json", "--rules", "net.*", seeded_path])
+        assert exit_code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["diagnostics"]
+        assert all(d["rule"].startswith("net.") for d in doc["diagnostics"])
+
+    def test_unknown_glob_exits_2_with_a_clear_error(self, seeded_path, capsys):
+        assert main(["--rules", "bogus.*", seeded_path]) == 2
+        err = capsys.readouterr().err
+        assert "matches nothing" in err
 
     def test_figure1_named_target_is_clean(self, capsys):
         assert main(["figure1"]) == 0

@@ -161,7 +161,7 @@ class TestCollapse:
         plan = emap.collapse([("rdead", 1), ("rhold", 0), ("rhold", 1)])
         assert "3 point(s)" in plan.summary()
         assert "1 injected" in plan.summary()
-        assert "1 statically benign" in plan.summary()
+        assert "1 proven benign" in plan.summary()
 
     def test_annotation_plan_bridges_to_the_runner(self, emap):
         from repro.fi.runner import AnnotationPlan
