@@ -6,7 +6,7 @@ export PYTHONPATH := src
 SMOKE := .repro_cache/smoke
 
 .PHONY: test test-fast test-resilience campaign-demo store-smoke prune-smoke \
-	dataflow-smoke bench lint lint-self ruff tables
+	dataflow-smoke dist-smoke bench lint lint-self ruff tables
 
 test:            ## full test suite
 	$(PYTHON) -m pytest
@@ -90,6 +90,13 @@ dataflow-smoke:  ## static dataflow layer: audit, 3-layer accounting, flip gate
 		$(SMOKE)/dataflow-full.jsonl $(SMOKE)/dataflow-static.jsonl
 	$(PYTHON) -m repro.store --db $(SMOKE)/dataflow-smoke.sqlite3 diff 1 2
 	$(PYTHON) -m repro.store --db $(SMOKE)/dataflow-smoke.sqlite3 show 2
+
+dist-smoke:      ## distributed service: 2 workers, one SIGKILLed, flip-free gate
+	mkdir -p $(SMOKE)
+	# Coordinator + two loopback injector workers over a 2000-point
+	# avr-fib campaign; one worker is SIGKILLed mid-run, and the merged
+	# shard journal must diff flip-free against a single-host reference.
+	$(PYTHON) scripts/dist_smoke.py --smoke-dir $(SMOKE)
 
 bench:           ## append a versioned perf snapshot (BENCH_<n+1>.json)
 	$(PYTHON) -m repro.eval bench --out-dir .

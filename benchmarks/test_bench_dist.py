@@ -1,0 +1,121 @@
+"""Benchmark: distributed campaign throughput scales with injector workers.
+
+The distributed service exists for fault tolerance, but sharding must
+also pay for itself: with two injector worker *processes* on a
+multi-core host, the same sampled avr-fib campaign must finish >= 1.5x
+faster than with one worker. Workers are real subprocesses (the
+simulation is CPU-bound Python — threads would serialize on the GIL),
+driven through the same ``serve``/``worker``/``submit`` CLI the smoke
+drill uses. Single-core machines skip the speedup assertion; the
+one-worker throughput benchmark itself runs everywhere.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+CPUS = len(os.sched_getaffinity(0))
+SAMPLES = 300
+SEED = 3
+TARGET = "avr-fib"
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ENV = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+
+
+def _spawn(*args):
+    return subprocess.Popen(
+        [sys.executable, "-m", *map(str, args)],
+        env=ENV, cwd=REPO_ROOT, start_new_session=True,
+    )
+
+
+def _kill(proc, signum=signal.SIGKILL):
+    if proc.poll() is None:
+        try:
+            os.killpg(proc.pid, signum)
+        except ProcessLookupError:
+            pass
+    proc.wait(timeout=60)
+
+
+def _campaign_seconds(tmp_path, num_workers, label):
+    """Wall time of one distributed campaign with ``num_workers`` injectors.
+
+    The clock starts at ``submit --wait`` — after every worker has
+    already built the target once via a small warm-up campaign — so the
+    measured interval is shard execution, not synthesis or compilation.
+    """
+    state_dir = tmp_path / f"state-{label}"
+    port_file = tmp_path / f"port-{label}"
+    coordinator = _spawn(
+        "repro.fi", "serve", "--host", "127.0.0.1", "--port", "0",
+        "--port-file", port_file, "--state-dir", state_dir, "--no-store",
+    )
+    workers = []
+    try:
+        deadline = time.monotonic() + 60
+        while not port_file.exists():
+            assert time.monotonic() < deadline, "coordinator never bound"
+            time.sleep(0.1)
+        port = int(port_file.read_text())
+        workers = [
+            _spawn("repro.fi", "worker", "--connect", f"127.0.0.1:{port}")
+            for _ in range(num_workers)
+        ]
+
+        def submit(name, sampled, shard_points):
+            subprocess.run(
+                [
+                    sys.executable, "-m", "repro.fi", "submit",
+                    "--connect", f"127.0.0.1:{port}",
+                    "--target", TARGET, "--sampled", str(sampled),
+                    "--seed", str(SEED), "--name", name,
+                    "--shard-points", str(shard_points),
+                    "--wait", "--poll", "0.2",
+                ],
+                env=ENV, cwd=REPO_ROOT, check=True, timeout=1200,
+            )
+
+        # Warm-up: one tiny shard per worker, so every worker pays its
+        # synthesis + compile + golden-run cost outside the clock.
+        submit("warmup", 2 * num_workers, 2)
+        start = time.perf_counter()
+        submit("measured", SAMPLES, 25)
+        return time.perf_counter() - start
+    finally:
+        for proc in workers:
+            _kill(proc)
+        _kill(coordinator, signal.SIGTERM)
+
+
+def test_bench_dist_throughput(benchmark, tmp_path):
+    """One-worker distributed campaign, end to end over the wire."""
+    runs = iter(range(100))
+
+    def distributed():
+        return _campaign_seconds(tmp_path, 1, f"bench-{next(runs)}")
+
+    seconds = benchmark.pedantic(distributed, rounds=1, iterations=1)
+    assert seconds > 0
+
+
+@pytest.mark.skipif(
+    CPUS < 2, reason=f"speedup needs >= 2 CPUs (have {CPUS})"
+)
+def test_bench_two_workers_beat_one(tmp_path):
+    """>= 1.5x over one worker on the same sampled fault list."""
+    one = _campaign_seconds(tmp_path, 1, "one")
+    two = _campaign_seconds(tmp_path, 2, "two")
+    speedup = one / two
+    print(
+        f"\n1 worker {one:.2f}s, 2 workers {two:.2f}s -> {speedup:.2f}x"
+    )
+    assert speedup >= 1.5, (
+        f"distributed speedup only {speedup:.2f}x "
+        f"({one:.2f}s with one worker, {two:.2f}s with two)"
+    )

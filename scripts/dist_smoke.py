@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Distributed-campaign smoke drill: coordinator, two workers, one kill.
+
+The acceptance sequence CI runs as ``make dist-smoke``:
+
+1. Single-host reference: ``fi run`` over a sampled avr-fib fault list.
+2. Coordinator plus two loopback injector workers; the same campaign
+   submitted over the wire and sharded across both.
+3. One worker SIGKILLed mid-campaign — lease expiry must reassign its
+   shard and the campaign must still complete.
+4. The merged shard journal and the reference ingest into one warehouse
+   and ``store diff`` must report zero outcome flips (exit 1 otherwise).
+
+Everything lands under ``--smoke-dir`` so CI uploads the reference
+journal, the sharded campaign directory (shard journals + relayed
+telemetry), and the warehouse as one artifact.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ENV = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+
+TARGET = "avr-fib"
+CAMPAIGN = "dist-smoke"
+
+
+def _log(message):
+    print(f"[dist-smoke] {message}", flush=True)
+
+
+def _run(*args, timeout=1200):
+    """One foreground CLI step; raises on nonzero exit."""
+    _log("$ " + " ".join(str(a) for a in args))
+    subprocess.run(
+        [sys.executable, "-m", *map(str, args)],
+        env=ENV, cwd=REPO_ROOT, check=True, timeout=timeout,
+    )
+
+
+def _spawn(*args):
+    _log("$ " + " ".join(str(a) for a in args) + " &")
+    return subprocess.Popen(
+        [sys.executable, "-m", *map(str, args)],
+        env=ENV, cwd=REPO_ROOT, start_new_session=True,
+    )
+
+
+def _kill(proc, signum=signal.SIGKILL):
+    if proc.poll() is None:
+        try:
+            os.killpg(proc.pid, signum)
+        except ProcessLookupError:
+            pass
+    proc.wait(timeout=60)
+
+
+def _wait_for(predicate, timeout, what):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.2)
+    raise SystemExit(f"dist-smoke: timed out waiting for {what}")
+
+
+def _journaled_records(directory):
+    """Completed injection records across every shard journal so far."""
+    count = 0
+    for path in directory.glob("shard-*.jsonl"):
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue  # torn tail mid-write
+                if doc.get("kind") == "record":
+                    count += 1
+    return count
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--smoke-dir", type=Path, default=Path(".repro_cache/smoke")
+    )
+    parser.add_argument(
+        "--kill-after", type=int, default=200, metavar="N",
+        help="SIGKILL one worker once N records are journaled (default 200)",
+    )
+    args = parser.parse_args(argv)
+
+    smoke = args.smoke_dir.resolve()
+    smoke.mkdir(parents=True, exist_ok=True)
+    reference = smoke / "dist-smoke-reference.jsonl"
+    state_dir = smoke / "dist-smoke-state"
+    warehouse = smoke / "dist-smoke.sqlite3"
+    port_file = smoke / "dist-smoke.port"
+    for stale in (reference, warehouse, port_file):
+        stale.unlink(missing_ok=True)
+    if state_dir.exists():
+        import shutil
+
+        shutil.rmtree(state_dir)
+
+    _log(f"single-host reference: {TARGET} x {args.points} points")
+    _run(
+        "repro.fi", "run", "--target", TARGET,
+        "--sampled", args.points, "--seed", args.seed,
+        "--journal", reference, "--no-store",
+    )
+
+    coordinator = _spawn(
+        "repro.fi", "serve", "--host", "127.0.0.1", "--port", "0",
+        "--port-file", port_file, "--state-dir", state_dir,
+        "--no-store", "--lease-seconds", "15",
+    )
+    workers = []
+    try:
+        _wait_for(port_file.exists, 60, "the coordinator's port file")
+        port = int(port_file.read_text())
+        _log(f"coordinator listening on 127.0.0.1:{port}")
+        workers = [
+            _spawn("repro.fi", "worker", "--connect", f"127.0.0.1:{port}")
+            for _ in range(2)
+        ]
+        _run(
+            "repro.fi", "submit", "--connect", f"127.0.0.1:{port}",
+            "--target", TARGET, "--sampled", args.points,
+            "--seed", args.seed, "--name", CAMPAIGN,
+        )
+        directory = state_dir / CAMPAIGN
+
+        _wait_for(
+            lambda: _journaled_records(directory) >= args.kill_after,
+            600, f"{args.kill_after} journaled records",
+        )
+        _log(f"SIGKILL worker pid {workers[0].pid} mid-campaign")
+        _kill(workers[0])
+
+        _wait_for(
+            lambda: (directory / "merged.jsonl").exists()
+            and coordinator.poll() is None,
+            900, "the merged journal",
+        )
+        _log("campaign complete; sharded status:")
+        _run("repro.fi", "status", "--journal", directory)
+    finally:
+        for proc in workers:
+            _kill(proc)
+        _kill(coordinator, signal.SIGTERM)
+
+    _log("warehouse diff: distributed merge vs single-host reference")
+    _run("repro.store", "--db", warehouse, "ingest", reference)
+    _run("repro.store", "--db", warehouse, "ingest", directory)
+    _run("repro.store", "--db", warehouse, "list")
+    # Exits 1 on any outcome flip between the two campaigns — the gate.
+    _run("repro.store", "--db", warehouse, "diff", "1", "2")
+    _log("zero outcome flips: distributed == single-host")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,20 @@ Usage::
     python -m repro.fi status --journal camp.jsonl  # progress + outcome tally
     python -m repro.fi report camp.jsonl            # self-contained HTML report
 
+    python -m repro.fi serve --state-dir campaigns --port 7712   # coordinator
+    python -m repro.fi worker --connect HOST:7712                # injector
+    python -m repro.fi submit --connect HOST:7712 \\
+        --target avr-fib --sampled 2000 --wait    # queue + wait for completion
+    python -m repro.fi status --journal campaigns/<name>   # sharded progress
+
+The distributed trio runs one coordinator (owns all durable state: the
+campaign manifest, per-shard crash-safe journals, relayed telemetry, and
+the merged journal) plus any number of stateless workers, possibly on
+other hosts. Workers that die mid-shard only cost the in-flight
+injection; a kill -9'd coordinator resumes exactly from its shard
+journals on restart; with zero workers the coordinator degrades to local
+execution.
+
 Pooled runs stream per-worker telemetry to ``<journal>.telemetry/`` by
 default (``--telemetry-dir`` overrides); ``--metrics-out`` writes the
 merged registry snapshot as JSON and ``--trace-out`` writes a Perfetto/
@@ -400,7 +414,182 @@ def _last_known_rate(telemetry_dir: Path, window: int = 20) -> float | None:
     return (len(tail) - 1) / elapsed
 
 
+def _parse_connect(value: str) -> tuple[str, int]:
+    """``host:port`` (or bare ``:port``/``port``) → ``(host, port)``."""
+    host, _, port = str(value).rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(
+            f"error: --connect expects host:port, got {value!r}"
+        ) from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.fi.service import Coordinator, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        shard_points=args.shard_points,
+        lease_seconds=args.lease_seconds,
+        max_shard_retries=args.max_shard_retries,
+        fallback_seconds=(
+            None if args.no_fallback else args.fallback_seconds
+        ),
+        port_file=args.port_file,
+    )
+    if not args.no_store:
+        if args.store is not None:
+            config.store_path = args.store
+        else:
+            from repro.store import default_db_path
+
+            config.store_path = default_db_path()
+    coordinator = Coordinator(config)
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: coordinator.request_shutdown())
+    return coordinator.run()
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fi.service import run_worker
+
+    host, port = _parse_connect(args.connect)
+    return run_worker(
+        host, port, reconnect_attempts=args.reconnect_attempts
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fi.service.protocol import Connection, handshake
+
+    host, port = _parse_connect(args.connect)
+    with Connection.connect(host, port) as connection:
+        handshake(connection, "client")
+        reply = connection.call(
+            {
+                "kind": "submit",
+                "target": args.target,
+                "sampled": args.sampled,
+                "seed": args.seed,
+                "name": args.name,
+                "shard_points": args.shard_points,
+                "max_cycles": args.max_cycles,
+            }
+        )
+        if reply.get("kind") != "queued":
+            print(f"error: {reply.get('reason', reply)}", file=sys.stderr)
+            return 2
+        name = reply["campaign"]
+        print(
+            f"queued campaign {name!r}: {reply['num_points']} point(s) in "
+            f"{reply['shards']} shard(s) "
+            f"(queue position {reply['queue_position']})"
+        )
+        if not args.wait:
+            return 0
+        while True:
+            time.sleep(args.poll)
+            status = connection.call({"kind": "status", "campaign": name})
+            rows = status.get("campaigns") or []
+            if not rows:
+                print(f"error: campaign {name!r} disappeared", file=sys.stderr)
+                return 2
+            campaign = rows[0]
+            print(
+                f"  {campaign['done']}/{campaign['total']} point(s), "
+                f"{status['workers']} worker(s) connected",
+                file=sys.stderr,
+            )
+            if campaign["status"] == "complete":
+                print(f"campaign {name!r} complete")
+                return 0
+            if campaign["status"] == "failed":
+                print(f"campaign {name!r} failed", file=sys.stderr)
+                return EXIT_INTERRUPTED
+
+
+def _sharded_status(directory: Path) -> int:
+    """``fi status`` over a sharded coordinator campaign directory."""
+    from repro.fi.service import load_campaign_dir
+
+    status = load_campaign_dir(directory)
+    manifest = status.manifest
+    print(f"campaign:  {directory} (sharded, status {manifest.status!r})")
+    print(
+        f"workload:  {manifest.workload} (netlist {manifest.netlist_hash})"
+    )
+    print(
+        f"keyed by:  seed={manifest.seed} "
+        f"golden_cycles={manifest.golden_cycles}"
+    )
+    print(
+        f"progress:  {status.done}/{status.total} injections recorded "
+        f"across {len(status.shards)} shard(s)"
+    )
+    print()
+    print(obs.aligned_table(
+        "shards",
+        ["shard", "points", "done", "state"],
+        [
+            [
+                f"{s.shard_id:04d}",
+                f"{s.start}..{s.stop - 1}",
+                f"{s.records}/{s.total}",
+                "complete" if s.complete else
+                ("partial" if s.records else "pending"),
+            ]
+            for s in status.shards
+        ],
+    ))
+    outcomes = status.outcomes
+    recorded = sum(outcomes.values()) or 1
+    print()
+    print(obs.aligned_table(
+        "outcomes (merged totals)",
+        ["outcome", "count", "share"],
+        [
+            [outcome.value, str(outcomes.get(outcome.value, 0)),
+             f"{100 * outcomes.get(outcome.value, 0) / recorded:.1f}%"]
+            for outcome in Outcome
+        ],
+    ))
+    print()
+    if status.merged_path is not None:
+        print(f"state:     complete — merged journal: {status.merged_path}")
+    elif status.complete:
+        print(
+            "state:     all shards complete — merge pending "
+            "(restart the coordinator or ingest the directory to merge)"
+        )
+    else:
+        print(
+            "state:     partial — restart the coordinator with the same "
+            "--state-dir to resume:"
+        )
+        print(
+            f"  python -m repro.fi serve --state-dir {directory.parent}"
+        )
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
+    if Path(args.journal).is_dir():
+        from repro.fi.service import is_campaign_dir
+
+        if is_campaign_dir(args.journal):
+            return _sharded_status(Path(args.journal))
+        raise SystemExit(
+            f"error: {args.journal} is a directory but not a sharded "
+            "campaign (no campaign.json manifest)"
+        )
     state = load_journal(args.journal)
     header = state.header
     total = header["num_points"]
@@ -589,6 +778,107 @@ def main(argv: list[str] | None = None) -> int:
         "<journal>.telemetry when it exists)",
     )
     report_p.set_defaults(func=_cmd_report)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the distributed campaign coordinator (owns all durable "
+        "state; restart with the same --state-dir to resume)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; see --port-file)",
+    )
+    serve_p.add_argument(
+        "--port-file", type=Path, default=None, metavar="FILE",
+        help="write the bound port here once listening",
+    )
+    serve_p.add_argument(
+        "--state-dir", type=Path, default=Path("campaigns"),
+        help="campaign directories (manifest + shard journals) root "
+        "(default: ./campaigns)",
+    )
+    serve_p.add_argument(
+        "--shard-points", type=int, default=250,
+        help="points per shard — the lease granularity (default 250)",
+    )
+    serve_p.add_argument(
+        "--lease-seconds", type=float, default=30.0,
+        help="silence after which a leased shard is reassigned (default 30)",
+    )
+    serve_p.add_argument(
+        "--max-shard-retries", type=int, default=3,
+        help="shard reassignments before its missing points are "
+        "quarantined (default 3)",
+    )
+    serve_p.add_argument(
+        "--fallback-seconds", type=float, default=10.0,
+        help="degrade to local execution after this long with no workers "
+        "(default 10)",
+    )
+    serve_p.add_argument(
+        "--no-fallback", action="store_true",
+        help="never execute locally — wait for workers indefinitely",
+    )
+    serve_p.add_argument(
+        "--store", type=Path, default=None, metavar="FILE",
+        help="results warehouse completed campaigns are ingested into "
+        "(default: .repro_cache/warehouse.sqlite3)",
+    )
+    serve_p.add_argument(
+        "--no-store", action="store_true",
+        help="skip the results-warehouse auto-ingest",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="run a stateless injector worker against a coordinator",
+    )
+    worker_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    worker_p.add_argument(
+        "--reconnect-attempts", type=int, default=10,
+        help="consecutive connection failures before giving up (default 10)",
+    )
+    worker_p.set_defaults(func=_cmd_worker)
+
+    submit_p = sub.add_parser(
+        "submit", help="queue a campaign on a running coordinator"
+    )
+    submit_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    submit_p.add_argument("--target", required=True)
+    submit_p.add_argument(
+        "--sampled", type=int, default=100, metavar="N",
+        help="number of uniformly sampled injection points (default 100)",
+    )
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument(
+        "--name", default=None,
+        help="campaign (directory) name; default derived from the target",
+    )
+    submit_p.add_argument(
+        "--shard-points", type=int, default=None,
+        help="points per shard (default: the coordinator's setting)",
+    )
+    submit_p.add_argument(
+        "--max-cycles", type=int, default=None,
+        help="per-injection cycle budget (default: the coordinator's)",
+    )
+    submit_p.add_argument(
+        "--wait", action="store_true",
+        help="poll the coordinator until the campaign completes",
+    )
+    submit_p.add_argument(
+        "--poll", type=float, default=2.0,
+        help="--wait poll interval in seconds (default 2)",
+    )
+    submit_p.set_defaults(func=_cmd_submit)
 
     args = parser.parse_args(argv)
     if getattr(args, "verbose", False):

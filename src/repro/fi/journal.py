@@ -49,7 +49,20 @@ class JournalError(Exception):
 
 
 class JournalMismatch(JournalError):
-    """The journal belongs to a different campaign than the one resuming."""
+    """The journal belongs to a different campaign than the one resuming.
+
+    :attr:`mismatches` lists the offending resume-key fields as
+    ``(field, found, expected)`` triples — *found* is what the journal on
+    disk says, *expected* is what the resuming campaign derived.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        mismatches: list[tuple[str, object, object]] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.mismatches = list(mismatches or [])
 
 
 @dataclass
@@ -140,16 +153,28 @@ def load_journal(path: str | Path) -> JournalState:
 
 
 def check_resumable(state: JournalState, expected_header: dict) -> None:
-    """Refuse to resume a journal that keys a different campaign."""
+    """Refuse to resume a journal that keys a different campaign.
+
+    The raised :class:`JournalMismatch` prints every offending resume-key
+    field with the journal's value and the expected value side by side, so
+    a mismatched shard or stale journal is diagnosable without re-deriving
+    any key by hand.
+    """
     mismatches = [
-        f"{key}: journal={state.header.get(key)!r} expected={expected_header[key]!r}"
+        (key, state.header.get(key), expected_header[key])
         for key in MATCH_KEYS
         if state.header.get(key) != expected_header[key]
     ]
     if mismatches:
+        width = max(len(key) for key, _, _ in mismatches)
+        lines = [
+            f"  {key.ljust(width)}  found={found!r}  expected={expected!r}"
+            for key, found, expected in mismatches
+        ]
         raise JournalMismatch(
             "journal does not match this campaign — refusing to resume "
-            "(delete the journal to start over): " + "; ".join(mismatches)
+            "(delete the journal to start over):\n" + "\n".join(lines),
+            mismatches,
         )
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import importlib
 import os
+import random
 import signal
 import sys
 import threading
@@ -116,6 +117,13 @@ class RunnerConfig:
     max_retries: int = 1
     #: Base sleep before re-submitting a failed point (doubles per attempt).
     retry_backoff: float = 0.05
+    #: Backoff ceiling (seconds): the exponential delay never exceeds this.
+    retry_backoff_cap: float = 30.0
+    #: Multiplicative jitter fraction: each backoff sleep is stretched by a
+    #: uniform factor in ``[1, 1 + retry_jitter]`` so simultaneous retries
+    #: (many shards, many workers) never thundering-herd in lockstep.
+    #: 0 restores the old deterministic delays.
+    retry_jitter: float = 0.25
     #: Journal fsync batching (records per fsync).
     fsync_interval: int = 16
     #: Cycle budget for the golden run (Campaign max_cycles).
@@ -219,6 +227,51 @@ class RunReport:
         return f"python -m repro.fi resume --journal {self.journal_path}"
 
 
+def backoff_delay(
+    attempt: int,
+    base: float,
+    cap: float = 30.0,
+    jitter: float = 0.25,
+    rng: random.Random | None = None,
+) -> float:
+    """Bounded exponential backoff with multiplicative jitter.
+
+    ``attempt`` counts from 1. The deterministic part doubles per attempt
+    and is clamped to ``cap``; the returned delay is that value stretched
+    by a uniform factor in ``[1, 1 + jitter]``, so the result is always in
+    ``[min(cap, base * 2**(attempt-1)),
+    min(cap, base * 2**(attempt-1)) * (1 + jitter)]``. Jittering *up* from
+    the deterministic floor keeps the old lower bound (retries never fire
+    early) while decorrelating simultaneous retries across shards and
+    workers.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt counts from 1, got {attempt}")
+    delay = min(cap, base * (2 ** (attempt - 1)))
+    if jitter <= 0 or delay <= 0:
+        return delay
+    return delay * (1.0 + (rng or random).uniform(0.0, jitter))
+
+
+def sample_points(
+    netlist, golden_cycles: int, num_samples: int, seed: int = 0
+) -> list[tuple[str, int]]:
+    """Uniformly sampled ``(dff, cycle)`` injection points.
+
+    The single source of the sampling order: :meth:`CampaignRunner.sample_points`
+    and the distributed coordinator both delegate here, so a distributed
+    campaign over the same target/seed injects the exact point list a
+    single-host ``fi run`` would — the precondition for their journals
+    being record-for-record comparable.
+    """
+    rng = random.Random(seed)
+    names = list(netlist.dffs)
+    return [
+        (rng.choice(names), rng.randrange(golden_cycles))
+        for _ in range(num_samples)
+    ]
+
+
 def load_result(journal_path: str | Path) -> CampaignResult:
     """Load a (possibly partial) journal into a valid CampaignResult."""
     state = load_journal(journal_path)
@@ -296,14 +349,10 @@ class CampaignRunner:
         self, num_samples: int, seed: int = 0
     ) -> list[tuple[str, int]]:
         """The exact point list ``Campaign.run_sampled`` would inject."""
-        import random
-
-        rng = random.Random(seed)
-        names = list(self.target.simulator.netlist.dffs)
-        return [
-            (rng.choice(names), rng.randrange(self.golden_cycles))
-            for _ in range(num_samples)
-        ]
+        return sample_points(
+            self.target.simulator.netlist, self.golden_cycles,
+            num_samples, seed,
+        )
 
     def wall_timeout(self) -> float:
         """Per-injection wall-clock budget (seconds)."""
@@ -624,6 +673,15 @@ class CampaignRunner:
                         annotation={"pruned_by": source, "equivalence_rep": point},
                     )
 
+    def _retry_delay(self, attempt: int) -> float:
+        """The jittered backoff sleep before re-running a failed attempt."""
+        return backoff_delay(
+            attempt,
+            self.config.retry_backoff,
+            cap=self.config.retry_backoff_cap,
+            jitter=self.config.retry_jitter,
+        )
+
     def _quarantine(
         self,
         journal: CampaignJournal,
@@ -662,7 +720,7 @@ class CampaignRunner:
                         break
                     report.retries += 1
                     counter("campaign.retries").inc()
-                    time.sleep(self.config.retry_backoff * (2 ** (attempts - 1)))
+                    time.sleep(self._retry_delay(attempts))
                 else:
                     self._record(
                         journal, done, report, index, points[index],
@@ -846,7 +904,5 @@ class CampaignRunner:
         else:
             report.retries += 1
             counter("campaign.retries").inc()
-            time.sleep(
-                self.config.retry_backoff * (2 ** (attempts[index] - 1))
-            )
+            time.sleep(self._retry_delay(attempts[index]))
             queue.append(index)

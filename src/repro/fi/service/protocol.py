@@ -1,0 +1,199 @@
+"""The coordinator/injector wire protocol: length-prefixed JSON frames.
+
+Every message is one JSON object encoded as UTF-8 and prefixed with a
+4-byte big-endian length. Both endpoints speak the same frames; only the
+transport differs — the coordinator reads them through asyncio streams
+(:func:`read_message` / :func:`send_message`), workers and submit clients
+through a blocking socket (:class:`Connection`).
+
+Session shape (strict request/response lockstep, client side initiates):
+
+- **handshake** — the client sends ``hello`` (protocol version, role,
+  pid, and its :func:`repro.obs.remote.hello_record` clock pair so the
+  coordinator can relay its telemetry); the coordinator answers
+  ``welcome`` or an ``error`` frame and closes. A version mismatch is
+  always an error — there is no negotiation.
+- **worker loop** — ``request`` → ``shard`` (target spec, sub-point list,
+  outstanding indices, lease terms) | ``idle`` (nothing eligible; retry
+  after ``delay``) | ``shutdown``. While executing a shard the worker
+  streams ``record`` frames (one per injection outcome, with optional
+  piggybacked telemetry batches) and periodic ``heartbeat`` frames; each
+  is answered ``ok`` — or ``abort`` when the lease has expired and the
+  shard was reassigned, telling the stale worker to drop the shard
+  immediately. ``shard_done`` closes the shard out.
+- **client loop** — ``submit`` enqueues a campaign (FIFO), ``status``
+  reports the queue and per-shard progress.
+
+Frames are capped at :data:`MAX_FRAME` bytes; an oversized or torn frame
+raises :class:`ProtocolError` — connections are cheap, state is not, so
+endpoints drop the connection and re-handshake rather than resynchronize.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (a 100k-point shard is ~3 MiB of JSON).
+MAX_FRAME = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """The peer broke the framing or the message contract."""
+
+
+def encode_frame(doc: dict) -> bytes:
+    """One message as its wire bytes (length prefix + JSON payload)."""
+    payload = json.dumps(doc, separators=(",", ":")).encode()
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME} cap"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """The JSON object inside one frame's payload bytes."""
+    try:
+        doc = json.loads(payload)
+    except ValueError as exc:
+        raise ProtocolError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "kind" not in doc:
+        raise ProtocolError("frame payload is not a message object")
+    return doc
+
+
+def _check_length(raw: bytes) -> int:
+    (length,) = _LENGTH.unpack(raw)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME} cap"
+        )
+    return length
+
+
+# ----------------------------------------------------------------------
+# asyncio endpoint (coordinator side)
+# ----------------------------------------------------------------------
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """The next message, or ``None`` on clean EOF before a frame starts.
+
+    EOF *inside* a frame is a torn frame and raises :class:`ProtocolError`
+    — the peer died mid-send and the connection is unusable.
+    """
+    try:
+        raw = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame header") from exc
+    length = _check_length(raw)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside a frame body") from exc
+    return decode_payload(payload)
+
+
+async def send_message(writer: asyncio.StreamWriter, doc: dict) -> None:
+    """Write one message and drain the transport."""
+    writer.write(encode_frame(doc))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Blocking endpoint (worker / submit client side)
+# ----------------------------------------------------------------------
+class Connection:
+    """One blocking protocol connection (worker or submit client side)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not TCP (e.g. a socketpair in tests)
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: float = 10.0
+    ) -> Connection:
+        """Open a TCP connection (raises ``OSError`` when unreachable)."""
+        return cls(socket.create_connection((host, port), timeout=timeout))
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._sock.settimeout(timeout)
+
+    def _recv_exactly(self, length: int) -> bytes:
+        chunks = []
+        remaining = length
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise ProtocolError(
+                    "connection closed inside a frame"
+                    if chunks or length != _LENGTH.size or remaining != length
+                    else "connection closed"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def send(self, doc: dict) -> None:
+        self._sock.sendall(encode_frame(doc))
+
+    def recv(self) -> dict:
+        raw = self._recv_exactly(_LENGTH.size)
+        return decode_payload(self._recv_exactly(_check_length(raw)))
+
+    def call(self, doc: dict) -> dict:
+        """Send one message and return its (lockstep) reply."""
+        self.send(doc)
+        return self.recv()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> Connection:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def handshake(connection: Connection, role: str, **extra: object) -> dict:
+    """Run the client side of the version handshake; returns the welcome.
+
+    ``extra`` fields travel inside the hello (workers send their
+    :func:`repro.obs.remote.hello_record` under ``"telemetry"`` so the
+    coordinator can open their relayed telemetry stream). An ``error``
+    reply — e.g. a protocol-version mismatch — raises
+    :class:`ProtocolError` with the coordinator's reason.
+    """
+    import os
+
+    reply = connection.call(
+        {
+            "kind": "hello",
+            "version": PROTOCOL_VERSION,
+            "role": role,
+            "pid": os.getpid(),
+            **extra,
+        }
+    )
+    if reply.get("kind") == "error":
+        raise ProtocolError(
+            f"coordinator refused the handshake: {reply.get('reason')}"
+        )
+    if reply.get("kind") != "welcome":
+        raise ProtocolError(f"expected welcome, got {reply.get('kind')!r}")
+    return reply

@@ -1,0 +1,251 @@
+"""The remote injector worker: a stateless shard executor over TCP.
+
+A worker owns no durable state at all — every outcome it produces is
+streamed to the coordinator record by record, and the coordinator journals
+them. That makes the worker's failure story trivial: SIGKILL one mid-shard
+and the coordinator's lease machinery re-runs only the shard's missing
+points on another worker; nothing is lost but the in-flight injection.
+
+Per shard the worker runs the existing inline injection path — build the
+target from the shipped :class:`~repro.fi.runner.TargetSpec` (cached per
+spec, so consecutive shards of one campaign reuse the compiled simulator
+and golden run), inject each outstanding point with the runner's bounded
+retry + jittered backoff, and stream one ``record`` frame per outcome.
+Telemetry (:mod:`repro.obs.remote` spans and metrics) is buffered locally
+and piggybacked on those frames; the coordinator relays it into the
+campaign's telemetry directory, so dashboards, Prometheus export, and the
+warehouse see remote workers exactly like local pool workers.
+
+A worker survives coordinator restarts: a dropped connection is retried
+with jittered backoff for a bounded number of consecutive attempts before
+the worker gives up.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.fi.campaign import Campaign
+from repro.fi.classify import Outcome
+from repro.fi.runner import TargetSpec, backoff_delay
+from repro.fi.service import protocol
+from repro.fi.service.protocol import Connection, ProtocolError
+from repro.obs import counter, events, remote, span
+
+
+class ShardExecutor:
+    """Builds (and caches) campaigns per target spec; injects shard points.
+
+    Also used by the coordinator's local-fallback path, so the remote and
+    degraded execution modes share one code path.
+    """
+
+    def __init__(self) -> None:
+        self._campaigns: dict[tuple[str, int], Campaign] = {}
+
+    def campaign_for(self, spec_doc: dict, max_cycles: int) -> Campaign:
+        """The (cached) campaign for one target spec.
+
+        Building runs synthesis, compile, and the golden execution — the
+        expensive part of taking a first shard of a new campaign; every
+        later shard with the same spec is free.
+        """
+        import json
+
+        key = (json.dumps(spec_doc, sort_keys=True), max_cycles)
+        if key not in self._campaigns:
+            with span("service/build-target"):
+                target = TargetSpec.from_dict(spec_doc).build()
+                self._campaigns[key] = Campaign(target, max_cycles=max_cycles)
+        return self._campaigns[key]
+
+    def inject_with_retry(
+        self,
+        campaign: Campaign,
+        dff_name: str,
+        cycle: int,
+        max_retries: int,
+        retry_backoff: float,
+        retry_jitter: float,
+    ) -> tuple[Outcome, int, float, str | None]:
+        """One point through the inline retry path.
+
+        Returns ``(outcome, attempts, seconds, error)``; exhausted retries
+        quarantine the point as a terminal :attr:`Outcome.ERROR` record —
+        the same poison-point semantics as the single-host runner.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            start = time.monotonic()
+            try:
+                outcome = campaign.inject(dff_name, cycle)
+            except Exception as exc:  # noqa: BLE001 - quarantine boundary
+                error = f"{type(exc).__name__}: {exc}"
+                if attempts > max_retries:
+                    counter("service.worker.quarantined").inc()
+                    return (
+                        Outcome.ERROR, attempts,
+                        time.monotonic() - start, error,
+                    )
+                counter("service.worker.retries").inc()
+                time.sleep(
+                    backoff_delay(attempts, retry_backoff, jitter=retry_jitter)
+                )
+            else:
+                return outcome, attempts, time.monotonic() - start, None
+
+
+def _run_shard(
+    connection: Connection,
+    shard_msg: dict,
+    executor: ShardExecutor,
+    buffer: remote.TelemetryBuffer,
+) -> None:
+    """Execute one leased shard, streaming records in lockstep.
+
+    Raises :class:`ProtocolError`/``OSError`` when the connection dies (the
+    caller reconnects; the coordinator requeues the shard). An ``abort``
+    reply — the lease expired and the shard was reassigned — drops the
+    rest of the shard silently.
+    """
+    campaign_name = shard_msg["campaign"]
+    shard_id = shard_msg["shard"]
+    points = [(dff, int(cycle)) for dff, cycle in shard_msg["points"]]
+    campaign = executor.campaign_for(
+        shard_msg["target"], int(shard_msg["max_cycles"])
+    )
+    heartbeat_seconds = float(shard_msg.get("heartbeat_seconds", 5.0))
+    last_sent = time.monotonic()
+    with span(
+        "service/shard", campaign=campaign_name, shard=shard_id,
+        points=len(shard_msg["indices"]),
+    ):
+        for index in shard_msg["indices"]:
+            if time.monotonic() - last_sent > heartbeat_seconds:
+                reply = connection.call(
+                    {
+                        "kind": "heartbeat",
+                        "campaign": campaign_name,
+                        "shard": shard_id,
+                    }
+                )
+                last_sent = time.monotonic()
+                if reply.get("kind") == "abort":
+                    return
+            dff_name, cycle = points[index]
+            buffer.emit("inject-start", i=index, dff=dff_name, cycle=cycle)
+            outcome, attempts, seconds, error = executor.inject_with_retry(
+                campaign, dff_name, cycle,
+                max_retries=int(shard_msg.get("max_retries", 1)),
+                retry_backoff=float(shard_msg.get("retry_backoff", 0.05)),
+                retry_jitter=float(shard_msg.get("retry_jitter", 0.25)),
+            )
+            buffer.flush_metrics()
+            record = {
+                "kind": "record",
+                "campaign": campaign_name,
+                "shard": shard_id,
+                "i": index,
+                "dff": dff_name,
+                "cycle": cycle,
+                "outcome": outcome.value,
+                "attempts": attempts,
+                "seconds": round(seconds, 6),
+                "worker": os.getpid(),
+                "telemetry": buffer.drain(),
+            }
+            if error is not None:
+                record["error"] = error
+            reply = connection.call(record)
+            last_sent = time.monotonic()
+            if reply.get("kind") == "abort":
+                return
+    buffer.flush_metrics()
+    connection.call(
+        {
+            "kind": "shard_done",
+            "campaign": campaign_name,
+            "shard": shard_id,
+            "telemetry": buffer.drain(),
+        }
+    )
+
+
+def run_worker(
+    host: str,
+    port: int,
+    reconnect_attempts: int = 10,
+    reconnect_backoff: float = 0.5,
+    reconnect_cap: float = 5.0,
+    log=None,
+) -> int:
+    """The worker main loop; returns a process exit code.
+
+    Connects (with a version handshake), then alternates between asking
+    for work and executing shards until the coordinator says ``shutdown``.
+    A lost connection — coordinator crash or restart — is retried with
+    jittered backoff up to ``reconnect_attempts`` consecutive failures, so
+    workers ride out a coordinator kill -9 + resume without operator help.
+    """
+    log = log or (lambda msg: print(msg, file=sys.stderr))
+    executor = ShardExecutor()
+    buffer = remote.TelemetryBuffer()
+    events.install_sink(buffer)
+    failures = 0
+    try:
+        while True:
+            try:
+                connection = Connection.connect(host, port)
+            except OSError as exc:
+                failures += 1
+                if failures > reconnect_attempts:
+                    log(
+                        f"worker: giving up after {failures} failed "
+                        f"connection attempts to {host}:{port} ({exc})"
+                    )
+                    return 1
+                delay = backoff_delay(
+                    failures, reconnect_backoff, cap=reconnect_cap
+                )
+                time.sleep(delay)
+                continue
+            try:
+                protocol.handshake(
+                    connection, "worker",
+                    telemetry=remote.hello_record("worker"),
+                )
+                failures = 0
+                log(f"worker {os.getpid()}: connected to {host}:{port}")
+                while True:
+                    reply = connection.call({"kind": "request"})
+                    kind = reply.get("kind")
+                    if kind == "shard":
+                        _run_shard(connection, reply, executor, buffer)
+                    elif kind == "idle":
+                        # Blocking sleep is fine: there is nothing else to do.
+                        time.sleep(float(reply.get("delay", 1.0)))
+                    elif kind == "shutdown":
+                        log(f"worker {os.getpid()}: coordinator shut down")
+                        return 0
+                    else:
+                        raise ProtocolError(
+                            f"unexpected reply kind {kind!r} to a request"
+                        )
+            except (ProtocolError, OSError) as exc:
+                failures += 1
+                counter("service.worker.reconnects").inc()
+                log(f"worker {os.getpid()}: connection lost ({exc}), retrying")
+                if failures > reconnect_attempts:
+                    log(f"worker: giving up after {failures} failures")
+                    return 1
+                time.sleep(
+                    backoff_delay(failures, reconnect_backoff, cap=reconnect_cap)
+                )
+            finally:
+                connection.close()
+    finally:
+        events.remove_sink(buffer)
+        buffer.close()

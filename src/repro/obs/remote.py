@@ -64,6 +64,56 @@ def worker_file(directory: str | Path, pid: int | None = None) -> Path:
     return Path(directory) / f"worker-{pid if pid is not None else os.getpid()}.jsonl"
 
 
+def hello_record(role: str, pid: int | None = None) -> dict:
+    """The hello line opening every telemetry stream.
+
+    Carries this process's ``(monotonic, wall)`` clock pair so the
+    collector can align its span stamps onto the shared timeline. The
+    distributed campaign service sends this same record over the wire in
+    its handshake, and the coordinator replays it verbatim as the first
+    line of the relayed worker file — so remote workers merge exactly like
+    local pool workers.
+    """
+    return {
+        "kind": "hello",
+        "version": FORMAT_VERSION,
+        "role": role,
+        "pid": pid if pid is not None else os.getpid(),
+        "mono": time.monotonic(),
+        "wall": time.time(),
+    }
+
+
+def metrics_snapshot(registry: MetricsRegistry | None = None) -> dict:
+    """One cumulative registry snapshot as a telemetry record.
+
+    Counters/gauges ship whole; histograms ship exact aggregates plus a
+    capped sample prefix. Snapshots are cumulative, so the collector only
+    ever reads the *last* one per stream — a lost tail costs recency, never
+    correctness of earlier lines.
+    """
+    registry = registry or get_registry()
+    histograms = {}
+    for name, hist in registry.histograms.items():
+        snap: dict[str, object] = {
+            "count": hist.count,
+            "sum": hist.total,
+            "min": hist.min if hist.count else 0.0,
+            "max": hist.max if hist.count else 0.0,
+        }
+        samples = hist.samples
+        if samples:
+            snap["samples"] = samples[:_SAMPLES_PER_FLUSH]
+        histograms[name] = snap
+    return {
+        "kind": "metrics",
+        "mono": time.monotonic(),
+        "counters": {n: c.value for n, c in registry.counters.items()},
+        "gauges": {n: g.value for n, g in registry.gauges.items()},
+        "histograms": histograms,
+    }
+
+
 class TelemetryWriter:
     """Append-side of one process's telemetry file.
 
@@ -72,24 +122,30 @@ class TelemetryWriter:
     finished span stream into the file with its monotonic stamps.
     """
 
-    def __init__(self, path: str | Path, role: str = "worker") -> None:
+    def __init__(
+        self, path: str | Path, role: str = "worker", hello: dict | None = None
+    ) -> None:
+        """Open ``path`` and write its hello line.
+
+        ``hello`` overrides the hello record — the distributed-campaign
+        coordinator passes the record a *remote* worker sent in its
+        handshake, so the relayed file carries that worker's pid and clock
+        pair instead of the coordinator's.
+        """
         self.path = Path(path)
-        self.role = role
-        self.pid = os.getpid()
+        hello = dict(hello) if hello is not None else hello_record(role)
+        self.role = str(hello.get("role", role))
+        self.pid = int(hello.get("pid", os.getpid()))
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Only a fresh file gets the hello — appending to an existing
+        # stream (a resumed campaign, a reconnected remote worker) must not
+        # inject a second hello line mid-file.
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._fd: int | None = os.open(
             self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
         )
-        self.write(
-            {
-                "kind": "hello",
-                "version": FORMAT_VERSION,
-                "role": role,
-                "pid": self.pid,
-                "mono": time.monotonic(),
-                "wall": time.time(),
-            }
-        )
+        if fresh:
+            self.write(hello)
 
     def write(self, record: dict[str, object]) -> None:
         """Append one record as a single whole-line ``os.write``."""
@@ -102,41 +158,49 @@ class TelemetryWriter:
         self.write({"kind": kind, "mono": time.monotonic(), **fields})
 
     def flush_metrics(self, registry: MetricsRegistry | None = None) -> None:
-        """Append a cumulative snapshot of the registry's metrics.
-
-        Counters/gauges ship whole; histograms ship exact aggregates plus a
-        capped sample prefix. Snapshots are cumulative, so the collector
-        only ever reads the *last* one per file — a lost tail costs recency,
-        never correctness of earlier lines.
-        """
-        registry = registry or get_registry()
-        histograms = {}
-        for name, hist in registry.histograms.items():
-            snap: dict[str, object] = {
-                "count": hist.count,
-                "sum": hist.total,
-                "min": hist.min if hist.count else 0.0,
-                "max": hist.max if hist.count else 0.0,
-            }
-            samples = hist.samples
-            if samples:
-                snap["samples"] = samples[:_SAMPLES_PER_FLUSH]
-            histograms[name] = snap
-        self.write(
-            {
-                "kind": "metrics",
-                "mono": time.monotonic(),
-                "counters": {n: c.value for n, c in registry.counters.items()},
-                "gauges": {n: g.value for n, g in registry.gauges.items()},
-                "histograms": histograms,
-            }
-        )
+        """Append a cumulative snapshot of the registry's metrics
+        (see :func:`metrics_snapshot`)."""
+        self.write(metrics_snapshot(registry))
 
     def close(self) -> None:
         """Release the descriptor (O_APPEND writes need no extra flush)."""
         if self._fd is not None:
             os.close(self._fd)
             self._fd = None
+
+
+class TelemetryBuffer:
+    """In-memory telemetry stream for relaying records over a socket.
+
+    Duck-compatible with :class:`TelemetryWriter` (``write`` / ``emit`` /
+    ``flush_metrics`` / ``close``) but appends records to a list instead of
+    a file. A remote injector worker installs one as its events sink,
+    :meth:`drain`\\ s it after every injection, and ships the drained batch
+    inside its next wire message; the coordinator appends the batch to a
+    relayed per-worker JSONL file, so :func:`collect` and everything
+    downstream (dashboard, Prometheus export, warehouse ingest) work on
+    remote campaigns unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def emit(self, kind: str, **fields: object) -> None:
+        self.write({"kind": kind, "mono": time.monotonic(), **fields})
+
+    def flush_metrics(self, registry: MetricsRegistry | None = None) -> None:
+        self.write(metrics_snapshot(registry))
+
+    def drain(self) -> list[dict]:
+        """Take every buffered record, leaving the buffer empty."""
+        drained, self.records = self.records, []
+        return drained
+
+    def close(self) -> None:
+        self.records.clear()
 
 
 # ----------------------------------------------------------------------

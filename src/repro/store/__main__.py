@@ -41,9 +41,18 @@ EXIT_DIRTY = 1
 
 
 def _detect_kind(path: Path) -> str:
-    """``journal`` or ``bench``, sniffed from the file's first record."""
+    """``journal``, ``bench``, or ``campaign-dir``, sniffed from the path."""
     if not path.exists():
         raise StoreError(f"no such file: {path}")
+    if path.is_dir():
+        from repro.fi.service import is_campaign_dir
+
+        if is_campaign_dir(path):
+            return "campaign-dir"
+        raise StoreError(
+            f"{path} is a directory but not a sharded campaign "
+            "(no campaign.json manifest)"
+        )
     with path.open("r", encoding="utf-8", errors="replace") as fh:
         head = fh.readline()
     try:
@@ -70,7 +79,25 @@ def _cmd_ingest(store: ResultsStore, args: argparse.Namespace) -> int:
     for raw in args.paths:
         path = Path(raw)
         kind = _detect_kind(path)
-        if kind == "journal":
+        if kind == "campaign-dir":
+            # A sharded coordinator campaign: merge the shard journals
+            # (no-op when merged.jsonl already exists), then ingest the
+            # merged journal with its relayed telemetry.
+            from repro.fi.service import merge_campaign_dir
+
+            merged = merge_campaign_dir(path)
+            telemetry = args.telemetry_dir or (
+                path / "telemetry" if (path / "telemetry").is_dir() else None
+            )
+            cid = store.ingest_journal(
+                merged, telemetry_dir=telemetry, label=args.label
+            )
+            tally = store.outcome_tally(cid)
+            print(
+                f"ingested distributed campaign #{cid} from {path} "
+                f"({sum(tally.values())} outcome(s))"
+            )
+        elif kind == "journal":
             cid = store.ingest_journal(
                 path, telemetry_dir=args.telemetry_dir, label=args.label
             )
@@ -96,6 +123,8 @@ def _cmd_list(store: ResultsStore, args: argparse.Namespace) -> int:
                 space += "+defuse"
             if c.static:
                 space += "+static"
+            if c.distributed:
+                space += "+dist"
             rows.append([
                 str(c.id),
                 c.workload,
@@ -148,6 +177,7 @@ def _cmd_show(store: ResultsStore, args: argparse.Namespace) -> int:
         f"{'pruned-space' if c.pruned else 'full-space'} sample"
         f"{', def-use collapsed' if c.defuse else ''}"
         f"{', static collapsed' if c.static else ''}"
+        f"{', distributed (merged from shards)' if c.distributed else ''}"
     )
     if c.space_points:
         pruned = c.pruned_points or 0

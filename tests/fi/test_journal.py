@@ -234,3 +234,23 @@ class TestResumeKeying:
     def test_points_hash_is_order_sensitive(self):
         a = [("x", 1), ("y", 2)]
         assert points_hash(a) != points_hash(list(reversed(a)))
+
+    def test_mismatch_reports_found_and_expected_side_by_side(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        _write(path)
+        with pytest.raises(JournalMismatch) as excinfo:
+            check_resumable(
+                load_journal(path), _header(seed=99, workload="other")
+            )
+        exc = excinfo.value
+        # Machine-readable: every offending key as (field, found, expected).
+        assert ("seed", 7, 99) in exc.mismatches
+        assert ("workload", "accum", "other") in exc.mismatches
+        assert len(exc.mismatches) == 2
+        # Human-readable: one side-by-side line per offending key.
+        message = str(exc)
+        assert "seed" in message
+        assert "found=7" in message and "expected=99" in message
+        assert "found='accum'" in message and "expected='other'" in message
+        # Matching keys are not reported as noise.
+        assert "netlist_hash" not in message

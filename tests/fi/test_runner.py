@@ -6,6 +6,8 @@ accumulator's golden run is 9 cycles; its ``trip`` flip-flop reads 1 only
 when injected, which lets a target misbehave on exactly one point.
 """
 
+import random
+
 import pytest
 
 from repro import obs
@@ -19,6 +21,7 @@ from repro.fi import (
     load_journal,
     load_result,
 )
+from repro.fi.runner import backoff_delay
 
 from .runner_targets import TRIP_FF, accum_target
 
@@ -48,6 +51,54 @@ def _record_tuples(result):
 @pytest.fixture(scope="module")
 def inline_runner():
     return CampaignRunner(ACCUM, _config())
+
+
+class TestBackoffDelay:
+    """Bounds of the shared jittered-backoff helper (runner retries and
+    the distributed service's lease reassignment both sleep on it)."""
+
+    def test_doubles_per_attempt_without_jitter(self):
+        assert [backoff_delay(n, 0.5, jitter=0.0) for n in (1, 2, 3, 4)] == [
+            0.5,
+            1.0,
+            2.0,
+            4.0,
+        ]
+
+    def test_cap_clamps_the_deterministic_part(self):
+        assert backoff_delay(50, 1.0, cap=30.0, jitter=0.0) == 30.0
+
+    def test_jitter_stays_within_documented_bounds(self):
+        rng = random.Random(1234)
+        for attempt in range(1, 7):
+            floor = min(30.0, 0.25 * 2 ** (attempt - 1))
+            samples = [
+                backoff_delay(attempt, 0.25, jitter=0.25, rng=rng)
+                for _ in range(200)
+            ]
+            assert all(floor <= s <= floor * 1.25 for s in samples)
+            # The jitter genuinely decorrelates: not one repeated value.
+            assert len(set(samples)) == len(samples)
+
+    def test_jittered_cap_may_exceed_cap_but_never_its_stretch(self):
+        # Jitter stretches *after* clamping: the delay can exceed the cap,
+        # but only by the jitter factor.
+        rng = random.Random(7)
+        samples = [
+            backoff_delay(50, 1.0, cap=2.0, jitter=0.5, rng=rng)
+            for _ in range(100)
+        ]
+        assert all(2.0 <= s <= 3.0 for s in samples)
+        assert any(s > 2.0 for s in samples)
+
+    def test_seeded_rng_is_deterministic(self):
+        a = [backoff_delay(n, 0.1, rng=random.Random(42)) for n in (1, 2, 3)]
+        b = [backoff_delay(n, 0.1, rng=random.Random(42)) for n in (1, 2, 3)]
+        assert a == b
+
+    def test_attempt_counts_from_one(self):
+        with pytest.raises(ValueError, match="counts from 1"):
+            backoff_delay(0, 0.5)
 
 
 class TestTargetSpec:

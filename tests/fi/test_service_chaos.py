@@ -1,0 +1,237 @@
+"""Chaos tests of the distributed campaign service: kill real processes.
+
+These drive ``python -m repro.fi serve|worker|submit`` as subprocesses,
+SIGKILL a worker mid-shard and kill -9 the coordinator mid-campaign, and
+check the acceptance criteria: the campaign still completes, and the
+merged journal is record-for-record identical to a single-host ``fi run``
+of the same spec.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join([os.path.join(REPO_ROOT, "src"), REPO_ROOT]),
+)
+TARGET = "tests.fi.runner_targets:accum_target"
+#: Same workload/netlist, ~20 ms per simulated cycle — slow enough that a
+#: test can reliably kill a process while the campaign is mid-flight.
+SLOW_TARGET = "tests.fi.runner_targets:slow_accum_target"
+SAMPLED = 80
+SEED = 5
+
+
+def _popen(*args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.fi", *args],
+        env=ENV,
+        cwd=REPO_ROOT,
+        start_new_session=True,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _serve(state_dir, port, *extra):
+    return _popen(
+        "serve", "--host", "127.0.0.1", "--port", str(port),
+        "--state-dir", str(state_dir), "--no-store",
+        "--shard-points", "10", "--lease-seconds", "5",
+        "--fallback-seconds", "2", *extra,
+    )
+
+
+def _worker(port):
+    return _popen("worker", "--connect", f"127.0.0.1:{port}")
+
+
+def _submit(port, name):
+    done = subprocess.run(
+        [
+            sys.executable, "-m", "repro.fi", "submit",
+            "--connect", f"127.0.0.1:{port}",
+            "--target", SLOW_TARGET, "--sampled", str(SAMPLED),
+            "--seed", str(SEED), "--name", name,
+        ],
+        env=ENV, cwd=REPO_ROOT, capture_output=True, text=True, timeout=120,
+    )
+    assert done.returncode == 0, done.stderr
+    return done
+
+
+def _records(journal_path):
+    """Records by index: ``[(dff, cycle, outcome)]`` in index order."""
+    out = {}
+    with open(journal_path) as fh:
+        for line in fh:
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a kill
+            if doc.get("kind") == "record":
+                out[doc["i"]] = (doc["dff"], doc["cycle"], doc["outcome"])
+    return [out[i] for i in sorted(out)]
+
+
+def _campaign_records(directory):
+    """All shard records of a campaign dir, globally indexed."""
+    directory = Path(directory)
+    manifest = json.loads((directory / "campaign.json").read_text())
+    shard_points = manifest["shard_points"]
+    merged = {}
+    for path in sorted(directory.glob("shard-*.jsonl")):
+        shard_id = int(path.stem.split("-")[1])
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if doc.get("kind") == "record":
+                    merged[shard_id * shard_points + doc["i"]] = (
+                        doc["dff"], doc["cycle"], doc["outcome"]
+                    )
+    return merged
+
+
+def _wait_for(predicate, timeout, what):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _kill_all(*procs):
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        proc.wait(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def reference_journal(tmp_path_factory):
+    """A single-host run of the same campaign spec (the identity oracle)."""
+    journal = tmp_path_factory.mktemp("ref") / "ref.jsonl"
+    done = subprocess.run(
+        [
+            sys.executable, "-m", "repro.fi", "run",
+            "--target", TARGET, "--sampled", str(SAMPLED),
+            "--seed", str(SEED), "--workers", "0",
+            "--journal", str(journal), "--no-store",
+        ],
+        env=ENV, cwd=REPO_ROOT, capture_output=True, text=True, timeout=300,
+    )
+    assert done.returncode == 0, done.stderr
+    return journal
+
+
+@pytest.mark.slow
+class TestServiceChaos:
+    def test_sigkill_worker_mid_shard_campaign_still_identical(
+        self, tmp_path, reference_journal
+    ):
+        """Two workers, one SIGKILLed mid-shard: the survivor (plus lease
+        reassignment) finishes, and the merged journal matches the
+        single-host reference record for record."""
+        port = _free_port()
+        state_dir = tmp_path / "campaigns"
+        coordinator = _serve(state_dir, port)
+        workers = []
+        try:
+            _wait_for(
+                lambda: _port_open(port), 30, "coordinator to listen"
+            )
+            workers = [_worker(port), _worker(port)]
+            _submit(port, "chaos")
+            directory = state_dir / "chaos"
+            _wait_for(
+                lambda: len(_campaign_records(directory)) >= 10,
+                120, "10 journaled records",
+            )
+            victim = workers[0]
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+
+            _wait_for(
+                lambda: (directory / "merged.jsonl").exists(),
+                300, "the merged journal",
+            )
+        finally:
+            _kill_all(coordinator, *workers)
+
+        merged = _records(directory / "merged.jsonl")
+        assert len(merged) == SAMPLED
+        assert merged == _records(reference_journal)
+
+    def test_kill9_coordinator_restart_resumes_identical(
+        self, tmp_path, reference_journal
+    ):
+        """kill -9 the coordinator mid-campaign, restart it on the same
+        state dir and port: the worker reconnects, only missing points
+        run, and the merged journal matches the reference."""
+        port = _free_port()
+        state_dir = tmp_path / "campaigns"
+        coordinator = _serve(state_dir, port)
+        worker = None
+        try:
+            _wait_for(
+                lambda: _port_open(port), 30, "coordinator to listen"
+            )
+            worker = _worker(port)
+            _submit(port, "chaos")
+            directory = state_dir / "chaos"
+            _wait_for(
+                lambda: len(_campaign_records(directory)) >= 10,
+                120, "10 journaled records",
+            )
+            os.killpg(coordinator.pid, signal.SIGKILL)
+            coordinator.wait(timeout=30)
+            survived = _campaign_records(directory)
+            assert 0 < len(survived) < SAMPLED  # really died mid-campaign
+
+            coordinator = _serve(state_dir, port)
+            _wait_for(
+                lambda: (directory / "merged.jsonl").exists(),
+                300, "the merged journal after restart",
+            )
+        finally:
+            _kill_all(coordinator, *( [worker] if worker else [] ))
+
+        merged = _records(directory / "merged.jsonl")
+        assert len(merged) == SAMPLED
+        assert merged == _records(reference_journal)
+        # Pre-kill records were resumed, not re-executed: every record
+        # that survived the kill appears unchanged in the merged journal.
+        merged_by_index = dict(enumerate(merged))
+        for index, record in survived.items():
+            assert merged_by_index[index] == record
+
+
+def _port_open(port):
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=0.2):
+            return True
+    except OSError:
+        return False

@@ -73,6 +73,83 @@ class TestTelemetryWriter:
         writer.write({"kind": "late"})  # must not raise
         assert len(_lines(tmp_path / "t.jsonl")) == 1
 
+    def test_reopening_an_existing_file_skips_the_hello(self, tmp_path):
+        """A reconnected remote worker appends to its relayed stream — a
+        second hello mid-file would corrupt the collector's clock pair."""
+        path = tmp_path / "t.jsonl"
+        first = TelemetryWriter(path)
+        first.emit("inject-start", i=0)
+        first.close()
+        second = TelemetryWriter(path)
+        second.emit("inject-start", i=1)
+        second.close()
+        records = [json.loads(l) for l in _lines(path)]
+        assert [r["kind"] for r in records] == [
+            "hello",
+            "inject-start",
+            "inject-start",
+        ]
+
+    def test_hello_override_carries_remote_identity(self, tmp_path):
+        """The coordinator relays a remote worker's handshake hello, so
+        the file keys to *that* process's pid and clock pair."""
+        path = tmp_path / "t.jsonl"
+        hello = remote.hello_record("worker", pid=4242)
+        hello["mono"] = 1.0
+        hello["wall"] = 1000.0
+        writer = TelemetryWriter(path, hello=hello)
+        writer.close()
+        written = json.loads(_lines(path)[0])
+        assert written["pid"] == 4242
+        assert written["mono"] == 1.0
+        assert written["wall"] == 1000.0
+        assert writer.pid == 4242
+
+
+class TestTelemetryBuffer:
+    """The in-memory sink remote injector workers relay records through."""
+
+    def test_drain_takes_everything_and_empties(self):
+        buffer = remote.TelemetryBuffer()
+        buffer.emit("inject-start", i=3)
+        buffer.write({"kind": "custom", "x": 1})
+        drained = buffer.drain()
+        assert [r["kind"] for r in drained] == ["inject-start", "custom"]
+        assert drained[0]["i"] == 3
+        assert "mono" in drained[0]  # emit stamps, write does not
+        assert buffer.drain() == []
+        buffer.emit("inject-done", i=3)
+        assert len(buffer.drain()) == 1  # draining does not close it
+
+    def test_flush_metrics_buffers_a_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("unit.relay").inc(4)
+        buffer = remote.TelemetryBuffer()
+        buffer.flush_metrics(registry)
+        (snapshot,) = buffer.drain()
+        assert snapshot["kind"] == "metrics"
+        assert snapshot["counters"]["unit.relay"] == 4
+
+    def test_duck_compatible_with_the_events_sink_interface(self):
+        buffer = remote.TelemetryBuffer()
+        obs.events.install_sink(buffer)
+        try:
+            with obs.span("unit/relayed"):
+                pass
+            # The worker drains after every injection — before teardown,
+            # because remove_sink closes the sink (discarding the buffer).
+            (span,) = buffer.drain()
+        finally:
+            obs.events.remove_sink(buffer)
+        assert span["kind"] == "span"
+        assert span["name"] == "unit/relayed"
+
+    def test_close_discards_buffered_records(self):
+        buffer = remote.TelemetryBuffer()
+        buffer.emit("inject-start", i=0)
+        buffer.close()
+        assert buffer.drain() == []
+
 
 # ----------------------------------------------------------------------
 # Worker-side globals

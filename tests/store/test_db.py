@@ -50,6 +50,28 @@ class TestJournalIngest:
         store.ingest_journal(make_journal(tmp_path / "b.jsonl", seed=2))
         assert len(store.campaigns()) == 2
 
+    def test_distributed_merge_coexists_with_single_host_reference(
+        self, store, tmp_path
+    ):
+        """A merged distributed journal and its single-host reference share
+        every resume key — ``distributed`` keeps them as two rows so
+        ``store diff`` can compare them."""
+        single = make_journal(tmp_path / "single.jsonl")
+        merged = make_journal(
+            tmp_path / "merged.jsonl",
+            meta={"distributed": True, "shards": 3, "space_points": 40},
+        )
+        ref = store.ingest_journal(single)
+        dist = store.ingest_journal(merged)
+        rows = store.campaigns()
+        assert [c.id for c in rows] == [ref, dist]
+        assert [c.distributed for c in rows] == [False, True]
+        # Re-ingesting the merged journal replaces only the distributed
+        # row; the single-host reference survives.
+        dist2 = store.ingest_journal(merged)
+        assert sorted(c.id for c in store.campaigns()) == sorted([ref, dist2])
+        assert store.campaign(ref).distributed is False
+
     def test_pruning_meta_is_stored(self, store, tmp_path):
         journal = make_journal(
             tmp_path / "c.jsonl",
