@@ -93,9 +93,12 @@ dataflow-smoke:  ## static dataflow layer: audit, 3-layer accounting, flip gate
 
 dist-smoke:      ## distributed service: 2 workers, one SIGKILLed, flip-free gate
 	mkdir -p $(SMOKE)
-	# Coordinator + two loopback injector workers over a 2000-point
-	# avr-fib campaign; one worker is SIGKILLed mid-run, and the merged
-	# shard journal must diff flip-free against a single-host reference.
+	# Coordinator (worker auth + live console) + two loopback injector
+	# workers over a 2000-point avr-fib campaign; /metrics and
+	# /status.json are scraped mid-run, one worker is SIGKILLed, the
+	# merged shard journal must diff flip-free against a single-host
+	# reference, and a SIGSTOP stall drill must trip (then clear) the
+	# stalled health rule.
 	$(PYTHON) scripts/dist_smoke.py --smoke-dir $(SMOKE)
 
 bench:           ## append a versioned perf snapshot (BENCH_<n+1>.json)

@@ -4,25 +4,36 @@
 The acceptance sequence CI runs as ``make dist-smoke``:
 
 1. Single-host reference: ``fi run`` over a sampled avr-fib fault list.
-2. Coordinator plus two loopback injector workers; the same campaign
-   submitted over the wire and sharded across both.
+2. Coordinator (with shared-secret worker auth and the live HTTP console
+   mounted) plus two loopback injector workers; the same campaign
+   submitted over the wire and sharded across both. ``/metrics`` and
+   ``/status.json`` are scraped mid-run, the dashboard page and a
+   flamegraph of the relayed telemetry are saved as artifacts, and the
+   run must finish with zero health alerts fired.
 3. One worker SIGKILLed mid-campaign — lease expiry must reassign its
    shard and the campaign must still complete.
 4. The merged shard journal and the reference ingest into one warehouse
    and ``store diff`` must report zero outcome flips (exit 1 otherwise).
+5. Stall drill: a fresh coordinator with a tight stall threshold, one
+   worker SIGSTOPped mid-campaign — the ``stalled`` health rule must
+   fire, ``submit --wait --fail-on-alert`` must exit nonzero, and the
+   alert must clear after SIGCONT.
 
 Everything lands under ``--smoke-dir`` so CI uploads the reference
 journal, the sharded campaign directory (shard journals + relayed
-telemetry), and the warehouse as one artifact.
+telemetry), the console/flamegraph pages, and the warehouse as one
+artifact.
 """
 
 import argparse
 import json
 import os
+import shutil
 import signal
 import subprocess
 import sys
 import time
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -30,6 +41,10 @@ ENV = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
 
 TARGET = "avr-fib"
 CAMPAIGN = "dist-smoke"
+#: The shared-secret the drill distributes: flag on the coordinator and
+#: submit side, $REPRO_FI_TOKEN on the workers — both paths exercised.
+TOKEN = "dist-smoke-token"
+WORKER_ENV = dict(ENV, REPRO_FI_TOKEN=TOKEN)
 
 
 def _log(message):
@@ -45,12 +60,21 @@ def _run(*args, timeout=1200):
     )
 
 
-def _spawn(*args):
+def _spawn(*args, env=None):
     _log("$ " + " ".join(str(a) for a in args) + " &")
     return subprocess.Popen(
         [sys.executable, "-m", *map(str, args)],
-        env=ENV, cwd=REPO_ROOT, start_new_session=True,
+        env=env or ENV, cwd=REPO_ROOT, start_new_session=True,
     )
+
+
+def _scrape(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode()
+
+
+def _console_url(state_dir):
+    return json.loads((state_dir / "console.json").read_text())["url"]
 
 
 def _kill(proc, signum=signal.SIGKILL):
@@ -108,8 +132,6 @@ def main(argv=None):
     for stale in (reference, warehouse, port_file):
         stale.unlink(missing_ok=True)
     if state_dir.exists():
-        import shutil
-
         shutil.rmtree(state_dir)
 
     _log(f"single-host reference: {TARGET} x {args.points} points")
@@ -123,20 +145,30 @@ def main(argv=None):
         "repro.fi", "serve", "--host", "127.0.0.1", "--port", "0",
         "--port-file", port_file, "--state-dir", state_dir,
         "--no-store", "--lease-seconds", "15",
+        "--console-port", "0", "--auth-token", TOKEN,
     )
     workers = []
     try:
         _wait_for(port_file.exists, 60, "the coordinator's port file")
         port = int(port_file.read_text())
-        _log(f"coordinator listening on 127.0.0.1:{port}")
+        _wait_for(
+            lambda: (state_dir / "console.json").exists(),
+            60, "the console discovery file",
+        )
+        console = _console_url(state_dir)
+        _log(f"coordinator listening on 127.0.0.1:{port}, console {console}")
         workers = [
-            _spawn("repro.fi", "worker", "--connect", f"127.0.0.1:{port}")
+            _spawn(
+                "repro.fi", "worker", "--connect", f"127.0.0.1:{port}",
+                env=WORKER_ENV,  # token via $REPRO_FI_TOKEN
+            )
             for _ in range(2)
         ]
         _run(
             "repro.fi", "submit", "--connect", f"127.0.0.1:{port}",
             "--target", TARGET, "--sampled", args.points,
             "--seed", args.seed, "--name", CAMPAIGN,
+            "--auth-token", TOKEN,
         )
         directory = state_dir / CAMPAIGN
 
@@ -144,6 +176,23 @@ def main(argv=None):
             lambda: _journaled_records(directory) >= args.kill_after,
             600, f"{args.kill_after} journaled records",
         )
+
+        _log("mid-run console scrape")
+        metrics = _scrape(console + "/metrics")
+        for needle in (
+            "repro_service_records_total",
+            "repro_obs_health_firing",
+            "{worker=",  # relayed, worker-labelled series
+        ):
+            if needle not in metrics:
+                raise SystemExit(f"dist-smoke: {needle!r} missing /metrics")
+        status = json.loads(_scrape(console + "/status.json"))
+        if not status["campaigns"][0]["shards"]:
+            raise SystemExit("dist-smoke: no lease table in /status.json")
+        if not all(w["authenticated"] for w in status["worker_table"]):
+            raise SystemExit("dist-smoke: worker rows not authenticated")
+        (smoke / "dist-smoke-console.html").write_text(_scrape(console + "/"))
+
         _log(f"SIGKILL worker pid {workers[0].pid} mid-campaign")
         _kill(workers[0])
 
@@ -152,12 +201,25 @@ def main(argv=None):
             and coordinator.poll() is None,
             900, "the merged journal",
         )
-        _log("campaign complete; sharded status:")
+        status = json.loads(_scrape(console + "/status.json"))
+        if status.get("alerts_fired_total", 0):
+            raise SystemExit(
+                f"dist-smoke: health alerts fired during a healthy run: "
+                f"{status['alerts_fired_total']}"
+            )
+        _log("campaign complete, zero health alerts; sharded status:")
         _run("repro.fi", "status", "--journal", directory)
     finally:
         for proc in workers:
             _kill(proc)
         _kill(coordinator, signal.SIGTERM)
+
+    _log("flamegraph from the relayed campaign telemetry")
+    _run(
+        "repro.obs", "flame", directory / "telemetry",
+        "--out", smoke / "dist-smoke-flame.html",
+        "--title", "dist-smoke campaign",
+    )
 
     _log("warehouse diff: distributed merge vs single-host reference")
     _run("repro.store", "--db", warehouse, "ingest", reference)
@@ -166,7 +228,75 @@ def main(argv=None):
     # Exits 1 on any outcome flip between the two campaigns — the gate.
     _run("repro.store", "--db", warehouse, "diff", "1", "2")
     _log("zero outcome flips: distributed == single-host")
+
+    _stall_drill(smoke, args.seed)
     return 0
+
+
+def _stall_drill(smoke, seed):
+    """A SIGSTOPped worker must trip the stall rule, then clear on SIGCONT."""
+    _log("stall drill: tight stall threshold, SIGSTOPped worker")
+    state_dir = smoke / "dist-smoke-stall-state"
+    port_file = smoke / "dist-smoke-stall.port"
+    if state_dir.exists():
+        shutil.rmtree(state_dir)
+    port_file.unlink(missing_ok=True)
+    coordinator = _spawn(
+        "repro.fi", "serve", "--host", "127.0.0.1", "--port", "0",
+        "--port-file", port_file, "--state-dir", state_dir,
+        "--no-store", "--no-fallback", "--stall-seconds", "3",
+        "--console-port", "0", "--auth-token", TOKEN,
+    )
+    worker = waiter = None
+    try:
+        _wait_for(port_file.exists, 60, "the stall coordinator's port file")
+        port = int(port_file.read_text())
+        worker = _spawn(
+            "repro.fi", "worker", "--connect", f"127.0.0.1:{port}",
+            env=WORKER_ENV,
+        )
+        waiter = _spawn(
+            "repro.fi", "submit", "--connect", f"127.0.0.1:{port}",
+            "--target", TARGET, "--sampled", "600", "--seed", seed,
+            "--name", "stall", "--auth-token", TOKEN,
+            "--wait", "--poll", "0.5", "--fail-on-alert",
+        )
+        _wait_for(
+            lambda: _journaled_records(state_dir / "stall") >= 20,
+            600, "the stall campaign to warm up",
+        )
+        _log(f"SIGSTOP worker pid {worker.pid}")
+        os.killpg(worker.pid, signal.SIGSTOP)
+        waiter_rc = waiter.wait(timeout=120)
+        if waiter_rc == 0:
+            raise SystemExit(
+                "dist-smoke: submit --fail-on-alert exited 0 despite "
+                "the stall"
+            )
+        _log(f"submit --wait --fail-on-alert exited {waiter_rc} as expected")
+        console = _console_url(state_dir)
+        if "repro_obs_health_stalled 1" not in _scrape(console + "/metrics"):
+            raise SystemExit(
+                "dist-smoke: stalled gauge not 1 while the worker is stopped"
+            )
+        _log(f"SIGCONT worker pid {worker.pid}")
+        os.killpg(worker.pid, signal.SIGCONT)
+        _wait_for(
+            lambda: "repro_obs_health_stalled 0"
+            in _scrape(console + "/metrics"),
+            120, "the stall alert to clear",
+        )
+        _log("stall alert cleared after SIGCONT")
+    finally:
+        if worker is not None:
+            try:
+                os.killpg(worker.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+            _kill(worker)
+        if waiter is not None:
+            _kill(waiter)
+        _kill(coordinator, signal.SIGTERM)
 
 
 if __name__ == "__main__":

@@ -16,10 +16,15 @@ Usage::
     python -m repro.fi status --journal camp.jsonl  # progress + outcome tally
     python -m repro.fi report camp.jsonl            # self-contained HTML report
 
-    python -m repro.fi serve --state-dir campaigns --port 7712   # coordinator
-    python -m repro.fi worker --connect HOST:7712                # injector
+    python -m repro.fi run --target avr-fib --sampled 500 \\
+        --journal camp.jsonl --serve 8080   # + live HTTP console at :8080
+
+    python -m repro.fi serve --state-dir campaigns --port 7712 \\
+        --console-port 8080 --auth-token-file token.txt   # coordinator
+    python -m repro.fi worker --connect HOST:7712 \\
+        --auth-token-file token.txt                       # injector
     python -m repro.fi submit --connect HOST:7712 \\
-        --target avr-fib --sampled 2000 --wait    # queue + wait for completion
+        --target avr-fib --sampled 2000 --wait --fail-on-alert
     python -m repro.fi status --journal campaigns/<name>   # sharded progress
 
 The distributed trio runs one coordinator (owns all durable state: the
@@ -29,6 +34,15 @@ other hosts. Workers that die mid-shard only cost the in-flight
 injection; a kill -9'd coordinator resumes exactly from its shard
 journals on restart; with zero workers the coordinator degrades to local
 execution.
+
+``--serve [PORT]`` (run/resume) and ``--console-port`` (serve) mount the
+live observability console (:mod:`repro.obs.http`): Prometheus
+``/metrics``, ``/status.json`` with the lease table and health alerts, an
+SSE-driven HTML dashboard at ``/``, and per-campaign drill-down pages.
+``--auth-token`` / ``--auth-token-file`` / ``$REPRO_FI_TOKEN`` set the
+shared-secret token that gates worker and submit handshakes plus the
+console's mutating routes; ``submit --wait --fail-on-alert`` turns a
+firing coordinator health rule into a nonzero exit for CI gates.
 
 Pooled runs stream per-worker telemetry to ``<journal>.telemetry/`` by
 default (``--telemetry-dir`` overrides); ``--metrics-out`` writes the
@@ -48,7 +62,9 @@ SIGTERM, SIGKILL, power loss) resumes exactly where it stopped.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro import obs
@@ -59,6 +75,21 @@ from repro.fi.targets import NAMED_TARGETS
 
 #: Exit code when a run stops early but remains resumable.
 EXIT_INTERRUPTED = 130
+#: Exit code of ``submit --wait --fail-on-alert`` when a health rule fires.
+EXIT_ALERT = 3
+#: Environment variable carrying the shared-secret service auth token.
+TOKEN_ENV = "REPRO_FI_TOKEN"
+
+
+def _resolve_token(args: argparse.Namespace) -> str | None:
+    """The service auth token: ``--auth-token`` > file > environment."""
+    token = getattr(args, "auth_token", None)
+    if token:
+        return str(token)
+    token_file = getattr(args, "auth_token_file", None)
+    if token_file:
+        return Path(token_file).read_text(encoding="utf-8").strip()
+    return os.environ.get(TOKEN_ENV) or None
 
 
 def _spec_for(target: str) -> TargetSpec:
@@ -277,6 +308,106 @@ def _print_report(report: RunReport) -> int:
     return EXIT_INTERRUPTED if report.interrupted else 0
 
 
+class _ConsoleDashboard(obs.CampaignDashboard):
+    """Campaign dashboard that mirrors updates to live console subscribers.
+
+    With ``--serve`` the run's :class:`_RunConsole` provider and its
+    thread handle are attached after construction; each runner update then
+    pushes a throttled ``status`` SSE event so open dashboards track the
+    run without waiting for their 2 s poll.
+    """
+
+    console = None
+    provider = None
+    _last_publish = 0.0
+
+    def update(self, **kwargs) -> None:
+        super().update(**kwargs)
+        handle, provider = self.console, self.provider
+        if handle is None or provider is None:
+            return
+        server = handle.server
+        if server is None or not server.has_subscribers:
+            return
+        now = time.monotonic()
+        if now - self._last_publish < 0.5:
+            return
+        self._last_publish = now
+        handle.publish("status", provider.status_doc())
+
+
+class _RunConsole(obs.ConsoleProvider):
+    """Console provider over one single-host run (``fi run --serve``).
+
+    Mirrors the coordinator's ``/status.json`` shape — one campaign, no
+    shard table — so the same dashboard page serves both deployments.
+    """
+
+    def __init__(self, dashboard: obs.CampaignDashboard, name: str) -> None:
+        self._dashboard = dashboard
+        self._name = name
+
+    def title(self) -> str:
+        return f"repro fi run — {self._name}"
+
+    def metrics_text(self) -> str:
+        telemetry_dir = self._dashboard.telemetry_dir
+        return obs.merged_metrics_text(
+            [telemetry_dir] if telemetry_dir is not None else []
+        )
+
+    def status_doc(self) -> dict:
+        dashboard = self._dashboard
+        done = dashboard.executed + dashboard.skipped
+        outcomes = {
+            outcome.value: obs.counter(
+                f"campaign.outcome.{outcome.value}"
+            ).value
+            for outcome in Outcome
+        }
+        if not dashboard.enabled:
+            # No TTY panel driving the telemetry tails — poll them here so
+            # the worker table still fills in (dict reads/writes are safe
+            # under the GIL; worst case a refresh sees a stale row).
+            dashboard._poll_workers()
+        workers = [
+            {
+                "pid": row.pid,
+                "peer": "local pool",
+                "records": row.done,
+                "shards_taken": 0,
+                "authenticated": False,
+                "rss_bytes": None,
+                "cpu_percent": None,
+            }
+            for _, row in sorted(dashboard._workers.items())
+        ]
+        return {
+            "kind": "status",
+            "workers": len(workers),
+            "rate": dashboard.rolling_rate,
+            "alerts": [],
+            "alerts_fired_total": 0,
+            "worker_table": workers,
+            "campaigns": [
+                {
+                    "name": self._name,
+                    "status": (
+                        "complete" if done >= dashboard.total else "running"
+                    ),
+                    "done": done,
+                    "total": dashboard.total,
+                    "quarantined": dashboard.quarantined,
+                    "retries": dashboard.retries,
+                    "eta_seconds": dashboard.eta_seconds,
+                    "outcomes": {k: v for k, v in outcomes.items() if v},
+                    "store_id": None,
+                    "shards": [],
+                }
+            ],
+        }
+
+
 def _execute(
     runner: CampaignRunner,
     points: list[tuple[str, int]],
@@ -287,16 +418,28 @@ def _execute(
     plan=None,
 ) -> int:
     """Run the campaign with the live dashboard and telemetry outputs."""
-    dashboard = obs.CampaignDashboard(
+    dashboard = _ConsoleDashboard(
         total=len(points),
         label=f"campaign {runner.target.name}",
         telemetry_dir=runner.config.telemetry_dir,
     )
-    with dashboard:
-        report = runner.run(
-            points, args.journal, resume=resume, seed=seed,
-            dashboard=dashboard, meta=meta, plan=plan,
-        )
+    handle = None
+    serve_port = getattr(args, "serve", None)
+    if serve_port is not None:
+        provider = _RunConsole(dashboard, runner.target.name)
+        handle = obs.start_in_thread(provider, port=serve_port)
+        dashboard.console = handle
+        dashboard.provider = provider
+        print(f"live console: {handle.url}", file=sys.stderr)
+    try:
+        with dashboard:
+            report = runner.run(
+                points, args.journal, resume=resume, seed=seed,
+                dashboard=dashboard, meta=meta, plan=plan,
+            )
+    finally:
+        if handle is not None:
+            handle.stop()
     if dashboard.enabled:
         print(file=sys.stderr)
     if args.trace_out:
@@ -442,6 +585,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             None if args.no_fallback else args.fallback_seconds
         ),
         port_file=args.port_file,
+        console_port=args.console_port,
+        console_host=args.console_host,
+        auth_token=_resolve_token(args),
+        health_stall_seconds=args.stall_seconds,
     )
     if not args.no_store:
         if args.store is not None:
@@ -461,18 +608,19 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     host, port = _parse_connect(args.connect)
     return run_worker(
-        host, port, reconnect_attempts=args.reconnect_attempts
+        host, port, reconnect_attempts=args.reconnect_attempts,
+        token=_resolve_token(args),
     )
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    import time
-
     from repro.fi.service.protocol import Connection, handshake
 
     host, port = _parse_connect(args.connect)
+    token = _resolve_token(args)
     with Connection.connect(host, port) as connection:
-        handshake(connection, "client")
+        extra = {"token": token} if token is not None else {}
+        handshake(connection, "client", **extra)
         reply = connection.call(
             {
                 "kind": "submit",
@@ -508,12 +656,47 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 f"{status['workers']} worker(s) connected",
                 file=sys.stderr,
             )
+            alerts = status.get("alerts") or []
+            for alert in alerts:
+                print(
+                    f"  ALERT {alert.get('rule')}: {alert.get('reason')}",
+                    file=sys.stderr,
+                )
+            if alerts and args.fail_on_alert:
+                print(
+                    f"campaign {name!r}: coordinator health alert firing "
+                    "(--fail-on-alert)",
+                    file=sys.stderr,
+                )
+                return EXIT_ALERT
             if campaign["status"] == "complete":
                 print(f"campaign {name!r} complete")
                 return 0
             if campaign["status"] == "failed":
                 print(f"campaign {name!r} failed", file=sys.stderr)
                 return EXIT_INTERRUPTED
+
+
+def _console_url_near(directory: Path) -> str | None:
+    """The live-console URL advertised beside a campaign dir, if any.
+
+    The coordinator drops ``console.json`` into its state dir (the
+    campaign directory's parent) while the console is mounted.
+    """
+    import json
+
+    from repro.fi.service.shards import CONSOLE_NAME
+
+    for candidate in (directory / CONSOLE_NAME,
+                      directory.parent / CONSOLE_NAME):
+        if candidate.is_file():
+            try:
+                return json.loads(
+                    candidate.read_text(encoding="utf-8")
+                ).get("url")
+            except (OSError, ValueError):
+                return None
+    return None
 
 
 def _sharded_status(directory: Path) -> int:
@@ -534,6 +717,9 @@ def _sharded_status(directory: Path) -> int:
         f"progress:  {status.done}/{status.total} injections recorded "
         f"across {len(status.shards)} shard(s)"
     )
+    url = _console_url_near(directory)
+    if url:
+        print(f"console:   live console at {url}")
     print()
     print(obs.aligned_table(
         "shards",
@@ -712,7 +898,24 @@ def main(argv: list[str] | None = None) -> int:
             "--no-store", action="store_true",
             help="skip the results-warehouse auto-ingest",
         )
+        p.add_argument(
+            "--serve", type=int, nargs="?", const=0, default=None,
+            metavar="PORT",
+            help="serve the live HTTP console for this run on PORT "
+            "(bare --serve picks an ephemeral port; URL printed at start)",
+        )
         p.add_argument("--verbose", "-v", action="store_true")
+
+    def add_auth_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--auth-token", default=None, metavar="TOKEN",
+            help="shared-secret service auth token (or set $REPRO_FI_TOKEN; "
+            "prefer --auth-token-file to keep it out of argv)",
+        )
+        p.add_argument(
+            "--auth-token-file", type=Path, default=None, metavar="FILE",
+            help="read the auth token from FILE (whitespace-stripped)",
+        )
 
     run_p = sub.add_parser("run", help="start a campaign (journaling as it goes)")
     run_p.add_argument("--target", required=True)
@@ -829,6 +1032,21 @@ def main(argv: list[str] | None = None) -> int:
         "--no-store", action="store_true",
         help="skip the results-warehouse auto-ingest",
     )
+    serve_p.add_argument(
+        "--console-port", type=int, default=None, metavar="PORT",
+        help="mount the live HTTP console on this port (0 = ephemeral; "
+        "URL is logged and written to <state-dir>/console.json)",
+    )
+    serve_p.add_argument(
+        "--console-host", default=None, metavar="HOST",
+        help="console bind address (default: the coordinator --host)",
+    )
+    serve_p.add_argument(
+        "--stall-seconds", type=float, default=30.0,
+        help="health rule: alert when no record arrives for this long "
+        "while work is pending (default 30)",
+    )
+    add_auth_options(serve_p)
     serve_p.set_defaults(func=_cmd_serve)
 
     worker_p = sub.add_parser(
@@ -843,6 +1061,7 @@ def main(argv: list[str] | None = None) -> int:
         "--reconnect-attempts", type=int, default=10,
         help="consecutive connection failures before giving up (default 10)",
     )
+    add_auth_options(worker_p)
     worker_p.set_defaults(func=_cmd_worker)
 
     submit_p = sub.add_parser(
@@ -878,6 +1097,12 @@ def main(argv: list[str] | None = None) -> int:
         "--poll", type=float, default=2.0,
         help="--wait poll interval in seconds (default 2)",
     )
+    submit_p.add_argument(
+        "--fail-on-alert", action="store_true",
+        help="with --wait: exit nonzero the moment a coordinator health "
+        "rule fires (stall, rate drop, quarantine spike, ...)",
+    )
+    add_auth_options(submit_p)
     submit_p.set_defaults(func=_cmd_submit)
 
     args = parser.parse_args(argv)

@@ -49,7 +49,7 @@ from repro.fi.journal import (
     points_hash,
 )
 from repro.netlist.json_io import netlist_content_hash
-from repro.obs import counter, events, gauge, histogram, remote, span
+from repro.obs import counter, events, gauge, histogram, remote, resource, span
 from repro.obs.dashboard import CampaignDashboard
 from repro.obs.remote import MergedTelemetry
 
@@ -312,6 +312,9 @@ def _worker_inject(
     start = time.monotonic()
     outcome = _WORKER_CAMPAIGN.inject(dff_name, cycle)
     seconds = time.monotonic() - start
+    # Rate-limited /proc self-sample: the resource.* gauges ride the
+    # cumulative snapshot home and surface per-worker in /metrics.
+    resource.sample_self()
     remote.flush_worker_metrics()
     return index, outcome.value, seconds, os.getpid()
 

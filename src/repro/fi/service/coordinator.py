@@ -46,6 +46,8 @@ eligible work, so one stuck shard never idles the whole fleet.
 from __future__ import annotations
 
 import asyncio
+import hmac
+import json
 import sys
 import threading
 import time
@@ -59,6 +61,7 @@ from repro.fi.service import protocol, shards as shards_mod
 from repro.fi.service.protocol import ProtocolError
 from repro.fi.service.shards import (
     CampaignManifest,
+    CONSOLE_NAME,
     MANIFEST_NAME,
     TELEMETRY_DIR,
     merge_campaign_dir,
@@ -67,7 +70,8 @@ from repro.fi.service.shards import (
 from repro.fi.service.worker import ShardExecutor
 from repro.fi.targets import NAMED_TARGETS
 from repro.netlist.json_io import netlist_content_hash
-from repro.obs import counter, gauge, remote, span
+from repro.obs import counter, gauge, health, remote, resource, span
+from repro.obs.http import ConsoleProvider, ConsoleServer, merged_metrics_text
 
 #: Lease owner id of the coordinator's own local-fallback executor.
 LOCAL_OWNER = -1
@@ -116,6 +120,17 @@ class ServiceConfig:
     #: When set, the bound port is written here once the server is up —
     #: how test harnesses and the smoke driver discover an ephemeral port.
     port_file: str | Path | None = None
+    #: Mount the live HTTP console on this port (0 = ephemeral); ``None``
+    #: leaves the console off entirely.
+    console_port: int | None = None
+    #: Bind address of the console (defaults to the service host).
+    console_host: str | None = None
+    #: Shared-secret worker/submit auth token; ``None`` runs open. The
+    #: same token gates the console's mutating routes.
+    auth_token: str | None = None
+    #: Stall threshold of the health rule engine (no record landed for
+    #: this long while work is pending).
+    health_stall_seconds: float = 30.0
 
 
 class _Shard:
@@ -156,6 +171,8 @@ class _CampaignState:
         self.activated: float | None = None
         self.finalizing = False
         self.executed = 0  # records received by this coordinator process
+        self.outcomes: dict[str, int] = {}  # durable per-campaign tallies
+        self.store_id: int | None = None  # warehouse id after auto-ingest
 
     @property
     def name(self) -> str:
@@ -169,6 +186,10 @@ class _CampaignState:
             )
             if state is not None:
                 shard.done = set(state.records)
+                for record in state.records.values():
+                    self.outcomes[record.outcome.value] = (
+                        self.outcomes.get(record.outcome.value, 0) + 1
+                    )
                 for index, detail in state.details.items():
                     if detail.get("error") and state.records[
                         index
@@ -198,6 +219,7 @@ class _Conn:
     peer: str = ""
     shards_taken: int = 0
     records: int = 0
+    authenticated: bool = False
     telemetry_files: dict[str, Path] = field(default_factory=dict)
 
 
@@ -222,6 +244,18 @@ class Coordinator:
         self._relay_writers: dict[tuple[str, int], remote.TelemetryWriter] = {}
         self._open_writers: set[asyncio.StreamWriter] = set()
         self._log = lambda msg: print(msg, file=sys.stderr, flush=True)
+        self.console: ConsoleServer | None = None
+        self.monitor = health.HealthMonitor(
+            rules=health.default_rules(
+                stall_seconds=self.config.health_stall_seconds
+            ),
+            log=lambda msg: self._log(f"coordinator: {msg}"),
+        )
+        #: Latest relayed per-worker host footprint (pid → value), peeked
+        #: from the telemetry stream for /status.json and the RSS rule.
+        self._worker_rss: dict[int, float] = {}
+        self._worker_cpu: dict[int, float] = {}
+        self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -254,11 +288,26 @@ class Coordinator:
         self.port = self._server.sockets[0].getsockname()[1]
         if self.config.port_file is not None:
             Path(self.config.port_file).write_text(f"{self.port}\n")
+        if self.config.console_port is not None:
+            self.console = ConsoleServer(
+                _CoordinatorConsole(self),
+                host=self.config.console_host or self.config.host,
+                port=self.config.console_port,
+                auth_token=self.config.auth_token,
+            )
+            await self.console.start()
+            (self.state_dir / CONSOLE_NAME).write_text(
+                json.dumps({"url": self.console.url, "port": self.console.port})
+                + "\n"
+            )
+            self._log(f"coordinator: live console at {self.console.url}")
         self.started.set()
         self._log(
             f"coordinator: serving on {self.config.host}:{self.port} "
             f"(state dir {self.state_dir}, "
-            f"{len(self._queue)} campaign(s) recovered)"
+            f"{len(self._queue)} campaign(s) recovered"
+            + (", auth required" if self.config.auth_token else "")
+            + ")"
         )
         reaper = asyncio.create_task(self._reaper())
         try:
@@ -268,6 +317,9 @@ class Coordinator:
             if self._local_task is not None:
                 self._local_task.cancel()
             self._server.close()
+            if self.console is not None:
+                await self.console.stop()
+                (self.state_dir / CONSOLE_NAME).unlink(missing_ok=True)
             # Nudge idle connections out of their blocking read so the
             # handlers finish on their own instead of being cancelled.
             for writer in list(self._open_writers):
@@ -349,6 +401,27 @@ class Coordinator:
                     },
                 )
                 return
+            if self.config.auth_token is not None:
+                presented = str(hello.get("token") or "")
+                if not hmac.compare_digest(
+                    presented.encode(), str(self.config.auth_token).encode()
+                ):
+                    counter("service.auth.rejected").inc()
+                    self._log(
+                        f"coordinator: rejected {peer} "
+                        f"(bad or missing auth token)"
+                    )
+                    await protocol.send_message(
+                        writer,
+                        {
+                            "kind": "error",
+                            "reason": (
+                                "authentication failed: bad or missing "
+                                "token (set --auth-token/REPRO_FI_TOKEN)"
+                            ),
+                        },
+                    )
+                    return
             role = str(hello.get("role", "client"))
             self._next_conn_id += 1
             conn = _Conn(
@@ -358,6 +431,7 @@ class Coordinator:
                 hello=hello,
                 writer=writer,
                 peer=str(peer),
+                authenticated=self.config.auth_token is not None,
             )
             if role == "worker":
                 self._workers[conn.conn_id] = conn
@@ -545,11 +619,25 @@ class Coordinator:
         )
         shard.done.add(index)
         state.executed += 1
+        state.outcomes[record.outcome.value] = (
+            state.outcomes.get(record.outcome.value, 0) + 1
+        )
         counter("service.records").inc()
         counter(f"campaign.outcome.{record.outcome.value}").inc()
         if error is not None and record.outcome is Outcome.ERROR:
             shard.quarantined += 1
             counter("service.points.quarantined").inc()
+        if self.console is not None and self.console.has_subscribers:
+            self.console.publish(
+                "record",
+                {
+                    "campaign": state.name,
+                    "outcome": record.outcome.value,
+                    "worker": worker,
+                    "done": state.done_points,
+                    "total": state.manifest.num_points,
+                },
+            )
         if len(shard.done) >= shard.total:
             self._finish_shard(state, shard)
 
@@ -683,6 +771,18 @@ class Coordinator:
         for record in batch:
             if isinstance(record, dict):
                 writer.write(record)
+                if record.get("kind") == "metrics":
+                    # Peek the worker's host footprint on the way through:
+                    # the health RSS rule and /status.json want it live,
+                    # not on the next telemetry collect.
+                    gauges = record.get("gauges")
+                    if isinstance(gauges, dict):
+                        rss = gauges.get("resource.rss_bytes")
+                        if rss is not None:
+                            self._worker_rss[conn.pid] = float(rss)
+                        cpu = gauges.get("resource.cpu_percent")
+                        if cpu is not None:
+                            self._worker_cpu[conn.pid] = float(cpu)
 
     # ------------------------------------------------------------------
     # Client messages
@@ -801,19 +901,27 @@ class Coordinator:
             return manifest
 
     def _status_doc(self, only: str | None = None) -> dict:
+        rate = self.monitor.series_rate("done")
         campaigns = []
         for position, name in enumerate(self._queue):
             if only and name != only:
                 continue
             state = self._campaigns[name]
+            done = state.done_points
+            remaining = state.manifest.num_points - done
             campaigns.append(
                 {
                     "name": name,
                     "status": state.manifest.status,
                     "queue_position": position,
                     "total": state.manifest.num_points,
-                    "done": state.done_points,
+                    "done": done,
                     "quarantined": sum(s.quarantined for s in state.shards),
+                    "outcomes": dict(state.outcomes),
+                    "store_id": state.store_id,
+                    "eta_seconds": (
+                        remaining / rate if rate and remaining else None
+                    ),
                     "shards": [
                         {
                             "id": s.shard_id,
@@ -830,6 +938,22 @@ class Coordinator:
         return {
             "kind": "status",
             "workers": len(self._workers),
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "rate": rate,
+            "alerts": self.monitor.doc(),
+            "alerts_fired_total": self.monitor.fired_total,
+            "worker_table": [
+                {
+                    "pid": conn.pid,
+                    "peer": conn.peer,
+                    "records": conn.records,
+                    "shards_taken": conn.shards_taken,
+                    "authenticated": conn.authenticated,
+                    "rss_bytes": self._worker_rss.get(conn.pid),
+                    "cpu_percent": self._worker_cpu.get(conn.pid),
+                }
+                for conn in self._workers.values()
+            ],
             "campaigns": campaigns,
         }
 
@@ -857,6 +981,31 @@ class Coordinator:
                             ),
                         )
             self._maybe_start_fallback(now)
+            self._health_tick(now)
+
+    def _health_tick(self, now: float) -> None:
+        """Feed the health monitor one coordinator-state sample."""
+        resource.sample_self()
+        pending = sum(
+            state.manifest.num_points - state.done_points
+            for state in self._campaigns.values()
+            if not state.finalizing
+        )
+        sample: dict[str, float] = {
+            "done": float(counter("service.records").value),
+            "pending": float(pending),
+            "quarantined": float(
+                counter("service.points.quarantined").value
+            ),
+            "lease_releases": float(
+                counter("service.shards.released").value
+            ),
+        }
+        for pid, rss in self._worker_rss.items():
+            sample[f"rss.{pid}"] = rss
+        edge = self.monitor.observe(sample, now=now)
+        if (edge.fired or edge.cleared) and self.console is not None:
+            self.console.publish("alerts", {"firing": self.monitor.doc()})
 
     def _maybe_start_fallback(self, now: float) -> None:
         if self.config.fallback_seconds is None or self._workers:
@@ -1002,6 +1151,7 @@ class Coordinator:
                         telemetry_dir if telemetry_dir.is_dir() else None
                     ),
                 )
+            state.store_id = store_id
             self._log(
                 f"coordinator: warehoused {state.name!r} as campaign "
                 f"#{store_id}"
@@ -1012,3 +1162,47 @@ class Coordinator:
                 f"coordinator: could not ingest {merged} into "
                 f"{self.config.store_path}: {exc}"
             )
+
+
+class _CoordinatorConsole(ConsoleProvider):
+    """Console state provider backed by a live :class:`Coordinator`.
+
+    Runs on the coordinator's own event loop, so every read sees a
+    consistent lease table without locking. ``/metrics`` re-reads the
+    relayed telemetry files of every known campaign on each scrape —
+    fine at fleet-console scrape rates, not meant for per-request loops.
+    """
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self._coordinator = coordinator
+
+    def title(self) -> str:
+        config = self._coordinator.config
+        return (
+            f"repro coordinator — {config.host}:"
+            f"{self._coordinator.port or config.port}"
+        )
+
+    def metrics_text(self) -> str:
+        directories = [
+            state.directory / TELEMETRY_DIR
+            for state in self._coordinator._campaigns.values()
+        ]
+        return merged_metrics_text(directories)
+
+    def status_doc(self) -> dict:
+        return self._coordinator._status_doc(None)
+
+    def heatmap_html(self, name: str) -> str | None:
+        state = self._coordinator._campaigns.get(name)
+        store_path = self._coordinator.config.store_path
+        if state is None or state.store_id is None or store_path is None:
+            return None
+        from repro.store import ResultsStore, render_heatmap
+
+        with ResultsStore(store_path) as store:
+            return render_heatmap(store, state.store_id)
+
+    def silence(self, seconds: float) -> bool:
+        self._coordinator.monitor.silence(seconds)
+        return True

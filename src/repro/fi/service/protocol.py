@@ -175,8 +175,9 @@ def handshake(connection: Connection, role: str, **extra: object) -> dict:
 
     ``extra`` fields travel inside the hello (workers send their
     :func:`repro.obs.remote.hello_record` under ``"telemetry"`` so the
-    coordinator can open their relayed telemetry stream). An ``error``
-    reply — e.g. a protocol-version mismatch — raises
+    coordinator can open their relayed telemetry stream, and the optional
+    shared-secret auth token under ``"token"``). An ``error`` reply —
+    e.g. a protocol-version mismatch or a failed token check — raises
     :class:`ProtocolError` with the coordinator's reason.
     """
     import os

@@ -47,6 +47,9 @@ MANIFEST_VERSION = 1
 MANIFEST_NAME = "campaign.json"
 MERGED_NAME = "merged.jsonl"
 TELEMETRY_DIR = "telemetry"
+#: Console discovery file a serving coordinator drops in its state dir
+#: (``{"url": ..., "pid": ...}``) so ``fi status`` can point at it.
+CONSOLE_NAME = "console.json"
 
 #: Manifest lifecycle states (the per-campaign status of the queue).
 STATUSES = ("queued", "running", "complete", "failed")
@@ -274,14 +277,61 @@ class CampaignDirStatus:
         return all(s.complete for s in self.shards)
 
 
+def _lenient_shard_count(path: Path) -> tuple[int, Counter]:
+    """Raw record count of a journal that failed strict loading.
+
+    A *live* campaign dir can hold a shard journal mid-rewrite (e.g. a
+    concurrent quarantine replay); ``fi status`` should degrade to a
+    best-effort count instead of erroring out of the whole directory.
+    """
+    records = 0
+    outcomes: Counter = Counter()
+    try:
+        with path.open(encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(doc, dict) and doc.get("kind") == "record":
+                    records += 1
+                    outcome = doc.get("outcome")
+                    if outcome is not None:
+                        outcomes[str(outcome)] += 1
+    except OSError:
+        pass
+    return records, outcomes
+
+
 def load_campaign_dir(directory: str | Path) -> CampaignDirStatus:
-    """Recover a sharded campaign's progress from its directory."""
+    """Recover a sharded campaign's progress from its directory.
+
+    Works on a *live* directory: shards whose journals do not strictly
+    load (torn by a concurrent writer) fall back to a lenient raw record
+    count rather than failing the whole status call, and an absent
+    ``merged.jsonl`` simply reports as not merged yet.
+    """
     directory = Path(directory)
     manifest = CampaignManifest.load(directory)
     shards = []
     for shard_id, (start, stop) in enumerate(manifest.shards):
-        state = load_shard_state(directory, shard_id)
         outcomes: Counter = Counter()
+        try:
+            state = load_shard_state(directory, shard_id)
+        except JournalError:
+            records, outcomes = _lenient_shard_count(
+                shard_journal_path(directory, shard_id)
+            )
+            shards.append(
+                ShardStatus(
+                    shard_id=shard_id,
+                    start=start,
+                    stop=stop,
+                    records=records,
+                    outcomes=outcomes,
+                )
+            )
+            continue
         if state is not None:
             for record in state.records.values():
                 outcomes[record.outcome.value] += 1

@@ -32,7 +32,7 @@ from repro.fi.classify import Outcome
 from repro.fi.runner import TargetSpec, backoff_delay
 from repro.fi.service import protocol
 from repro.fi.service.protocol import Connection, ProtocolError
-from repro.obs import counter, events, remote, span
+from repro.obs import counter, events, remote, resource, span
 
 
 class ShardExecutor:
@@ -143,6 +143,9 @@ def _run_shard(
                 retry_backoff=float(shard_msg.get("retry_backoff", 0.05)),
                 retry_jitter=float(shard_msg.get("retry_jitter", 0.25)),
             )
+            # Refresh this worker's resource.* gauges (rate-limited) so
+            # the cumulative snapshot below carries host health home.
+            resource.sample_self()
             buffer.flush_metrics()
             record = {
                 "kind": "record",
@@ -181,6 +184,7 @@ def run_worker(
     reconnect_backoff: float = 0.5,
     reconnect_cap: float = 5.0,
     log=None,
+    token: str | None = None,
 ) -> int:
     """The worker main loop; returns a process exit code.
 
@@ -189,6 +193,8 @@ def run_worker(
     A lost connection — coordinator crash or restart — is retried with
     jittered backoff up to ``reconnect_attempts`` consecutive failures, so
     workers ride out a coordinator kill -9 + resume without operator help.
+    ``token`` is the shared-secret auth token of coordinators running with
+    ``--auth-token``; a wrong or missing token is rejected at handshake.
     """
     log = log or (lambda msg: print(msg, file=sys.stderr))
     executor = ShardExecutor()
@@ -213,10 +219,10 @@ def run_worker(
                 time.sleep(delay)
                 continue
             try:
-                protocol.handshake(
-                    connection, "worker",
-                    telemetry=remote.hello_record("worker"),
-                )
+                extra: dict = {"telemetry": remote.hello_record("worker")}
+                if token is not None:
+                    extra["token"] = token
+                protocol.handshake(connection, "worker", **extra)
                 failures = 0
                 log(f"worker {os.getpid()}: connected to {host}:{port}")
                 while True:

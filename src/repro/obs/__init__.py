@@ -24,7 +24,15 @@ Components
 - :mod:`repro.obs.export` — JSON snapshot / summary table / Prometheus
   text exporters;
 - :mod:`repro.obs.progress` — TTY progress meter (rate, ETA) for long
-  loops, silent in batch runs.
+  loops, silent in batch runs;
+- :mod:`repro.obs.http` — embedded live console (``/metrics``,
+  ``/status.json``, SSE dashboard) for the coordinator and ``--serve``;
+- :mod:`repro.obs.resource` — /proc host-footprint sampler (CPU%, RSS,
+  fds, I/O) published as ``resource.*`` gauges;
+- :mod:`repro.obs.flame` — collapsed-stack folding + self-contained
+  flamegraph rendering from span aggregates;
+- :mod:`repro.obs.health` — declarative campaign-health rules
+  (``obs.health.*`` gauges, alert edges).
 
 Metric names follow ``subsystem.phase.metric`` (see README, "Metrics
 naming"). Tests get a fresh registry per test via the autouse fixture in
@@ -35,7 +43,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.obs import events, remote, traceevent
+from repro.obs import events, flame, health, http, remote, resource, traceevent
 from repro.obs.dashboard import CampaignDashboard
 from repro.obs.events import JsonlSink, clear_sinks, emit, install_sink, remove_sink
 from repro.obs.export import (
@@ -44,6 +52,14 @@ from repro.obs.export import (
     snapshot,
     summary,
     write_json,
+)
+from repro.obs.flame import collapsed_stacks, render_flamegraph, write_flamegraph
+from repro.obs.health import Alert, HealthMonitor, default_rules
+from repro.obs.http import (
+    ConsoleProvider,
+    ConsoleServer,
+    merged_metrics_text,
+    start_in_thread,
 )
 from repro.obs.metrics import (
     Counter,
@@ -61,6 +77,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.progress import Progress, progress_enabled, progress_iter, set_progress
 from repro.obs.remote import MergedTelemetry, TelemetryWriter, collect
+from repro.obs.resource import ResourceSample, ResourceSampler, sample_self
 from repro.obs.spans import Span, current_path, is_enabled, set_enabled, span, timed
 from repro.obs.traceevent import write_trace
 
@@ -93,50 +110,68 @@ def reset() -> None:
     get_registry().reset()
     clear_sinks()
     remote.reset()
+    resource.reset()
     set_progress(None)
     set_enabled(True)
 
 
 __all__ = [
+    "Alert",
     "CampaignDashboard",
+    "ConsoleProvider",
+    "ConsoleServer",
     "Counter",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "JsonlSink",
     "MergedTelemetry",
     "MetricsRegistry",
     "Progress",
+    "ResourceSample",
+    "ResourceSampler",
     "Span",
     "SpanStats",
     "TelemetryWriter",
     "aligned_table",
     "clear_sinks",
+    "collapsed_stacks",
     "collect",
     "configure",
     "counter",
     "current_path",
+    "default_rules",
     "emit",
     "events",
+    "flame",
     "gauge",
     "get_registry",
+    "health",
     "histogram",
+    "http",
     "install_sink",
     "is_enabled",
     "labeled_name",
+    "merged_metrics_text",
     "progress_enabled",
     "progress_iter",
     "prometheus_text",
     "remote",
     "remove_sink",
+    "render_flamegraph",
     "reset",
+    "resource",
+    "sample_self",
     "set_enabled",
     "set_progress",
     "set_registry",
     "snapshot",
     "span",
     "split_labeled_name",
+    "start_in_thread",
     "summary",
     "timed",
     "traceevent",
+    "write_flamegraph",
     "write_json",
 ]

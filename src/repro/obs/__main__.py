@@ -1,0 +1,85 @@
+"""``python -m repro.obs`` — offline observability tooling.
+
+Currently one subcommand::
+
+    python -m repro.obs flame <telemetry-dir|journal> [--out flame.html]
+        [--collapsed stacks.txt] [--title ...]
+
+which folds a campaign's span telemetry into a self-contained flamegraph
+(and, optionally, collapsed-stack text for external profiler tooling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.flame import (
+    collapsed_stacks,
+    load_span_totals,
+    write_flamegraph,
+)
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    try:
+        totals = load_span_totals(args.source)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not totals:
+        print(f"error: no spans recorded under {args.source}", file=sys.stderr)
+        return 2
+    title = args.title or f"span flamegraph — {Path(args.source).name}"
+    if args.collapsed is not None:
+        Path(args.collapsed).write_text(
+            collapsed_stacks(totals), encoding="utf-8"
+        )
+        print(f"collapsed stacks -> {args.collapsed}")
+    out = write_flamegraph(args.out, totals, title=title)
+    print(f"flamegraph ({len(totals)} span path(s)) -> {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="offline observability tooling (flamegraphs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    flame_p = sub.add_parser(
+        "flame",
+        help="render a flamegraph from span telemetry",
+        description=(
+            "Fold span aggregates from a telemetry directory (or a "
+            "journal's .telemetry sibling) into a self-contained "
+            "flamegraph HTML file."
+        ),
+    )
+    flame_p.add_argument(
+        "source", help="telemetry directory or campaign journal path"
+    )
+    flame_p.add_argument(
+        "--out",
+        default="flame.html",
+        help="output HTML path (default: %(default)s)",
+    )
+    flame_p.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        default=None,
+        help="also write collapsed-stack text to PATH",
+    )
+    flame_p.add_argument(
+        "--title", default=None, help="page title (default: derived)"
+    )
+    flame_p.set_defaults(func=_cmd_flame)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

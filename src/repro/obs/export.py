@@ -223,28 +223,39 @@ def prometheus_text(registry: MetricsRegistry | None = None) -> str:
 
     Worker-labeled names (``campaign.injections{worker=1}``, produced by
     the cross-process collector) render as one metric family with real
-    Prometheus labels; ``# TYPE`` headers are emitted once per family.
+    Prometheus labels; ``# HELP``/``# TYPE`` headers are emitted once per
+    family (not per labelled series). Counts and sums stay in base units
+    (events, seconds) so ``rate()`` works without unit juggling.
     """
     registry = registry or get_registry()
     lines: list[str] = []
     typed: set[str] = set()
 
-    def declare(prom: str, kind: str) -> None:
+    def declare(prom: str, kind: str, help_text: str) -> None:
         if prom not in typed:
             typed.add(prom)
+            escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {prom} {escaped}")
             lines.append(f"# TYPE {prom} {kind}")
 
     for name, metric in sorted(registry.counters.items()):
+        base, _ = split_labeled_name(name)
         prom, labels = _prom_name(name, "_total")
-        declare(prom, "counter")
+        declare(prom, "counter", f"Cumulative count of {base} events.")
         lines.append(f"{prom}{labels} {metric.value}")
     for name, metric in sorted(registry.gauges.items()):
+        base, _ = split_labeled_name(name)
         prom, labels = _prom_name(name)
-        declare(prom, "gauge")
+        declare(prom, "gauge", f"Current value of {base}.")
         lines.append(f"{prom}{labels} {_prom_value(metric.value)}")
     for name, hist in sorted(registry.histograms.items()):
+        base, _ = split_labeled_name(name)
         prom, labels = _prom_name(name)
-        declare(prom, "summary")
+        declare(
+            prom,
+            "summary",
+            f"Distribution of {base} observations (base units).",
+        )
         lines.append(f"{prom}_count{labels} {hist.count}")
         lines.append(f"{prom}_sum{labels} {_prom_value(hist.total)}")
         if hist.count:
@@ -258,7 +269,11 @@ def prometheus_text(registry: MetricsRegistry | None = None) -> str:
         base, span_labels = split_labeled_name(path)
         sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", "span." + base.replace("/", "."))
         prom, labels = f"repro_{sanitized}", _prom_labels(span_labels)
-        declare(f"{prom}_seconds", "summary")
+        declare(
+            f"{prom}_seconds",
+            "summary",
+            f"Wall-clock seconds spent in span {base}.",
+        )
         lines.append(f"{prom}_seconds_count{labels} {stats.count}")
         lines.append(f"{prom}_seconds_sum{labels} {_prom_value(stats.total_seconds)}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,273 @@
+"""Flamegraphs from span aggregates: collapsed stacks + self-contained SVG.
+
+Every instrumented phase already streams hierarchical spans
+(:mod:`repro.obs.spans`, paths joined with ``/``) and aggregates them per
+path in the registry. This module folds those aggregates into the classic
+*collapsed-stack* format (``frame;frame;frame <microseconds>`` — the input
+Brendan Gregg's tooling and most profilers speak) and renders a
+dependency-free flamegraph as one HTML file, so hot-path attribution of a
+whole campaign needs neither Perfetto nor any external script::
+
+    python -m repro.obs flame camp.jsonl.telemetry --out flame.html
+
+Sources: a live :class:`~repro.obs.metrics.MetricsRegistry`, a campaign's
+telemetry directory, or a journal path (its ``<journal>.telemetry``
+sibling). Merged telemetry keeps workers apart by rooting each process's
+stacks under a ``worker-<n>`` frame.
+
+Frame *self* time is derived the standard way — a path's total minus its
+recorded children's totals — so the x-axis adds up instead of double
+counting. Span names are hostile input (they carry dff/workload names)
+and are HTML-escaped everywhere they land in markup.
+"""
+
+from __future__ import annotations
+
+import html
+import zlib
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, split_labeled_name
+
+#: Pixel geometry of the rendered SVG.
+_WIDTH = 1000
+_ROW = 18
+#: Frames narrower than this get no inline text label (title-only).
+_MIN_TEXT_WIDTH = 40
+
+
+def fold_registry(registry: MetricsRegistry) -> dict[str, float]:
+    """Span totals as ``path -> seconds``, worker labels folded into roots.
+
+    Labelless paths pass through; ``path{worker=n}`` entries (produced by
+    :func:`repro.obs.remote.collect`) are re-rooted under a ``worker-n``
+    (or ``parent``) frame so one merged registry yields one flamegraph
+    with a lane per process.
+    """
+    folded: dict[str, float] = {}
+    for path, stats in registry.spans.items():
+        base, labels = split_labeled_name(path)
+        if "worker" in labels:
+            base = f"worker-{labels['worker']}/{base}"
+        folded[base] = folded.get(base, 0.0) + stats.total_seconds
+    return folded
+
+
+def _parent_of(path: str, paths: set[str]) -> str | None:
+    """The longest *recorded* proper prefix of ``path``, if any.
+
+    Mirrors the ancestry rule of :func:`repro.obs.export.summary`: span
+    names may themselves contain ``/``, so only prefixes that were actually
+    recorded count as ancestors.
+    """
+    parts = path.split("/")
+    for cut in range(len(parts) - 1, 0, -1):
+        prefix = "/".join(parts[:cut])
+        if prefix in paths:
+            return prefix
+    return None
+
+
+def _frames_of(path: str, paths: set[str]) -> list[str]:
+    """The frame labels of ``path``, one per recorded ancestry level."""
+    parent = _parent_of(path, paths)
+    if parent is None:
+        return [path]
+    return _frames_of(parent, paths) + [path[len(parent) + 1 :]]
+
+
+def self_times(totals: dict[str, float]) -> dict[str, float]:
+    """Per-path *self* seconds: total minus recorded children's totals.
+
+    Clamped at zero — overlapping spans (threads) can make children sum
+    past their parent, and a negative bar has no meaning in a flamegraph.
+    """
+    paths = set(totals)
+    selves = dict(totals)
+    for path in totals:
+        parent = _parent_of(path, paths)
+        if parent is not None:
+            selves[parent] -= totals[path]
+    return {path: max(0.0, value) for path, value in selves.items()}
+
+
+def collapsed_stacks(totals: dict[str, float]) -> str:
+    """The collapsed-stack text of one span-total mapping.
+
+    One ``frame;frame;frame <value>`` line per path with nonzero self
+    time, value in integer microseconds, lines sorted — byte-stable for a
+    given input. Semicolons inside frame labels are replaced with ``:`` so
+    the format stays parseable.
+    """
+    paths = set(totals)
+    lines = []
+    for path, seconds in self_times(totals).items():
+        micros = round(seconds * 1e6)
+        if micros <= 0:
+            continue
+        frames = [f.replace(";", ":") for f in _frames_of(path, paths)]
+        lines.append(f"{';'.join(frames)} {micros}")
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> dict[str, int]:
+    """``stack -> microseconds`` from collapsed-stack text (round-trip)."""
+    out: dict[str, int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, value = line.rpartition(" ")
+        if not stack:
+            raise ValueError(f"collapsed-stack line has no value: {line!r}")
+        out[stack] = out.get(stack, 0) + int(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# SVG rendering
+# ----------------------------------------------------------------------
+class _Node:
+    __slots__ = ("label", "total", "children")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.total = 0.0
+        self.children: dict[str, _Node] = {}
+
+
+def _build_tree(totals: dict[str, float]) -> _Node:
+    paths = set(totals)
+    root = _Node("all")
+    for path in sorted(totals):
+        node = root
+        for frame in _frames_of(path, paths):
+            node = node.children.setdefault(frame, _Node(frame))
+        node.total = max(node.total, totals[path])
+    # A parent's width must cover its children even if its own span total
+    # was smaller (overlap) or it was never recorded itself.
+    def settle(node: _Node) -> float:
+        covered = sum(settle(child) for child in node.children.values())
+        node.total = max(node.total, covered)
+        return node.total
+
+    settle(root)
+    return root
+
+
+def _color(label: str) -> str:
+    """A deterministic warm fill per frame label (flame palette)."""
+    digest = zlib.crc32(label.encode())
+    hue = digest % 55  # red..yellow band
+    lightness = 52 + (digest >> 8) % 12
+    return f"hsl({hue},85%,{lightness}%)"
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def render_flamegraph(
+    totals: dict[str, float], title: str = "span flamegraph"
+) -> str:
+    """One span-total mapping as a self-contained flamegraph HTML page.
+
+    Pure markup — rectangles with ``<title>`` hover text, no scripts — so
+    the file opens anywhere, ships as a CI artifact, and every label is
+    escaped against hostile span names.
+    """
+    root = _build_tree(totals)
+    rects: list[str] = []
+    depth_seen = [0]
+
+    def place(node: _Node, x: float, width: float, depth: int) -> None:
+        depth_seen[0] = max(depth_seen[0], depth)
+        share = 100.0 * node.total / root.total if root.total else 0.0
+        label = html.escape(node.label)
+        hover = html.escape(
+            f"{node.label} — {_format_seconds(node.total)} ({share:.1f}%)"
+        )
+        y = depth * _ROW
+        rects.append(
+            f"<g><title>{hover}</title>"
+            f"<rect x='{x:.2f}' y='{y}' width='{max(width, 0.5):.2f}' "
+            f"height='{_ROW - 1}' fill='{_color(node.label)}' rx='2'/>"
+            + (
+                f"<text x='{x + 3:.2f}' y='{y + _ROW - 6}'>{label}</text>"
+                if width >= _MIN_TEXT_WIDTH
+                else ""
+            )
+            + "</g>"
+        )
+        cursor = x
+        for child in node.children.values():
+            child_width = (
+                width * child.total / node.total if node.total else 0.0
+            )
+            place(child, cursor, child_width, depth + 1)
+            cursor += child_width
+
+    place(root, 0.0, float(_WIDTH), 0)
+    height = (depth_seen[0] + 1) * _ROW
+    svg = (
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{_WIDTH}' "
+        f"height='{height}' font-family='monospace' font-size='11'>"
+        + "".join(rects)
+        + "</svg>"
+    )
+    return "\n".join(
+        [
+            "<!DOCTYPE html>",
+            "<html lang='en'><head><meta charset='utf-8'>",
+            f"<title>{html.escape(title)}</title>",
+            "<style>body{font-family:system-ui,sans-serif;margin:2rem auto;"
+            "max-width:64rem;color:#1f2430}h1{font-size:1.2rem}"
+            "text{pointer-events:none}p{color:#5b6270;font-size:.85rem}"
+            "</style></head><body>",
+            f"<h1>{html.escape(title)}</h1>",
+            "<p>Width is total span seconds; hover a frame for exact "
+            "numbers. Root row spans the whole recorded time.</p>",
+            svg,
+            "</body></html>",
+        ]
+    ) + "\n"
+
+
+def write_flamegraph(
+    path: str | Path,
+    totals: dict[str, float],
+    title: str = "span flamegraph",
+) -> Path:
+    """Render and write the flamegraph; returns the output path."""
+    path = Path(path)
+    path.write_text(render_flamegraph(totals, title), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Source loading (CLI substrate)
+# ----------------------------------------------------------------------
+def load_span_totals(source: str | Path) -> dict[str, float]:
+    """Span totals from a telemetry directory or a journal path.
+
+    A directory is collected into a scratch registry (never the live one);
+    a journal file resolves to its ``<journal>.telemetry`` sibling — the
+    same convention the runner and ``fi report`` use.
+    """
+    from repro.obs.remote import collect
+
+    source = Path(source)
+    directory = source
+    if not source.is_dir():
+        sibling = Path(f"{source}.telemetry")
+        if not sibling.is_dir():
+            raise FileNotFoundError(
+                f"{source} is neither a telemetry directory nor a journal "
+                f"with one at {sibling}"
+            )
+        directory = sibling
+    registry = MetricsRegistry()
+    collect(directory, registry=registry)
+    return fold_registry(registry)

@@ -1,0 +1,360 @@
+"""Declarative campaign-health rules evaluated on the coordinator tick.
+
+A long fan-out campaign fails quietly: a wedged worker stalls a shard, a
+swapping host halves the injection rate, a poisoned target floods the
+quarantine, lease churn burns the fleet on reassignments. This module
+watches for those shapes over rolling metric windows and surfaces them
+everywhere an operator looks:
+
+- ``obs.health.<rule>`` gauges (1 firing / 0 clear) plus an
+  ``obs.health.fired`` rising-edge counter in the registry → ``/metrics``;
+- the firing list in ``/status.json`` and the live console banner;
+- one log line per edge (fire and clear);
+- ``submit --wait --fail-on-alert`` exits nonzero on any firing alert.
+
+The engine is deliberately simple: the caller feeds one flat sample dict
+per tick (``{"done": 1234, "pending": 7, "rss.4711": 7.3e7, ...}``), each
+key becomes a bounded time series, and every rule is a pure predicate
+over those series. Rules are plain objects — adding one means writing a
+``check`` method, not learning a config language.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Gauge-name prefix of per-rule firing indicators.
+GAUGE_PREFIX = "obs.health."
+
+
+class Series:
+    """One bounded ``(time, value)`` window with change-point tracking."""
+
+    def __init__(self, horizon: float = 600.0) -> None:
+        self.horizon = horizon
+        self._points: deque[tuple[float, float]] = deque()
+        self.first_time: float | None = None
+        #: When the value last *increased* (first append counts).
+        self.last_increase: float | None = None
+        #: When the value was last observed at zero.
+        self.last_zero: float | None = None
+
+    def append(self, now: float, value: float) -> None:
+        value = float(value)
+        if self.first_time is None:
+            self.first_time = now
+            self.last_increase = now
+        elif self._points and value > self._points[-1][1]:
+            self.last_increase = now
+        if value == 0:
+            self.last_zero = now
+        self._points.append((now, value))
+        while self._points and now - self._points[0][0] > self.horizon:
+            self._points.popleft()
+
+    @property
+    def last(self) -> float | None:
+        return self._points[-1][1] if self._points else None
+
+    def value_at(self, when: float) -> float | None:
+        """The most recent value observed at or before ``when``."""
+        best = None
+        for stamp, value in self._points:
+            if stamp > when:
+                break
+            best = value
+        return best
+
+    def delta(self, window: float, now: float) -> float | None:
+        """Value growth over the ``window`` seconds ending at ``now``.
+
+        ``now`` may lie in the past (the rate-drop baseline measures an
+        *earlier* window); the endpoint is the value observed at ``now``.
+        """
+        end = self.value_at(now)
+        if end is None:
+            return None
+        base = self.value_at(now - window)
+        if base is None:
+            # The window predates the series: measure from its first point
+            # only once the series is old enough to cover the window.
+            if now - self._points[0][0] < window:
+                return None
+            base = self._points[0][1]
+        return end - base
+
+    def rate(self, window: float, now: float) -> float | None:
+        """Average growth per second over the trailing window."""
+        delta = self.delta(window, now)
+        return None if delta is None else delta / window
+
+
+@dataclass
+class Alert:
+    """One firing rule instance."""
+
+    rule: str
+    since: float
+    reason: str
+
+    def doc(self) -> dict:
+        return {"rule": self.rule, "since": self.since, "reason": self.reason}
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class StalledRule:
+    """Work is pending but no record has landed for ``stall_seconds``."""
+
+    name = "stalled"
+
+    def __init__(self, stall_seconds: float = 30.0) -> None:
+        self.stall_seconds = stall_seconds
+
+    def check(self, series: dict[str, Series], now: float) -> str | None:
+        pending = series.get("pending")
+        done = series.get("done")
+        if pending is None or done is None or not (pending.last or 0) > 0:
+            return None
+        marks = [done.last_increase, pending.last_zero, done.first_time]
+        anchor = max(m for m in marks if m is not None)
+        silent = now - anchor
+        if silent > self.stall_seconds:
+            return (
+                f"{int(pending.last or 0)} point(s) pending but no record "
+                f"for {silent:.0f}s (threshold {self.stall_seconds:.0f}s)"
+            )
+        return None
+
+
+class RateDropRule:
+    """Injections/sec fell below ``(1 - drop)`` of the rolling baseline."""
+
+    name = "rate_drop"
+
+    def __init__(
+        self,
+        drop: float = 0.7,
+        window: float = 30.0,
+        baseline_window: float = 120.0,
+        min_rate: float = 1.0,
+    ) -> None:
+        self.drop = drop
+        self.window = window
+        self.baseline_window = baseline_window
+        self.min_rate = min_rate
+
+    def check(self, series: dict[str, Series], now: float) -> str | None:
+        done = series.get("done")
+        pending = series.get("pending")
+        if done is None or not (pending is None or (pending.last or 0) > 0):
+            return None  # nothing left to inject — a zero rate is fine
+        current = done.rate(self.window, now)
+        baseline = done.rate(self.baseline_window, now - self.window)
+        if current is None or baseline is None or baseline < self.min_rate:
+            return None
+        if current < (1.0 - self.drop) * baseline:
+            return (
+                f"rate {current:.1f}/s is down "
+                f"{100 * (1 - current / baseline):.0f}% from the "
+                f"{baseline:.1f}/s baseline"
+            )
+        return None
+
+
+class QuarantineSpikeRule:
+    """``threshold`` or more quarantined points within ``window`` seconds."""
+
+    name = "quarantine_spike"
+
+    def __init__(self, threshold: int = 5, window: float = 60.0) -> None:
+        self.threshold = threshold
+        self.window = window
+
+    def check(self, series: dict[str, Series], now: float) -> str | None:
+        quarantined = series.get("quarantined")
+        if quarantined is None:
+            return None
+        delta = quarantined.delta(self.window, now)
+        if delta is not None and delta >= self.threshold:
+            return (
+                f"{int(delta)} point(s) quarantined in the last "
+                f"{self.window:.0f}s (threshold {self.threshold})"
+            )
+        return None
+
+
+class LeaseChurnRule:
+    """A reassignment storm: too many lease releases per window."""
+
+    name = "lease_churn"
+
+    def __init__(self, threshold: int = 5, window: float = 60.0) -> None:
+        self.threshold = threshold
+        self.window = window
+
+    def check(self, series: dict[str, Series], now: float) -> str | None:
+        releases = series.get("lease_releases")
+        if releases is None:
+            return None
+        delta = releases.delta(self.window, now)
+        if delta is not None and delta >= self.threshold:
+            return (
+                f"{int(delta)} shard lease(s) released in the last "
+                f"{self.window:.0f}s (threshold {self.threshold})"
+            )
+        return None
+
+
+class RssRunawayRule:
+    """A worker's RSS grew past ``growth_bytes`` within the window, or
+    crossed the hard ``limit_bytes`` ceiling."""
+
+    name = "rss_runaway"
+
+    def __init__(
+        self,
+        growth_bytes: float = 512 * 1024 * 1024,
+        window: float = 300.0,
+        limit_bytes: float = 4 * 1024 * 1024 * 1024,
+    ) -> None:
+        self.growth_bytes = growth_bytes
+        self.window = window
+        self.limit_bytes = limit_bytes
+
+    def check(self, series: dict[str, Series], now: float) -> str | None:
+        for key, values in series.items():
+            if not key.startswith("rss."):
+                continue
+            worker = key[len("rss.") :]
+            last = values.last or 0.0
+            if last > self.limit_bytes:
+                return (
+                    f"worker {worker} RSS {last / 1e6:.0f} MB exceeds the "
+                    f"{self.limit_bytes / 1e6:.0f} MB ceiling"
+                )
+            growth = values.delta(self.window, now)
+            if growth is not None and growth > self.growth_bytes:
+                return (
+                    f"worker {worker} RSS grew {growth / 1e6:.0f} MB in "
+                    f"{self.window:.0f}s"
+                )
+        return None
+
+
+def default_rules(stall_seconds: float = 30.0) -> list:
+    """The standard fleet rule set (see each rule for its thresholds)."""
+    return [
+        StalledRule(stall_seconds=stall_seconds),
+        RateDropRule(),
+        QuarantineSpikeRule(),
+        LeaseChurnRule(),
+        RssRunawayRule(),
+    ]
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _Edge:
+    fired: list[Alert] = field(default_factory=list)
+    cleared: list[str] = field(default_factory=list)
+
+
+class HealthMonitor:
+    """Evaluates a rule set over the sample stream (see module docstring)."""
+
+    def __init__(
+        self,
+        rules: list | None = None,
+        registry: MetricsRegistry | None = None,
+        log=None,
+        horizon: float = 600.0,
+    ) -> None:
+        self.rules = default_rules() if rules is None else rules
+        self.registry = registry or get_registry()
+        self.log = log or (lambda message: None)
+        self.horizon = horizon
+        self._series: dict[str, Series] = {}
+        self._firing: dict[str, Alert] = {}
+        self._silenced_until = 0.0
+        self.fired_total = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, sample: dict[str, float], now: float | None = None
+    ) -> _Edge:
+        """Fold one sample in and evaluate every rule; returns the edges.
+
+        Call once per coordinator tick. Gauges are refreshed on every
+        call; log lines and the ``obs.health.fired`` counter only move on
+        rising/falling edges.
+        """
+        now = time.monotonic() if now is None else now
+        for key, value in sample.items():
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = Series(self.horizon)
+            series.append(now, value)
+        edge = _Edge()
+        silenced = now < self._silenced_until
+        for rule in self.rules:
+            reason = None if silenced else rule.check(self._series, now)
+            active = self._firing.get(rule.name)
+            if reason is not None and active is None:
+                alert = Alert(rule.name, now, reason)
+                self._firing[rule.name] = alert
+                edge.fired.append(alert)
+                self.fired_total += 1
+                self.registry.counter(GAUGE_PREFIX + "fired").inc()
+                self.log(f"health: {rule.name} FIRING — {reason}")
+            elif reason is None and active is not None:
+                del self._firing[rule.name]
+                edge.cleared.append(rule.name)
+                self.log(f"health: {rule.name} cleared")
+            elif active is not None:
+                active.reason = reason  # keep the banner text current
+            self.registry.gauge(GAUGE_PREFIX + rule.name).set(
+                1.0 if rule.name in self._firing else 0.0
+            )
+        self.registry.gauge(GAUGE_PREFIX + "firing").set(len(self._firing))
+        return edge
+
+    # ------------------------------------------------------------------
+    @property
+    def firing(self) -> list[Alert]:
+        """Currently firing alerts, oldest first."""
+        return sorted(self._firing.values(), key=lambda a: a.since)
+
+    def doc(self) -> list[dict]:
+        """The firing list as JSON-ready dicts (``/status.json`` shape)."""
+        return [alert.doc() for alert in self.firing]
+
+    def series_rate(
+        self, key: str, window: float = 30.0, now: float | None = None
+    ) -> float | None:
+        """Trailing growth/sec of one observed series (rate/ETA reuse).
+
+        The monitor already holds every sample the caller fed it, so
+        status reporting can derive injection rates from the same data
+        the rules run on instead of keeping a second window.
+        """
+        now = time.monotonic() if now is None else now
+        series = self._series.get(key)
+        return None if series is None else series.rate(window, now)
+
+    def silence(self, seconds: float, now: float | None = None) -> float:
+        """Suppress all rules for ``seconds``; returns the un-silence time.
+
+        Firing alerts clear on the next :meth:`observe`; conditions that
+        persist past the window simply re-fire. This is the operator
+        mute button behind the console's authenticated silence endpoint.
+        """
+        now = time.monotonic() if now is None else now
+        self._silenced_until = max(self._silenced_until, now + seconds)
+        self.log(f"health: silenced for {seconds:.0f}s")
+        return self._silenced_until

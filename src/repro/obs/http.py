@@ -1,0 +1,660 @@
+"""Embedded live console: ``/metrics``, ``/status.json``, SSE dashboard.
+
+A pure-stdlib asyncio HTTP server small enough to mount directly on the
+coordinator's event loop (zero extra threads there) yet self-hosting for
+single-host runs (``fi run --serve`` spins it up on a daemon thread).
+It speaks exactly what fleet operations needs and nothing else:
+
+- ``GET /metrics`` — Prometheus text exposition, the process registry
+  merged with every relayed worker-telemetry stream (same ``{worker=n}``
+  label scheme as :func:`repro.obs.remote.collect`);
+- ``GET /status.json`` — queue, per-campaign shard/lease table, outcome
+  tallies, rates/ETA, worker rows, firing health alerts;
+- ``GET /campaigns/<name>`` (+ ``.json``, ``/heatmap``) — drill-down;
+- ``GET /events`` — server-sent events feeding the dashboard at ``/``: a
+  browser sibling of the ANSI :class:`~repro.obs.dashboard.CampaignDashboard`
+  with progress bars, worker rows, an outcome-colored injection timeline,
+  and a health banner; the page is one self-contained HTML response;
+- ``POST /api/health/silence`` — the only mutating route, gated by the
+  shared-secret token when one is configured (``Authorization: Bearer``),
+  compared constant-time. ``/metrics`` and every other read stays open.
+
+State is supplied by a :class:`ConsoleProvider` — the coordinator and the
+single-host runner each implement the same four methods, so one server
+(and one dashboard page) serves both deployment shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import html
+import json
+import threading
+import urllib.parse
+from pathlib import Path
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Outcome status palette — kept in sync with ``repro.fi.report`` (obs may
+#: not import fi, so the values are restated here).
+OUTCOME_COLORS = {
+    "benign": "#0ca30c",
+    "sdc": "#ec835a",
+    "timeout": "#fab219",
+    "error": "#d03b3b",
+}
+NEUTRAL_COLOR = "#6b7280"
+
+#: SSE keepalive comment cadence, seconds.
+_KEEPALIVE = 15.0
+#: Per-subscriber event queue bound; the slowest browser drops, not the loop.
+_QUEUE_LIMIT = 256
+
+_escape = html.escape
+
+
+class ConsoleProvider:
+    """State the console serves; override per deployment shape.
+
+    The defaults make a provider with *no* overrides already useful for a
+    bare process: live registry metrics and an empty status document.
+    """
+
+    def title(self) -> str:
+        return "repro live console"
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body (see :func:`merged_metrics_text`)."""
+        return prometheus_text()
+
+    def status_doc(self) -> dict:
+        """The ``/status.json`` document; also the SSE snapshot event."""
+        return {"kind": "status", "workers": 0, "campaigns": []}
+
+    def campaign_doc(self, name: str) -> dict | None:
+        """One campaign's drill-down document, or None when unknown."""
+        for campaign in self.status_doc().get("campaigns", []):
+            if campaign.get("name") == name:
+                return campaign
+        return None
+
+    def heatmap_html(self, name: str) -> str | None:
+        """A warehoused campaign's heatmap page, when one exists."""
+        return None
+
+    def silence(self, seconds: float) -> bool:
+        """Mute health alerts for ``seconds``; False when unsupported."""
+        return False
+
+
+def merged_metrics_text(
+    telemetry_dirs: list[str | Path],
+    base_registry: MetricsRegistry | None = None,
+) -> str:
+    """Prometheus text of the process registry + relayed worker telemetry.
+
+    Each scrape collects the telemetry directories into a *scratch*
+    registry (worker series land labelled, exactly as post-hoc tooling
+    sees them) and overlays the live process registry, so one ``/metrics``
+    response carries the coordinator's own counters next to
+    ``resource.rss_bytes{worker=1}``-style fleet series.
+    """
+    from repro.obs.remote import collect
+
+    scratch = MetricsRegistry()
+    for directory in telemetry_dirs:
+        directory = Path(directory)
+        if directory.is_dir():
+            collect(directory, registry=scratch)
+    scratch.merge_from(base_registry or get_registry())
+    return prometheus_text(scratch)
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class ConsoleServer:
+    """One asyncio HTTP/SSE console (see module docstring)."""
+
+    def __init__(
+        self,
+        provider: ConsoleProvider,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: str | None = None,
+    ) -> None:
+        self.provider = provider
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._subscribers: set[asyncio.Queue] = set()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for queue in list(self._subscribers):
+            queue.put_nowait(None)  # wake SSE handlers so they exit
+
+    @property
+    def url(self) -> str:
+        host = "127.0.0.1" if self.host in ("0.0.0.0", "::") else self.host
+        return f"http://{host}:{self.port}"
+
+    # -- events --------------------------------------------------------
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._subscribers)
+
+    def publish(self, kind: str, data: dict) -> None:
+        """Fan one event out to every SSE subscriber (thread-safe).
+
+        A full subscriber queue drops its oldest event — a slow browser
+        loses history, never stalls the coordinator.
+        """
+        if not self._subscribers:
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self._loop or self._loop is None:
+            self._publish(kind, data)
+        else:
+            self._loop.call_soon_threadsafe(self._publish, kind, data)
+
+    def _publish(self, kind: str, data: dict) -> None:
+        for queue in list(self._subscribers):
+            if queue.full():
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+            queue.put_nowait((kind, data))
+
+    # -- request handling ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), 30.0)
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0].upper(), parts[1]
+            headers: dict[str, str] = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 30.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", 0) or 0)
+            if length:
+                body = await reader.readexactly(min(length, 1 << 20))
+            path = urllib.parse.unquote(target.split("?", 1)[0])
+            await self._route(writer, method, path, headers, body)
+        except (
+            TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            ValueError,
+        ):
+            pass  # half-open sockets and hostile requests just drop
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - transport already torn down
+                pass
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        if path == "/events":
+            if method != "GET":
+                return await self._respond(writer, 405, "text/plain", "GET only")
+            return await self._serve_events(writer)
+        if method == "GET":
+            if path == "/":
+                return await self._respond(
+                    writer, 200, "text/html; charset=utf-8",
+                    dashboard_page(self.provider.title()),
+                )
+            if path == "/metrics":
+                return await self._respond(
+                    writer, 200, "text/plain; version=0.0.4; charset=utf-8",
+                    self.provider.metrics_text(),
+                )
+            if path == "/status.json":
+                return await self._respond_json(
+                    writer, 200, self.provider.status_doc()
+                )
+            if path == "/healthz":
+                return await self._respond(writer, 200, "text/plain", "ok\n")
+            if path.startswith("/campaigns/"):
+                return await self._serve_campaign(writer, path)
+        if method == "POST" and path == "/api/health/silence":
+            if not self._authorized(headers):
+                return await self._respond(
+                    writer, 401, "text/plain",
+                    "authentication required (Authorization: Bearer <token>)",
+                )
+            try:
+                doc = json.loads(body or b"{}")
+                seconds = float(doc.get("seconds", 60.0))
+            except (ValueError, AttributeError):
+                return await self._respond(
+                    writer, 400, "text/plain", "body must be JSON"
+                )
+            accepted = self.provider.silence(seconds)
+            return await self._respond_json(
+                writer, 200 if accepted else 400,
+                {"silenced": bool(accepted), "seconds": seconds},
+            )
+        await self._respond(writer, 404, "text/plain", f"no route {path}\n")
+
+    def _authorized(self, headers: dict[str, str]) -> bool:
+        if self.auth_token is None:
+            return True
+        scheme, _, presented = headers.get("authorization", "").partition(" ")
+        return scheme.lower() == "bearer" and hmac.compare_digest(
+            presented.strip().encode(), str(self.auth_token).encode()
+        )
+
+    async def _serve_campaign(
+        self, writer: asyncio.StreamWriter, path: str
+    ) -> None:
+        rest = path[len("/campaigns/") :]
+        if rest.endswith("/heatmap"):
+            name = rest[: -len("/heatmap")]
+            page = self.provider.heatmap_html(name)
+            if page is None:
+                return await self._respond(
+                    writer, 404, "text/plain",
+                    f"campaign {name!r} has no warehoused heatmap (yet)\n",
+                )
+            return await self._respond(
+                writer, 200, "text/html; charset=utf-8", page
+            )
+        as_json = rest.endswith(".json")
+        name = rest[: -len(".json")] if as_json else rest
+        doc = self.provider.campaign_doc(name)
+        if doc is None:
+            return await self._respond(
+                writer, 404, "text/plain", f"unknown campaign {name!r}\n"
+            )
+        if as_json:
+            return await self._respond_json(writer, 200, doc)
+        await self._respond(
+            writer, 200, "text/html; charset=utf-8", campaign_page(name, doc)
+        )
+
+    async def _serve_events(self, writer: asyncio.StreamWriter) -> None:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=_QUEUE_LIMIT)
+        self._subscribers.add(queue)
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-store\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            # An immediate snapshot: subscribers render without waiting for
+            # the next live record.
+            writer.write(_sse_event("status", self.provider.status_doc()))
+            await writer.drain()
+            while True:
+                try:
+                    item = await asyncio.wait_for(queue.get(), _KEEPALIVE)
+                except (TimeoutError, asyncio.TimeoutError):
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    continue
+                if item is None:  # server stopping
+                    return
+                kind, data = item
+                writer.write(_sse_event(kind, data))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # browser went away
+        finally:
+            self._subscribers.discard(queue)
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: str,
+    ) -> None:
+        payload = body.encode()
+        writer.write(
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Cache-Control: no-store\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+            + payload
+        )
+        await writer.drain()
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, doc: dict
+    ) -> None:
+        await self._respond(
+            writer, status, "application/json",
+            json.dumps(doc, indent=2, default=str) + "\n",
+        )
+
+
+def _sse_event(kind: str, data: dict) -> bytes:
+    return (
+        f"event: {kind}\ndata: {json.dumps(data, default=str)}\n\n".encode()
+    )
+
+
+# ----------------------------------------------------------------------
+# Thread harness for synchronous hosts (``fi run --serve``)
+# ----------------------------------------------------------------------
+class ConsoleHandle:
+    """A console running on its own daemon-thread event loop."""
+
+    def __init__(self) -> None:
+        self.server: ConsoleServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return self.server.url if self.server is not None else ""
+
+    def publish(self, kind: str, data: dict) -> None:
+        if self.server is not None:
+            self.server.publish(kind, data)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+def start_in_thread(
+    provider: ConsoleProvider,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    auth_token: str | None = None,
+    timeout: float = 10.0,
+) -> ConsoleHandle:
+    """Run a :class:`ConsoleServer` on a daemon thread; returns its handle.
+
+    For synchronous hosts (the single-host campaign runner, tests). The
+    call returns once the port is bound, so ``handle.url`` is usable
+    immediately; ``handle.stop()`` shuts the loop down.
+    """
+    handle = ConsoleHandle()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    async def _main() -> None:
+        server = ConsoleServer(provider, host, port, auth_token)
+        try:
+            await server.start()
+        except BaseException as exc:
+            failure.append(exc)
+            started.set()
+            raise
+        handle.server = server
+        handle._loop = asyncio.get_running_loop()
+        handle._stop = asyncio.Event()
+        started.set()
+        try:
+            await handle._stop.wait()
+        finally:
+            await server.stop()
+
+    def _run() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException:  # noqa: BLE001 - surfaced via `failure`
+            pass
+
+    handle._thread = threading.Thread(
+        target=_run, name="repro-console", daemon=True
+    )
+    handle._thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("console server did not start in time")
+    if failure:
+        raise RuntimeError(f"console server failed to start: {failure[0]}")
+    return handle
+
+
+# ----------------------------------------------------------------------
+# Pages
+# ----------------------------------------------------------------------
+_PAGE_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 64rem; color: #1f2430; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { text-align: left; padding: .25rem .9rem .25rem 0; font-size: .9rem; }
+th { color: #5b6270; font-weight: 600; border-bottom: 1px solid #d8dbe2; }
+td.num, th.num { text-align: right; }
+.note { color: #5b6270; font-size: .85rem; }
+#banner { display: none; background: #d03b3b; color: #fff;
+          padding: .5rem .8rem; border-radius: 6px; margin: .8rem 0; }
+#banner.on { display: block; }
+.barwrap { background: #e4e7ee; border-radius: 4px; width: 360px;
+           height: 12px; display: inline-block; vertical-align: middle; }
+.bar { background: #0ca30c; border-radius: 4px; height: 12px;
+       display: block; }
+#timeline { margin-top: .4rem; line-height: 10px; }
+#timeline i { display: inline-block; width: 6px; height: 10px;
+              margin-right: 1px; border-radius: 1px; }
+.swatch { width: 10px; height: 10px; border-radius: 2px;
+          display: inline-block; margin-right: .35rem; }
+"""
+
+
+def dashboard_page(title: str) -> str:
+    """The self-contained live dashboard served at ``/``.
+
+    Inline CSS + inline JS (EventSource for records/alerts, a 2 s
+    ``/status.json`` refresh for the tables); nothing external.
+    """
+    colors = json.dumps(OUTCOME_COLORS)
+    legend = "".join(
+        f"<span class=swatch style='background:{color}'></span>{name} "
+        for name, color in OUTCOME_COLORS.items()
+    )
+    return f"""<!DOCTYPE html>
+<html lang='en'><head><meta charset='utf-8'>
+<title>{_escape(title)}</title>
+<style>{_PAGE_CSS}</style></head><body>
+<h1>{_escape(title)}</h1>
+<div id=banner></div>
+<div id=summary class=note>connecting&hellip;</div>
+<h2>Campaigns</h2>
+<div id=campaigns class=note>no campaigns yet</div>
+<h2>Workers</h2>
+<div id=workers class=note>no workers connected</div>
+<h2>Injection timeline <span class=note>{legend}
+<span class=swatch style='background:{NEUTRAL_COLOR}'></span>other</span></h2>
+<div id=timeline></div>
+<p class=note>Raw feeds: <a href='/metrics'>/metrics</a> &middot;
+<a href='/status.json'>/status.json</a> &middot;
+<a href='/events'>/events</a> (SSE)</p>
+<script>
+const COLORS = {colors};
+const NEUTRAL = '{NEUTRAL_COLOR}';
+const esc = s => String(s).replace(/[&<>"]/g,
+  c => ({{'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}})[c]);
+function render(s) {{
+  const rate = s.rate ? s.rate.toFixed(1) + '/s' : 'n/a';
+  document.getElementById('summary').textContent =
+    `${{s.workers}} worker(s) connected · rate ${{rate}}` +
+    (s.alerts_fired_total !== undefined
+      ? ` · ${{s.alerts_fired_total}} alert(s) fired total` : '');
+  const camps = s.campaigns || [];
+  document.getElementById('campaigns').innerHTML = camps.length
+    ? camps.map(c => {{
+        const pct = c.total ? Math.round(100 * c.done / c.total) : 0;
+        const shards = (c.shards || []).map(sh =>
+          `<tr><td>${{sh.id}}</td><td>${{esc(sh.status)}}</td>` +
+          `<td class=num>${{sh.done}}/${{sh.total}}</td>` +
+          `<td class=num>${{sh.retries}}</td>` +
+          `<td class=num>${{sh.owner ?? ''}}</td></tr>`).join('');
+        return `<h2><a href='/campaigns/${{encodeURIComponent(c.name)}}'>` +
+          `${{esc(c.name)}}</a> <span class=note>${{esc(c.status)}}` +
+          `${{c.eta_seconds ? ` · eta ~${{Math.round(c.eta_seconds)}}s`
+                            : ''}}</span></h2>` +
+          `<span class=barwrap><span class=bar style='width:${{pct}}%'>` +
+          `</span></span> ${{c.done}}/${{c.total}} (${{pct}}%)` +
+          ` · quarantined ${{c.quarantined || 0}}` +
+          `<table><tr><th>shard</th><th>state</th><th class=num>done</th>` +
+          `<th class=num>retries</th><th class=num>owner</th></tr>` +
+          shards + '</table>';
+      }}).join('')
+    : 'no campaigns yet';
+  const workers = s.worker_table || [];
+  document.getElementById('workers').innerHTML = workers.length
+    ? '<table><tr><th>pid</th><th>peer</th><th class=num>records</th>' +
+      '<th class=num>shards</th><th class=num>rss MB</th>' +
+      '<th class=num>cpu %</th><th>auth</th></tr>' +
+      workers.map(w =>
+        `<tr><td>${{w.pid}}</td><td>${{esc(w.peer || '')}}</td>` +
+        `<td class=num>${{w.records}}</td>` +
+        `<td class=num>${{w.shards_taken}}</td>` +
+        `<td class=num>${{w.rss_bytes ? (w.rss_bytes / 1e6).toFixed(0)
+                                      : ''}}</td>` +
+        `<td class=num>${{w.cpu_percent != null
+            ? w.cpu_percent.toFixed(0) : ''}}</td>` +
+        `<td>${{w.authenticated ? 'yes' : 'open'}}</td></tr>`).join('') +
+      '</table>'
+    : 'no workers connected';
+  banner(s.alerts || []);
+}}
+function banner(alerts) {{
+  const el = document.getElementById('banner');
+  if (alerts.length) {{
+    el.className = 'on';
+    el.textContent = alerts.map(
+      a => `${{a.rule}}: ${{a.reason}}`).join(' — ');
+  }} else {{
+    el.className = '';
+  }}
+}}
+function addCell(rec) {{
+  const tl = document.getElementById('timeline');
+  const cell = document.createElement('i');
+  cell.style.background = COLORS[rec.outcome] || NEUTRAL;
+  cell.title = `${{rec.campaign}} #${{rec.done}} ${{rec.outcome}}` +
+               (rec.worker ? ` (worker ${{rec.worker}})` : '');
+  tl.appendChild(cell);
+  while (tl.childNodes.length > 400) tl.removeChild(tl.firstChild);
+}}
+async function refresh() {{
+  try {{
+    render(await (await fetch('/status.json')).json());
+  }} catch (err) {{ /* server restarting */ }}
+}}
+const es = new EventSource('/events');
+es.addEventListener('status', e => render(JSON.parse(e.data)));
+es.addEventListener('record', e => addCell(JSON.parse(e.data)));
+es.addEventListener('alerts',
+  e => banner(JSON.parse(e.data).firing || []));
+setInterval(refresh, 2000);
+refresh();
+</script>
+</body></html>
+"""
+
+
+def campaign_page(name: str, doc: dict) -> str:
+    """One campaign's drill-down page (shard table + links)."""
+    shards = doc.get("shards") or []
+    rows = "".join(
+        f"<tr><td>{int(s.get('id', 0))}</td>"
+        f"<td>{_escape(str(s.get('status', '?')))}</td>"
+        f"<td class=num>{int(s.get('done', 0))}/"
+        f"{int(s.get('total', 0))}</td>"
+        f"<td class=num>{int(s.get('retries', 0))}</td>"
+        f"<td class=num>"
+        f"{_escape(str(s.get('owner'))) if s.get('owner') is not None else ''}"
+        f"</td></tr>"
+        for s in shards
+    )
+    outcomes = doc.get("outcomes") or {}
+    tally = "".join(
+        f"<tr><td><span class=swatch style='background:"
+        f"{OUTCOME_COLORS.get(key, NEUTRAL_COLOR)}'></span>{_escape(key)}"
+        f"</td><td class=num>{int(count)}</td></tr>"
+        for key, count in sorted(outcomes.items())
+    )
+    quoted = urllib.parse.quote(name, safe="")
+    links = [f"<a href='/campaigns/{quoted}.json'>JSON</a>"]
+    if doc.get("store_id") is not None:
+        links.append(
+            f"<a href='/campaigns/{quoted}/heatmap'>fault-space heatmap "
+            f"(warehouse #{int(doc['store_id'])})</a>"
+        )
+    return "\n".join(
+        [
+            "<!DOCTYPE html>",
+            "<html lang='en'><head><meta charset='utf-8'>",
+            f"<title>campaign {_escape(name)}</title>",
+            f"<style>{_PAGE_CSS}</style></head><body>",
+            f"<h1>campaign {_escape(name)} "
+            f"<span class=note>{_escape(str(doc.get('status', '?')))}"
+            "</span></h1>",
+            f"<p>{int(doc.get('done', 0))}/{int(doc.get('total', 0))} "
+            f"point(s) recorded · quarantined "
+            f"{int(doc.get('quarantined', 0))}</p>",
+            f"<p class=note>{' · '.join(links)} · "
+            "<a href='/'>back to console</a></p>",
+            "<h2>Outcomes</h2>",
+            f"<table><tr><th>outcome</th><th class=num>count</th></tr>"
+            f"{tally}</table>" if tally else
+            "<p class=note>no outcomes recorded yet</p>",
+            "<h2>Shards</h2>",
+            "<table><tr><th>shard</th><th>state</th><th class=num>done"
+            "</th><th class=num>retries</th><th class=num>owner</th></tr>"
+            f"{rows}</table>",
+            "</body></html>",
+        ]
+    ) + "\n"

@@ -243,6 +243,26 @@ class SpanStats:
             if seconds > self.max_seconds:
                 self.max_seconds = seconds
 
+    def merge(
+        self,
+        count: int,
+        total_seconds: float,
+        min_seconds: float,
+        max_seconds: float,
+    ) -> None:
+        """Fold another aggregate of the same path in (cross-registry merge)."""
+        if count < 0:
+            raise ValueError(f"span {self.path}: negative merge count {count}")
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total_seconds += total_seconds
+            if min_seconds < self.min_seconds:
+                self.min_seconds = min_seconds
+            if max_seconds > self.max_seconds:
+                self.max_seconds = max_seconds
+
     def snapshot(self) -> dict[str, float]:
         """Aggregates as a plain dict."""
         return {
@@ -321,6 +341,30 @@ class MetricsRegistry:
         """Path → span-aggregate view (copy)."""
         with self._lock:
             return dict(self._spans)
+
+    def merge_from(self, other: MetricsRegistry) -> None:
+        """Overlay another registry's metrics onto this one.
+
+        Counters add, gauges last-write-win, histograms and span
+        aggregates merge exactly. Used by the live console's ``/metrics``
+        route to combine the process registry with a scratch registry
+        holding collected worker telemetry.
+        """
+        for name, metric in other.counters.items():
+            self.counter(name).inc(metric.value)
+        for name, metric in other.gauges.items():
+            self.gauge(name).set(metric.value)
+        for name, hist in other.histograms.items():
+            self.histogram(name).merge(
+                hist.count, hist.total, hist.min, hist.max, hist.samples
+            )
+        for path, stats in other.spans.items():
+            self.span_stats(path).merge(
+                stats.count,
+                stats.total_seconds,
+                stats.min_seconds,
+                stats.max_seconds,
+            )
 
     def reset(self) -> None:
         """Drop every metric and span aggregate (test isolation)."""

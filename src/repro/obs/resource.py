@@ -1,0 +1,207 @@
+"""/proc-based process resource telemetry: CPU%, RSS, fds, I/O.
+
+Campaign workers burn whole cores for minutes; when one of them starts
+swapping or leaking descriptors the injection rate quietly collapses long
+before anything crashes. This module samples a process's host footprint
+straight from ``/proc`` (no dependencies) and publishes it as ordinary
+gauges, so it rides the existing cross-process telemetry pipeline
+(:mod:`repro.obs.remote` cumulative snapshots) and shows up per-worker in
+the Prometheus export and the live console::
+
+    resource.cpu_percent{worker=1}  97.5
+    resource.rss_bytes{worker=1}    73400320
+    resource.open_fds{worker=1}     12
+
+Workers call :func:`sample_self` once per injection (it rate-limits
+itself); the coordinator calls it on its reaper tick. On platforms
+without ``/proc`` (macOS, Windows) everything degrades to a no-op —
+resource telemetry must never take down the campaign it watches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: The gauge-name prefix every published sample field lands under.
+GAUGE_PREFIX = "resource."
+
+#: Default minimum seconds between published self-samples.
+MIN_INTERVAL = 1.0
+
+_PROC = Path("/proc")
+
+
+def available(pid: int | None = None) -> bool:
+    """Whether ``/proc`` exposes the stat file for ``pid`` (default: self)."""
+    pid = os.getpid() if pid is None else pid
+    return (_PROC / str(pid) / "stat").is_file()
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point-in-time host-footprint reading of a process."""
+
+    pid: int
+    mono: float
+    #: CPU utilization since the previous sample (0.0 on the first one).
+    cpu_percent: float
+    #: Cumulative user+system CPU seconds.
+    cpu_seconds: float
+    rss_bytes: int
+    open_fds: int
+    io_read_bytes: int
+    io_write_bytes: int
+
+    def as_gauges(self) -> dict[str, float]:
+        """The published fields, keyed by their ``resource.*`` gauge names."""
+        return {
+            GAUGE_PREFIX + "cpu_percent": self.cpu_percent,
+            GAUGE_PREFIX + "cpu_seconds": self.cpu_seconds,
+            GAUGE_PREFIX + "rss_bytes": float(self.rss_bytes),
+            GAUGE_PREFIX + "open_fds": float(self.open_fds),
+            GAUGE_PREFIX + "io_read_bytes": float(self.io_read_bytes),
+            GAUGE_PREFIX + "io_write_bytes": float(self.io_write_bytes),
+        }
+
+
+class ResourceSampler:
+    """Repeated ``/proc`` sampling of one pid, with CPU% from tick deltas.
+
+    Each :meth:`sample` reads ``/proc/<pid>/stat`` (utime+stime, rss),
+    counts ``/proc/<pid>/fd`` entries, and reads ``/proc/<pid>/io`` when
+    the kernel permits. CPU% is the cumulative-CPU-seconds delta between
+    consecutive samples over the elapsed monotonic time, so a sampler must
+    be kept alive between calls to get a meaningful utilization figure.
+    """
+
+    def __init__(self, pid: int | None = None) -> None:
+        self.pid = os.getpid() if pid is None else int(pid)
+        try:
+            self._hertz = float(os.sysconf("SC_CLK_TCK")) or 100.0
+        except (ValueError, OSError, AttributeError):
+            self._hertz = 100.0
+        try:
+            self._page = float(os.sysconf("SC_PAGE_SIZE")) or 4096.0
+        except (ValueError, OSError, AttributeError):
+            self._page = 4096.0
+        self._last: tuple[float, float] | None = None  # (mono, cpu_seconds)
+
+    # ------------------------------------------------------------------
+    def _proc(self, name: str) -> Path:
+        return _PROC / str(self.pid) / name
+
+    def _read_stat(self) -> tuple[float, int]:
+        """``(cpu_seconds, rss_bytes)`` from ``/proc/<pid>/stat``.
+
+        The comm field may contain spaces and parentheses, so fields are
+        parsed from after the *last* ``)``; in that remainder (state being
+        field 0) utime/stime are fields 11/12 and rss pages field 21.
+        """
+        text = self._proc("stat").read_text()
+        fields = text[text.rindex(")") + 2 :].split()
+        cpu = (float(fields[11]) + float(fields[12])) / self._hertz
+        rss = int(float(fields[21]) * self._page)
+        return cpu, rss
+
+    def _count_fds(self) -> int:
+        try:
+            return len(os.listdir(self._proc("fd")))
+        except OSError:
+            return 0
+
+    def _read_io(self) -> tuple[int, int]:
+        read_bytes = write_bytes = 0
+        try:
+            for line in self._proc("io").read_text().splitlines():
+                key, _, value = line.partition(":")
+                if key == "read_bytes":
+                    read_bytes = int(value)
+                elif key == "write_bytes":
+                    write_bytes = int(value)
+        except (OSError, ValueError):
+            pass  # /proc/<pid>/io needs ptrace rights for other processes
+        return read_bytes, write_bytes
+
+    # ------------------------------------------------------------------
+    def sample(self) -> ResourceSample | None:
+        """One reading, or ``None`` when /proc is absent or the pid died."""
+        now = time.monotonic()
+        try:
+            cpu_seconds, rss_bytes = self._read_stat()
+        except (OSError, ValueError, IndexError):
+            return None
+        cpu_percent = 0.0
+        if self._last is not None:
+            elapsed = now - self._last[0]
+            if elapsed > 0:
+                cpu_percent = max(
+                    0.0, 100.0 * (cpu_seconds - self._last[1]) / elapsed
+                )
+        self._last = (now, cpu_seconds)
+        read_bytes, write_bytes = self._read_io()
+        return ResourceSample(
+            pid=self.pid,
+            mono=now,
+            cpu_percent=cpu_percent,
+            cpu_seconds=cpu_seconds,
+            rss_bytes=rss_bytes,
+            open_fds=self._count_fds(),
+            io_read_bytes=read_bytes,
+            io_write_bytes=write_bytes,
+        )
+
+    def publish(
+        self, registry: MetricsRegistry | None = None
+    ) -> ResourceSample | None:
+        """Sample and set the ``resource.*`` gauges; returns the sample."""
+        sample = self.sample()
+        if sample is None:
+            return None
+        registry = registry or get_registry()
+        for name, value in sample.as_gauges().items():
+            registry.gauge(name).set(value)
+        return sample
+
+
+# ----------------------------------------------------------------------
+# Self-sampling hook (workers, coordinator tick)
+# ----------------------------------------------------------------------
+_self_sampler: ResourceSampler | None = None
+_last_published = 0.0
+
+
+def sample_self(
+    registry: MetricsRegistry | None = None,
+    min_interval: float = MIN_INTERVAL,
+) -> ResourceSample | None:
+    """Publish this process's ``resource.*`` gauges, rate-limited.
+
+    Cheap enough to call from hot paths (one injection, one coordinator
+    tick): between publishes — and always on platforms without ``/proc``
+    — it returns ``None`` without touching the filesystem. The gauges land
+    in the (global) registry, so worker-side cumulative telemetry flushes
+    (:func:`repro.obs.remote.flush_worker_metrics`) carry them home and
+    they surface labelled per worker after :func:`repro.obs.remote.collect`.
+    """
+    global _self_sampler, _last_published
+    now = time.monotonic()
+    if _self_sampler is not None and now - _last_published < min_interval:
+        return None
+    if _self_sampler is None:
+        if not available():
+            return None
+        _self_sampler = ResourceSampler()
+    _last_published = now
+    return _self_sampler.publish(registry)
+
+
+def reset() -> None:
+    """Forget the self-sampler (test isolation; safe any time)."""
+    global _self_sampler, _last_published
+    _self_sampler = None
+    _last_published = 0.0

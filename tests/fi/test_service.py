@@ -593,3 +593,77 @@ class TestEndToEnd:
         assert "sharded" in out
         assert "4/10 injections recorded across 3 shard(s)" in out
         assert "partial" in out
+
+
+# ----------------------------------------------------------------------
+# Shared-secret auth + live console
+# ----------------------------------------------------------------------
+class TestAuth:
+    def test_wrong_or_missing_token_is_refused(self, tmp_path):
+        with coordinator(tmp_path, auth_token="sekrit") as coord:
+            for hello_extra in ({}, {"token": "wrong"}):
+                with Connection.connect("127.0.0.1", coord.port) as conn:
+                    reply = conn.call(
+                        {
+                            "kind": "hello",
+                            "version": protocol.PROTOCOL_VERSION,
+                            "role": "worker",
+                            **hello_extra,
+                        }
+                    )
+                assert reply["kind"] == "error"
+                assert "token" in reply["reason"]
+
+    def test_correct_token_is_welcomed(self, tmp_path):
+        with coordinator(tmp_path, auth_token="sekrit") as coord:
+            with Connection.connect("127.0.0.1", coord.port) as conn:
+                reply = handshake(conn, "client", token="sekrit")
+            assert reply["kind"] == "welcome"
+
+    def test_no_token_configured_stays_open(self, tmp_path):
+        with coordinator(tmp_path) as coord:
+            with Connection.connect("127.0.0.1", coord.port) as conn:
+                assert handshake(conn, "client")["kind"] == "welcome"
+
+    def test_handshake_helper_surfaces_the_refusal(self, tmp_path):
+        with coordinator(tmp_path, auth_token="sekrit") as coord:
+            with Connection.connect("127.0.0.1", coord.port) as conn:
+                with pytest.raises(ProtocolError, match="token"):
+                    handshake(conn, "client")
+
+    def test_authenticated_worker_gets_work_replies(self, tmp_path):
+        with coordinator(tmp_path, auth_token="sekrit") as coord:
+            with Connection.connect("127.0.0.1", coord.port) as conn:
+                handshake(conn, "worker", token="sekrit")
+                reply = conn.call({"kind": "request"})
+            assert reply["kind"] == "idle"
+
+
+class TestConsole:
+    def test_console_mounts_and_serves_status(self, tmp_path):
+        import json
+        import urllib.request
+
+        from repro.fi.service.shards import CONSOLE_NAME
+
+        with coordinator(tmp_path, console_port=0) as coord:
+            assert coord.console is not None
+            discovery = json.loads(
+                (tmp_path / "campaigns" / CONSOLE_NAME).read_text()
+            )
+            assert discovery["url"] == coord.console.url
+            with _client(coord) as connection:
+                assert _submit(connection, sampled=4)["kind"] == "queued"
+                with urllib.request.urlopen(
+                    coord.console.url + "/status.json", timeout=10
+                ) as response:
+                    doc = json.loads(response.read())
+                assert doc["kind"] == "status"
+                assert [c["name"] for c in doc["campaigns"]] == ["svc"]
+                assert "alerts" in doc and "worker_table" in doc
+                with urllib.request.urlopen(
+                    coord.console.url + "/metrics", timeout=10
+                ) as response:
+                    assert b"# TYPE" in response.read()
+        # The discovery file is cleaned up on shutdown.
+        assert not (tmp_path / "campaigns" / CONSOLE_NAME).exists()

@@ -76,6 +76,40 @@ class TestPrometheus:
     def test_empty_registry(self):
         assert obs.prometheus_text() == ""
 
+    def test_help_precedes_type_once_per_family(self):
+        _populate()
+        text = obs.prometheus_text()
+        assert (
+            "# HELP repro_search_candidates_generated_total Cumulative "
+            "count of search.candidates.generated events.\n"
+            "# TYPE repro_search_candidates_generated_total counter"
+        ) in text
+        assert (
+            "# HELP repro_campaign_injections_per_second Current value "
+            "of campaign.injections_per_second." in text
+        )
+        assert (
+            "# HELP repro_span_mate_search_seconds Wall-clock seconds "
+            "spent in span mate-search." in text
+        )
+
+    def test_help_text_is_shared_across_labeled_series(self):
+        obs.counter(obs.labeled_name("campaign.injections", worker=1)).inc(3)
+        obs.counter(obs.labeled_name("campaign.injections", worker=2)).inc(9)
+        text = obs.prometheus_text()
+        # One family, one HELP line keyed on the unlabeled base name.
+        assert text.count("# HELP repro_campaign_injections_total") == 1
+        assert "campaign.injections events." in text
+        assert "worker=1" not in text.split("# HELP", 2)[1].split("\n")[0]
+
+    def test_help_escapes_newlines_and_backslashes(self):
+        obs.counter("weird\\name\nwith.newline").inc(1)
+        help_line = next(
+            line for line in obs.prometheus_text().splitlines()
+            if line.startswith("# HELP")
+        )
+        assert "\\\\" in help_line or "\\n" in help_line
+
     def test_worker_labels_become_prometheus_labels(self):
         obs.counter(obs.labeled_name("campaign.injections", worker=1)).inc(3)
         obs.counter(obs.labeled_name("campaign.injections", worker="parent")).inc(9)

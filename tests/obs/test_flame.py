@@ -1,0 +1,82 @@
+"""Flamegraphs: collapsed-stack folding, self-time math, escaped SVG."""
+
+import pytest
+
+from repro.obs.flame import (
+    collapsed_stacks,
+    fold_registry,
+    load_span_totals,
+    parse_collapsed,
+    render_flamegraph,
+    self_times,
+    write_flamegraph,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCollapsed:
+    def test_parent_self_time_excludes_children(self):
+        text = collapsed_stacks({"a": 1.0, "a/b": 0.25})
+        assert text == "a 750000\na;b 250000\n"
+
+    def test_round_trips_through_parse(self):
+        totals = {"a": 1.0, "a/b": 0.25, "a/b/c": 0.1, "z": 0.5}
+        parsed = parse_collapsed(collapsed_stacks(totals))
+        assert parsed == {
+            "a": 750000, "a;b": 150000, "a;b;c": 100000, "z": 500000,
+        }
+
+    def test_only_recorded_prefixes_are_ancestors(self):
+        # "x/y" alone: no recorded "x" span, so it is one opaque frame.
+        assert collapsed_stacks({"x/y": 1.0}) == "x/y 1000000\n"
+
+    def test_semicolons_in_frames_are_sanitized(self):
+        assert collapsed_stacks({"a;b": 1.0}) == "a:b 1000000\n"
+
+    def test_overlapping_children_clamp_parent_self_to_zero(self):
+        selves = self_times({"p": 1.0, "p/a": 0.8, "p/b": 0.7})
+        assert selves["p"] == 0.0
+        assert selves["p/a"] == 0.8
+
+    def test_parse_rejects_a_value_only_line(self):
+        with pytest.raises(ValueError):
+            parse_collapsed("12345\n")
+
+
+class TestFoldRegistry:
+    def test_worker_labels_become_root_frames(self):
+        registry = MetricsRegistry()
+        registry.span_stats("campaign/inject{worker=1}").record(2.0)
+        registry.span_stats("campaign/inject").record(1.0)
+        folded = fold_registry(registry)
+        assert folded == {
+            "worker-1/campaign/inject": 2.0,
+            "campaign/inject": 1.0,
+        }
+
+
+class TestRender:
+    def test_hostile_span_names_are_escaped(self):
+        page = render_flamegraph({"<script>alert(1)</script>": 1.0})
+        assert "<script>alert" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_widths_scale_with_totals(self):
+        page = render_flamegraph({"a": 0.75, "b": 0.25})
+        assert "width='750.00'" in page
+        assert "width='250.00'" in page
+
+    def test_write_is_self_contained_html(self, tmp_path):
+        out = write_flamegraph(tmp_path / "flame.html", {"a": 1.0})
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text and "http-equiv" not in text
+
+
+class TestLoad:
+    def test_missing_source_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_span_totals(tmp_path / "absent.jsonl")
+
+    def test_empty_directory_yields_no_totals(self, tmp_path):
+        assert load_span_totals(tmp_path) == {}

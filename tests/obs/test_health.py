@@ -1,0 +1,164 @@
+"""Health-rule engine: series windows, each rule's fire/clear, silencing."""
+
+from repro import obs
+from repro.obs.health import (
+    GAUGE_PREFIX,
+    HealthMonitor,
+    LeaseChurnRule,
+    QuarantineSpikeRule,
+    RateDropRule,
+    RssRunawayRule,
+    Series,
+    StalledRule,
+    default_rules,
+)
+
+
+class TestSeries:
+    def test_delta_over_trailing_window(self):
+        series = Series()
+        for t, v in [(0, 0), (10, 5), (20, 9), (30, 12)]:
+            series.append(float(t), float(v))
+        assert series.delta(10.0, 30.0) == 3.0
+        assert series.rate(10.0, 30.0) == 0.3
+
+    def test_delta_endpoint_can_lie_in_the_past(self):
+        series = Series()
+        for t, v in [(0, 0), (10, 10), (20, 20), (30, 21)]:
+            series.append(float(t), float(v))
+        # Baseline window ending at t=20 must ignore the slow tail.
+        assert series.delta(20.0, 20.0) == 20.0
+
+    def test_young_series_has_no_delta(self):
+        series = Series()
+        series.append(0.0, 1.0)
+        assert series.delta(60.0, 5.0) is None
+
+    def test_horizon_bounds_the_window(self):
+        series = Series(horizon=10.0)
+        for t in range(0, 100, 5):
+            series.append(float(t), float(t))
+        assert series._points[0][0] >= 85.0
+
+
+def _monitor(rules):
+    return HealthMonitor(rules=rules)
+
+
+class TestStalledRule:
+    def test_fires_then_clears(self):
+        monitor = _monitor([StalledRule(stall_seconds=5.0)])
+        edge = monitor.observe({"done": 10, "pending": 3}, now=0.0)
+        assert not edge.fired
+        edge = monitor.observe({"done": 10, "pending": 3}, now=6.0)
+        assert [a.rule for a in edge.fired] == ["stalled"]
+        assert obs.snapshot()["gauges"][GAUGE_PREFIX + "stalled"] == 1.0
+        # A new record moves `done` — the stall clears.
+        edge = monitor.observe({"done": 11, "pending": 2}, now=7.0)
+        assert edge.cleared == ["stalled"]
+        assert obs.snapshot()["gauges"][GAUGE_PREFIX + "stalled"] == 0.0
+
+    def test_quiet_when_nothing_pending(self):
+        monitor = _monitor([StalledRule(stall_seconds=5.0)])
+        monitor.observe({"done": 10, "pending": 0}, now=0.0)
+        edge = monitor.observe({"done": 10, "pending": 0}, now=60.0)
+        assert not edge.fired
+
+
+class TestRateDropRule:
+    def test_fires_on_a_collapsed_rate(self):
+        rule = RateDropRule(drop=0.7, window=30.0, baseline_window=120.0)
+        monitor = _monitor([rule])
+        done = 0.0
+        now = 0.0
+        for _ in range(30):  # 150 s at 10/s — a solid baseline
+            monitor.observe({"done": done, "pending": 1000}, now=now)
+            done += 50.0
+            now += 5.0
+        fired = []
+        for _ in range(8):  # 40 s near-stall: 0.2/s
+            monitor.observe({"done": done, "pending": 500}, now=now)
+            fired = monitor.firing
+            done += 1.0
+            now += 5.0
+        assert [a.rule for a in fired] == ["rate_drop"]
+
+    def test_steady_rate_stays_quiet(self):
+        monitor = _monitor([RateDropRule()])
+        done, now = 0.0, 0.0
+        for _ in range(60):
+            edge = monitor.observe({"done": done, "pending": 100}, now=now)
+            assert not edge.fired
+            done += 50.0
+            now += 5.0
+
+
+class TestWindowedCountRules:
+    def test_quarantine_spike(self):
+        monitor = _monitor([QuarantineSpikeRule(threshold=5, window=60.0)])
+        monitor.observe({"quarantined": 0}, now=0.0)
+        monitor.observe({"quarantined": 2}, now=30.0)
+        edge = monitor.observe({"quarantined": 6}, now=70.0)
+        assert [a.rule for a in edge.fired] == ["quarantine_spike"]
+
+    def test_lease_churn(self):
+        monitor = _monitor([LeaseChurnRule(threshold=5, window=60.0)])
+        monitor.observe({"lease_releases": 0}, now=0.0)
+        edge = monitor.observe({"lease_releases": 7}, now=70.0)
+        assert [a.rule for a in edge.fired] == ["lease_churn"]
+
+
+class TestRssRunawayRule:
+    def test_hard_ceiling_fires_immediately(self):
+        monitor = _monitor([RssRunawayRule(limit_bytes=1e9)])
+        edge = monitor.observe({"rss.4711": 2e9}, now=0.0)
+        assert [a.rule for a in edge.fired] == ["rss_runaway"]
+        assert "4711" in edge.fired[0].reason
+
+    def test_growth_within_window_fires(self):
+        rule = RssRunawayRule(growth_bytes=1e8, window=60.0, limit_bytes=1e12)
+        monitor = _monitor([rule])
+        monitor.observe({"rss.1": 1e8}, now=0.0)
+        edge = monitor.observe({"rss.1": 3e8}, now=70.0)
+        assert [a.rule for a in edge.fired] == ["rss_runaway"]
+
+
+class TestMonitor:
+    def test_fired_counter_moves_only_on_rising_edges(self):
+        monitor = _monitor([RssRunawayRule(limit_bytes=1e9)])
+        monitor.observe({"rss.1": 2e9}, now=0.0)
+        monitor.observe({"rss.1": 2e9}, now=1.0)  # still firing, no edge
+        assert monitor.fired_total == 1
+        assert obs.snapshot()["counters"][GAUGE_PREFIX + "fired"] == 1
+        monitor.observe({"rss.1": 1e3}, now=2.0)  # clears
+        monitor.observe({"rss.1": 2e9}, now=3.0)  # re-fires
+        assert monitor.fired_total == 2
+
+    def test_doc_lists_firing_alerts(self):
+        monitor = _monitor([RssRunawayRule(limit_bytes=1e9)])
+        monitor.observe({"rss.1": 2e9}, now=0.0)
+        (doc,) = monitor.doc()
+        assert doc["rule"] == "rss_runaway"
+        assert "MB" in doc["reason"]
+
+    def test_silence_suppresses_and_expires(self):
+        monitor = _monitor([RssRunawayRule(limit_bytes=1e9)])
+        monitor.silence(100.0, now=0.0)
+        edge = monitor.observe({"rss.1": 2e9}, now=1.0)
+        assert not edge.fired and not monitor.firing
+        edge = monitor.observe({"rss.1": 2e9}, now=101.0)
+        assert [a.rule for a in edge.fired] == ["rss_runaway"]
+
+    def test_series_rate_reuses_rule_data(self):
+        monitor = _monitor([])
+        monitor.observe({"done": 0}, now=0.0)
+        monitor.observe({"done": 30}, now=30.0)
+        assert monitor.series_rate("done", window=30.0, now=30.0) == 1.0
+        assert monitor.series_rate("absent", now=30.0) is None
+
+    def test_default_rules_cover_the_fleet_failure_modes(self):
+        names = {rule.name for rule in default_rules(stall_seconds=9.0)}
+        assert names == {
+            "stalled", "rate_drop", "quarantine_spike",
+            "lease_churn", "rss_runaway",
+        }

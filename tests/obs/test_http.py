@@ -1,0 +1,229 @@
+"""Live console server: routes, auth gating, SSE stream, merged metrics."""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.http import (
+    ConsoleProvider,
+    _sse_event,
+    campaign_page,
+    dashboard_page,
+    merged_metrics_text,
+    start_in_thread,
+)
+
+
+class _Provider(ConsoleProvider):
+    """A canned coordinator-shaped provider with hostile names."""
+
+    def __init__(self):
+        self.silenced = []
+
+    def title(self):
+        return "console <&> test"
+
+    def status_doc(self):
+        return {
+            "kind": "status",
+            "workers": 1,
+            "rate": 2.0,
+            "alerts": [],
+            "alerts_fired_total": 0,
+            "worker_table": [
+                {
+                    "pid": 4711, "peer": "127.0.0.1:9", "records": 3,
+                    "shards_taken": 1, "authenticated": True,
+                    "rss_bytes": 1.0e6, "cpu_percent": 50.0,
+                }
+            ],
+            "campaigns": [
+                {
+                    "name": "camp<1>", "status": "running",
+                    "done": 3, "total": 10, "quarantined": 1,
+                    "outcomes": {"benign": 2, "sdc": 1},
+                    "store_id": None, "eta_seconds": 3.5,
+                    "shards": [
+                        {"id": 0, "status": "leased", "done": 3,
+                         "total": 10, "retries": 0, "owner": 4711},
+                    ],
+                }
+            ],
+        }
+
+    def silence(self, seconds):
+        self.silenced.append(seconds)
+        return True
+
+
+def _get(url, token=None):
+    request = urllib.request.Request(url)
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _post(url, body, token=None):
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(), method="POST"
+    )
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read()
+
+
+@pytest.fixture()
+def console():
+    provider = _Provider()
+    handle = start_in_thread(provider)
+    yield provider, handle
+    handle.stop()
+
+
+class TestRoutes:
+    def test_metrics_serves_live_registry(self, console):
+        _, handle = console
+        obs.counter("console.test.hits").inc(3)
+        status, headers, body = _get(handle.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "repro_console_test_hits_total 3" in body.decode()
+
+    def test_status_json_round_trips(self, console):
+        provider, handle = console
+        status, headers, body = _get(handle.url + "/status.json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == provider.status_doc()
+
+    def test_dashboard_page_escapes_title(self, console):
+        _, handle = console
+        _, _, body = _get(handle.url + "/")
+        text = body.decode()
+        assert "console &lt;&amp;&gt; test" in text
+        assert "EventSource('/events')" in text
+
+    def test_campaign_drilldown_html_and_json(self, console):
+        provider, handle = console
+        status, _, body = _get(handle.url + "/campaigns/camp%3C1%3E")
+        assert status == 200
+        text = body.decode()
+        assert "camp&lt;1&gt;" in text
+        assert "<script" not in text.replace("</script", "")
+        status, _, body = _get(handle.url + "/campaigns/camp%3C1%3E.json")
+        assert json.loads(body) == provider.status_doc()["campaigns"][0]
+
+    def test_unknown_campaign_is_404(self, console):
+        _, handle = console
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(handle.url + "/campaigns/nope")
+        assert err.value.code == 404
+
+    def test_healthz(self, console):
+        _, handle = console
+        assert _get(handle.url + "/healthz")[0] == 200
+
+
+class TestAuth:
+    def test_silence_open_without_token(self, console):
+        provider, handle = console
+        status, body = _post(
+            handle.url + "/api/health/silence", {"seconds": 30}
+        )
+        assert status == 200
+        assert json.loads(body)["silenced"] is True
+        assert provider.silenced == [30.0]
+
+    def test_silence_rejects_bad_token(self):
+        provider = _Provider()
+        handle = start_in_thread(provider, auth_token="sekrit")
+        try:
+            for token in (None, "wrong"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _post(
+                        handle.url + "/api/health/silence",
+                        {"seconds": 5}, token=token,
+                    )
+                assert err.value.code == 401
+            assert provider.silenced == []
+            status, _ = _post(
+                handle.url + "/api/health/silence",
+                {"seconds": 5}, token="sekrit",
+            )
+            assert status == 200
+            assert provider.silenced == [5.0]
+        finally:
+            handle.stop()
+
+    def test_reads_stay_open_with_token(self):
+        handle = start_in_thread(_Provider(), auth_token="sekrit")
+        try:
+            assert _get(handle.url + "/metrics")[0] == 200
+            assert _get(handle.url + "/status.json")[0] == 200
+        finally:
+            handle.stop()
+
+
+class TestEvents:
+    def test_sse_snapshot_then_published_record(self, console):
+        _, handle = console
+        server = handle.server
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+            sock.settimeout(10)
+            buffered = b""
+            while b"event: status" not in buffered:
+                buffered += sock.recv(4096)
+            # The initial snapshot is the provider's status document.
+            assert b'"kind": "status"' in buffered or b'"kind":"status"'
+            handle.publish("record", {"outcome": "sdc", "done": 4})
+            while b"event: record" not in buffered:
+                buffered += sock.recv(4096)
+            assert b'"outcome": "sdc"' in buffered
+        assert server.has_subscribers in (True, False)  # socket now closed
+
+    def test_sse_event_bytes(self):
+        data = _sse_event("record", {"a": 1})
+        assert data == b'event: record\ndata: {"a": 1}\n\n'
+
+
+class TestMergedMetrics:
+    def test_overlays_worker_telemetry_on_registry(self, tmp_path):
+        obs.remote.enable_worker_telemetry(tmp_path)
+        obs.gauge("resource.rss_bytes").set(12345.0)
+        obs.remote.flush_worker_metrics()
+        obs.remote.reset()
+        obs.reset()
+        obs.counter("coordinator.local").inc()
+        text = merged_metrics_text([tmp_path])
+        assert 'repro_resource_rss_bytes{worker="0"} 12345' in text
+        assert "repro_coordinator_local_total 1" in text
+
+    def test_missing_directories_are_ignored(self, tmp_path):
+        obs.counter("still.here").inc()
+        text = merged_metrics_text([tmp_path / "nope"])
+        assert "repro_still_here_total 1" in text
+
+
+class TestPages:
+    def test_campaign_page_tolerates_non_string_fields(self):
+        page = campaign_page(
+            "c", {"status": 7, "done": 1, "total": 2, "quarantined": 0,
+                  "shards": [{"id": 1, "status": None, "done": 0,
+                              "total": 5, "retries": 0, "owner": 9}],
+                  "outcomes": {"benign": 1}, "store_id": 3},
+        )
+        assert "warehouse #3" in page
+
+    def test_dashboard_page_is_self_contained(self):
+        page = dashboard_page("t")
+        assert "http://" not in page  # no external resources
+        assert "/status.json" in page

@@ -1,0 +1,80 @@
+"""/proc resource sampling: stat parsing, gauges, rate-limited self-sample."""
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.resource import (
+    GAUGE_PREFIX,
+    ResourceSampler,
+    available,
+    sample_self,
+)
+
+needs_proc = pytest.mark.skipif(
+    not available(), reason="/proc is not available on this platform"
+)
+
+
+@needs_proc
+class TestSampler:
+    def test_self_sample_has_plausible_values(self):
+        sample = ResourceSampler().sample()
+        assert sample is not None
+        assert sample.pid == os.getpid()
+        assert sample.rss_bytes > 0
+        assert sample.open_fds > 0
+        assert sample.cpu_seconds >= 0.0
+        assert sample.cpu_percent == 0.0  # no previous sample to diff
+
+    def test_cpu_percent_appears_on_second_sample(self):
+        sampler = ResourceSampler()
+        sampler.sample()
+        deadline = time.monotonic() + 0.05
+        while time.monotonic() < deadline:
+            pass  # burn a little CPU so the delta is nonzero
+        sample = sampler.sample()
+        assert sample is not None
+        assert sample.cpu_percent >= 0.0
+
+    def test_gauge_names_carry_the_resource_prefix(self):
+        sample = ResourceSampler().sample()
+        gauges = sample.as_gauges()
+        assert set(gauges) == {
+            GAUGE_PREFIX + name
+            for name in (
+                "cpu_percent", "cpu_seconds", "rss_bytes",
+                "open_fds", "io_read_bytes", "io_write_bytes",
+            )
+        }
+        assert gauges[GAUGE_PREFIX + "rss_bytes"] == float(sample.rss_bytes)
+
+    def test_publish_lands_in_the_registry(self):
+        sample = ResourceSampler().publish()
+        assert sample is not None
+        snap = obs.snapshot()["gauges"]
+        assert snap[GAUGE_PREFIX + "rss_bytes"] == float(sample.rss_bytes)
+
+
+class TestDegradation:
+    def test_dead_pid_samples_to_none(self):
+        # A pid far beyond any default pid_max: /proc/<pid>/stat is absent.
+        assert ResourceSampler(pid=2**31 - 7).sample() is None
+
+    def test_available_is_false_for_dead_pid(self):
+        assert not available(2**31 - 7)
+
+
+@needs_proc
+class TestSampleSelf:
+    def test_rate_limited_between_publishes(self):
+        assert sample_self() is not None
+        assert sample_self() is None  # inside the min interval
+        assert sample_self(min_interval=0.0) is not None
+
+    def test_reset_forgets_the_sampler(self):
+        sample_self()
+        obs.resource.reset()
+        assert sample_self() is not None
